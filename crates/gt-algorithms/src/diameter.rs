@@ -1,0 +1,137 @@
+//! Diameter estimation (Table 1, "Routing & traversals").
+//!
+//! The exact diameter needs all-pairs BFS; [`exact_diameter`] does exactly
+//! that and is meant for small snapshots or ground truth. For periodic
+//! execution on an evolving graph — the paper's example of time-series
+//! property computation — [`estimate_diameter`] runs the double-sweep
+//! heuristic from a deterministic sample of start vertices, giving a lower
+//! bound at a fraction of the cost.
+
+use crate::traversal::{bfs_distances_undirected, UNREACHABLE};
+use gt_graph::CsrSnapshot;
+
+/// The exact diameter of the undirected projection: the longest shortest
+/// path within any connected component. Returns 0 for graphs with fewer
+/// than 2 vertices.
+pub fn exact_diameter(csr: &CsrSnapshot) -> u32 {
+    let mut best = 0u32;
+    for u in csr.indices() {
+        let dist = bfs_distances_undirected(csr, u);
+        for &d in &dist {
+            if d != UNREACHABLE && d > best {
+                best = d;
+            }
+        }
+    }
+    best
+}
+
+/// Double-sweep diameter estimate: from each of `samples` deterministic
+/// start vertices, BFS to the farthest vertex, then BFS again from there.
+/// The result is a lower bound on the exact diameter, exact on trees.
+pub fn estimate_diameter(csr: &CsrSnapshot, samples: usize) -> u32 {
+    let n = csr.vertex_count();
+    if n < 2 {
+        return 0;
+    }
+    let mut best = 0u32;
+    let stride = (n / samples.max(1)).max(1);
+    for start in (0..n).step_by(stride) {
+        let first = bfs_distances_undirected(csr, start as u32);
+        let (far, d1) = farthest(&first);
+        if d1 == 0 {
+            continue;
+        }
+        let second = bfs_distances_undirected(csr, far);
+        let (_, d2) = farthest(&second);
+        best = best.max(d1).max(d2);
+    }
+    best
+}
+
+fn farthest(dist: &[u32]) -> (u32, u32) {
+    let mut far = 0u32;
+    let mut best = 0u32;
+    for (v, &d) in dist.iter().enumerate() {
+        if d != UNREACHABLE && d > best {
+            best = d;
+            far = v as u32;
+        }
+    }
+    (far, best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gt_graph::builders;
+
+    fn csr_of(stream: &gt_core::GraphStream) -> CsrSnapshot {
+        CsrSnapshot::from_graph(&builders::materialize(stream))
+    }
+
+    #[test]
+    fn path_diameter() {
+        let csr = csr_of(&builders::path(10));
+        assert_eq!(exact_diameter(&csr), 9);
+        // Double sweep is exact on trees.
+        assert_eq!(estimate_diameter(&csr, 1), 9);
+    }
+
+    #[test]
+    fn ring_diameter() {
+        let csr = csr_of(&builders::ring(10));
+        assert_eq!(exact_diameter(&csr), 5);
+        let est = estimate_diameter(&csr, 3);
+        assert!((4..=5).contains(&est), "estimate {est}");
+    }
+
+    #[test]
+    fn star_diameter_is_two() {
+        let csr = csr_of(&builders::star(50));
+        assert_eq!(exact_diameter(&csr), 2);
+        assert_eq!(estimate_diameter(&csr, 2), 2);
+    }
+
+    #[test]
+    fn estimate_never_exceeds_exact() {
+        let csr = csr_of(
+            &builders::ErdosRenyi {
+                n: 80,
+                p: 0.04,
+                seed: 12,
+            }
+            .generate(),
+        );
+        let exact = exact_diameter(&csr);
+        for samples in [1, 2, 4, 8] {
+            assert!(estimate_diameter(&csr, samples) <= exact);
+        }
+    }
+
+    #[test]
+    fn disconnected_components_use_within_component_paths() {
+        use gt_core::prelude::*;
+        let mut stream = builders::path(4); // diameter 3
+        for id in 10..12u64 {
+            stream.push(StreamEntry::graph(GraphEvent::AddVertex {
+                id: VertexId(id),
+                state: State::empty(),
+            }));
+        }
+        stream.push(StreamEntry::graph(GraphEvent::AddEdge {
+            id: EdgeId::from((10, 11)),
+            state: State::empty(),
+        }));
+        let csr = csr_of(&stream);
+        assert_eq!(exact_diameter(&csr), 3);
+    }
+
+    #[test]
+    fn tiny_graphs() {
+        assert_eq!(exact_diameter(&csr_of(&builders::path(1))), 0);
+        assert_eq!(estimate_diameter(&csr_of(&builders::path(1)), 4), 0);
+        let empty = CsrSnapshot::from_graph(&gt_graph::EvolvingGraph::new());
+        assert_eq!(exact_diameter(&empty), 0);
+    }
+}

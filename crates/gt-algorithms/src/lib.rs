@@ -1,0 +1,56 @@
+#![warn(missing_docs)]
+
+//! # gt-algorithms
+//!
+//! The computation catalogue of the paper's Table 1, in two flavors:
+//!
+//! | Family | Batch (exact reference) | Online (stream-driven) |
+//! |---|---|---|
+//! | Graph statistics | [`gt_graph::properties`] | [`online::DegreeTracker`] |
+//! | Graph properties | [`pagerank`], [`cycles`], [`scc`], [`centrality`] | [`online::OnlinePageRank`] |
+//! | Routing & traversals | [`traversal`], [`shortest`], [`spanning`], [`diameter`] | — |
+//! | Graph theory | [`coloring`], [`triangles`] | [`online::StreamingTriangles`] |
+//! | Communities | [`components`], [`communities`] | [`online::IncrementalWcc`] |
+//! | Temporal analyses | — | [`online::ReservoirSampler`] (online sampling) |
+//!
+//! Batch algorithms run on [`gt_graph::CsrSnapshot`]s — the paper's
+//! "offline computations executed on graph snapshots reconstructed from
+//! the event stream" (§4.4.2). Online computations implement
+//! [`OnlineComputation`] and consume graph events directly, yielding the
+//! fast-but-approximate results whose accuracy the framework measures
+//! against the batch reference.
+
+pub mod centrality;
+pub mod coloring;
+pub mod communities;
+pub mod components;
+pub mod cycles;
+pub mod diameter;
+pub mod online;
+pub mod pagerank;
+pub mod scc;
+pub mod shortest;
+pub mod spanning;
+pub mod traversal;
+pub mod triangles;
+
+use gt_core::prelude::*;
+
+/// A computation that processes incoming graph stream events directly
+/// (the paper's "online computations", §4.4.2).
+///
+/// Implementations must tolerate *any* event sequence a lenient platform
+/// would accept: events referencing unknown entities are ignored.
+pub trait OnlineComputation {
+    /// The result type exposed to queries.
+    type Result;
+
+    /// Feeds one graph event.
+    fn apply_event(&mut self, event: &GraphEvent);
+
+    /// The current (possibly approximate) result.
+    fn result(&self) -> Self::Result;
+
+    /// A short name for result logs.
+    fn name(&self) -> &'static str;
+}

@@ -1,0 +1,239 @@
+//! Online degree statistics (Table 1, "Graph statistics").
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use gt_core::prelude::*;
+
+use crate::OnlineComputation;
+
+/// A point-in-time view of the degree statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegreeSnapshot {
+    /// Live vertices.
+    pub vertices: usize,
+    /// Live directed edges.
+    pub edges: usize,
+    /// Mean total degree.
+    pub mean_degree: f64,
+    /// Maximum total degree.
+    pub max_degree: usize,
+    /// Histogram `total degree -> vertex count`.
+    pub histogram: BTreeMap<usize, usize>,
+}
+
+/// Maintains vertex/edge counts and the total-degree histogram under the
+/// full six-operation event model. Events that reference unknown entities
+/// are ignored (lenient semantics), so the tracker is safe on faulty
+/// streams.
+#[derive(Debug, Clone, Default)]
+pub struct DegreeTracker {
+    out: HashMap<VertexId, HashSet<VertexId>>,
+    inc: HashMap<VertexId, HashSet<VertexId>>,
+    histogram: BTreeMap<usize, usize>,
+    edges: usize,
+}
+
+impl DegreeTracker {
+    /// An empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn degree(&self, v: VertexId) -> usize {
+        self.out.get(&v).map_or(0, HashSet::len) + self.inc.get(&v).map_or(0, HashSet::len)
+    }
+
+    fn histogram_move(&mut self, from: usize, to: usize) {
+        if from == to {
+            return;
+        }
+        if let Some(c) = self.histogram.get_mut(&from) {
+            *c -= 1;
+            if *c == 0 {
+                self.histogram.remove(&from);
+            }
+        }
+        *self.histogram.entry(to).or_insert(0) += 1;
+    }
+
+    fn add_edge(&mut self, e: EdgeId) {
+        if e.is_self_loop()
+            || !self.out.contains_key(&e.src)
+            || !self.out.contains_key(&e.dst)
+        {
+            return;
+        }
+        let src_deg = self.degree(e.src);
+        if !self.out.get_mut(&e.src).expect("checked").insert(e.dst) {
+            return; // duplicate
+        }
+        self.histogram_move(src_deg, src_deg + 1);
+        let dst_deg = self.degree(e.dst);
+        self.inc.get_mut(&e.dst).expect("checked").insert(e.src);
+        self.histogram_move(dst_deg, dst_deg + 1);
+        self.edges += 1;
+    }
+
+    fn remove_edge(&mut self, e: EdgeId) {
+        let exists = self.out.get(&e.src).is_some_and(|s| s.contains(&e.dst));
+        if !exists {
+            return;
+        }
+        let src_deg = self.degree(e.src);
+        self.out.get_mut(&e.src).expect("exists").remove(&e.dst);
+        self.histogram_move(src_deg, src_deg - 1);
+        let dst_deg = self.degree(e.dst);
+        self.inc.get_mut(&e.dst).expect("exists").remove(&e.src);
+        self.histogram_move(dst_deg, dst_deg - 1);
+        self.edges -= 1;
+    }
+}
+
+impl OnlineComputation for DegreeTracker {
+    type Result = DegreeSnapshot;
+
+    fn apply_event(&mut self, event: &GraphEvent) {
+        match event {
+            GraphEvent::AddVertex { id, .. } => {
+                if !self.out.contains_key(id) {
+                    self.out.insert(*id, HashSet::new());
+                    self.inc.insert(*id, HashSet::new());
+                    *self.histogram.entry(0).or_insert(0) += 1;
+                }
+            }
+            GraphEvent::RemoveVertex { id } => {
+                if !self.out.contains_key(id) {
+                    return;
+                }
+                let out: Vec<VertexId> =
+                    self.out.get(id).map(|s| s.iter().copied().collect()).unwrap_or_default();
+                let inc: Vec<VertexId> =
+                    self.inc.get(id).map(|s| s.iter().copied().collect()).unwrap_or_default();
+                for dst in out {
+                    self.remove_edge(EdgeId::new(*id, dst));
+                }
+                for src in inc {
+                    self.remove_edge(EdgeId::new(src, *id));
+                }
+                self.out.remove(id);
+                self.inc.remove(id);
+                self.histogram_move(0, usize::MAX);
+                self.histogram.remove(&usize::MAX);
+            }
+            GraphEvent::AddEdge { id, .. } => self.add_edge(*id),
+            GraphEvent::RemoveEdge { id } => self.remove_edge(*id),
+            GraphEvent::UpdateVertex { .. } | GraphEvent::UpdateEdge { .. } => {}
+        }
+    }
+
+    fn result(&self) -> DegreeSnapshot {
+        let vertices = self.out.len();
+        let mean = if vertices == 0 {
+            0.0
+        } else {
+            2.0 * self.edges as f64 / vertices as f64
+        };
+        DegreeSnapshot {
+            vertices,
+            edges: self.edges,
+            mean_degree: mean,
+            max_degree: self.histogram.keys().next_back().copied().unwrap_or(0),
+            histogram: self.histogram.clone(),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "degree-stats"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gt_graph::properties::DegreeDistribution;
+    use gt_graph::EvolvingGraph;
+
+    fn feed(events: &[GraphEvent]) -> (DegreeTracker, EvolvingGraph) {
+        let mut tracker = DegreeTracker::new();
+        let mut graph = EvolvingGraph::new();
+        for e in events {
+            tracker.apply_event(e);
+            let _ = graph.apply_with(e, gt_graph::ApplyPolicy::Lenient);
+        }
+        (tracker, graph)
+    }
+
+    fn ev_add_v(id: u64) -> GraphEvent {
+        GraphEvent::AddVertex {
+            id: VertexId(id),
+            state: State::empty(),
+        }
+    }
+
+    fn ev_add_e(s: u64, d: u64) -> GraphEvent {
+        GraphEvent::AddEdge {
+            id: EdgeId::from((s, d)),
+            state: State::empty(),
+        }
+    }
+
+    #[test]
+    fn tracks_star_histogram() {
+        let mut events: Vec<GraphEvent> = (0..5).map(ev_add_v).collect();
+        events.extend((1..5).map(|i| ev_add_e(0, i)));
+        let (tracker, graph) = feed(&events);
+        let snap = tracker.result();
+        assert_eq!(snap.vertices, 4 + 1);
+        assert_eq!(snap.edges, 4);
+        assert_eq!(snap.max_degree, 4);
+        let reference = DegreeDistribution::total(&graph);
+        for (d, c) in reference.iter() {
+            assert_eq!(snap.histogram.get(&d).copied().unwrap_or(0), c, "degree {d}");
+        }
+    }
+
+    #[test]
+    fn removal_updates_histogram() {
+        let mut events: Vec<GraphEvent> = (0..4).map(ev_add_v).collect();
+        events.push(ev_add_e(0, 1));
+        events.push(ev_add_e(1, 2));
+        events.push(GraphEvent::RemoveVertex { id: VertexId(1) });
+        let (tracker, graph) = feed(&events);
+        let snap = tracker.result();
+        assert_eq!(snap.vertices, 3);
+        assert_eq!(snap.edges, 0);
+        assert_eq!(snap.max_degree, 0);
+        assert_eq!(graph.edge_count(), 0);
+    }
+
+    #[test]
+    fn ignores_invalid_events() {
+        let events = vec![
+            ev_add_e(0, 1),                                  // vertices missing
+            GraphEvent::RemoveVertex { id: VertexId(7) },    // missing
+            GraphEvent::RemoveEdge { id: EdgeId::from((0, 1)) }, // missing
+            ev_add_v(0),
+            ev_add_v(0), // duplicate
+            ev_add_e(0, 0), // self loop
+        ];
+        let (tracker, _) = feed(&events);
+        let snap = tracker.result();
+        assert_eq!(snap.vertices, 1);
+        assert_eq!(snap.edges, 0);
+    }
+
+    #[test]
+    fn duplicate_edges_counted_once() {
+        let events = vec![ev_add_v(0), ev_add_v(1), ev_add_e(0, 1), ev_add_e(0, 1)];
+        let (tracker, _) = feed(&events);
+        assert_eq!(tracker.result().edges, 1);
+    }
+
+    #[test]
+    fn mean_degree() {
+        let events = vec![ev_add_v(0), ev_add_v(1), ev_add_e(0, 1)];
+        let (tracker, _) = feed(&events);
+        // 2 vertices, 1 edge: mean total degree = 1.0.
+        assert!((tracker.result().mean_degree - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,21 @@
+//! Online computations: stream-driven, fast, approximate (paper §4.4.2).
+//!
+//! Each type here implements [`crate::OnlineComputation`]: it consumes graph
+//! events directly, maintains its own internal model, and can be queried at
+//! any time for a (possibly approximate or stale) result. The accuracy of
+//! these results against the batch references in the parent modules is
+//! precisely the latency-vs-correctness trade-off the framework measures.
+
+mod degree;
+mod pagerank;
+mod sampling;
+mod timeline;
+mod triangles;
+mod wcc;
+
+pub use degree::{DegreeSnapshot, DegreeTracker};
+pub use pagerank::{OnlinePageRank, OnlinePageRankConfig};
+pub use sampling::ReservoirSampler;
+pub use timeline::{PropertyTimeline, TimelinePoint};
+pub use triangles::StreamingTriangles;
+pub use wcc::IncrementalWcc;

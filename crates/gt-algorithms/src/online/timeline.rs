@@ -1,0 +1,217 @@
+//! A structural-property timeline over the stream — the data source for
+//! Table 1's "trend analyses on graph properties" and §3.2's temporal
+//! graph properties (growth, churn, densification).
+//!
+//! The tracker maintains cheap incremental counters and snapshots them
+//! every `cadence` graph events, producing `(event_index, properties)`
+//! rows that `gt-analysis::trend` fits (e.g. the densification exponent
+//! of `m` over `n`).
+
+use gt_core::prelude::*;
+
+use crate::online::DegreeTracker;
+use crate::OnlineComputation;
+
+/// One sampled point of the timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimelinePoint {
+    /// Graph events ingested when the sample was taken.
+    pub events: u64,
+    /// Live vertices.
+    pub vertices: usize,
+    /// Live directed edges.
+    pub edges: usize,
+    /// Mean total degree.
+    pub mean_degree: f64,
+    /// Maximum total degree.
+    pub max_degree: usize,
+    /// Cumulative topology-change events (adds + removes).
+    pub topology_events: u64,
+    /// Cumulative state-update events.
+    pub update_events: u64,
+}
+
+/// Samples structural properties every `cadence` events.
+#[derive(Debug, Clone)]
+pub struct PropertyTimeline {
+    degrees: DegreeTracker,
+    cadence: u64,
+    events: u64,
+    topology_events: u64,
+    update_events: u64,
+    points: Vec<TimelinePoint>,
+}
+
+impl PropertyTimeline {
+    /// A timeline sampling every `cadence` graph events.
+    ///
+    /// # Panics
+    /// If `cadence` is zero.
+    pub fn new(cadence: u64) -> Self {
+        assert!(cadence > 0, "cadence must be positive");
+        PropertyTimeline {
+            degrees: DegreeTracker::new(),
+            cadence,
+            events: 0,
+            topology_events: 0,
+            update_events: 0,
+            points: Vec::new(),
+        }
+    }
+
+    /// The sampled points so far.
+    pub fn points(&self) -> &[TimelinePoint] {
+        &self.points
+    }
+
+    /// Forces a sample at the current position (e.g. at stream end).
+    pub fn sample_now(&mut self) {
+        let snapshot = self.degrees.result();
+        self.points.push(TimelinePoint {
+            events: self.events,
+            vertices: snapshot.vertices,
+            edges: snapshot.edges,
+            mean_degree: snapshot.mean_degree,
+            max_degree: snapshot.max_degree,
+            topology_events: self.topology_events,
+            update_events: self.update_events,
+        });
+    }
+
+    /// `(n, m)` pairs for densification-law fitting.
+    pub fn growth_samples(&self) -> Vec<(usize, usize)> {
+        self.points.iter().map(|p| (p.vertices, p.edges)).collect()
+    }
+
+    /// `(event_index, value)` series for one extracted property.
+    pub fn series(&self, f: impl Fn(&TimelinePoint) -> f64) -> Vec<(f64, f64)> {
+        self.points
+            .iter()
+            .map(|p| (p.events as f64, f(p)))
+            .collect()
+    }
+}
+
+impl OnlineComputation for PropertyTimeline {
+    type Result = Vec<TimelinePoint>;
+
+    fn apply_event(&mut self, event: &GraphEvent) {
+        self.degrees.apply_event(event);
+        self.events += 1;
+        if event.is_topology_change() {
+            self.topology_events += 1;
+        } else {
+            self.update_events += 1;
+        }
+        if self.events % self.cadence == 0 {
+            self.sample_now();
+        }
+    }
+
+    fn result(&self) -> Vec<TimelinePoint> {
+        self.points.clone()
+    }
+
+    fn name(&self) -> &'static str {
+        "property-timeline"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev_add_v(id: u64) -> GraphEvent {
+        GraphEvent::AddVertex {
+            id: VertexId(id),
+            state: State::empty(),
+        }
+    }
+
+    fn ev_add_e(s: u64, d: u64) -> GraphEvent {
+        GraphEvent::AddEdge {
+            id: EdgeId::from((s, d)),
+            state: State::empty(),
+        }
+    }
+
+    #[test]
+    fn samples_on_cadence() {
+        let mut timeline = PropertyTimeline::new(10);
+        for i in 0..35 {
+            timeline.apply_event(&ev_add_v(i));
+        }
+        assert_eq!(timeline.points().len(), 3);
+        assert_eq!(timeline.points()[0].events, 10);
+        assert_eq!(timeline.points()[0].vertices, 10);
+        assert_eq!(timeline.points()[2].events, 30);
+        timeline.sample_now();
+        assert_eq!(timeline.points()[3].events, 35);
+    }
+
+    #[test]
+    fn classifies_topology_vs_updates() {
+        let mut timeline = PropertyTimeline::new(100);
+        timeline.apply_event(&ev_add_v(0));
+        timeline.apply_event(&GraphEvent::UpdateVertex {
+            id: VertexId(0),
+            state: State::new("x"),
+        });
+        timeline.sample_now();
+        let p = &timeline.points()[0];
+        assert_eq!(p.topology_events, 1);
+        assert_eq!(p.update_events, 1);
+    }
+
+    #[test]
+    fn densification_trend_from_growing_graph() {
+        // Superlinear edge growth: after vertex k, connect it to all
+        // previous vertices (m ~ n^2).
+        let mut timeline = PropertyTimeline::new(50);
+        let mut next = 0u64;
+        for k in 0..60u64 {
+            timeline.apply_event(&ev_add_v(k));
+            next += 1;
+            for j in 0..k {
+                timeline.apply_event(&ev_add_e(k, j));
+                next += 1;
+            }
+        }
+        let _ = next;
+        timeline.sample_now();
+        let a = gt_analysis_densification(&timeline.growth_samples());
+        assert!(a > 1.5, "densification exponent {a}");
+    }
+
+    /// Inline copy of the log-log slope fit (gt-algorithms does not
+    /// depend on gt-analysis; the real pipeline does this in analysis).
+    fn gt_analysis_densification(samples: &[(usize, usize)]) -> f64 {
+        let pts: Vec<(f64, f64)> = samples
+            .iter()
+            .filter(|&&(n, m)| n > 1 && m > 0)
+            .map(|&(n, m)| ((n as f64).ln(), (m as f64).ln()))
+            .collect();
+        let n = pts.len() as f64;
+        let mt = pts.iter().map(|p| p.0).sum::<f64>() / n;
+        let mv = pts.iter().map(|p| p.1).sum::<f64>() / n;
+        let cov: f64 = pts.iter().map(|p| (p.0 - mt) * (p.1 - mv)).sum();
+        let var: f64 = pts.iter().map(|p| (p.0 - mt).powi(2)).sum();
+        cov / var
+    }
+
+    #[test]
+    fn series_extraction() {
+        let mut timeline = PropertyTimeline::new(5);
+        for i in 0..10 {
+            timeline.apply_event(&ev_add_v(i));
+        }
+        let series = timeline.series(|p| p.vertices as f64);
+        assert_eq!(series, [(5.0, 5.0), (10.0, 10.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cadence")]
+    fn zero_cadence_panics() {
+        PropertyTimeline::new(0);
+    }
+}

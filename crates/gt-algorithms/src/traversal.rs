@@ -1,0 +1,146 @@
+//! Breadth-first traversals over snapshots.
+
+use std::collections::VecDeque;
+
+use gt_graph::CsrSnapshot;
+
+/// Distance value for unreachable vertices.
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// BFS distances (in hops) from `source` over out-edges.
+///
+/// Returns one entry per dense index; unreachable vertices hold
+/// [`UNREACHABLE`].
+pub fn bfs_distances(csr: &CsrSnapshot, source: u32) -> Vec<u32> {
+    bfs_distances_impl(csr, source, false)
+}
+
+/// BFS distances ignoring edge direction (treats the graph as undirected).
+pub fn bfs_distances_undirected(csr: &CsrSnapshot, source: u32) -> Vec<u32> {
+    bfs_distances_impl(csr, source, true)
+}
+
+fn bfs_distances_impl(csr: &CsrSnapshot, source: u32, undirected: bool) -> Vec<u32> {
+    let n = csr.vertex_count();
+    let mut dist = vec![UNREACHABLE; n];
+    if (source as usize) >= n {
+        return dist;
+    }
+    let mut queue = VecDeque::with_capacity(n.min(1024));
+    dist[source as usize] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let d = dist[u as usize];
+        let mut visit = |v: u32| {
+            if dist[v as usize] == UNREACHABLE {
+                dist[v as usize] = d + 1;
+                queue.push_back(v);
+            }
+        };
+        for &v in csr.out_neighbors(u) {
+            visit(v);
+        }
+        if undirected {
+            for &v in csr.in_neighbors(u) {
+                visit(v);
+            }
+        }
+    }
+    dist
+}
+
+/// BFS parents from `source` over out-edges: `parent[v]` is the vertex that
+/// discovered `v` (`None` for the source and unreachable vertices). This is
+/// the BFS spanning tree.
+pub fn bfs_parents(csr: &CsrSnapshot, source: u32) -> Vec<Option<u32>> {
+    let n = csr.vertex_count();
+    let mut parent: Vec<Option<u32>> = vec![None; n];
+    let mut seen = vec![false; n];
+    if (source as usize) >= n {
+        return parent;
+    }
+    let mut queue = VecDeque::new();
+    seen[source as usize] = true;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        for &v in csr.out_neighbors(u) {
+            if !seen[v as usize] {
+                seen[v as usize] = true;
+                parent[v as usize] = Some(u);
+                queue.push_back(v);
+            }
+        }
+    }
+    parent
+}
+
+/// The number of vertices reachable from `source` (including itself).
+pub fn reachable_count(csr: &CsrSnapshot, source: u32) -> usize {
+    bfs_distances(csr, source)
+        .iter()
+        .filter(|&&d| d != UNREACHABLE)
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gt_graph::builders;
+
+    fn csr_of(stream: &gt_core::GraphStream) -> CsrSnapshot {
+        CsrSnapshot::from_graph(&builders::materialize(stream))
+    }
+
+    #[test]
+    fn path_distances() {
+        let csr = csr_of(&builders::path(5));
+        let dist = bfs_distances(&csr, 0);
+        assert_eq!(dist, [0, 1, 2, 3, 4]);
+        // Directed: nothing reaches backwards.
+        let back = bfs_distances(&csr, 4);
+        assert_eq!(back, [UNREACHABLE, UNREACHABLE, UNREACHABLE, UNREACHABLE, 0]);
+        // Undirected traversal reaches everything.
+        assert_eq!(bfs_distances_undirected(&csr, 4), [4, 3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn star_distances() {
+        let csr = csr_of(&builders::star(6));
+        let dist = bfs_distances(&csr, 0);
+        assert_eq!(dist[0], 0);
+        assert!(dist[1..].iter().all(|&d| d == 1));
+    }
+
+    #[test]
+    fn parents_form_tree() {
+        let csr = csr_of(&builders::grid(3, 3));
+        let parent = bfs_parents(&csr, 0);
+        assert_eq!(parent[0], None);
+        // Every non-root reachable vertex has a parent closer to the root.
+        let dist = bfs_distances(&csr, 0);
+        for v in 1..9usize {
+            let p = parent[v].expect("grid is fully reachable from 0") as usize;
+            assert_eq!(dist[p] + 1, dist[v]);
+        }
+    }
+
+    #[test]
+    fn reachability_counts() {
+        let csr = csr_of(&builders::path(10));
+        assert_eq!(reachable_count(&csr, 0), 10);
+        assert_eq!(reachable_count(&csr, 9), 1);
+    }
+
+    #[test]
+    fn out_of_range_source() {
+        let csr = csr_of(&builders::path(3));
+        assert!(bfs_distances(&csr, 99).iter().all(|&d| d == UNREACHABLE));
+        assert!(bfs_parents(&csr, 99).iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let csr = CsrSnapshot::from_graph(&gt_graph::EvolvingGraph::new());
+        assert!(bfs_distances(&csr, 0).is_empty());
+    }
+}

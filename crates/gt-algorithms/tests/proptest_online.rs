@@ -1,0 +1,122 @@
+//! Property-based equivalence tests: the online computations must agree
+//! with their batch references on the graph induced by any event sequence
+//! (applied leniently — hostile events are part of the contract).
+
+use gt_algorithms::components::weakly_connected_components;
+use gt_algorithms::online::{IncrementalWcc, StreamingTriangles};
+use gt_algorithms::triangles::triangle_count;
+use gt_algorithms::OnlineComputation;
+use gt_core::prelude::*;
+use gt_graph::{ApplyPolicy, CsrSnapshot, EvolvingGraph};
+use proptest::prelude::*;
+
+fn arbitrary_event() -> impl Strategy<Value = GraphEvent> {
+    let vid = (0u64..15).prop_map(VertexId);
+    let eid = ((0u64..15), (0u64..15)).prop_map(EdgeId::from);
+    prop_oneof![
+        4 => vid.clone().prop_map(|id| GraphEvent::AddVertex { id, state: State::empty() }),
+        1 => vid.prop_map(|id| GraphEvent::RemoveVertex { id }),
+        4 => eid.clone().prop_map(|id| GraphEvent::AddEdge { id, state: State::empty() }),
+        2 => eid.prop_map(|id| GraphEvent::RemoveEdge { id }),
+    ]
+}
+
+fn lenient_graph(events: &[GraphEvent]) -> EvolvingGraph {
+    let mut g = EvolvingGraph::new();
+    for e in events {
+        let _ = g.apply_with(e, ApplyPolicy::Lenient);
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn streaming_triangles_match_batch(events in proptest::collection::vec(arbitrary_event(), 0..250)) {
+        let mut online = StreamingTriangles::new();
+        for e in &events {
+            online.apply_event(e);
+        }
+        let graph = lenient_graph(&events);
+        let batch = triangle_count(&CsrSnapshot::from_graph(&graph));
+        prop_assert_eq!(online.count(), batch);
+    }
+
+    #[test]
+    fn incremental_wcc_matches_batch(events in proptest::collection::vec(arbitrary_event(), 0..250)) {
+        let mut online = IncrementalWcc::new();
+        for e in &events {
+            online.apply_event(e);
+        }
+        let graph = lenient_graph(&events);
+        let batch = weakly_connected_components(&CsrSnapshot::from_graph(&graph));
+        prop_assert_eq!(online.component_count(), batch.count);
+    }
+
+    /// When the structure reports itself non-stale, the fast query must be
+    /// exact — no silent divergence.
+    #[test]
+    fn non_stale_wcc_fast_path_is_exact(events in proptest::collection::vec(arbitrary_event(), 0..250)) {
+        let mut online = IncrementalWcc::new();
+        for e in &events {
+            online.apply_event(e);
+        }
+        let (fast, exact_flag) = online.result();
+        if exact_flag {
+            prop_assert_eq!(fast, online.component_count());
+        }
+    }
+
+    /// WCC connectivity queries agree with batch labels.
+    #[test]
+    fn wcc_connected_queries_match(events in proptest::collection::vec(arbitrary_event(), 10..150)) {
+        let mut online = IncrementalWcc::new();
+        for e in &events {
+            online.apply_event(e);
+        }
+        let graph = lenient_graph(&events);
+        let csr = CsrSnapshot::from_graph(&graph);
+        let batch = weakly_connected_components(&csr);
+        let ids: Vec<VertexId> = graph.vertices().collect();
+        for (i, &a) in ids.iter().enumerate() {
+            for &b in ids.iter().skip(i) {
+                let expected = batch.same_component(
+                    csr.index_of(a).unwrap(),
+                    csr.index_of(b).unwrap(),
+                );
+                prop_assert_eq!(online.connected(a, b), Some(expected));
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Online PageRank converges to batch PageRank once the stream stops.
+    #[test]
+    fn online_pagerank_converges(events in proptest::collection::vec(arbitrary_event(), 10..120)) {
+        use gt_algorithms::online::{OnlinePageRank, OnlinePageRankConfig};
+        use gt_algorithms::pagerank::{pagerank, PageRankConfig};
+
+        let mut online = OnlinePageRank::new(OnlinePageRankConfig::default());
+        for e in &events {
+            online.apply_event(e);
+        }
+        online.run_sweeps(300);
+        let graph = lenient_graph(&events);
+        let csr = CsrSnapshot::from_graph(&graph);
+        let exact = pagerank(&csr, &PageRankConfig::default());
+        let result = online.result();
+        prop_assert_eq!(result.len(), graph.vertex_count());
+        let l1: f64 = result
+            .iter()
+            .map(|(id, r)| {
+                let idx = csr.index_of(*id).expect("same vertex set");
+                (r - exact.ranks[idx as usize]).abs()
+            })
+            .sum();
+        prop_assert!(l1 < 1e-5, "L1 error {l1}");
+    }
+}

@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! # gt-analysis
+//!
+//! The statistical toolbox the paper's methodology (§4.5) prescribes for
+//! assessing experiment runs:
+//!
+//! * [`summary`] — means, variance, and the CI95 confidence-interval
+//!   comparison ("non-overlapping confidence intervals of the results from
+//!   two different systems are indeed significantly different"),
+//! * [`percentiles`] — medians, tail percentiles (99th-percentile latency,
+//!   5th-percentile-to-maximum throughput ranges as in Figure 3a),
+//! * [`timeseries`] — bucketed time series for the stacked runtime plots
+//!   (Figure 3d) and rate estimation from event timestamps,
+//! * [`correlate`] — Pearson and lagged cross-correlation between metric
+//!   series,
+//! * [`error`] — relative errors of approximate results against exact
+//!   references (the "relative rank error" of §5.3.2).
+
+pub mod correlate;
+pub mod error;
+pub mod percentiles;
+pub mod summary;
+pub mod timeseries;
+pub mod trend;
+pub mod variability;
+
+pub use correlate::{cross_correlation, pearson};
+pub use error::{median_relative_error, relative_error, relative_errors, top_k_overlap};
+pub use percentiles::{percentile, Quantiles};
+pub use summary::{compare_ci95, ConfidenceInterval, Summary};
+pub use timeseries::{RateSeries, TimeSeries};
+pub use trend::{densification_exponent, linear_trend, Trend};
+pub use variability::{variability, Variability};

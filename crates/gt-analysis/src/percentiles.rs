@@ -1,0 +1,132 @@
+//! Percentile estimation with linear interpolation.
+
+/// The `p`-th percentile (`0.0..=100.0`) of `values` using linear
+/// interpolation between closest ranks. Returns `None` for empty input.
+///
+/// The input need not be sorted; a sorted copy is made internally. For
+/// repeated queries over the same data, sort once and use
+/// [`percentile_sorted`].
+pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("values must not contain NaN"));
+    Some(percentile_sorted(&sorted, p))
+}
+
+/// Like [`percentile`], but requires `sorted` to be ascending.
+///
+/// # Panics
+/// If `sorted` is empty or `p` is outside `0.0..=100.0`.
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty slice");
+    assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// A bundle of the quantiles GraphTides plots use: min, p5, median, p95,
+/// p99, max (Figure 3a reports "range covers 95%, 5th percentile to
+/// maximum").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quantiles {
+    /// Minimum value.
+    pub min: f64,
+    /// 5th percentile.
+    pub p5: f64,
+    /// Median.
+    pub median: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum value.
+    pub max: f64,
+}
+
+impl Quantiles {
+    /// Computes the bundle. Returns `None` for empty input.
+    pub fn of(values: &[f64]) -> Option<Quantiles> {
+        if values.is_empty() {
+            return None;
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("values must not contain NaN"));
+        Some(Quantiles {
+            min: sorted[0],
+            p5: percentile_sorted(&sorted, 5.0),
+            median: percentile_sorted(&sorted, 50.0),
+            p95: percentile_sorted(&sorted, 95.0),
+            p99: percentile_sorted(&sorted, 99.0),
+            max: *sorted.last().expect("non-empty"),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_of_odd_and_even() {
+        assert_eq!(percentile(&[3.0, 1.0, 2.0], 50.0), Some(2.0));
+        assert_eq!(percentile(&[4.0, 1.0, 2.0, 3.0], 50.0), Some(2.5));
+    }
+
+    #[test]
+    fn extremes() {
+        let v = [5.0, 1.0, 9.0];
+        assert_eq!(percentile(&v, 0.0), Some(1.0));
+        assert_eq!(percentile(&v, 100.0), Some(9.0));
+    }
+
+    #[test]
+    fn interpolation() {
+        // 0..=10: p25 lands exactly on 2.5.
+        let v: Vec<f64> = (0..=10).map(f64::from).collect();
+        assert_eq!(percentile(&v, 25.0), Some(2.5));
+        assert_eq!(percentile(&v, 95.0), Some(9.5));
+    }
+
+    #[test]
+    fn single_value() {
+        assert_eq!(percentile(&[7.0], 99.0), Some(7.0));
+    }
+
+    #[test]
+    fn empty_is_none() {
+        assert_eq!(percentile(&[], 50.0), None);
+        assert_eq!(Quantiles::of(&[]), None);
+    }
+
+    #[test]
+    fn quantiles_bundle_is_ordered() {
+        let v: Vec<f64> = (0..1000).map(f64::from).collect();
+        let q = Quantiles::of(&v).unwrap();
+        assert!(q.min <= q.p5);
+        assert!(q.p5 <= q.median);
+        assert!(q.median <= q.p95);
+        assert!(q.p95 <= q.p99);
+        assert!(q.p99 <= q.max);
+        assert_eq!(q.min, 0.0);
+        assert_eq!(q.max, 999.0);
+        assert!((q.median - 499.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_percentile_panics() {
+        percentile_sorted(&[1.0], 101.0);
+    }
+}

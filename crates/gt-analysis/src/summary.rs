@@ -1,0 +1,224 @@
+//! Aggregate summaries and confidence-interval comparison (§4.5).
+//!
+//! The paper's methodology requires "at least n ≥ 30 test runs for each
+//! configuration due to the central limit theory", after which systems are
+//! compared via 95% confidence intervals of aggregated metrics:
+//! non-overlapping intervals are significantly different.
+
+use serde::{Deserialize, Serialize};
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Summary {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// An empty summary.
+    pub fn new() -> Self {
+        Summary {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Builds a summary from a slice.
+    pub fn of(values: &[f64]) -> Self {
+        let mut s = Summary::new();
+        for &v in values {
+            s.add(v);
+        }
+        s
+    }
+
+    /// Adds one observation.
+    pub fn add(&mut self, value: f64) {
+        self.n += 1;
+        let delta = value - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (value - self.mean);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// The arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sample variance (Bessel-corrected); 0 with fewer than 2 points.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Minimum observation (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Maximum observation (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+
+    /// The 95% confidence interval of the mean, using the normal
+    /// approximation (z = 1.96) the paper's n ≥ 30 rule licenses.
+    ///
+    /// Returns `None` with fewer than 2 observations.
+    pub fn ci95(&self) -> Option<ConfidenceInterval> {
+        if self.n < 2 {
+            return None;
+        }
+        let half = 1.96 * self.stddev() / (self.n as f64).sqrt();
+        Some(ConfidenceInterval {
+            mean: self.mean,
+            lo: self.mean - half,
+            hi: self.mean + half,
+            n: self.n,
+        })
+    }
+
+    /// Whether the sample size meets the paper's n ≥ 30 guideline.
+    pub fn meets_n30(&self) -> bool {
+        self.n >= 30
+    }
+}
+
+/// A confidence interval of a mean.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConfidenceInterval {
+    /// Point estimate.
+    pub mean: f64,
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+    /// Sample size.
+    pub n: u64,
+}
+
+impl ConfidenceInterval {
+    /// Whether this interval overlaps another.
+    pub fn overlaps(&self, other: &ConfidenceInterval) -> bool {
+        self.lo <= other.hi && other.lo <= self.hi
+    }
+}
+
+/// The paper's comparison rule: the verdict of comparing two systems by
+/// CI95 of an aggregated metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Comparison {
+    /// `a`'s interval lies entirely above `b`'s: significantly greater.
+    AGreater,
+    /// `b`'s interval lies entirely above `a`'s.
+    BGreater,
+    /// Intervals overlap: no significant difference at this level.
+    NotSignificant,
+}
+
+/// Compares two samples via non-overlapping CI95 (§4.5). Returns `None`
+/// when either sample is too small for an interval.
+pub fn compare_ci95(a: &Summary, b: &Summary) -> Option<Comparison> {
+    let (ca, cb) = (a.ci95()?, b.ci95()?);
+    Some(if ca.overlaps(&cb) {
+        Comparison::NotSignificant
+    } else if ca.lo > cb.hi {
+        Comparison::AGreater
+    } else {
+        Comparison::BGreater
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_naive() {
+        let values = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let s = Summary::of(&values);
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Sample variance of this classic set is 32/7.
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), None);
+        assert!(s.ci95().is_none());
+        let one = Summary::of(&[3.0]);
+        assert_eq!(one.mean(), 3.0);
+        assert!(one.ci95().is_none());
+    }
+
+    #[test]
+    fn ci_shrinks_with_n() {
+        let narrow = Summary::of(&vec![10.0; 100].iter().enumerate().map(|(i, v)| v + (i % 2) as f64).collect::<Vec<_>>());
+        let wide = Summary::of(&[10.0, 11.0, 10.0, 11.0]);
+        let cn = narrow.ci95().unwrap();
+        let cw = wide.ci95().unwrap();
+        assert!(cn.hi - cn.lo < cw.hi - cw.lo);
+    }
+
+    #[test]
+    fn comparison_verdicts() {
+        let a = Summary::of(&(0..40).map(|i| 100.0 + (i % 3) as f64).collect::<Vec<_>>());
+        let b = Summary::of(&(0..40).map(|i| 10.0 + (i % 3) as f64).collect::<Vec<_>>());
+        assert_eq!(compare_ci95(&a, &b), Some(Comparison::AGreater));
+        assert_eq!(compare_ci95(&b, &a), Some(Comparison::BGreater));
+        let c = Summary::of(&(0..40).map(|i| 100.2 + (i % 3) as f64).collect::<Vec<_>>());
+        assert_eq!(compare_ci95(&a, &c), Some(Comparison::NotSignificant));
+    }
+
+    #[test]
+    fn comparison_requires_data() {
+        assert_eq!(compare_ci95(&Summary::new(), &Summary::of(&[1.0, 2.0])), None);
+    }
+
+    #[test]
+    fn n30_guideline() {
+        assert!(!Summary::of(&vec![1.0; 29]).meets_n30());
+        assert!(Summary::of(&vec![1.0; 30]).meets_n30());
+    }
+
+    #[test]
+    fn interval_overlap_logic() {
+        let a = ConfidenceInterval { mean: 5.0, lo: 4.0, hi: 6.0, n: 30 };
+        let b = ConfidenceInterval { mean: 6.5, lo: 5.5, hi: 7.5, n: 30 };
+        let c = ConfidenceInterval { mean: 9.0, lo: 8.0, hi: 10.0, n: 30 };
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+        assert!(!a.overlaps(&c));
+    }
+}

@@ -1,0 +1,74 @@
+//! Property-based tests of the statistics toolbox.
+
+use gt_analysis::summary::Summary;
+use gt_analysis::{pearson, percentile, Quantiles};
+use proptest::prelude::*;
+
+fn finite_values() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1e6f64..1e6, 1..200)
+}
+
+proptest! {
+    /// Percentiles are monotone in p and bounded by min/max.
+    #[test]
+    fn percentile_is_monotone(values in finite_values(), a in 0.0f64..100.0, b in 0.0f64..100.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let pa = percentile(&values, lo).unwrap();
+        let pb = percentile(&values, hi).unwrap();
+        prop_assert!(pa <= pb, "p{lo}={pa} > p{hi}={pb}");
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(pa >= min && pb <= max);
+    }
+
+    /// The quantile bundle is internally ordered.
+    #[test]
+    fn quantile_bundle_ordered(values in finite_values()) {
+        let q = Quantiles::of(&values).unwrap();
+        prop_assert!(q.min <= q.p5);
+        prop_assert!(q.p5 <= q.median);
+        prop_assert!(q.median <= q.p95);
+        prop_assert!(q.p95 <= q.p99);
+        prop_assert!(q.p99 <= q.max);
+    }
+
+    /// Welford mean/variance agree with the two-pass formulas.
+    #[test]
+    fn summary_matches_two_pass(values in finite_values()) {
+        let s = Summary::of(&values);
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        prop_assert!((s.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+        if values.len() > 1 {
+            let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1.0);
+            prop_assert!(
+                (s.variance() - var).abs() < 1e-5 * (1.0 + var.abs()),
+                "welford {} vs naive {}",
+                s.variance(),
+                var
+            );
+        }
+    }
+
+    /// The mean always lies inside its own CI95.
+    #[test]
+    fn ci_contains_mean(values in proptest::collection::vec(-1e6f64..1e6, 2..200)) {
+        let s = Summary::of(&values);
+        let ci = s.ci95().unwrap();
+        prop_assert!(ci.lo <= s.mean() && s.mean() <= ci.hi);
+    }
+
+    /// Pearson correlation is symmetric, bounded, and exactly 1 against
+    /// a positive affine image of itself.
+    #[test]
+    fn pearson_properties(values in proptest::collection::vec(-1e3f64..1e3, 3..100),
+                          scale in 0.1f64..10.0, offset in -100.0f64..100.0) {
+        let image: Vec<f64> = values.iter().map(|v| v * scale + offset).collect();
+        if let Some(r) = pearson(&values, &image) {
+            prop_assert!((r - 1.0).abs() < 1e-6, "affine image correlation {r}");
+        }
+        if let (Some(ab), Some(ba)) = (pearson(&values, &image), pearson(&image, &values)) {
+            prop_assert!((ab - ba).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Microbenchmarks of the Table 1 computation catalogue — batch references
+//! and the online variants' per-event cost.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use gt_algorithms::online::{DegreeTracker, IncrementalWcc, StreamingTriangles};
+use gt_algorithms::pagerank::{pagerank, PageRankConfig};
+use gt_algorithms::OnlineComputation;
+use gt_core::prelude::*;
+use gt_graph::builders::BarabasiAlbert;
+use gt_graph::{CsrSnapshot, EvolvingGraph};
+use std::hint::black_box;
+
+fn ba_graph() -> (GraphStream, CsrSnapshot) {
+    let stream = BarabasiAlbert {
+        n: 2_000,
+        m0: 20,
+        m: 5,
+        seed: 11,
+    }
+    .generate();
+    let graph = EvolvingGraph::from_stream(&stream).expect("applies");
+    let csr = CsrSnapshot::from_graph(&graph);
+    (stream, csr)
+}
+
+fn bench_batch_algorithms(c: &mut Criterion) {
+    let (_, csr) = ba_graph();
+    let mut group = c.benchmark_group("batch");
+    group.bench_function("pagerank_ba2000", |b| {
+        b.iter(|| pagerank(black_box(&csr), &PageRankConfig::default()))
+    });
+    group.bench_function("wcc_ba2000", |b| {
+        b.iter(|| gt_algorithms::components::weakly_connected_components(black_box(&csr)))
+    });
+    group.bench_function("triangles_ba2000", |b| {
+        b.iter(|| gt_algorithms::triangles::triangle_count(black_box(&csr)))
+    });
+    group.bench_function("bfs_ba2000", |b| {
+        b.iter(|| gt_algorithms::traversal::bfs_distances(black_box(&csr), 0))
+    });
+    group.bench_function("coloring_ba2000", |b| {
+        b.iter(|| gt_algorithms::coloring::greedy_coloring(black_box(&csr)))
+    });
+    group.bench_function("diameter_estimate_ba2000", |b| {
+        b.iter(|| gt_algorithms::diameter::estimate_diameter(black_box(&csr), 4))
+    });
+    group.finish();
+}
+
+fn bench_online_ingestion(c: &mut Criterion) {
+    let (stream, _) = ba_graph();
+    let events: Vec<GraphEvent> = stream.graph_events().cloned().collect();
+    let mut group = c.benchmark_group("online");
+    group.throughput(Throughput::Elements(events.len() as u64));
+    group.bench_function("degree_tracker_ingest", |b| {
+        b.iter_batched(
+            DegreeTracker::new,
+            |mut tracker| {
+                for e in &events {
+                    tracker.apply_event(black_box(e));
+                }
+                tracker
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("streaming_triangles_ingest", |b| {
+        b.iter_batched(
+            StreamingTriangles::new,
+            |mut tri| {
+                for e in &events {
+                    tri.apply_event(black_box(e));
+                }
+                tri.count()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("incremental_wcc_ingest", |b| {
+        b.iter_batched(
+            IncrementalWcc::new,
+            |mut wcc| {
+                for e in &events {
+                    wcc.apply_event(black_box(e));
+                }
+                wcc.component_count()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_graph_apply(c: &mut Criterion) {
+    let (stream, _) = ba_graph();
+    let events: Vec<GraphEvent> = stream.graph_events().cloned().collect();
+    let mut group = c.benchmark_group("graph");
+    group.throughput(Throughput::Elements(events.len() as u64));
+    group.bench_function("evolving_graph_apply", |b| {
+        b.iter_batched(
+            EvolvingGraph::new,
+            |mut g| {
+                for e in &events {
+                    g.apply(black_box(e)).unwrap();
+                }
+                g
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("csr_snapshot", |b| {
+        let g = EvolvingGraph::from_stream(&stream).unwrap();
+        b.iter(|| CsrSnapshot::from_graph(black_box(&g)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_batch_algorithms,
+    bench_online_ingestion,
+    bench_graph_apply
+);
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! Benchmarks and ablations of the tide-graph engine: ingestion
+//! throughput, the push-threshold (ε) cost curve, and the queue-discipline
+//! ablation from DESIGN.md — a shared mailbox (the Chronograph pathology)
+//! vs pre-draining mutations before computation.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gt_core::prelude::*;
+use gt_metrics::MetricsHub;
+use gt_workloads::SnbWorkload;
+use tide_graph::{EngineConfig, RankParams, TideGraph};
+
+fn social_events(persons: u64, connections: u64) -> Vec<GraphEvent> {
+    SnbWorkload {
+        persons,
+        connections,
+        seed: 31,
+    }
+    .generate()
+    .graph_events()
+    .cloned()
+    .collect()
+}
+
+/// Ingests all events and waits for full quiescence.
+fn run_engine(events: &[GraphEvent], epsilon: f64) -> u64 {
+    run_engine_with(events, epsilon, 64)
+}
+
+fn run_engine_with(events: &[GraphEvent], epsilon: f64, drain_batch: usize) -> u64 {
+    let hub = MetricsHub::new();
+    let engine = Arc::new(TideGraph::start(
+        EngineConfig {
+            workers: 4,
+            rank: RankParams {
+                epsilon,
+                ..Default::default()
+            },
+            drain_batch,
+            ..Default::default()
+        },
+        &hub,
+    ));
+    for e in events {
+        engine.ingest(e.clone());
+    }
+    assert!(engine.quiesce(Duration::from_secs(120)));
+    let engine = Arc::try_unwrap(engine).ok().expect("sole owner");
+    let stats = engine.shutdown();
+    stats.shares
+}
+
+fn bench_epsilon_ablation(c: &mut Criterion) {
+    let events = social_events(200, 1_800);
+    let mut group = c.benchmark_group("engine_epsilon");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(events.len() as u64));
+    for epsilon in [1e-1, 1e-2] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{epsilon:e}")),
+            &epsilon,
+            |b, &epsilon| b.iter(|| run_engine(&events, epsilon)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_ingest_throughput(c: &mut Criterion) {
+    let events = social_events(500, 4_500);
+    let mut group = c.benchmark_group("engine_ingest");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(events.len() as u64));
+    group.bench_function("snb_5k_events_to_quiescence", |b| {
+        b.iter(|| run_engine(&events, 1e-2))
+    });
+    group.finish();
+}
+
+fn bench_drain_batch_ablation(c: &mut Criterion) {
+    // The queue-discipline ablation of DESIGN.md: per-message pushes
+    // (drain_batch = 1, the naive engine) vs coalesced pushes across a
+    // 64-message drain. Coalescing cuts share traffic at fan-in hubs.
+    let events = social_events(150, 1_350);
+    let mut group = c.benchmark_group("engine_drain_batch");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(events.len() as u64));
+    for drain in [1usize, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(drain), &drain, |b, &drain| {
+            b.iter(|| run_engine_with(&events, 1e-2, drain))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_epsilon_ablation,
+    bench_ingest_throughput,
+    bench_drain_batch_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Benchmarks of stream generation: bootstrap builders, rule-driven
+//! evolution, the Zipf sampler, and fault injection.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use gt_faults::{DropFaults, FaultInjector, ShuffleWindows};
+use gt_generator::{MixModel, StreamGenerator, ZipfSampler};
+use gt_graph::builders::BarabasiAlbert;
+use gt_workloads::SnbWorkload;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_bootstrap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bootstrap");
+    group.sample_size(10);
+    group.bench_function("barabasi_albert_10k_m50", |b| {
+        // The exact Table 3 bootstrap.
+        b.iter(|| BarabasiAlbert::table3().generate())
+    });
+    group.finish();
+}
+
+fn bench_evolution(c: &mut Criterion) {
+    let bootstrap = BarabasiAlbert {
+        n: 1_000,
+        m0: 20,
+        m: 5,
+        seed: 3,
+    }
+    .generate();
+    let mut group = c.benchmark_group("evolution");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("table3_mix_10k_rounds", |b| {
+        b.iter_batched(
+            || {
+                let mut generator = StreamGenerator::new(MixModel::table3(), 5);
+                generator.bootstrap(&bootstrap).unwrap();
+                generator
+            },
+            |mut generator| generator.evolve(10_000),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_workloads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workloads");
+    group.sample_size(10);
+    group.bench_function("snb_19k_events", |b| {
+        b.iter(|| SnbWorkload::scaled(0.1, 1).generate())
+    });
+    group.finish();
+}
+
+fn bench_zipf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("zipf");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("sample_n10000", |b| {
+        let sampler = ZipfSampler::new(1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        b.iter(|| sampler.sample(black_box(10_000), &mut rng))
+    });
+    group.finish();
+}
+
+fn bench_faults(c: &mut Criterion) {
+    let stream = SnbWorkload {
+        persons: 500,
+        connections: 9_500,
+        seed: 2,
+    }
+    .generate();
+    let mut group = c.benchmark_group("faults");
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    group.bench_function("drop_10k", |b| {
+        let injector = DropFaults { probability: 0.2 };
+        b.iter_batched(
+            || stream.clone(),
+            |s| injector.inject(s, 9),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("shuffle_10k_w64", |b| {
+        let injector = ShuffleWindows { window: 64 };
+        b.iter_batched(
+            || stream.clone(),
+            |s| injector.inject(s, 9),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_bootstrap,
+    bench_evolution,
+    bench_workloads,
+    bench_zipf,
+    bench_faults
+);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Microbenchmarks of the replayer's performance-critical pieces: line
+//! serialization, sink throughput, and the pacing ablation called out in
+//! DESIGN.md (hybrid sleep+spin vs pure sleep accuracy is covered by the
+//! fig3a harness; here we measure the *overhead* ceiling — how fast the
+//! replayer can emit when pacing is effectively off).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use gt_core::format::entry_to_line;
+use gt_core::prelude::*;
+use gt_replayer::{CollectSink, EventSink, Replayer, ReplayerConfig, WriterSink};
+use gt_workloads::SnbWorkload;
+use std::hint::black_box;
+
+fn sample_stream() -> GraphStream {
+    SnbWorkload {
+        persons: 500,
+        connections: 9_500,
+        seed: 1,
+    }
+    .generate()
+}
+
+fn bench_serialization(c: &mut Criterion) {
+    let stream = sample_stream();
+    let mut group = c.benchmark_group("format");
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    group.bench_function("serialize_10k_events", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for entry in stream.entries() {
+                total += entry_to_line(black_box(entry)).len();
+            }
+            total
+        })
+    });
+    group.bench_function("parse_10k_events", |b| {
+        let text = stream.to_csv_string();
+        b.iter(|| GraphStream::parse_csv(black_box(&text)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_unpaced_emission(c: &mut Criterion) {
+    let stream = sample_stream();
+    let mut group = c.benchmark_group("replayer");
+    group.throughput(Throughput::Elements(stream.stats().graph_events as u64));
+    group.bench_function("writer_sink_max_rate", |b| {
+        let replayer = Replayer::new(ReplayerConfig {
+            target_rate: 1e9, // pacing effectively disabled
+            honor_pauses: false,
+            ..Default::default()
+        });
+        b.iter_batched(
+            || stream.clone(),
+            |s| {
+                let mut sink = WriterSink::new(std::io::sink());
+                replayer.replay_stream(&s, &mut sink).unwrap()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("collect_sink_max_rate", |b| {
+        let replayer = Replayer::new(ReplayerConfig {
+            target_rate: 1e9,
+            honor_pauses: false,
+            ..Default::default()
+        });
+        b.iter_batched(
+            || stream.clone(),
+            |s| {
+                let mut sink = CollectSink::new();
+                replayer.replay_stream(&s, &mut sink).unwrap()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_sink_send(c: &mut Criterion) {
+    let entry = StreamEntry::graph(GraphEvent::AddEdge {
+        id: EdgeId::from((123, 456)),
+        state: State::new("w=1.5"),
+    });
+    let mut group = c.benchmark_group("sink");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("writer_sink_send", |b| {
+        let mut sink = WriterSink::new(std::io::sink());
+        b.iter(|| sink.send(black_box(&entry)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_serialization,
+    bench_unpaced_emission,
+    bench_sink_send
+);
+criterion_main!(benches);

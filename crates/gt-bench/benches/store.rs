@@ -1,0 +1,71 @@
+//! Ablation benchmarks of the tide-store design choices (DESIGN.md §5):
+//! the timestamper cost model (per-transaction vs per-event) and the
+//! batching factor — the mechanism behind Figure 3b's ceiling shift.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gt_core::prelude::*;
+use gt_metrics::MetricsHub;
+use tide_store::{StoreConfig, TideStore, Transaction};
+
+fn vertex_events(n: u64) -> Vec<GraphEvent> {
+    (0..n)
+        .map(|i| GraphEvent::AddVertex {
+            id: VertexId(i),
+            state: State::empty(),
+        })
+        .collect()
+}
+
+/// Commits 2,000 events through a fresh store with the given batch size
+/// and a small (10 µs) timestamper cost; returns after full drain.
+fn commit_all(batch: usize, ts_cost: Duration) {
+    let hub = MetricsHub::new();
+    let store = TideStore::start(
+        StoreConfig {
+            shards: 2,
+            timestamper_cost_per_tx: ts_cost,
+            shard_cost_per_event: Duration::ZERO,
+            queue_capacity: 128,
+        },
+        &hub,
+    );
+    let client = store.client();
+    for chunk in vertex_events(2_000).chunks(batch) {
+        client
+            .submit(Transaction {
+                events: chunk.to_vec(),
+            })
+            .expect("store alive");
+    }
+    let stats = store.shutdown();
+    assert_eq!(stats.events, 2_000);
+}
+
+fn bench_batching_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_batching");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(2_000));
+    for batch in [1usize, 5, 10, 50] {
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, &batch| {
+            b.iter(|| commit_all(batch, Duration::from_micros(10)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_zero_cost_pipeline(c: &mut Criterion) {
+    // The pure pipeline overhead: channel hops + shard routing + logging,
+    // with simulated component costs off.
+    let mut group = c.benchmark_group("store_pipeline");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(2_000));
+    group.bench_function("overhead_batch10", |b| {
+        b.iter(|| commit_all(10, Duration::ZERO));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_batching_ablation, bench_zero_cost_pipeline);
+criterion_main!(benches);

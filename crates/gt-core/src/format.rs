@@ -1,0 +1,294 @@
+//! The plain-text graph stream format.
+//!
+//! One entry per line: `COMMAND, ENTITY_ID, PAYLOAD` (paper §4.2).
+//!
+//! * The **command** selects the entry type. Graph-changing events use the
+//!   six tokens `ADD_VERTEX`, `REMOVE_VERTEX`, `UPDATE_VERTEX`, `ADD_EDGE`,
+//!   `REMOVE_EDGE`, `UPDATE_EDGE`; markers use `MARKER`; control events use
+//!   `SPEED` and `PAUSE`.
+//! * The **entity id** is a numeric vertex id, or `src-dst` for edges. For
+//!   markers it carries the marker name; control events leave it empty.
+//! * The **payload** is the raw remainder of the line: the user-defined
+//!   state string for graph events, the speed factor for `SPEED`, and the
+//!   pause duration in milliseconds for `PAUSE`. Because the payload is the
+//!   *remainder*, it may itself contain commas — no quoting is required,
+//!   which keeps the format trivially streamable (stringified JSON payloads
+//!   pass through unchanged).
+//!
+//! Blank lines and lines starting with `#` are ignored, so streams can be
+//! annotated in place.
+
+use std::time::Duration;
+
+use crate::error::ParseError;
+use crate::event::{ControlEvent, EventKind, GraphEvent, StreamEntry};
+use crate::state::State;
+
+/// Command token for marker entries.
+pub const MARKER_COMMAND: &str = "MARKER";
+/// Command token for speed-change control entries.
+pub const SPEED_COMMAND: &str = "SPEED";
+/// Command token for pause control entries.
+pub const PAUSE_COMMAND: &str = "PAUSE";
+
+/// Serializes one stream entry as a line (without trailing newline).
+pub fn write_line(entry: &StreamEntry, out: &mut String) {
+    match entry {
+        StreamEntry::Graph(event) => write_graph_event(event, out),
+        StreamEntry::Marker(name) => {
+            out.push_str(MARKER_COMMAND);
+            out.push(',');
+            out.push_str(name);
+            out.push(',');
+        }
+        StreamEntry::Control(ControlEvent::SetSpeed(factor)) => {
+            out.push_str(SPEED_COMMAND);
+            out.push_str(",,");
+            out.push_str(&format!("{factor}"));
+        }
+        StreamEntry::Control(ControlEvent::Pause(duration)) => {
+            out.push_str(PAUSE_COMMAND);
+            out.push_str(",,");
+            out.push_str(&format!("{}", duration.as_millis()));
+        }
+    }
+}
+
+fn write_graph_event(event: &GraphEvent, out: &mut String) {
+    out.push_str(event.kind().command());
+    out.push(',');
+    match event {
+        GraphEvent::AddVertex { id, state } | GraphEvent::UpdateVertex { id, state } => {
+            out.push_str(&id.to_string());
+            out.push(',');
+            out.push_str(state.as_str());
+        }
+        GraphEvent::RemoveVertex { id } => {
+            out.push_str(&id.to_string());
+            out.push(',');
+        }
+        GraphEvent::AddEdge { id, state } | GraphEvent::UpdateEdge { id, state } => {
+            out.push_str(&id.to_string());
+            out.push(',');
+            out.push_str(state.as_str());
+        }
+        GraphEvent::RemoveEdge { id } => {
+            out.push_str(&id.to_string());
+            out.push(',');
+        }
+    }
+}
+
+/// Serializes one stream entry to an owned line.
+pub fn entry_to_line(entry: &StreamEntry) -> String {
+    let mut s = String::with_capacity(32);
+    write_line(entry, &mut s);
+    s
+}
+
+/// Parses one line of the stream format.
+///
+/// Returns `Ok(None)` for blank lines and `#` comments.
+pub fn parse_line(line: &str) -> Result<Option<StreamEntry>, ParseError> {
+    let trimmed = line.trim_start();
+    if trimmed.is_empty() || trimmed.starts_with('#') {
+        return Ok(None);
+    }
+
+    let (command, rest) = trimmed
+        .split_once(',')
+        .ok_or_else(|| ParseError::missing_field("entity"))?;
+    let command = command.trim();
+    // The payload is the raw remainder after the second comma; it may itself
+    // contain commas (e.g. stringified JSON).
+    let (entity, payload) = match rest.split_once(',') {
+        Some((e, p)) => (e.trim(), p),
+        None => (rest.trim(), ""),
+    };
+
+    match command {
+        MARKER_COMMAND => {
+            if entity.is_empty() {
+                return Err(ParseError::missing_field("marker name"));
+            }
+            Ok(Some(StreamEntry::Marker(entity.to_owned())))
+        }
+        SPEED_COMMAND => {
+            let factor: f64 = payload
+                .trim()
+                .parse()
+                .map_err(|_| ParseError::invalid_payload(format!("speed factor `{payload}`")))?;
+            if !factor.is_finite() || factor <= 0.0 {
+                return Err(ParseError::invalid_payload(format!(
+                    "speed factor must be positive and finite, got `{payload}`"
+                )));
+            }
+            Ok(Some(StreamEntry::Control(ControlEvent::SetSpeed(factor))))
+        }
+        PAUSE_COMMAND => {
+            let millis: u64 = payload
+                .trim()
+                .parse()
+                .map_err(|_| ParseError::invalid_payload(format!("pause millis `{payload}`")))?;
+            Ok(Some(StreamEntry::Control(ControlEvent::Pause(
+                Duration::from_millis(millis),
+            ))))
+        }
+        _ => parse_graph_command(command, entity, payload).map(Some),
+    }
+}
+
+fn parse_graph_command(
+    command: &str,
+    entity: &str,
+    payload: &str,
+) -> Result<StreamEntry, ParseError> {
+    let kind = EventKind::ALL
+        .into_iter()
+        .find(|k| k.command() == command)
+        .ok_or_else(|| ParseError::unknown_command(command))?;
+    if entity.is_empty() {
+        return Err(ParseError::missing_field("entity"));
+    }
+    let state = State::new(payload);
+    let event = match kind {
+        EventKind::AddVertex => GraphEvent::AddVertex {
+            id: entity.parse()?,
+            state,
+        },
+        EventKind::RemoveVertex => GraphEvent::RemoveVertex {
+            id: entity.parse()?,
+        },
+        EventKind::UpdateVertex => GraphEvent::UpdateVertex {
+            id: entity.parse()?,
+            state,
+        },
+        EventKind::AddEdge => GraphEvent::AddEdge {
+            id: entity.parse()?,
+            state,
+        },
+        EventKind::RemoveEdge => GraphEvent::RemoveEdge {
+            id: entity.parse()?,
+        },
+        EventKind::UpdateEdge => GraphEvent::UpdateEdge {
+            id: entity.parse()?,
+            state,
+        },
+    };
+    Ok(StreamEntry::Graph(event))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{EdgeId, VertexId};
+
+    fn roundtrip(entry: StreamEntry) {
+        let line = entry_to_line(&entry);
+        let parsed = parse_line(&line).unwrap().unwrap();
+        assert_eq!(parsed, entry, "line was `{line}`");
+    }
+
+    #[test]
+    fn graph_event_roundtrips() {
+        roundtrip(StreamEntry::graph(GraphEvent::AddVertex {
+            id: VertexId(1),
+            state: State::new("hello"),
+        }));
+        roundtrip(StreamEntry::graph(GraphEvent::RemoveVertex {
+            id: VertexId(9),
+        }));
+        roundtrip(StreamEntry::graph(GraphEvent::UpdateVertex {
+            id: VertexId(2),
+            state: State::weight(3.5),
+        }));
+        roundtrip(StreamEntry::graph(GraphEvent::AddEdge {
+            id: EdgeId::from((1, 2)),
+            state: State::empty(),
+        }));
+        roundtrip(StreamEntry::graph(GraphEvent::RemoveEdge {
+            id: EdgeId::from((4, 5)),
+        }));
+        roundtrip(StreamEntry::graph(GraphEvent::UpdateEdge {
+            id: EdgeId::from((7, 8)),
+            state: State::new("x=1;y=2"),
+        }));
+    }
+
+    #[test]
+    fn marker_and_control_roundtrips() {
+        roundtrip(StreamEntry::marker("phase-2"));
+        roundtrip(StreamEntry::speed(2.5));
+        roundtrip(StreamEntry::pause(Duration::from_millis(20_000)));
+    }
+
+    #[test]
+    fn payload_may_contain_commas() {
+        let entry = StreamEntry::graph(GraphEvent::UpdateVertex {
+            id: VertexId(3),
+            state: State::new(r#"{"name":"ada","rank":0.3}"#),
+        });
+        roundtrip(entry);
+    }
+
+    #[test]
+    fn exact_line_shapes() {
+        assert_eq!(
+            entry_to_line(&StreamEntry::graph(GraphEvent::AddEdge {
+                id: EdgeId::from((1, 2)),
+                state: State::new("w"),
+            })),
+            "ADD_EDGE,1-2,w"
+        );
+        assert_eq!(entry_to_line(&StreamEntry::marker("m1")), "MARKER,m1,");
+        assert_eq!(entry_to_line(&StreamEntry::speed(1.0)), "SPEED,,1");
+        assert_eq!(
+            entry_to_line(&StreamEntry::pause(Duration::from_secs(20))),
+            "PAUSE,,20000"
+        );
+    }
+
+    #[test]
+    fn blank_and_comment_lines_are_skipped() {
+        assert_eq!(parse_line("").unwrap(), None);
+        assert_eq!(parse_line("   ").unwrap(), None);
+        assert_eq!(parse_line("# comment, with, commas").unwrap(), None);
+    }
+
+    #[test]
+    fn whitespace_tolerant_parsing() {
+        let e = parse_line("ADD_VERTEX , 5 ,hi").unwrap().unwrap();
+        assert_eq!(
+            e,
+            StreamEntry::graph(GraphEvent::AddVertex {
+                id: VertexId(5),
+                state: State::new("hi"),
+            })
+        );
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse_line("FROBNICATE,1,").is_err());
+        assert!(parse_line("ADD_VERTEX").is_err());
+        assert!(parse_line("ADD_VERTEX,,").is_err());
+        assert!(parse_line("ADD_EDGE,1,").is_err());
+        assert!(parse_line("SPEED,,fast").is_err());
+        assert!(parse_line("SPEED,,0").is_err());
+        assert!(parse_line("SPEED,,-1").is_err());
+        assert!(parse_line("PAUSE,,1.5").is_err());
+        assert!(parse_line("MARKER,,").is_err());
+    }
+
+    #[test]
+    fn state_preserves_leading_whitespace_after_payload_comma() {
+        // Payload is raw: everything after the second comma, untrimmed.
+        let e = parse_line("UPDATE_VERTEX,1,  spaced  ").unwrap().unwrap();
+        match e {
+            StreamEntry::Graph(GraphEvent::UpdateVertex { state, .. }) => {
+                assert_eq!(state.as_str(), "  spaced  ");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

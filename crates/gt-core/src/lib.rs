@@ -1,0 +1,57 @@
+#![warn(missing_docs)]
+
+//! # gt-core
+//!
+//! Core types for the GraphTides evaluation framework: the graph event
+//! model, entity identifiers, the plain-text graph stream format, and the
+//! errors shared by all other crates.
+//!
+//! GraphTides models a dynamic graph as an ordered stream of events. Each
+//! event describes one of six localized operations (add/remove vertex/edge,
+//! update vertex/edge state). A stream additionally carries *marker* events
+//! that flag points in the stream for later temporal correlation, and
+//! *control* events that steer the replayer (speed changes and pauses).
+//!
+//! The on-disk representation is a comma-separated value file with one event
+//! per line: `COMMAND, ENTITY_ID, PAYLOAD` (see [`format`]).
+//!
+//! ```
+//! use gt_core::prelude::*;
+//!
+//! let events = vec![
+//!     StreamEntry::graph(GraphEvent::AddVertex { id: VertexId(1), state: State::empty() }),
+//!     StreamEntry::graph(GraphEvent::AddVertex { id: VertexId(2), state: State::empty() }),
+//!     StreamEntry::graph(GraphEvent::AddEdge {
+//!         id: EdgeId::new(VertexId(1), VertexId(2)),
+//!         state: State::empty(),
+//!     }),
+//!     StreamEntry::marker("bootstrap-done"),
+//! ];
+//! let stream = GraphStream::from_entries(events);
+//! let text = stream.to_csv_string();
+//! let parsed = GraphStream::parse_csv(&text).unwrap();
+//! assert_eq!(stream, parsed);
+//! ```
+
+pub mod error;
+pub mod event;
+pub mod format;
+pub mod ids;
+pub mod state;
+pub mod stream;
+
+pub use error::{CoreError, ParseError};
+pub use event::{ControlEvent, EventKind, GraphEvent, StreamEntry};
+pub use format::{parse_line, write_line};
+pub use ids::{EdgeId, VertexId};
+pub use state::State;
+pub use stream::{GraphStream, StreamReader, StreamStats, StreamWriter};
+
+/// Convenient glob import for downstream crates.
+pub mod prelude {
+    pub use crate::error::{CoreError, ParseError};
+    pub use crate::event::{ControlEvent, EventKind, GraphEvent, StreamEntry};
+    pub use crate::ids::{EdgeId, VertexId};
+    pub use crate::state::State;
+    pub use crate::stream::{GraphStream, StreamReader, StreamStats, StreamWriter};
+}

@@ -1,0 +1,137 @@
+//! Vertex and edge state payloads.
+//!
+//! GraphTides treats states as user-defined strings (the paper suggests
+//! stringified JSON). [`State`] wraps that string and adds a few typed
+//! helpers that the built-in workloads use (numeric weights, key/value
+//! pairs) without imposing a schema on user payloads.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// An opaque, user-defined state payload attached to a vertex or edge.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct State(pub String);
+
+impl State {
+    /// The empty state.
+    pub fn empty() -> Self {
+        State(String::new())
+    }
+
+    /// Creates a state from any displayable value.
+    pub fn new(s: impl Into<String>) -> Self {
+        State(s.into())
+    }
+
+    /// Creates a state holding a numeric weight (e.g. an edge weight).
+    pub fn weight(w: f64) -> Self {
+        State(format_weight(w))
+    }
+
+    /// Whether the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Borrow the raw payload.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Parses the payload as an `f64` weight, if it is one.
+    pub fn as_weight(&self) -> Option<f64> {
+        self.0.trim().parse().ok()
+    }
+
+    /// Interprets the payload as `key=value;key=value` pairs and returns the
+    /// value for `key`, if present. This is the convention the built-in
+    /// workloads use for structured payloads.
+    pub fn get_field<'a>(&'a self, key: &str) -> Option<&'a str> {
+        self.0.split(';').find_map(|pair| {
+            let (k, v) = pair.split_once('=')?;
+            (k == key).then_some(v)
+        })
+    }
+
+    /// Builds a `key=value;...` state from pairs.
+    pub fn from_fields<'a>(fields: impl IntoIterator<Item = (&'a str, String)>) -> Self {
+        let mut out = String::new();
+        for (i, (k, v)) in fields.into_iter().enumerate() {
+            if i > 0 {
+                out.push(';');
+            }
+            out.push_str(k);
+            out.push('=');
+            out.push_str(&v);
+        }
+        State(out)
+    }
+}
+
+/// Formats a weight without trailing zeros noise (`1` instead of `1.0` only
+/// when exact), keeping round-trip precision via `f64`'s shortest repr.
+fn format_weight(w: f64) -> String {
+    let mut s = format!("{w}");
+    if s == "-0" {
+        s = "0".to_owned();
+    }
+    s
+}
+
+impl fmt::Display for State {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for State {
+    fn from(s: &str) -> Self {
+        State(s.to_owned())
+    }
+}
+
+impl From<String> for State {
+    fn from(s: String) -> Self {
+        State(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_state() {
+        assert!(State::empty().is_empty());
+        assert_eq!(State::empty().as_str(), "");
+    }
+
+    #[test]
+    fn weight_roundtrip() {
+        for w in [0.0, 1.0, -2.5, 0.1, 1e10, f64::MIN_POSITIVE] {
+            assert_eq!(State::weight(w).as_weight(), Some(w), "weight {w}");
+        }
+    }
+
+    #[test]
+    fn weight_of_non_numeric_is_none() {
+        assert_eq!(State::new("hello").as_weight(), None);
+        assert_eq!(State::empty().as_weight(), None);
+    }
+
+    #[test]
+    fn field_access() {
+        let s = State::from_fields([("name", "ada".to_owned()), ("rank", "3".to_owned())]);
+        assert_eq!(s.as_str(), "name=ada;rank=3");
+        assert_eq!(s.get_field("name"), Some("ada"));
+        assert_eq!(s.get_field("rank"), Some("3"));
+        assert_eq!(s.get_field("missing"), None);
+    }
+
+    #[test]
+    fn negative_zero_weight_normalized() {
+        assert_eq!(State::weight(-0.0).as_str(), "0");
+    }
+}

@@ -1,0 +1,97 @@
+//! Property-based tests for the graph stream format: any entry the model can
+//! express must survive a serialize → parse round-trip, and whole streams
+//! must round-trip through CSV text.
+
+use std::time::Duration;
+
+use gt_core::prelude::*;
+use proptest::prelude::*;
+
+/// Payload strings: anything printable without newlines or CR (the format is
+/// line-based; the payload is the raw remainder of the line, so commas are
+/// allowed). Leading whitespace is preserved by the parser, so it is fair
+/// game too.
+fn payload_strategy() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[ -~]{0,40}").expect("valid regex")
+}
+
+fn vertex_strategy() -> impl Strategy<Value = VertexId> {
+    any::<u64>().prop_map(VertexId)
+}
+
+fn edge_strategy() -> impl Strategy<Value = EdgeId> {
+    (any::<u64>(), any::<u64>()).prop_map(EdgeId::from)
+}
+
+fn graph_event_strategy() -> impl Strategy<Value = GraphEvent> {
+    prop_oneof![
+        (vertex_strategy(), payload_strategy()).prop_map(|(id, s)| GraphEvent::AddVertex {
+            id,
+            state: State::new(s)
+        }),
+        vertex_strategy().prop_map(|id| GraphEvent::RemoveVertex { id }),
+        (vertex_strategy(), payload_strategy()).prop_map(|(id, s)| GraphEvent::UpdateVertex {
+            id,
+            state: State::new(s)
+        }),
+        (edge_strategy(), payload_strategy()).prop_map(|(id, s)| GraphEvent::AddEdge {
+            id,
+            state: State::new(s)
+        }),
+        edge_strategy().prop_map(|id| GraphEvent::RemoveEdge { id }),
+        (edge_strategy(), payload_strategy()).prop_map(|(id, s)| GraphEvent::UpdateEdge {
+            id,
+            state: State::new(s)
+        }),
+    ]
+}
+
+/// Marker names must be non-empty and free of commas/newlines (they live in
+/// the entity field).
+fn marker_strategy() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-zA-Z0-9_.:-]{1,24}").expect("valid regex")
+}
+
+fn entry_strategy() -> impl Strategy<Value = StreamEntry> {
+    prop_oneof![
+        5 => graph_event_strategy().prop_map(StreamEntry::Graph),
+        1 => marker_strategy().prop_map(StreamEntry::Marker),
+        1 => (1u32..10_000).prop_map(|f| StreamEntry::speed(f64::from(f) / 100.0)),
+        1 => (0u64..1_000_000).prop_map(|ms| StreamEntry::pause(Duration::from_millis(ms))),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn entry_roundtrips(entry in entry_strategy()) {
+        let line = gt_core::format::entry_to_line(&entry);
+        let parsed = gt_core::parse_line(&line).unwrap().unwrap();
+        prop_assert_eq!(parsed, entry);
+    }
+
+    #[test]
+    fn stream_roundtrips(entries in proptest::collection::vec(entry_strategy(), 0..50)) {
+        let stream = GraphStream::from_entries(entries);
+        let text = stream.to_csv_string();
+        let parsed = GraphStream::parse_csv(&text).unwrap();
+        prop_assert_eq!(parsed, stream);
+    }
+
+    #[test]
+    fn stats_totals_match(entries in proptest::collection::vec(entry_strategy(), 0..80)) {
+        let stream = GraphStream::from_entries(entries);
+        let stats = stream.stats();
+        prop_assert_eq!(
+            stats.graph_events + stats.markers + stats.controls,
+            stream.len()
+        );
+        let by_kind_total: usize = stats.by_kind.values().sum();
+        prop_assert_eq!(by_kind_total, stats.graph_events);
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(line in "[ -~]{0,80}") {
+        // Any single printable line either parses or errors; it never panics.
+        let _ = gt_core::parse_line(&line);
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests of the fault injectors' multiset invariants:
+//! drops produce a sub-multiset, duplicates a super-multiset, shuffles an
+//! identical multiset — and markers/control events are never touched.
+
+use gt_core::prelude::*;
+use gt_faults::{
+    DelayFaults, DropFaults, DuplicateFaults, FaultInjector, FaultPipeline, ShuffleWindows,
+};
+use proptest::prelude::*;
+
+fn entry_strategy() -> impl Strategy<Value = StreamEntry> {
+    prop_oneof![
+        8 => (0u64..50, "[a-z]{0,4}").prop_map(|(id, s)| StreamEntry::graph(
+            GraphEvent::AddVertex { id: VertexId(id), state: State::new(s) }
+        )),
+        4 => ((0u64..50), (0u64..50)).prop_map(|(s, d)| StreamEntry::graph(
+            GraphEvent::AddEdge { id: EdgeId::from((s, d)), state: State::empty() }
+        )),
+        1 => "[a-z]{1,6}".prop_map(StreamEntry::Marker),
+        1 => (1u32..400).prop_map(|f| StreamEntry::speed(f64::from(f) / 100.0)),
+    ]
+}
+
+fn sorted_graph_events(stream: &GraphStream) -> Vec<String> {
+    let mut v: Vec<String> = stream.graph_events().map(|e| format!("{e:?}")).collect();
+    v.sort();
+    v
+}
+
+fn non_graph_entries(stream: &GraphStream) -> Vec<StreamEntry> {
+    stream
+        .entries()
+        .iter()
+        .filter(|e| !e.is_graph())
+        .cloned()
+        .collect()
+}
+
+fn is_sub_multiset(sub: &[String], sup: &[String]) -> bool {
+    // Both sorted.
+    let mut i = 0;
+    for x in sub {
+        while i < sup.len() && &sup[i] < x {
+            i += 1;
+        }
+        if i >= sup.len() || &sup[i] != x {
+            return false;
+        }
+        i += 1;
+    }
+    true
+}
+
+proptest! {
+    #[test]
+    fn drop_yields_sub_multiset(
+        entries in proptest::collection::vec(entry_strategy(), 0..120),
+        p in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let stream = GraphStream::from_entries(entries);
+        let out = DropFaults { probability: p }.inject(stream.clone(), seed);
+        prop_assert!(is_sub_multiset(
+            &sorted_graph_events(&out),
+            &sorted_graph_events(&stream)
+        ));
+        prop_assert_eq!(non_graph_entries(&out), non_graph_entries(&stream));
+    }
+
+    #[test]
+    fn duplicate_yields_super_multiset(
+        entries in proptest::collection::vec(entry_strategy(), 0..120),
+        p in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let stream = GraphStream::from_entries(entries);
+        let out = DuplicateFaults { probability: p }.inject(stream.clone(), seed);
+        prop_assert!(is_sub_multiset(
+            &sorted_graph_events(&stream),
+            &sorted_graph_events(&out)
+        ));
+        prop_assert_eq!(non_graph_entries(&out), non_graph_entries(&stream));
+    }
+
+    #[test]
+    fn shuffle_preserves_multiset(
+        entries in proptest::collection::vec(entry_strategy(), 0..120),
+        window in 1usize..20,
+        seed in any::<u64>(),
+    ) {
+        let stream = GraphStream::from_entries(entries);
+        let out = ShuffleWindows { window }.inject(stream.clone(), seed);
+        prop_assert_eq!(out.len(), stream.len());
+        prop_assert_eq!(sorted_graph_events(&out), sorted_graph_events(&stream));
+        prop_assert_eq!(non_graph_entries(&out), non_graph_entries(&stream));
+    }
+
+    #[test]
+    fn delay_preserves_multiset(
+        entries in proptest::collection::vec(entry_strategy(), 0..120),
+        p in 0.0f64..1.0,
+        max in 1usize..10,
+        seed in any::<u64>(),
+    ) {
+        let stream = GraphStream::from_entries(entries);
+        let out = DelayFaults { probability: p, max_displacement: max }
+            .inject(stream.clone(), seed);
+        prop_assert_eq!(out.len(), stream.len());
+        prop_assert_eq!(sorted_graph_events(&out), sorted_graph_events(&stream));
+    }
+
+    #[test]
+    fn pipeline_is_deterministic(
+        entries in proptest::collection::vec(entry_strategy(), 0..80),
+        seed in any::<u64>(),
+    ) {
+        let stream = GraphStream::from_entries(entries);
+        let make = || FaultPipeline::new()
+            .then(DuplicateFaults { probability: 0.2 })
+            .then(ShuffleWindows { window: 4 })
+            .then(DropFaults { probability: 0.2 });
+        prop_assert_eq!(
+            make().inject(stream.clone(), seed),
+            make().inject(stream, seed)
+        );
+    }
+}

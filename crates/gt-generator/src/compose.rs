@@ -1,0 +1,166 @@
+//! Stream composition.
+//!
+//! The paper's stream files are "typically split into two parts, divided by
+//! a marker and a pause event. The first phase bootstraps the initial graph
+//! and warms up the system under test, while the second represents the main
+//! evaluation phase" (§4.1). [`StreamComposer`] assembles such files from
+//! segments, markers, and control events.
+
+use std::time::Duration;
+
+use gt_core::prelude::*;
+
+/// A fluent builder for complete graph stream files.
+#[derive(Debug, Clone, Default)]
+pub struct StreamComposer {
+    out: GraphStream,
+}
+
+impl StreamComposer {
+    /// Starts an empty composition.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends all entries of a segment.
+    #[must_use]
+    pub fn segment(mut self, segment: GraphStream) -> Self {
+        self.out.extend(segment);
+        self
+    }
+
+    /// Appends a named marker.
+    #[must_use]
+    pub fn marker(mut self, name: impl Into<String>) -> Self {
+        self.out.push(StreamEntry::marker(name));
+        self
+    }
+
+    /// Appends a pause control event.
+    #[must_use]
+    pub fn pause(mut self, duration: Duration) -> Self {
+        self.out.push(StreamEntry::pause(duration));
+        self
+    }
+
+    /// Appends a speed-factor control event.
+    #[must_use]
+    pub fn speed(mut self, factor: f64) -> Self {
+        self.out.push(StreamEntry::speed(factor));
+        self
+    }
+
+    /// Appends a segment with a marker every `every` graph events, named
+    /// `{prefix}-{counter}`. Useful for watermark-style latency probes
+    /// (§4.5).
+    #[must_use]
+    pub fn segment_with_markers(
+        mut self,
+        segment: GraphStream,
+        every: usize,
+        prefix: &str,
+    ) -> Self {
+        assert!(every > 0, "marker interval must be positive");
+        let mut seen = 0usize;
+        let mut counter = 0usize;
+        for entry in segment {
+            let is_graph = entry.is_graph();
+            self.out.push(entry);
+            if is_graph {
+                seen += 1;
+                if seen % every == 0 {
+                    self.out.push(StreamEntry::marker(format!("{prefix}-{counter}")));
+                    counter += 1;
+                }
+            }
+        }
+        self
+    }
+
+    /// Finishes the composition.
+    pub fn build(self) -> GraphStream {
+        self.out
+    }
+
+    /// The canonical two-phase layout: bootstrap segment, then a
+    /// `bootstrap-done` marker and a pause, then the evaluation segment and
+    /// a final `stream-end` marker.
+    pub fn two_phase(
+        bootstrap: GraphStream,
+        warmup_pause: Duration,
+        evaluation: GraphStream,
+    ) -> GraphStream {
+        StreamComposer::new()
+            .segment(bootstrap)
+            .marker("bootstrap-done")
+            .pause(warmup_pause)
+            .segment(evaluation)
+            .marker("stream-end")
+            .build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vertices(range: std::ops::Range<u64>) -> GraphStream {
+        range
+            .map(|id| {
+                StreamEntry::graph(GraphEvent::AddVertex {
+                    id: VertexId(id),
+                    state: State::empty(),
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn two_phase_layout() {
+        let stream =
+            StreamComposer::two_phase(vertices(0..3), Duration::from_secs(1), vertices(3..5));
+        let entries = stream.entries();
+        assert_eq!(entries.len(), 3 + 1 + 1 + 2 + 1);
+        assert_eq!(entries[3], StreamEntry::marker("bootstrap-done"));
+        assert_eq!(entries[4], StreamEntry::pause(Duration::from_secs(1)));
+        assert_eq!(entries[7], StreamEntry::marker("stream-end"));
+    }
+
+    #[test]
+    fn markers_every_n_events() {
+        let stream = StreamComposer::new()
+            .segment_with_markers(vertices(0..10), 3, "wm")
+            .build();
+        let markers: Vec<_> = stream
+            .entries()
+            .iter()
+            .filter_map(|e| match e {
+                StreamEntry::Marker(name) => Some(name.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(markers, ["wm-0", "wm-1", "wm-2"]);
+        // Marker follows every third graph event.
+        assert!(stream.entries()[3].is_marker());
+        assert!(stream.entries()[7].is_marker());
+    }
+
+    #[test]
+    fn speed_and_pause_controls() {
+        let stream = StreamComposer::new()
+            .segment(vertices(0..2))
+            .speed(2.0)
+            .segment(vertices(2..4))
+            .speed(1.0)
+            .pause(Duration::from_millis(50))
+            .build();
+        assert_eq!(stream.stats().controls, 3);
+        assert_eq!(stream.stats().graph_events, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "marker interval")]
+    fn zero_marker_interval_panics() {
+        let _ = StreamComposer::new().segment_with_markers(GraphStream::new(), 0, "x");
+    }
+}

@@ -1,0 +1,221 @@
+//! A forest-fire evolution model (Leskovec, Kleinberg & Faloutsos — the
+//! "Graphs over Time" reference the paper cites for temporal graph
+//! properties, §3.2).
+//!
+//! Each round adds one vertex that links to an *ambassador* and then
+//! recursively "burns" through the ambassador's neighborhood, linking to
+//! burned vertices. Forest-fire graphs exhibit the two hallmark temporal
+//! properties the paper names: densification (edges grow superlinearly in
+//! vertices) and shrinking/stabilizing effective diameter — which makes
+//! the model the canonical stress test for trend analyses on evolving
+//! graphs.
+
+use gt_core::prelude::*;
+use rand::RngExt;
+
+use crate::context::GenContext;
+use crate::model::EvolutionModel;
+
+/// Forest-fire parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForestFireModel {
+    /// Forward burning probability `p`: the chance to keep burning each
+    /// forward neighbor (geometric fan-out `p / (1 - p)`).
+    pub forward_p: f64,
+    /// Backward burning ratio: probability applied to in-neighbors.
+    pub backward_p: f64,
+    /// Upper bound on vertices burned per arrival (keeps rounds bounded
+    /// on dense cores).
+    pub burn_cap: usize,
+    /// Pending edges produced by the last burn, drained round by round.
+    pending_edges: Vec<EdgeId>,
+    /// The vertex currently being wired, if a burn is in progress.
+    current: Option<VertexId>,
+}
+
+impl ForestFireModel {
+    /// A model with the given burning probabilities.
+    ///
+    /// # Panics
+    /// If probabilities are outside `[0, 1)`.
+    pub fn new(forward_p: f64, backward_p: f64) -> Self {
+        assert!((0.0..1.0).contains(&forward_p), "forward_p in [0,1)");
+        assert!((0.0..1.0).contains(&backward_p), "backward_p in [0,1)");
+        ForestFireModel {
+            forward_p,
+            backward_p,
+            burn_cap: 64,
+            pending_edges: Vec::new(),
+            current: None,
+        }
+    }
+
+    /// The parameterization of the original paper's densifying regime.
+    pub fn densifying() -> Self {
+        ForestFireModel::new(0.37, 0.32)
+    }
+
+    /// Runs the burn from an ambassador, collecting edges to create.
+    fn burn(&mut self, newcomer: VertexId, ctx: &mut GenContext) {
+        let Some(ambassador) = (ctx.vertex_count() > 0).then(|| ctx.uniform_vertex()) else {
+            return;
+        };
+        let mut burned = vec![ambassador];
+        let mut frontier = vec![ambassador];
+        while let Some(v) = frontier.pop() {
+            if burned.len() >= self.burn_cap {
+                break;
+            }
+            // Original model: burn a geometric *number* of links per
+            // frontier vertex (mean p / (1 - p)), chosen uniformly — not
+            // every link independently, which would explode on hubs.
+            let forward: Vec<VertexId> = ctx.graph.out_neighbors(v).collect();
+            let backward: Vec<VertexId> = ctx.graph.in_neighbors(v).collect();
+            for (neighbors, p) in [(forward, self.forward_p), (backward, self.backward_p)] {
+                if neighbors.is_empty() {
+                    continue;
+                }
+                let count = geometric(&mut ctx.rng, p).min(neighbors.len());
+                for _ in 0..count {
+                    if burned.len() >= self.burn_cap {
+                        break;
+                    }
+                    let w = neighbors[ctx.rng.random_range(0..neighbors.len())];
+                    if !burned.contains(&w) {
+                        burned.push(w);
+                        frontier.push(w);
+                    }
+                }
+            }
+        }
+        self.pending_edges = burned
+            .into_iter()
+            .map(|target| EdgeId::new(newcomer, target))
+            .collect();
+        // Emit in deterministic order (drain from the back).
+        self.pending_edges.reverse();
+    }
+}
+
+/// Draws from a geometric distribution with mean `p / (1 - p)` (the
+/// number of links burned at one frontier vertex in the original model).
+fn geometric(rng: &mut rand::rngs::StdRng, p: f64) -> usize {
+    if p <= 0.0 {
+        return 0;
+    }
+    let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+    (u.ln() / p.ln()).floor() as usize
+}
+
+impl EvolutionModel for ForestFireModel {
+    fn next_event_kind(&mut self, _ctx: &mut GenContext) -> EventKind {
+        if self.pending_edges.is_empty() {
+            EventKind::AddVertex
+        } else {
+            EventKind::AddEdge
+        }
+    }
+
+    fn select_new_edge(&mut self, ctx: &mut GenContext) -> Option<EdgeId> {
+        while let Some(edge) = self.pending_edges.pop() {
+            // Burned targets may have been superseded; re-validate.
+            if !edge.is_self_loop()
+                && ctx.graph.has_vertex(edge.src)
+                && ctx.graph.has_vertex(edge.dst)
+                && !ctx.graph.has_edge(edge)
+            {
+                return Some(edge);
+            }
+        }
+        None
+    }
+
+    fn vertex_insert_state(&mut self, id: VertexId, ctx: &mut GenContext) -> State {
+        // A new arrival starts the next burn.
+        self.burn(id, ctx);
+        self.current = Some(id);
+        State::empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::StreamGenerator;
+    use gt_graph::EvolvingGraph;
+
+    fn run(rounds: usize, seed: u64) -> EvolvingGraph {
+        let mut generator = StreamGenerator::new(ForestFireModel::densifying(), seed);
+        generator.bootstrap(&gt_graph::builders::ring(5)).unwrap();
+        let result = generator.evolve(rounds);
+        let mut g = EvolvingGraph::from_stream(&gt_graph::builders::ring(5)).unwrap();
+        for event in result.stream.graph_events() {
+            g.apply(event).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn produces_valid_growing_graph() {
+        let g = run(3_000, 9);
+        g.check_invariants().unwrap();
+        assert!(g.vertex_count() > 100);
+        assert!(g.edge_count() > g.vertex_count());
+    }
+
+    #[test]
+    fn densification_exponent_exceeds_one() {
+        // Sample (n, m) while evolving and fit the log-log slope.
+        let mut generator = StreamGenerator::new(ForestFireModel::densifying(), 3);
+        generator.bootstrap(&gt_graph::builders::ring(5)).unwrap();
+        let mut samples = Vec::new();
+        for _ in 0..30 {
+            generator.evolve(200);
+            let g = &generator.context().graph;
+            samples.push((g.vertex_count() as f64, g.edge_count() as f64));
+        }
+        // Log-log least squares.
+        let pts: Vec<(f64, f64)> = samples.iter().map(|&(n, m)| (n.ln(), m.ln())).collect();
+        let k = pts.len() as f64;
+        let mt = pts.iter().map(|p| p.0).sum::<f64>() / k;
+        let mv = pts.iter().map(|p| p.1).sum::<f64>() / k;
+        let cov: f64 = pts.iter().map(|p| (p.0 - mt) * (p.1 - mv)).sum();
+        let var: f64 = pts.iter().map(|p| (p.0 - mt).powi(2)).sum();
+        let exponent = cov / var;
+        assert!(
+            exponent > 1.05,
+            "densification exponent {exponent} not superlinear"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = run(500, 4);
+        let b = run(500, 4);
+        assert_eq!(a.vertex_count(), b.vertex_count());
+        assert_eq!(a.edge_count(), b.edge_count());
+    }
+
+    #[test]
+    fn higher_forward_p_burns_more() {
+        let mild = {
+            let mut gen = StreamGenerator::new(ForestFireModel::new(0.1, 0.05), 5);
+            gen.bootstrap(&gt_graph::builders::ring(5)).unwrap();
+            gen.evolve(2_000);
+            gen.context().graph.edge_count() as f64 / gen.context().graph.vertex_count() as f64
+        };
+        let fierce = {
+            let mut gen = StreamGenerator::new(ForestFireModel::new(0.45, 0.3), 5);
+            gen.bootstrap(&gt_graph::builders::ring(5)).unwrap();
+            gen.evolve(2_000);
+            gen.context().graph.edge_count() as f64 / gen.context().graph.vertex_count() as f64
+        };
+        assert!(fierce > mild, "fierce {fierce} vs mild {mild}");
+    }
+
+    #[test]
+    #[should_panic(expected = "forward_p")]
+    fn rejects_bad_probability() {
+        ForestFireModel::new(1.0, 0.1);
+    }
+}

@@ -1,0 +1,107 @@
+//! Event application semantics.
+//!
+//! The paper requires ordered, reliable, exactly-once streams because
+//! "operations might fail due to violated preconditions caused by lost
+//! preceding events" (§3.2). [`ApplyError`] enumerates exactly those
+//! precondition violations; [`ApplyPolicy`] lets a system under test choose
+//! whether to reject them ([`ApplyPolicy::Strict`]) or skip/coerce them the
+//! way a lenient platform would ([`ApplyPolicy::Lenient`]) — which is what
+//! makes fault-injected streams (drops, duplicates, reordering) replayable.
+
+use std::fmt;
+
+use gt_core::prelude::*;
+
+/// Why a graph event could not be applied under strict semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ApplyError {
+    /// `ADD_VERTEX` for an id that already exists.
+    VertexExists(VertexId),
+    /// Operation referenced a vertex that does not exist.
+    MissingVertex(VertexId),
+    /// `ADD_EDGE` for an edge that already exists (no multigraphs).
+    EdgeExists(EdgeId),
+    /// Operation referenced an edge that does not exist.
+    MissingEdge(EdgeId),
+    /// `ADD_EDGE` with identical endpoints (no self loops).
+    SelfLoop(VertexId),
+}
+
+impl fmt::Display for ApplyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ApplyError::VertexExists(v) => write!(f, "vertex {v} already exists"),
+            ApplyError::MissingVertex(v) => write!(f, "vertex {v} does not exist"),
+            ApplyError::EdgeExists(e) => write!(f, "edge {e} already exists"),
+            ApplyError::MissingEdge(e) => write!(f, "edge {e} does not exist"),
+            ApplyError::SelfLoop(v) => write!(f, "self loop on vertex {v} is not allowed"),
+        }
+    }
+}
+
+impl std::error::Error for ApplyError {}
+
+/// How the graph reacts to precondition violations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ApplyPolicy {
+    /// Reject the event with an [`ApplyError`]. This is the reference
+    /// semantics for reliable, exactly-once streams.
+    #[default]
+    Strict,
+    /// Tolerate violations the way a forgiving platform would:
+    /// duplicate adds and updates of missing entities become no-ops;
+    /// removes of missing entities become no-ops; edges to missing
+    /// vertices are dropped. Self loops are always rejected.
+    Lenient,
+}
+
+/// The outcome of successfully applying an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Applied {
+    /// Whether the event changed the graph at all (lenient no-ops report
+    /// `false`).
+    pub mutated: bool,
+    /// Incident edges removed as a side effect of `REMOVE_VERTEX`.
+    pub cascaded_edge_removals: usize,
+}
+
+impl Applied {
+    /// An application that changed the graph, with no cascades.
+    pub fn mutated() -> Self {
+        Applied {
+            mutated: true,
+            cascaded_edge_removals: 0,
+        }
+    }
+
+    /// A lenient no-op.
+    pub fn noop() -> Self {
+        Applied::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            ApplyError::VertexExists(VertexId(1)).to_string(),
+            "vertex 1 already exists"
+        );
+        assert_eq!(
+            ApplyError::MissingEdge(EdgeId::from((1, 2))).to_string(),
+            "edge 1-2 does not exist"
+        );
+        assert_eq!(
+            ApplyError::SelfLoop(VertexId(7)).to_string(),
+            "self loop on vertex 7 is not allowed"
+        );
+    }
+
+    #[test]
+    fn default_policy_is_strict() {
+        assert_eq!(ApplyPolicy::default(), ApplyPolicy::Strict);
+    }
+}

@@ -1,0 +1,358 @@
+//! Bootstrap graph builders.
+//!
+//! The generator splits stream creation into bootstrapping an initial graph
+//! with a well-known algorithm and evolving it afterwards (§5.1). This
+//! module provides the well-known part: Barabási–Albert preferential
+//! attachment (the paper's Table 3 bootstrap), Erdős–Rényi, and a few
+//! deterministic fixtures for tests and examples.
+//!
+//! Every builder emits a [`GraphStream`] of `ADD_VERTEX`/`ADD_EDGE` events
+//! that applies cleanly onto an empty [`EvolvingGraph`] under strict
+//! semantics.
+
+use gt_core::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::graph::EvolvingGraph;
+
+fn add_vertex(stream: &mut GraphStream, id: u64) {
+    stream.push(StreamEntry::graph(GraphEvent::AddVertex {
+        id: VertexId(id),
+        state: State::empty(),
+    }));
+}
+
+fn add_edge(stream: &mut GraphStream, src: u64, dst: u64) {
+    stream.push(StreamEntry::graph(GraphEvent::AddEdge {
+        id: EdgeId::from((src, dst)),
+        state: State::empty(),
+    }));
+}
+
+/// Parameters for Barabási–Albert preferential attachment.
+///
+/// Table 3 of the paper uses `n = 10_000`, `m0 = 250`, `m = 50`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BarabasiAlbert {
+    /// Total number of vertices.
+    pub n: u64,
+    /// Size of the fully wired seed core.
+    pub m0: u64,
+    /// Edges attached per arriving vertex.
+    pub m: u64,
+    /// RNG seed for deterministic output.
+    pub seed: u64,
+}
+
+impl BarabasiAlbert {
+    /// The configuration of the paper's Table 3.
+    pub fn table3() -> Self {
+        BarabasiAlbert {
+            n: 10_000,
+            m0: 250,
+            m: 50,
+            seed: 18,
+        }
+    }
+
+    /// Generates the bootstrap stream.
+    ///
+    /// The seed core is a ring (so every seed vertex starts with degree 2),
+    /// then each arriving vertex `v` draws `m` distinct targets with
+    /// probability proportional to current degree, emitting directed edges
+    /// `v -> target`.
+    ///
+    /// # Panics
+    /// If `m0 < 2`, `m == 0`, `m > m0`, or `n < m0`.
+    pub fn generate(&self) -> GraphStream {
+        assert!(self.m0 >= 2, "seed core needs at least two vertices");
+        assert!(self.m >= 1, "each vertex must attach at least one edge");
+        assert!(self.m <= self.m0, "cannot attach more edges than seed vertices");
+        assert!(self.n >= self.m0, "n must be at least m0");
+
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut stream = GraphStream::new();
+
+        // `targets` holds one entry per edge endpoint, so uniform sampling
+        // from it is sampling proportional to degree.
+        let mut endpoint_pool: Vec<u64> = Vec::with_capacity((self.n * 2) as usize);
+
+        for id in 0..self.m0 {
+            add_vertex(&mut stream, id);
+        }
+        // Ring seed core.
+        for id in 0..self.m0 {
+            let next = (id + 1) % self.m0;
+            add_edge(&mut stream, id, next);
+            endpoint_pool.push(id);
+            endpoint_pool.push(next);
+        }
+
+        let mut chosen: Vec<u64> = Vec::with_capacity(self.m as usize);
+        for id in self.m0..self.n {
+            add_vertex(&mut stream, id);
+            chosen.clear();
+            while (chosen.len() as u64) < self.m {
+                let pick = endpoint_pool[rng.random_range(0..endpoint_pool.len())];
+                if pick != id && !chosen.contains(&pick) {
+                    chosen.push(pick);
+                }
+            }
+            for &target in &chosen {
+                add_edge(&mut stream, id, target);
+                endpoint_pool.push(id);
+                endpoint_pool.push(target);
+            }
+        }
+        stream
+    }
+}
+
+/// Parameters for an Erdős–Rényi `G(n, p)` graph.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErdosRenyi {
+    /// Number of vertices.
+    pub n: u64,
+    /// Probability of each directed edge (self loops excluded).
+    pub p: f64,
+    /// RNG seed for deterministic output.
+    pub seed: u64,
+}
+
+impl ErdosRenyi {
+    /// Generates the bootstrap stream.
+    ///
+    /// # Panics
+    /// If `p` is not within `[0, 1]`.
+    pub fn generate(&self) -> GraphStream {
+        assert!((0.0..=1.0).contains(&self.p), "p must be a probability");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut stream = GraphStream::new();
+        for id in 0..self.n {
+            add_vertex(&mut stream, id);
+        }
+        for src in 0..self.n {
+            for dst in 0..self.n {
+                if src != dst && rng.random_bool(self.p) {
+                    add_edge(&mut stream, src, dst);
+                }
+            }
+        }
+        stream
+    }
+}
+
+/// A directed path `0 -> 1 -> ... -> n-1`.
+pub fn path(n: u64) -> GraphStream {
+    let mut stream = GraphStream::new();
+    for id in 0..n {
+        add_vertex(&mut stream, id);
+    }
+    for id in 1..n {
+        add_edge(&mut stream, id - 1, id);
+    }
+    stream
+}
+
+/// A directed ring `0 -> 1 -> ... -> n-1 -> 0` (requires `n >= 3` for a
+/// loop-free ring; smaller `n` degenerates to a path).
+pub fn ring(n: u64) -> GraphStream {
+    let mut stream = path(n);
+    if n >= 3 {
+        add_edge(&mut stream, n - 1, 0);
+    }
+    stream
+}
+
+/// A star: center `0` with spokes `0 -> i` for `i in 1..n`.
+pub fn star(n: u64) -> GraphStream {
+    let mut stream = GraphStream::new();
+    for id in 0..n {
+        add_vertex(&mut stream, id);
+    }
+    for id in 1..n {
+        add_edge(&mut stream, 0, id);
+    }
+    stream
+}
+
+/// A complete directed graph on `n` vertices (both directions, no loops).
+pub fn complete(n: u64) -> GraphStream {
+    let mut stream = GraphStream::new();
+    for id in 0..n {
+        add_vertex(&mut stream, id);
+    }
+    for src in 0..n {
+        for dst in 0..n {
+            if src != dst {
+                add_edge(&mut stream, src, dst);
+            }
+        }
+    }
+    stream
+}
+
+/// A `rows x cols` grid with edges right and down (ids row-major).
+pub fn grid(rows: u64, cols: u64) -> GraphStream {
+    let mut stream = GraphStream::new();
+    for id in 0..rows * cols {
+        add_vertex(&mut stream, id);
+    }
+    for r in 0..rows {
+        for c in 0..cols {
+            let id = r * cols + c;
+            if c + 1 < cols {
+                add_edge(&mut stream, id, id + 1);
+            }
+            if r + 1 < rows {
+                add_edge(&mut stream, id, id + cols);
+            }
+        }
+    }
+    stream
+}
+
+/// Materializes a bootstrap stream into a graph (strict application).
+pub fn materialize(stream: &GraphStream) -> EvolvingGraph {
+    EvolvingGraph::from_stream(stream).expect("builder streams apply cleanly")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_shape() {
+        let g = materialize(&path(5));
+        assert_eq!(g.vertex_count(), 5);
+        assert_eq!(g.edge_count(), 4);
+        assert!(g.has_edge(EdgeId::from((0, 1))));
+        assert!(!g.has_edge(EdgeId::from((1, 0))));
+    }
+
+    #[test]
+    fn ring_closes_the_loop() {
+        let g = materialize(&ring(4));
+        assert_eq!(g.edge_count(), 4);
+        assert!(g.has_edge(EdgeId::from((3, 0))));
+    }
+
+    #[test]
+    fn star_degrees() {
+        let g = materialize(&star(6));
+        assert_eq!(g.out_degree(VertexId(0)), Some(5));
+        assert_eq!(g.in_degree(VertexId(3)), Some(1));
+    }
+
+    #[test]
+    fn complete_edge_count() {
+        let g = materialize(&complete(5));
+        assert_eq!(g.edge_count(), 20);
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = materialize(&grid(3, 4));
+        assert_eq!(g.vertex_count(), 12);
+        // Horizontal: 3 rows * 3, vertical: 2 rows * 4.
+        assert_eq!(g.edge_count(), 9 + 8);
+        assert!(g.has_edge(EdgeId::from((0, 1))));
+        assert!(g.has_edge(EdgeId::from((0, 4))));
+    }
+
+    #[test]
+    fn barabasi_albert_applies_cleanly_and_has_expected_size() {
+        let ba = BarabasiAlbert {
+            n: 300,
+            m0: 10,
+            m: 3,
+            seed: 7,
+        };
+        let stream = ba.generate();
+        let g = materialize(&stream);
+        assert_eq!(g.vertex_count(), 300);
+        // Ring core has m0 edges, every later vertex adds exactly m.
+        assert_eq!(g.edge_count() as u64, ba.m0 + (ba.n - ba.m0) * ba.m);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn barabasi_albert_is_deterministic_per_seed() {
+        let ba = BarabasiAlbert {
+            n: 100,
+            m0: 5,
+            m: 2,
+            seed: 42,
+        };
+        assert_eq!(ba.generate(), ba.generate());
+        let other = BarabasiAlbert { seed: 43, ..ba };
+        assert_ne!(ba.generate(), other.generate());
+    }
+
+    #[test]
+    fn barabasi_albert_prefers_high_degree() {
+        // With preferential attachment, the seed core should end up with a
+        // much higher mean degree than late arrivals.
+        let ba = BarabasiAlbert {
+            n: 2_000,
+            m0: 10,
+            m: 4,
+            seed: 1,
+        };
+        let g = materialize(&ba.generate());
+        let core_mean: f64 = (0..ba.m0)
+            .map(|id| g.degree(VertexId(id)).unwrap() as f64)
+            .sum::<f64>()
+            / ba.m0 as f64;
+        let tail_mean: f64 = (ba.n - 100..ba.n)
+            .map(|id| g.degree(VertexId(id)).unwrap() as f64)
+            .sum::<f64>()
+            / 100.0;
+        assert!(
+            core_mean > tail_mean * 5.0,
+            "core mean {core_mean} vs tail mean {tail_mean}"
+        );
+    }
+
+    #[test]
+    fn erdos_renyi_density_close_to_p() {
+        let er = ErdosRenyi {
+            n: 200,
+            p: 0.05,
+            seed: 3,
+        };
+        let g = materialize(&er.generate());
+        let possible = (er.n * (er.n - 1)) as f64;
+        let density = g.edge_count() as f64 / possible;
+        assert!((density - er.p).abs() < 0.01, "density {density}");
+    }
+
+    #[test]
+    fn erdos_renyi_extremes() {
+        let empty = ErdosRenyi {
+            n: 20,
+            p: 0.0,
+            seed: 0,
+        };
+        assert_eq!(materialize(&empty.generate()).edge_count(), 0);
+        let full = ErdosRenyi {
+            n: 10,
+            p: 1.0,
+            seed: 0,
+        };
+        assert_eq!(materialize(&full.generate()).edge_count(), 90);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot attach more edges")]
+    fn barabasi_albert_rejects_m_larger_than_core() {
+        BarabasiAlbert {
+            n: 10,
+            m0: 3,
+            m: 5,
+            seed: 0,
+        }
+        .generate();
+    }
+}

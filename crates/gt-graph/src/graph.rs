@@ -1,0 +1,595 @@
+//! The evolving property graph.
+//!
+//! Storage is ordered (`BTreeMap`-based) so that iteration order — and with
+//! it every downstream computation and simulated experiment — is fully
+//! deterministic for a given event sequence. At the scales the framework
+//! targets (10⁴–10⁶ entities) the logarithmic overhead is irrelevant next to
+//! the streaming costs it feeds.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use gt_core::prelude::*;
+
+use crate::apply::{Applied, ApplyError, ApplyPolicy};
+
+#[derive(Debug, Clone, PartialEq, Default)]
+struct VertexData {
+    state: State,
+    /// Outgoing adjacency with per-edge state.
+    out: BTreeMap<VertexId, State>,
+    /// Incoming adjacency (reverse index for O(deg) vertex removal and
+    /// in-degree queries).
+    inc: BTreeSet<VertexId>,
+}
+
+/// A directed, stateful graph that evolves by applying stream events.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct EvolvingGraph {
+    vertices: BTreeMap<VertexId, VertexData>,
+    edge_count: usize,
+    /// Total graph events successfully applied (mutating or not).
+    applied_events: u64,
+}
+
+impl EvolvingGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a graph by strictly applying every graph event of a stream.
+    pub fn from_stream(stream: &GraphStream) -> Result<Self, ApplyError> {
+        let mut g = EvolvingGraph::new();
+        for event in stream.graph_events() {
+            g.apply(event)?;
+        }
+        Ok(g)
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Number of directed edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Total graph events applied so far.
+    pub fn applied_events(&self) -> u64 {
+        self.applied_events
+    }
+
+    /// Whether the vertex exists.
+    pub fn has_vertex(&self, id: VertexId) -> bool {
+        self.vertices.contains_key(&id)
+    }
+
+    /// Whether the directed edge exists.
+    pub fn has_edge(&self, id: EdgeId) -> bool {
+        self.vertices
+            .get(&id.src)
+            .is_some_and(|v| v.out.contains_key(&id.dst))
+    }
+
+    /// The state of a vertex, if it exists.
+    pub fn vertex_state(&self, id: VertexId) -> Option<&State> {
+        self.vertices.get(&id).map(|v| &v.state)
+    }
+
+    /// The state of an edge, if it exists.
+    pub fn edge_state(&self, id: EdgeId) -> Option<&State> {
+        self.vertices.get(&id.src).and_then(|v| v.out.get(&id.dst))
+    }
+
+    /// Out-degree of a vertex (`None` if it does not exist).
+    pub fn out_degree(&self, id: VertexId) -> Option<usize> {
+        self.vertices.get(&id).map(|v| v.out.len())
+    }
+
+    /// In-degree of a vertex (`None` if it does not exist).
+    pub fn in_degree(&self, id: VertexId) -> Option<usize> {
+        self.vertices.get(&id).map(|v| v.inc.len())
+    }
+
+    /// Total degree (in + out), `None` if the vertex does not exist.
+    pub fn degree(&self, id: VertexId) -> Option<usize> {
+        self.vertices.get(&id).map(|v| v.out.len() + v.inc.len())
+    }
+
+    /// Iterates over all vertex ids in ascending order.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        self.vertices.keys().copied()
+    }
+
+    /// Iterates over `(id, state)` for all vertices in ascending id order.
+    pub fn vertices_with_state(&self) -> impl Iterator<Item = (VertexId, &State)> {
+        self.vertices.iter().map(|(id, v)| (*id, &v.state))
+    }
+
+    /// Iterates over all directed edges `(edge, state)` in deterministic
+    /// (src, dst) order.
+    pub fn edges(&self) -> impl Iterator<Item = (EdgeId, &State)> {
+        self.vertices.iter().flat_map(|(src, v)| {
+            v.out
+                .iter()
+                .map(move |(dst, s)| (EdgeId::new(*src, *dst), s))
+        })
+    }
+
+    /// Out-neighbors of a vertex in ascending order (empty if missing).
+    pub fn out_neighbors(&self, id: VertexId) -> impl Iterator<Item = VertexId> + '_ {
+        self.vertices
+            .get(&id)
+            .into_iter()
+            .flat_map(|v| v.out.keys().copied())
+    }
+
+    /// Out-neighbors with edge state.
+    pub fn out_edges(&self, id: VertexId) -> impl Iterator<Item = (VertexId, &State)> {
+        self.vertices
+            .get(&id)
+            .into_iter()
+            .flat_map(|v| v.out.iter().map(|(dst, s)| (*dst, s)))
+    }
+
+    /// In-neighbors of a vertex in ascending order (empty if missing).
+    pub fn in_neighbors(&self, id: VertexId) -> impl Iterator<Item = VertexId> + '_ {
+        self.vertices
+            .get(&id)
+            .into_iter()
+            .flat_map(|v| v.inc.iter().copied())
+    }
+
+    /// All neighbors, ignoring direction, deduplicated, ascending.
+    pub fn undirected_neighbors(&self, id: VertexId) -> Vec<VertexId> {
+        let Some(v) = self.vertices.get(&id) else {
+            return Vec::new();
+        };
+        let mut all: BTreeSet<VertexId> = v.out.keys().copied().collect();
+        all.extend(v.inc.iter().copied());
+        all.into_iter().collect()
+    }
+
+    /// Applies one event with [`ApplyPolicy::Strict`] semantics.
+    pub fn apply(&mut self, event: &GraphEvent) -> Result<Applied, ApplyError> {
+        self.apply_with(event, ApplyPolicy::Strict)
+    }
+
+    /// Applies one event under the given policy.
+    pub fn apply_with(
+        &mut self,
+        event: &GraphEvent,
+        policy: ApplyPolicy,
+    ) -> Result<Applied, ApplyError> {
+        let lenient = policy == ApplyPolicy::Lenient;
+        let outcome = match event {
+            GraphEvent::AddVertex { id, state } => {
+                if self.vertices.contains_key(id) {
+                    if lenient {
+                        Applied::noop()
+                    } else {
+                        return Err(ApplyError::VertexExists(*id));
+                    }
+                } else {
+                    self.vertices.insert(
+                        *id,
+                        VertexData {
+                            state: state.clone(),
+                            ..VertexData::default()
+                        },
+                    );
+                    Applied::mutated()
+                }
+            }
+            GraphEvent::RemoveVertex { id } => {
+                if !self.vertices.contains_key(id) {
+                    if lenient {
+                        Applied::noop()
+                    } else {
+                        return Err(ApplyError::MissingVertex(*id));
+                    }
+                } else {
+                    let cascaded = self.remove_vertex_cascading(*id);
+                    Applied {
+                        mutated: true,
+                        cascaded_edge_removals: cascaded,
+                    }
+                }
+            }
+            GraphEvent::UpdateVertex { id, state } => match self.vertices.get_mut(id) {
+                Some(v) => {
+                    v.state = state.clone();
+                    Applied::mutated()
+                }
+                None if lenient => Applied::noop(),
+                None => return Err(ApplyError::MissingVertex(*id)),
+            },
+            GraphEvent::AddEdge { id, state } => {
+                if id.is_self_loop() {
+                    return Err(ApplyError::SelfLoop(id.src));
+                }
+                if !self.vertices.contains_key(&id.src) {
+                    if lenient {
+                        return Ok(Applied::noop());
+                    }
+                    return Err(ApplyError::MissingVertex(id.src));
+                }
+                if !self.vertices.contains_key(&id.dst) {
+                    if lenient {
+                        return Ok(Applied::noop());
+                    }
+                    return Err(ApplyError::MissingVertex(id.dst));
+                }
+                if self.has_edge(*id) {
+                    if lenient {
+                        Applied::noop()
+                    } else {
+                        return Err(ApplyError::EdgeExists(*id));
+                    }
+                } else {
+                    self.vertices
+                        .get_mut(&id.src)
+                        .expect("src checked above")
+                        .out
+                        .insert(id.dst, state.clone());
+                    self.vertices
+                        .get_mut(&id.dst)
+                        .expect("dst checked above")
+                        .inc
+                        .insert(id.src);
+                    self.edge_count += 1;
+                    Applied::mutated()
+                }
+            }
+            GraphEvent::RemoveEdge { id } => {
+                if !self.has_edge(*id) {
+                    if lenient {
+                        Applied::noop()
+                    } else {
+                        return Err(ApplyError::MissingEdge(*id));
+                    }
+                } else {
+                    self.vertices
+                        .get_mut(&id.src)
+                        .expect("edge exists")
+                        .out
+                        .remove(&id.dst);
+                    self.vertices
+                        .get_mut(&id.dst)
+                        .expect("edge exists")
+                        .inc
+                        .remove(&id.src);
+                    self.edge_count -= 1;
+                    Applied::mutated()
+                }
+            }
+            GraphEvent::UpdateEdge { id, state } => {
+                let exists = self.has_edge(*id);
+                if !exists {
+                    if lenient {
+                        Applied::noop()
+                    } else {
+                        return Err(ApplyError::MissingEdge(*id));
+                    }
+                } else {
+                    *self
+                        .vertices
+                        .get_mut(&id.src)
+                        .expect("edge exists")
+                        .out
+                        .get_mut(&id.dst)
+                        .expect("edge exists") = state.clone();
+                    Applied::mutated()
+                }
+            }
+        };
+        self.applied_events += 1;
+        Ok(outcome)
+    }
+
+    /// Removes a vertex together with all incident edges; returns how many
+    /// edges were removed.
+    fn remove_vertex_cascading(&mut self, id: VertexId) -> usize {
+        let data = self.vertices.remove(&id).expect("caller checked existence");
+        let mut removed = 0;
+        for dst in data.out.keys() {
+            if let Some(v) = self.vertices.get_mut(dst) {
+                v.inc.remove(&id);
+                removed += 1;
+            }
+        }
+        for src in &data.inc {
+            if let Some(v) = self.vertices.get_mut(src) {
+                v.out.remove(&id);
+                removed += 1;
+            }
+        }
+        self.edge_count -= removed;
+        removed
+    }
+
+    /// A deep copy of the current graph (an "epoch snapshot" in
+    /// Kineograph terms — §4.4.2).
+    pub fn snapshot(&self) -> EvolvingGraph {
+        self.clone()
+    }
+
+    /// Checks internal consistency: the reverse index mirrors the forward
+    /// adjacency and the edge count matches. Intended for tests and
+    /// debugging; O(V + E).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut forward = 0usize;
+        for (src, v) in &self.vertices {
+            for dst in v.out.keys() {
+                forward += 1;
+                let Some(d) = self.vertices.get(dst) else {
+                    return Err(format!("edge {src}-{dst} points at missing vertex"));
+                };
+                if !d.inc.contains(src) {
+                    return Err(format!("edge {src}-{dst} missing from reverse index"));
+                }
+            }
+            for src2 in &v.inc {
+                let Some(s) = self.vertices.get(src2) else {
+                    return Err(format!("reverse edge {src2}->{src} from missing vertex"));
+                };
+                if !s.out.contains_key(src) {
+                    return Err(format!("reverse edge {src2}->{src} has no forward edge"));
+                }
+            }
+        }
+        if forward != self.edge_count {
+            return Err(format!(
+                "edge count {} does not match adjacency ({forward})",
+                self.edge_count
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn add_v(g: &mut EvolvingGraph, id: u64) {
+        g.apply(&GraphEvent::AddVertex {
+            id: VertexId(id),
+            state: State::empty(),
+        })
+        .unwrap();
+    }
+
+    fn add_e(g: &mut EvolvingGraph, src: u64, dst: u64) {
+        g.apply(&GraphEvent::AddEdge {
+            id: EdgeId::from((src, dst)),
+            state: State::empty(),
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn add_and_query_vertices() {
+        let mut g = EvolvingGraph::new();
+        add_v(&mut g, 1);
+        add_v(&mut g, 2);
+        assert_eq!(g.vertex_count(), 2);
+        assert!(g.has_vertex(VertexId(1)));
+        assert!(!g.has_vertex(VertexId(3)));
+        assert_eq!(g.vertices().collect::<Vec<_>>(), [VertexId(1), VertexId(2)]);
+    }
+
+    #[test]
+    fn duplicate_vertex_rejected_strict_tolerated_lenient() {
+        let mut g = EvolvingGraph::new();
+        add_v(&mut g, 1);
+        let dup = GraphEvent::AddVertex {
+            id: VertexId(1),
+            state: State::new("other"),
+        };
+        assert_eq!(g.apply(&dup), Err(ApplyError::VertexExists(VertexId(1))));
+        let lenient = g.apply_with(&dup, ApplyPolicy::Lenient).unwrap();
+        assert!(!lenient.mutated);
+        // Lenient duplicate add must not clobber existing state.
+        assert_eq!(g.vertex_state(VertexId(1)).unwrap().as_str(), "");
+    }
+
+    #[test]
+    fn edges_require_endpoints() {
+        let mut g = EvolvingGraph::new();
+        add_v(&mut g, 1);
+        let e = GraphEvent::AddEdge {
+            id: EdgeId::from((1, 2)),
+            state: State::empty(),
+        };
+        assert_eq!(g.apply(&e), Err(ApplyError::MissingVertex(VertexId(2))));
+        assert!(!g.apply_with(&e, ApplyPolicy::Lenient).unwrap().mutated);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn self_loops_always_rejected() {
+        let mut g = EvolvingGraph::new();
+        add_v(&mut g, 1);
+        let e = GraphEvent::AddEdge {
+            id: EdgeId::from((1, 1)),
+            state: State::empty(),
+        };
+        assert_eq!(g.apply(&e), Err(ApplyError::SelfLoop(VertexId(1))));
+        assert_eq!(
+            g.apply_with(&e, ApplyPolicy::Lenient),
+            Err(ApplyError::SelfLoop(VertexId(1)))
+        );
+    }
+
+    #[test]
+    fn duplicate_edge_rejected() {
+        let mut g = EvolvingGraph::new();
+        add_v(&mut g, 1);
+        add_v(&mut g, 2);
+        add_e(&mut g, 1, 2);
+        let e = GraphEvent::AddEdge {
+            id: EdgeId::from((1, 2)),
+            state: State::empty(),
+        };
+        assert_eq!(g.apply(&e), Err(ApplyError::EdgeExists(EdgeId::from((1, 2)))));
+        // Reverse direction is a distinct edge.
+        add_e(&mut g, 2, 1);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn degrees_and_neighbors() {
+        let mut g = EvolvingGraph::new();
+        for id in 1..=4 {
+            add_v(&mut g, id);
+        }
+        add_e(&mut g, 1, 2);
+        add_e(&mut g, 1, 3);
+        add_e(&mut g, 4, 1);
+        assert_eq!(g.out_degree(VertexId(1)), Some(2));
+        assert_eq!(g.in_degree(VertexId(1)), Some(1));
+        assert_eq!(g.degree(VertexId(1)), Some(3));
+        assert_eq!(
+            g.out_neighbors(VertexId(1)).collect::<Vec<_>>(),
+            [VertexId(2), VertexId(3)]
+        );
+        assert_eq!(
+            g.in_neighbors(VertexId(1)).collect::<Vec<_>>(),
+            [VertexId(4)]
+        );
+        assert_eq!(
+            g.undirected_neighbors(VertexId(1)),
+            [VertexId(2), VertexId(3), VertexId(4)]
+        );
+        assert_eq!(g.out_degree(VertexId(99)), None);
+    }
+
+    #[test]
+    fn vertex_removal_cascades_edges() {
+        let mut g = EvolvingGraph::new();
+        for id in 1..=4 {
+            add_v(&mut g, id);
+        }
+        add_e(&mut g, 1, 2);
+        add_e(&mut g, 3, 1);
+        add_e(&mut g, 1, 4);
+        add_e(&mut g, 2, 3); // unrelated edge
+        let applied = g.apply(&GraphEvent::RemoveVertex { id: VertexId(1) }).unwrap();
+        assert_eq!(applied.cascaded_edge_removals, 3);
+        assert_eq!(g.edge_count(), 1);
+        assert!(!g.has_vertex(VertexId(1)));
+        assert!(g.has_edge(EdgeId::from((2, 3))));
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn state_updates() {
+        let mut g = EvolvingGraph::new();
+        add_v(&mut g, 1);
+        add_v(&mut g, 2);
+        add_e(&mut g, 1, 2);
+        g.apply(&GraphEvent::UpdateVertex {
+            id: VertexId(1),
+            state: State::new("v1"),
+        })
+        .unwrap();
+        g.apply(&GraphEvent::UpdateEdge {
+            id: EdgeId::from((1, 2)),
+            state: State::weight(9.0),
+        })
+        .unwrap();
+        assert_eq!(g.vertex_state(VertexId(1)).unwrap().as_str(), "v1");
+        assert_eq!(g.edge_state(EdgeId::from((1, 2))).unwrap().as_weight(), Some(9.0));
+
+        assert_eq!(
+            g.apply(&GraphEvent::UpdateVertex {
+                id: VertexId(9),
+                state: State::empty(),
+            }),
+            Err(ApplyError::MissingVertex(VertexId(9)))
+        );
+        assert_eq!(
+            g.apply(&GraphEvent::UpdateEdge {
+                id: EdgeId::from((2, 1)),
+                state: State::empty(),
+            }),
+            Err(ApplyError::MissingEdge(EdgeId::from((2, 1))))
+        );
+    }
+
+    #[test]
+    fn remove_edge() {
+        let mut g = EvolvingGraph::new();
+        add_v(&mut g, 1);
+        add_v(&mut g, 2);
+        add_e(&mut g, 1, 2);
+        g.apply(&GraphEvent::RemoveEdge {
+            id: EdgeId::from((1, 2)),
+        })
+        .unwrap();
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(
+            g.apply(&GraphEvent::RemoveEdge {
+                id: EdgeId::from((1, 2)),
+            }),
+            Err(ApplyError::MissingEdge(EdgeId::from((1, 2))))
+        );
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn from_stream_builds_graph() {
+        let stream = GraphStream::from_entries(vec![
+            StreamEntry::graph(GraphEvent::AddVertex {
+                id: VertexId(1),
+                state: State::empty(),
+            }),
+            StreamEntry::marker("mid"),
+            StreamEntry::graph(GraphEvent::AddVertex {
+                id: VertexId(2),
+                state: State::empty(),
+            }),
+            StreamEntry::graph(GraphEvent::AddEdge {
+                id: EdgeId::from((1, 2)),
+                state: State::empty(),
+            }),
+        ]);
+        let g = EvolvingGraph::from_stream(&stream).unwrap();
+        assert_eq!(g.vertex_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.applied_events(), 3);
+    }
+
+    #[test]
+    fn edges_iterator_is_deterministic() {
+        let mut g = EvolvingGraph::new();
+        for id in [5, 3, 1] {
+            add_v(&mut g, id);
+        }
+        add_e(&mut g, 5, 1);
+        add_e(&mut g, 3, 5);
+        add_e(&mut g, 3, 1);
+        let edges: Vec<_> = g.edges().map(|(e, _)| e).collect();
+        assert_eq!(
+            edges,
+            [
+                EdgeId::from((3, 1)),
+                EdgeId::from((3, 5)),
+                EdgeId::from((5, 1)),
+            ]
+        );
+    }
+
+    #[test]
+    fn snapshot_is_independent() {
+        let mut g = EvolvingGraph::new();
+        add_v(&mut g, 1);
+        let snap = g.snapshot();
+        add_v(&mut g, 2);
+        assert_eq!(snap.vertex_count(), 1);
+        assert_eq!(g.vertex_count(), 2);
+    }
+}

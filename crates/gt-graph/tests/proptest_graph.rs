@@ -1,0 +1,112 @@
+//! Property-based tests of the evolving graph: arbitrary *valid* event
+//! sequences keep the invariants (reverse index consistent, no dangling
+//! edges, counts accurate), and arbitrary *hostile* event sequences applied
+//! leniently never corrupt the graph.
+
+use gt_core::prelude::*;
+use gt_graph::{ApplyPolicy, EvolvingGraph};
+use proptest::prelude::*;
+
+/// An arbitrary event over a small id universe — most will violate
+/// preconditions, which is the point for the lenient test.
+fn arbitrary_event() -> impl Strategy<Value = GraphEvent> {
+    let vid = (0u64..20).prop_map(VertexId);
+    let eid = ((0u64..20), (0u64..20)).prop_map(EdgeId::from);
+    prop_oneof![
+        (vid.clone(), "[a-z]{0,6}").prop_map(|(id, s)| GraphEvent::AddVertex {
+            id,
+            state: State::new(s)
+        }),
+        vid.clone().prop_map(|id| GraphEvent::RemoveVertex { id }),
+        (vid, "[a-z]{0,6}").prop_map(|(id, s)| GraphEvent::UpdateVertex {
+            id,
+            state: State::new(s)
+        }),
+        (eid.clone(), "[a-z]{0,6}").prop_map(|(id, s)| GraphEvent::AddEdge {
+            id,
+            state: State::new(s)
+        }),
+        eid.clone().prop_map(|id| GraphEvent::RemoveEdge { id }),
+        (eid, "[a-z]{0,6}").prop_map(|(id, s)| GraphEvent::UpdateEdge {
+            id,
+            state: State::new(s)
+        }),
+    ]
+}
+
+proptest! {
+    /// Lenient application of any event sequence keeps internal invariants.
+    #[test]
+    fn lenient_application_never_corrupts(events in proptest::collection::vec(arbitrary_event(), 0..200)) {
+        let mut g = EvolvingGraph::new();
+        for event in &events {
+            match g.apply_with(event, ApplyPolicy::Lenient) {
+                Ok(_) => {}
+                // Self loops are the only error lenient mode reports.
+                Err(e) => prop_assert!(matches!(e, gt_graph::ApplyError::SelfLoop(_))),
+            }
+        }
+        prop_assert!(g.check_invariants().is_ok(), "{:?}", g.check_invariants());
+    }
+
+    /// Replaying the accepted prefix of events strictly gives the same graph.
+    #[test]
+    fn lenient_equals_strict_on_accepted_events(events in proptest::collection::vec(arbitrary_event(), 0..150)) {
+        let mut lenient = EvolvingGraph::new();
+        let mut accepted = Vec::new();
+        for event in &events {
+            if let Ok(applied) = lenient.apply_with(event, ApplyPolicy::Lenient) {
+                if applied.mutated {
+                    accepted.push(event.clone());
+                }
+            }
+        }
+        let mut strict = EvolvingGraph::new();
+        for event in &accepted {
+            strict.apply(event).expect("accepted events must replay strictly");
+        }
+        prop_assert_eq!(strict.vertex_count(), lenient.vertex_count());
+        prop_assert_eq!(strict.edge_count(), lenient.edge_count());
+        // Full state equivalence, not only counts.
+        let sv: Vec<_> = strict.vertices_with_state().map(|(v, s)| (v, s.clone())).collect();
+        let lv: Vec<_> = lenient.vertices_with_state().map(|(v, s)| (v, s.clone())).collect();
+        prop_assert_eq!(sv, lv);
+        let se: Vec<_> = strict.edges().map(|(e, s)| (e, s.clone())).collect();
+        let le: Vec<_> = lenient.edges().map(|(e, s)| (e, s.clone())).collect();
+        prop_assert_eq!(se, le);
+    }
+
+    /// Degree sums always equal edge counts.
+    #[test]
+    fn degree_sums_match_edges(events in proptest::collection::vec(arbitrary_event(), 0..200)) {
+        let mut g = EvolvingGraph::new();
+        for event in &events {
+            let _ = g.apply_with(event, ApplyPolicy::Lenient);
+        }
+        let out_sum: usize = g.vertices().map(|v| g.out_degree(v).unwrap()).sum();
+        let in_sum: usize = g.vertices().map(|v| g.in_degree(v).unwrap()).sum();
+        prop_assert_eq!(out_sum, g.edge_count());
+        prop_assert_eq!(in_sum, g.edge_count());
+    }
+
+    /// CSR snapshots mirror the graph they were taken from.
+    #[test]
+    fn csr_matches_graph(events in proptest::collection::vec(arbitrary_event(), 0..150)) {
+        let mut g = EvolvingGraph::new();
+        for event in &events {
+            let _ = g.apply_with(event, ApplyPolicy::Lenient);
+        }
+        let csr = gt_graph::CsrSnapshot::from_graph(&g);
+        prop_assert_eq!(csr.vertex_count(), g.vertex_count());
+        prop_assert_eq!(csr.edge_count(), g.edge_count());
+        for idx in csr.indices() {
+            let id = csr.id_of(idx);
+            prop_assert_eq!(csr.out_degree(idx), g.out_degree(id).unwrap());
+            prop_assert_eq!(csr.in_degree(idx), g.in_degree(id).unwrap());
+            let csr_out: Vec<VertexId> =
+                csr.out_neighbors(idx).iter().map(|&i| csr.id_of(i)).collect();
+            let g_out: Vec<VertexId> = g.out_neighbors(id).collect();
+            prop_assert_eq!(csr_out, g_out);
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! `gt-report` — result-log analysis as a standalone tool.
+//!
+//! Reads a merged result log (the log collector's output) and prints the
+//! assessment the paper's methodology starts from: per-series summaries,
+//! marker positions, and optional cross-correlation between two series.
+//!
+//! ```text
+//! gt-report <result.log> [--series SOURCE METRIC] [--correlate S1 M1 S2 M2]
+//! ```
+
+use std::process::ExitCode;
+
+use gt_analysis::{cross_correlation, Quantiles, Summary};
+use gt_metrics::ResultLog;
+
+fn print_series_summary(log: &ResultLog, source: &str, metric: &str) {
+    let series = log.series(source, metric);
+    if series.is_empty() {
+        println!("{source}/{metric}: no numeric samples");
+        return;
+    }
+    let values: Vec<f64> = series.iter().map(|&(_, v)| v).collect();
+    let summary = Summary::of(&values);
+    let q = Quantiles::of(&values).expect("non-empty");
+    println!(
+        "{source}/{metric}: n={} span {:.2}s..{:.2}s",
+        summary.count(),
+        series.first().expect("non-empty").0,
+        series.last().expect("non-empty").0,
+    );
+    println!(
+        "    mean {:.3} (stddev {:.3}), min {:.3}, median {:.3}, p95 {:.3}, max {:.3}",
+        summary.mean(),
+        summary.stddev(),
+        q.min,
+        q.median,
+        q.p95,
+        q.max
+    );
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
+        return Err(
+            "usage: gt-report <result.log> [--series SOURCE METRIC] [--correlate S1 M1 S2 M2]"
+                .into(),
+        );
+    }
+    let log = ResultLog::read_from_file(&args[0]).map_err(|e| format!("{}: {e}", args[0]))?;
+    println!(
+        "result log: {} records from {} sources",
+        log.len(),
+        log.sources().len()
+    );
+
+    let mut rest = args[1..].iter();
+    let mut did_something = false;
+    while let Some(flag) = rest.next() {
+        match flag.as_str() {
+            "--series" => {
+                let source = rest.next().ok_or("--series needs SOURCE METRIC")?;
+                let metric = rest.next().ok_or("--series needs SOURCE METRIC")?;
+                print_series_summary(&log, source, metric);
+                did_something = true;
+            }
+            "--correlate" => {
+                let (s1, m1, s2, m2) = (
+                    rest.next().ok_or("--correlate needs S1 M1 S2 M2")?,
+                    rest.next().ok_or("--correlate needs S1 M1 S2 M2")?,
+                    rest.next().ok_or("--correlate needs S1 M1 S2 M2")?,
+                    rest.next().ok_or("--correlate needs S1 M1 S2 M2")?,
+                );
+                let a: Vec<f64> = log.series(s1, m1).iter().map(|&(_, v)| v).collect();
+                let b: Vec<f64> = log.series(s2, m2).iter().map(|&(_, v)| v).collect();
+                let n = a.len().min(b.len());
+                let lags = cross_correlation(&a[..n], &b[..n], (n / 4).max(1));
+                match lags
+                    .iter()
+                    .max_by(|(_, x), (_, y)| x.abs().partial_cmp(&y.abs()).expect("finite"))
+                {
+                    Some((lag, r)) => println!(
+                        "cross-correlation {s1}/{m1} vs {s2}/{m2}: strongest r={r:.3} at lag {lag} samples"
+                    ),
+                    None => println!("cross-correlation: series too short"),
+                }
+                did_something = true;
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+
+    if !did_something {
+        // Default report: every (source, metric) pair plus markers.
+        let mut pairs: Vec<(String, String)> = log
+            .records()
+            .iter()
+            .filter(|r| r.value.as_f64().is_some())
+            .map(|r| (r.source.clone(), r.metric.clone()))
+            .collect();
+        pairs.sort();
+        pairs.dedup();
+        for (source, metric) in pairs {
+            print_series_summary(&log, &source, &metric);
+        }
+        let markers: Vec<_> = log
+            .records()
+            .iter()
+            .filter(|r| r.metric == "marker")
+            .collect();
+        if !markers.is_empty() {
+            println!("markers:");
+            for m in markers {
+                println!("    {:.3}s  {}", m.t_secs(), m.value);
+            }
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("gt-report: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

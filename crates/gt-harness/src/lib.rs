@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! # gt-harness
+//!
+//! The GraphTides test harness (paper §4, Figure 2): it wires a graph
+//! stream, the replayer, a system under test, and a set of runtime metric
+//! loggers into one experiment run, and collects everything into a single
+//! chronologically sorted result log.
+//!
+//! ```text
+//! graph stream file ──► Graph Stream Replayer ──► System under Test
+//!                            │  markers               │ hub metrics
+//!                            ▼                        ▼
+//!                      runtime metrics loggers (sampling thread)
+//!                            │
+//!                            ▼
+//!                       Log Collector ──► result log
+//! ```
+//!
+//! * [`spec`] — declarative experiment descriptions (goals, factors,
+//!   levels — Jain's methodology, §4.5) with deterministic seeds for
+//!   Popper-style re-execution.
+//! * [`levels`] — the three evaluation levels (L0 black box, L1 native
+//!   metrics, L2 in-source instrumentation).
+//! * [`run`] — the run loop: replay on the driver thread, sample loggers
+//!   on a background thread, merge logs.
+//! * [`repeat`] — n ≥ 30 repetition helper and CI95 system comparison.
+
+pub mod levels;
+pub mod repeat;
+pub mod run;
+pub mod spec;
+pub mod sweep;
+
+pub use levels::EvaluationLevel;
+pub use repeat::{compare_metric, repeat_runs, RepeatOutcome};
+pub use run::{run_experiment, RunOutcome, RunPlan};
+pub use spec::ExperimentSpec;
+pub use sweep::{Assignment, Factor, FactorSpace};

@@ -1,0 +1,75 @@
+//! Repetition and statistically rigorous comparison (§4.5).
+
+use gt_analysis::summary::{compare_ci95, Comparison, Summary};
+use gt_analysis::ConfidenceInterval;
+
+/// The aggregate of repeated runs of one configuration.
+#[derive(Debug, Clone)]
+pub struct RepeatOutcome {
+    /// Summary of the collected metric across repetitions.
+    pub summary: Summary,
+    /// CI95 of the metric, if computable.
+    pub ci95: Option<ConfidenceInterval>,
+    /// Whether the repetition count meets the paper's n ≥ 30 rule.
+    pub meets_n30: bool,
+}
+
+/// Runs `reps` repetitions of a measurement closure (repetition index in,
+/// metric out) and aggregates.
+pub fn repeat_runs(reps: u32, mut run: impl FnMut(u32) -> f64) -> RepeatOutcome {
+    let mut summary = Summary::new();
+    for i in 0..reps {
+        summary.add(run(i));
+    }
+    RepeatOutcome {
+        ci95: summary.ci95(),
+        meets_n30: summary.meets_n30(),
+        summary,
+    }
+}
+
+/// Compares two repeated configurations by CI95 overlap; `None` when
+/// either side lacks enough repetitions for an interval.
+pub fn compare_metric(a: &RepeatOutcome, b: &RepeatOutcome) -> Option<Comparison> {
+    compare_ci95(&a.summary, &b.summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_runs() {
+        let outcome = repeat_runs(30, |i| 100.0 + (i % 5) as f64);
+        assert!(outcome.meets_n30);
+        assert_eq!(outcome.summary.count(), 30);
+        let ci = outcome.ci95.unwrap();
+        assert!(ci.lo < outcome.summary.mean() && outcome.summary.mean() < ci.hi);
+    }
+
+    #[test]
+    fn detects_significant_difference() {
+        let fast = repeat_runs(30, |i| 1_000.0 + (i % 3) as f64);
+        let slow = repeat_runs(30, |i| 100.0 + (i % 3) as f64);
+        assert_eq!(
+            compare_metric(&fast, &slow),
+            Some(Comparison::AGreater)
+        );
+    }
+
+    #[test]
+    fn overlapping_runs_are_not_significant() {
+        let a = repeat_runs(30, |i| 10.0 + (i % 4) as f64);
+        let b = repeat_runs(30, |i| 10.2 + (i % 4) as f64);
+        assert_eq!(compare_metric(&a, &b), Some(Comparison::NotSignificant));
+    }
+
+    #[test]
+    fn too_few_reps_yield_none() {
+        let one = repeat_runs(1, |_| 5.0);
+        assert!(one.ci95.is_none());
+        assert!(!one.meets_n30);
+        let other = repeat_runs(30, |_| 5.0);
+        assert_eq!(compare_metric(&one, &other), None);
+    }
+}

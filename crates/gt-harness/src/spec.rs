@@ -1,0 +1,132 @@
+//! Declarative experiment specifications.
+//!
+//! Jain's methodology (§2.3, §4.5) asks the analyst to state the goal,
+//! fix the metrics, and enumerate the varied factors before measuring.
+//! [`ExperimentSpec`] captures exactly that, with a deterministic seed so
+//! any run can be re-executed bit-identically (the Popper re-execution
+//! goal without the container machinery).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::levels::EvaluationLevel;
+
+/// A declarative description of one experiment configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentSpec {
+    /// Short machine-readable name (e.g. `fig3b-store-throughput`).
+    pub name: String,
+    /// The evaluation goal, in the analyst's words.
+    pub goal: String,
+    /// The workload description (generator + parameters).
+    pub workload: String,
+    /// Target stream rate in events/s.
+    pub target_rate: f64,
+    /// Factors varied in this configuration, as `(factor, level)` pairs.
+    pub factors: Vec<(String, String)>,
+    /// The evaluation level the system under test supports.
+    pub level: EvaluationLevel,
+    /// Independent repetitions (the paper recommends n ≥ 30 for CI95
+    /// comparisons).
+    pub repetitions: u32,
+    /// Master seed; repetition `i` derives seed `seed + i`.
+    pub seed: u64,
+}
+
+impl ExperimentSpec {
+    /// A minimal spec with defaults for the optional fields.
+    pub fn new(name: &str, goal: &str, workload: &str) -> Self {
+        ExperimentSpec {
+            name: name.to_owned(),
+            goal: goal.to_owned(),
+            workload: workload.to_owned(),
+            target_rate: 1_000.0,
+            factors: Vec::new(),
+            level: EvaluationLevel::Level0,
+            repetitions: 1,
+            seed: 42,
+        }
+    }
+
+    /// Adds a factor/level pair (builder style).
+    #[must_use]
+    pub fn with_factor(mut self, factor: &str, level: impl fmt::Display) -> Self {
+        self.factors.push((factor.to_owned(), level.to_string()));
+        self
+    }
+
+    /// Sets the target rate (builder style).
+    #[must_use]
+    pub fn with_rate(mut self, rate: f64) -> Self {
+        self.target_rate = rate;
+        self
+    }
+
+    /// Sets repetitions (builder style).
+    #[must_use]
+    pub fn with_repetitions(mut self, n: u32) -> Self {
+        self.repetitions = n;
+        self
+    }
+
+    /// The derived seed for repetition `i`.
+    pub fn seed_for(&self, repetition: u32) -> u64 {
+        self.seed.wrapping_add(u64::from(repetition))
+    }
+
+    /// Whether the repetition count meets the paper's n ≥ 30 guidance for
+    /// statistically rigorous comparisons.
+    pub fn meets_n30(&self) -> bool {
+        self.repetitions >= 30
+    }
+}
+
+impl fmt::Display for ExperimentSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "experiment: {}", self.name)?;
+        writeln!(f, "  goal:      {}", self.goal)?;
+        writeln!(f, "  workload:  {}", self.workload)?;
+        writeln!(f, "  rate:      {} events/s", self.target_rate)?;
+        writeln!(f, "  level:     {}", self.level.label())?;
+        writeln!(f, "  reps:      {} (seed {})", self.repetitions, self.seed)?;
+        for (factor, level) in &self.factors {
+            writeln!(f, "  factor:    {factor} = {level}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_display() {
+        let spec = ExperimentSpec::new("fig3b", "ingress scalability", "table3 workload")
+            .with_rate(10_000.0)
+            .with_factor("events per tx", 10)
+            .with_repetitions(30);
+        assert!(spec.meets_n30());
+        let text = spec.to_string();
+        assert!(text.contains("fig3b"));
+        assert!(text.contains("events per tx = 10"));
+        assert!(text.contains("10000 events/s"));
+    }
+
+    #[test]
+    fn derived_seeds_are_distinct_and_stable() {
+        let spec = ExperimentSpec::new("x", "g", "w");
+        assert_eq!(spec.seed_for(0), 42);
+        assert_eq!(spec.seed_for(5), 47);
+        assert_ne!(spec.seed_for(1), spec.seed_for(2));
+    }
+
+    #[test]
+    fn n30_guidance() {
+        assert!(!ExperimentSpec::new("x", "g", "w").meets_n30());
+        assert!(ExperimentSpec::new("x", "g", "w")
+            .with_repetitions(31)
+            .meets_n30());
+    }
+}

@@ -1,0 +1,194 @@
+//! The metrics hub — the Level-1/Level-2 instrumentation surface.
+//!
+//! A system under test registers named counters and gauges; logger threads
+//! snapshot them periodically without coordination. Counters are monotone
+//! `u64` (e.g. events processed), gauges are instantaneous `i64` values
+//! (e.g. queue length). Both are lock-free on the hot path.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+/// A monotone counter handle. Cloning shares the underlying value.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increments by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous gauge handle. Cloning shares the underlying value.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds a (possibly negative) delta.
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A shared, thread-safe registry of named counters and gauges.
+///
+/// Registration takes a write lock; reads and metric updates are
+/// lock-free / read-locked, so sampling never stalls the system under
+/// test.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsHub {
+    inner: Arc<RwLock<Registry>>,
+}
+
+#[derive(Debug, Default)]
+struct Registry {
+    counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, Gauge>,
+}
+
+impl MetricsHub {
+    /// An empty hub.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or retrieves) a counter by name.
+    pub fn counter(&self, name: &str) -> Counter {
+        if let Some(c) = self.inner.read().counters.get(name) {
+            return c.clone();
+        }
+        self.inner
+            .write()
+            .counters
+            .entry(name.to_owned())
+            .or_default()
+            .clone()
+    }
+
+    /// Registers (or retrieves) a gauge by name.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        if let Some(g) = self.inner.read().gauges.get(name) {
+            return g.clone();
+        }
+        self.inner
+            .write()
+            .gauges
+            .entry(name.to_owned())
+            .or_default()
+            .clone()
+    }
+
+    /// Snapshot of all counters, sorted by name.
+    pub fn counter_values(&self) -> Vec<(String, u64)> {
+        self.inner
+            .read()
+            .counters
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect()
+    }
+
+    /// Snapshot of all gauges, sorted by name.
+    pub fn gauge_values(&self) -> Vec<(String, i64)> {
+        self.inner
+            .read()
+            .gauges
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn counters_are_shared_by_name() {
+        let hub = MetricsHub::new();
+        let a = hub.counter("events");
+        let b = hub.counter("events");
+        a.inc();
+        b.add(2);
+        assert_eq!(hub.counter("events").get(), 3);
+    }
+
+    #[test]
+    fn gauges_set_and_add() {
+        let hub = MetricsHub::new();
+        let g = hub.gauge("queue");
+        g.set(10);
+        g.add(-3);
+        assert_eq!(hub.gauge("queue").get(), 7);
+    }
+
+    #[test]
+    fn snapshots_are_sorted() {
+        let hub = MetricsHub::new();
+        hub.counter("zeta").add(1);
+        hub.counter("alpha").add(2);
+        hub.gauge("mid").set(5);
+        let counters = hub.counter_values();
+        assert_eq!(
+            counters,
+            [("alpha".to_owned(), 2), ("zeta".to_owned(), 1)]
+        );
+        assert_eq!(hub.gauge_values(), [("mid".to_owned(), 5)]);
+    }
+
+    #[test]
+    fn concurrent_updates_are_not_lost() {
+        let hub = MetricsHub::new();
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let c = hub.counter("hits");
+            handles.push(thread::spawn(move || {
+                for _ in 0..10_000 {
+                    c.inc();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(hub.counter("hits").get(), 80_000);
+    }
+
+    #[test]
+    fn cloned_hub_shares_registry() {
+        let hub = MetricsHub::new();
+        let clone = hub.clone();
+        hub.counter("x").inc();
+        assert_eq!(clone.counter("x").get(), 1);
+    }
+}

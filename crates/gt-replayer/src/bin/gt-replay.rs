@@ -1,0 +1,130 @@
+//! `gt-replay` — the stream replayer as a standalone tool.
+//!
+//! Reads a graph stream file and replays it at a target rate into stdout
+//! (pipe mode) or a TCP endpoint, mirroring the paper's replayer
+//! deployment (§5.1, Table 2). The streaming report goes to stderr so
+//! pipe mode stays clean.
+//!
+//! ```text
+//! gt-replay <stream.csv> [--rate EVENTS_PER_S] [--tcp HOST:PORT] [--no-pauses]
+//! ```
+
+use std::io::Write;
+use std::process::ExitCode;
+
+use gt_replayer::{
+    spawn_file_reader, EventSink, Replayer, ReplayerConfig, TcpSink, WriterSink,
+};
+
+struct Args {
+    stream_file: String,
+    rate: f64,
+    tcp: Option<String>,
+    honor_pauses: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let mut stream_file = None;
+    let mut rate = 1_000.0;
+    let mut tcp = None;
+    let mut honor_pauses = true;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--rate" => {
+                rate = args
+                    .next()
+                    .ok_or("--rate needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad rate: {e}"))?;
+                if !(rate > 0.0) {
+                    return Err("rate must be positive".into());
+                }
+            }
+            "--tcp" => tcp = Some(args.next().ok_or("--tcp needs HOST:PORT")?),
+            "--no-pauses" => honor_pauses = false,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: gt-replay <stream.csv> [--rate EVENTS_PER_S] [--tcp HOST:PORT] [--no-pauses]"
+                        .into(),
+                )
+            }
+            other if stream_file.is_none() && !other.starts_with('-') => {
+                stream_file = Some(other.to_owned());
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(Args {
+        stream_file: stream_file.ok_or("missing stream file argument")?,
+        rate,
+        tcp,
+        honor_pauses,
+    })
+}
+
+fn run(args: Args) -> Result<(), String> {
+    let (rx, reader) = spawn_file_reader(&args.stream_file, 64 * 1024);
+    let replayer = Replayer::new(ReplayerConfig {
+        target_rate: args.rate,
+        honor_pauses: args.honor_pauses,
+        ..Default::default()
+    });
+
+    let report = match &args.tcp {
+        Some(addr) => {
+            let mut sink =
+                TcpSink::connect(addr.as_str()).map_err(|e| format!("tcp connect: {e}"))?;
+            let report = replayer
+                .replay(rx.iter(), &mut sink)
+                .map_err(|e| format!("replay: {e}"))?;
+            sink.flush().map_err(|e| format!("flush: {e}"))?;
+            report
+        }
+        None => {
+            let stdout = std::io::stdout();
+            let mut sink = WriterSink::new(std::io::BufWriter::new(stdout.lock()));
+            let report = replayer
+                .replay(rx.iter(), &mut sink)
+                .map_err(|e| format!("replay: {e}"))?;
+            sink.flush().map_err(|e| format!("flush: {e}"))?;
+            report
+        }
+    };
+
+    let read = reader
+        .join()
+        .map_err(|_| "reader thread panicked".to_owned())?
+        .map_err(|e| format!("stream file: {e}"))?;
+
+    let mut err = std::io::stderr().lock();
+    let _ = writeln!(err, "entries read:     {read}");
+    let _ = writeln!(err, "graph events:     {}", report.graph_events);
+    let _ = writeln!(
+        err,
+        "duration:         {:.3}s",
+        report.duration_micros as f64 / 1e6
+    );
+    let _ = writeln!(err, "achieved rate:    {:.0} events/s", report.achieved_rate);
+    for (name, t) in &report.markers {
+        let _ = writeln!(err, "marker {name}: t = {:.6}s", *t as f64 / 1e6);
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("gt-replay: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

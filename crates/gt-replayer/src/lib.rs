@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! # gt-replayer
+//!
+//! The graph stream replayer (paper §4.1, §5.1): emits a stream of events
+//! "with a uniform, yet tunable event rate", decoupling reading from
+//! emitting with a multi-threaded design, using high-precision timestamps
+//! and busy-waiting for timeliness.
+//!
+//! * [`sink`] — where events go: an in-process channel, any
+//!   [`std::io::Write`] (pipes, files, stdout), or a TCP connection; all
+//!   platform-specific connectors implement one trait, keeping the harness
+//!   platform-agnostic (§3.3).
+//! * [`pacing`] — the deadline-based rate controller with hybrid
+//!   sleep/busy-wait.
+//! * [`replayer`] — the driver: honours in-stream `SPEED` and `PAUSE`
+//!   control events, timestamps `MARKER` events against the run clock, and
+//!   reports achieved ingress rates (§4.3 "Streaming Metrics").
+//! * [`reader`] — the decoupled file-reader thread feeding the replayer
+//!   through a bounded channel.
+
+pub mod pacing;
+pub mod reader;
+pub mod replayer;
+pub mod sink;
+pub mod source;
+
+pub use pacing::Pacer;
+pub use reader::spawn_file_reader;
+pub use replayer::{ReplayReport, Replayer, ReplayerConfig};
+pub use sink::{ChannelSink, CollectSink, EventSink, TcpSink, WriterSink};
+pub use source::spawn_tcp_source;

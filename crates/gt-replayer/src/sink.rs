@@ -1,0 +1,213 @@
+//! Event sinks — the replayer side of platform connectors.
+//!
+//! The paper requires "a generic streaming interface supporting different
+//! modes of operation … adapted by platform-specific connectors" (§3.3).
+//! [`EventSink`] is that interface. Built-in connectors cover the paper's
+//! evaluation setups: process pipes / stdout ([`WriterSink`]), local or
+//! remote TCP sockets ([`TcpSink`]), and in-process channels
+//! ([`ChannelSink`]) for systems embedded in the harness.
+
+use std::io::{self, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crossbeam::channel::Sender;
+use gt_core::format::entry_to_line;
+use gt_core::prelude::*;
+
+/// A destination for replayed stream entries.
+pub trait EventSink {
+    /// Delivers one entry.
+    fn send(&mut self, entry: &StreamEntry) -> io::Result<()>;
+
+    /// Flushes buffered entries (called at replay end and around pauses).
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Writes entries in the stream line format to any [`Write`] — pipes,
+/// stdout, files.
+pub struct WriterSink<W: Write> {
+    inner: W,
+    buf: String,
+}
+
+impl<W: Write> WriterSink<W> {
+    /// Wraps a writer.
+    pub fn new(inner: W) -> Self {
+        WriterSink {
+            inner,
+            buf: String::with_capacity(64),
+        }
+    }
+
+    /// Unwraps the inner writer.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: Write> EventSink for WriterSink<W> {
+    fn send(&mut self, entry: &StreamEntry) -> io::Result<()> {
+        self.buf.clear();
+        gt_core::format::write_line(entry, &mut self.buf);
+        self.buf.push('\n');
+        self.inner.write_all(self.buf.as_bytes())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Streams entries over a buffered TCP connection.
+pub struct TcpSink {
+    inner: WriterSink<BufWriter<TcpStream>>,
+}
+
+impl TcpSink {
+    /// Connects to the given address.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(TcpSink {
+            inner: WriterSink::new(BufWriter::with_capacity(64 * 1024, stream)),
+        })
+    }
+}
+
+impl EventSink for TcpSink {
+    fn send(&mut self, entry: &StreamEntry) -> io::Result<()> {
+        self.inner.send(entry)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Sends entries into a crossbeam channel — the in-process connector used
+/// by the embedded systems under test.
+pub struct ChannelSink {
+    tx: Sender<StreamEntry>,
+}
+
+impl ChannelSink {
+    /// Wraps a sender.
+    pub fn new(tx: Sender<StreamEntry>) -> Self {
+        ChannelSink { tx }
+    }
+}
+
+impl EventSink for ChannelSink {
+    fn send(&mut self, entry: &StreamEntry) -> io::Result<()> {
+        self.tx
+            .send(entry.clone())
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "receiver disconnected"))
+    }
+}
+
+/// Collects entries in memory — test and measurement helper.
+#[derive(Debug, Default)]
+pub struct CollectSink {
+    /// Everything received, in order.
+    pub entries: Vec<StreamEntry>,
+}
+
+impl CollectSink {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Serialized view of what was received (for format assertions).
+    pub fn lines(&self) -> Vec<String> {
+        self.entries.iter().map(entry_to_line).collect()
+    }
+}
+
+impl EventSink for CollectSink {
+    fn send(&mut self, entry: &StreamEntry) -> io::Result<()> {
+        self.entries.push(entry.clone());
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader};
+    use std::net::TcpListener;
+
+    fn sample_entries() -> Vec<StreamEntry> {
+        vec![
+            StreamEntry::graph(GraphEvent::AddVertex {
+                id: VertexId(1),
+                state: State::new("a"),
+            }),
+            StreamEntry::marker("m"),
+            StreamEntry::speed(2.0),
+        ]
+    }
+
+    #[test]
+    fn writer_sink_emits_lines() {
+        let mut sink = WriterSink::new(Vec::new());
+        for e in sample_entries() {
+            sink.send(&e).unwrap();
+        }
+        sink.flush().unwrap();
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        assert_eq!(text, "ADD_VERTEX,1,a\nMARKER,m,\nSPEED,,2\n");
+    }
+
+    #[test]
+    fn channel_sink_delivers() {
+        let (tx, rx) = crossbeam::channel::unbounded();
+        let mut sink = ChannelSink::new(tx);
+        for e in sample_entries() {
+            sink.send(&e).unwrap();
+        }
+        drop(sink);
+        let received: Vec<StreamEntry> = rx.iter().collect();
+        assert_eq!(received, sample_entries());
+    }
+
+    #[test]
+    fn channel_sink_errors_when_receiver_gone() {
+        let (tx, rx) = crossbeam::channel::unbounded::<StreamEntry>();
+        drop(rx);
+        let mut sink = ChannelSink::new(tx);
+        assert!(sink.send(&StreamEntry::marker("x")).is_err());
+    }
+
+    #[test]
+    fn tcp_sink_roundtrip() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let reader = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let reader = BufReader::new(stream);
+            reader.lines().map(|l| l.unwrap()).collect::<Vec<_>>()
+        });
+
+        let mut sink = TcpSink::connect(addr).unwrap();
+        for e in sample_entries() {
+            sink.send(&e).unwrap();
+        }
+        sink.flush().unwrap();
+        drop(sink);
+        let lines = reader.join().unwrap();
+        assert_eq!(lines, ["ADD_VERTEX,1,a", "MARKER,m,", "SPEED,,2"]);
+    }
+
+    #[test]
+    fn collect_sink_records_everything() {
+        let mut sink = CollectSink::new();
+        for e in sample_entries() {
+            sink.send(&e).unwrap();
+        }
+        assert_eq!(sink.entries.len(), 3);
+        assert_eq!(sink.lines()[0], "ADD_VERTEX,1,a");
+    }
+}

@@ -1,0 +1,131 @@
+//! Stream sources — the system-under-test side of network connectors.
+//!
+//! The framework recommends "a distributed setup that conforms with
+//! typical use cases: external event sources, network-based streams"
+//! (§4.1). [`spawn_tcp_source`] is the receiving half: it accepts one
+//! replayer connection, parses the line format incrementally, and feeds
+//! entries into a channel the platform consumes at its own pace — a
+//! *pull-based* mode of operation: a bounded channel backpressures
+//! through TCP flow control all the way to the replayer.
+
+use std::net::TcpListener;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, Receiver};
+use gt_core::prelude::*;
+
+/// Accepts a single connection on `listener` and streams parsed entries
+/// into the returned channel. The thread ends at EOF, on a parse error
+/// (reported through the join handle), or when the receiver hangs up.
+pub fn spawn_tcp_source(
+    listener: TcpListener,
+    buffer: usize,
+) -> (Receiver<StreamEntry>, JoinHandle<Result<u64, CoreError>>) {
+    let (tx, rx) = bounded(buffer.max(1));
+    let handle = std::thread::Builder::new()
+        .name("gt-tcp-source".into())
+        .spawn(move || -> Result<u64, CoreError> {
+            let (socket, _peer) = listener.accept()?;
+            let reader = StreamReader::new(std::io::BufReader::with_capacity(
+                256 * 1024,
+                socket,
+            ));
+            let mut count = 0u64;
+            for entry in reader {
+                let entry = entry?;
+                count += 1;
+                if tx.send(entry).is_err() {
+                    break; // consumer hung up
+                }
+            }
+            Ok(count)
+        })
+        .expect("spawning tcp source thread");
+    (rx, handle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::TcpSink;
+    use crate::{Replayer, ReplayerConfig};
+
+    fn sample_stream() -> GraphStream {
+        let mut s: GraphStream = (0..200u64)
+            .map(|i| {
+                StreamEntry::graph(GraphEvent::AddVertex {
+                    id: VertexId(i),
+                    state: State::new("x"),
+                })
+            })
+            .collect();
+        s.push(StreamEntry::marker("end"));
+        s
+    }
+
+    #[test]
+    fn tcp_end_to_end_roundtrip() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let (rx, source) = spawn_tcp_source(listener, 1024);
+
+        let stream = sample_stream();
+        let replayer = Replayer::new(ReplayerConfig {
+            target_rate: 1e6,
+            ..Default::default()
+        });
+        let sender = {
+            let stream = stream.clone();
+            std::thread::spawn(move || {
+                let mut sink = TcpSink::connect(addr).unwrap();
+                replayer.replay_stream(&stream, &mut sink).unwrap()
+            })
+        };
+
+        let received: Vec<StreamEntry> = rx.iter().collect();
+        let report = sender.join().unwrap();
+        assert_eq!(received, stream.entries());
+        assert_eq!(report.graph_events, 200);
+        assert_eq!(source.join().unwrap().unwrap(), stream.len() as u64);
+    }
+
+    #[test]
+    fn consumer_hangup_stops_source() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let (rx, source) = spawn_tcp_source(listener, 4);
+
+        let sender = std::thread::spawn(move || {
+            let mut sink = TcpSink::connect(addr).unwrap();
+            let stream = sample_stream();
+            // Ignore errors: the receiving side may close mid-stream.
+            let replayer = Replayer::new(ReplayerConfig {
+                target_rate: 1e6,
+                ..Default::default()
+            });
+            let _ = replayer.replay_stream(&stream, &mut sink);
+        });
+
+        let first: Vec<StreamEntry> = rx.iter().take(5).collect();
+        assert_eq!(first.len(), 5);
+        drop(rx);
+        assert!(source.join().unwrap().is_ok());
+        sender.join().unwrap();
+    }
+
+    #[test]
+    fn parse_errors_surface_through_handle() {
+        use std::io::Write;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let (rx, source) = spawn_tcp_source(listener, 4);
+
+        let mut raw = std::net::TcpStream::connect(addr).unwrap();
+        raw.write_all(b"ADD_VERTEX,1,\nTHIS IS NOT CSV\n").unwrap();
+        drop(raw);
+
+        let entries: Vec<StreamEntry> = rx.iter().collect();
+        assert_eq!(entries.len(), 1);
+        assert!(source.join().unwrap().is_err());
+    }
+}

@@ -1,0 +1,116 @@
+//! `gt-generate` — workload generation as a standalone tool.
+//!
+//! Writes a graph stream file for one of the built-in workloads, ready
+//! for `gt-replay` (mirroring the paper's generator → file → replayer
+//! pipeline).
+//!
+//! ```text
+//! gt-generate <snb|ddos|blockchain|table3> <out.csv> [--scale F] [--seed N]
+//! ```
+
+use std::process::ExitCode;
+
+use gt_workloads::{BlockchainWorkload, DdosWorkload, SnbWorkload, Table3Workload};
+
+struct Args {
+    workload: String,
+    out: String,
+    scale: f64,
+    seed: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let mut positional = Vec::new();
+    let mut scale = 0.1;
+    let mut seed = 2018;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                scale = args
+                    .next()
+                    .ok_or("--scale needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad scale: {e}"))?;
+                if !(scale > 0.0) {
+                    return Err("scale must be positive".into());
+                }
+            }
+            "--seed" => {
+                seed = args
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad seed: {e}"))?;
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: gt-generate <snb|ddos|blockchain|table3> <out.csv> [--scale F] [--seed N]"
+                        .into(),
+                )
+            }
+            other if !other.starts_with('-') => positional.push(other.to_owned()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if positional.len() != 2 {
+        return Err("expected exactly: <workload> <out.csv>".into());
+    }
+    let mut positional = positional.into_iter();
+    Ok(Args {
+        workload: positional.next().expect("checked"),
+        out: positional.next().expect("checked"),
+        scale,
+        seed,
+    })
+}
+
+fn run(args: Args) -> Result<(), String> {
+    let stream = match args.workload.as_str() {
+        "snb" => SnbWorkload::scaled(args.scale, args.seed).generate(),
+        "ddos" => DdosWorkload {
+            seed: args.seed,
+            baseline_clients: (300.0 * args.scale * 10.0) as u64,
+            attack_clients: (600.0 * args.scale * 10.0) as u64,
+            ..Default::default()
+        }
+        .generate(),
+        "blockchain" => BlockchainWorkload {
+            seed: args.seed,
+            blocks: (500.0 * args.scale) as u64 + 1,
+            ..Default::default()
+        }
+        .generate(),
+        "table3" => {
+            let mut workload = Table3Workload::small((100_000.0 * args.scale) as usize, args.seed);
+            if args.scale >= 1.0 {
+                workload = Table3Workload::paper((100_000.0 * args.scale) as usize);
+            }
+            workload.generate()
+        }
+        other => return Err(format!("unknown workload `{other}`")),
+    };
+    let stats = stream.stats();
+    stream
+        .write_to_file(&args.out)
+        .map_err(|e| format!("writing {}: {e}", args.out))?;
+    eprintln!(
+        "wrote {}: {} entries ({} graph events, {} markers, {} control events)",
+        args.out,
+        stream.len(),
+        stats.graph_events,
+        stats.markers,
+        stats.controls
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match parse_args().and_then(run) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("gt-generate: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

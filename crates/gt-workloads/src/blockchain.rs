@@ -1,0 +1,215 @@
+//! The blockchain use case (§2.4): "new blocks represent micro-batches of
+//! transactions … a stream-based graph processing system consumes the
+//! stream of transactions and maintains a combined transaction/wallet
+//! graph" with live statistics (balances, average transaction values,
+//! distribution of holdings).
+//!
+//! The stream models wallets as vertices (state: balance) and transfers as
+//! edges (state: amount). Blocks are delimited by `block-N` markers; each
+//! block contains a micro-batch of transactions. Repeat transfers between
+//! the same wallet pair update the edge (cumulative volume) instead of
+//! duplicating it. Wallet balances are updated with each transfer, so
+//! balance queries are exact on the reconstructed graph.
+
+use std::collections::HashMap;
+
+use gt_core::prelude::*;
+use gt_generator::GenContext;
+use rand::RngExt;
+
+/// Configuration of the blockchain stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockchainWorkload {
+    /// Number of blocks.
+    pub blocks: u64,
+    /// Transactions per block.
+    pub txs_per_block: u64,
+    /// Probability that a transaction involves a brand-new wallet.
+    pub new_wallet_prob: f64,
+    /// Initial balance granted to each new wallet (the "coinbase").
+    pub initial_balance: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BlockchainWorkload {
+    fn default() -> Self {
+        BlockchainWorkload {
+            blocks: 50,
+            txs_per_block: 40,
+            new_wallet_prob: 0.15,
+            initial_balance: 100.0,
+            seed: 13,
+        }
+    }
+}
+
+impl BlockchainWorkload {
+    /// Generates the stream.
+    pub fn generate(&self) -> GraphStream {
+        assert!((0.0..=1.0).contains(&self.new_wallet_prob));
+        let mut ctx = GenContext::new(self.seed);
+        let mut stream = GraphStream::new();
+        let mut balances: HashMap<VertexId, f64> = HashMap::new();
+        let mut volumes: HashMap<EdgeId, f64> = HashMap::new();
+
+        // Genesis wallets.
+        for _ in 0..4 {
+            self.new_wallet(&mut ctx, &mut stream, &mut balances);
+        }
+
+        for block in 0..self.blocks {
+            for _ in 0..self.txs_per_block {
+                if ctx.rng.random_bool(self.new_wallet_prob) {
+                    self.new_wallet(&mut ctx, &mut stream, &mut balances);
+                }
+                self.transfer(&mut ctx, &mut stream, &mut balances, &mut volumes);
+            }
+            stream.push(StreamEntry::marker(format!("block-{block}")));
+        }
+        stream
+    }
+
+    fn new_wallet(
+        &self,
+        ctx: &mut GenContext,
+        stream: &mut GraphStream,
+        balances: &mut HashMap<VertexId, f64>,
+    ) -> VertexId {
+        let id = ctx.allocate_vertex_id();
+        let event = GraphEvent::AddVertex {
+            id,
+            state: State::from_fields([("balance", format!("{}", self.initial_balance))]),
+        };
+        ctx.apply(&event).expect("fresh wallet id");
+        stream.push(StreamEntry::Graph(event));
+        balances.insert(id, self.initial_balance);
+        id
+    }
+
+    fn transfer(
+        &self,
+        ctx: &mut GenContext,
+        stream: &mut GraphStream,
+        balances: &mut HashMap<VertexId, f64>,
+        volumes: &mut HashMap<EdgeId, f64>,
+    ) {
+        // Sender: a wallet with funds; receiver: preferential attachment
+        // (exchanges and merchants accumulate counterparties).
+        for _ in 0..64 {
+            let from = ctx.uniform_vertex();
+            let to = ctx.degree_proportional_vertex();
+            if from == to {
+                continue;
+            }
+            let from_balance = balances.get(&from).copied().unwrap_or(0.0);
+            if from_balance < 1.0 {
+                continue;
+            }
+            let amount = ctx.rng.random_range(1.0..=from_balance);
+            // Apply the transfer: balances move, the edge accumulates.
+            *balances.get_mut(&from).expect("sender exists") -= amount;
+            *balances.entry(to).or_insert(0.0) += amount;
+
+            let edge = EdgeId::new(from, to);
+            let total = volumes.entry(edge).or_insert(0.0);
+            *total += amount;
+            let edge_event = if ctx.graph.has_edge(edge) {
+                GraphEvent::UpdateEdge {
+                    id: edge,
+                    state: State::weight(*total),
+                }
+            } else {
+                GraphEvent::AddEdge {
+                    id: edge,
+                    state: State::weight(*total),
+                }
+            };
+            ctx.apply(&edge_event).expect("validated edge event");
+            stream.push(StreamEntry::Graph(edge_event));
+
+            // Balance updates for both parties.
+            for wallet in [from, to] {
+                let event = GraphEvent::UpdateVertex {
+                    id: wallet,
+                    state: State::from_fields([("balance", format!("{}", balances[&wallet]))]),
+                };
+                ctx.apply(&event).expect("wallet exists");
+                stream.push(StreamEntry::Graph(event));
+            }
+            return;
+        }
+        // All candidates were broke or self-pairs; skip this transaction.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gt_graph::EvolvingGraph;
+
+    #[test]
+    fn stream_applies_and_blocks_are_marked() {
+        let workload = BlockchainWorkload::default();
+        let stream = workload.generate();
+        let g = EvolvingGraph::from_stream(&stream).unwrap();
+        g.check_invariants().unwrap();
+        assert_eq!(stream.stats().markers, workload.blocks as usize);
+    }
+
+    #[test]
+    fn total_balance_is_conserved_per_reconstruction() {
+        let workload = BlockchainWorkload {
+            blocks: 20,
+            txs_per_block: 30,
+            ..Default::default()
+        };
+        let stream = workload.generate();
+        let g = EvolvingGraph::from_stream(&stream).unwrap();
+        // Sum of balances = wallets * initial (transfers conserve money).
+        let total: f64 = g
+            .vertices_with_state()
+            .filter_map(|(_, s)| s.get_field("balance")?.parse::<f64>().ok())
+            .sum();
+        let expected = g.vertex_count() as f64 * workload.initial_balance;
+        assert!(
+            (total - expected).abs() < 1e-6 * expected,
+            "total {total} expected {expected}"
+        );
+    }
+
+    #[test]
+    fn no_negative_balances() {
+        let stream = BlockchainWorkload::default().generate();
+        let g = EvolvingGraph::from_stream(&stream).unwrap();
+        for (id, state) in g.vertices_with_state() {
+            let balance: f64 = state.get_field("balance").unwrap().parse().unwrap();
+            assert!(balance >= -1e-9, "wallet {id} balance {balance}");
+        }
+    }
+
+    #[test]
+    fn edge_volume_accumulates() {
+        let stream = BlockchainWorkload {
+            blocks: 30,
+            txs_per_block: 50,
+            new_wallet_prob: 0.02,
+            ..Default::default()
+        }
+        .generate();
+        // With few wallets and many txs, repeat pairs must occur and be
+        // expressed as UPDATE_EDGE rather than duplicate ADD_EDGE.
+        let stats = stream.stats();
+        assert!(stats.count(EventKind::UpdateEdge) > 0);
+        let g = EvolvingGraph::from_stream(&stream).unwrap();
+        assert!(g.edge_count() > 0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(
+            BlockchainWorkload::default().generate(),
+            BlockchainWorkload::default().generate()
+        );
+    }
+}

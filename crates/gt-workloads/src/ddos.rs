@@ -1,0 +1,258 @@
+//! The DDoS use case (§2.4): a stream-based graph system "supervises a set
+//! of servers … modeling traffic flow between the servers and remote
+//! clients", and must detect "anomalous temporal traffic patterns".
+//!
+//! The generated stream has three phases, delimited by markers:
+//!
+//! 1. **Baseline** — benign clients connect to servers chosen uniformly;
+//!    flow edges carry byte counts; flows are periodically updated and
+//!    occasionally expire (edge removals).
+//! 2. **Attack** (`attack-start` … `attack-end`) — a botnet of fresh
+//!    clients floods one victim server; in-degree and traffic of the
+//!    victim spike.
+//! 3. **Recovery** — attack flows expire; baseline traffic continues.
+//!
+//! Detection is exercised in the `ddos_detection` example: in-degree and
+//! traffic-rate monitoring over the evolving graph flags the victim
+//! during phase 2.
+
+use gt_core::prelude::*;
+use gt_generator::GenContext;
+use rand::RngExt;
+
+/// Configuration of the DDoS stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DdosWorkload {
+    /// Monitored servers (vertices 0..servers).
+    pub servers: u64,
+    /// Benign client arrivals during the baseline phase.
+    pub baseline_clients: u64,
+    /// Botnet clients attacking during the attack phase.
+    pub attack_clients: u64,
+    /// The victim server (index into 0..servers).
+    pub victim: u64,
+    /// Flow-update events per phase (traffic volume churn).
+    pub updates_per_phase: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DdosWorkload {
+    fn default() -> Self {
+        DdosWorkload {
+            servers: 10,
+            baseline_clients: 300,
+            attack_clients: 600,
+            victim: 0,
+            updates_per_phase: 200,
+            seed: 7,
+        }
+    }
+}
+
+/// Marker emitted when the attack begins.
+pub const ATTACK_START: &str = "attack-start";
+/// Marker emitted when the attack ends.
+pub const ATTACK_END: &str = "attack-end";
+
+impl DdosWorkload {
+    /// Generates the three-phase stream.
+    pub fn generate(&self) -> GraphStream {
+        assert!(self.victim < self.servers, "victim must be a server");
+        let mut ctx = GenContext::new(self.seed);
+        let mut stream = GraphStream::new();
+
+        // Servers first.
+        for _ in 0..self.servers {
+            let id = ctx.allocate_vertex_id();
+            let event = GraphEvent::AddVertex {
+                id,
+                state: State::from_fields([("role", "server".to_owned())]),
+            };
+            ctx.apply(&event).expect("fresh server id");
+            stream.push(StreamEntry::Graph(event));
+        }
+
+        // Phase 1: baseline clients with benign flows.
+        let mut client_ids = Vec::new();
+        for _ in 0..self.baseline_clients {
+            let client = self.spawn_client(&mut ctx, &mut stream, "client");
+            client_ids.push(client);
+            let server = VertexId(ctx.rng.random_range(0..self.servers));
+            self.open_flow(&mut ctx, &mut stream, client, server, 1_000.0, 50_000.0);
+        }
+        self.churn_updates(&mut ctx, &mut stream, self.updates_per_phase);
+
+        // Phase 2: the attack.
+        stream.push(StreamEntry::marker(ATTACK_START));
+        let victim = VertexId(self.victim);
+        let mut bots = Vec::new();
+        for _ in 0..self.attack_clients {
+            let bot = self.spawn_client(&mut ctx, &mut stream, "client");
+            bots.push(bot);
+            // Attack flows look individually benign: modest byte counts.
+            self.open_flow(&mut ctx, &mut stream, bot, victim, 500.0, 5_000.0);
+        }
+        self.churn_updates(&mut ctx, &mut stream, self.updates_per_phase);
+        stream.push(StreamEntry::marker(ATTACK_END));
+
+        // Phase 3: recovery — attack flows expire.
+        for bot in bots {
+            let edge = EdgeId::new(bot, victim);
+            if ctx.graph.has_edge(edge) {
+                let event = GraphEvent::RemoveEdge { id: edge };
+                ctx.apply(&event).expect("flow exists");
+                stream.push(StreamEntry::Graph(event));
+            }
+        }
+        self.churn_updates(&mut ctx, &mut stream, self.updates_per_phase);
+        stream
+    }
+
+    fn spawn_client(
+        &self,
+        ctx: &mut GenContext,
+        stream: &mut GraphStream,
+        role: &str,
+    ) -> VertexId {
+        let id = ctx.allocate_vertex_id();
+        let event = GraphEvent::AddVertex {
+            id,
+            state: State::from_fields([("role", role.to_owned())]),
+        };
+        ctx.apply(&event).expect("fresh client id");
+        stream.push(StreamEntry::Graph(event));
+        id
+    }
+
+    fn open_flow(
+        &self,
+        ctx: &mut GenContext,
+        stream: &mut GraphStream,
+        client: VertexId,
+        server: VertexId,
+        min_bytes: f64,
+        max_bytes: f64,
+    ) {
+        let id = EdgeId::new(client, server);
+        if ctx.graph.has_edge(id) {
+            return;
+        }
+        let bytes = ctx.rng.random_range(min_bytes..=max_bytes);
+        let event = GraphEvent::AddEdge {
+            id,
+            state: State::weight(bytes),
+        };
+        ctx.apply(&event).expect("fresh flow");
+        stream.push(StreamEntry::Graph(event));
+    }
+
+    /// Traffic volume churn: update the byte counter of random live flows.
+    fn churn_updates(&self, ctx: &mut GenContext, stream: &mut GraphStream, count: u64) {
+        for _ in 0..count {
+            let Some(edge) = ctx.uniform_edge() else {
+                return;
+            };
+            let bytes = ctx.rng.random_range(1_000.0..=100_000.0);
+            let event = GraphEvent::UpdateEdge {
+                id: edge,
+                state: State::weight(bytes),
+            };
+            ctx.apply(&event).expect("edge exists");
+            stream.push(StreamEntry::Graph(event));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gt_graph::EvolvingGraph;
+
+    #[test]
+    fn stream_applies_and_has_markers() {
+        let workload = DdosWorkload::default();
+        let stream = workload.generate();
+        let g = EvolvingGraph::from_stream(&stream).unwrap();
+        g.check_invariants().unwrap();
+        assert_eq!(stream.stats().markers, 2);
+        let names: Vec<&str> = stream
+            .entries()
+            .iter()
+            .filter_map(|e| match e {
+                StreamEntry::Marker(n) => Some(n.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(names, [ATTACK_START, ATTACK_END]);
+    }
+
+    #[test]
+    fn victim_in_degree_spikes_during_attack() {
+        let workload = DdosWorkload::default();
+        let stream = workload.generate();
+        let mut g = EvolvingGraph::new();
+        let mut at_attack_end = 0usize;
+        for entry in stream.entries() {
+            match entry {
+                StreamEntry::Graph(e) => {
+                    g.apply(e).unwrap();
+                }
+                StreamEntry::Marker(name) if name == ATTACK_END => {
+                    at_attack_end = g.in_degree(VertexId(workload.victim)).unwrap();
+                }
+                _ => {}
+            }
+        }
+        let final_deg = g.in_degree(VertexId(workload.victim)).unwrap();
+        // During the attack the victim holds the botnet flows…
+        assert!(
+            at_attack_end as u64 >= workload.attack_clients,
+            "attack in-degree {at_attack_end}"
+        );
+        // …and recovery removes them.
+        assert!(
+            (final_deg as u64) < workload.attack_clients / 2,
+            "recovered in-degree {final_deg}"
+        );
+    }
+
+    #[test]
+    fn non_victim_servers_keep_moderate_degree() {
+        let workload = DdosWorkload::default();
+        let stream = workload.generate();
+        let g = EvolvingGraph::from_stream(&stream).unwrap();
+        // Expected baseline flows per server ≈ baseline/servers = 30.
+        for s in 0..workload.servers {
+            if s == workload.victim {
+                continue;
+            }
+            let deg = g.in_degree(VertexId(s)).unwrap() as u64;
+            assert!(deg < workload.baseline_clients / 2, "server {s}: {deg}");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = DdosWorkload::default().generate();
+        let b = DdosWorkload::default().generate();
+        assert_eq!(a, b);
+        let c = DdosWorkload {
+            seed: 8,
+            ..Default::default()
+        }
+        .generate();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "victim must be a server")]
+    fn invalid_victim_rejected() {
+        DdosWorkload {
+            victim: 99,
+            servers: 10,
+            ..Default::default()
+        }
+        .generate();
+    }
+}

@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! # gt-workloads
+//!
+//! Representative, versatile workloads (paper §3.3, §2.4): ready-made
+//! graph streams for the three use cases the paper motivates, plus the
+//! exact experiment presets of its evaluation section.
+//!
+//! * [`snb`] — an SNB-like social-network stream (persons + "knows"
+//!   connections), sized like the converted LDBC SNB workload of the
+//!   Chronograph experiment (Table 4: 190,518 events).
+//! * [`ddos`] — network flow graphs with a distributed denial-of-service
+//!   attack phase (§2.4 use case 2).
+//! * [`blockchain`] — wallet/transaction graphs in per-block micro-batches
+//!   (§2.4 use case 3).
+//! * [`table3`] — the Weaver experiment workload: Barabási–Albert
+//!   bootstrap plus the Table 3 event mix.
+//!
+//! All generators are seeded and deterministic, and every produced stream
+//! applies cleanly onto an empty graph under strict semantics.
+
+pub mod blockchain;
+pub mod ddos;
+pub mod snb;
+pub mod table3;
+pub mod traffic;
+
+pub use blockchain::BlockchainWorkload;
+pub use ddos::DdosWorkload;
+pub use snb::SnbWorkload;
+pub use table3::Table3Workload;
+pub use traffic::TrafficWorkload;

@@ -1,0 +1,249 @@
+//! The SNB-like social network stream.
+//!
+//! The paper's Chronograph experiment uses "a converted LDBC SNB workload
+//! (only persons and connections); 190,518 events" (Table 4). The LDBC
+//! generator itself is a large external Java system; this module generates
+//! a behaviourally equivalent stream: person-creation events interleaved
+//! with "knows" edges whose endpoints follow the SNB social-graph skew —
+//! sources biased toward recently joined persons (new members are the
+//! active ones), targets by preferential attachment (popular members
+//! attract connections).
+
+use gt_core::prelude::*;
+use gt_generator::{GenContext, VertexSelector};
+
+/// Configuration for the social-network stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SnbWorkload {
+    /// Number of persons to create.
+    pub persons: u64,
+    /// Number of "knows" edges to create.
+    pub connections: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SnbWorkload {
+    /// The Chronograph experiment's size: 190,518 events total —
+    /// 10,028 persons and 180,490 connections (mean degree ≈ 36, matching
+    /// the SNB SF-1 person–knows graph).
+    pub fn table4() -> Self {
+        SnbWorkload {
+            persons: 10_028,
+            connections: 180_490,
+            seed: 2018,
+        }
+    }
+
+    /// A proportionally scaled-down variant with the same person/edge
+    /// ratio, for fast tests and examples.
+    pub fn scaled(fraction: f64, seed: u64) -> Self {
+        let full = Self::table4();
+        SnbWorkload {
+            persons: ((full.persons as f64 * fraction) as u64).max(10),
+            connections: ((full.connections as f64 * fraction) as u64).max(10),
+            seed,
+        }
+    }
+
+    /// Total events the stream will contain.
+    pub fn total_events(&self) -> u64 {
+        self.persons + self.connections
+    }
+
+    /// Generates the stream. Events are interleaved so that the graph
+    /// grows organically: connections appear as soon as enough persons
+    /// exist, at the steady-state ratio.
+    pub fn generate(&self) -> GraphStream {
+        assert!(self.persons >= 2, "need at least two persons");
+        let mut ctx = GenContext::new(self.seed);
+        let mut stream = GraphStream::new();
+
+        let mut persons_left = self.persons;
+        let mut connections_left = self.connections;
+        // Bootstrap a small core so early edges have targets.
+        let core = self.persons.min(8);
+        for _ in 0..core {
+            Self::add_person(&mut ctx, &mut stream);
+            persons_left -= 1;
+        }
+
+        while persons_left + connections_left > 0 {
+            // Interleave proportionally to what remains; when the live
+            // graph is too dense for random edge placement (early on, few
+            // persons exist), fall forward to the next person arrival.
+            let pick_person = if connections_left == 0 {
+                true
+            } else if persons_left == 0 {
+                false
+            } else {
+                // Weighted choice keeps the global ratio steady.
+                use rand::RngExt;
+                let p = persons_left as f64 / (persons_left + connections_left) as f64;
+                ctx.rng.random_bool(p)
+            };
+            if pick_person {
+                Self::add_person(&mut ctx, &mut stream);
+                persons_left -= 1;
+            } else if Self::add_connection(&mut ctx, &mut stream) {
+                connections_left -= 1;
+            } else if persons_left > 0 {
+                Self::add_person(&mut ctx, &mut stream);
+                persons_left -= 1;
+            } else {
+                // No persons left and random placement saturated: place the
+                // remaining connections deterministically.
+                Self::fill_connections(&mut ctx, &mut stream, connections_left);
+                connections_left = 0;
+            }
+        }
+        stream
+    }
+
+    /// Deterministic fallback: scans vertex pairs in order and emits the
+    /// first `count` missing edges.
+    ///
+    /// # Panics
+    /// If the graph cannot hold `count` more edges at all.
+    fn fill_connections(ctx: &mut GenContext, stream: &mut GraphStream, count: u64) {
+        let vertices: Vec<VertexId> = ctx.graph.vertices().collect();
+        let mut placed = 0u64;
+        'outer: for &src in &vertices {
+            for &dst in &vertices {
+                if placed == count {
+                    break 'outer;
+                }
+                let id = EdgeId::new(src, dst);
+                if id.is_self_loop() || ctx.graph.has_edge(id) {
+                    continue;
+                }
+                let event = GraphEvent::AddEdge {
+                    id,
+                    state: State::new("knows"),
+                };
+                ctx.apply(&event).expect("validated edge");
+                stream.push(StreamEntry::Graph(event));
+                placed += 1;
+            }
+        }
+        assert_eq!(
+            placed, count,
+            "graph too small for the requested connection count"
+        );
+    }
+
+    fn add_person(ctx: &mut GenContext, stream: &mut GraphStream) {
+        let id = ctx.allocate_vertex_id();
+        let event = GraphEvent::AddVertex {
+            id,
+            state: State::from_fields([("person", id.0.to_string())]),
+        };
+        ctx.apply(&event).expect("fresh person id");
+        stream.push(StreamEntry::Graph(event));
+    }
+
+    /// Attempts a random skewed placement; `false` when 64 draws all
+    /// collided (the live graph is currently too dense).
+    fn add_connection(ctx: &mut GenContext, stream: &mut GraphStream) -> bool {
+        for _ in 0..64 {
+            let src = ctx
+                .select_vertex(VertexSelector::ZipfRecency { exponent: 0.8 })
+                .expect("persons exist");
+            let dst = ctx
+                .select_vertex(VertexSelector::DegreeProportional)
+                .expect("persons exist");
+            let id = EdgeId::new(src, dst);
+            if id.is_self_loop() || ctx.graph.has_edge(id) {
+                continue;
+            }
+            let event = GraphEvent::AddEdge {
+                id,
+                state: State::new("knows"),
+            };
+            ctx.apply(&event).expect("validated edge");
+            stream.push(StreamEntry::Graph(event));
+            return true;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gt_graph::EvolvingGraph;
+
+    #[test]
+    fn table4_size_matches_paper() {
+        assert_eq!(SnbWorkload::table4().total_events(), 190_518);
+    }
+
+    #[test]
+    fn generates_exact_event_counts() {
+        let workload = SnbWorkload {
+            persons: 200,
+            connections: 800,
+            seed: 1,
+        };
+        let stream = workload.generate();
+        let stats = stream.stats();
+        assert_eq!(stats.graph_events, 1_000);
+        assert_eq!(stats.count(EventKind::AddVertex), 200);
+        assert_eq!(stats.count(EventKind::AddEdge), 800);
+    }
+
+    #[test]
+    fn stream_applies_strictly() {
+        let stream = SnbWorkload {
+            persons: 150,
+            connections: 600,
+            seed: 7,
+        }
+        .generate();
+        let g = EvolvingGraph::from_stream(&stream).unwrap();
+        assert_eq!(g.vertex_count(), 150);
+        assert_eq!(g.edge_count(), 600);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn is_deterministic_per_seed() {
+        let make = |seed| {
+            SnbWorkload {
+                persons: 100,
+                connections: 300,
+                seed,
+            }
+            .generate()
+        };
+        assert_eq!(make(5), make(5));
+        assert_ne!(make(5), make(6));
+    }
+
+    #[test]
+    fn degree_distribution_is_skewed() {
+        let stream = SnbWorkload {
+            persons: 300,
+            connections: 3_000,
+            seed: 3,
+        }
+        .generate();
+        let g = EvolvingGraph::from_stream(&stream).unwrap();
+        let dist = gt_graph::properties::DegreeDistribution::total(&g);
+        // Preferential attachment: max degree far above the mean.
+        assert!(
+            dist.max_degree() as f64 > dist.mean() * 3.0,
+            "max {} mean {}",
+            dist.max_degree(),
+            dist.mean()
+        );
+    }
+
+    #[test]
+    fn scaled_preserves_ratio() {
+        let small = SnbWorkload::scaled(0.01, 0);
+        let ratio = small.connections as f64 / small.persons as f64;
+        let full_ratio = 180_490.0 / 10_028.0;
+        assert!((ratio - full_ratio).abs() < 2.0, "ratio {ratio}");
+    }
+}

@@ -1,0 +1,120 @@
+//! The Weaver experiment workload (paper Table 3): a Barabási–Albert
+//! bootstrap (n = 10,000, m₀ = 250, M = 50) followed by evolution under
+//! the Table 3 event mix with its Zipf-biased selection functions.
+
+use std::time::Duration;
+
+use gt_core::prelude::*;
+use gt_generator::{MixModel, StreamComposer, StreamGenerator};
+use gt_graph::builders::BarabasiAlbert;
+
+/// The full Table 3 workload description.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table3Workload {
+    /// Bootstrap graph parameters.
+    pub bootstrap: BarabasiAlbert,
+    /// Evolution-phase length in events.
+    pub evolution_events: usize,
+    /// Pause between bootstrap and evaluation phases.
+    pub warmup_pause: Duration,
+    /// Evolution RNG seed.
+    pub seed: u64,
+}
+
+impl Table3Workload {
+    /// The paper's configuration with a chosen evolution length.
+    pub fn paper(evolution_events: usize) -> Self {
+        Table3Workload {
+            bootstrap: BarabasiAlbert::table3(),
+            evolution_events,
+            warmup_pause: Duration::from_secs(1),
+            seed: 3,
+        }
+    }
+
+    /// A scaled-down configuration for fast tests and examples.
+    pub fn small(evolution_events: usize, seed: u64) -> Self {
+        Table3Workload {
+            bootstrap: BarabasiAlbert {
+                n: 500,
+                m0: 20,
+                m: 5,
+                seed,
+            },
+            evolution_events,
+            warmup_pause: Duration::from_millis(10),
+            seed,
+        }
+    }
+
+    /// Generates the two-phase stream: bootstrap, `bootstrap-done` marker,
+    /// pause, evolution, `stream-end` marker.
+    pub fn generate(&self) -> GraphStream {
+        let bootstrap = self.bootstrap.generate();
+        let mut generator = StreamGenerator::new(MixModel::table3(), self.seed);
+        generator
+            .bootstrap(&bootstrap)
+            .expect("builder streams apply cleanly");
+        let evolution = generator.evolve(self.evolution_events);
+        StreamComposer::two_phase(bootstrap, self.warmup_pause, evolution.stream)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gt_graph::{ApplyPolicy, EvolvingGraph};
+
+    #[test]
+    fn paper_bootstrap_matches_table3() {
+        let w = Table3Workload::paper(100);
+        assert_eq!(w.bootstrap.n, 10_000);
+        assert_eq!(w.bootstrap.m0, 250);
+        assert_eq!(w.bootstrap.m, 50);
+    }
+
+    #[test]
+    fn small_stream_has_two_phases_and_applies() {
+        let stream = Table3Workload::small(2_000, 5).generate();
+        let stats = stream.stats();
+        assert_eq!(stats.markers, 2);
+        assert_eq!(stats.controls, 1);
+        // Bootstrap 500 vertices + (500-20)*5 + 20 edges, plus evolution.
+        assert!(stats.graph_events > 2_000);
+
+        let mut g = EvolvingGraph::new();
+        for event in stream.graph_events() {
+            g.apply_with(event, ApplyPolicy::Strict).unwrap();
+        }
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn event_mix_roughly_table3_in_evolution_phase() {
+        let stream = Table3Workload::small(10_000, 9).generate();
+        // Count only after the bootstrap-done marker.
+        let mut in_evolution = false;
+        let mut adds = 0usize;
+        let mut updates = 0usize;
+        let mut total = 0usize;
+        for entry in stream.entries() {
+            match entry {
+                StreamEntry::Marker(name) if name == "bootstrap-done" => in_evolution = true,
+                StreamEntry::Graph(e) if in_evolution => {
+                    total += 1;
+                    match e.kind() {
+                        EventKind::AddEdge => adds += 1,
+                        EventKind::UpdateVertex => updates += 1,
+                        _ => {}
+                    }
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(total, 10_000);
+        let add_frac = adds as f64 / total as f64;
+        let upd_frac = updates as f64 / total as f64;
+        assert!((0.25..=0.45).contains(&add_frac), "add_edge {add_frac}");
+        assert!((0.25..=0.45).contains(&upd_frac), "update_vertex {upd_frac}");
+    }
+}

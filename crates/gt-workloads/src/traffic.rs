@@ -1,0 +1,249 @@
+//! A road-traffic workload — the third evolving-graph domain §3.2 names
+//! ("social networks, computer networks or road traffic networks").
+//!
+//! The road network itself is a fixed grid (topology changes are rare:
+//! an occasional road closure/reopening), while the *state* churns
+//! constantly: edge weights carry current travel times that follow a
+//! rush-hour profile plus noise. This is the paper's "huge numbers of
+//! state update operations" regime — the opposite corner of the workload
+//! space from the growth-dominated social stream, which is exactly why a
+//! benchmark suite needs both (§3.2 "Graph Evolution Properties").
+
+use gt_core::prelude::*;
+use gt_generator::GenContext;
+use rand::RngExt;
+
+/// Configuration of the road-traffic stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrafficWorkload {
+    /// Grid height (junction rows).
+    pub rows: u64,
+    /// Grid width (junction columns).
+    pub cols: u64,
+    /// Simulated ticks; each tick updates a batch of road segments.
+    pub ticks: u64,
+    /// Travel-time updates per tick.
+    pub updates_per_tick: u64,
+    /// Probability per tick of closing a random open road segment.
+    pub closure_prob: f64,
+    /// Base travel time of a free-flowing segment (arbitrary units).
+    pub base_travel_time: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TrafficWorkload {
+    fn default() -> Self {
+        TrafficWorkload {
+            rows: 10,
+            cols: 10,
+            ticks: 100,
+            updates_per_tick: 40,
+            closure_prob: 0.05,
+            base_travel_time: 10.0,
+            seed: 5,
+        }
+    }
+}
+
+/// Marker emitted when the rush-hour phase begins (congestion rises).
+pub const RUSH_HOUR_START: &str = "rush-hour-start";
+/// Marker emitted when the rush-hour phase ends.
+pub const RUSH_HOUR_END: &str = "rush-hour-end";
+
+impl TrafficWorkload {
+    /// Generates the stream: grid bootstrap with weighted segments, then
+    /// `ticks` rounds of travel-time updates with a rush-hour congestion
+    /// profile in the middle third, plus rare closures/reopenings.
+    pub fn generate(&self) -> GraphStream {
+        assert!(self.rows >= 2 && self.cols >= 2, "grid needs both dimensions");
+        let mut ctx = GenContext::new(self.seed);
+        let mut stream = GraphStream::new();
+
+        // Bootstrap: junctions + road segments in both directions, each
+        // with an initial free-flow travel time.
+        for id in 0..self.rows * self.cols {
+            let event = GraphEvent::AddVertex {
+                id: VertexId(id),
+                state: State::from_fields([("junction", id.to_string())]),
+            };
+            ctx.apply(&event).expect("fresh junction");
+            stream.push(StreamEntry::Graph(event));
+        }
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                let id = r * self.cols + c;
+                let connect = |a: u64, b: u64, ctx: &mut GenContext, out: &mut GraphStream| {
+                    for (src, dst) in [(a, b), (b, a)] {
+                        let event = GraphEvent::AddEdge {
+                            id: EdgeId::from((src, dst)),
+                            state: State::weight(self.base_travel_time),
+                        };
+                        ctx.apply(&event).expect("fresh segment");
+                        out.push(StreamEntry::Graph(event));
+                    }
+                };
+                if c + 1 < self.cols {
+                    connect(id, id + 1, &mut ctx, &mut stream);
+                }
+                if r + 1 < self.rows {
+                    connect(id, id + self.cols, &mut ctx, &mut stream);
+                }
+            }
+        }
+        stream.push(StreamEntry::marker("bootstrap-done"));
+
+        // Closed segments (removed edges) awaiting reopening, with their
+        // base weight.
+        let mut closed: Vec<EdgeId> = Vec::new();
+        let rush_start = self.ticks / 3;
+        let rush_end = self.ticks * 2 / 3;
+
+        for tick in 0..self.ticks {
+            if tick == rush_start {
+                stream.push(StreamEntry::marker(RUSH_HOUR_START));
+            }
+            if tick == rush_end {
+                stream.push(StreamEntry::marker(RUSH_HOUR_END));
+            }
+            // Congestion factor: elevated during rush hour.
+            let congestion = if (rush_start..rush_end).contains(&tick) {
+                3.0
+            } else {
+                1.0
+            };
+
+            for _ in 0..self.updates_per_tick {
+                let Some(edge) = ctx.uniform_edge() else {
+                    break;
+                };
+                let noise: f64 = ctx.rng.random_range(0.8..1.4);
+                let travel_time = self.base_travel_time * congestion * noise;
+                let event = GraphEvent::UpdateEdge {
+                    id: edge,
+                    state: State::weight(travel_time),
+                };
+                ctx.apply(&event).expect("segment exists");
+                stream.push(StreamEntry::Graph(event));
+            }
+
+            // Rare topology churn: close a road, reopen a closed one.
+            if ctx.rng.random_bool(self.closure_prob) {
+                if let Some(edge) = ctx.uniform_edge() {
+                    let event = GraphEvent::RemoveEdge { id: edge };
+                    ctx.apply(&event).expect("segment exists");
+                    stream.push(StreamEntry::Graph(event));
+                    closed.push(edge);
+                }
+            }
+            if !closed.is_empty() && ctx.rng.random_bool(self.closure_prob) {
+                let edge = closed.remove(0);
+                let event = GraphEvent::AddEdge {
+                    id: edge,
+                    state: State::weight(self.base_travel_time),
+                };
+                ctx.apply(&event).expect("segment was closed");
+                stream.push(StreamEntry::Graph(event));
+            }
+        }
+        stream
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gt_graph::EvolvingGraph;
+
+    #[test]
+    fn stream_applies_and_is_update_dominated() {
+        let workload = TrafficWorkload::default();
+        let stream = workload.generate();
+        let g = EvolvingGraph::from_stream(&stream).unwrap();
+        g.check_invariants().unwrap();
+        let stats = stream.stats();
+        // State churn dominates: far more updates than topology changes.
+        assert!(
+            stats.count(EventKind::UpdateEdge)
+                > stats.graph_events / 2,
+            "updates {} of {}",
+            stats.count(EventKind::UpdateEdge),
+            stats.graph_events
+        );
+        assert_eq!(stats.markers, 3);
+    }
+
+    #[test]
+    fn rush_hour_raises_mean_travel_time() {
+        let workload = TrafficWorkload {
+            closure_prob: 0.0,
+            ..Default::default()
+        };
+        let stream = workload.generate();
+        let mut g = EvolvingGraph::new();
+        let mut before_rush = 0.0;
+        let mut during_rush = 0.0;
+        let mean_travel = |g: &EvolvingGraph| -> f64 {
+            let weights: Vec<f64> = g.edges().filter_map(|(_, s)| s.as_weight()).collect();
+            weights.iter().sum::<f64>() / weights.len() as f64
+        };
+        for entry in stream.entries() {
+            match entry {
+                StreamEntry::Graph(e) => {
+                    g.apply(e).unwrap();
+                }
+                StreamEntry::Marker(name) if name == RUSH_HOUR_START => {
+                    before_rush = mean_travel(&g);
+                }
+                StreamEntry::Marker(name) if name == RUSH_HOUR_END => {
+                    during_rush = mean_travel(&g);
+                }
+                _ => {}
+            }
+        }
+        assert!(
+            during_rush > before_rush * 1.5,
+            "rush {during_rush} vs before {before_rush}"
+        );
+        // And recovery after rush hour.
+        let after = mean_travel(&g);
+        assert!(after < during_rush, "after {after} vs rush {during_rush}");
+    }
+
+    #[test]
+    fn closures_never_corrupt_the_graph() {
+        let workload = TrafficWorkload {
+            closure_prob: 0.5,
+            ticks: 200,
+            ..Default::default()
+        };
+        let stream = workload.generate();
+        let g = EvolvingGraph::from_stream(&stream).unwrap();
+        g.check_invariants().unwrap();
+        // The grid keeps all junctions.
+        assert_eq!(g.vertex_count() as u64, workload.rows * workload.cols);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(
+            TrafficWorkload::default().generate(),
+            TrafficWorkload::default().generate()
+        );
+        let other = TrafficWorkload {
+            seed: 6,
+            ..Default::default()
+        };
+        assert_ne!(TrafficWorkload::default().generate(), other.generate());
+    }
+
+    #[test]
+    #[should_panic(expected = "grid needs")]
+    fn rejects_degenerate_grid() {
+        TrafficWorkload {
+            rows: 1,
+            ..Default::default()
+        }
+        .generate();
+    }
+}

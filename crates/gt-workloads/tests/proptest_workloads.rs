@@ -1,0 +1,116 @@
+//! Property-based tests of the workload generators: every configuration
+//! in a sampled parameter range must produce a stream that applies
+//! cleanly under strict semantics, with the advertised composition.
+
+use gt_core::prelude::*;
+use gt_graph::EvolvingGraph;
+use gt_workloads::{BlockchainWorkload, DdosWorkload, SnbWorkload, TrafficWorkload};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn snb_streams_always_apply(
+        // Keep the density feasible: `per_person` well below `persons`,
+        // so the requested connections always fit a simple digraph.
+        persons in 20u64..120,
+        per_person in 1u64..8,
+        seed in any::<u64>(),
+    ) {
+        let workload = SnbWorkload {
+            persons,
+            connections: persons * per_person,
+            seed,
+        };
+        let stream = workload.generate();
+        let stats = stream.stats();
+        prop_assert_eq!(stats.count(EventKind::AddVertex) as u64, workload.persons);
+        prop_assert_eq!(stats.count(EventKind::AddEdge) as u64, workload.connections);
+        let g = EvolvingGraph::from_stream(&stream).expect("strict apply");
+        prop_assert!(g.check_invariants().is_ok());
+        prop_assert_eq!(g.vertex_count() as u64, workload.persons);
+        prop_assert_eq!(g.edge_count() as u64, workload.connections);
+    }
+
+    #[test]
+    fn ddos_streams_always_apply(
+        servers in 2u64..12,
+        baseline in 10u64..100,
+        attackers in 10u64..200,
+        seed in any::<u64>(),
+    ) {
+        let workload = DdosWorkload {
+            servers,
+            baseline_clients: baseline,
+            attack_clients: attackers,
+            victim: servers / 2,
+            updates_per_phase: 30,
+            seed,
+        };
+        let stream = workload.generate();
+        let g = EvolvingGraph::from_stream(&stream).expect("strict apply");
+        prop_assert!(g.check_invariants().is_ok());
+        // Phase markers always present, in order.
+        let markers: Vec<&str> = stream
+            .entries()
+            .iter()
+            .filter_map(|e| match e {
+                StreamEntry::Marker(n) => Some(n.as_str()),
+                _ => None,
+            })
+            .collect();
+        prop_assert_eq!(markers, vec!["attack-start", "attack-end"]);
+    }
+
+    #[test]
+    fn blockchain_conserves_money(
+        blocks in 1u64..20,
+        txs in 5u64..40,
+        seed in any::<u64>(),
+    ) {
+        let workload = BlockchainWorkload {
+            blocks,
+            txs_per_block: txs,
+            seed,
+            ..Default::default()
+        };
+        let stream = workload.generate();
+        let g = EvolvingGraph::from_stream(&stream).expect("strict apply");
+        let total: f64 = g
+            .vertices_with_state()
+            .filter_map(|(_, s)| s.get_field("balance")?.parse::<f64>().ok())
+            .sum();
+        let expected = g.vertex_count() as f64 * workload.initial_balance;
+        prop_assert!((total - expected).abs() < 1e-6 * expected.max(1.0));
+    }
+
+    #[test]
+    fn traffic_streams_always_apply(
+        rows in 2u64..8,
+        cols in 2u64..8,
+        ticks in 1u64..60,
+        closure in 0.0f64..0.5,
+        seed in any::<u64>(),
+    ) {
+        let workload = TrafficWorkload {
+            rows,
+            cols,
+            ticks,
+            updates_per_tick: 10,
+            closure_prob: closure,
+            seed,
+            ..Default::default()
+        };
+        let stream = workload.generate();
+        let g = EvolvingGraph::from_stream(&stream).expect("strict apply");
+        prop_assert!(g.check_invariants().is_ok());
+        // Junctions are never removed.
+        prop_assert_eq!(g.vertex_count() as u64, rows * cols);
+        // Travel times are always positive.
+        for (_, state) in g.edges() {
+            let w = state.as_weight().expect("weighted segment");
+            prop_assert!(w > 0.0);
+        }
+    }
+}

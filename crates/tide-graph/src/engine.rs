@@ -1,0 +1,669 @@
+//! The worker runtime: mailboxes, routing, instrumentation.
+//!
+//! [`Engine`] is generic over the vertex program ([`Partition`]); the
+//! influence-rank instantiation is exported as [`TideGraph`], matching
+//! the paper's Chronograph experiment, and the online-SSSP instantiation
+//! as [`crate::sssp::SsspEngine`].
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use gt_core::prelude::*;
+use gt_metrics::hub::{Counter, Gauge};
+use gt_metrics::MetricsHub;
+use parking_lot::Mutex;
+
+use crate::program::Partition;
+use crate::rank::{RankParams, RankPartition};
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Number of worker threads (the paper's Chronograph setup uses 4).
+    pub workers: usize,
+    /// Rank computation parameters (used by the [`TideGraph`]
+    /// instantiation; other programs carry their own parameters).
+    pub rank: RankParams,
+    /// Simulated processing cost per mutation event.
+    pub event_cost: Duration,
+    /// Simulated processing cost per computational (share) message.
+    pub share_cost: Duration,
+    /// Workers refresh the shared result board every this many processed
+    /// messages (the Level-2 "periodically dump intermediate results"
+    /// instrumentation).
+    pub board_refresh_every: u64,
+    /// Messages a worker drains from its mailbox per processing round.
+    /// Pushes of a whole round coalesce, so larger batches cut share
+    /// traffic at fan-in hubs; `1` disables coalescing (the naive
+    /// per-message engine — see the drain-batch ablation bench).
+    pub drain_batch: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: 4,
+            rank: RankParams::default(),
+            event_cost: Duration::ZERO,
+            share_cost: Duration::ZERO,
+            board_refresh_every: 256,
+            drain_batch: 64,
+        }
+    }
+}
+
+/// Final statistics after shutdown.
+#[derive(Debug)]
+pub struct EngineStats {
+    /// Mutation events processed.
+    pub events: u64,
+    /// Computational messages processed.
+    pub shares: u64,
+    /// Final per-vertex result values (unnormalized for the rank
+    /// program).
+    pub ranks: BTreeMap<VertexId, f64>,
+}
+
+enum Msg<M> {
+    Event(GraphEvent),
+    /// Broadcast half of vertex removal: strip edges pointing at the id.
+    Purge(VertexId),
+    Compute(VertexId, M),
+    /// A watermark: queued behind everything already in the mailbox, so
+    /// its processing time measures the ingest-to-process latency of the
+    /// events streamed before it (§4.5's watermark pattern).
+    Marker(String),
+    Stop,
+}
+
+/// The shared result board: workers periodically publish their
+/// partition's current values; the harness reads it without queueing
+/// behind backlog.
+type ResultBoard = Arc<Mutex<BTreeMap<VertexId, f64>>>;
+
+/// Processed watermarks: `(marker name, worker id, micros since engine
+/// start)`.
+type MarkerLog = Arc<Mutex<Vec<(String, usize, u64)>>>;
+
+/// A running vertex-centric engine executing the program `P`.
+pub struct Engine<P: Partition> {
+    senders: Arc<Vec<Sender<Msg<P::Msg>>>>,
+    handles: Option<Vec<JoinHandle<P>>>,
+    board: ResultBoard,
+    markers: MarkerLog,
+    started: Instant,
+    hub: MetricsHub,
+    workers: usize,
+}
+
+/// The influence-rank engine — the paper's Chronograph stand-in.
+pub type TideGraph = Engine<RankPartition>;
+
+fn busy_work(cost: Duration) {
+    if cost.is_zero() {
+        return;
+    }
+    let end = Instant::now() + cost;
+    while Instant::now() < end {
+        std::hint::spin_loop();
+    }
+}
+
+/// Owner worker of a vertex.
+fn owner(v: VertexId, workers: usize) -> usize {
+    ((v.0.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) % workers as u64) as usize
+}
+
+impl Engine<RankPartition> {
+    /// Starts the influence-rank engine. Per-worker metrics registered on
+    /// `hub`: `worker-N.queue` (mailbox length gauge), `worker-N.ops`
+    /// (messages processed), `worker-N.events`, `worker-N.shares`,
+    /// `worker-N.busy_micros`.
+    pub fn start(config: EngineConfig, hub: &MetricsHub) -> Self {
+        let params = config.rank;
+        Engine::start_with(config, hub, move |_worker| RankPartition::new(params))
+    }
+}
+
+impl<P: Partition> Engine<P> {
+    /// Starts an engine whose workers each run the partition produced by
+    /// `factory(worker_id)`.
+    pub fn start_with(
+        config: EngineConfig,
+        hub: &MetricsHub,
+        factory: impl Fn(usize) -> P,
+    ) -> Self {
+        assert!(config.workers >= 1, "at least one worker required");
+        let mut senders = Vec::with_capacity(config.workers);
+        let mut receivers: Vec<Receiver<Msg<P::Msg>>> = Vec::with_capacity(config.workers);
+        for _ in 0..config.workers {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let senders = Arc::new(senders);
+        let board: ResultBoard = Arc::new(Mutex::new(BTreeMap::new()));
+        let markers: MarkerLog = Arc::new(Mutex::new(Vec::new()));
+        let started = Instant::now();
+
+        let mut handles = Vec::with_capacity(config.workers);
+        for (worker_id, rx) in receivers.into_iter().enumerate() {
+            let ctx = WorkerCtx {
+                worker_id,
+                rx,
+                senders: Arc::clone(&senders),
+                board: Arc::clone(&board),
+                markers: Arc::clone(&markers),
+                started,
+                config: config.clone(),
+                queue_gauge: hub.gauge(&format!("worker-{worker_id}.queue")),
+                ops: hub.counter(&format!("worker-{worker_id}.ops")),
+                events: hub.counter(&format!("worker-{worker_id}.events")),
+                shares: hub.counter(&format!("worker-{worker_id}.shares")),
+                busy: hub.counter(&format!("worker-{worker_id}.busy_micros")),
+            };
+            let partition = factory(worker_id);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("tide-graph-worker-{worker_id}"))
+                    .spawn(move || worker_loop(ctx, partition))
+                    .expect("spawn worker"),
+            );
+        }
+
+        Engine {
+            senders,
+            handles: Some(handles),
+            board,
+            markers,
+            started,
+            hub: hub.clone(),
+            workers: config.workers,
+        }
+    }
+
+    /// Number of workers.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Microseconds since the engine started (the engine-side clock that
+    /// timestamps processed watermarks).
+    pub fn now_micros(&self) -> u64 {
+        self.started.elapsed().as_micros() as u64
+    }
+
+    /// Routes one mutation event to its owner worker. Vertex removals are
+    /// additionally broadcast so every worker strips dangling references.
+    pub fn ingest(&self, event: GraphEvent) {
+        if let GraphEvent::RemoveVertex { id } = &event {
+            for (w, tx) in self.senders.iter().enumerate() {
+                if w != owner(*id, self.workers) {
+                    let _ = tx.send(Msg::Purge(*id));
+                }
+            }
+        }
+        let target = match &event {
+            GraphEvent::AddVertex { id, .. }
+            | GraphEvent::RemoveVertex { id }
+            | GraphEvent::UpdateVertex { id, .. } => *id,
+            GraphEvent::AddEdge { id, .. }
+            | GraphEvent::RemoveEdge { id }
+            | GraphEvent::UpdateEdge { id, .. } => id.src,
+        };
+        let _ = self.senders[owner(target, self.workers)].send(Msg::Event(event));
+    }
+
+    /// Enqueues a watermark on every worker. Each worker timestamps it
+    /// when *processed* — behind everything already in its mailbox — so
+    /// `processed time − enqueue time` is the current ingestion latency.
+    pub fn ingest_marker(&self, name: &str) {
+        for tx in self.senders.iter() {
+            let _ = tx.send(Msg::Marker(name.to_owned()));
+        }
+    }
+
+    /// Processed watermarks so far: `(name, worker, micros since engine
+    /// start)`.
+    pub fn marker_log(&self) -> Vec<(String, usize, u64)> {
+        self.markers.lock().clone()
+    }
+
+    /// Sum of all worker mailbox lengths (live backlog).
+    pub fn total_queue_len(&self) -> usize {
+        self.senders.iter().map(|tx| tx.len()).sum()
+    }
+
+    /// A snapshot of the result board (the periodically dumped
+    /// intermediate results), normalized to sum to 1.
+    pub fn board_ranks(&self) -> BTreeMap<VertexId, f64> {
+        let board = self.board.lock().clone();
+        normalize(board)
+    }
+
+    /// A raw (unnormalized) snapshot of the result board.
+    pub fn board_values(&self) -> BTreeMap<VertexId, f64> {
+        self.board.lock().clone()
+    }
+
+    /// Blocks until all mailboxes are empty and the total op count is
+    /// stable across two polls, or the timeout elapses. Returns whether
+    /// quiescence was reached.
+    pub fn quiesce(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut last_ops = u64::MAX;
+        loop {
+            let queue = self.total_queue_len();
+            let ops: u64 = (0..self.workers)
+                .map(|w| self.hub.counter(&format!("worker-{w}.ops")).get())
+                .sum();
+            if queue == 0 && ops == last_ops {
+                return true;
+            }
+            last_ops = ops;
+            if Instant::now() > deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    /// Stops the workers, joins them, and merges final results.
+    pub fn shutdown(mut self) -> EngineStats {
+        for tx in self.senders.iter() {
+            let _ = tx.send(Msg::Stop);
+        }
+        let mut ranks = BTreeMap::new();
+        for handle in self.handles.take().expect("not yet shut down") {
+            let partition = handle.join().expect("worker panicked");
+            for (id, p) in partition.summary() {
+                ranks.insert(id, p);
+            }
+        }
+        let events: u64 = (0..self.workers)
+            .map(|w| self.hub.counter(&format!("worker-{w}.events")).get())
+            .sum();
+        let shares: u64 = (0..self.workers)
+            .map(|w| self.hub.counter(&format!("worker-{w}.shares")).get())
+            .sum();
+        EngineStats {
+            events,
+            shares,
+            ranks,
+        }
+    }
+
+    /// Result values normalized to sum to 1 (helper for accuracy
+    /// analyses of the rank program).
+    pub fn normalized(ranks: &BTreeMap<VertexId, f64>) -> BTreeMap<VertexId, f64> {
+        normalize(ranks.clone())
+    }
+}
+
+fn normalize(mut ranks: BTreeMap<VertexId, f64>) -> BTreeMap<VertexId, f64> {
+    let total: f64 = ranks.values().sum();
+    if total > 0.0 {
+        for v in ranks.values_mut() {
+            *v /= total;
+        }
+    }
+    ranks
+}
+
+struct WorkerCtx<M> {
+    worker_id: usize,
+    rx: Receiver<Msg<M>>,
+    senders: Arc<Vec<Sender<Msg<M>>>>,
+    board: ResultBoard,
+    markers: MarkerLog,
+    started: Instant,
+    config: EngineConfig,
+    queue_gauge: Gauge,
+    ops: Counter,
+    events: Counter,
+    shares: Counter,
+    busy: Counter,
+}
+
+fn worker_loop<P: Partition>(ctx: WorkerCtx<P::Msg>, mut partition: P) -> P {
+    let workers = ctx.config.workers;
+    let drain_batch = ctx.config.drain_batch.max(1);
+    let mut outbox: Vec<(VertexId, P::Msg)> = Vec::new();
+    let mut dirty: Vec<VertexId> = Vec::new();
+    let mut processed: u64 = 0;
+    let mut running = true;
+
+    while running {
+        // Block for the first message, then opportunistically drain more.
+        let Ok(first) = ctx.rx.recv() else {
+            break;
+        };
+        ctx.queue_gauge.set(ctx.rx.len() as i64);
+        let started = Instant::now();
+        let mut batch = 1u64;
+        let mut msg = first;
+        loop {
+            match msg {
+                Msg::Event(event) => {
+                    busy_work(ctx.config.event_cost);
+                    partition.apply_event_deferred(&event, &mut dirty);
+                    ctx.events.inc();
+                }
+                Msg::Purge(id) => {
+                    partition.purge(id, &mut outbox);
+                }
+                Msg::Compute(target, payload) => {
+                    busy_work(ctx.config.share_cost);
+                    partition.receive_deferred(target, payload, &mut dirty);
+                    ctx.shares.inc();
+                }
+                Msg::Marker(name) => {
+                    let t = ctx.started.elapsed().as_micros() as u64;
+                    ctx.markers.lock().push((name, ctx.worker_id, t));
+                }
+                Msg::Stop => {
+                    running = false;
+                    break;
+                }
+            }
+            if batch as usize >= drain_batch {
+                break;
+            }
+            match ctx.rx.try_recv() {
+                Ok(next) => {
+                    msg = next;
+                    batch += 1;
+                }
+                Err(_) => break,
+            }
+        }
+        // Coalesced program work for the whole batch.
+        partition.flush_dirty(&dirty, &mut outbox);
+        dirty.clear();
+
+        ctx.busy.add(started.elapsed().as_micros() as u64);
+        ctx.ops.add(batch);
+        processed += batch;
+
+        // Route produced messages; self-targets loop through the own
+        // mailbox too — computation and mutation genuinely share the
+        // queue.
+        for (target, payload) in outbox.drain(..) {
+            let _ = ctx.senders[owner(target, workers)].send(Msg::Compute(target, payload));
+        }
+
+        if processed % ctx.config.board_refresh_every.max(1) < batch {
+            let mut board = ctx.board.lock();
+            for (id, p) in partition.summary() {
+                board.insert(id, p);
+            }
+        }
+    }
+    // Final board publish so late readers see the end state.
+    {
+        let mut board = ctx.board.lock();
+        for (id, p) in partition.summary() {
+            board.insert(id, p);
+        }
+    }
+    partition
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn add_v(id: u64) -> GraphEvent {
+        GraphEvent::AddVertex {
+            id: VertexId(id),
+            state: State::empty(),
+        }
+    }
+
+    fn add_e(s: u64, d: u64) -> GraphEvent {
+        GraphEvent::AddEdge {
+            id: EdgeId::from((s, d)),
+            state: State::empty(),
+        }
+    }
+
+    #[test]
+    fn processes_stream_and_converges() {
+        let hub = MetricsHub::new();
+        let engine = TideGraph::start(EngineConfig::default(), &hub);
+        for i in 0..50 {
+            engine.ingest(add_v(i));
+        }
+        for i in 0..50 {
+            engine.ingest(add_e(i, (i + 1) % 50));
+        }
+        assert!(engine.quiesce(Duration::from_secs(10)));
+        let stats = engine.shutdown();
+        assert_eq!(stats.events, 100);
+        assert!(stats.shares > 0);
+        assert_eq!(stats.ranks.len(), 50);
+        // Symmetric ring: normalized ranks near-uniform.
+        let norm = TideGraph::normalized(&stats.ranks);
+        for (&id, &p) in &norm {
+            assert!((p - 0.02).abs() < 0.005, "vertex {id}: {p}");
+        }
+    }
+
+    #[test]
+    fn ranks_match_batch_pagerank_shape() {
+        use gt_algorithms::pagerank::{pagerank, PageRankConfig};
+        use gt_graph::{CsrSnapshot, EvolvingGraph};
+
+        // A preferential-attachment graph; compare top-5 sets.
+        let stream = gt_graph::builders::BarabasiAlbert {
+            n: 150,
+            m0: 5,
+            m: 2,
+            seed: 77,
+        }
+        .generate();
+        let hub = MetricsHub::new();
+        let engine = TideGraph::start(
+            EngineConfig {
+                rank: RankParams {
+                    epsilon: 1e-5,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+            &hub,
+        );
+        let mut graph = EvolvingGraph::new();
+        for event in stream.graph_events() {
+            engine.ingest(event.clone());
+            graph.apply(event).unwrap();
+        }
+        assert!(engine.quiesce(Duration::from_secs(30)));
+        let stats = engine.shutdown();
+        let online = TideGraph::normalized(&stats.ranks);
+
+        let csr = CsrSnapshot::from_graph(&graph);
+        let exact = pagerank(&csr, &PageRankConfig::default());
+        let exact_map: BTreeMap<VertexId, f64> = csr
+            .indices()
+            .map(|i| (csr.id_of(i), exact.ranks[i as usize]))
+            .collect();
+
+        let overlap = gt_overlap(&online, &exact_map, 5);
+        assert!(overlap >= 0.4, "top-5 overlap {overlap}");
+    }
+
+    /// Local copy of the top-k Jaccard overlap to avoid a dev-dependency
+    /// cycle with gt-analysis.
+    fn gt_overlap(
+        a: &BTreeMap<VertexId, f64>,
+        b: &BTreeMap<VertexId, f64>,
+        k: usize,
+    ) -> f64 {
+        let top = |m: &BTreeMap<VertexId, f64>| -> std::collections::BTreeSet<VertexId> {
+            let mut v: Vec<(VertexId, f64)> = m.iter().map(|(i, &p)| (*i, p)).collect();
+            v.sort_by(|x, y| y.1.partial_cmp(&x.1).unwrap().then(x.0.cmp(&y.0)));
+            v.into_iter().take(k).map(|(i, _)| i).collect()
+        };
+        let (sa, sb) = (top(a), top(b));
+        sa.intersection(&sb).count() as f64 / sa.union(&sb).count() as f64
+    }
+
+    #[test]
+    fn backlog_grows_under_load_and_drains() {
+        let hub = MetricsHub::new();
+        let engine = TideGraph::start(
+            EngineConfig {
+                workers: 2,
+                event_cost: Duration::from_micros(500),
+                share_cost: Duration::from_micros(100),
+                ..Default::default()
+            },
+            &hub,
+        );
+        // Burst far faster than 2 workers × 500µs can absorb.
+        for i in 0..2_000 {
+            engine.ingest(add_v(i));
+        }
+        let backlog = engine.total_queue_len();
+        assert!(backlog > 100, "backlog {backlog}");
+        assert!(engine.quiesce(Duration::from_secs(30)));
+        assert_eq!(engine.total_queue_len(), 0);
+        let stats = engine.shutdown();
+        assert_eq!(stats.events, 2_000);
+    }
+
+    #[test]
+    fn board_publishes_intermediate_results() {
+        let hub = MetricsHub::new();
+        let engine = TideGraph::start(
+            EngineConfig {
+                board_refresh_every: 8,
+                ..Default::default()
+            },
+            &hub,
+        );
+        for i in 0..100 {
+            engine.ingest(add_v(i));
+        }
+        engine.quiesce(Duration::from_secs(10));
+        let board = engine.board_ranks();
+        assert!(!board.is_empty());
+        let total: f64 = board.values().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn vertex_removal_broadcast_strips_remote_edges() {
+        let hub = MetricsHub::new();
+        let engine = TideGraph::start(EngineConfig::default(), &hub);
+        for i in 0..10 {
+            engine.ingest(add_v(i));
+        }
+        for i in 1..10 {
+            engine.ingest(add_e(i, 0));
+        }
+        engine.quiesce(Duration::from_secs(10));
+        engine.ingest(GraphEvent::RemoveVertex { id: VertexId(0) });
+        engine.quiesce(Duration::from_secs(10));
+        let stats = engine.shutdown();
+        assert!(!stats.ranks.contains_key(&VertexId(0)));
+        assert_eq!(stats.ranks.len(), 9);
+    }
+
+    #[test]
+    fn markers_are_processed_by_every_worker() {
+        let hub = MetricsHub::new();
+        let engine = TideGraph::start(
+            EngineConfig {
+                workers: 3,
+                ..Default::default()
+            },
+            &hub,
+        );
+        for i in 0..20 {
+            engine.ingest(add_v(i));
+        }
+        let enqueued_at = engine.now_micros();
+        engine.ingest_marker("wm-0");
+        engine.quiesce(Duration::from_secs(10));
+        let log = engine.marker_log();
+        assert_eq!(log.len(), 3, "one record per worker: {log:?}");
+        let workers: std::collections::BTreeSet<usize> =
+            log.iter().map(|(_, w, _)| *w).collect();
+        assert_eq!(workers.len(), 3);
+        for (name, _, t) in &log {
+            assert_eq!(name, "wm-0");
+            assert!(*t >= enqueued_at, "processed before enqueue: {t}");
+        }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn marker_latency_grows_with_backlog() {
+        let hub = MetricsHub::new();
+        let engine = TideGraph::start(
+            EngineConfig {
+                workers: 2,
+                event_cost: Duration::from_micros(400),
+                ..Default::default()
+            },
+            &hub,
+        );
+        // Marker on an idle engine: near-immediate.
+        let t0 = engine.now_micros();
+        engine.ingest_marker("idle");
+        engine.quiesce(Duration::from_secs(10));
+        let idle_latency = engine
+            .marker_log()
+            .iter()
+            .map(|(_, _, t)| t - t0)
+            .max()
+            .unwrap();
+
+        // Marker behind a burst of expensive events: must wait.
+        for i in 0..1_000 {
+            engine.ingest(add_v(i));
+        }
+        let t1 = engine.now_micros();
+        engine.ingest_marker("busy");
+        engine.quiesce(Duration::from_secs(60));
+        let busy_latency = engine
+            .marker_log()
+            .iter()
+            .filter(|(name, _, _)| name == "busy")
+            .map(|(_, _, t)| t - t1)
+            .max()
+            .unwrap();
+        assert!(
+            busy_latency > idle_latency * 5,
+            "busy {busy_latency}µs vs idle {idle_latency}µs"
+        );
+        engine.shutdown();
+    }
+
+    #[test]
+    fn per_worker_metrics_registered() {
+        let hub = MetricsHub::new();
+        let engine = TideGraph::start(
+            EngineConfig {
+                workers: 3,
+                ..Default::default()
+            },
+            &hub,
+        );
+        for i in 0..30 {
+            engine.ingest(add_v(i));
+        }
+        engine.quiesce(Duration::from_secs(10));
+        engine.shutdown();
+        let total_ops: u64 = (0..3)
+            .map(|w| hub.counter(&format!("worker-{w}.ops")).get())
+            .sum();
+        assert!(total_ops >= 30);
+    }
+}

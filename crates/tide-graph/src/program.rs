@@ -1,0 +1,48 @@
+//! The vertex-program abstraction.
+//!
+//! Chronograph-class engines are *programmable*: the platform owns
+//! partitioning, mailboxes, and scheduling, while a vertex program
+//! defines how mutations seed computation and how computational messages
+//! update vertex state. [`Partition`] is that contract here — one
+//! instance per worker, driven by the engine's mailbox loop.
+//!
+//! Two programs ship with the engine:
+//!
+//! * [`crate::rank::RankPartition`] — the online influence rank of the
+//!   paper's Chronograph experiment (§5.3.2),
+//! * [`crate::sssp::DistancePartition`] — online single-source shortest
+//!   distances, Table 1's "distributed routing algorithms" example of a
+//!   converging computation.
+
+use gt_core::prelude::*;
+
+/// One worker's share of a vertex-centric computation.
+///
+/// The engine calls the `*_deferred` hooks for every message of a
+/// mailbox batch, then [`flush_dirty`](Partition::flush_dirty) once — so
+/// programs can coalesce work across a batch (see
+/// `EngineConfig::drain_batch`).
+pub trait Partition: Send + 'static {
+    /// The computational message the program exchanges between vertices.
+    type Msg: Send + Clone;
+
+    /// Ingests a locally-owned graph mutation; appends affected vertices
+    /// to `dirty`. Must tolerate events referencing unknown vertices.
+    fn apply_event_deferred(&mut self, event: &GraphEvent, dirty: &mut Vec<VertexId>);
+
+    /// Ingests one computational message addressed to `target`.
+    fn receive_deferred(&mut self, target: VertexId, msg: Self::Msg, dirty: &mut Vec<VertexId>);
+
+    /// Processes the batch's dirty vertices, appending outbound messages
+    /// as `(destination vertex, message)` pairs. Duplicate dirty entries
+    /// must be harmless.
+    fn flush_dirty(&mut self, dirty: &[VertexId], out: &mut Vec<(VertexId, Self::Msg)>);
+
+    /// Handles the broadcast half of a (possibly remote) vertex removal:
+    /// strip local references to `removed`, appending repair messages.
+    fn purge(&mut self, removed: VertexId, out: &mut Vec<(VertexId, Self::Msg)>);
+
+    /// The current per-vertex result values this partition owns — what
+    /// the engine publishes on the shared result board.
+    fn summary(&self) -> Vec<(VertexId, f64)>;
+}

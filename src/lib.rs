@@ -1,0 +1,59 @@
+//! # GraphTides
+//!
+//! A Rust implementation of **GraphTides** — the evaluation framework for
+//! stream-based graph processing platforms from Erb et al. (GRADES-NDA
+//! ’18) — together with everything needed to run its experiments end to
+//! end: the graph stream format and generator, a rate-controlled
+//! replayer, metric loggers and the log collector, reference and online
+//! graph computations, analysis statistics, and two built-in systems
+//! under test.
+//!
+//! This crate is a façade: every component lives in its own crate under
+//! `crates/`, re-exported here under stable module names.
+//!
+//! ```
+//! use graphtides::prelude::*;
+//!
+//! // Generate a two-phase stream, replay it into a collecting sink, and
+//! // inspect the streaming metrics.
+//! let workload = graphtides::workloads::SnbWorkload::scaled(0.005, 7);
+//! let stream = workload.generate();
+//! let replayer = Replayer::new(ReplayerConfig { target_rate: 1e6, ..Default::default() });
+//! let mut sink = CollectSink::new();
+//! let report = replayer.replay_stream(&stream, &mut sink).unwrap();
+//! assert_eq!(report.graph_events as u64, workload.total_events());
+//! ```
+
+/// Core event model and graph stream format.
+pub use gt_core as core;
+/// The evolving property graph, snapshots, and builders.
+pub use gt_graph as graph;
+/// The two-phase stream generator.
+pub use gt_generator as generator;
+/// Deterministic fault injection.
+pub use gt_faults as faults;
+/// Reference (batch) and online graph computations.
+pub use gt_algorithms as algorithms;
+/// Statistics for result analysis.
+pub use gt_analysis as analysis;
+/// Metric records, loggers, hub, and log collector.
+pub use gt_metrics as metrics;
+/// The rate-controlled replayer and its connectors.
+pub use gt_replayer as replayer;
+/// The test harness: specs, run loop, repetition.
+pub use gt_harness as harness;
+/// Ready-made representative workloads.
+pub use gt_workloads as workloads;
+/// The Weaver-class transactional store under test.
+pub use tide_store as store;
+/// The Chronograph-class online engine under test.
+pub use tide_graph as engine;
+
+/// The most commonly used types, for glob import.
+pub mod prelude {
+    pub use gt_core::prelude::*;
+    pub use gt_graph::{CsrSnapshot, EvolvingGraph};
+    pub use gt_harness::{run_experiment, ExperimentSpec, RunOutcome, RunPlan};
+    pub use gt_metrics::{MetricsHub, ResultLog};
+    pub use gt_replayer::{ChannelSink, CollectSink, EventSink, Replayer, ReplayerConfig};
+}

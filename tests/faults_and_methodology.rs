@@ -1,0 +1,128 @@
+//! Cross-crate tests of the fault-injection path (§3.2) and the
+//! statistical methodology (§4.5).
+
+use graphtides::faults::{
+    DropFaults, DuplicateFaults, FaultInjector, FaultPipeline, ShuffleWindows,
+};
+use graphtides::graph::ApplyPolicy;
+use graphtides::harness::{compare_metric, repeat_runs};
+use graphtides::prelude::*;
+use graphtides::workloads::SnbWorkload;
+
+#[test]
+fn faulty_streams_survive_a_lenient_consumer_end_to_end() {
+    let stream = SnbWorkload {
+        persons: 100,
+        connections: 500,
+        seed: 2,
+    }
+    .generate();
+    let faulty = FaultPipeline::new()
+        .then(DuplicateFaults { probability: 0.15 })
+        .then(ShuffleWindows { window: 32 })
+        .then(DropFaults { probability: 0.15 })
+        .inject(stream.clone(), 77);
+
+    // A strict consumer rejects the faulty stream…
+    let strict_fails = faulty
+        .graph_events()
+        .try_fold(EvolvingGraph::new(), |mut g, e| {
+            g.apply(e)?;
+            Ok::<_, graphtides::graph::ApplyError>(g)
+        })
+        .is_err();
+    assert!(strict_fails, "heavy fault injection must break strictness");
+
+    // …while a lenient one ingests it and stays internally consistent.
+    let mut lenient = EvolvingGraph::new();
+    for event in faulty.graph_events() {
+        let _ = lenient.apply_with(event, ApplyPolicy::Lenient);
+    }
+    lenient.check_invariants().unwrap();
+    // Drops cannot create vertices out of thin air.
+    let reference = EvolvingGraph::from_stream(&stream).unwrap();
+    assert!(lenient.vertex_count() <= reference.vertex_count());
+}
+
+#[test]
+fn fault_injection_is_reproducible_for_reruns() {
+    // Popper-style re-execution: the same spec (stream + seed) must give
+    // the same faulty stream, byte for byte.
+    let stream = SnbWorkload {
+        persons: 50,
+        connections: 200,
+        seed: 3,
+    }
+    .generate();
+    let make = || {
+        FaultPipeline::new()
+            .then(DropFaults { probability: 0.3 })
+            .then(DuplicateFaults { probability: 0.3 })
+            .inject(stream.clone(), 123)
+    };
+    assert_eq!(make().to_csv_string(), make().to_csv_string());
+}
+
+#[test]
+fn ci95_comparison_separates_configurations() {
+    // Two replayer configurations measured 30× each: 50k events/s vs 10k
+    // events/s on the same stream. The CI95 comparison must call the
+    // faster one significantly faster; same-vs-same must not.
+    let stream: GraphStream = (0..300u64)
+        .map(|i| {
+            StreamEntry::graph(GraphEvent::AddVertex {
+                id: VertexId(i),
+                state: State::empty(),
+            })
+        })
+        .collect();
+
+    let measure = |rate: f64| {
+        let stream = stream.clone();
+        move |_rep: u32| -> f64 {
+            let replayer = Replayer::new(ReplayerConfig {
+                target_rate: rate,
+                ..Default::default()
+            });
+            let mut sink = CollectSink::new();
+            let report = replayer.replay_stream(&stream, &mut sink).unwrap();
+            report.achieved_rate
+        }
+    };
+
+    let fast = repeat_runs(30, measure(50_000.0));
+    let slow = repeat_runs(30, measure(10_000.0));
+    assert!(fast.meets_n30 && slow.meets_n30);
+    assert_eq!(
+        compare_metric(&fast, &slow),
+        Some(graphtides::analysis::summary::Comparison::AGreater)
+    );
+}
+
+#[test]
+fn stream_file_roundtrip_through_replayer() {
+    // Write a workload to disk, stream it through the decoupled file
+    // reader into the replayer, and verify nothing is lost or reordered.
+    let stream = SnbWorkload {
+        persons: 80,
+        connections: 400,
+        seed: 9,
+    }
+    .generate();
+    let dir = std::env::temp_dir().join("gt-integration");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("snb.csv");
+    stream.write_to_file(&path).unwrap();
+
+    let (rx, reader) = graphtides::replayer::spawn_file_reader(&path, 1024);
+    let replayer = Replayer::new(ReplayerConfig {
+        target_rate: 1e6,
+        ..Default::default()
+    });
+    let mut sink = CollectSink::new();
+    let report = replayer.replay(rx.iter(), &mut sink).unwrap();
+    assert_eq!(reader.join().unwrap().unwrap(), stream.len() as u64);
+    assert_eq!(report.graph_events as usize, stream.stats().graph_events);
+    assert_eq!(sink.entries, stream.entries());
+    std::fs::remove_file(path).ok();
+}

@@ -1,0 +1,103 @@
+//! Cross-crate tests of the temporal-analysis pipeline: property
+//! timelines over evolving workloads, densification trends, and the
+//! centrality/SCC additions on realistic streams.
+
+use graphtides::algorithms::online::PropertyTimeline;
+use graphtides::algorithms::OnlineComputation;
+use graphtides::analysis::{densification_exponent, linear_trend};
+use graphtides::generator::{ForestFireModel, StreamGenerator};
+use graphtides::prelude::*;
+
+#[test]
+fn forest_fire_stream_densifies() {
+    let mut generator = StreamGenerator::new(ForestFireModel::densifying(), 11);
+    generator
+        .bootstrap(&graphtides::graph::builders::ring(5))
+        .unwrap();
+    let result = generator.evolve(6_000);
+
+    let mut timeline = PropertyTimeline::new(500);
+    for event in result.stream.graph_events() {
+        timeline.apply_event(event);
+    }
+    timeline.sample_now();
+
+    // Densification law: edges grow superlinearly in vertices.
+    let exponent = densification_exponent(&timeline.growth_samples())
+        .expect("enough samples");
+    assert!(exponent > 1.02, "densification exponent {exponent}");
+
+    // Mean degree rises over time (another way to see the same law).
+    let degree_series = timeline.series(|p| p.mean_degree);
+    let trend = linear_trend(&degree_series).expect("enough samples");
+    assert!(trend.is_growing(0.5), "mean-degree trend {trend:?}");
+}
+
+#[test]
+fn snb_stream_growth_is_near_linear() {
+    // The SNB workload interleaves persons and connections at a fixed
+    // ratio, so edges grow ~linearly in vertices (exponent ≈ 1), clearly
+    // below the forest-fire regime — the trend analysis distinguishes
+    // evolution models.
+    let stream = graphtides::workloads::SnbWorkload {
+        persons: 400,
+        connections: 4_000,
+        seed: 6,
+    }
+    .generate();
+    let mut timeline = PropertyTimeline::new(400);
+    for event in stream.graph_events() {
+        timeline.apply_event(event);
+    }
+    timeline.sample_now();
+    let exponent = densification_exponent(&timeline.growth_samples()).unwrap();
+    // The head of the stream is edge-starved (few persons), so growth
+    // looks superlinear early; overall it must stay well under the
+    // forest-fire regime's slope on the same sample grid.
+    assert!(exponent < 3.0, "snb exponent {exponent}");
+}
+
+#[test]
+fn scc_and_centrality_on_social_graph() {
+    use graphtides::algorithms::centrality::{approx_betweenness, betweenness_centrality};
+    use graphtides::algorithms::scc::strongly_connected_components;
+
+    let stream = graphtides::workloads::SnbWorkload {
+        persons: 150,
+        connections: 1_200,
+        seed: 44,
+    }
+    .generate();
+    let graph = EvolvingGraph::from_stream(&stream).unwrap();
+    let csr = CsrSnapshot::from_graph(&graph);
+
+    let scc = strongly_connected_components(&csr);
+    let wcc = graphtides::algorithms::components::weakly_connected_components(&csr);
+    assert!(scc.count >= wcc.count);
+    assert!(scc.count <= csr.vertex_count());
+
+    // The pivot approximation must correlate with the exact ranking.
+    let exact = betweenness_centrality(&csr);
+    let approx = approx_betweenness(&csr, 40);
+    let pearson = graphtides::analysis::pearson(&exact, &approx).expect("variance exists");
+    assert!(pearson > 0.8, "betweenness correlation {pearson}");
+}
+
+#[test]
+fn timeline_tracks_churn_composition() {
+    // The DDoS workload has a known composition: updates happen in every
+    // phase, topology changes dominate.
+    let stream = graphtides::workloads::DdosWorkload::default().generate();
+    let mut timeline = PropertyTimeline::new(200);
+    for event in stream.graph_events() {
+        timeline.apply_event(event);
+    }
+    timeline.sample_now();
+    let last = timeline.points().last().unwrap();
+    assert_eq!(
+        last.topology_events + last.update_events,
+        stream.stats().graph_events as u64
+    );
+    assert!(last.update_events > 0);
+    assert!(last.topology_events > last.update_events);
+}
