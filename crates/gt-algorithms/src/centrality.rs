@@ -67,8 +67,7 @@ fn accumulate_from(csr: &CsrSnapshot, s: u32, centrality: &mut [f64]) {
     let mut delta = vec![0.0f64; n];
     for &w in order.iter().rev() {
         for &v in &preds[w as usize] {
-            delta[v as usize] +=
-                sigma[v as usize] / sigma[w as usize] * (1.0 + delta[w as usize]);
+            delta[v as usize] += sigma[v as usize] / sigma[w as usize] * (1.0 + delta[w as usize]);
         }
         if w != s {
             centrality[w as usize] += delta[w as usize];

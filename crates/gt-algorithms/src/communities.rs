@@ -137,9 +137,7 @@ pub fn kmeans_degree_features(csr: &CsrSnapshot, k: usize, max_iterations: usize
             let best = centroids
                 .iter()
                 .enumerate()
-                .min_by(|(_, a), (_, b)| {
-                    dist2(p, a).partial_cmp(&dist2(p, b)).expect("finite")
-                })
+                .min_by(|(_, a), (_, b)| dist2(p, a).partial_cmp(&dist2(p, b)).expect("finite"))
                 .map(|(ci, _)| ci as u32)
                 .expect("k >= 1");
             if assignment[i] != best {

@@ -232,9 +232,8 @@ mod tests {
 
     #[test]
     fn empty_graph() {
-        let wcc = weakly_connected_components(&CsrSnapshot::from_graph(
-            &gt_graph::EvolvingGraph::new(),
-        ));
+        let wcc =
+            weakly_connected_components(&CsrSnapshot::from_graph(&gt_graph::EvolvingGraph::new()));
         assert_eq!(wcc.count, 0);
         assert_eq!(wcc.largest(), 0);
     }

@@ -57,10 +57,7 @@ impl DegreeTracker {
     }
 
     fn add_edge(&mut self, e: EdgeId) {
-        if e.is_self_loop()
-            || !self.out.contains_key(&e.src)
-            || !self.out.contains_key(&e.dst)
-        {
+        if e.is_self_loop() || !self.out.contains_key(&e.src) || !self.out.contains_key(&e.dst) {
             return;
         }
         let src_deg = self.degree(e.src);
@@ -105,10 +102,16 @@ impl OnlineComputation for DegreeTracker {
                 if !self.out.contains_key(id) {
                     return;
                 }
-                let out: Vec<VertexId> =
-                    self.out.get(id).map(|s| s.iter().copied().collect()).unwrap_or_default();
-                let inc: Vec<VertexId> =
-                    self.inc.get(id).map(|s| s.iter().copied().collect()).unwrap_or_default();
+                let out: Vec<VertexId> = self
+                    .out
+                    .get(id)
+                    .map(|s| s.iter().copied().collect())
+                    .unwrap_or_default();
+                let inc: Vec<VertexId> = self
+                    .inc
+                    .get(id)
+                    .map(|s| s.iter().copied().collect())
+                    .unwrap_or_default();
                 for dst in out {
                     self.remove_edge(EdgeId::new(*id, dst));
                 }
@@ -188,7 +191,11 @@ mod tests {
         assert_eq!(snap.max_degree, 4);
         let reference = DegreeDistribution::total(&graph);
         for (d, c) in reference.iter() {
-            assert_eq!(snap.histogram.get(&d).copied().unwrap_or(0), c, "degree {d}");
+            assert_eq!(
+                snap.histogram.get(&d).copied().unwrap_or(0),
+                c,
+                "degree {d}"
+            );
         }
     }
 
@@ -209,11 +216,13 @@ mod tests {
     #[test]
     fn ignores_invalid_events() {
         let events = vec![
-            ev_add_e(0, 1),                                  // vertices missing
-            GraphEvent::RemoveVertex { id: VertexId(7) },    // missing
-            GraphEvent::RemoveEdge { id: EdgeId::from((0, 1)) }, // missing
+            ev_add_e(0, 1),                               // vertices missing
+            GraphEvent::RemoveVertex { id: VertexId(7) }, // missing
+            GraphEvent::RemoveEdge {
+                id: EdgeId::from((0, 1)),
+            }, // missing
             ev_add_v(0),
-            ev_add_v(0), // duplicate
+            ev_add_v(0),    // duplicate
             ev_add_e(0, 0), // self loop
         ];
         let (tracker, _) = feed(&events);

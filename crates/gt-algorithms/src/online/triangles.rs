@@ -38,7 +38,11 @@ impl StreamingTriangles {
         let (Some(na), Some(nb)) = (self.adj.get(&a), self.adj.get(&b)) else {
             return 0;
         };
-        let (small, large) = if na.len() <= nb.len() { (na, nb) } else { (nb, na) };
+        let (small, large) = if na.len() <= nb.len() {
+            (na, nb)
+        } else {
+            (nb, na)
+        };
         small.iter().filter(|v| large.contains(v)).count() as u64
     }
 
@@ -65,8 +69,14 @@ impl StreamingTriangles {
         }
         if !self.directed.contains(&e.reversed()) {
             // Undirected edge disappears: subtract the triangles it closed.
-            self.adj.get_mut(&e.src).expect("edge existed").remove(&e.dst);
-            self.adj.get_mut(&e.dst).expect("edge existed").remove(&e.src);
+            self.adj
+                .get_mut(&e.src)
+                .expect("edge existed")
+                .remove(&e.dst);
+            self.adj
+                .get_mut(&e.dst)
+                .expect("edge existed")
+                .remove(&e.src);
             self.triangles -= self.common_neighbors(e.src, e.dst);
         }
     }
@@ -178,7 +188,12 @@ mod tests {
         for e in (0..3).map(ev_add_v) {
             online.apply_event(&e);
         }
-        for e in [ev_add_e(0, 1), ev_add_e(1, 0), ev_add_e(1, 2), ev_add_e(2, 0)] {
+        for e in [
+            ev_add_e(0, 1),
+            ev_add_e(1, 0),
+            ev_add_e(1, 2),
+            ev_add_e(2, 0),
+        ] {
             online.apply_event(&e);
         }
         assert_eq!(online.count(), 1);

@@ -153,8 +153,14 @@ impl OnlineComputation for IncrementalWcc {
                     return; // lenient: edge was never ingested
                 }
                 if !self.directed.contains(&id.reversed()) {
-                    self.adj.get_mut(&id.src).expect("edge existed").remove(&id.dst);
-                    self.adj.get_mut(&id.dst).expect("edge existed").remove(&id.src);
+                    self.adj
+                        .get_mut(&id.src)
+                        .expect("edge existed")
+                        .remove(&id.dst);
+                    self.adj
+                        .get_mut(&id.dst)
+                        .expect("edge existed")
+                        .remove(&id.src);
                     self.stale = true;
                 }
             }

@@ -176,7 +176,12 @@ mod tests {
         ));
         let scc = strongly_connected_components(&csr);
         let wcc = crate::components::weakly_connected_components(&csr);
-        assert!(scc.count >= wcc.count, "scc {} < wcc {}", scc.count, wcc.count);
+        assert!(
+            scc.count >= wcc.count,
+            "scc {} < wcc {}",
+            scc.count,
+            wcc.count
+        );
         // Strongly connected pairs must be weakly connected.
         for a in csr.indices() {
             for b in csr.indices() {

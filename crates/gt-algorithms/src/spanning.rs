@@ -151,8 +151,7 @@ mod tests {
 
     #[test]
     fn empty_graph() {
-        let forest =
-            minimum_spanning_forest(&CsrSnapshot::from_graph(&EvolvingGraph::new()));
+        let forest = minimum_spanning_forest(&CsrSnapshot::from_graph(&EvolvingGraph::new()));
         assert!(forest.edges.is_empty());
         assert_eq!(forest.components, 0);
     }

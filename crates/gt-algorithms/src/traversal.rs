@@ -98,7 +98,10 @@ mod tests {
         assert_eq!(dist, [0, 1, 2, 3, 4]);
         // Directed: nothing reaches backwards.
         let back = bfs_distances(&csr, 4);
-        assert_eq!(back, [UNREACHABLE, UNREACHABLE, UNREACHABLE, UNREACHABLE, 0]);
+        assert_eq!(
+            back,
+            [UNREACHABLE, UNREACHABLE, UNREACHABLE, UNREACHABLE, 0]
+        );
         // Undirected traversal reaches everything.
         assert_eq!(bfs_distances_undirected(&csr, 4), [4, 3, 2, 1, 0]);
     }

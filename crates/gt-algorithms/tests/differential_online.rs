@@ -1,0 +1,163 @@
+//! Seeded differential fuzz: every online computation replayed against its
+//! batch reference over randomized hostile event sequences (duplicate
+//! adds, reversed removes, self-loops, vertex churn on a small id space).
+//!
+//! Divergent seeds are greedily minimized before reporting so a failure
+//! prints a near-minimal reproducing sequence ready to be transcribed
+//! into `regressions_online.rs`.
+
+use gt_algorithms::components::weakly_connected_components;
+use gt_algorithms::online::{DegreeTracker, IncrementalWcc, StreamingTriangles};
+use gt_algorithms::triangles::triangle_count;
+use gt_algorithms::OnlineComputation;
+use gt_core::prelude::*;
+use gt_graph::{ApplyPolicy, CsrSnapshot, EvolvingGraph};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn random_event(rng: &mut StdRng, n: u64) -> GraphEvent {
+    let v = |rng: &mut StdRng| VertexId(rng.random_range(0..n));
+    let e = |rng: &mut StdRng| {
+        EdgeId::new(
+            VertexId(rng.random_range(0..n)),
+            VertexId(rng.random_range(0..n)),
+        )
+    };
+    match rng.random_range(0..10u32) {
+        0 | 1 => GraphEvent::AddVertex {
+            id: v(rng),
+            state: State::empty(),
+        },
+        2 => GraphEvent::RemoveVertex { id: v(rng) },
+        3..=5 => GraphEvent::AddEdge {
+            id: e(rng),
+            state: State::empty(),
+        },
+        6 | 7 => GraphEvent::RemoveEdge { id: e(rng) },
+        8 => GraphEvent::UpdateVertex {
+            id: v(rng),
+            state: State::empty(),
+        },
+        _ => GraphEvent::UpdateEdge {
+            id: e(rng),
+            state: State::empty(),
+        },
+    }
+}
+
+fn divergence(events: &[GraphEvent]) -> Option<String> {
+    let mut wcc = IncrementalWcc::new();
+    let mut tri = StreamingTriangles::new();
+    let mut deg = DegreeTracker::new();
+    let mut graph = EvolvingGraph::new();
+    for e in events {
+        wcc.apply_event(e);
+        tri.apply_event(e);
+        deg.apply_event(e);
+        let _ = graph.apply_with(e, ApplyPolicy::Lenient);
+    }
+    let csr = CsrSnapshot::from_graph(&graph);
+    let batch_wcc = weakly_connected_components(&csr);
+    let batch_tri = triangle_count(&csr);
+    // Fast-path claim: when not stale, the cheap count must already be exact.
+    let (fast, exact_claim) = wcc.result();
+    if exact_claim && fast != batch_wcc.count {
+        return Some(format!(
+            "wcc fast path claims exact {} != {}",
+            fast, batch_wcc.count
+        ));
+    }
+    if wcc.component_count() != batch_wcc.count {
+        return Some(format!(
+            "wcc {} != {}",
+            wcc.component_count(),
+            batch_wcc.count
+        ));
+    }
+    if tri.count() != batch_tri {
+        return Some(format!("tri {} != {}", tri.count(), batch_tri));
+    }
+    let snap = deg.result();
+    if snap.vertices != graph.vertex_count() {
+        return Some(format!(
+            "deg vertices {} != {}",
+            snap.vertices,
+            graph.vertex_count()
+        ));
+    }
+    if snap.edges != graph.edge_count() {
+        return Some(format!(
+            "deg edges {} != {}",
+            snap.edges,
+            graph.edge_count()
+        ));
+    }
+    // Per-vertex degree histogram vs graph.
+    let mut hist = std::collections::BTreeMap::new();
+    for vid in graph.vertices() {
+        let d = graph.out_degree(vid).unwrap() + graph.in_degree(vid).unwrap();
+        *hist.entry(d).or_insert(0usize) += 1;
+    }
+    if snap.histogram != hist {
+        return Some(format!("deg histogram {:?} != {:?}", snap.histogram, hist));
+    }
+    // connected() queries must match batch component assignment.
+    let vids: Vec<VertexId> = graph.vertices().collect();
+    for (i, &a) in vids.iter().enumerate() {
+        for &b in &vids[i..] {
+            let ia = csr.index_of(a).unwrap();
+            let ib = csr.index_of(b).unwrap();
+            let expected = batch_wcc.labels[ia as usize] == batch_wcc.labels[ib as usize];
+            if wcc.connected(a, b) != Some(expected) {
+                return Some(format!(
+                    "connected({a},{b}) {:?} != {expected}",
+                    wcc.connected(a, b)
+                ));
+            }
+        }
+    }
+    None
+}
+
+fn minimize(mut events: Vec<GraphEvent>) -> Vec<GraphEvent> {
+    loop {
+        let mut shrunk = false;
+        let mut i = 0;
+        while i < events.len() {
+            let mut candidate = events.clone();
+            candidate.remove(i);
+            if divergence(&candidate).is_some() {
+                events = candidate;
+                shrunk = true;
+            } else {
+                i += 1;
+            }
+        }
+        if !shrunk {
+            return events;
+        }
+    }
+}
+
+#[test]
+fn differential_fuzz() {
+    let mut failures = 0;
+    for seed in 0..5_000u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.random_range(2..8u64);
+        let len = rng.random_range(1..100usize);
+        let events: Vec<GraphEvent> = (0..len).map(|_| random_event(&mut rng, n)).collect();
+        if let Some(msg) = divergence(&events) {
+            let min = minimize(events);
+            println!(
+                "seed {seed}: {msg}\n  minimized: {min:?}\n  still: {:?}",
+                divergence(&min)
+            );
+            failures += 1;
+            if failures >= 5 {
+                break;
+            }
+        }
+    }
+    assert_eq!(failures, 0, "{failures} divergent seeds");
+}

@@ -1,0 +1,182 @@
+//! Regression sequences resolved from the formerly checked-in
+//! `proptest_online.proptest-regressions` seed file.
+//!
+//! The vendored proptest does not replay `.proptest-regressions` files, so
+//! each shrunk failure case is transcribed here as an explicit unit test.
+//! The sequences probe the historically fragile paths: `RemoveEdge` with
+//! reversed endpoints (the undirected adjacency must survive while the
+//! opposite directed edge exists), self-loops, and vertices that are
+//! removed and later re-added.
+//!
+//! Every test checks the full online suite (WCC, triangles, degrees)
+//! against the batch references on the leniently-applied graph, so these
+//! stay meaningful even as the online structures evolve.
+
+use gt_algorithms::components::weakly_connected_components;
+use gt_algorithms::online::{DegreeTracker, IncrementalWcc, StreamingTriangles};
+use gt_algorithms::triangles::triangle_count;
+use gt_algorithms::OnlineComputation;
+use gt_core::prelude::*;
+use gt_graph::{ApplyPolicy, CsrSnapshot, EvolvingGraph};
+
+fn add_v(id: u64) -> GraphEvent {
+    GraphEvent::AddVertex {
+        id: VertexId(id),
+        state: State::empty(),
+    }
+}
+
+fn rm_v(id: u64) -> GraphEvent {
+    GraphEvent::RemoveVertex { id: VertexId(id) }
+}
+
+fn add_e(src: u64, dst: u64) -> GraphEvent {
+    GraphEvent::AddEdge {
+        id: EdgeId::new(VertexId(src), VertexId(dst)),
+        state: State::empty(),
+    }
+}
+
+fn rm_e(src: u64, dst: u64) -> GraphEvent {
+    GraphEvent::RemoveEdge {
+        id: EdgeId::new(VertexId(src), VertexId(dst)),
+    }
+}
+
+/// Replays the sequence through every online structure and asserts
+/// agreement with the batch references.
+fn assert_online_matches_batch(events: &[GraphEvent]) {
+    let mut wcc = IncrementalWcc::new();
+    let mut tri = StreamingTriangles::new();
+    let mut deg = DegreeTracker::new();
+    let mut graph = EvolvingGraph::new();
+    for e in events {
+        wcc.apply_event(e);
+        tri.apply_event(e);
+        deg.apply_event(e);
+        let _ = graph.apply_with(e, ApplyPolicy::Lenient);
+    }
+    let csr = CsrSnapshot::from_graph(&graph);
+    let batch_wcc = weakly_connected_components(&csr);
+
+    let (fast, exact) = wcc.result();
+    if exact {
+        assert_eq!(fast, batch_wcc.count, "non-stale fast path diverged");
+    }
+    assert_eq!(wcc.component_count(), batch_wcc.count, "WCC count diverged");
+    assert_eq!(tri.count(), triangle_count(&csr), "triangle count diverged");
+
+    let snap = deg.result();
+    assert_eq!(snap.vertices, graph.vertex_count(), "vertex count diverged");
+    assert_eq!(snap.edges, graph.edge_count(), "edge count diverged");
+    let mut hist = std::collections::BTreeMap::new();
+    for vid in graph.vertices() {
+        let d = graph.out_degree(vid).unwrap() + graph.in_degree(vid).unwrap();
+        *hist.entry(d).or_insert(0usize) += 1;
+    }
+    assert_eq!(snap.histogram, hist, "degree histogram diverged");
+}
+
+/// Seed 6b5c94e2: removing the reverse orientation of the only edge must
+/// not disconnect the pair — only `3->1` is removed, `1->3` never existed
+/// as `3->1`, so lenient semantics make it a no-op.
+#[test]
+fn remove_edge_with_reversed_endpoints() {
+    assert_online_matches_batch(&[add_v(3), add_v(1), add_e(1, 3), rm_e(3, 1)]);
+}
+
+/// Seed 082d4fcf: a triangle where one removal names the reverse direction
+/// of an existing edge. The triangle must survive because `2->3` is still
+/// present; only an exact-direction match may tear it down.
+#[test]
+fn triangle_survives_reversed_remove() {
+    assert_online_matches_batch(&[
+        add_v(3),
+        add_v(5),
+        add_v(2),
+        add_e(2, 3),
+        add_e(3, 5),
+        add_e(2, 5),
+        rm_e(3, 2),
+    ]);
+}
+
+/// Seed 5965197f: a vertex participates in a reversed remove, then a
+/// self-loop add (always rejected), then repeated duplicate re-adds. The
+/// duplicates and the rejected loop must all be no-ops.
+#[test]
+fn readded_vertex_after_reversed_remove_and_self_loop() {
+    assert_online_matches_batch(&[
+        add_v(9),
+        add_v(0),
+        add_e(0, 9),
+        rm_e(9, 0),
+        add_v(0),
+        add_e(0, 0),
+        add_v(0),
+        add_v(0),
+        add_v(0),
+        add_v(0),
+    ]);
+}
+
+/// Seed 7b8483cd: a larger mixed sequence ending in a cascade of vertex
+/// removals that tear down a path (`2 -> 10 -> {1, 13}`), with duplicate
+/// vertex adds and self-loops interleaved throughout.
+#[test]
+fn vertex_removal_cascade_with_duplicates() {
+    assert_online_matches_batch(&[
+        add_v(3),
+        add_v(1),
+        add_v(11),
+        add_e(3, 11),
+        add_v(10),
+        add_e(10, 1),
+        add_v(1),
+        add_v(1),
+        add_v(13),
+        add_v(2),
+        add_v(1),
+        add_e(2, 10),
+        add_v(4),
+        add_v(1),
+        add_e(10, 13),
+        add_e(0, 0),
+        add_e(0, 0),
+        add_e(1, 3),
+        rm_v(10),
+        rm_v(1),
+        rm_v(2),
+    ]);
+}
+
+/// A vertex removed and re-added must come back isolated: its old edges
+/// stay gone in every online structure.
+#[test]
+fn removed_then_readded_vertex_is_isolated() {
+    assert_online_matches_batch(&[
+        add_v(1),
+        add_v(2),
+        add_v(3),
+        add_e(1, 2),
+        add_e(2, 3),
+        add_e(3, 1),
+        rm_v(2),
+        add_v(2),
+        add_e(2, 1),
+    ]);
+}
+
+/// Removing both orientations of a doubly-linked pair, one at a time:
+/// connectivity must only break on the second removal.
+#[test]
+fn both_orientations_removed_one_at_a_time() {
+    assert_online_matches_batch(&[
+        add_v(1),
+        add_v(2),
+        add_e(1, 2),
+        add_e(2, 1),
+        rm_e(1, 2),
+        rm_e(2, 1),
+    ]);
+}

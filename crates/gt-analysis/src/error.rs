@@ -55,7 +55,11 @@ pub fn top_k_overlap<K: Ord + Clone>(
     let top = |m: &BTreeMap<K, f64>| -> Vec<K> {
         let mut entries: Vec<(&K, f64)> = m.iter().map(|(key, &v)| (key, v)).collect();
         entries.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(b.0)));
-        entries.into_iter().take(k).map(|(key, _)| key.clone()).collect()
+        entries
+            .into_iter()
+            .take(k)
+            .map(|(key, _)| key.clone())
+            .collect()
     };
     let ta = top(approx);
     let tb = top(exact);

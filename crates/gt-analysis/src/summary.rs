@@ -184,7 +184,13 @@ mod tests {
 
     #[test]
     fn ci_shrinks_with_n() {
-        let narrow = Summary::of(&vec![10.0; 100].iter().enumerate().map(|(i, v)| v + (i % 2) as f64).collect::<Vec<_>>());
+        let narrow = Summary::of(
+            &vec![10.0; 100]
+                .iter()
+                .enumerate()
+                .map(|(i, v)| v + (i % 2) as f64)
+                .collect::<Vec<_>>(),
+        );
         let wide = Summary::of(&[10.0, 11.0, 10.0, 11.0]);
         let cn = narrow.ci95().unwrap();
         let cw = wide.ci95().unwrap();
@@ -203,7 +209,10 @@ mod tests {
 
     #[test]
     fn comparison_requires_data() {
-        assert_eq!(compare_ci95(&Summary::new(), &Summary::of(&[1.0, 2.0])), None);
+        assert_eq!(
+            compare_ci95(&Summary::new(), &Summary::of(&[1.0, 2.0])),
+            None
+        );
     }
 
     #[test]
@@ -214,9 +223,24 @@ mod tests {
 
     #[test]
     fn interval_overlap_logic() {
-        let a = ConfidenceInterval { mean: 5.0, lo: 4.0, hi: 6.0, n: 30 };
-        let b = ConfidenceInterval { mean: 6.5, lo: 5.5, hi: 7.5, n: 30 };
-        let c = ConfidenceInterval { mean: 9.0, lo: 8.0, hi: 10.0, n: 30 };
+        let a = ConfidenceInterval {
+            mean: 5.0,
+            lo: 4.0,
+            hi: 6.0,
+            n: 30,
+        };
+        let b = ConfidenceInterval {
+            mean: 6.5,
+            lo: 5.5,
+            hi: 7.5,
+            n: 30,
+        };
+        let c = ConfidenceInterval {
+            mean: 9.0,
+            lo: 8.0,
+            hi: 10.0,
+            n: 30,
+        };
         assert!(a.overlaps(&b));
         assert!(b.overlaps(&a));
         assert!(!a.overlaps(&c));

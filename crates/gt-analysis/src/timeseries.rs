@@ -144,7 +144,11 @@ impl RateSeries {
         if self.timestamps.len() < 2 {
             return None;
         }
-        let lo = self.timestamps.iter().copied().fold(f64::INFINITY, f64::min);
+        let lo = self
+            .timestamps
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
         let hi = self
             .timestamps
             .iter()
@@ -183,12 +187,7 @@ mod tests {
 
     #[test]
     fn bucket_means() {
-        let ts = TimeSeries::from_samples(vec![
-            (0.1, 1.0),
-            (0.9, 3.0),
-            (1.5, 10.0),
-            (3.2, 7.0),
-        ]);
+        let ts = TimeSeries::from_samples(vec![(0.1, 1.0), (0.9, 3.0), (1.5, 10.0), (3.2, 7.0)]);
         let buckets = ts.bucket_mean(0.0, 4.0, 1.0);
         assert_eq!(buckets, [Some(2.0), Some(10.0), None, Some(7.0)]);
     }

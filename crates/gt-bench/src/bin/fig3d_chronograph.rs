@@ -51,7 +51,10 @@ fn main() {
         "# Table 4 setup (scaled {fraction:.2}x): {} events, pause after {} events,",
         total, pause_after
     );
-    println!("# doubled rate until event {}, {} workers, online influence rank", doubled_until, workers);
+    println!(
+        "# doubled rate until event {}, {} workers, online influence rank",
+        doubled_until, workers
+    );
 
     // Compose the varying-rate stream: base rate, pause, 2x phase, 1x tail.
     let base = workload.generate();
@@ -172,7 +175,14 @@ fn main() {
 
     println!(
         "\n{:>7} {:>11} {:>10} {:>10} {:>10} {:>10} {:>11} {:>12}",
-        "t[s]", "replay[e/s]", "ops/w[1/s]", "cpu/w[%]", "queue-max", "queue-sum", "rank-err[%]", "phase"
+        "t[s]",
+        "replay[e/s]",
+        "ops/w[1/s]",
+        "cpu/w[%]",
+        "queue-max",
+        "queue-sum",
+        "rank-err[%]",
+        "phase"
     );
     for s in &samples {
         let ops_mean = s.ops_per_worker.iter().sum::<f64>() / workers as f64;
@@ -180,7 +190,11 @@ fn main() {
         let queue_max = s.queue_per_worker.iter().copied().max().unwrap_or(0);
         let queue_sum: i64 = s.queue_per_worker.iter().sum();
         let err = rank_error(&s.board, &exact_map, &watched);
-        let phase = if s.t < stream_end_t { "stream" } else { "drain" };
+        let phase = if s.t < stream_end_t {
+            "stream"
+        } else {
+            "drain"
+        };
         println!(
             "{:>7.2} {:>11.0} {:>10.0} {:>10.1} {:>10} {:>10} {:>11.2} {:>12}",
             s.t,

@@ -62,10 +62,7 @@ fn main() {
 
     // Graph properties.
     let (pr, ms) = timed(|| {
-        gt_algorithms::pagerank::pagerank(
-            &csr,
-            &gt_algorithms::pagerank::PageRankConfig::default(),
-        )
+        gt_algorithms::pagerank::pagerank(&csr, &gt_algorithms::pagerank::PageRankConfig::default())
     });
     let top = pr.top_k(1)[0];
     row(
@@ -134,7 +131,11 @@ fn main() {
     row(
         "routing & traversals",
         "spanning tree construction",
-        format!("{} edges, weight {:.0}", forest.edges.len(), forest.total_weight),
+        format!(
+            "{} edges, weight {:.0}",
+            forest.edges.len(),
+            forest.total_weight
+        ),
         ms,
     );
     let (diam, ms) = timed(|| gt_algorithms::diameter::estimate_diameter(&csr, 4));
@@ -150,11 +151,20 @@ fn main() {
     row(
         "graph theory",
         "vertex coloring",
-        format!("{} colors (proper: {})", coloring.color_count, coloring.is_proper(&csr)),
+        format!(
+            "{} colors (proper: {})",
+            coloring.color_count,
+            coloring.is_proper(&csr)
+        ),
         ms,
     );
     let (tri, ms) = timed(|| gt_algorithms::triangles::triangle_count(&csr));
-    row("graph theory", "triangle count", format!("{tri} triangles"), ms);
+    row(
+        "graph theory",
+        "triangle count",
+        format!("{tri} triangles"),
+        ms,
+    );
 
     // Communities.
     let (wcc, ms) = timed(|| gt_algorithms::components::weakly_connected_components(&csr));
@@ -192,7 +202,10 @@ fn main() {
     row(
         "temporal analyses",
         "online degree stats",
-        format!("{} vertices, max deg {}", snapshot.vertices, snapshot.max_degree),
+        format!(
+            "{} vertices, max deg {}",
+            snapshot.vertices, snapshot.max_degree
+        ),
         ms,
     );
     let (count, ms) = timed(|| {
@@ -218,7 +231,10 @@ fn main() {
     row(
         "temporal analyses",
         "incremental WCC",
-        format!("{components} components (matches batch: {})", components == wcc.count),
+        format!(
+            "{components} components (matches batch: {})",
+            components == wcc.count
+        ),
         ms,
     );
     let (sample, ms) = timed(|| {

@@ -422,12 +422,11 @@ mod tests {
 
     #[test]
     fn addition_ratio_without_topology_changes() {
-        let stream = GraphStream::from_entries(vec![StreamEntry::graph(
-            GraphEvent::UpdateVertex {
+        let stream =
+            GraphStream::from_entries(vec![StreamEntry::graph(GraphEvent::UpdateVertex {
                 id: VertexId(1),
                 state: State::empty(),
-            },
-        )]);
+            })]);
         // No adds/removes at all: defined as 0.
         assert_eq!(stream.stats().addition_ratio(), 0.0);
     }

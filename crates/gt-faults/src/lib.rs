@@ -281,9 +281,7 @@ mod tests {
             DropFaults { probability: 0.0 }.inject(stream.clone(), 1),
             stream
         );
-        assert!(DropFaults { probability: 1.0 }
-            .inject(stream, 1)
-            .is_empty());
+        assert!(DropFaults { probability: 1.0 }.inject(stream, 1).is_empty());
     }
 
     #[test]
@@ -317,10 +315,7 @@ mod tests {
         // Marker stays at its absolute position.
         assert!(out.entries()[50].is_marker());
         // Multiset of graph events preserved.
-        let mut orig: Vec<String> = stream
-            .graph_events()
-            .map(|e| format!("{e:?}"))
-            .collect();
+        let mut orig: Vec<String> = stream.graph_events().map(|e| format!("{e:?}")).collect();
         let mut shuf: Vec<String> = out.graph_events().map(|e| format!("{e:?}")).collect();
         orig.sort();
         shuf.sort();
@@ -332,7 +327,10 @@ mod tests {
     #[test]
     fn shuffle_window_one_is_identity() {
         let stream = vertex_stream(20);
-        assert_eq!(ShuffleWindows { window: 1 }.inject(stream.clone(), 0), stream);
+        assert_eq!(
+            ShuffleWindows { window: 1 }.inject(stream.clone(), 0),
+            stream
+        );
     }
 
     #[test]

@@ -69,7 +69,8 @@ impl StreamComposer {
             if is_graph {
                 seen += 1;
                 if seen % every == 0 {
-                    self.out.push(StreamEntry::marker(format!("{prefix}-{counter}")));
+                    self.out
+                        .push(StreamEntry::marker(format!("{prefix}-{counter}")));
                     counter += 1;
                 }
             }

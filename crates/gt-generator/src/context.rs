@@ -170,7 +170,10 @@ impl GenContext {
                     .graph
                     .out_neighbors(*id)
                     .map(|dst| EdgeId::new(*id, dst));
-                let inc = self.graph.in_neighbors(*id).map(|src| EdgeId::new(src, *id));
+                let inc = self
+                    .graph
+                    .in_neighbors(*id)
+                    .map(|src| EdgeId::new(src, *id));
                 out.chain(inc).collect()
             }
             _ => Vec::new(),
@@ -282,7 +285,8 @@ mod tests {
         let mut ctx = ctx_with_path(4);
         assert_eq!(ctx.vertex_count(), 4);
         assert_eq!(ctx.edge_count(), 3);
-        ctx.apply(&GraphEvent::RemoveVertex { id: VertexId(1) }).unwrap();
+        ctx.apply(&GraphEvent::RemoveVertex { id: VertexId(1) })
+            .unwrap();
         assert_eq!(ctx.vertex_count(), 3);
         // Vertex 1 had edges 0->1 and 1->2.
         assert_eq!(ctx.edge_count(), 1);

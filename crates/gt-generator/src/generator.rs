@@ -237,7 +237,10 @@ mod tests {
         let add_edge_frac = stats.count(EventKind::AddEdge) as f64 / total;
         assert!((0.25..=0.45).contains(&add_edge_frac), "{add_edge_frac}");
         let upd_vertex_frac = stats.count(EventKind::UpdateVertex) as f64 / total;
-        assert!((0.25..=0.45).contains(&upd_vertex_frac), "{upd_vertex_frac}");
+        assert!(
+            (0.25..=0.45).contains(&upd_vertex_frac),
+            "{upd_vertex_frac}"
+        );
         assert_eq!(stats.count(EventKind::UpdateEdge), 0);
     }
 

@@ -68,7 +68,10 @@ impl BarabasiAlbert {
     pub fn generate(&self) -> GraphStream {
         assert!(self.m0 >= 2, "seed core needs at least two vertices");
         assert!(self.m >= 1, "each vertex must attach at least one edge");
-        assert!(self.m <= self.m0, "cannot attach more edges than seed vertices");
+        assert!(
+            self.m <= self.m0,
+            "cannot attach more edges than seed vertices"
+        );
         assert!(self.n >= self.m0, "n must be at least m0");
 
         let mut rng = StdRng::seed_from_u64(self.seed);

@@ -183,7 +183,11 @@ mod tests {
         assert_eq!(csr.in_degree(i1), 0);
         assert_eq!(csr.out_degree(i4), 0);
         assert_eq!(csr.in_degree(i4), 2);
-        let out1: Vec<VertexId> = csr.out_neighbors(i1).iter().map(|&i| csr.id_of(i)).collect();
+        let out1: Vec<VertexId> = csr
+            .out_neighbors(i1)
+            .iter()
+            .map(|&i| csr.id_of(i))
+            .collect();
         assert_eq!(out1, [VertexId(2), VertexId(3)]);
         assert_eq!(csr.out_weights(i1), [2.0, 3.0]);
     }

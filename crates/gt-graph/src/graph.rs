@@ -434,7 +434,10 @@ mod tests {
             id: EdgeId::from((1, 2)),
             state: State::empty(),
         };
-        assert_eq!(g.apply(&e), Err(ApplyError::EdgeExists(EdgeId::from((1, 2)))));
+        assert_eq!(
+            g.apply(&e),
+            Err(ApplyError::EdgeExists(EdgeId::from((1, 2))))
+        );
         // Reverse direction is a distinct edge.
         add_e(&mut g, 2, 1);
         assert_eq!(g.edge_count(), 2);
@@ -477,7 +480,9 @@ mod tests {
         add_e(&mut g, 3, 1);
         add_e(&mut g, 1, 4);
         add_e(&mut g, 2, 3); // unrelated edge
-        let applied = g.apply(&GraphEvent::RemoveVertex { id: VertexId(1) }).unwrap();
+        let applied = g
+            .apply(&GraphEvent::RemoveVertex { id: VertexId(1) })
+            .unwrap();
         assert_eq!(applied.cascaded_edge_removals, 3);
         assert_eq!(g.edge_count(), 1);
         assert!(!g.has_vertex(VertexId(1)));
@@ -502,7 +507,10 @@ mod tests {
         })
         .unwrap();
         assert_eq!(g.vertex_state(VertexId(1)).unwrap().as_str(), "v1");
-        assert_eq!(g.edge_state(EdgeId::from((1, 2))).unwrap().as_weight(), Some(9.0));
+        assert_eq!(
+            g.edge_state(EdgeId::from((1, 2))).unwrap().as_weight(),
+            Some(9.0)
+        );
 
         assert_eq!(
             g.apply(&GraphEvent::UpdateVertex {

@@ -78,11 +78,7 @@ impl DegreeDistribution {
         if self.total_vertices == 0 {
             return 0.0;
         }
-        let at_least: usize = self
-            .counts
-            .range(d..)
-            .map(|(_, &c)| c)
-            .sum();
+        let at_least: usize = self.counts.range(d..).map(|(_, &c)| c).sum();
         at_least as f64 / self.total_vertices as f64
     }
 }
@@ -112,7 +108,11 @@ impl GraphProperties {
         GraphProperties {
             vertices: n,
             edges: m,
-            density: if possible > 0.0 { m as f64 / possible } else { 0.0 },
+            density: if possible > 0.0 {
+                m as f64 / possible
+            } else {
+                0.0
+            },
             mean_degree: dist.mean(),
             max_degree: dist.max_degree(),
         }

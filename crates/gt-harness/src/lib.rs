@@ -34,6 +34,8 @@ pub mod sweep;
 
 pub use levels::EvaluationLevel;
 pub use repeat::{compare_metric, repeat_runs, RepeatOutcome};
-pub use run::{run_experiment, RunOutcome, RunPlan};
+pub use run::{
+    run_experiment, run_file_experiment, FileRunOutcome, FileRunPlan, RunOutcome, RunPlan,
+};
 pub use spec::ExperimentSpec;
 pub use sweep::{Assignment, Factor, FactorSpace};

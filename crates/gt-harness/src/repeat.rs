@@ -51,10 +51,7 @@ mod tests {
     fn detects_significant_difference() {
         let fast = repeat_runs(30, |i| 1_000.0 + (i % 3) as f64);
         let slow = repeat_runs(30, |i| 100.0 + (i % 3) as f64);
-        assert_eq!(
-            compare_metric(&fast, &slow),
-            Some(Comparison::AGreater)
-        );
+        assert_eq!(compare_metric(&fast, &slow), Some(Comparison::AGreater));
     }
 
     #[test]

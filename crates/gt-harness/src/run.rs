@@ -5,13 +5,20 @@
 //! outputs merged into a single chronologically sorted [`ResultLog`]
 //! (Figure 2's data path).
 
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::thread::JoinHandle;
 use std::time::Duration;
 
 use gt_core::prelude::*;
-use gt_metrics::{Clock, LogCollector, MetricRecord, MetricsLogger, ResultLog, WallClock};
-use gt_replayer::{EventSink, ReplayReport, Replayer, ReplayerConfig};
+use gt_metrics::{
+    Clock, HubSampler, LogCollector, MetricRecord, MetricsHub, MetricsLogger, ResultLog, WallClock,
+};
+use gt_replayer::{
+    EventSink, ReplayError, ReplayReport, ReplaySession, ReplaySessionConfig, Replayer,
+    ReplayerConfig, SessionReport, SinkEventKind,
+};
 
 /// Everything a single run needs besides the system under test.
 pub struct RunPlan {
@@ -57,6 +64,44 @@ pub struct RunOutcome {
     pub log: ResultLog,
 }
 
+/// Spawns the background thread that drives all loggers until `stop` is
+/// raised, finishing with one final sample so the log covers the run end.
+fn spawn_sampler(
+    mut loggers: Vec<Box<dyn MetricsLogger>>,
+    interval: Duration,
+    stop: Arc<AtomicBool>,
+) -> JoinHandle<Vec<MetricRecord>> {
+    std::thread::Builder::new()
+        .name("gt-harness-sampler".into())
+        .spawn(move || {
+            let mut records = Vec::new();
+            while !stop.load(Ordering::Relaxed) {
+                for logger in &mut loggers {
+                    records.extend(logger.sample());
+                }
+                std::thread::sleep(interval);
+            }
+            for logger in &mut loggers {
+                records.extend(logger.sample());
+            }
+            records
+        })
+        .expect("spawn sampler")
+}
+
+/// Replayer marker and ingress-rate records for the merged log.
+fn replay_records(report: &ReplayReport) -> Vec<MetricRecord> {
+    let mut records: Vec<MetricRecord> = report
+        .markers
+        .iter()
+        .map(|(name, t)| MetricRecord::text(*t, "replayer", "marker", name.clone()))
+        .collect();
+    records.extend(report.rate_series.iter().map(|(t, rate)| {
+        MetricRecord::float((*t * 1e6) as u64, "replayer", "ingress_rate", *rate)
+    }));
+    records
+}
+
 /// Executes one run: replays `plan.stream` into `sink` while sampling all
 /// loggers every `plan.sampling_interval` on a background thread.
 ///
@@ -65,30 +110,7 @@ pub struct RunOutcome {
 pub fn run_experiment<S: EventSink>(plan: RunPlan, sink: &mut S) -> std::io::Result<RunOutcome> {
     let clock: Arc<dyn Clock> = Arc::new(WallClock::start());
     let stop = Arc::new(AtomicBool::new(false));
-
-    // Sampling thread: drives all loggers until told to stop.
-    let sampler = {
-        let stop = Arc::clone(&stop);
-        let interval = plan.sampling_interval;
-        let mut loggers = plan.loggers;
-        std::thread::Builder::new()
-            .name("gt-harness-sampler".into())
-            .spawn(move || {
-                let mut records = Vec::new();
-                while !stop.load(Ordering::Relaxed) {
-                    for logger in &mut loggers {
-                        records.extend(logger.sample());
-                    }
-                    std::thread::sleep(interval);
-                }
-                // One final sample so the log covers the run end.
-                for logger in &mut loggers {
-                    records.extend(logger.sample());
-                }
-                records
-            })
-            .expect("spawn sampler")
-    };
+    let sampler = spawn_sampler(plan.loggers, plan.sampling_interval, Arc::clone(&stop));
 
     let replayer = Replayer::new(plan.replayer).with_clock(Arc::clone(&clock));
     let result = replayer.replay_stream(&plan.stream, sink);
@@ -97,23 +119,122 @@ pub fn run_experiment<S: EventSink>(plan: RunPlan, sink: &mut S) -> std::io::Res
     let sampled = sampler.join().expect("sampler panicked");
     let report = result?;
 
-    let marker_records: Vec<MetricRecord> = report
-        .markers
+    let mut collector = LogCollector::new();
+    collector
+        .add_records(sampled)
+        .add_records(replay_records(&report));
+    Ok(RunOutcome {
+        report,
+        log: collector.collect(),
+    })
+}
+
+/// A run driven by the file-backed streaming pipeline instead of an
+/// in-memory stream: the stream file is parsed on a dedicated reader
+/// thread and never fully materialized.
+pub struct FileRunPlan {
+    /// Path of the stream file to replay.
+    pub path: PathBuf,
+    /// Pipeline configuration (pacing, channel capacity).
+    pub session: ReplaySessionConfig,
+    /// Metric loggers sampled during the run (the pipeline's own stage
+    /// metrics are sampled automatically).
+    pub loggers: Vec<Box<dyn MetricsLogger>>,
+    /// Sampling interval for the logger thread.
+    pub sampling_interval: Duration,
+}
+
+impl FileRunPlan {
+    /// A plan replaying `path` at `target_rate`, no extra loggers.
+    pub fn new(path: impl Into<PathBuf>, target_rate: f64) -> Self {
+        FileRunPlan {
+            path: path.into(),
+            session: ReplaySessionConfig {
+                replayer: ReplayerConfig {
+                    target_rate,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+            loggers: Vec::new(),
+            sampling_interval: Duration::from_millis(100),
+        }
+    }
+
+    /// Adds a logger (builder style).
+    #[must_use]
+    pub fn with_logger(mut self, logger: Box<dyn MetricsLogger>) -> Self {
+        self.loggers.push(logger);
+        self
+    }
+
+    /// Sets the reader→emitter channel capacity (builder style).
+    #[must_use]
+    pub fn with_buffer(mut self, entries: usize) -> Self {
+        self.session.buffer = entries;
+        self
+    }
+}
+
+/// The outputs of one file-backed run.
+#[derive(Debug)]
+pub struct FileRunOutcome {
+    /// Streaming metrics plus per-stage pipeline health.
+    pub report: SessionReport,
+    /// The merged result log: logger samples, pipeline stage samples,
+    /// replayer markers, ingress-rate series, and sink
+    /// disconnect/reconnect events.
+    pub log: ResultLog,
+}
+
+/// Executes one file-backed run through [`ReplaySession`]: parses and
+/// paces `plan.path` into `sink` while a background thread samples the
+/// pipeline's stage metrics (queue depth, stalls, emit latency) and any
+/// extra loggers. Sink disconnect/reconnect events land in the merged log
+/// under source `sink`.
+pub fn run_file_experiment<S: EventSink>(
+    plan: FileRunPlan,
+    sink: &mut S,
+) -> Result<FileRunOutcome, ReplayError> {
+    let clock: Arc<dyn Clock> = Arc::new(WallClock::start());
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let hub = MetricsHub::new();
+    let mut loggers = plan.loggers;
+    loggers.push(Box::new(HubSampler::new(
+        hub.clone(),
+        Arc::clone(&clock),
+        "pipeline",
+    )));
+    let sampler = spawn_sampler(loggers, plan.sampling_interval, Arc::clone(&stop));
+
+    let session = ReplaySession::new(plan.session)
+        .with_clock(Arc::clone(&clock))
+        .with_hub(hub);
+    let result = session.run(&plan.path, sink);
+
+    stop.store(true, Ordering::Relaxed);
+    let sampled = sampler.join().expect("sampler panicked");
+    let report = result?;
+
+    let sink_records: Vec<MetricRecord> = report
+        .sink_events
         .iter()
-        .map(|(name, t)| MetricRecord::text(*t, "replayer", "marker", name.clone()))
-        .collect();
-    let rate_records: Vec<MetricRecord> = report
-        .rate_series
-        .iter()
-        .map(|(t, rate)| MetricRecord::float((*t * 1e6) as u64, "replayer", "ingress_rate", *rate))
+        .map(|e| {
+            let metric = match e.kind {
+                SinkEventKind::Disconnected => "disconnect",
+                SinkEventKind::Reconnected { .. } => "reconnect",
+            };
+            MetricRecord::text(e.t_micros, "sink", metric, e.detail.clone())
+        })
         .collect();
 
     let mut collector = LogCollector::new();
     collector
         .add_records(sampled)
-        .add_records(marker_records)
-        .add_records(rate_records);
-    Ok(RunOutcome {
+        .add_records(replay_records(&report.replay))
+        .add_records(sink_records);
+    Ok(FileRunOutcome {
         report,
         log: collector.collect(),
     })
@@ -142,13 +263,12 @@ mod tests {
     fn run_produces_merged_log() {
         let clock: Arc<dyn Clock> = Arc::new(ManualClock::new());
         let probe_clock = Arc::clone(&clock);
-        let plan = RunPlan::new(stream(2_000), 50_000.0)
-            .with_logger(Box::new(GaugeSampler::new(
-                probe_clock,
-                "probe",
-                "answer",
-                || Some(42.0),
-            )));
+        let plan = RunPlan::new(stream(2_000), 50_000.0).with_logger(Box::new(GaugeSampler::new(
+            probe_clock,
+            "probe",
+            "answer",
+            || Some(42.0),
+        )));
         let mut sink = CollectSink::new();
         let outcome = run_experiment(plan, &mut sink).unwrap();
 
@@ -163,6 +283,48 @@ mod tests {
         assert_eq!(ts, sorted);
         // Ingress rate records exist.
         assert!(!outcome.log.series("replayer", "ingress_rate").is_empty());
+    }
+
+    #[test]
+    fn file_run_merges_pipeline_metrics() {
+        let dir = std::env::temp_dir().join("gt-harness-file-run-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stream.csv");
+        let mut content = String::new();
+        for i in 0..3_000 {
+            content.push_str(&format!("ADD_VERTEX,{i},\n"));
+        }
+        content.push_str("MARKER,stream-end,\n");
+        std::fs::write(&path, content).unwrap();
+
+        let plan = FileRunPlan::new(&path, 100_000.0).with_buffer(256);
+        let mut sink = CollectSink::new();
+        let outcome = run_file_experiment(plan, &mut sink).unwrap();
+
+        assert_eq!(outcome.report.replay.graph_events, 3_000);
+        assert_eq!(outcome.report.entries_read, 3_001);
+        assert_eq!(outcome.report.emit_latency.count, 3_000);
+        assert!(outcome.log.marker("stream-end").is_some());
+        assert!(!outcome.log.series("replayer", "ingress_rate").is_empty());
+        // The auto-registered pipeline sampler recorded stage metrics.
+        assert!(!outcome.log.series("pipeline", "ingress_events").is_empty());
+        assert!(!outcome.log.series("pipeline", "queue_depth").is_empty());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn file_run_surfaces_parse_errors() {
+        let dir = std::env::temp_dir().join("gt-harness-file-run-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("broken.csv");
+        std::fs::write(&path, "ADD_VERTEX,1,\nBOGUS\n").unwrap();
+        let plan = FileRunPlan::new(&path, 100_000.0);
+        let mut sink = CollectSink::new();
+        assert!(matches!(
+            run_file_experiment(plan, &mut sink),
+            Err(ReplayError::Source(_))
+        ));
+        std::fs::remove_file(path).ok();
     }
 
     #[test]

@@ -183,8 +183,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "has no levels")]
     fn empty_levels_rejected() {
-        FactorSpace::new()
-            .factor::<u32>("x", [])
-            .full_factorial();
+        FactorSpace::new().factor::<u32>("x", []).full_factorial();
     }
 }

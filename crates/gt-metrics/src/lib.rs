@@ -29,6 +29,6 @@ pub mod record;
 
 pub use clock::{Clock, ManualClock, WallClock};
 pub use collector::LogCollector;
-pub use hub::MetricsHub;
+pub use hub::{Histogram, HistogramSnapshot, MetricsHub};
 pub use logger::{GaugeSampler, HubSampler, MetricsLogger, ProcessSampler};
 pub use record::{MetricRecord, MetricValue, ResultLog};

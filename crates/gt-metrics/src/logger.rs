@@ -65,6 +65,35 @@ impl MetricsLogger for HubSampler {
         for (name, value) in self.hub.gauge_values() {
             records.push(MetricRecord::int(now, &self.source, &name, value));
         }
+        for (name, snap) in self.hub.histogram_values() {
+            if snap.count == 0 {
+                continue;
+            }
+            records.push(MetricRecord::int(
+                now,
+                &self.source,
+                &format!("{name}.count"),
+                snap.count as i64,
+            ));
+            records.push(MetricRecord::float(
+                now,
+                &self.source,
+                &format!("{name}.mean"),
+                snap.mean(),
+            ));
+            records.push(MetricRecord::int(
+                now,
+                &self.source,
+                &format!("{name}.p99"),
+                snap.quantile_upper_bound(0.99) as i64,
+            ));
+            records.push(MetricRecord::int(
+                now,
+                &self.source,
+                &format!("{name}.max"),
+                snap.max as i64,
+            ));
+        }
         records
     }
 
@@ -203,8 +232,12 @@ mod tests {
 
         manual.advance_secs(1.0);
         let first = sampler.sample();
-        assert!(first.iter().any(|r| r.metric == "ops" && r.value == MetricValue::Int(10)));
-        assert!(first.iter().any(|r| r.metric == "queue" && r.value == MetricValue::Int(4)));
+        assert!(first
+            .iter()
+            .any(|r| r.metric == "ops" && r.value == MetricValue::Int(10)));
+        assert!(first
+            .iter()
+            .any(|r| r.metric == "queue" && r.value == MetricValue::Int(4)));
         // No delta on the first sample.
         assert!(!first.iter().any(|r| r.metric == "ops.delta"));
 

@@ -194,11 +194,7 @@ impl ResultLog {
 
     /// The distinct sources in the log, sorted.
     pub fn sources(&self) -> Vec<String> {
-        let mut out: Vec<String> = self
-            .records
-            .iter()
-            .map(|r| r.source.clone())
-            .collect();
+        let mut out: Vec<String> = self.records.iter().map(|r| r.source.clone()).collect();
         out.sort();
         out.dedup();
         out
@@ -207,9 +203,9 @@ impl ResultLog {
     /// The first marker record with the given name, if any (markers are
     /// text records with metric `marker`).
     pub fn marker(&self, name: &str) -> Option<&MetricRecord> {
-        self.records.iter().find(|r| {
-            r.metric == "marker" && matches!(&r.value, MetricValue::Text(t) if t == name)
-        })
+        self.records
+            .iter()
+            .find(|r| r.metric == "marker" && matches!(&r.value, MetricValue::Text(t) if t == name))
     }
 
     /// The records between two markers (exclusive of the marker records
@@ -225,9 +221,7 @@ impl ResultLog {
         Some(ResultLog::from_records(
             self.records
                 .iter()
-                .filter(|r| {
-                    r.t_micros >= t_start && r.t_micros <= t_end && r.metric != "marker"
-                })
+                .filter(|r| r.t_micros >= t_start && r.t_micros <= t_end && r.metric != "marker")
                 .cloned()
                 .collect(),
         ))

@@ -18,15 +18,28 @@
 //!   reports achieved ingress rates (§4.3 "Streaming Metrics").
 //! * [`reader`] — the decoupled file-reader thread feeding the replayer
 //!   through a bounded channel.
+//! * [`session`] — the composed file→parse→pace→sink pipeline with
+//!   per-stage instrumentation.
+//! * [`reconnect`] — the fault-tolerant TCP connector (capped exponential
+//!   backoff, at-least-once resume across connection loss).
+//! * [`errors`] — the typed pipeline error.
 
+pub mod errors;
 pub mod pacing;
 pub mod reader;
+pub mod reconnect;
 pub mod replayer;
+pub mod session;
 pub mod sink;
 pub mod source;
 
+pub use errors::ReplayError;
 pub use pacing::Pacer;
 pub use reader::spawn_file_reader;
+pub use reconnect::{ReconnectPolicy, ReconnectingTcpSink};
 pub use replayer::{ReplayReport, Replayer, ReplayerConfig};
-pub use sink::{ChannelSink, CollectSink, EventSink, TcpSink, WriterSink};
+pub use session::{ReplaySession, ReplaySessionConfig, SessionReport};
+pub use sink::{
+    ChannelSink, CollectSink, EventSink, SinkEvent, SinkEventKind, TcpSink, WriterSink,
+};
 pub use source::spawn_tcp_source;

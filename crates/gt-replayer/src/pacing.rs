@@ -59,17 +59,27 @@ impl Pacer {
     /// Blocks until the next emission deadline, then advances it. When the
     /// pacer has fallen behind (deadline in the past), it returns
     /// immediately, letting the replayer catch up in a bounded burst.
-    pub fn wait(&mut self) {
+    ///
+    /// Returns how late the emission is relative to its deadline — zero
+    /// when the pacer woke on time, positive when the previous emission
+    /// (slow sink, pause, starved reader) pushed this one past its slot.
+    pub fn wait(&mut self) -> Duration {
         let now = Instant::now();
-        if self.next_deadline > now {
+        let lateness = if self.next_deadline > now {
             Self::wait_until(self.next_deadline);
-        } else if now.duration_since(self.next_deadline) > Duration::from_millis(100) {
-            // Too far behind (e.g. after a pause or a slow sink): re-anchor
-            // instead of bursting unboundedly.
-            self.next_deadline = now;
-        }
+            Duration::ZERO
+        } else {
+            let behind = now.duration_since(self.next_deadline);
+            if behind > Duration::from_millis(100) {
+                // Too far behind (e.g. after a pause or a slow sink):
+                // re-anchor instead of bursting unboundedly.
+                self.next_deadline = now;
+            }
+            behind
+        };
         let interval = self.base_interval_nanos / self.speed;
         self.next_deadline += Duration::from_nanos(interval as u64);
+        lateness
     }
 
     /// Re-anchors the deadline to now + one interval (used after `PAUSE`).
@@ -166,6 +176,19 @@ mod tests {
         }
         let elapsed = start.elapsed();
         assert!(elapsed >= Duration::from_micros(500), "elapsed {elapsed:?}");
+    }
+
+    #[test]
+    fn reports_lateness_when_behind() {
+        let mut pacer = Pacer::new(1_000.0);
+        pacer.reset();
+        // First wait lands on (or after) its deadline normally.
+        let on_time = pacer.wait();
+        assert!(on_time < Duration::from_millis(5), "late {on_time:?}");
+        // Simulate a stalled sink: the next deadline is long past.
+        std::thread::sleep(Duration::from_millis(20));
+        let late = pacer.wait();
+        assert!(late >= Duration::from_millis(15), "lateness {late:?}");
     }
 
     #[test]

@@ -21,10 +21,7 @@ pub const DEFAULT_BUFFER: usize = 64 * 1024;
 pub fn spawn_file_reader(
     path: impl Into<PathBuf>,
     buffer: usize,
-) -> (
-    Receiver<StreamEntry>,
-    JoinHandle<Result<u64, CoreError>>,
-) {
+) -> (Receiver<StreamEntry>, JoinHandle<Result<u64, CoreError>>) {
     let path = path.into();
     let (tx, rx) = bounded(buffer.max(1));
     let handle = std::thread::Builder::new()
@@ -93,9 +90,7 @@ mod tests {
 
     #[test]
     fn dropping_receiver_stops_reader() {
-        let content: String = (0..100_000)
-            .map(|i| format!("ADD_VERTEX,{i},\n"))
-            .collect();
+        let content: String = (0..100_000).map(|i| format!("ADD_VERTEX,{i},\n")).collect();
         let path = temp_stream_file(&content);
         let (rx, handle) = spawn_file_reader(&path, 4);
         // Take a few entries, then hang up.

@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use gt_core::prelude::*;
 use gt_metrics::hub::Counter;
-use gt_metrics::{Clock, WallClock};
+use gt_metrics::{Clock, Histogram, WallClock};
 
 use crate::pacing::Pacer;
 use crate::sink::EventSink;
@@ -42,9 +42,14 @@ pub struct ReplayReport {
     pub markers: Vec<(String, u64)>,
     /// Total wall time of the replay in microseconds.
     pub duration_micros: u64,
+    /// Wall time spent sleeping in honored `PAUSE` control events,
+    /// microseconds. Always `<= duration_micros`.
+    pub paused_micros: u64,
     /// Events per second, bucketed over the run.
     pub rate_series: Vec<(f64, f64)>,
-    /// Mean achieved rate over the whole run (graph events only).
+    /// Mean achieved rate over the *active* (non-paused) part of the run
+    /// (graph events only) — a paused replayer is obeying the stream, not
+    /// falling behind, so pauses must not depress this number.
     pub achieved_rate: f64,
 }
 
@@ -55,6 +60,9 @@ pub struct Replayer {
     /// Optional shared ingress counter (events emitted), for live
     /// observation by metric loggers while the replay runs.
     ingress_counter: Option<Counter>,
+    /// Optional emit-latency histogram: per graph event, how far past its
+    /// pacing deadline the emission happened, in microseconds.
+    emit_latency: Option<Histogram>,
 }
 
 impl Replayer {
@@ -64,6 +72,7 @@ impl Replayer {
             config,
             clock: Arc::new(WallClock::start()),
             ingress_counter: None,
+            emit_latency: None,
         }
     }
 
@@ -80,6 +89,13 @@ impl Replayer {
         self
     }
 
+    /// Registers a histogram recording each graph event's deadline miss
+    /// (microseconds late relative to the pacing schedule).
+    pub fn with_emit_latency(mut self, histogram: Histogram) -> Self {
+        self.emit_latency = Some(histogram);
+        self
+    }
+
     /// Replays entries into the sink at the configured rate, honouring
     /// control events. Returns the streaming metrics report.
     pub fn replay<I, S>(&self, entries: I, sink: &mut S) -> io::Result<ReplayReport>
@@ -91,6 +107,7 @@ impl Replayer {
         pacer.reset();
         let started = self.clock.now_micros();
         let mut graph_events = 0u64;
+        let mut paused_micros = 0u64;
         let mut markers = Vec::new();
         let bucket_micros = (self.config.rate_bucket_secs * 1e6) as u64;
         let mut buckets: Vec<u64> = Vec::new();
@@ -98,7 +115,10 @@ impl Replayer {
         for entry in entries {
             match &entry {
                 StreamEntry::Graph(_) => {
-                    pacer.wait();
+                    let lateness = pacer.wait();
+                    if let Some(h) = &self.emit_latency {
+                        h.record(lateness.as_micros() as u64);
+                    }
                     sink.send(&entry)?;
                     graph_events += 1;
                     if let Some(c) = &self.ingress_counter {
@@ -124,7 +144,9 @@ impl Replayer {
                 StreamEntry::Control(ControlEvent::Pause(duration)) => {
                     sink.flush()?;
                     if self.config.honor_pauses {
+                        let pause_start = self.clock.now_micros();
                         std::thread::sleep(*duration);
+                        paused_micros += self.clock.now_micros().saturating_sub(pause_start);
                     }
                     pacer.reset();
                 }
@@ -133,22 +155,32 @@ impl Replayer {
         sink.flush()?;
 
         let duration_micros = self.clock.now_micros().saturating_sub(started).max(1);
+        let last = buckets.len().saturating_sub(1);
         let rate_series: Vec<(f64, f64)> = buckets
             .iter()
             .enumerate()
             .map(|(i, &count)| {
-                (
-                    i as f64 * self.config.rate_bucket_secs,
-                    count as f64 / self.config.rate_bucket_secs,
-                )
+                let start_secs = i as f64 * self.config.rate_bucket_secs;
+                // The run usually ends partway through the final bucket;
+                // dividing by the full bucket width would understate the
+                // closing rate, so scale by the actual elapsed width.
+                let width = if i == last {
+                    (duration_micros as f64 / 1e6 - start_secs)
+                        .clamp(1e-6, self.config.rate_bucket_secs)
+                } else {
+                    self.config.rate_bucket_secs
+                };
+                (start_secs, count as f64 / width)
             })
             .collect();
+        let active_micros = duration_micros.saturating_sub(paused_micros).max(1);
         Ok(ReplayReport {
             graph_events,
             markers,
             duration_micros,
+            paused_micros,
             rate_series,
-            achieved_rate: graph_events as f64 / (duration_micros as f64 / 1e6),
+            achieved_rate: graph_events as f64 / (active_micros as f64 / 1e6),
         })
     }
 
@@ -287,11 +319,81 @@ mod tests {
         });
         let mut sink = CollectSink::new();
         let report = replayer.replay_stream(&stream, &mut sink).unwrap();
+        // Integrate rate over actual bucket widths: full buckets except
+        // the final one, which ends at the run's end.
+        let end_secs = report.duration_micros as f64 / 1e6;
+        let last = report.rate_series.len() - 1;
         let total: f64 = report
             .rate_series
             .iter()
-            .map(|(_, rate)| rate * 0.05)
+            .enumerate()
+            .map(|(i, &(start, rate))| {
+                let width = if i == last { end_secs - start } else { 0.05 };
+                rate * width
+            })
             .sum();
         assert!((total - 2_000.0).abs() < 1.0, "series total {total}");
+    }
+
+    #[test]
+    fn tail_bucket_rate_not_deflated() {
+        // 1s buckets with a run lasting well under a second: the old
+        // full-width division reported ~1/20th of the true rate.
+        let stream = vertices(500);
+        let replayer = Replayer::new(ReplayerConfig {
+            target_rate: 10_000.0,
+            rate_bucket_secs: 1.0,
+            ..Default::default()
+        });
+        let mut sink = CollectSink::new();
+        let report = replayer.replay_stream(&stream, &mut sink).unwrap();
+        assert_eq!(report.rate_series.len(), 1);
+        let (_, rate) = report.rate_series[0];
+        assert!(
+            (6_000.0..14_000.0).contains(&rate),
+            "tail bucket rate {rate} not near target"
+        );
+    }
+
+    #[test]
+    fn achieved_rate_excludes_honored_pauses() {
+        // 200 events at 10k/s (~20ms active) around a 100ms pause. Over
+        // wall time the rate would be under 2k/s; over active time it must
+        // stay near the target.
+        let mut stream = vertices(100);
+        stream.push(StreamEntry::pause(Duration::from_millis(100)));
+        stream.extend(vertices(100));
+        let replayer = Replayer::new(ReplayerConfig {
+            target_rate: 10_000.0,
+            ..Default::default()
+        });
+        let mut sink = CollectSink::new();
+        let report = replayer.replay_stream(&stream, &mut sink).unwrap();
+        assert!(
+            report.paused_micros >= 100_000,
+            "paused {} < pause duration",
+            report.paused_micros
+        );
+        assert!(report.paused_micros < report.duration_micros);
+        assert!(
+            (6_000.0..14_000.0).contains(&report.achieved_rate),
+            "active-time rate {} should be near target",
+            report.achieved_rate
+        );
+    }
+
+    #[test]
+    fn ignored_pauses_do_not_count_as_paused_time() {
+        let mut stream = vertices(2);
+        stream.push(StreamEntry::pause(Duration::from_secs(5)));
+        stream.extend(vertices(2));
+        let replayer = Replayer::new(ReplayerConfig {
+            target_rate: 1e6,
+            honor_pauses: false,
+            ..Default::default()
+        });
+        let mut sink = CollectSink::new();
+        let report = replayer.replay_stream(&stream, &mut sink).unwrap();
+        assert_eq!(report.paused_micros, 0);
     }
 }

@@ -1,0 +1,307 @@
+//! The end-to-end replay pipeline: file → parse → pace → sink.
+//!
+//! [`ReplaySession`] composes the decoupled reader thread
+//! ([`crate::reader::spawn_file_reader`]), the bounded hand-off channel,
+//! and the pacing [`crate::Replayer`] into the multi-threaded design of
+//! §5.1 — the stream is parsed on one thread and emitted on another, so
+//! a stream of any length replays in bounded memory (the channel holds at
+//! most `buffer` entries; the file is never materialized).
+//!
+//! Every stage is instrumented through a [`MetricsHub`]:
+//!
+//! | metric | type | meaning |
+//! |---|---|---|
+//! | `ingress_events` | counter | graph events emitted |
+//! | `queue_depth` | gauge | reader→emitter channel occupancy |
+//! | `reader_stall_micros` | counter | emitter time blocked on an empty channel (reader too slow) |
+//! | `sink_stall_micros` | counter | emitter time blocked in `send`/`flush` (consumer too slow) |
+//! | `emit_latency_micros` | histogram | per-event deadline miss |
+//!
+//! Passing a shared hub (and clock) lets harness logger threads sample
+//! the pipeline live; the final values are also folded into the returned
+//! [`SessionReport`].
+
+use std::path::Path;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crossbeam::channel::Receiver;
+use gt_core::prelude::*;
+use gt_metrics::hub::{Counter, Gauge};
+use gt_metrics::{Clock, HistogramSnapshot, MetricsHub, WallClock};
+
+use crate::errors::ReplayError;
+use crate::reader::{spawn_file_reader, DEFAULT_BUFFER};
+use crate::replayer::{ReplayReport, Replayer, ReplayerConfig};
+use crate::sink::{EventSink, SinkEvent};
+
+/// Pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct ReplaySessionConfig {
+    /// Pacing and reporting configuration for the emitter stage.
+    pub replayer: ReplayerConfig,
+    /// Capacity of the reader→emitter channel, in entries. This is the
+    /// pipeline's only buffering — it bounds both memory use and how far
+    /// the reader can run ahead.
+    pub buffer: usize,
+}
+
+impl Default for ReplaySessionConfig {
+    fn default() -> Self {
+        ReplaySessionConfig {
+            replayer: ReplayerConfig::default(),
+            buffer: DEFAULT_BUFFER,
+        }
+    }
+}
+
+/// What a pipeline run measured: the emitter's streaming metrics plus
+/// per-stage health.
+#[derive(Debug, Clone)]
+pub struct SessionReport {
+    /// The emitter's streaming metrics (rates, markers, pauses).
+    pub replay: ReplayReport,
+    /// Entries the reader parsed from the file.
+    pub entries_read: u64,
+    /// Cumulative time the emitter spent waiting on an empty channel.
+    pub reader_stall_micros: u64,
+    /// Cumulative time the emitter spent inside sink `send`/`flush`.
+    pub sink_stall_micros: u64,
+    /// Highest observed reader→emitter channel occupancy.
+    pub max_queue_depth: i64,
+    /// Distribution of per-event deadline misses, microseconds.
+    pub emit_latency: HistogramSnapshot,
+    /// Notable sink events (disconnects, reconnects), drained after the
+    /// replay.
+    pub sink_events: Vec<SinkEvent>,
+}
+
+/// The file-backed, fault-tolerant replay pipeline driver.
+pub struct ReplaySession {
+    config: ReplaySessionConfig,
+    clock: Arc<dyn Clock>,
+    hub: MetricsHub,
+}
+
+impl ReplaySession {
+    /// A session with its own clock and a private metrics hub.
+    pub fn new(config: ReplaySessionConfig) -> Self {
+        ReplaySession {
+            config,
+            clock: Arc::new(WallClock::start()),
+            hub: MetricsHub::new(),
+        }
+    }
+
+    /// Uses a shared run clock (marker and sink-event timestamps align
+    /// with harness logger timestamps).
+    #[must_use]
+    pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// Uses a shared metrics hub so logger threads can sample the
+    /// pipeline while it runs.
+    #[must_use]
+    pub fn with_hub(mut self, hub: MetricsHub) -> Self {
+        self.hub = hub;
+        self
+    }
+
+    /// The hub carrying the pipeline's live metrics.
+    pub fn hub(&self) -> &MetricsHub {
+        &self.hub
+    }
+
+    /// Streams `path` through the pipeline into `sink`. The file is read
+    /// and parsed on a dedicated thread; this thread paces and emits.
+    pub fn run<S: EventSink>(
+        &self,
+        path: impl AsRef<Path>,
+        sink: &mut S,
+    ) -> Result<SessionReport, ReplayError> {
+        let (rx, reader_handle) = spawn_file_reader(path.as_ref(), self.config.buffer);
+
+        let max_queue_depth = Arc::new(AtomicI64::new(0));
+        let entries = InstrumentedRx {
+            rx,
+            queue_depth: self.hub.gauge("queue_depth"),
+            reader_stall: self.hub.counter("reader_stall_micros"),
+            max_depth: Arc::clone(&max_queue_depth),
+        };
+        let mut instrumented_sink = InstrumentedSink {
+            inner: sink,
+            sink_stall: self.hub.counter("sink_stall_micros"),
+        };
+
+        let emit_latency = self.hub.histogram("emit_latency_micros");
+        let replayer = Replayer::new(self.config.replayer.clone())
+            .with_clock(Arc::clone(&self.clock))
+            .with_ingress_counter(self.hub.counter("ingress_events"))
+            .with_emit_latency(emit_latency.clone());
+
+        // `replay` consumes the entry iterator, so by the time it returns
+        // the receiver is dropped and the reader thread is unblocked and
+        // winding down — joining it cannot deadlock, on either path.
+        let replay_result = replayer.replay(entries, &mut instrumented_sink);
+        let reader_result = reader_handle.join();
+
+        let replay = replay_result.map_err(ReplayError::from_sink_error)?;
+        let entries_read = match reader_result {
+            Ok(Ok(n)) => n,
+            Ok(Err(e)) => return Err(ReplayError::Source(e)),
+            Err(_) => return Err(ReplayError::ReaderPanicked),
+        };
+
+        Ok(SessionReport {
+            replay,
+            entries_read,
+            reader_stall_micros: self.hub.counter("reader_stall_micros").get(),
+            sink_stall_micros: self.hub.counter("sink_stall_micros").get(),
+            max_queue_depth: max_queue_depth.load(Ordering::Relaxed),
+            emit_latency: emit_latency.snapshot(),
+            sink_events: sink.drain_events(),
+        })
+    }
+}
+
+/// The reader→emitter channel, instrumented: time blocked on `recv` is
+/// reader stall; occupancy after each take feeds the queue-depth gauge.
+struct InstrumentedRx {
+    rx: Receiver<StreamEntry>,
+    queue_depth: Gauge,
+    reader_stall: Counter,
+    max_depth: Arc<AtomicI64>,
+}
+
+impl Iterator for InstrumentedRx {
+    type Item = StreamEntry;
+
+    fn next(&mut self) -> Option<StreamEntry> {
+        let start = Instant::now();
+        let item = self.rx.recv().ok();
+        self.reader_stall.add(start.elapsed().as_micros() as u64);
+        let depth = self.rx.len() as i64;
+        self.queue_depth.set(depth);
+        self.max_depth.fetch_max(depth, Ordering::Relaxed);
+        item
+    }
+}
+
+/// Times every `send`/`flush`, accumulating sink stall.
+struct InstrumentedSink<'a, S> {
+    inner: &'a mut S,
+    sink_stall: Counter,
+}
+
+impl<S: EventSink> EventSink for InstrumentedSink<'_, S> {
+    fn send(&mut self, entry: &StreamEntry) -> std::io::Result<()> {
+        let start = Instant::now();
+        let result = self.inner.send(entry);
+        self.sink_stall.add(start.elapsed().as_micros() as u64);
+        result
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        let start = Instant::now();
+        let result = self.inner.flush();
+        self.sink_stall.add(start.elapsed().as_micros() as u64);
+        result
+    }
+
+    fn drain_events(&mut self) -> Vec<SinkEvent> {
+        self.inner.drain_events()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::CollectSink;
+    use std::path::PathBuf;
+
+    fn temp_stream_file(name: &str, lines: usize) -> PathBuf {
+        let dir = std::env::temp_dir().join("gt-replayer-session-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("{name}.csv"));
+        let mut content = String::new();
+        for i in 0..lines {
+            content.push_str(&format!("ADD_VERTEX,{i},\n"));
+        }
+        content.push_str("MARKER,end,\n");
+        std::fs::write(&path, content).unwrap();
+        path
+    }
+
+    fn fast_config(buffer: usize) -> ReplaySessionConfig {
+        ReplaySessionConfig {
+            replayer: ReplayerConfig {
+                target_rate: 1e7,
+                ..Default::default()
+            },
+            buffer,
+        }
+    }
+
+    #[test]
+    fn streams_file_end_to_end() {
+        let path = temp_stream_file("end-to-end", 5_000);
+        let session = ReplaySession::new(fast_config(64));
+        let mut sink = CollectSink::new();
+        let report = session.run(&path, &mut sink).unwrap();
+        assert_eq!(report.replay.graph_events, 5_000);
+        assert_eq!(report.entries_read, 5_001);
+        assert_eq!(sink.entries.len(), 5_001);
+        assert_eq!(report.replay.markers.len(), 1);
+        // The channel is bounded: depth can never exceed capacity.
+        assert!(report.max_queue_depth <= 64, "{}", report.max_queue_depth);
+        // Every graph event recorded a deadline-miss sample.
+        assert_eq!(report.emit_latency.count, 5_000);
+        assert!(report.sink_events.is_empty());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn parse_error_surfaces_as_source_error() {
+        let dir = std::env::temp_dir().join("gt-replayer-session-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.csv");
+        std::fs::write(&path, "ADD_VERTEX,1,\nNOT A LINE\n").unwrap();
+        let session = ReplaySession::new(fast_config(16));
+        let mut sink = CollectSink::new();
+        match session.run(&path, &mut sink) {
+            Err(ReplayError::Source(_)) => {}
+            other => panic!("expected Source error, got {other:?}"),
+        }
+        // The valid prefix still flowed through before the error.
+        assert_eq!(sink.entries.len(), 1);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn missing_file_surfaces_as_source_error() {
+        let session = ReplaySession::new(fast_config(16));
+        let mut sink = CollectSink::new();
+        match session.run("/nonexistent/stream.csv", &mut sink) {
+            Err(ReplayError::Source(CoreError::Io(_))) => {}
+            other => panic!("expected Source(Io) error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shared_hub_exposes_live_metrics() {
+        let path = temp_stream_file("shared-hub", 1_000);
+        let hub = MetricsHub::new();
+        let session = ReplaySession::new(fast_config(32)).with_hub(hub.clone());
+        let mut sink = CollectSink::new();
+        session.run(&path, &mut sink).unwrap();
+        assert_eq!(hub.counter("ingress_events").get(), 1_000);
+        let histograms = hub.histogram_values();
+        assert!(histograms
+            .iter()
+            .any(|(name, snap)| name == "emit_latency_micros" && snap.count == 1_000));
+        std::fs::remove_file(path).ok();
+    }
+}

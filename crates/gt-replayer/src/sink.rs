@@ -14,6 +14,31 @@ use crossbeam::channel::Sender;
 use gt_core::format::entry_to_line;
 use gt_core::prelude::*;
 
+/// Something notable a sink did while delivering (connection loss,
+/// reconnection). Fault-tolerant sinks record these so the harness can
+/// merge them into the result log next to the stream metrics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SinkEvent {
+    /// When it happened, microseconds on the sink's clock.
+    pub t_micros: u64,
+    /// What happened.
+    pub kind: SinkEventKind,
+    /// Human-readable detail (the triggering error, the attempt count).
+    pub detail: String,
+}
+
+/// The kind of a [`SinkEvent`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SinkEventKind {
+    /// The connection to the system under test was lost.
+    Disconnected,
+    /// The connection was re-established after `attempt` tries.
+    Reconnected {
+        /// Which reconnect attempt succeeded (1-based).
+        attempt: u32,
+    },
+}
+
 /// A destination for replayed stream entries.
 pub trait EventSink {
     /// Delivers one entry.
@@ -22,6 +47,12 @@ pub trait EventSink {
     /// Flushes buffered entries (called at replay end and around pauses).
     fn flush(&mut self) -> io::Result<()> {
         Ok(())
+    }
+
+    /// Takes the notable events accumulated since the last drain. Plain
+    /// sinks have none.
+    fn drain_events(&mut self) -> Vec<SinkEvent> {
+        Vec::new()
     }
 }
 

@@ -26,10 +26,7 @@ pub fn spawn_tcp_source(
         .name("gt-tcp-source".into())
         .spawn(move || -> Result<u64, CoreError> {
             let (socket, _peer) = listener.accept()?;
-            let reader = StreamReader::new(std::io::BufReader::with_capacity(
-                256 * 1024,
-                socket,
-            ));
+            let reader = StreamReader::new(std::io::BufReader::with_capacity(256 * 1024, socket));
             let mut count = 0u64;
             for entry in reader {
                 let entry = entry?;

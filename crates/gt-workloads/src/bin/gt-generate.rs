@@ -22,7 +22,7 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let mut args = std::env::args().skip(1);
     let mut positional = Vec::new();
-    let mut scale = 0.1;
+    let mut scale: f64 = 0.1;
     let mut seed = 2018;
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -32,7 +32,7 @@ fn parse_args() -> Result<Args, String> {
                     .ok_or("--scale needs a value")?
                     .parse()
                     .map_err(|e| format!("bad scale: {e}"))?;
-                if !(scale > 0.0) {
+                if scale.is_nan() || scale <= 0.0 {
                     return Err("scale must be positive".into());
                 }
             }
@@ -43,12 +43,10 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("bad seed: {e}"))?;
             }
-            "--help" | "-h" => {
-                return Err(
-                    "usage: gt-generate <snb|ddos|blockchain|table3> <out.csv> [--scale F] [--seed N]"
-                        .into(),
-                )
-            }
+            "--help" | "-h" => return Err(
+                "usage: gt-generate <snb|ddos|blockchain|table3> <out.csv> [--scale F] [--seed N]"
+                    .into(),
+            ),
             other if !other.starts_with('-') => positional.push(other.to_owned()),
             other => return Err(format!("unknown argument `{other}`")),
         }

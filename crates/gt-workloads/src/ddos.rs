@@ -109,12 +109,7 @@ impl DdosWorkload {
         stream
     }
 
-    fn spawn_client(
-        &self,
-        ctx: &mut GenContext,
-        stream: &mut GraphStream,
-        role: &str,
-    ) -> VertexId {
+    fn spawn_client(&self, ctx: &mut GenContext, stream: &mut GraphStream, role: &str) -> VertexId {
         let id = ctx.allocate_vertex_id();
         let event = GraphEvent::AddVertex {
             id,

@@ -115,6 +115,9 @@ mod tests {
         let add_frac = adds as f64 / total as f64;
         let upd_frac = updates as f64 / total as f64;
         assert!((0.25..=0.45).contains(&add_frac), "add_edge {add_frac}");
-        assert!((0.25..=0.45).contains(&upd_frac), "update_vertex {upd_frac}");
+        assert!(
+            (0.25..=0.45).contains(&upd_frac),
+            "update_vertex {upd_frac}"
+        );
     }
 }

@@ -56,7 +56,10 @@ impl TrafficWorkload {
     /// `ticks` rounds of travel-time updates with a rush-hour congestion
     /// profile in the middle third, plus rare closures/reopenings.
     pub fn generate(&self) -> GraphStream {
-        assert!(self.rows >= 2 && self.cols >= 2, "grid needs both dimensions");
+        assert!(
+            self.rows >= 2 && self.cols >= 2,
+            "grid needs both dimensions"
+        );
         let mut ctx = GenContext::new(self.seed);
         let mut stream = GraphStream::new();
 
@@ -164,8 +167,7 @@ mod tests {
         let stats = stream.stats();
         // State churn dominates: far more updates than topology changes.
         assert!(
-            stats.count(EventKind::UpdateEdge)
-                > stats.graph_events / 2,
+            stats.count(EventKind::UpdateEdge) > stats.graph_events / 2,
             "updates {} of {}",
             stats.count(EventKind::UpdateEdge),
             stats.graph_events

@@ -498,11 +498,7 @@ mod tests {
 
     /// Local copy of the top-k Jaccard overlap to avoid a dev-dependency
     /// cycle with gt-analysis.
-    fn gt_overlap(
-        a: &BTreeMap<VertexId, f64>,
-        b: &BTreeMap<VertexId, f64>,
-        k: usize,
-    ) -> f64 {
+    fn gt_overlap(a: &BTreeMap<VertexId, f64>, b: &BTreeMap<VertexId, f64>, k: usize) -> f64 {
         let top = |m: &BTreeMap<VertexId, f64>| -> std::collections::BTreeSet<VertexId> {
             let mut v: Vec<(VertexId, f64)> = m.iter().map(|(i, &p)| (*i, p)).collect();
             v.sort_by(|x, y| y.1.partial_cmp(&x.1).unwrap().then(x.0.cmp(&y.0)));
@@ -593,8 +589,7 @@ mod tests {
         engine.quiesce(Duration::from_secs(10));
         let log = engine.marker_log();
         assert_eq!(log.len(), 3, "one record per worker: {log:?}");
-        let workers: std::collections::BTreeSet<usize> =
-            log.iter().map(|(_, w, _)| *w).collect();
+        let workers: std::collections::BTreeSet<usize> = log.iter().map(|(_, w, _)| *w).collect();
         assert_eq!(workers.len(), 3);
         for (name, _, t) in &log {
             assert_eq!(name, "wm-0");

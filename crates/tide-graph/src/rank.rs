@@ -221,7 +221,10 @@ impl RankPartition {
         state.p += params.alpha * res;
         let share = (1.0 - params.alpha) * res / state.out.len() as f64;
         for &target in &state.out {
-            out.push(Share { target, mass: share });
+            out.push(Share {
+                target,
+                mass: share,
+            });
         }
     }
 
@@ -313,10 +316,7 @@ mod tests {
     fn normalized(partition: &RankPartition) -> std::collections::BTreeMap<VertexId, f64> {
         let ranks = partition.ranks();
         let total: f64 = ranks.iter().map(|(_, p)| p).sum();
-        ranks
-            .into_iter()
-            .map(|(id, p)| (id, p / total))
-            .collect()
+        ranks.into_iter().map(|(id, p)| (id, p / total)).collect()
     }
 
     #[test]
@@ -382,7 +382,10 @@ mod tests {
     fn vertex_removal_drops_mass_and_purge_strips_edges() {
         let mut partition = RankPartition::new(RankParams::default());
         feed(&mut partition, &[add_v(0), add_v(1), add_e(0, 1)]);
-        partition.apply_event(&GraphEvent::RemoveVertex { id: VertexId(1) }, &mut Vec::new());
+        partition.apply_event(
+            &GraphEvent::RemoveVertex { id: VertexId(1) },
+            &mut Vec::new(),
+        );
         let mut out = Vec::new();
         partition.purge_edges_to(VertexId(1), &mut out);
         run_to_fixpoint(&mut partition, out);
@@ -411,7 +414,10 @@ mod tests {
     #[test]
     fn duplicate_edges_do_not_double_out_list() {
         let mut partition = RankPartition::new(RankParams::default());
-        feed(&mut partition, &[add_v(0), add_v(1), add_e(0, 1), add_e(0, 1)]);
+        feed(
+            &mut partition,
+            &[add_v(0), add_v(1), add_e(0, 1), add_e(0, 1)],
+        );
         assert_eq!(partition.vertices[&VertexId(0)].out.len(), 1);
     }
 

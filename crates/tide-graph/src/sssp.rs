@@ -142,7 +142,12 @@ impl Partition for DistancePartition {
         }
     }
 
-    fn receive_deferred(&mut self, target: VertexId, offer: DistanceOffer, dirty: &mut Vec<VertexId>) {
+    fn receive_deferred(
+        &mut self,
+        target: VertexId,
+        offer: DistanceOffer,
+        dirty: &mut Vec<VertexId>,
+    ) {
         let Some(state) = self.vertices.get_mut(&target) else {
             return; // vertex vanished; drop the offer
         };
@@ -267,10 +272,7 @@ mod tests {
     #[test]
     fn weight_decrease_improves_distance_online() {
         let mut p = DistancePartition::new(VertexId(0));
-        run_events(
-            &mut p,
-            &[add_v(0), add_v(1), add_we(0, 1, 10.0)],
-        );
+        run_events(&mut p, &[add_v(0), add_v(1), add_we(0, 1, 10.0)]);
         assert_eq!(p.distance(VertexId(1)), Some(10.0));
         run_events(
             &mut p,
@@ -286,10 +288,7 @@ mod tests {
     #[test]
     fn hazards_counted_on_removal_and_increase() {
         let mut p = DistancePartition::new(VertexId(0));
-        run_events(
-            &mut p,
-            &[add_v(0), add_v(1), add_we(0, 1, 1.0)],
-        );
+        run_events(&mut p, &[add_v(0), add_v(1), add_we(0, 1, 1.0)]);
         run_events(
             &mut p,
             &[GraphEvent::UpdateEdge {

@@ -137,7 +137,9 @@ mod tests {
             target_rate: 1e6,
             ..Default::default()
         });
-        let report = replayer.replay_stream(&stream(200), &mut connector).unwrap();
+        let report = replayer
+            .replay_stream(&stream(200), &mut connector)
+            .unwrap();
         assert_eq!(report.graph_events, 200);
         let stats = store.shutdown();
         assert_eq!(stats.events, 200);

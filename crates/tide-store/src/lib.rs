@@ -29,4 +29,4 @@ pub mod connector;
 pub mod store;
 
 pub use connector::BatchingConnector;
-pub use store::{StoreClient, StoreConfig, StoreStats, TideStore, Transaction};
+pub use store::{StoreClient, StoreClosed, StoreConfig, StoreStats, TideStore, Transaction};

@@ -80,10 +80,12 @@ impl StoreClient {
     /// Submits a transaction, blocking while the ingestion queue is full.
     /// Errors when the store has shut down.
     pub fn submit(&self, transaction: Transaction) -> Result<(), Transaction> {
-        self.tx.send(ClientMsg::Tx(transaction)).map_err(|e| match e.0 {
-            ClientMsg::Tx(tx) => tx,
-            _ => unreachable!("clients only send transactions"),
-        })
+        self.tx
+            .send(ClientMsg::Tx(transaction))
+            .map_err(|e| match e.0 {
+                ClientMsg::Tx(tx) => tx,
+                _ => unreachable!("clients only send transactions"),
+            })
     }
 
     /// Non-blocking submit; returns the transaction back on a full queue.
@@ -98,26 +100,38 @@ impl StoreClient {
 
     /// Reads a vertex's current state as a transaction: the read is
     /// ordered behind every write submitted before it on this client.
-    /// `None` if the vertex does not exist; `Err(())` if the store has
-    /// shut down.
-    pub fn read_vertex(&self, id: VertexId) -> Result<Option<State>, ()> {
+    /// `None` if the vertex does not exist; `Err(StoreClosed)` if the
+    /// store has shut down.
+    pub fn read_vertex(&self, id: VertexId) -> Result<Option<State>, StoreClosed> {
         let (reply_tx, reply_rx) = bounded(1);
         self.tx
             .send(ClientMsg::ReadVertex(id, reply_tx))
-            .map_err(|_| ())?;
-        reply_rx.recv().map_err(|_| ())
+            .map_err(|_| StoreClosed)?;
+        reply_rx.recv().map_err(|_| StoreClosed)
     }
 
     /// Reads an edge's current state; same semantics as
     /// [`Self::read_vertex`].
-    pub fn read_edge(&self, id: EdgeId) -> Result<Option<State>, ()> {
+    pub fn read_edge(&self, id: EdgeId) -> Result<Option<State>, StoreClosed> {
         let (reply_tx, reply_rx) = bounded(1);
         self.tx
             .send(ClientMsg::ReadEdge(id, reply_tx))
-            .map_err(|_| ())?;
-        reply_rx.recv().map_err(|_| ())
+            .map_err(|_| StoreClosed)?;
+        reply_rx.recv().map_err(|_| StoreClosed)
     }
 }
+
+/// The store has shut down and can no longer serve reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreClosed;
+
+impl std::fmt::Display for StoreClosed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "store has shut down")
+    }
+}
+
+impl std::error::Error for StoreClosed {}
 
 /// Final statistics and state after shutdown.
 #[derive(Debug)]

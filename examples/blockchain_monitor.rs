@@ -54,10 +54,7 @@ fn main() {
                     .collect();
                 let total: f64 = balances.iter().sum();
                 let richest = balances.iter().copied().fold(0.0, f64::max);
-                let volumes: Vec<f64> = ledger
-                    .edges()
-                    .filter_map(|(_, s)| s.as_weight())
-                    .collect();
+                let volumes: Vec<f64> = ledger.edges().filter_map(|(_, s)| s.as_weight()).collect();
                 let mean_volume = volumes.iter().sum::<f64>() / volumes.len().max(1) as f64;
                 println!(
                     "after {name}: {} wallets, {} transfer channels, \

@@ -76,8 +76,7 @@ fn main() {
             v
         });
         let ci = outcome.ci95.expect("n >= 2");
-        let variability =
-            graphtides::analysis::variability(&samples).expect("enough samples");
+        let variability = graphtides::analysis::variability(&samples).expect("enough samples");
         println!(
             "events_per_tx = {batch:>2}: mean {:>8.0} events/s, CI95 [{:>8.0}, {:>8.0}] over {} runs (n>=30: {}, cv {:.1}%, outlier runs {})",
             outcome.summary.mean(),

@@ -91,7 +91,9 @@ fn main() {
                     println!("    no anomalous servers");
                 } else {
                     for (server, degree) in &flagged {
-                        println!("    ALERT: server {server} under anomalous load (in-degree {degree})");
+                        println!(
+                            "    ALERT: server {server} under anomalous load (in-degree {degree})"
+                        );
                     }
                 }
                 phase = match name.as_str() {
@@ -108,7 +110,9 @@ fn main() {
     let flagged = detector.flagged();
     println!("\n--- stream end ---");
     if flagged.is_empty() {
-        println!("    traffic back to normal; blacklist can be compiled from the attack-phase flows");
+        println!(
+            "    traffic back to normal; blacklist can be compiled from the attack-phase flows"
+        );
     } else {
         for (server, degree) in &flagged {
             println!("    still anomalous: server {server} (in-degree {degree})");

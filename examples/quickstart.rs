@@ -30,7 +30,11 @@ fn main() {
     generator.bootstrap(&bootstrap).expect("bootstrap applies");
     let evolution = generator.evolve(2_000);
     let stream = StreamComposer::two_phase(bootstrap, Duration::from_millis(100), evolution.stream);
-    println!("stream: {} entries ({} graph events)", stream.len(), stream.stats().graph_events);
+    println!(
+        "stream: {} entries ({} graph events)",
+        stream.len(),
+        stream.stats().graph_events
+    );
 
     // 2. Start a system under test: the vertex-centric online engine with
     //    4 workers running an online influence rank.

@@ -62,7 +62,10 @@ fn main() {
 
     // The latency/accuracy trade-off, quantified (§4.3 computation
     // metrics).
-    for (label, ranking) in [("at stream end", &intermediate), ("after drain", &converged)] {
+    for (label, ranking) in [
+        ("at stream end", &intermediate),
+        ("after drain", &converged),
+    ] {
         let med = median_relative_error(ranking, &exact_map).unwrap_or(f64::NAN);
         let overlap = top_k_overlap(ranking, &exact_map, 10);
         println!("{label}: median relative rank error {med:.4}, top-10 overlap {overlap:.2}");

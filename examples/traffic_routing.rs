@@ -23,10 +23,7 @@ fn route_report(graph: &EvolvingGraph, rows: u64, cols: u64, label: &str) {
     let sp = bellman_ford(&csr, start).expect("travel times are positive");
     match sp.path_to(goal) {
         Some(path) => {
-            let junctions: Vec<String> = path
-                .iter()
-                .map(|&i| csr.id_of(i).to_string())
-                .collect();
+            let junctions: Vec<String> = path.iter().map(|&i| csr.id_of(i).to_string()).collect();
             println!(
                 "{label}: fastest route 0 -> {goal_id} costs {:.1} over {} segments",
                 sp.dist[goal as usize],

@@ -24,30 +24,30 @@
 //! assert_eq!(report.graph_events as u64, workload.total_events());
 //! ```
 
-/// Core event model and graph stream format.
-pub use gt_core as core;
-/// The evolving property graph, snapshots, and builders.
-pub use gt_graph as graph;
-/// The two-phase stream generator.
-pub use gt_generator as generator;
-/// Deterministic fault injection.
-pub use gt_faults as faults;
 /// Reference (batch) and online graph computations.
 pub use gt_algorithms as algorithms;
 /// Statistics for result analysis.
 pub use gt_analysis as analysis;
+/// Core event model and graph stream format.
+pub use gt_core as core;
+/// Deterministic fault injection.
+pub use gt_faults as faults;
+/// The two-phase stream generator.
+pub use gt_generator as generator;
+/// The evolving property graph, snapshots, and builders.
+pub use gt_graph as graph;
+/// The test harness: specs, run loop, repetition.
+pub use gt_harness as harness;
 /// Metric records, loggers, hub, and log collector.
 pub use gt_metrics as metrics;
 /// The rate-controlled replayer and its connectors.
 pub use gt_replayer as replayer;
-/// The test harness: specs, run loop, repetition.
-pub use gt_harness as harness;
 /// Ready-made representative workloads.
 pub use gt_workloads as workloads;
-/// The Weaver-class transactional store under test.
-pub use tide_store as store;
 /// The Chronograph-class online engine under test.
 pub use tide_graph as engine;
+/// The Weaver-class transactional store under test.
+pub use tide_store as store;
 
 /// The most commonly used types, for glob import.
 pub mod prelude {

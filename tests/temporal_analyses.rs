@@ -23,8 +23,7 @@ fn forest_fire_stream_densifies() {
     timeline.sample_now();
 
     // Densification law: edges grow superlinearly in vertices.
-    let exponent = densification_exponent(&timeline.growth_samples())
-        .expect("enough samples");
+    let exponent = densification_exponent(&timeline.growth_samples()).expect("enough samples");
     assert!(exponent > 1.02, "densification exponent {exponent}");
 
     // Mean degree rises over time (another way to see the same law).

@@ -1,0 +1,779 @@
+//! Offline vendored stand-in for `proptest`.
+//!
+//! Implements deterministic, generation-only property testing behind the
+//! subset of the proptest 1.x API this workspace uses: the [`proptest!`],
+//! [`prop_oneof!`], [`prop_assert!`] and [`prop_assert_eq!`] macros, the
+//! [`strategy::Strategy`] trait with `prop_map`, range and tuple
+//! strategies, [`arbitrary::any`], [`collection::vec`],
+//! [`string::string_regex`] (character-class regexes only), and
+//! [`test_runner::ProptestConfig`].
+//!
+//! Differences from real proptest, deliberately accepted:
+//! - **No shrinking.** A failing case reports its case index and seed;
+//!   cases are fully deterministic per (test, case index), so failures
+//!   reproduce exactly on re-run.
+//! - **`.proptest-regressions` files are ignored.** Known past failures
+//!   must be captured as explicit unit tests instead.
+//! - Regex strategies support literal runs, character classes, and
+//!   `{n}`/`{m,n}` quantifiers — the shapes used in this workspace.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Test-case outcome plumbing and run configuration.
+pub mod test_runner {
+    /// Why a property-test case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// An assertion failed; the property is violated.
+        Fail(String),
+        /// The generated input was rejected (e.g. `prop_assume`).
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// Builds the failure variant.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// Builds the rejection variant.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Fail(msg) => write!(f, "property failed: {msg}"),
+                TestCaseError::Reject(msg) => write!(f, "input rejected: {msg}"),
+            }
+        }
+    }
+
+    /// Result type the `proptest!`-generated body returns.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Run configuration; only `cases` is meaningful in this stand-in.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Matches upstream proptest's default case count.
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// The deterministic RNG handed to strategies.
+    pub type TestRng = rand::rngs::StdRng;
+}
+
+/// The `Strategy` trait and combinators.
+pub mod strategy {
+    use super::test_runner::TestRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// Object-safe type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn DynStrategy<T>>;
+
+    /// Object-safe mirror of [`Strategy`] used for `prop_oneof!` arms.
+    pub trait DynStrategy<T> {
+        /// Draws one value.
+        fn generate_dyn(&self, rng: &mut TestRng) -> T;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.as_ref().generate_dyn(rng)
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Weighted choice between type-erased strategies; built by
+    /// `prop_oneof!`.
+    pub struct Union<T> {
+        arms: Vec<(u32, BoxedStrategy<T>)>,
+        total_weight: u64,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union; weights must not all be zero.
+        pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            let total_weight = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+            assert!(total_weight > 0, "prop_oneof! needs positive total weight");
+            Union { arms, total_weight }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let mut pick = rand::RngExt::random_range(rng, 0..self.total_weight);
+            for (weight, arm) in &self.arms {
+                let weight = u64::from(*weight);
+                if pick < weight {
+                    return arm.generate_dyn(rng);
+                }
+                pick -= weight;
+            }
+            unreachable!("weighted pick out of range")
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rand::RngExt::random_range(rng, self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rand::RngExt::random_range(rng, self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    /// A `&str` is a regex strategy over `String`s, as in real proptest.
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            crate::string::string_regex(self)
+                .unwrap_or_else(|e| panic!("bad inline regex strategy {self:?}: {e}"))
+                .generate(rng)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident),+)),+ $(,)?) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+    impl_tuple_strategy!(
+        (A),
+        (A, B),
+        (A, B, C),
+        (A, B, C, D),
+        (A, B, C, D, E),
+        (A, B, C, D, E, F)
+    );
+}
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use rand::{Rng, RngExt};
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.random::<f64>() * 2e9 - 1e9
+        }
+    }
+
+    /// Strategy produced by [`any`].
+    pub struct Any<T>(PhantomData<fn() -> T>);
+
+    impl<T> Clone for Any<T> {
+        fn clone(&self) -> Self {
+            Any(PhantomData)
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The strategy of unconstrained `T` values.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use rand::RngExt;
+
+    /// Bounds on a generated collection's length.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        /// Minimum length, inclusive.
+        pub min: usize,
+        /// Maximum length, inclusive.
+        pub max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length in `size`.
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.random_range(self.size.min..=self.size.max);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Generates vectors of `element` values with a length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Regex-like string strategies.
+pub mod string {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use rand::RngExt;
+
+    /// Error from parsing an unsupported or malformed pattern.
+    #[derive(Debug, Clone)]
+    pub struct Error(String);
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "{}", self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    #[derive(Debug, Clone)]
+    struct Atom {
+        choices: Vec<char>,
+        min: usize,
+        max: usize,
+    }
+
+    /// Strategy generating strings matching a character-class regex.
+    #[derive(Debug, Clone)]
+    pub struct RegexGeneratorStrategy {
+        atoms: Vec<Atom>,
+    }
+
+    impl Strategy for RegexGeneratorStrategy {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for atom in &self.atoms {
+                let reps = rng.random_range(atom.min..=atom.max);
+                for _ in 0..reps {
+                    let idx = rng.random_range(0..atom.choices.len());
+                    out.push(atom.choices[idx]);
+                }
+            }
+            out
+        }
+    }
+
+    /// Builds a strategy of strings matching `pattern`.
+    ///
+    /// Supported syntax: literal characters, `\`-escapes, character
+    /// classes `[a-z0-9_.:-]` (ranges plus literals, trailing `-`
+    /// literal), and `{n}` / `{m,n}` quantifiers. This covers every
+    /// pattern used in the workspace's tests; anything else errors.
+    pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut atoms = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let choices = match chars[i] {
+                '[' => {
+                    let (set, next) = parse_class(&chars, i + 1)?;
+                    i = next;
+                    set
+                }
+                '\\' => {
+                    let c = *chars
+                        .get(i + 1)
+                        .ok_or_else(|| Error("dangling escape".into()))?;
+                    i += 2;
+                    vec![c]
+                }
+                c @ ('(' | ')' | '|' | '*' | '+' | '?' | '.' | '^' | '$') => {
+                    return Err(Error(format!(
+                        "unsupported regex construct `{c}` in {pattern:?}"
+                    )));
+                }
+                c => {
+                    i += 1;
+                    vec![c]
+                }
+            };
+            let (min, max) = if chars.get(i) == Some(&'{') {
+                let (min, max, next) = parse_quantifier(&chars, i + 1)?;
+                i = next;
+                (min, max)
+            } else {
+                (1, 1)
+            };
+            if choices.is_empty() {
+                return Err(Error(format!("empty character class in {pattern:?}")));
+            }
+            atoms.push(Atom { choices, min, max });
+        }
+        Ok(RegexGeneratorStrategy { atoms })
+    }
+
+    /// Parses `[...]` starting after the `[`; returns (choices, next index).
+    fn parse_class(chars: &[char], mut i: usize) -> Result<(Vec<char>, usize), Error> {
+        let mut set = Vec::new();
+        while i < chars.len() && chars[i] != ']' {
+            let c = chars[i];
+            if c == '\\' {
+                let esc = *chars
+                    .get(i + 1)
+                    .ok_or_else(|| Error("dangling escape in class".into()))?;
+                set.push(esc);
+                i += 2;
+            } else if chars.get(i + 1) == Some(&'-') && chars.get(i + 2).is_some_and(|&c| c != ']')
+            {
+                let hi = chars[i + 2];
+                if (c as u32) > (hi as u32) {
+                    return Err(Error(format!("inverted range {c}-{hi}")));
+                }
+                for code in (c as u32)..=(hi as u32) {
+                    set.push(char::from_u32(code).ok_or_else(|| Error("bad range".into()))?);
+                }
+                i += 3;
+            } else {
+                set.push(c);
+                i += 1;
+            }
+        }
+        if i >= chars.len() {
+            return Err(Error("unterminated character class".into()));
+        }
+        Ok((set, i + 1)) // skip ']'
+    }
+
+    /// Parses `{n}` / `{m,n}` starting after the `{`; returns (min, max, next).
+    fn parse_quantifier(chars: &[char], mut i: usize) -> Result<(usize, usize, usize), Error> {
+        let mut first = String::new();
+        let mut second = None;
+        while i < chars.len() && chars[i] != '}' {
+            match chars[i] {
+                ',' => second = Some(String::new()),
+                d if d.is_ascii_digit() => match &mut second {
+                    Some(s) => s.push(d),
+                    None => first.push(d),
+                },
+                other => return Err(Error(format!("bad quantifier char `{other}`"))),
+            }
+            i += 1;
+        }
+        if i >= chars.len() {
+            return Err(Error("unterminated quantifier".into()));
+        }
+        let min: usize = first.parse().map_err(|_| Error("bad quantifier".into()))?;
+        let max = match second {
+            Some(s) => s.parse().map_err(|_| Error("bad quantifier".into()))?,
+            None => min,
+        };
+        if max < min {
+            return Err(Error("quantifier max below min".into()));
+        }
+        Ok((min, max, i + 1)) // skip '}'
+    }
+}
+
+/// Derives the per-test base seed from the test path so different tests
+/// draw different sequences, deterministically across runs.
+#[doc(hidden)]
+pub fn __seed_for(test_path: &str, case: u32) -> u64 {
+    // FNV-1a over the path, mixed with the case index.
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in test_path.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x1000_0000_01b3);
+    }
+    hash ^ (u64::from(case).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+#[doc(hidden)]
+pub fn __rng_for(test_path: &str, case: u32) -> test_runner::TestRng {
+    StdRng::seed_from_u64(__seed_for(test_path, case))
+}
+
+// Re-export so the macros can name rand paths through this crate.
+#[doc(hidden)]
+pub use rand as __rand;
+
+/// Everything tests normally import.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Defines `#[test]` functions that run a property over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        #[test]
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let strategies = ($($strat,)+);
+            let test_path = concat!(module_path!(), "::", stringify!($name));
+            for case in 0..config.cases {
+                let mut rng = $crate::__rng_for(test_path, case);
+                let ($($pat,)+) =
+                    $crate::strategy::Strategy::generate(&strategies, &mut rng);
+                let outcome: $crate::test_runner::TestCaseResult = (|| {
+                    $body
+                    Ok(())
+                })();
+                match outcome {
+                    Ok(()) => {}
+                    Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                    Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "property `{}` failed at case {} (seed {:#x}): {}",
+                            test_path,
+                            case,
+                            $crate::__seed_for(test_path, case),
+                            msg
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+/// Weighted (`w => strat`) or uniform choice between strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat)),)+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat)),)+
+        ])
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+),
+                left,
+                right
+            )));
+        }
+    }};
+}
+
+/// Fails the current case if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if *left == *right {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left
+            )));
+        }
+    }};
+}
+
+/// Rejects the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::reject(format!(
+                "assumption failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+
+    #[test]
+    fn regex_strategies_match_their_class() {
+        let mut rng = crate::__rng_for("self-test", 0);
+        let strat = crate::string::string_regex("[a-z]{0,6}").unwrap();
+        for _ in 0..200 {
+            let s = strat.generate(&mut rng);
+            assert!(s.len() <= 6);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+        let printable = crate::string::string_regex("[ -~]{0,40}").unwrap();
+        for _ in 0..200 {
+            let s = printable.generate(&mut rng);
+            assert!(s.len() <= 40);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+        let ident = crate::string::string_regex("[a-zA-Z0-9_.:-]{1,24}").unwrap();
+        for _ in 0..200 {
+            let s = ident.generate(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 24);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || "_.:-".contains(c)));
+        }
+    }
+
+    #[test]
+    fn unsupported_regex_errors() {
+        assert!(crate::string::string_regex("(a|b)*").is_err());
+        assert!(crate::string::string_regex("[a-z").is_err());
+    }
+
+    #[test]
+    fn union_respects_weights_roughly() {
+        let strat = prop_oneof![
+            9 => (0u64..1).prop_map(|_| true),
+            1 => (0u64..1).prop_map(|_| false),
+        ];
+        let mut rng = crate::__rng_for("weights", 0);
+        let trues = (0..10_000).filter(|_| strat.generate(&mut rng)).count();
+        assert!((8_000..10_000).contains(&trues), "trues {trues}");
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let strat = crate::collection::vec(crate::arbitrary::any::<u64>(), 0..50);
+        let a = strat.generate(&mut crate::__rng_for("det", 3));
+        let b = strat.generate(&mut crate::__rng_for("det", 3));
+        assert_eq!(a, b);
+        let c = strat.generate(&mut crate::__rng_for("det", 4));
+        assert_ne!(a, c);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        fn macro_generates_and_asserts(
+            xs in crate::collection::vec(0u64..100, 1..20),
+            flag in any::<bool>(),
+        ) {
+            prop_assert!(xs.len() < 20);
+            prop_assert_eq!(xs.iter().copied().max().is_some(), true);
+            let _ = flag;
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! Offline vendored stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types but
+//! never serializes through a format crate (no serde_json in-tree), so
+//! the traits here are empty markers with blanket impls and the derive
+//! macros are pass-throughs that merely accept `#[serde(...)]`
+//! attributes. Swapping in real serde later requires only a Cargo.toml
+//! change — the derive surface is identical.
+
+/// Marker for types that would be serializable under real serde.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for types that would be deserializable under real serde.
+pub trait Deserialize {}
+
+impl<T: ?Sized> Deserialize for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

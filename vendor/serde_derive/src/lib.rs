@@ -1,0 +1,20 @@
+//! Pass-through derive macros for the vendored serde stand-in.
+//!
+//! Both derives expand to nothing; the `Serialize`/`Deserialize` traits
+//! in the companion crate have blanket impls, so emitting an impl here
+//! would actually conflict. Declaring `attributes(serde)` is what makes
+//! `#[serde(transparent)]`-style helper attributes parse.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and `#[serde(...)]` helper attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and `#[serde(...)]` helper attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
