@@ -14,11 +14,15 @@
 //!   (Figure 3d) and rate estimation from event timestamps,
 //! * [`correlate`] — Pearson and lagged cross-correlation between metric
 //!   series,
+//! * [`markers`] — marker-window slicing of result logs: per-phase
+//!   summaries and in-window correlation (the analysis side of the §4.5
+//!   watermark pattern),
 //! * [`error`] — relative errors of approximate results against exact
 //!   references (the "relative rank error" of §5.3.2).
 
 pub mod correlate;
 pub mod error;
+pub mod markers;
 pub mod percentiles;
 pub mod summary;
 pub mod timeseries;
@@ -27,6 +31,7 @@ pub mod variability;
 
 pub use correlate::{cross_correlation, pearson};
 pub use error::{median_relative_error, relative_error, relative_errors, top_k_overlap};
+pub use markers::{phase_summaries, window_correlation, window_series, window_summary, PhaseStats};
 pub use percentiles::{percentile, Quantiles};
 pub use summary::{compare_ci95, ConfidenceInterval, Summary};
 pub use timeseries::{RateSeries, TimeSeries};

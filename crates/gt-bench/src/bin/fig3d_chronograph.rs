@@ -20,12 +20,14 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use gt_algorithms::pagerank::{pagerank, PageRankConfig};
+use gt_analysis::{phase_summaries, window_correlation};
 use gt_bench::{header, scale};
 use gt_core::prelude::*;
 use gt_generator::StreamComposer;
 use gt_graph::{CsrSnapshot, EvolvingGraph};
-use gt_metrics::MetricsHub;
+use gt_metrics::{Clock, MetricRecord, MetricsHub, ResultLog, WallClock};
 use gt_replayer::{Replayer, ReplayerConfig};
+use gt_sysmon::SamplerConfig;
 use gt_workloads::SnbWorkload;
 use tide_graph::{EngineConfig, EngineConnector, RankParams, TideGraph};
 
@@ -73,6 +75,14 @@ fn main() {
         .build();
 
     let hub = MetricsHub::new();
+    // Shared run clock: marker timestamps, the ingress-rate series, and
+    // the Level-0 resource series all live on the same time base.
+    let clock: Arc<dyn Clock> = Arc::new(WallClock::start());
+    let sysmon = gt_sysmon::spawn(
+        SamplerConfig::default().every(Duration::from_millis(100)),
+        Arc::clone(&clock),
+        Some(&hub),
+    );
     let engine = Arc::new(TideGraph::start(
         EngineConfig {
             workers,
@@ -144,6 +154,7 @@ fn main() {
         target_rate: 2_000.0,
         ..Default::default()
     })
+    .with_clock(Arc::clone(&clock))
     .with_ingress_counter(hub.counter("replayer.ingress"));
     let mut connector = EngineConnector::new(Arc::clone(&engine));
     let report = replayer
@@ -153,6 +164,8 @@ fn main() {
 
     // Keep sampling until the backlog drains (the long tail of Fig. 3d).
     let drained = engine.quiesce(Duration::from_secs(600));
+    let run_end_micros = clock.now_micros();
+    let resources = sysmon.stop();
     stop.store(true, std::sync::atomic::Ordering::Relaxed);
     let samples = sampler.join().expect("sampler");
     drop(connector);
@@ -221,6 +234,78 @@ fn main() {
          long after the stream has ended, and the rank error decays only as the\n\
          backlog drains."
     );
+
+    print_resource_phases(&report, resources, run_end_micros);
+}
+
+/// The Level-0 view of the same run: merge the monitor's resource series
+/// with the replay markers into one result log, cut it along the stream
+/// phases, and correlate CPU against the ingress rate.
+fn print_resource_phases(
+    report: &gt_replayer::ReplayReport,
+    resources: gt_sysmon::SysmonOutcome,
+    run_end_micros: u64,
+) {
+    if let Some(err) = &resources.error {
+        println!("\nLevel-0 monitor unavailable on this host: {err}");
+        return;
+    }
+    let mut records = resources.records;
+    records.push(MetricRecord::text(0, "replayer", "marker", "run-start"));
+    records.push(MetricRecord::text(
+        run_end_micros,
+        "replayer",
+        "marker",
+        "run-end",
+    ));
+    for (name, t) in &report.markers {
+        records.push(MetricRecord::text(*t, "replayer", "marker", name.clone()));
+    }
+    for (t, rate) in &report.rate_series {
+        records.push(MetricRecord::float(
+            (*t * 1e6) as u64,
+            "replayer",
+            "ingress_rate",
+            *rate,
+        ));
+    }
+    let log = ResultLog::from_records(records);
+
+    println!("\nLevel-0 resource phases (black-box /proc monitor):");
+    println!(
+        "{:>12} {:>9} {:>11} {:>11} {:>12}",
+        "phase", "len[s]", "cpu-mean[%]", "cpu-max[%]", "rss-max[MiB]"
+    );
+    let phases = [
+        ("load", "run-start", "pause-start"),
+        ("catch-up", "pause-start", "stream-end"),
+        ("drain", "stream-end", "run-end"),
+    ];
+    let cpu = phase_summaries(&log, &phases, "sysmon", "cpu_percent");
+    let rss = phase_summaries(&log, &phases, "sysmon", "rss_bytes");
+    // Both calls skip exactly the phases whose markers are missing, so
+    // the two lists stay aligned.
+    for (c, r) in cpu.iter().zip(&rss) {
+        println!(
+            "{:>12} {:>9.2} {:>11.1} {:>11.1} {:>12.1}",
+            c.phase,
+            c.duration_secs(),
+            c.summary.mean(),
+            c.summary.max().unwrap_or(0.0),
+            r.summary.max().map_or(f64::NAN, |b| b / (1024.0 * 1024.0))
+        );
+    }
+    match window_correlation(
+        &log,
+        "run-start",
+        "stream-end",
+        ("replayer", "ingress_rate"),
+        ("sysmon", "cpu_percent"),
+        16,
+    ) {
+        Some(r) => println!("ingress rate vs process CPU over the stream: r = {r:.2}"),
+        None => println!("ingress rate vs process CPU: series too short to correlate"),
+    }
 }
 
 /// Median relative error of the watched vertices' normalized ranks.

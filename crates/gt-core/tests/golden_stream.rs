@@ -1,0 +1,130 @@
+//! Golden-file round-trip for the §4.2 plain-text stream format.
+//!
+//! The checked-in fixture contains only canonical serializer output —
+//! every line is exactly what [`entry_to_line`] produces — so parsing the
+//! file and re-serializing every entry must reproduce it byte-for-byte.
+//! It exercises all six graph operations, markers, both control events,
+//! and the payload edge cases the remainder-is-raw rule exists for
+//! (embedded commas, leading whitespace, a leading `#`, empty payloads).
+//!
+//! On mismatch the re-serialized bytes are written to
+//! `target/tmp/golden-mismatch/` so CI can upload them as an artifact for
+//! diffing against the fixture.
+
+use gt_core::format::{entry_to_line, parse_line};
+use gt_core::prelude::*;
+
+const GOLDEN: &str = include_str!("fixtures/golden_stream.csv");
+
+/// Writes `actual` next to the target dir for the CI artifact upload and
+/// returns the path it wrote to.
+fn dump_mismatch(name: &str, actual: &str) -> std::path::PathBuf {
+    let dir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join("golden-mismatch");
+    std::fs::create_dir_all(&dir).expect("create mismatch dir");
+    let path = dir.join(name);
+    std::fs::write(&path, actual).expect("write mismatch dump");
+    path
+}
+
+#[test]
+fn fixture_reserializes_byte_for_byte() {
+    let mut reserialized = String::with_capacity(GOLDEN.len());
+    for line in GOLDEN.lines() {
+        let entry = parse_line(line)
+            .unwrap_or_else(|e| panic!("golden line `{line}` must parse: {e}"))
+            .unwrap_or_else(|| panic!("golden fixture has no blank/comment lines, got `{line}`"));
+        reserialized.push_str(&entry_to_line(&entry));
+        reserialized.push('\n');
+    }
+    if reserialized != GOLDEN {
+        let path = dump_mismatch("golden_stream.actual.csv", &reserialized);
+        panic!(
+            "re-serialized stream differs from fixture; actual written to {}",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn each_line_roundtrips_individually() {
+    // Line-level variant of the byte-for-byte check: a failure names the
+    // offending line instead of the whole file.
+    for line in GOLDEN.lines() {
+        let entry = parse_line(line).unwrap().unwrap();
+        assert_eq!(
+            entry_to_line(&entry),
+            line,
+            "line `{line}` is not canonical serializer output"
+        );
+    }
+}
+
+#[test]
+fn fixture_covers_every_command() {
+    let commands: Vec<&str> = GOLDEN
+        .lines()
+        .map(|l| l.split(',').next().unwrap())
+        .collect();
+    for required in [
+        "ADD_VERTEX",
+        "REMOVE_VERTEX",
+        "UPDATE_VERTEX",
+        "ADD_EDGE",
+        "REMOVE_EDGE",
+        "UPDATE_EDGE",
+        "MARKER",
+        "SPEED",
+        "PAUSE",
+    ] {
+        assert!(
+            commands.contains(&required),
+            "fixture must exercise {required}"
+        );
+    }
+}
+
+#[test]
+fn payload_edge_cases_survive_the_roundtrip() {
+    let entries: Vec<StreamEntry> = GOLDEN
+        .lines()
+        .map(|l| parse_line(l).unwrap().unwrap())
+        .collect();
+    // Embedded commas: the JSON payload and the `,,,` payload are raw
+    // remainders, not further fields.
+    let payload_of = |idx: usize| match &entries[idx] {
+        StreamEntry::Graph(
+            GraphEvent::AddVertex { state, .. } | GraphEvent::UpdateVertex { state, .. },
+        ) => state.as_str(),
+        other => panic!("expected a vertex event at line {}, got {other:?}", idx + 1),
+    };
+    assert_eq!(payload_of(1), r#"{"name":"ada","rank":0.3}"#);
+    assert_eq!(payload_of(3), "  spaced payload", "leading spaces are raw");
+    assert_eq!(payload_of(8), ",,,", "commas-only payload is raw");
+    assert_eq!(
+        payload_of(12),
+        "#not-a-comment",
+        "# only comments at line start"
+    );
+    // Control payloads parse to their typed values.
+    assert!(entries.iter().any(|e| *e == StreamEntry::speed(2.5)));
+    assert!(entries
+        .iter()
+        .any(|e| *e == StreamEntry::pause(std::time::Duration::from_millis(20_000))));
+}
+
+#[test]
+fn comments_and_blanks_do_not_change_the_entry_sequence() {
+    // Interleave annotations through the golden stream: the parsed entry
+    // sequence must be identical to the clean fixture's.
+    let mut annotated = String::from("# golden stream, annotated\n\n");
+    for line in GOLDEN.lines() {
+        annotated.push_str(line);
+        annotated.push_str("\n# trailing note, with, commas\n\n");
+    }
+    let parse_all = |text: &str| -> Vec<StreamEntry> {
+        text.lines()
+            .filter_map(|l| parse_line(l).unwrap())
+            .collect()
+    };
+    assert_eq!(parse_all(&annotated), parse_all(GOLDEN));
+}

@@ -5,13 +5,90 @@
 //! marker positions, and optional cross-correlation between two series.
 //!
 //! ```text
-//! gt-report <result.log> [--series SOURCE METRIC] [--correlate S1 M1 S2 M2]
+//! gt-report <result.log> [--series SOURCE METRIC] [--correlate S1 M1 S2 M2] [--resources]
 //! ```
 
 use std::process::ExitCode;
 
 use gt_analysis::{cross_correlation, Quantiles, Summary};
 use gt_metrics::ResultLog;
+
+/// Human-readable byte count (binary units, matching `top`/`htop`).
+fn fmt_bytes(bytes: f64) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut value = bytes;
+    let mut unit = 0;
+    while value >= 1024.0 && unit < UNITS.len() - 1 {
+        value /= 1024.0;
+        unit += 1;
+    }
+    format!("{value:.1} {}", UNITS[unit])
+}
+
+/// Prints the Level-0 resource summary for every source that carries a
+/// process-monitor series (peak RSS, mean/max CPU%, totals).
+fn print_resource_summary(log: &ResultLog) -> bool {
+    let mut sources: Vec<String> = log
+        .records()
+        .iter()
+        .filter(|r| r.metric == "cpu_percent" || r.metric == "rss_bytes")
+        .map(|r| r.source.clone())
+        .collect();
+    sources.sort();
+    sources.dedup();
+    if sources.is_empty() {
+        return false;
+    }
+    println!("resource usage (Level-0 monitor):");
+    for source in sources {
+        let cpu: Vec<f64> = log
+            .series(&source, "cpu_percent")
+            .iter()
+            .map(|&(_, v)| v)
+            .collect();
+        let rss: Vec<f64> = log
+            .series(&source, "rss_bytes")
+            .iter()
+            .map(|&(_, v)| v)
+            .collect();
+        let threads = log.series(&source, "threads");
+        let mut line = format!("    {source}:");
+        if !cpu.is_empty() {
+            let s = Summary::of(&cpu);
+            line.push_str(&format!(
+                " cpu mean {:.1}% max {:.1}%,",
+                s.mean(),
+                s.max().unwrap_or(0.0)
+            ));
+        }
+        if !rss.is_empty() {
+            let s = Summary::of(&rss);
+            line.push_str(&format!(
+                " rss peak {} (mean {}),",
+                fmt_bytes(s.max().unwrap_or(0.0)),
+                fmt_bytes(s.mean())
+            ));
+        }
+        if let Some(&(_, n)) = threads.last() {
+            line.push_str(&format!(" {n:.0} threads,"));
+        }
+        println!("{}", line.trim_end_matches(','));
+        for (metric, label) in [
+            ("io_read_bytes", "io read"),
+            ("io_write_bytes", "io written"),
+        ] {
+            if let Some(&(_, v)) = log.series(&source, metric).last() {
+                println!("        {label} {}", fmt_bytes(v));
+            }
+        }
+        for r in log.records() {
+            if r.source == source && r.metric == "error" {
+                println!("        monitor error: {}", r.value);
+            }
+        }
+    }
+    true
+}
 
 fn print_series_summary(log: &ResultLog, source: &str, metric: &str) {
     let series = log.series(source, metric);
@@ -43,7 +120,7 @@ fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
         return Err(
-            "usage: gt-report <result.log> [--series SOURCE METRIC] [--correlate S1 M1 S2 M2]"
+            "usage: gt-report <result.log> [--series SOURCE METRIC] [--correlate S1 M1 S2 M2] [--resources]"
                 .into(),
         );
     }
@@ -86,6 +163,12 @@ fn run() -> Result<(), String> {
                 }
                 did_something = true;
             }
+            "--resources" => {
+                if !print_resource_summary(&log) {
+                    println!("resource usage: no monitor series in this log");
+                }
+                did_something = true;
+            }
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
@@ -103,6 +186,7 @@ fn run() -> Result<(), String> {
         for (source, metric) in pairs {
             print_series_summary(&log, &source, &metric);
         }
+        print_resource_summary(&log);
         let markers: Vec<_> = log
             .records()
             .iter()

@@ -39,3 +39,5 @@ pub use run::{
 };
 pub use spec::ExperimentSpec;
 pub use sweep::{Assignment, Factor, FactorSpace};
+
+pub use gt_sysmon::SamplerConfig;

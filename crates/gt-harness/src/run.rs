@@ -19,6 +19,9 @@ use gt_replayer::{
     EventSink, ReplayError, ReplayReport, ReplaySession, ReplaySessionConfig, Replayer,
     ReplayerConfig, SessionReport, SinkEventKind,
 };
+use gt_sysmon::SamplerConfig;
+
+use crate::levels::EvaluationLevel;
 
 /// Everything a single run needs besides the system under test.
 pub struct RunPlan {
@@ -30,10 +33,17 @@ pub struct RunPlan {
     pub loggers: Vec<Box<dyn MetricsLogger>>,
     /// Sampling interval for the logger thread.
     pub sampling_interval: Duration,
+    /// The access level granted by the system under test. Level-0
+    /// (black-box `/proc` observation) is included in every level, so the
+    /// resource monitor runs unless [`Self::sysmon`] is `None`.
+    pub level: EvaluationLevel,
+    /// Level-0 resource monitor configuration; `None` disables it.
+    pub sysmon: Option<SamplerConfig>,
 }
 
 impl RunPlan {
-    /// A plan with the given stream and target rate, no loggers.
+    /// A plan with the given stream and target rate, no loggers, at
+    /// Level 0 with the default resource monitor.
     pub fn new(stream: GraphStream, target_rate: f64) -> Self {
         RunPlan {
             stream,
@@ -43,6 +53,8 @@ impl RunPlan {
             },
             loggers: Vec::new(),
             sampling_interval: Duration::from_millis(100),
+            level: EvaluationLevel::Level0,
+            sysmon: Some(SamplerConfig::default()),
         }
     }
 
@@ -52,6 +64,62 @@ impl RunPlan {
         self.loggers.push(logger);
         self
     }
+
+    /// Sets the evaluation level (builder style).
+    #[must_use]
+    pub fn at_level(mut self, level: EvaluationLevel) -> Self {
+        self.level = level;
+        self
+    }
+
+    /// Replaces the Level-0 monitor configuration (builder style).
+    #[must_use]
+    pub fn with_sysmon(mut self, config: SamplerConfig) -> Self {
+        self.sysmon = Some(config);
+        self
+    }
+}
+
+/// Spawns the Level-0 monitor when the plan's level grants black-box
+/// process access and a sampler is configured.
+fn spawn_sysmon(
+    level: EvaluationLevel,
+    config: &Option<SamplerConfig>,
+    clock: &Arc<dyn Clock>,
+    hub: Option<&MetricsHub>,
+) -> Option<gt_sysmon::SysmonHandle> {
+    if !level.includes(EvaluationLevel::Level0) {
+        return None;
+    }
+    let config = config.as_ref()?;
+    Some(gt_sysmon::spawn(config.clone(), Arc::clone(clock), hub))
+}
+
+/// Stops the monitor and converts its outcome into records: the sampled
+/// resource series, plus one text record when observation failed (so a
+/// log from a non-Linux host says *why* the series is empty).
+fn sysmon_records(
+    handle: Option<gt_sysmon::SysmonHandle>,
+    config: &Option<SamplerConfig>,
+    clock: &Arc<dyn Clock>,
+) -> Vec<MetricRecord> {
+    let Some(handle) = handle else {
+        return Vec::new();
+    };
+    let outcome = handle.stop();
+    let mut records = outcome.records;
+    if let Some(error) = outcome.error {
+        let source = config
+            .as_ref()
+            .map_or_else(|| "sysmon".to_owned(), |c| c.source.clone());
+        records.push(MetricRecord::text(
+            clock.now_micros(),
+            &source,
+            "error",
+            error.to_string(),
+        ));
+    }
+    records
 }
 
 /// The outputs of one run.
@@ -110,6 +178,7 @@ fn replay_records(report: &ReplayReport) -> Vec<MetricRecord> {
 pub fn run_experiment<S: EventSink>(plan: RunPlan, sink: &mut S) -> std::io::Result<RunOutcome> {
     let clock: Arc<dyn Clock> = Arc::new(WallClock::start());
     let stop = Arc::new(AtomicBool::new(false));
+    let sysmon = spawn_sysmon(plan.level, &plan.sysmon, &clock, None);
     let sampler = spawn_sampler(plan.loggers, plan.sampling_interval, Arc::clone(&stop));
 
     let replayer = Replayer::new(plan.replayer).with_clock(Arc::clone(&clock));
@@ -117,11 +186,13 @@ pub fn run_experiment<S: EventSink>(plan: RunPlan, sink: &mut S) -> std::io::Res
 
     stop.store(true, Ordering::Relaxed);
     let sampled = sampler.join().expect("sampler panicked");
+    let resource = sysmon_records(sysmon, &plan.sysmon, &clock);
     let report = result?;
 
     let mut collector = LogCollector::new();
     collector
         .add_records(sampled)
+        .add_records(resource)
         .add_records(replay_records(&report));
     Ok(RunOutcome {
         report,
@@ -142,10 +213,17 @@ pub struct FileRunPlan {
     pub loggers: Vec<Box<dyn MetricsLogger>>,
     /// Sampling interval for the logger thread.
     pub sampling_interval: Duration,
+    /// The access level granted by the system under test. Level-0
+    /// (black-box `/proc` observation) is included in every level, so the
+    /// resource monitor runs unless [`Self::sysmon`] is `None`.
+    pub level: EvaluationLevel,
+    /// Level-0 resource monitor configuration; `None` disables it.
+    pub sysmon: Option<SamplerConfig>,
 }
 
 impl FileRunPlan {
-    /// A plan replaying `path` at `target_rate`, no extra loggers.
+    /// A plan replaying `path` at `target_rate`, no extra loggers, at
+    /// Level 0 with the default resource monitor.
     pub fn new(path: impl Into<PathBuf>, target_rate: f64) -> Self {
         FileRunPlan {
             path: path.into(),
@@ -158,6 +236,8 @@ impl FileRunPlan {
             },
             loggers: Vec::new(),
             sampling_interval: Duration::from_millis(100),
+            level: EvaluationLevel::Level0,
+            sysmon: Some(SamplerConfig::default()),
         }
     }
 
@@ -172,6 +252,20 @@ impl FileRunPlan {
     #[must_use]
     pub fn with_buffer(mut self, entries: usize) -> Self {
         self.session.buffer = entries;
+        self
+    }
+
+    /// Sets the evaluation level (builder style).
+    #[must_use]
+    pub fn at_level(mut self, level: EvaluationLevel) -> Self {
+        self.level = level;
+        self
+    }
+
+    /// Replaces the Level-0 monitor configuration (builder style).
+    #[must_use]
+    pub fn with_sysmon(mut self, config: SamplerConfig) -> Self {
+        self.sysmon = Some(config);
         self
     }
 }
@@ -200,6 +294,7 @@ pub fn run_file_experiment<S: EventSink>(
     let stop = Arc::new(AtomicBool::new(false));
 
     let hub = MetricsHub::new();
+    let sysmon = spawn_sysmon(plan.level, &plan.sysmon, &clock, Some(&hub));
     let mut loggers = plan.loggers;
     loggers.push(Box::new(HubSampler::new(
         hub.clone(),
@@ -215,6 +310,7 @@ pub fn run_file_experiment<S: EventSink>(
 
     stop.store(true, Ordering::Relaxed);
     let sampled = sampler.join().expect("sampler panicked");
+    let resource = sysmon_records(sysmon, &plan.sysmon, &clock);
     let report = result?;
 
     let sink_records: Vec<MetricRecord> = report
@@ -232,6 +328,7 @@ pub fn run_file_experiment<S: EventSink>(
     let mut collector = LogCollector::new();
     collector
         .add_records(sampled)
+        .add_records(resource)
         .add_records(replay_records(&report.replay))
         .add_records(sink_records);
     Ok(FileRunOutcome {
@@ -325,6 +422,73 @@ mod tests {
             Err(ReplayError::Source(_))
         ));
         std::fs::remove_file(path).ok();
+    }
+
+    /// True when the live `/proc` interface the monitor needs exists
+    /// (Linux). Elsewhere the graceful-degradation assertions apply.
+    fn proc_available() -> bool {
+        std::path::Path::new("/proc/self/stat").exists()
+    }
+
+    #[test]
+    fn level0_run_produces_resource_series() {
+        let plan = RunPlan::new(stream(2_000), 50_000.0)
+            .with_sysmon(SamplerConfig::default().every(Duration::from_millis(5)));
+        assert_eq!(plan.level, EvaluationLevel::Level0);
+        let mut sink = CollectSink::new();
+        let outcome = run_experiment(plan, &mut sink).unwrap();
+        if proc_available() {
+            assert!(!outcome.log.series("sysmon", "rss_bytes").is_empty());
+            // cpu_percent needs two ticks; the 5 ms cadence plus the
+            // final flush tick guarantees them.
+            assert!(!outcome.log.series("sysmon", "cpu_percent").is_empty());
+        } else {
+            // Off-Linux: empty series plus one typed error record.
+            assert!(outcome.log.series("sysmon", "rss_bytes").is_empty());
+            assert!(outcome
+                .log
+                .records()
+                .iter()
+                .any(|r| r.source == "sysmon" && r.metric == "error"));
+        }
+    }
+
+    #[test]
+    fn file_run_at_level0_produces_cpu_and_rss_series() {
+        let dir = std::env::temp_dir().join("gt-harness-file-run-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sysmon-stream.csv");
+        let mut content = String::new();
+        for i in 0..5_000 {
+            content.push_str(&format!("ADD_VERTEX,{i},\n"));
+        }
+        std::fs::write(&path, content).unwrap();
+
+        let plan = FileRunPlan::new(&path, 100_000.0)
+            .at_level(EvaluationLevel::Level0)
+            .with_sysmon(SamplerConfig::default().every(Duration::from_millis(5)));
+        let mut sink = CollectSink::new();
+        let outcome = run_file_experiment(plan, &mut sink).unwrap();
+        if proc_available() {
+            assert!(!outcome.log.series("sysmon", "cpu_percent").is_empty());
+            assert!(!outcome.log.series("sysmon", "rss_bytes").is_empty());
+        } else {
+            assert!(outcome
+                .log
+                .records()
+                .iter()
+                .any(|r| r.source == "sysmon" && r.metric == "error"));
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn sysmon_none_disables_the_monitor() {
+        let mut plan = RunPlan::new(stream(200), 100_000.0);
+        plan.sysmon = None;
+        let mut sink = CollectSink::new();
+        let outcome = run_experiment(plan, &mut sink).unwrap();
+        assert!(outcome.log.records().iter().all(|r| r.source != "sysmon"));
     }
 
     #[test]

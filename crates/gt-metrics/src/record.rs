@@ -144,11 +144,13 @@ impl ResultLog {
         Self::default()
     }
 
-    /// Builds a log, sorting by timestamp (stable: equal timestamps keep
-    /// their relative order).
-    pub fn from_records(mut records: Vec<MetricRecord>) -> Self {
-        records.sort_by_key(|r| r.t_micros);
-        ResultLog { records }
+    /// Builds a log, sorting by timestamp. Equal timestamps keep their
+    /// input order — see [`Self::sort`] for why this is guaranteed
+    /// explicitly rather than left to sort-stability.
+    pub fn from_records(records: Vec<MetricRecord>) -> Self {
+        let mut log = ResultLog { records };
+        log.sort();
+        log
     }
 
     /// The records in chronological order.
@@ -173,8 +175,21 @@ impl ResultLog {
     }
 
     /// Restores chronological order after out-of-order pushes.
+    ///
+    /// Records sharing a microsecond timestamp — routine when a sampler
+    /// emits a whole batch per tick, or when merged logger threads race —
+    /// keep their current relative order. The tie-break is an explicit
+    /// insertion index rather than a reliance on sort stability, so the
+    /// exported series order is a documented invariant of the format, not
+    /// an accident of the sort algorithm: serialize → parse → serialize
+    /// is byte-identical.
     pub fn sort(&mut self) {
-        self.records.sort_by_key(|r| r.t_micros);
+        let mut indexed: Vec<(usize, MetricRecord)> = std::mem::take(&mut self.records)
+            .into_iter()
+            .enumerate()
+            .collect();
+        indexed.sort_unstable_by(|(ia, a), (ib, b)| a.t_micros.cmp(&b.t_micros).then(ia.cmp(ib)));
+        self.records = indexed.into_iter().map(|(_, r)| r).collect();
     }
 
     /// All records for one `(source, metric)` pair as a time series of
@@ -361,6 +376,34 @@ mod tests {
         ]);
         let parsed = ResultLog::parse(&log.to_text()).unwrap();
         assert_eq!(parsed, log);
+    }
+
+    #[test]
+    fn equal_timestamps_keep_insertion_order() {
+        // A sampler emits whole batches with one timestamp; merged logs
+        // must preserve batch-internal order deterministically.
+        let batch = vec![
+            MetricRecord::float(1_000, "sysmon", "cpu_percent", 40.0),
+            MetricRecord::float(1_000, "sysmon", "cpu_user_percent", 30.0),
+            MetricRecord::float(1_000, "sysmon", "cpu_sys_percent", 10.0),
+            MetricRecord::int(1_000, "sysmon", "rss_bytes", 4096),
+            MetricRecord::int(500, "pipeline", "queue_depth", 3),
+            MetricRecord::text(1_000, "replayer", "marker", "tied"),
+        ];
+        let log = ResultLog::from_records(batch.clone());
+        let expected: Vec<&MetricRecord> = std::iter::once(&batch[4])
+            .chain(&batch[..4])
+            .chain(std::iter::once(&batch[5]))
+            .collect();
+        let got: Vec<&MetricRecord> = log.records().iter().collect();
+        assert_eq!(got, expected);
+        // Re-sorting an already sorted log is a no-op.
+        let mut resorted = log.clone();
+        resorted.sort();
+        assert_eq!(resorted, log);
+        // The order survives the text round trip byte-for-byte.
+        let parsed = ResultLog::parse(&log.to_text()).unwrap();
+        assert_eq!(parsed.to_text(), log.to_text());
     }
 
     #[test]

@@ -34,7 +34,7 @@ pub mod sink;
 pub mod source;
 
 pub use errors::ReplayError;
-pub use pacing::Pacer;
+pub use pacing::{Pacer, PacerCore, Schedule};
 pub use reader::spawn_file_reader;
 pub use reconnect::{ReconnectPolicy, ReconnectingTcpSink};
 pub use replayer::{ReplayReport, Replayer, ReplayerConfig};

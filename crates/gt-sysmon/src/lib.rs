@@ -1,0 +1,109 @@
+#![warn(missing_docs)]
+
+//! # gt-sysmon
+//!
+//! The **Level-0 black-box process monitor** (paper §4.3: "agnostic
+//! profiling tools"): a sampler on a dedicated thread that reads
+//! `/proc/<pid>/stat`, `/proc/<pid>/status`, `/proc/<pid>/io`, and the
+//! host-wide `/proc/stat` at a configurable cadence and converts raw
+//! jiffies and pages into derived resource series —
+//!
+//! * `cpu_percent` (+ `cpu_user_percent` / `cpu_sys_percent` split),
+//! * `rss_bytes` and `threads`,
+//! * `io_read_bytes` / `io_write_bytes` (cumulative),
+//! * `ctx_voluntary` / `ctx_involuntary` context switches (cumulative),
+//! * `host_cpu_percent` (whole-machine utilization),
+//!
+//! timestamped against the shared run [`gt_metrics::Clock`] and mirrored
+//! into [`gt_metrics::MetricsHub`] gauges for live observation. Watching
+//! an external pid makes this the only instrumentation a Level-0 system
+//! under test needs — stream in, results out, `/proc` alongside.
+//!
+//! The parsing layer ([`parse`]) is pure `&str -> value` functions and
+//! the reader ([`source::ProcSource`]) is injectable, so every format
+//! corner is unit-testable without a live `/proc`; on non-Linux hosts the
+//! monitor degrades to a typed [`SysmonError::Unavailable`] and an empty
+//! series, keeping runs portable.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use gt_metrics::{Clock, WallClock};
+//! use gt_sysmon::{spawn, SamplerConfig};
+//!
+//! let clock: Arc<dyn Clock> = Arc::new(WallClock::start());
+//! let monitor = spawn(SamplerConfig::default(), clock, None);
+//! // ... run the experiment ...
+//! let outcome = monitor.stop();
+//! // On Linux: cpu/rss series. Elsewhere: empty series + typed error.
+//! assert!(outcome.error.is_some() || outcome.ticks > 0);
+//! ```
+
+use std::fmt;
+
+pub mod parse;
+pub mod sampler;
+pub mod source;
+
+pub use parse::{Derived, HostStat, PidIo, PidStat, PidStatus, Sample};
+pub use sampler::{spawn, SamplerConfig, SysmonHandle, SysmonOutcome, SysmonSampler};
+pub use source::{FakeProc, LiveProc, ProcFile, ProcSource};
+
+/// Why the monitor could not observe its target.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SysmonError {
+    /// The target's `/proc` entry cannot be read at all — non-Linux host,
+    /// or the watched pid exited. Level-0 observation is best-effort by
+    /// definition, so runs treat this as "no resource series", not a
+    /// failure.
+    Unavailable {
+        /// Which target (`self` or `pid N`).
+        target: String,
+        /// The underlying I/O error text.
+        reason: String,
+    },
+    /// A `/proc` file was readable but not in the expected shape.
+    Parse {
+        /// Which file (`pid stat`, `host stat`, …).
+        file: String,
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl SysmonError {
+    pub(crate) fn parse(file: impl Into<String>, reason: impl Into<String>) -> Self {
+        SysmonError::Parse {
+            file: file.into(),
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for SysmonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SysmonError::Unavailable { target, reason } => {
+                write!(f, "target {target} unobservable: {reason}")
+            }
+            SysmonError::Parse { file, reason } => write!(f, "malformed {file}: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for SysmonError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        let e = SysmonError::Unavailable {
+            target: "pid 7".into(),
+            reason: "No such file".into(),
+        };
+        assert!(e.to_string().contains("pid 7"));
+        let p = SysmonError::parse("pid stat", "no comm field");
+        assert!(p.to_string().contains("pid stat"));
+    }
+}

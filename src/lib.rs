@@ -42,6 +42,8 @@ pub use gt_harness as harness;
 pub use gt_metrics as metrics;
 /// The rate-controlled replayer and its connectors.
 pub use gt_replayer as replayer;
+/// The Level-0 black-box process monitor (`/proc` sampler).
+pub use gt_sysmon as sysmon;
 /// Ready-made representative workloads.
 pub use gt_workloads as workloads;
 /// The Chronograph-class online engine under test.
