@@ -34,9 +34,7 @@ fn commit_all(batch: usize, ts_cost: Duration) {
     let client = store.client();
     for chunk in vertex_events(2_000).chunks(batch) {
         client
-            .submit(Transaction {
-                events: chunk.to_vec(),
-            })
+            .submit(Transaction::from_events(chunk.iter().cloned()))
             .expect("store alive");
     }
     let stats = store.shutdown();

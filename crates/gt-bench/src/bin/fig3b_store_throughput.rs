@@ -16,16 +16,17 @@ use std::time::{Duration, Instant};
 
 use gt_bench::{header, scaled};
 use gt_core::prelude::*;
-use gt_metrics::MetricsHub;
+use gt_harness::{SutOptions, SutRegistry};
 use gt_replayer::{Replayer, ReplayerConfig};
 use gt_workloads::Table3Workload;
-use tide_store::{BatchingConnector, StoreConfig, TideStore};
 
 const RATES: [f64; 3] = [100.0, 1_000.0, 10_000.0];
 const BATCHES: [usize; 2] = [1, 10];
 
 fn main() {
     header("Figure 3b: store write throughput over time (rate x batch)");
+    let mut registry = SutRegistry::new();
+    tide_store::sut::register(&mut registry);
     let window = scaled(Duration::from_secs(4));
     println!("# Table 3 workload: BA bootstrap + 10/5/35/35/15/0 event mix");
     println!("# store: timestamper 800us/tx, 2 shards, 20us/event");
@@ -36,7 +37,7 @@ fn main() {
 
     for &batch in &BATCHES {
         for &rate in &RATES {
-            run_cell(rate, batch, window);
+            run_cell(&registry, rate, batch, window);
         }
     }
 
@@ -48,23 +49,23 @@ fn main() {
     );
 }
 
-fn run_cell(rate: f64, batch: usize, window: Duration) {
+fn run_cell(registry: &SutRegistry, rate: f64, batch: usize, window: Duration) {
     // Enough workload to cover the window at the *offered* rate.
     let events = (rate * window.as_secs_f64() * 1.2) as usize + 1_000;
     let workload = Table3Workload::small(events, 42);
     let stream = strip_controls(workload.generate());
 
-    let hub = MetricsHub::new();
-    let store = TideStore::start(
-        StoreConfig {
-            shards: 2,
-            timestamper_cost_per_tx: Duration::from_micros(800),
-            shard_cost_per_event: Duration::from_micros(20),
-            queue_capacity: 64,
-        },
-        &hub,
-    );
-    let mut connector = BatchingConnector::new(store.client(), batch);
+    let options = SutOptions::new()
+        .set("shards", 2)
+        .set("timestamper_cost_us", 800)
+        .set("shard_cost_us", 20)
+        .set("queue_capacity", 64)
+        .set("batch_size", batch);
+    let mut sut = registry
+        .start(tide_store::sut::SUT_NAME, &options)
+        .expect("start store");
+    let hub = sut.hub().expect("store exposes native metrics").clone();
+    let mut connector = sut.connector().expect("store connector");
 
     // Sample committed counts once a second on a background thread.
     let committed = hub.counter("store.events");
@@ -102,7 +103,8 @@ fn run_cell(rate: f64, batch: usize, window: Duration) {
 
     stop.store(true, std::sync::atomic::Ordering::Relaxed);
     let series = sampler.join().expect("sampler");
-    store.shutdown();
+    drop(connector);
+    sut.shutdown();
 
     for (t, committed_rate) in series {
         println!(

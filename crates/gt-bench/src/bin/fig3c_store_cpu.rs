@@ -14,10 +14,9 @@ use std::time::{Duration, Instant};
 
 use gt_bench::{header, scaled};
 use gt_core::prelude::*;
-use gt_metrics::MetricsHub;
+use gt_harness::{SutOptions, SutRegistry};
 use gt_replayer::{Replayer, ReplayerConfig};
 use gt_workloads::Table3Workload;
-use tide_store::{BatchingConnector, StoreConfig, TideStore};
 
 fn main() {
     header("Figure 3c: store component CPU at 10k events/s, 10 events/tx");
@@ -32,17 +31,19 @@ fn main() {
         .filter(|e| !e.is_control())
         .collect();
 
-    let hub = MetricsHub::new();
-    let store = TideStore::start(
-        StoreConfig {
-            shards,
-            timestamper_cost_per_tx: Duration::from_micros(800),
-            shard_cost_per_event: Duration::from_micros(20),
-            queue_capacity: 64,
-        },
-        &hub,
-    );
-    let mut connector = BatchingConnector::new(store.client(), 10);
+    let mut registry = SutRegistry::new();
+    tide_store::sut::register(&mut registry);
+    let options = SutOptions::new()
+        .set("shards", shards)
+        .set("timestamper_cost_us", 800)
+        .set("shard_cost_us", 20)
+        .set("queue_capacity", 64)
+        .set("batch_size", 10);
+    let mut sut = registry
+        .start(tide_store::sut::SUT_NAME, &options)
+        .expect("start store");
+    let hub = sut.hub().expect("store exposes native metrics").clone();
+    let mut connector = sut.connector().expect("store connector");
 
     // Sample busy-time deltas once per 500 ms.
     let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
@@ -87,7 +88,8 @@ fn main() {
 
     stop.store(true, std::sync::atomic::Ordering::Relaxed);
     let rows = sampler.join().expect("sampler");
-    store.shutdown();
+    drop(connector);
+    sut.shutdown();
 
     print!("{:>6} {:>16}", "t[s]", "timestamper[%]");
     for s in 0..shards {

@@ -25,11 +25,12 @@ use gt_bench::{header, scale};
 use gt_core::prelude::*;
 use gt_generator::StreamComposer;
 use gt_graph::{CsrSnapshot, EvolvingGraph};
-use gt_metrics::{Clock, MetricRecord, MetricsHub, ResultLog, WallClock};
+use gt_harness::{SutOptions, SutRegistry};
+use gt_metrics::{Clock, MetricRecord, ResultLog, WallClock};
 use gt_replayer::{Replayer, ReplayerConfig};
 use gt_sysmon::SamplerConfig;
 use gt_workloads::SnbWorkload;
-use tide_graph::{EngineConfig, EngineConnector, RankParams, TideGraph};
+use tide_graph::{TideGraph, TideGraphSut};
 
 struct Samples {
     t: f64,
@@ -74,7 +75,35 @@ fn main() {
         .marker("stream-end")
         .build();
 
-    let hub = MetricsHub::new();
+    // The engine is started through the SUT registry — the same boundary
+    // the harness uses — and its typed handle recovered via the `as_any`
+    // escape hatch for the board-sampling thread below.
+    let mut registry = SutRegistry::new();
+    tide_graph::sut::register(&mut registry);
+    let options = SutOptions::new()
+        .set("workers", workers)
+        // A coarse push threshold keeps share traffic at a realistic
+        // handful per mutation; the reseed fraction still forces
+        // continuous recomputation (see the epsilon ablation bench).
+        .set("epsilon", 0.05)
+        .set("reseed", 0.3)
+        // Per-message costs chosen so 4 workers saturate at the doubled
+        // rate (~4k events/s + share fan-out) but keep up at the base
+        // rate — the regime of the paper's experiment.
+        .set("event_cost_us", 150)
+        .set("share_cost_us", 15)
+        .set("board_refresh_every", 128);
+    let mut sut = registry
+        .start(tide_graph::sut::SUT_NAME, &options)
+        .expect("start engine");
+    let hub = sut.hub().expect("engine exposes native metrics").clone();
+    let engine = Arc::clone(
+        sut.as_any()
+            .downcast_mut::<TideGraphSut>()
+            .expect("registered as TideGraphSut")
+            .engine(),
+    );
+
     // Shared run clock: marker timestamps, the ingress-rate series, and
     // the Level-0 resource series all live on the same time base.
     let clock: Arc<dyn Clock> = Arc::new(WallClock::start());
@@ -83,27 +112,6 @@ fn main() {
         Arc::clone(&clock),
         Some(&hub),
     );
-    let engine = Arc::new(TideGraph::start(
-        EngineConfig {
-            workers,
-            // A coarse push threshold keeps share traffic at a realistic
-            // handful per mutation; the reseed fraction still forces
-            // continuous recomputation (see the epsilon ablation bench).
-            rank: RankParams {
-                epsilon: 0.05,
-                reseed: 0.3,
-                ..Default::default()
-            },
-            // Per-message costs chosen so 4 workers saturate at the
-            // doubled rate (~4k events/s + share fan-out) but keep up at
-            // the base rate — the regime of the paper's experiment.
-            event_cost: Duration::from_micros(150),
-            share_cost: Duration::from_micros(15),
-            board_refresh_every: 128,
-            ..Default::default()
-        },
-        &hub,
-    ));
 
     // Background sampler: every 250 ms capture the full stack of series.
     let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
@@ -156,7 +164,7 @@ fn main() {
     })
     .with_clock(Arc::clone(&clock))
     .with_ingress_counter(hub.counter("replayer.ingress"));
-    let mut connector = EngineConnector::new(Arc::clone(&engine));
+    let mut connector = sut.connector().expect("engine connector");
     let report = replayer
         .replay_stream(&stream, &mut connector)
         .expect("replay succeeds");
@@ -168,9 +176,15 @@ fn main() {
     let resources = sysmon.stop();
     stop.store(true, std::sync::atomic::Ordering::Relaxed);
     let samples = sampler.join().expect("sampler");
+    // All engine handles must be gone before the typed shutdown: the
+    // connector's, the sampler's (already joined), and the local clone.
     drop(connector);
-    let engine = Arc::try_unwrap(engine).ok().expect("sole owner");
-    let stats = engine.shutdown();
+    drop(engine);
+    let stats = sut
+        .into_any()
+        .downcast::<TideGraphSut>()
+        .expect("registered as TideGraphSut")
+        .shutdown_engine();
 
     // Retrospective reference: batch PageRank on the final graph.
     let final_graph = EvolvingGraph::from_stream(&base).expect("stream applies");

@@ -241,6 +241,83 @@ impl From<GraphEvent> for StreamEntry {
     }
 }
 
+/// A stream entry with shared ownership.
+///
+/// This is the unit of the batched ingest path (replayer → connector →
+/// platform): the replayer allocates each entry once, and every hand-off
+/// downstream — batch dispatch, shard routing, worker mailboxes — clones the
+/// `Arc`, never the payload.
+pub type SharedEntry = std::sync::Arc<StreamEntry>;
+
+/// A shared-ownership handle that is guaranteed to wrap a
+/// [`StreamEntry::Graph`] entry.
+///
+/// Connectors and platform internals route graph events through channels and
+/// transaction batches; carrying them as `SharedGraphEvent` keeps the
+/// zero-copy guarantee of [`SharedEntry`] while statically ruling out marker
+/// and control entries, so consumers can access the event without matching.
+#[derive(Clone)]
+pub struct SharedGraphEvent(SharedEntry);
+
+impl SharedGraphEvent {
+    /// Wraps an owned graph event (allocates the shared entry).
+    pub fn new(event: GraphEvent) -> Self {
+        SharedGraphEvent(SharedEntry::new(StreamEntry::Graph(event)))
+    }
+
+    /// Shares the graph event inside `entry`, or `None` if the entry is a
+    /// marker or control instruction. Never copies the event payload.
+    pub fn from_entry(entry: &SharedEntry) -> Option<Self> {
+        match entry.as_ref() {
+            StreamEntry::Graph(_) => Some(SharedGraphEvent(SharedEntry::clone(entry))),
+            _ => None,
+        }
+    }
+
+    /// The wrapped graph event.
+    pub fn event(&self) -> &GraphEvent {
+        match self.0.as_ref() {
+            StreamEntry::Graph(event) => event,
+            // Unreachable by construction: both constructors only admit the
+            // Graph variant.
+            _ => unreachable!("SharedGraphEvent wraps a non-graph entry"),
+        }
+    }
+
+    /// The underlying shared entry.
+    pub fn into_entry(self) -> SharedEntry {
+        self.0
+    }
+}
+
+impl std::ops::Deref for SharedGraphEvent {
+    type Target = GraphEvent;
+
+    fn deref(&self) -> &GraphEvent {
+        self.event()
+    }
+}
+
+impl From<GraphEvent> for SharedGraphEvent {
+    fn from(event: GraphEvent) -> Self {
+        SharedGraphEvent::new(event)
+    }
+}
+
+impl std::fmt::Debug for SharedGraphEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.event().fmt(f)
+    }
+}
+
+impl PartialEq for SharedGraphEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.event() == other.event()
+    }
+}
+
+impl Eq for SharedGraphEvent {}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -18,6 +18,7 @@
 //! Blank lines and lines starting with `#` are ignored, so streams can be
 //! annotated in place.
 
+use std::fmt::Write as _;
 use std::time::Duration;
 
 use crate::error::ParseError;
@@ -44,12 +45,13 @@ pub fn write_line(entry: &StreamEntry, out: &mut String) {
         StreamEntry::Control(ControlEvent::SetSpeed(factor)) => {
             out.push_str(SPEED_COMMAND);
             out.push_str(",,");
-            out.push_str(&format!("{factor}"));
+            // Formatting into a String cannot fail.
+            let _ = write!(out, "{factor}");
         }
         StreamEntry::Control(ControlEvent::Pause(duration)) => {
             out.push_str(PAUSE_COMMAND);
             out.push_str(",,");
-            out.push_str(&format!("{}", duration.as_millis()));
+            let _ = write!(out, "{}", duration.as_millis());
         }
     }
 }
@@ -59,21 +61,21 @@ fn write_graph_event(event: &GraphEvent, out: &mut String) {
     out.push(',');
     match event {
         GraphEvent::AddVertex { id, state } | GraphEvent::UpdateVertex { id, state } => {
-            out.push_str(&id.to_string());
+            let _ = write!(out, "{id}");
             out.push(',');
             out.push_str(state.as_str());
         }
         GraphEvent::RemoveVertex { id } => {
-            out.push_str(&id.to_string());
+            let _ = write!(out, "{id}");
             out.push(',');
         }
         GraphEvent::AddEdge { id, state } | GraphEvent::UpdateEdge { id, state } => {
-            out.push_str(&id.to_string());
+            let _ = write!(out, "{id}");
             out.push(',');
             out.push_str(state.as_str());
         }
         GraphEvent::RemoveEdge { id } => {
-            out.push_str(&id.to_string());
+            let _ = write!(out, "{id}");
             out.push(',');
         }
     }

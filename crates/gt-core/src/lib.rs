@@ -41,7 +41,7 @@ pub mod state;
 pub mod stream;
 
 pub use error::{CoreError, ParseError};
-pub use event::{ControlEvent, EventKind, GraphEvent, StreamEntry};
+pub use event::{ControlEvent, EventKind, GraphEvent, SharedEntry, SharedGraphEvent, StreamEntry};
 pub use format::{parse_line, write_line};
 pub use ids::{EdgeId, VertexId};
 pub use state::State;
@@ -50,7 +50,9 @@ pub use stream::{GraphStream, StreamReader, StreamStats, StreamWriter};
 /// Convenient glob import for downstream crates.
 pub mod prelude {
     pub use crate::error::{CoreError, ParseError};
-    pub use crate::event::{ControlEvent, EventKind, GraphEvent, StreamEntry};
+    pub use crate::event::{
+        ControlEvent, EventKind, GraphEvent, SharedEntry, SharedGraphEvent, StreamEntry,
+    };
     pub use crate::ids::{EdgeId, VertexId};
     pub use crate::state::State;
     pub use crate::stream::{GraphStream, StreamReader, StreamStats, StreamWriter};

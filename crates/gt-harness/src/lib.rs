@@ -30,14 +30,18 @@ pub mod levels;
 pub mod repeat;
 pub mod run;
 pub mod spec;
+pub mod sut;
 pub mod sweep;
 
 pub use levels::EvaluationLevel;
 pub use repeat::{compare_metric, repeat_runs, RepeatOutcome};
 pub use run::{
-    run_experiment, run_file_experiment, FileRunOutcome, FileRunPlan, RunOutcome, RunPlan,
+    run_experiment, run_experiment_with_clock, run_file_experiment, run_file_experiment_with_clock,
+    FileRunOutcome, FileRunPlan, RunOutcome, RunPlan,
 };
 pub use spec::ExperimentSpec;
+pub use sut::{run_file_sut_experiment, run_sut_experiment, SutRunError, SutRunOutcome};
 pub use sweep::{Assignment, Factor, FactorSpace};
 
+pub use gt_sut::{SutOptions, SutRegistry, SutReport, SystemUnderTest};
 pub use gt_sysmon::SamplerConfig;

@@ -176,7 +176,18 @@ fn replay_records(report: &ReplayReport) -> Vec<MetricRecord> {
 /// The shared run clock is created here; marker timestamps and logger
 /// sample timestamps are directly comparable.
 pub fn run_experiment<S: EventSink>(plan: RunPlan, sink: &mut S) -> std::io::Result<RunOutcome> {
-    let clock: Arc<dyn Clock> = Arc::new(WallClock::start());
+    run_experiment_with_clock(plan, sink, Arc::new(WallClock::start()))
+}
+
+/// [`run_experiment`] against a caller-supplied clock, so records produced
+/// *outside* the run (e.g. a system under test's final report) can share
+/// its timeline. This is the primitive the SUT runner
+/// ([`crate::sut::run_sut_experiment`]) builds on.
+pub fn run_experiment_with_clock<S: EventSink + ?Sized>(
+    plan: RunPlan,
+    sink: &mut S,
+    clock: Arc<dyn Clock>,
+) -> std::io::Result<RunOutcome> {
     let stop = Arc::new(AtomicBool::new(false));
     let sysmon = spawn_sysmon(plan.level, &plan.sysmon, &clock, None);
     let sampler = spawn_sampler(plan.loggers, plan.sampling_interval, Arc::clone(&stop));
@@ -290,7 +301,17 @@ pub fn run_file_experiment<S: EventSink>(
     plan: FileRunPlan,
     sink: &mut S,
 ) -> Result<FileRunOutcome, ReplayError> {
-    let clock: Arc<dyn Clock> = Arc::new(WallClock::start());
+    run_file_experiment_with_clock(plan, sink, Arc::new(WallClock::start()))
+}
+
+/// [`run_file_experiment`] against a caller-supplied clock — the
+/// file-backed primitive of the SUT runner
+/// ([`crate::sut::run_file_sut_experiment`]).
+pub fn run_file_experiment_with_clock<S: EventSink + ?Sized>(
+    plan: FileRunPlan,
+    sink: &mut S,
+    clock: Arc<dyn Clock>,
+) -> Result<FileRunOutcome, ReplayError> {
     let stop = Arc::new(AtomicBool::new(false));
 
     let hub = MetricsHub::new();

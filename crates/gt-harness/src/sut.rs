@@ -1,0 +1,306 @@
+//! The generic SUT runner: one experiment against any platform selected
+//! from a [`SutRegistry`] by name.
+//!
+//! This is the harness half of the Figure 2 contract — the platform half
+//! is the [`SystemUnderTest`] trait. The runner:
+//!
+//! 1. starts the named platform from its registered builder,
+//! 2. clamps the plan's evaluation level to what the platform declares
+//!    (asking for Level 2 from a black-box platform silently degrades
+//!    to what is actually observable),
+//! 3. wires the platform's native metrics hub ([`SystemUnderTest::hub`])
+//!    into the sampling thread when the effective level grants Level 1,
+//! 4. replays the plan through the platform's connector on the shared
+//!    run clock,
+//! 5. drops the connector, waits for the platform to drain
+//!    ([`SystemUnderTest::quiesce`]), shuts it down, and folds the final
+//!    [`SutReport`] into the merged [`ResultLog`] (source = the platform
+//!    name, timestamped at run end).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use gt_metrics::{Clock, HubSampler, MetricRecord, ResultLog, WallClock};
+use gt_replayer::ReplayError;
+use gt_sut::{SutError, SutOptions, SutRegistry, SutReport, SystemUnderTest};
+
+use crate::levels::EvaluationLevel;
+use crate::run::{
+    run_experiment_with_clock, run_file_experiment_with_clock, FileRunOutcome, FileRunPlan,
+    RunOutcome, RunPlan,
+};
+
+/// How long the runner waits for a platform to drain its backlog after
+/// the stream ends, before shutting it down.
+pub const DEFAULT_QUIESCE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// The outputs of one registry-selected run.
+#[derive(Debug)]
+pub struct SutRunOutcome<O> {
+    /// The plain run outcome ([`RunOutcome`] or [`FileRunOutcome`]), with
+    /// the platform's final report already folded into its log.
+    pub run: O,
+    /// The platform's final report (also available via the log).
+    pub report: SutReport,
+    /// Whether the platform drained within the quiesce timeout. A `false`
+    /// here is itself a finding — the paper's Figure 3d system keeps
+    /// computing long after the stream has ended.
+    pub quiesced: bool,
+}
+
+/// What can go wrong in a registry-selected run.
+#[derive(Debug)]
+pub enum SutRunError {
+    /// Unknown platform name, or the platform failed to start.
+    Sut(SutError),
+    /// The replay itself failed (sink error, unreadable stream file, …).
+    Replay(ReplayError),
+}
+
+impl std::fmt::Display for SutRunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SutRunError::Sut(e) => write!(f, "system under test: {e}"),
+            SutRunError::Replay(e) => write!(f, "replay: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SutRunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SutRunError::Sut(e) => Some(e),
+            SutRunError::Replay(e) => Some(e),
+        }
+    }
+}
+
+impl From<SutError> for SutRunError {
+    fn from(e: SutError) -> Self {
+        SutRunError::Sut(e)
+    }
+}
+
+impl From<ReplayError> for SutRunError {
+    fn from(e: ReplayError) -> Self {
+        SutRunError::Replay(e)
+    }
+}
+
+impl From<std::io::Error> for SutRunError {
+    fn from(e: std::io::Error) -> Self {
+        SutRunError::Replay(ReplayError::from_sink_error(e))
+    }
+}
+
+/// Prepares a started SUT for the run: clamps the level and registers the
+/// L1 hub sampler. Returns the effective level.
+fn wire_sut(
+    sut: &mut Box<dyn SystemUnderTest>,
+    plan_level: EvaluationLevel,
+    loggers: &mut Vec<Box<dyn gt_metrics::MetricsLogger>>,
+    clock: &Arc<dyn Clock>,
+) -> EvaluationLevel {
+    let effective = plan_level.min(sut.level());
+    if effective.includes(EvaluationLevel::Level1) {
+        if let Some(hub) = sut.hub() {
+            loggers.push(Box::new(HubSampler::new(
+                hub.clone(),
+                Arc::clone(clock),
+                sut.name(),
+            )));
+        }
+    }
+    effective
+}
+
+/// Folds the platform's final report into a log as `float` records under
+/// the platform's name, timestamped at `t_micros`.
+fn fold_report(log: &ResultLog, report: &SutReport, t_micros: u64) -> ResultLog {
+    let mut records: Vec<MetricRecord> = log.records().to_vec();
+    for (metric, value) in &report.summary {
+        records.push(MetricRecord::float(t_micros, &report.name, metric, *value));
+    }
+    ResultLog::from_records(records)
+}
+
+/// Runs an in-memory plan against the platform registered under `name`.
+///
+/// See the module docs for the exact wiring sequence. The plan's `level`
+/// is treated as *requested* access; the effective level is
+/// `min(plan.level, sut.level())`.
+pub fn run_sut_experiment(
+    mut plan: RunPlan,
+    registry: &SutRegistry,
+    name: &str,
+    options: &SutOptions,
+) -> Result<SutRunOutcome<RunOutcome>, SutRunError> {
+    let clock: Arc<dyn Clock> = Arc::new(WallClock::start());
+    let mut sut = registry.start(name, options)?;
+    plan.level = wire_sut(&mut sut, plan.level, &mut plan.loggers, &clock);
+
+    let mut connector = sut.connector()?;
+    let result = run_experiment_with_clock(plan, &mut connector, Arc::clone(&clock));
+    drop(connector);
+
+    let quiesced = sut.quiesce(DEFAULT_QUIESCE_TIMEOUT);
+    let report = sut.shutdown();
+    let mut run = result?;
+    run.log = fold_report(&run.log, &report, clock.now_micros());
+    Ok(SutRunOutcome {
+        run,
+        report,
+        quiesced,
+    })
+}
+
+/// Runs a file-backed plan against the platform registered under `name`
+/// — the same wiring as [`run_sut_experiment`] on the streaming pipeline.
+pub fn run_file_sut_experiment(
+    mut plan: FileRunPlan,
+    registry: &SutRegistry,
+    name: &str,
+    options: &SutOptions,
+) -> Result<SutRunOutcome<FileRunOutcome>, SutRunError> {
+    let clock: Arc<dyn Clock> = Arc::new(WallClock::start());
+    let mut sut = registry.start(name, options)?;
+    plan.level = wire_sut(&mut sut, plan.level, &mut plan.loggers, &clock);
+
+    let mut connector = sut.connector()?;
+    let result = run_file_experiment_with_clock(plan, &mut connector, Arc::clone(&clock));
+    drop(connector);
+
+    let quiesced = sut.quiesce(DEFAULT_QUIESCE_TIMEOUT);
+    let report = sut.shutdown();
+    let mut run = result?;
+    run.log = fold_report(&run.log, &report, clock.now_micros());
+    Ok(SutRunOutcome {
+        run,
+        report,
+        quiesced,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gt_core::prelude::*;
+
+    fn registry() -> SutRegistry {
+        let mut registry = SutRegistry::new();
+        tide_store::sut::register(&mut registry);
+        tide_graph::sut::register(&mut registry);
+        registry
+    }
+
+    fn stream(n: u64) -> GraphStream {
+        let mut s: GraphStream = (0..n)
+            .map(|i| {
+                StreamEntry::graph(GraphEvent::AddVertex {
+                    id: VertexId(i),
+                    state: State::empty(),
+                })
+            })
+            .collect();
+        s.push(StreamEntry::marker("stream-end"));
+        s
+    }
+
+    #[test]
+    fn store_runs_through_registry() {
+        let options = SutOptions::new()
+            .set("timestamper_cost_us", 0)
+            .set("shard_cost_us", 0)
+            .set("batch_size", 10);
+        let plan = RunPlan::new(stream(500), 200_000.0).at_level(EvaluationLevel::Level2);
+        let outcome = run_sut_experiment(plan, &registry(), "tide-store", &options).unwrap();
+
+        assert!(outcome.quiesced);
+        assert_eq!(outcome.run.report.graph_events, 500);
+        assert_eq!(outcome.report.get("events"), Some(500.0));
+        assert_eq!(outcome.report.get("vertices"), Some(500.0));
+        // The final report is folded into the merged log...
+        assert!(!outcome.run.log.series("tide-store", "events").is_empty());
+        // ...and the L1 hub sampler captured the store's native counters.
+        assert!(!outcome
+            .run
+            .log
+            .series("tide-store", "store.events")
+            .is_empty());
+        assert!(outcome.run.log.marker("stream-end").is_some());
+    }
+
+    #[test]
+    fn graph_runs_through_registry() {
+        let options = SutOptions::new().set("workers", 2).set("epsilon", 1e-3);
+        let plan = RunPlan::new(stream(300), 200_000.0).at_level(EvaluationLevel::Level2);
+        let outcome = run_sut_experiment(plan, &registry(), "tide-graph", &options).unwrap();
+
+        assert!(outcome.quiesced);
+        assert_eq!(outcome.report.get("events"), Some(300.0));
+        assert_eq!(outcome.report.get("vertices"), Some(300.0));
+        assert!(!outcome.run.log.series("tide-graph", "events").is_empty());
+        // L1 sampling surfaced the per-worker counters.
+        assert!(!outcome
+            .run
+            .log
+            .series("tide-graph", "worker-0.ops")
+            .is_empty());
+    }
+
+    #[test]
+    fn level0_plan_suppresses_native_metrics() {
+        let options = SutOptions::new()
+            .set("timestamper_cost_us", 0)
+            .set("shard_cost_us", 0);
+        let mut plan = RunPlan::new(stream(100), 200_000.0).at_level(EvaluationLevel::Level0);
+        plan.sysmon = None;
+        let outcome = run_sut_experiment(plan, &registry(), "tide-store", &options).unwrap();
+        // No L1 sampler: the only tide-store records are the final report.
+        assert!(outcome
+            .run
+            .log
+            .series("tide-store", "store.events")
+            .is_empty());
+        assert_eq!(outcome.report.get("events"), Some(100.0));
+    }
+
+    #[test]
+    fn unknown_name_is_a_sut_error() {
+        let plan = RunPlan::new(stream(10), 100_000.0);
+        let err = run_sut_experiment(plan, &registry(), "no-such-platform", &SutOptions::new())
+            .unwrap_err();
+        assert!(matches!(err, SutRunError::Sut(SutError::Unknown { .. })));
+        assert!(err.to_string().contains("no-such-platform"));
+    }
+
+    #[test]
+    fn file_plan_runs_through_registry() {
+        let dir = std::env::temp_dir().join("gt-harness-sut-run-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stream.csv");
+        let mut content = String::new();
+        for i in 0..2_000 {
+            content.push_str(&format!("ADD_VERTEX,{i},\n"));
+        }
+        content.push_str("MARKER,stream-end,\n");
+        std::fs::write(&path, content).unwrap();
+
+        let options = SutOptions::new()
+            .set("timestamper_cost_us", 0)
+            .set("shard_cost_us", 0);
+        let plan = FileRunPlan::new(&path, 400_000.0).at_level(EvaluationLevel::Level2);
+        let outcome = run_file_sut_experiment(plan, &registry(), "tide-store", &options).unwrap();
+
+        assert!(outcome.quiesced);
+        assert_eq!(outcome.run.report.replay.graph_events, 2_000);
+        assert_eq!(outcome.report.get("events"), Some(2_000.0));
+        assert!(!outcome.run.log.series("tide-store", "events").is_empty());
+        assert!(!outcome
+            .run
+            .log
+            .series("pipeline", "ingress_events")
+            .is_empty());
+        std::fs::remove_file(path).ok();
+    }
+}

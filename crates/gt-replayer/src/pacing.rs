@@ -163,6 +163,25 @@ impl Pacer {
         self.origin.elapsed().as_nanos() as u64
     }
 
+    /// Non-blocking scheduling decision: advances the deadline and returns
+    /// the [`Schedule`] together with the run-relative "now" (nanoseconds
+    /// since the pacer's origin) it was taken at.
+    ///
+    /// `wait_nanos > 0` means the emission is early — block until
+    /// `now + wait_nanos` (see [`Self::block_until`]) to stay on schedule.
+    /// `wait_nanos == 0` means the emission is already due; the replayer
+    /// uses this to coalesce behind-schedule events into one batch instead
+    /// of blocking per event.
+    pub fn poll(&mut self) -> (Schedule, u64) {
+        let now = self.now_nanos();
+        (self.core.schedule(now), now)
+    }
+
+    /// Hybrid sleep/spin until the given run-relative nanosecond instant.
+    pub fn block_until(&self, target_nanos: u64) {
+        Self::wait_until(self.origin + Duration::from_nanos(target_nanos));
+    }
+
     /// Blocks until the next emission deadline, then advances it. When the
     /// pacer has fallen behind (deadline in the past), it returns
     /// immediately, letting the replayer catch up in a bounded burst.
@@ -171,10 +190,9 @@ impl Pacer {
     /// when the pacer woke on time, positive when the previous emission
     /// (slow sink, pause, starved reader) pushed this one past its slot.
     pub fn wait(&mut self) -> Duration {
-        let now = self.now_nanos();
-        let schedule = self.core.schedule(now);
+        let (schedule, now) = self.poll();
         if schedule.wait_nanos > 0 {
-            Self::wait_until(self.origin + Duration::from_nanos(now + schedule.wait_nanos));
+            self.block_until(now + schedule.wait_nanos);
         }
         Duration::from_nanos(schedule.lateness_nanos)
     }

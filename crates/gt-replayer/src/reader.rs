@@ -16,12 +16,14 @@ use gt_core::prelude::*;
 pub const DEFAULT_BUFFER: usize = 64 * 1024;
 
 /// Spawns a reader thread over a stream file. Entries arrive through the
-/// returned receiver; the thread ends at EOF or on the first parse error
-/// (reported through the second channel).
+/// returned receiver as [`SharedEntry`] handles — allocated once on the
+/// reader thread, then only `Arc`-cloned along the batched ingest path.
+/// The thread ends at EOF or on the first parse error (reported through
+/// the second channel).
 pub fn spawn_file_reader(
     path: impl Into<PathBuf>,
     buffer: usize,
-) -> (Receiver<StreamEntry>, JoinHandle<Result<u64, CoreError>>) {
+) -> (Receiver<SharedEntry>, JoinHandle<Result<u64, CoreError>>) {
     let path = path.into();
     let (tx, rx) = bounded(buffer.max(1));
     let handle = std::thread::Builder::new()
@@ -33,7 +35,7 @@ pub fn spawn_file_reader(
             for entry in reader {
                 let entry = entry?;
                 count += 1;
-                if tx.send(entry).is_err() {
+                if tx.send(SharedEntry::new(entry)).is_err() {
                     break; // emitter hung up (e.g. replay aborted)
                 }
             }
@@ -64,7 +66,7 @@ mod tests {
     fn reads_all_entries() {
         let path = temp_stream_file("ADD_VERTEX,1,\nADD_VERTEX,2,\nMARKER,end,\n");
         let (rx, handle) = spawn_file_reader(&path, 16);
-        let entries: Vec<StreamEntry> = rx.iter().collect();
+        let entries: Vec<SharedEntry> = rx.iter().collect();
         assert_eq!(entries.len(), 3);
         assert!(entries[2].is_marker());
         assert_eq!(handle.join().unwrap().unwrap(), 3);
@@ -75,7 +77,7 @@ mod tests {
     fn reports_parse_errors() {
         let path = temp_stream_file("ADD_VERTEX,1,\nGARBAGE\n");
         let (rx, handle) = spawn_file_reader(&path, 16);
-        let entries: Vec<StreamEntry> = rx.iter().collect();
+        let entries: Vec<SharedEntry> = rx.iter().collect();
         assert_eq!(entries.len(), 1);
         assert!(handle.join().unwrap().is_err());
         std::fs::remove_file(path).ok();
@@ -94,7 +96,7 @@ mod tests {
         let path = temp_stream_file(&content);
         let (rx, handle) = spawn_file_reader(&path, 4);
         // Take a few entries, then hang up.
-        let taken: Vec<StreamEntry> = rx.iter().take(5).collect();
+        let taken: Vec<SharedEntry> = rx.iter().take(5).collect();
         assert_eq!(taken.len(), 5);
         drop(rx);
         // The reader notices the closed channel and exits cleanly.

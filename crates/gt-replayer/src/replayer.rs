@@ -20,6 +20,12 @@ pub struct ReplayerConfig {
     /// Whether `PAUSE` control events actually sleep. Disable for
     /// maximum-throughput benchmarking of the replayer itself.
     pub honor_pauses: bool,
+    /// Upper bound on how many behind-schedule events are coalesced into a
+    /// single [`EventSink::send_batch`] call. Events that arrive on time
+    /// are still delivered one per pacing slot; only events whose deadline
+    /// has already passed (catch-up bursts, rates beyond the sink's
+    /// ceiling) are batched.
+    pub max_batch: usize,
 }
 
 impl Default for ReplayerConfig {
@@ -28,6 +34,7 @@ impl Default for ReplayerConfig {
             target_rate: 1_000.0,
             rate_bucket_secs: 1.0,
             honor_pauses: true,
+            max_batch: 256,
         }
     }
 }
@@ -96,44 +103,110 @@ impl Replayer {
         self
     }
 
+    /// Delivers the pending batch and attributes its events to the metrics
+    /// (ingress counter, rate buckets) with a single clock read.
+    fn flush_batch<S: EventSink + ?Sized>(
+        &self,
+        batch: &mut Vec<SharedEntry>,
+        sink: &mut S,
+        started: u64,
+        bucket_micros: u64,
+        graph_events: &mut u64,
+        buckets: &mut Vec<u64>,
+    ) -> io::Result<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        sink.send_batch(batch)?;
+        let n = batch.len() as u64;
+        batch.clear();
+        *graph_events += n;
+        if let Some(c) = &self.ingress_counter {
+            c.add(n);
+        }
+        let elapsed = self.clock.now_micros().saturating_sub(started);
+        let bucket = (elapsed / bucket_micros.max(1)) as usize;
+        if buckets.len() <= bucket {
+            buckets.resize(bucket + 1, 0);
+        }
+        buckets[bucket] += n;
+        Ok(())
+    }
+
     /// Replays entries into the sink at the configured rate, honouring
     /// control events. Returns the streaming metrics report.
+    ///
+    /// Accepts owned [`StreamEntry`] items or pre-shared [`SharedEntry`]
+    /// handles (the file pipeline allocates once on the reader thread).
+    /// Events that are on schedule are delivered one per pacing slot; once
+    /// the replayer falls behind, due events are coalesced into
+    /// [`EventSink::send_batch`] bursts of at most
+    /// [`ReplayerConfig::max_batch`] entries. The pending batch is always
+    /// flushed before a marker or pause, so a marker is only delivered
+    /// after every graph event streamed before it.
     pub fn replay<I, S>(&self, entries: I, sink: &mut S) -> io::Result<ReplayReport>
     where
-        I: IntoIterator<Item = StreamEntry>,
-        S: EventSink,
+        I: IntoIterator,
+        I::Item: Into<SharedEntry>,
+        S: EventSink + ?Sized,
     {
         let mut pacer = Pacer::new(self.config.target_rate);
         pacer.reset();
+        sink.open()?;
         let started = self.clock.now_micros();
         let mut graph_events = 0u64;
         let mut paused_micros = 0u64;
         let mut markers = Vec::new();
         let bucket_micros = (self.config.rate_bucket_secs * 1e6) as u64;
         let mut buckets: Vec<u64> = Vec::new();
+        let max_batch = self.config.max_batch.max(1);
+        let mut batch: Vec<SharedEntry> = Vec::with_capacity(max_batch);
+
+        macro_rules! flush_pending {
+            () => {
+                self.flush_batch(
+                    &mut batch,
+                    sink,
+                    started,
+                    bucket_micros,
+                    &mut graph_events,
+                    &mut buckets,
+                )?
+            };
+        }
 
         for entry in entries {
-            match &entry {
+            let entry: SharedEntry = entry.into();
+            match entry.as_ref() {
                 StreamEntry::Graph(_) => {
-                    let lateness = pacer.wait();
+                    let (schedule, now) = pacer.poll();
                     if let Some(h) = &self.emit_latency {
-                        h.record(lateness.as_micros() as u64);
+                        h.record(schedule.lateness_nanos / 1_000);
                     }
-                    sink.send(&entry)?;
-                    graph_events += 1;
-                    if let Some(c) = &self.ingress_counter {
-                        c.inc();
+                    if schedule.wait_nanos > 0 {
+                        // On schedule: deliver whatever coalesced while
+                        // catching up, sleep out the slot, then deliver
+                        // this event in it.
+                        flush_pending!();
+                        pacer.block_until(now + schedule.wait_nanos);
+                        batch.push(entry);
+                        flush_pending!();
+                    } else {
+                        // Behind schedule: coalesce with everything else
+                        // that is already due — one batched dispatch per
+                        // burst instead of one sink call per event.
+                        batch.push(entry);
+                        if batch.len() >= max_batch {
+                            flush_pending!();
+                        }
                     }
-                    let elapsed = self.clock.now_micros().saturating_sub(started);
-                    let bucket = (elapsed / bucket_micros.max(1)) as usize;
-                    if buckets.len() <= bucket {
-                        buckets.resize(bucket + 1, 0);
-                    }
-                    buckets[bucket] += 1;
                 }
                 StreamEntry::Marker(name) => {
                     // Markers flow through to the system under test *and*
-                    // are timestamped locally for later correlation.
+                    // are timestamped locally for later correlation. All
+                    // graph events streamed before the marker are
+                    // delivered (and flushed) first.
+                    flush_pending!();
                     sink.send(&entry)?;
                     sink.flush()?;
                     markers.push((name.clone(), self.clock.now_micros()));
@@ -142,6 +215,7 @@ impl Replayer {
                     pacer.set_speed(*factor);
                 }
                 StreamEntry::Control(ControlEvent::Pause(duration)) => {
+                    flush_pending!();
                     sink.flush()?;
                     if self.config.honor_pauses {
                         let pause_start = self.clock.now_micros();
@@ -152,7 +226,8 @@ impl Replayer {
                 }
             }
         }
-        sink.flush()?;
+        flush_pending!();
+        sink.close()?;
 
         let duration_micros = self.clock.now_micros().saturating_sub(started).max(1);
         let last = buckets.len().saturating_sub(1);
@@ -185,7 +260,7 @@ impl Replayer {
     }
 
     /// Replays a whole in-memory stream.
-    pub fn replay_stream<S: EventSink>(
+    pub fn replay_stream<S: EventSink + ?Sized>(
         &self,
         stream: &GraphStream,
         sink: &mut S,
@@ -380,6 +455,95 @@ mod tests {
             "active-time rate {} should be near target",
             report.achieved_rate
         );
+    }
+
+    /// Records the delivery pattern: which entries arrived singly vs.
+    /// batched, and the lifecycle calls.
+    #[derive(Default)]
+    struct PatternSink {
+        deliveries: Vec<Vec<StreamEntry>>,
+        opened: u32,
+        closed: u32,
+    }
+
+    impl EventSink for PatternSink {
+        fn open(&mut self) -> io::Result<()> {
+            self.opened += 1;
+            Ok(())
+        }
+
+        fn send(&mut self, entry: &StreamEntry) -> io::Result<()> {
+            self.deliveries.push(vec![entry.clone()]);
+            Ok(())
+        }
+
+        fn send_batch(&mut self, batch: &[SharedEntry]) -> io::Result<()> {
+            self.deliveries
+                .push(batch.iter().map(|e| e.as_ref().clone()).collect());
+            Ok(())
+        }
+
+        fn close(&mut self) -> io::Result<()> {
+            self.closed += 1;
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn behind_schedule_events_coalesce_into_batches() {
+        // Pacing effectively disabled: every event is due immediately, so
+        // the emitter should deliver large bursts, not per-event calls.
+        let replayer = Replayer::new(ReplayerConfig {
+            target_rate: 1e9,
+            ..Default::default()
+        });
+        let mut sink = PatternSink::default();
+        let report = replayer.replay_stream(&vertices(1_000), &mut sink).unwrap();
+        assert_eq!(report.graph_events, 1_000);
+        let total: usize = sink.deliveries.iter().map(Vec::len).sum();
+        assert_eq!(total, 1_000);
+        assert!(
+            sink.deliveries.len() < 100,
+            "expected coalesced bursts, got {} deliveries",
+            sink.deliveries.len()
+        );
+        let largest = sink.deliveries.iter().map(Vec::len).max().unwrap();
+        assert!(largest > 1, "no batching happened");
+        assert!(largest <= 256, "batch exceeded max_batch: {largest}");
+        assert_eq!(sink.opened, 1);
+        assert_eq!(sink.closed, 1);
+    }
+
+    #[test]
+    fn marker_flushes_pending_batch_first() {
+        let mut stream = vertices(100);
+        stream.push(StreamEntry::marker("mid"));
+        stream.extend(vertices(100));
+        let replayer = Replayer::new(ReplayerConfig {
+            target_rate: 1e9,
+            ..Default::default()
+        });
+        let mut sink = PatternSink::default();
+        replayer.replay_stream(&stream, &mut sink).unwrap();
+        let flat: Vec<StreamEntry> = sink.deliveries.into_iter().flatten().collect();
+        assert_eq!(flat.len(), 201);
+        // Every graph event streamed before the marker is delivered before
+        // it, in stream order.
+        let marker_pos = flat.iter().position(|e| e.is_marker()).unwrap();
+        assert_eq!(marker_pos, 100);
+        assert_eq!(flat, stream.entries());
+    }
+
+    #[test]
+    fn batch_cap_is_respected() {
+        let replayer = Replayer::new(ReplayerConfig {
+            target_rate: 1e9,
+            max_batch: 16,
+            ..Default::default()
+        });
+        let mut sink = PatternSink::default();
+        replayer.replay_stream(&vertices(200), &mut sink).unwrap();
+        assert!(sink.deliveries.iter().all(|d| d.len() <= 16));
     }
 
     #[test]

@@ -117,7 +117,7 @@ impl ReplaySession {
 
     /// Streams `path` through the pipeline into `sink`. The file is read
     /// and parsed on a dedicated thread; this thread paces and emits.
-    pub fn run<S: EventSink>(
+    pub fn run<S: EventSink + ?Sized>(
         &self,
         path: impl AsRef<Path>,
         sink: &mut S,
@@ -170,16 +170,21 @@ impl ReplaySession {
 /// The reader→emitter channel, instrumented: time blocked on `recv` is
 /// reader stall; occupancy after each take feeds the queue-depth gauge.
 struct InstrumentedRx {
-    rx: Receiver<StreamEntry>,
+    rx: Receiver<SharedEntry>,
     queue_depth: Gauge,
     reader_stall: Counter,
     max_depth: Arc<AtomicI64>,
 }
 
 impl Iterator for InstrumentedRx {
-    type Item = StreamEntry;
+    type Item = SharedEntry;
 
-    fn next(&mut self) -> Option<StreamEntry> {
+    fn next(&mut self) -> Option<SharedEntry> {
+        // Sample occupancy before taking as well as after: a batching
+        // emitter drains a full channel so fast that the post-pop length
+        // alone never observes the capacity-pinned state.
+        self.max_depth
+            .fetch_max(self.rx.len() as i64, Ordering::Relaxed);
         let start = Instant::now();
         let item = self.rx.recv().ok();
         self.reader_stall.add(start.elapsed().as_micros() as u64);
@@ -191,12 +196,16 @@ impl Iterator for InstrumentedRx {
 }
 
 /// Times every `send`/`flush`, accumulating sink stall.
-struct InstrumentedSink<'a, S> {
+struct InstrumentedSink<'a, S: ?Sized> {
     inner: &'a mut S,
     sink_stall: Counter,
 }
 
-impl<S: EventSink> EventSink for InstrumentedSink<'_, S> {
+impl<S: EventSink + ?Sized> EventSink for InstrumentedSink<'_, S> {
+    fn open(&mut self) -> std::io::Result<()> {
+        self.inner.open()
+    }
+
     fn send(&mut self, entry: &StreamEntry) -> std::io::Result<()> {
         let start = Instant::now();
         let result = self.inner.send(entry);
@@ -204,9 +213,23 @@ impl<S: EventSink> EventSink for InstrumentedSink<'_, S> {
         result
     }
 
+    fn send_batch(&mut self, batch: &[SharedEntry]) -> std::io::Result<()> {
+        let start = Instant::now();
+        let result = self.inner.send_batch(batch);
+        self.sink_stall.add(start.elapsed().as_micros() as u64);
+        result
+    }
+
     fn flush(&mut self) -> std::io::Result<()> {
         let start = Instant::now();
         let result = self.inner.flush();
+        self.sink_stall.add(start.elapsed().as_micros() as u64);
+        result
+    }
+
+    fn close(&mut self) -> std::io::Result<()> {
+        let start = Instant::now();
+        let result = self.inner.close();
         self.sink_stall.add(start.elapsed().as_micros() as u64);
         result
     }

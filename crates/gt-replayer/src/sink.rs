@@ -40,19 +40,113 @@ pub enum SinkEventKind {
 }
 
 /// A destination for replayed stream entries.
+///
+/// # Lifecycle and batch contract
+///
+/// The replayer drives a sink through a fixed lifecycle:
+///
+/// 1. [`open`](EventSink::open) once, before the first entry;
+/// 2. any mix of [`send`](EventSink::send) (single entries) and
+///    [`send_batch`](EventSink::send_batch) (entries that became due
+///    together), interleaved with [`flush`](EventSink::flush) at markers and
+///    pauses;
+/// 3. [`close`](EventSink::close) once, after the last entry.
+///
+/// Ordering guarantees: entries arrive in stream order, whether delivered
+/// singly or batched, and a marker is only delivered after every graph event
+/// streamed before it has been handed to the sink and flushed. Batches carry
+/// [`SharedEntry`] handles so connectors can forward events downstream by
+/// cloning the `Arc` instead of the payload.
+///
+/// Every method except [`send`](EventSink::send) has a default: sinks that
+/// predate the batch contract keep working unchanged, with
+/// [`send_batch`](EventSink::send_batch) falling back to per-entry delivery.
 pub trait EventSink {
+    /// Prepares the sink for a replay run. Default: no-op.
+    fn open(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+
     /// Delivers one entry.
     fn send(&mut self, entry: &StreamEntry) -> io::Result<()>;
 
-    /// Flushes buffered entries (called at replay end and around pauses).
+    /// Delivers a batch of entries that became due together (the replayer
+    /// coalesces events sharing a pacing deadline). Default: per-entry
+    /// [`send`](EventSink::send) fallback.
+    fn send_batch(&mut self, batch: &[SharedEntry]) -> io::Result<()> {
+        for entry in batch {
+            self.send(entry)?;
+        }
+        Ok(())
+    }
+
+    /// Flushes buffered entries (called at markers, around pauses, and at
+    /// replay end).
     fn flush(&mut self) -> io::Result<()> {
         Ok(())
+    }
+
+    /// Finishes a replay run. Default: [`flush`](EventSink::flush).
+    fn close(&mut self) -> io::Result<()> {
+        self.flush()
     }
 
     /// Takes the notable events accumulated since the last drain. Plain
     /// sinks have none.
     fn drain_events(&mut self) -> Vec<SinkEvent> {
         Vec::new()
+    }
+}
+
+impl<S: EventSink + ?Sized> EventSink for &mut S {
+    fn open(&mut self) -> io::Result<()> {
+        (**self).open()
+    }
+
+    fn send(&mut self, entry: &StreamEntry) -> io::Result<()> {
+        (**self).send(entry)
+    }
+
+    fn send_batch(&mut self, batch: &[SharedEntry]) -> io::Result<()> {
+        (**self).send_batch(batch)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        (**self).flush()
+    }
+
+    fn close(&mut self) -> io::Result<()> {
+        (**self).close()
+    }
+
+    fn drain_events(&mut self) -> Vec<SinkEvent> {
+        (**self).drain_events()
+    }
+}
+
+impl<S: EventSink + ?Sized> EventSink for Box<S> {
+    fn open(&mut self) -> io::Result<()> {
+        (**self).open()
+    }
+
+    fn send(&mut self, entry: &StreamEntry) -> io::Result<()> {
+        (**self).send(entry)
+    }
+
+    fn send_batch(&mut self, batch: &[SharedEntry]) -> io::Result<()> {
+        (**self).send_batch(batch)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        (**self).flush()
+    }
+
+    fn close(&mut self) -> io::Result<()> {
+        (**self).close()
+    }
+
+    fn drain_events(&mut self) -> Vec<SinkEvent> {
+        (**self).drain_events()
     }
 }
 
@@ -86,6 +180,18 @@ impl<W: Write> EventSink for WriterSink<W> {
         self.inner.write_all(self.buf.as_bytes())
     }
 
+    fn send_batch(&mut self, batch: &[SharedEntry]) -> io::Result<()> {
+        // Serialize the whole batch into the reused buffer and hand it to
+        // the writer as one `write_all` — one syscall per burst instead of
+        // one per event on unbuffered writers.
+        self.buf.clear();
+        for entry in batch {
+            gt_core::format::write_line(entry, &mut self.buf);
+            self.buf.push('\n');
+        }
+        self.inner.write_all(self.buf.as_bytes())
+    }
+
     fn flush(&mut self) -> io::Result<()> {
         self.inner.flush()
     }
@@ -112,6 +218,10 @@ impl EventSink for TcpSink {
         self.inner.send(entry)
     }
 
+    fn send_batch(&mut self, batch: &[SharedEntry]) -> io::Result<()> {
+        self.inner.send_batch(batch)
+    }
+
     fn flush(&mut self) -> io::Result<()> {
         self.inner.flush()
     }
@@ -119,22 +229,38 @@ impl EventSink for TcpSink {
 
 /// Sends entries into a crossbeam channel — the in-process connector used
 /// by the embedded systems under test.
+///
+/// The channel carries [`SharedEntry`] handles: batched delivery clones the
+/// `Arc` per entry, never the payload.
 pub struct ChannelSink {
-    tx: Sender<StreamEntry>,
+    tx: Sender<SharedEntry>,
 }
 
 impl ChannelSink {
     /// Wraps a sender.
-    pub fn new(tx: Sender<StreamEntry>) -> Self {
+    pub fn new(tx: Sender<SharedEntry>) -> Self {
         ChannelSink { tx }
     }
+}
+
+fn channel_gone() -> io::Error {
+    io::Error::new(io::ErrorKind::BrokenPipe, "receiver disconnected")
 }
 
 impl EventSink for ChannelSink {
     fn send(&mut self, entry: &StreamEntry) -> io::Result<()> {
         self.tx
-            .send(entry.clone())
-            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "receiver disconnected"))
+            .send(SharedEntry::new(entry.clone()))
+            .map_err(|_| channel_gone())
+    }
+
+    fn send_batch(&mut self, batch: &[SharedEntry]) -> io::Result<()> {
+        for entry in batch {
+            self.tx
+                .send(SharedEntry::clone(entry))
+                .map_err(|_| channel_gone())?;
+        }
+        Ok(())
     }
 }
 
@@ -200,16 +326,71 @@ mod tests {
             sink.send(&e).unwrap();
         }
         drop(sink);
-        let received: Vec<StreamEntry> = rx.iter().collect();
+        let received: Vec<StreamEntry> = rx.iter().map(|e| e.as_ref().clone()).collect();
         assert_eq!(received, sample_entries());
     }
 
     #[test]
+    fn channel_sink_batch_shares_entries() {
+        let (tx, rx) = crossbeam::channel::unbounded();
+        let mut sink = ChannelSink::new(tx);
+        let batch: Vec<SharedEntry> = sample_entries().into_iter().map(SharedEntry::new).collect();
+        sink.send_batch(&batch).unwrap();
+        drop(sink);
+        let received: Vec<SharedEntry> = rx.iter().collect();
+        assert_eq!(received.len(), batch.len());
+        // Batched delivery clones the Arc, not the payload.
+        for (sent, got) in batch.iter().zip(&received) {
+            assert!(SharedEntry::ptr_eq(sent, got));
+        }
+    }
+
+    #[test]
     fn channel_sink_errors_when_receiver_gone() {
-        let (tx, rx) = crossbeam::channel::unbounded::<StreamEntry>();
+        let (tx, rx) = crossbeam::channel::unbounded::<SharedEntry>();
         drop(rx);
         let mut sink = ChannelSink::new(tx);
         assert!(sink.send(&StreamEntry::marker("x")).is_err());
+        assert!(sink
+            .send_batch(&[SharedEntry::new(StreamEntry::marker("y"))])
+            .is_err());
+    }
+
+    #[test]
+    fn writer_sink_batch_matches_per_event_bytes() {
+        let batch: Vec<SharedEntry> = sample_entries().into_iter().map(SharedEntry::new).collect();
+        let mut batched = WriterSink::new(Vec::new());
+        batched.send_batch(&batch).unwrap();
+        let mut single = WriterSink::new(Vec::new());
+        for e in &batch {
+            single.send(e).unwrap();
+        }
+        assert_eq!(batched.into_inner(), single.into_inner());
+    }
+
+    #[test]
+    fn default_batch_falls_back_to_per_event_send() {
+        let mut sink = CollectSink::new();
+        let batch: Vec<SharedEntry> = sample_entries().into_iter().map(SharedEntry::new).collect();
+        sink.open().unwrap();
+        sink.send_batch(&batch).unwrap();
+        sink.close().unwrap();
+        assert_eq!(sink.entries, sample_entries());
+    }
+
+    #[test]
+    fn blanket_impls_forward_through_references_and_boxes() {
+        let mut sink = CollectSink::new();
+        {
+            let by_ref: &mut CollectSink = &mut sink;
+            by_ref.send(&StreamEntry::marker("ref")).unwrap();
+        }
+        let mut boxed: Box<dyn EventSink + Send> = Box::new(sink);
+        boxed.send(&StreamEntry::marker("boxed")).unwrap();
+        boxed
+            .send_batch(&[SharedEntry::new(StreamEntry::marker("batched"))])
+            .unwrap();
+        boxed.close().unwrap();
     }
 
     #[test]

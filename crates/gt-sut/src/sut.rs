@@ -1,0 +1,123 @@
+//! The [`SystemUnderTest`] lifecycle trait and its final report.
+
+use std::any::Any;
+use std::io;
+use std::time::Duration;
+
+use gt_metrics::MetricsHub;
+use gt_replayer::EventSink;
+
+use crate::levels::EvaluationLevel;
+
+/// A running stream-processing platform under evaluation.
+///
+/// Implementations own the platform's threads and queues for the duration
+/// of an experiment. The harness drives the lifecycle:
+///
+/// 1. a registry builder spawns the platform (the "start" half);
+/// 2. [`connector`](SystemUnderTest::connector) hands out the replayer-side
+///    [`EventSink`] that feeds it — the batch-aware sink contract applies,
+///    so implementations receive coalesced [`gt_core shared
+///    entries`](gt_replayer::EventSink::send_batch) and must forward them
+///    without cloning event payloads;
+/// 3. after the replay, [`quiesce`](SystemUnderTest::quiesce) waits for
+///    in-flight events to drain (all connectors must be dropped first if
+///    the platform requires sole ownership);
+/// 4. [`shutdown`](SystemUnderTest::shutdown) stops the platform and
+///    returns its final [`SutReport`], which the harness folds into the
+///    experiment's result log.
+pub trait SystemUnderTest: Send {
+    /// The platform's registry name (stable across runs; used as the
+    /// metric source label for its Level-1 samples).
+    fn name(&self) -> &str;
+
+    /// The evaluation level this platform grants (paper §4): `Level0` for
+    /// a pure black box, `Level1` and up when
+    /// [`hub`](SystemUnderTest::hub) exposes native metrics.
+    fn level(&self) -> EvaluationLevel;
+
+    /// A connector plugging this platform into the replayer. May be called
+    /// more than once (multi-connection replay); each connector must be
+    /// independently usable and dropped before shutdown.
+    fn connector(&mut self) -> io::Result<Box<dyn EventSink + Send>>;
+
+    /// The platform's native metrics hub — the Level-1 hook. Harness
+    /// logger threads sample it live and merge the series into the result
+    /// log. `None` for black-box platforms.
+    fn hub(&self) -> Option<&MetricsHub> {
+        None
+    }
+
+    /// Waits until all ingested events have been fully processed, or the
+    /// timeout elapses. Returns whether the platform drained. The default
+    /// suits platforms whose shutdown already drains their queues.
+    fn quiesce(&mut self, timeout: Duration) -> bool {
+        let _ = timeout;
+        true
+    }
+
+    /// Stops the platform and returns its final report.
+    fn shutdown(self: Box<Self>) -> SutReport;
+
+    /// Mutable access as [`Any`], for platform-specific probes (e.g. a
+    /// bench sampling tide-graph's leaderboard mid-run). Implement as
+    /// `fn as_any(&mut self) -> &mut dyn Any { self }`.
+    fn as_any(&mut self) -> &mut dyn Any;
+
+    /// Consumes the box into [`Any`], for typed shutdown paths that need
+    /// more than the generic [`SutReport`] (e.g. final algorithm results).
+    /// Implement as `fn into_any(self: Box<Self>) -> Box<dyn Any> { self }`.
+    fn into_any(self: Box<Self>) -> Box<dyn Any>;
+}
+
+/// What a platform reported when it shut down: a flat list of named final
+/// values (events processed, entity counts, per-component totals).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SutReport {
+    /// The platform's registry name.
+    pub name: String,
+    /// Final named values, in insertion order.
+    pub summary: Vec<(String, f64)>,
+}
+
+impl SutReport {
+    /// An empty report for the named platform.
+    pub fn new(name: impl Into<String>) -> Self {
+        SutReport {
+            name: name.into(),
+            summary: Vec::new(),
+        }
+    }
+
+    /// Appends one named value (builder style).
+    #[must_use]
+    pub fn with(mut self, metric: impl Into<String>, value: f64) -> Self {
+        self.summary.push((metric.into(), value));
+        self
+    }
+
+    /// Looks up a value by metric name.
+    pub fn get(&self, metric: &str) -> Option<f64> {
+        self.summary
+            .iter()
+            .find(|(name, _)| name == metric)
+            .map(|&(_, value)| value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_builder_and_lookup() {
+        let report = SutReport::new("demo")
+            .with("events", 42.0)
+            .with("edges", 7.0);
+        assert_eq!(report.name, "demo");
+        assert_eq!(report.get("events"), Some(42.0));
+        assert_eq!(report.get("edges"), Some(7.0));
+        assert_eq!(report.get("missing"), None);
+        assert_eq!(report.summary.len(), 2);
+    }
+}

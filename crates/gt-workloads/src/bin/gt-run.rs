@@ -1,0 +1,118 @@
+//! `gt-run` — one registry-selected experiment from the command line.
+//!
+//! Streams a graph stream file through the file-backed replay pipeline
+//! into a platform chosen by name from the built-in [`SutRegistry`]
+//! (`tide-store`, `tide-graph`), samples its native metrics at Level 1+,
+//! and prints the platform's final report plus run health. This is the
+//! paper's Figure 2 loop as a tool: generate a stream with `gt-generate`,
+//! then run it against any registered system under test.
+//!
+//! ```text
+//! gt-run <stream.csv> --sut <name> [--rate R] [--opt key=value ...]
+//! ```
+
+use std::process::ExitCode;
+
+use gt_harness::{run_file_sut_experiment, EvaluationLevel, FileRunPlan, SutOptions, SutRegistry};
+
+struct Args {
+    path: String,
+    sut: String,
+    rate: f64,
+    options: SutOptions,
+}
+
+/// The registry of built-in platforms.
+fn builtin_registry() -> SutRegistry {
+    let mut registry = SutRegistry::new();
+    tide_store::sut::register(&mut registry);
+    tide_graph::sut::register(&mut registry);
+    registry
+}
+
+fn usage() -> String {
+    let names = builtin_registry().names().join("|");
+    format!("usage: gt-run <stream.csv> --sut <{names}> [--rate R] [--opt key=value ...]")
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let mut path = None;
+    let mut sut = None;
+    let mut rate: f64 = 10_000.0;
+    let mut options = SutOptions::new();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--sut" => sut = Some(args.next().ok_or("--sut needs a value")?),
+            "--rate" => {
+                rate = args
+                    .next()
+                    .ok_or("--rate needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad rate: {e}"))?;
+                if !rate.is_finite() || rate <= 0.0 {
+                    return Err("rate must be positive".into());
+                }
+            }
+            "--opt" => {
+                let pair = args.next().ok_or("--opt needs key=value")?;
+                let (key, value) = pair
+                    .split_once('=')
+                    .ok_or_else(|| format!("bad option `{pair}`: expected key=value"))?;
+                options.insert(key, value);
+            }
+            "--help" | "-h" => return Err(usage()),
+            other if !other.starts_with('-') && path.is_none() => path = Some(other.to_owned()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(Args {
+        path: path.ok_or_else(usage)?,
+        sut: sut.ok_or_else(usage)?,
+        rate,
+        options,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let registry = builtin_registry();
+    let plan = FileRunPlan::new(&args.path, args.rate).at_level(EvaluationLevel::Level2);
+    let outcome = match run_file_sut_experiment(plan, &registry, &args.sut, &args.options) {
+        Ok(outcome) => outcome,
+        Err(error) => {
+            eprintln!("gt-run: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let replay = &outcome.run.report;
+    println!("# gt-run: {} @ {} events/s", args.sut, args.rate);
+    println!("entries read        {:>12}", replay.entries_read);
+    println!("graph events        {:>12}", replay.replay.graph_events);
+    println!(
+        "replay duration [s] {:>12.2}",
+        replay.replay.duration_micros as f64 / 1e6
+    );
+    println!("achieved rate [e/s] {:>12.0}", replay.replay.achieved_rate);
+    println!(
+        "emit latency p99 [us] {:>10}",
+        replay.emit_latency.quantile_upper_bound(0.99)
+    );
+    println!("quiesced            {:>12}", outcome.quiesced);
+    println!("\n# {} final report", outcome.report.name);
+    for (metric, value) in &outcome.report.summary {
+        println!("{metric:<19} {value:>12.0}");
+    }
+    println!(
+        "\n# merged result log: {} records",
+        outcome.run.log.records().len()
+    );
+    ExitCode::SUCCESS
+}

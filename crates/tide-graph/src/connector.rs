@@ -55,6 +55,25 @@ impl<P: Partition> EventSink for EngineConnector<P> {
         }
         Ok(())
     }
+
+    fn send_batch(&mut self, batch: &[SharedEntry]) -> io::Result<()> {
+        for entry in batch {
+            match SharedGraphEvent::from_entry(entry) {
+                // The shared handle moves into the owner's mailbox: no
+                // per-event payload clone on the batched ingest path.
+                Some(event) => {
+                    self.engine.ingest_shared(event);
+                    self.events_sent += 1;
+                }
+                None => {
+                    if let StreamEntry::Marker(name) = entry.as_ref() {
+                        self.engine.ingest_marker(name);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -68,7 +68,7 @@ pub struct EngineStats {
 }
 
 enum Msg<M> {
-    Event(GraphEvent),
+    Event(SharedGraphEvent),
     /// Broadcast half of vertex removal: strip edges pointing at the id.
     Purge(VertexId),
     Compute(VertexId, M),
@@ -199,14 +199,21 @@ impl<P: Partition> Engine<P> {
     /// Routes one mutation event to its owner worker. Vertex removals are
     /// additionally broadcast so every worker strips dangling references.
     pub fn ingest(&self, event: GraphEvent) {
-        if let GraphEvent::RemoveVertex { id } = &event {
+        self.ingest_shared(SharedGraphEvent::new(event));
+    }
+
+    /// Routes an already-shared mutation event — the batched connector
+    /// path, which moves the replayer's `Arc` handle straight into the
+    /// owner's mailbox without copying the event payload.
+    pub fn ingest_shared(&self, event: SharedGraphEvent) {
+        if let GraphEvent::RemoveVertex { id } = event.event() {
             for (w, tx) in self.senders.iter().enumerate() {
                 if w != owner(*id, self.workers) {
                     let _ = tx.send(Msg::Purge(*id));
                 }
             }
         }
-        let target = match &event {
+        let target = match event.event() {
             GraphEvent::AddVertex { id, .. }
             | GraphEvent::RemoveVertex { id }
             | GraphEvent::UpdateVertex { id, .. } => *id,
@@ -349,7 +356,7 @@ fn worker_loop<P: Partition>(ctx: WorkerCtx<P::Msg>, mut partition: P) -> P {
             match msg {
                 Msg::Event(event) => {
                     busy_work(ctx.config.event_cost);
-                    partition.apply_event_deferred(&event, &mut dirty);
+                    partition.apply_event_deferred(event.event(), &mut dirty);
                     ctx.events.inc();
                 }
                 Msg::Purge(id) => {

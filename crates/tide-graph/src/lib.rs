@@ -41,9 +41,11 @@ pub mod engine;
 pub mod program;
 pub mod rank;
 pub mod sssp;
+pub mod sut;
 
 pub use connector::EngineConnector;
 pub use engine::{Engine, EngineConfig, EngineStats, TideGraph};
 pub use program::Partition;
 pub use rank::RankParams;
 pub use sssp::{start_sssp, DistancePartition, SsspEngine};
+pub use sut::TideGraphSut;

@@ -1,0 +1,197 @@
+//! The [`SystemUnderTest`] adapter for the engine — everything the harness
+//! needs to spawn, feed, observe, and stop a `tide-graph` by name.
+
+use std::any::Any;
+use std::io;
+use std::sync::Arc;
+use std::time::Duration;
+
+use gt_metrics::MetricsHub;
+use gt_replayer::EventSink;
+use gt_sut::{EvaluationLevel, SutOptions, SutRegistry, SutReport, SystemUnderTest};
+
+use crate::connector::EngineConnector;
+use crate::engine::{EngineConfig, EngineStats, TideGraph};
+use crate::rank::RankParams;
+
+/// The registry name of this platform.
+pub const SUT_NAME: &str = "tide-graph";
+
+/// A running engine behind the [`SystemUnderTest`] boundary.
+///
+/// Recognized [`SutOptions`]:
+///
+/// | option | meaning | default |
+/// |---|---|---|
+/// | `workers` | worker threads | 4 |
+/// | `alpha` | teleport probability of the rank program | 0.15 |
+/// | `epsilon` | push threshold of the rank program | 1e-4 |
+/// | `reseed` | re-seeded mass fraction on topology change | 1.0 |
+/// | `event_cost_us` | simulated cost per mutation event, µs | 0 |
+/// | `share_cost_us` | simulated cost per computational message, µs | 0 |
+/// | `board_refresh_every` | result-board publish period (messages) | 256 |
+/// | `drain_batch` | mailbox messages drained per round | 64 |
+pub struct TideGraphSut {
+    engine: Option<Arc<TideGraph>>,
+    hub: MetricsHub,
+}
+
+impl TideGraphSut {
+    /// Spawns an engine from the option bag (unset options keep the
+    /// [`EngineConfig`] defaults).
+    pub fn start(options: &SutOptions) -> io::Result<Self> {
+        let defaults = EngineConfig::default();
+        let rank_defaults = RankParams::default();
+        let config = EngineConfig {
+            workers: options.get_usize("workers")?.unwrap_or(defaults.workers),
+            rank: RankParams {
+                alpha: options.get_f64("alpha")?.unwrap_or(rank_defaults.alpha),
+                epsilon: options.get_f64("epsilon")?.unwrap_or(rank_defaults.epsilon),
+                reseed: options.get_f64("reseed")?.unwrap_or(rank_defaults.reseed),
+            },
+            event_cost: options
+                .get_duration_micros("event_cost_us")?
+                .unwrap_or(defaults.event_cost),
+            share_cost: options
+                .get_duration_micros("share_cost_us")?
+                .unwrap_or(defaults.share_cost),
+            board_refresh_every: options
+                .get_u64("board_refresh_every")?
+                .unwrap_or(defaults.board_refresh_every),
+            drain_batch: options
+                .get_usize("drain_batch")?
+                .unwrap_or(defaults.drain_batch),
+        };
+        if config.workers == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "option `workers` must be positive",
+            ));
+        }
+        let hub = MetricsHub::new();
+        let engine = Arc::new(TideGraph::start(config, &hub));
+        Ok(TideGraphSut {
+            engine: Some(engine),
+            hub,
+        })
+    }
+
+    /// The running engine (board snapshots, marker log, backlog probes).
+    pub fn engine(&self) -> &Arc<TideGraph> {
+        self.engine.as_ref().expect("engine is running")
+    }
+
+    /// Stops the engine and returns its full statistics — the typed
+    /// escape hatch for experiments that need [`EngineStats::ranks`]
+    /// rather than the flattened [`SutReport`].
+    ///
+    /// # Panics
+    /// If a connector (or any other clone of the engine handle) is still
+    /// alive: drop those first so the engine can be joined.
+    pub fn shutdown_engine(&mut self) -> EngineStats {
+        let engine = self.engine.take().expect("engine is running");
+        let engine = Arc::try_unwrap(engine)
+            .ok()
+            .expect("drop all connectors before shutting the engine down");
+        engine.shutdown()
+    }
+}
+
+impl SystemUnderTest for TideGraphSut {
+    fn name(&self) -> &str {
+        SUT_NAME
+    }
+
+    fn level(&self) -> EvaluationLevel {
+        // Instrumented source: per-worker queue/ops/busy metrics in the
+        // hub, plus the in-source result board.
+        EvaluationLevel::Level2
+    }
+
+    fn connector(&mut self) -> io::Result<Box<dyn EventSink + Send>> {
+        Ok(Box::new(EngineConnector::new(Arc::clone(self.engine()))))
+    }
+
+    fn hub(&self) -> Option<&MetricsHub> {
+        Some(&self.hub)
+    }
+
+    fn quiesce(&mut self, timeout: Duration) -> bool {
+        // The mailboxes are unbounded, so the stream can end long before
+        // the workers have drained — Figure 3d's pathology. Wait for the
+        // backlog to clear before reading final results.
+        self.engine().quiesce(timeout)
+    }
+
+    fn shutdown(mut self: Box<Self>) -> SutReport {
+        let stats = self.shutdown_engine();
+        SutReport::new(SUT_NAME)
+            .with("events", stats.events as f64)
+            .with("shares", stats.shares as f64)
+            .with("vertices", stats.ranks.len() as f64)
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+/// Registers this platform under [`SUT_NAME`].
+pub fn register(registry: &mut SutRegistry) {
+    registry.register(SUT_NAME, |options| {
+        Ok(Box::new(TideGraphSut::start(options)?) as Box<dyn SystemUnderTest>)
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gt_core::prelude::*;
+
+    #[test]
+    fn registry_run_processes_events() {
+        let mut registry = SutRegistry::new();
+        register(&mut registry);
+        let options = SutOptions::new().set("workers", 2).set("epsilon", 1e-3);
+        let mut sut = registry.start(SUT_NAME, &options).unwrap();
+        assert_eq!(sut.name(), SUT_NAME);
+        assert!(sut.level().includes(EvaluationLevel::Level2));
+        let mut connector = sut.connector().unwrap();
+        let entries: Vec<SharedEntry> = (0..40u64)
+            .map(|i| {
+                SharedEntry::new(StreamEntry::graph(GraphEvent::AddVertex {
+                    id: VertexId(i),
+                    state: State::empty(),
+                }))
+            })
+            .collect();
+        connector.send_batch(&entries).unwrap();
+        connector.close().unwrap();
+        assert!(sut.quiesce(Duration::from_secs(10)));
+        drop(connector);
+        let report = sut.shutdown();
+        assert_eq!(report.get("events"), Some(40.0));
+        assert_eq!(report.get("vertices"), Some(40.0));
+    }
+
+    #[test]
+    fn typed_shutdown_returns_ranks() {
+        let mut sut = TideGraphSut::start(&SutOptions::new().set("workers", 1)).unwrap();
+        sut.engine().ingest(GraphEvent::AddVertex {
+            id: VertexId(7),
+            state: State::empty(),
+        });
+        assert!(sut.engine().quiesce(Duration::from_secs(10)));
+        let stats = sut.shutdown_engine();
+        assert!(stats.ranks.contains_key(&VertexId(7)));
+    }
+
+    #[test]
+    fn zero_workers_rejected() {
+        assert!(TideGraphSut::start(&SutOptions::new().set("workers", 0)).is_err());
+    }
+}

@@ -17,11 +17,17 @@ use gt_replayer::EventSink;
 use crate::store::{StoreClient, Transaction};
 
 /// Batches replayed events into store transactions.
+///
+/// The batched sink path ([`EventSink::send_batch`]) shares the replayer's
+/// event allocations into the transaction — only the `Arc` is cloned per
+/// event. The per-event [`EventSink::send`] fallback still accepts borrowed
+/// entries (and must copy them once into shared handles).
 pub struct BatchingConnector {
     client: StoreClient,
     batch_size: usize,
-    pending: Vec<GraphEvent>,
+    pending: Vec<SharedGraphEvent>,
     submitted_tx: u64,
+    submitted_events: u64,
 }
 
 impl BatchingConnector {
@@ -36,6 +42,7 @@ impl BatchingConnector {
             batch_size,
             pending: Vec::with_capacity(batch_size),
             submitted_tx: 0,
+            submitted_events: 0,
         }
     }
 
@@ -44,15 +51,37 @@ impl BatchingConnector {
         self.submitted_tx
     }
 
+    /// Events submitted so far (excludes events still pending).
+    pub fn submitted_events(&self) -> u64 {
+        self.submitted_events
+    }
+
+    /// Events accumulated but not yet submitted.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn push(&mut self, event: SharedGraphEvent) -> io::Result<()> {
+        self.pending.push(event);
+        if self.pending.len() >= self.batch_size {
+            self.submit_pending()?;
+        }
+        Ok(())
+    }
+
     fn submit_pending(&mut self) -> io::Result<()> {
         if self.pending.is_empty() {
             return Ok(());
         }
-        let events = std::mem::take(&mut self.pending);
+        // Drain rather than take: the transaction gets an exactly-sized
+        // allocation while `pending` keeps its capacity for the next batch.
+        let events: Vec<SharedGraphEvent> = self.pending.drain(..).collect();
+        let count = events.len() as u64;
         self.client
             .submit(Transaction { events })
             .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "store shut down"))?;
         self.submitted_tx += 1;
+        self.submitted_events += count;
         Ok(())
     }
 }
@@ -60,18 +89,26 @@ impl BatchingConnector {
 impl EventSink for BatchingConnector {
     fn send(&mut self, entry: &StreamEntry) -> io::Result<()> {
         match entry {
-            StreamEntry::Graph(event) => {
-                self.pending.push(event.clone());
-                if self.pending.len() >= self.batch_size {
-                    self.submit_pending()?;
-                }
-                Ok(())
-            }
+            StreamEntry::Graph(event) => self.push(SharedGraphEvent::new(event.clone())),
             // Markers flush so that everything streamed before the marker
             // is committed when the marker's timestamp is taken.
             StreamEntry::Marker(_) => self.submit_pending(),
             StreamEntry::Control(_) => Ok(()),
         }
+    }
+
+    fn send_batch(&mut self, batch: &[SharedEntry]) -> io::Result<()> {
+        for entry in batch {
+            match SharedGraphEvent::from_entry(entry) {
+                Some(event) => self.push(event)?,
+                None => {
+                    if entry.is_marker() {
+                        self.submit_pending()?;
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 
     fn flush(&mut self) -> io::Result<()> {
@@ -144,6 +181,43 @@ mod tests {
         let stats = store.shutdown();
         assert_eq!(stats.events, 200);
         assert_eq!(stats.graph.vertex_count(), 200);
+    }
+
+    #[test]
+    fn batched_dispatch_shares_events_and_flushes_at_markers() {
+        let hub = MetricsHub::new();
+        let store = fast_store(&hub);
+        let mut connector = BatchingConnector::new(store.client(), 10);
+        let entries: Vec<SharedEntry> = stream(25)
+            .into_entries()
+            .into_iter()
+            .map(SharedEntry::new)
+            .collect();
+        connector.send_batch(&entries).unwrap();
+        // 25 events: two full batches, the trailing marker flushes the 5.
+        assert_eq!(connector.submitted_transactions(), 3);
+        assert_eq!(connector.submitted_events(), 25);
+        assert_eq!(connector.pending_len(), 0);
+        let stats = store.shutdown();
+        assert_eq!(stats.events, 25);
+        assert_eq!(stats.graph.vertex_count(), 25);
+    }
+
+    #[test]
+    fn pending_buffer_keeps_capacity_across_batches() {
+        let hub = MetricsHub::new();
+        let store = fast_store(&hub);
+        let mut connector = BatchingConnector::new(store.client(), 16);
+        for entry in stream(100).into_entries() {
+            connector.send(&entry).unwrap();
+        }
+        connector.flush().unwrap();
+        assert!(
+            connector.pending.capacity() >= 16,
+            "pending buffer lost its allocation: capacity {}",
+            connector.pending.capacity()
+        );
+        store.shutdown();
     }
 
     #[test]

@@ -27,6 +27,8 @@
 
 pub mod connector;
 pub mod store;
+pub mod sut;
 
 pub use connector::BatchingConnector;
 pub use store::{StoreClient, StoreClosed, StoreConfig, StoreStats, TideStore, Transaction};
+pub use sut::TideStoreSut;

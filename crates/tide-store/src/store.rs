@@ -42,17 +42,28 @@ impl Default for StoreConfig {
 
 /// A write transaction: a batch of graph events committed atomically under
 /// one global timestamp.
+///
+/// Events are carried as [`SharedGraphEvent`] handles: a transaction built
+/// from the batched connector path shares the replayer's allocations all
+/// the way into the shard logs — no per-event payload copies.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Transaction {
     /// The events of the transaction, applied in order.
-    pub events: Vec<GraphEvent>,
+    pub events: Vec<SharedGraphEvent>,
 }
 
 impl Transaction {
     /// A single-event transaction.
-    pub fn single(event: GraphEvent) -> Self {
+    pub fn single(event: impl Into<SharedGraphEvent>) -> Self {
         Transaction {
-            events: vec![event],
+            events: vec![event.into()],
+        }
+    }
+
+    /// A transaction over owned events (wraps each in a shared handle).
+    pub fn from_events(events: impl IntoIterator<Item = GraphEvent>) -> Self {
+        Transaction {
+            events: events.into_iter().map(SharedGraphEvent::new).collect(),
         }
     }
 }
@@ -145,14 +156,14 @@ pub struct StoreStats {
 }
 
 enum ShardMsg {
-    Apply(u64, GraphEvent),
+    Apply(u64, SharedGraphEvent),
     ReadVertex(VertexId, Sender<Option<State>>),
     ReadEdge(EdgeId, Sender<Option<State>>),
     Stop,
 }
 
 /// A shard's committed write log: `(timestamp, event)` pairs.
-type ShardLog = Vec<(u64, GraphEvent)>;
+type ShardLog = Vec<(u64, SharedGraphEvent)>;
 
 /// The running store.
 pub struct TideStore {
@@ -273,7 +284,7 @@ impl TideStore {
             .expect("not yet shut down")
             .join()
             .expect("timestamper panicked");
-        let mut all: Vec<(u64, GraphEvent)> = Vec::new();
+        let mut all: Vec<(u64, SharedGraphEvent)> = Vec::new();
         for handle in self.shards.take().expect("not yet shut down") {
             all.extend(handle.join().expect("shard panicked"));
         }
@@ -281,7 +292,7 @@ impl TideStore {
         let mut graph = EvolvingGraph::new();
         let mut events = 0u64;
         for (_, event) in &all {
-            let _ = graph.apply_with(event, ApplyPolicy::Lenient);
+            let _ = graph.apply_with(event.event(), ApplyPolicy::Lenient);
             events += 1;
         }
         StoreStats {
@@ -345,7 +356,7 @@ fn timestamper_loop(
         for event in transaction.events {
             let ts = next_ts;
             next_ts += 1;
-            let shard = shard_for(&event, shards);
+            let shard = shard_for(event.event(), shards);
             // Blocking send: full shard queues backpressure the
             // timestamper, which in turn backpressures clients.
             if shard_txs[shard as usize]
@@ -365,13 +376,8 @@ fn timestamper_loop(
     committed
 }
 
-fn shard_loop(
-    rx: Receiver<ShardMsg>,
-    cost: Duration,
-    busy: Counter,
-    applied: Counter,
-) -> Vec<(u64, GraphEvent)> {
-    let mut log: Vec<(u64, GraphEvent)> = Vec::new();
+fn shard_loop(rx: Receiver<ShardMsg>, cost: Duration, busy: Counter, applied: Counter) -> ShardLog {
+    let mut log: ShardLog = Vec::new();
     // Partition-local state for reads: vertex and edge states, applied
     // leniently (the cross-shard existence of endpoints cannot be checked
     // locally; the merged reconstruction at shutdown is authoritative).
@@ -383,7 +389,7 @@ fn shard_loop(
                 let start = Instant::now();
                 busy_work(cost);
                 busy.add(start.elapsed().as_micros() as u64);
-                match &event {
+                match event.event() {
                     GraphEvent::AddVertex { id, state }
                     | GraphEvent::UpdateVertex { id, state } => {
                         vertices.insert(*id, state.clone());
@@ -487,9 +493,7 @@ mod tests {
         let client = store.client();
         for chunk in vertex_events(100).chunks(10) {
             client
-                .submit(Transaction {
-                    events: chunk.to_vec(),
-                })
+                .submit(Transaction::from_events(chunk.iter().cloned()))
                 .unwrap();
         }
         let stats = store.shutdown();
@@ -585,7 +589,7 @@ mod tests {
                         }
                     })
                     .collect();
-                let _ = client.try_submit(Transaction { events });
+                let _ = client.try_submit(Transaction::from_events(events));
             }
             let committed = store.events_committed();
             store.shutdown();

@@ -1,0 +1,159 @@
+//! The [`SystemUnderTest`] adapter for the store — everything the harness
+//! needs to spawn, feed, observe, and stop a `tide-store` by name.
+
+use std::any::Any;
+use std::io;
+
+use gt_metrics::MetricsHub;
+use gt_replayer::EventSink;
+use gt_sut::{EvaluationLevel, SutOptions, SutRegistry, SutReport, SystemUnderTest};
+
+use crate::connector::BatchingConnector;
+use crate::store::{StoreConfig, TideStore};
+
+/// The registry name of this platform.
+pub const SUT_NAME: &str = "tide-store";
+
+/// A running store behind the [`SystemUnderTest`] boundary.
+///
+/// Recognized [`SutOptions`]:
+///
+/// | option | meaning | default |
+/// |---|---|---|
+/// | `shards` | shard worker threads | 2 |
+/// | `timestamper_cost_us` | ordering cost per transaction, µs | 800 |
+/// | `shard_cost_us` | write cost per event, µs | 20 |
+/// | `queue_capacity` | bounded queue capacity | 256 |
+/// | `batch_size` | events per transaction in the connector | 10 |
+pub struct TideStoreSut {
+    store: Option<TideStore>,
+    hub: MetricsHub,
+    batch_size: usize,
+}
+
+impl TideStoreSut {
+    /// Spawns a store from the option bag (unset options keep the
+    /// [`StoreConfig`] defaults).
+    pub fn start(options: &SutOptions) -> io::Result<Self> {
+        let defaults = StoreConfig::default();
+        let config = StoreConfig {
+            shards: options.get_usize("shards")?.unwrap_or(defaults.shards),
+            timestamper_cost_per_tx: options
+                .get_duration_micros("timestamper_cost_us")?
+                .unwrap_or(defaults.timestamper_cost_per_tx),
+            shard_cost_per_event: options
+                .get_duration_micros("shard_cost_us")?
+                .unwrap_or(defaults.shard_cost_per_event),
+            queue_capacity: options
+                .get_usize("queue_capacity")?
+                .unwrap_or(defaults.queue_capacity),
+        };
+        let batch_size = options.get_usize("batch_size")?.unwrap_or(10);
+        if batch_size == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "option `batch_size` must be positive",
+            ));
+        }
+        let hub = MetricsHub::new();
+        let store = TideStore::start(config, &hub);
+        Ok(TideStoreSut {
+            store: Some(store),
+            hub,
+            batch_size,
+        })
+    }
+
+    /// The running store (live counters, extra client handles).
+    pub fn store(&self) -> &TideStore {
+        self.store.as_ref().expect("store is running")
+    }
+}
+
+impl SystemUnderTest for TideStoreSut {
+    fn name(&self) -> &str {
+        SUT_NAME
+    }
+
+    fn level(&self) -> EvaluationLevel {
+        // Instrumented source: per-component busy counters in the hub.
+        EvaluationLevel::Level2
+    }
+
+    fn connector(&mut self) -> io::Result<Box<dyn EventSink + Send>> {
+        Ok(Box::new(BatchingConnector::new(
+            self.store().client(),
+            self.batch_size,
+        )))
+    }
+
+    fn hub(&self) -> Option<&MetricsHub> {
+        Some(&self.hub)
+    }
+
+    // Default quiesce: `TideStore::shutdown` drains every queue before
+    // joining its threads, so there is no separate drain phase.
+
+    fn shutdown(mut self: Box<Self>) -> SutReport {
+        let stats = self.store.take().expect("store is running").shutdown();
+        SutReport::new(SUT_NAME)
+            .with("events", stats.events as f64)
+            .with("transactions", stats.transactions as f64)
+            .with("vertices", stats.graph.vertex_count() as f64)
+            .with("edges", stats.graph.edge_count() as f64)
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+/// Registers this platform under [`SUT_NAME`].
+pub fn register(registry: &mut SutRegistry) {
+    registry.register(SUT_NAME, |options| {
+        Ok(Box::new(TideStoreSut::start(options)?) as Box<dyn SystemUnderTest>)
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gt_core::prelude::*;
+
+    #[test]
+    fn registry_run_commits_events() {
+        let mut registry = SutRegistry::new();
+        register(&mut registry);
+        let options = SutOptions::new()
+            .set("timestamper_cost_us", 0)
+            .set("shard_cost_us", 0)
+            .set("batch_size", 5);
+        let mut sut = registry.start(SUT_NAME, &options).unwrap();
+        assert_eq!(sut.name(), SUT_NAME);
+        assert!(sut.level().includes(EvaluationLevel::Level1));
+        let mut connector = sut.connector().unwrap();
+        for i in 0..42u64 {
+            connector
+                .send(&StreamEntry::graph(GraphEvent::AddVertex {
+                    id: VertexId(i),
+                    state: State::empty(),
+                }))
+                .unwrap();
+        }
+        connector.close().unwrap();
+        drop(connector);
+        let report = sut.shutdown();
+        assert_eq!(report.get("events"), Some(42.0));
+        assert_eq!(report.get("vertices"), Some(42.0));
+    }
+
+    #[test]
+    fn malformed_batch_size_rejected() {
+        let options = SutOptions::new().set("batch_size", 0);
+        assert!(TideStoreSut::start(&options).is_err());
+    }
+}

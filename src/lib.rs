@@ -42,6 +42,8 @@ pub use gt_harness as harness;
 pub use gt_metrics as metrics;
 /// The rate-controlled replayer and its connectors.
 pub use gt_replayer as replayer;
+/// The system-under-test boundary: trait, registry, evaluation levels.
+pub use gt_sut as sut;
 /// The Level-0 black-box process monitor (`/proc` sampler).
 pub use gt_sysmon as sysmon;
 /// Ready-made representative workloads.
@@ -51,11 +53,22 @@ pub use tide_graph as engine;
 /// The Weaver-class transactional store under test.
 pub use tide_store as store;
 
+/// A [`sut::SutRegistry`] with both built-in platforms registered:
+/// `tide-store` (the Weaver-class transactional store) and `tide-graph`
+/// (the Chronograph-class online engine).
+pub fn builtin_registry() -> gt_sut::SutRegistry {
+    let mut registry = gt_sut::SutRegistry::new();
+    tide_store::sut::register(&mut registry);
+    tide_graph::sut::register(&mut registry);
+    registry
+}
+
 /// The most commonly used types, for glob import.
 pub mod prelude {
     pub use gt_core::prelude::*;
     pub use gt_graph::{CsrSnapshot, EvolvingGraph};
-    pub use gt_harness::{run_experiment, ExperimentSpec, RunOutcome, RunPlan};
+    pub use gt_harness::{run_experiment, run_sut_experiment, ExperimentSpec, RunOutcome, RunPlan};
     pub use gt_metrics::{MetricsHub, ResultLog};
     pub use gt_replayer::{ChannelSink, CollectSink, EventSink, Replayer, ReplayerConfig};
+    pub use gt_sut::{SutOptions, SutRegistry, SystemUnderTest};
 }
