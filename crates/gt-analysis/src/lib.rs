@@ -31,7 +31,10 @@ pub mod variability;
 
 pub use correlate::{cross_correlation, pearson};
 pub use error::{median_relative_error, relative_error, relative_errors, top_k_overlap};
-pub use markers::{phase_summaries, window_correlation, window_series, window_summary, PhaseStats};
+pub use markers::{
+    latency_breakdown, phase_summaries, window_correlation, window_series, window_summary,
+    PhaseStats, StageLatency, TRACE_SOURCE, TRACE_STAGE_METRICS,
+};
 pub use percentiles::{percentile, Quantiles};
 pub use summary::{compare_ci95, ConfidenceInterval, Summary};
 pub use timeseries::{RateSeries, TimeSeries};

@@ -13,8 +13,25 @@
 use gt_metrics::ResultLog;
 
 use crate::correlate::pearson;
+use crate::percentiles::Quantiles;
 use crate::summary::Summary;
 use crate::timeseries::TimeSeries;
+
+/// The result-log source under which the Level-2 event tracer
+/// (`gt-trace`) files its matched stage-pair latency records. Kept as a
+/// string constant so this crate analyses trace output without depending
+/// on the tracer.
+pub const TRACE_SOURCE: &str = "trace";
+
+/// The tracer's stage-pair latency metrics, in pipeline order: reader
+/// dequeue → paced emit → sink write on the replay side, paced emit →
+/// connector receive → engine apply across the platform boundary.
+pub const TRACE_STAGE_METRICS: [&str; 4] = [
+    "reader_to_emit_micros",
+    "emit_to_sink_micros",
+    "emit_to_connector_micros",
+    "connector_to_apply_micros",
+];
 
 /// Summary statistics of one metric series within one marker-delimited
 /// phase of a run.
@@ -134,6 +151,46 @@ pub fn window_correlation(
     pearson(&xs, &ys)
 }
 
+/// Per-sample latency quantiles of one traced stage pair within one
+/// marker window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageLatency {
+    /// The stage-pair metric (one of [`TRACE_STAGE_METRICS`]).
+    pub metric: String,
+    /// Sampled events matched for this pair inside the window.
+    pub samples: u64,
+    /// Latency quantiles in microseconds.
+    pub quantiles: Quantiles,
+}
+
+/// Breaks the pipeline latency of sampled events down by stage within the
+/// `[start, end]` marker window: one [`StageLatency`] per
+/// [`TRACE_STAGE_METRICS`] entry that recorded samples there, in pipeline
+/// order. Stages that were dark during the phase (not instrumented, or no
+/// sample fell inside the window) are omitted. `None` when either marker
+/// is missing or they are out of order.
+pub fn latency_breakdown(log: &ResultLog, start: &str, end: &str) -> Option<Vec<StageLatency>> {
+    let (t0, t1) = window_bounds(log, start, end)?;
+    Some(
+        TRACE_STAGE_METRICS
+            .iter()
+            .filter_map(|metric| {
+                let values: Vec<f64> = log
+                    .series(TRACE_SOURCE, metric)
+                    .into_iter()
+                    .filter(|&(t, _)| t >= t0 && t <= t1)
+                    .map(|(_, v)| v)
+                    .collect();
+                Quantiles::of(&values).map(|quantiles| StageLatency {
+                    metric: (*metric).to_owned(),
+                    samples: values.len() as u64,
+                    quantiles,
+                })
+            })
+            .collect(),
+    )
+}
+
 /// The `(start_secs, end_secs)` of a marker window; `None` when a marker
 /// is missing or the end precedes the start.
 fn window_bounds(log: &ResultLog, start: &str, end: &str) -> Option<(f64, f64)> {
@@ -230,6 +287,59 @@ mod tests {
         )
         .unwrap();
         assert!(r > 0.99, "both ramp linearly, r = {r}");
+    }
+
+    #[test]
+    fn latency_breakdown_slices_trace_records_by_window() {
+        let mut records = vec![
+            MetricRecord::text(1_000_000, "replayer", "marker", "phase-a"),
+            MetricRecord::text(3_000_000, "replayer", "marker", "phase-b"),
+        ];
+        // connector→apply: 10 samples inside the window (latency ramps
+        // 10..=100 µs), one outlier before it that must be excluded.
+        records.push(MetricRecord::int(
+            500_000,
+            TRACE_SOURCE,
+            "connector_to_apply_micros",
+            9_999,
+        ));
+        for i in 1..=10i64 {
+            records.push(MetricRecord::int(
+                1_000_000 + i as u64 * 100_000,
+                TRACE_SOURCE,
+                "connector_to_apply_micros",
+                i * 10,
+            ));
+        }
+        // emit→connector: constant 5 µs inside the window.
+        for i in 1..=4u64 {
+            records.push(MetricRecord::int(
+                1_000_000 + i * 200_000,
+                TRACE_SOURCE,
+                "emit_to_connector_micros",
+                5,
+            ));
+        }
+        let log = ResultLog::from_records(records);
+
+        let breakdown = latency_breakdown(&log, "phase-a", "phase-b").unwrap();
+        // Pipeline order; dark stages (reader→emit, emit→sink) omitted.
+        let metrics: Vec<&str> = breakdown.iter().map(|s| s.metric.as_str()).collect();
+        assert_eq!(
+            metrics,
+            ["emit_to_connector_micros", "connector_to_apply_micros"]
+        );
+        let apply = &breakdown[1];
+        assert_eq!(apply.samples, 10);
+        assert_eq!(apply.quantiles.min, 10.0);
+        assert_eq!(apply.quantiles.max, 100.0, "outlier outside the window");
+        assert_eq!(apply.quantiles.median, 55.0);
+        assert_eq!(breakdown[0].quantiles.max, 5.0);
+
+        assert!(latency_breakdown(&log, "phase-a", "gone").is_none());
+        // A window with no trace records at all yields an empty breakdown.
+        let silent = latency_breakdown(&log, "phase-b", "phase-b").unwrap();
+        assert!(silent.is_empty());
     }
 
     #[test]

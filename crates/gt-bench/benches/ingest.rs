@@ -167,10 +167,72 @@ fn bench_connector_dispatch(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_traced_dispatch(c: &mut Criterion) {
+    use gt_metrics::{Clock, WallClock};
+    use gt_trace::{Stage, TraceConfig, Tracer};
+    use std::sync::Arc;
+
+    let entries = sample_entries();
+    let batch = shared(&entries);
+    let store_config = StoreConfig {
+        shards: 2,
+        timestamper_cost_per_tx: Duration::ZERO,
+        shard_cost_per_event: Duration::ZERO,
+        queue_capacity: 4096,
+    };
+    // The Level-2 tracing overhead budget (ISSUE acceptance): the traced
+    // row stamps a ConnectorRecv tracepoint for 1 event in 64 and an
+    // EngineApply stamp on the shard threads, and must stay within 5% of
+    // the untraced row. The collector thread runs concurrently, as it
+    // would in a real run.
+    let mut group = c.benchmark_group("ingest/tracing");
+    group.throughput(Throughput::Elements(N));
+    group.bench_function("untraced", |b| {
+        b.iter_batched(
+            || {
+                let hub = MetricsHub::new();
+                TideStore::start(store_config.clone(), &hub)
+            },
+            |store| {
+                let mut connector = BatchingConnector::new(store.client(), 10);
+                connector.send_batch(black_box(&batch)).unwrap();
+                connector.flush().unwrap();
+                store.shutdown()
+            },
+            BatchSize::PerIteration,
+        )
+    });
+    group.bench_function("traced_1_in_64", |b| {
+        b.iter_batched(
+            || {
+                let hub = MetricsHub::new();
+                let store = TideStore::start(store_config.clone(), &hub);
+                let clock: Arc<dyn Clock> = Arc::new(WallClock::start());
+                let trace_hub = MetricsHub::new();
+                let tracer = Tracer::new(TraceConfig::default().sampling(64), clock, &trace_hub);
+                store.tracer_cell().install(&tracer);
+                (store, tracer)
+            },
+            |(store, tracer)| {
+                let mut connector = BatchingConnector::new(store.client(), 10)
+                    .with_trace_probe(tracer.probe(Stage::ConnectorRecv));
+                connector.send_batch(black_box(&batch)).unwrap();
+                connector.flush().unwrap();
+                let stats = store.shutdown();
+                tracer.stop();
+                stats
+            },
+            BatchSize::PerIteration,
+        )
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_round_trip,
     bench_writer_dispatch,
-    bench_connector_dispatch
+    bench_connector_dispatch,
+    bench_traced_dispatch
 );
 criterion_main!(benches);

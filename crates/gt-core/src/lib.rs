@@ -13,7 +13,7 @@
 //! *control* events that steer the replayer (speed changes and pauses).
 //!
 //! The on-disk representation is a comma-separated value file with one event
-//! per line: `COMMAND, ENTITY_ID, PAYLOAD` (see [`format`]).
+//! per line: `COMMAND, ENTITY_ID, PAYLOAD` (see [`mod@format`]).
 //!
 //! ```
 //! use gt_core::prelude::*;

@@ -45,3 +45,4 @@ pub use sweep::{Assignment, Factor, FactorSpace};
 
 pub use gt_sut::{SutOptions, SutRegistry, SutReport, SystemUnderTest};
 pub use gt_sysmon::SamplerConfig;
+pub use gt_trace::{TraceConfig, Tracer, TRACE_SOURCE};

@@ -20,6 +20,7 @@ use gt_replayer::{
     ReplayerConfig, SessionReport, SinkEventKind,
 };
 use gt_sysmon::SamplerConfig;
+use gt_trace::{Stage, Tracer};
 
 use crate::levels::EvaluationLevel;
 
@@ -39,11 +40,17 @@ pub struct RunPlan {
     pub level: EvaluationLevel,
     /// Level-0 resource monitor configuration; `None` disables it.
     pub sysmon: Option<SamplerConfig>,
+    /// Level-2 event tracer. When set, the replayer stamps a
+    /// [`Stage::PacedEmit`] tracepoint for every sampled graph event it
+    /// emits, so emit→connector→apply latencies can be broken down per
+    /// stage. The caller keeps a clone and calls [`Tracer::stop`] after
+    /// the run to collect the matched stage-pair records.
+    pub tracer: Option<Tracer>,
 }
 
 impl RunPlan {
     /// A plan with the given stream and target rate, no loggers, at
-    /// Level 0 with the default resource monitor.
+    /// Level 0 with the default resource monitor and no tracer.
     pub fn new(stream: GraphStream, target_rate: f64) -> Self {
         RunPlan {
             stream,
@@ -55,6 +62,7 @@ impl RunPlan {
             sampling_interval: Duration::from_millis(100),
             level: EvaluationLevel::Level0,
             sysmon: Some(SamplerConfig::default()),
+            tracer: None,
         }
     }
 
@@ -76,6 +84,13 @@ impl RunPlan {
     #[must_use]
     pub fn with_sysmon(mut self, config: SamplerConfig) -> Self {
         self.sysmon = Some(config);
+        self
+    }
+
+    /// Attaches a Level-2 event tracer (builder style).
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: &Tracer) -> Self {
+        self.tracer = Some(tracer.clone());
         self
     }
 }
@@ -192,7 +207,10 @@ pub fn run_experiment_with_clock<S: EventSink + ?Sized>(
     let sysmon = spawn_sysmon(plan.level, &plan.sysmon, &clock, None);
     let sampler = spawn_sampler(plan.loggers, plan.sampling_interval, Arc::clone(&stop));
 
-    let replayer = Replayer::new(plan.replayer).with_clock(Arc::clone(&clock));
+    let mut replayer = Replayer::new(plan.replayer).with_clock(Arc::clone(&clock));
+    if let Some(tracer) = &plan.tracer {
+        replayer = replayer.with_trace_probe(tracer.probe(Stage::PacedEmit));
+    }
     let result = replayer.replay_stream(&plan.stream, sink);
 
     stop.store(true, Ordering::Relaxed);
@@ -230,11 +248,16 @@ pub struct FileRunPlan {
     pub level: EvaluationLevel,
     /// Level-0 resource monitor configuration; `None` disables it.
     pub sysmon: Option<SamplerConfig>,
+    /// Level-2 event tracer. When set, the pipeline stamps
+    /// [`Stage::ReaderDequeue`], [`Stage::PacedEmit`] and
+    /// [`Stage::SinkWrite`] tracepoints for sampled graph events, so the
+    /// replay pipeline's internal latencies can be broken down per stage.
+    pub tracer: Option<Tracer>,
 }
 
 impl FileRunPlan {
     /// A plan replaying `path` at `target_rate`, no extra loggers, at
-    /// Level 0 with the default resource monitor.
+    /// Level 0 with the default resource monitor and no tracer.
     pub fn new(path: impl Into<PathBuf>, target_rate: f64) -> Self {
         FileRunPlan {
             path: path.into(),
@@ -249,6 +272,7 @@ impl FileRunPlan {
             sampling_interval: Duration::from_millis(100),
             level: EvaluationLevel::Level0,
             sysmon: Some(SamplerConfig::default()),
+            tracer: None,
         }
     }
 
@@ -277,6 +301,13 @@ impl FileRunPlan {
     #[must_use]
     pub fn with_sysmon(mut self, config: SamplerConfig) -> Self {
         self.sysmon = Some(config);
+        self
+    }
+
+    /// Attaches a Level-2 event tracer (builder style).
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: &Tracer) -> Self {
+        self.tracer = Some(tracer.clone());
         self
     }
 }
@@ -324,9 +355,12 @@ pub fn run_file_experiment_with_clock<S: EventSink + ?Sized>(
     )));
     let sampler = spawn_sampler(loggers, plan.sampling_interval, Arc::clone(&stop));
 
-    let session = ReplaySession::new(plan.session)
+    let mut session = ReplaySession::new(plan.session)
         .with_clock(Arc::clone(&clock))
         .with_hub(hub);
+    if let Some(tracer) = &plan.tracer {
+        session = session.with_tracer(tracer);
+    }
     let result = session.run(&plan.path, sink);
 
     stop.store(true, Ordering::Relaxed);

@@ -10,19 +10,25 @@
 //!    to what is actually observable),
 //! 3. wires the platform's native metrics hub ([`SystemUnderTest::hub`])
 //!    into the sampling thread when the effective level grants Level 1,
-//! 4. replays the plan through the platform's connector on the shared
+//! 4. starts a Level-2 event tracer and installs it into the platform
+//!    ([`SystemUnderTest::install_tracer`]) when the effective level
+//!    grants in-source instrumentation, so sampled events carry
+//!    emit→connector→apply tracepoint stamps,
+//! 5. replays the plan through the platform's connector on the shared
 //!    run clock,
-//! 5. drops the connector, waits for the platform to drain
+//! 6. drops the connector, waits for the platform to drain
 //!    ([`SystemUnderTest::quiesce`]), shuts it down, and folds the final
-//!    [`SutReport`] into the merged [`ResultLog`] (source = the platform
-//!    name, timestamped at run end).
+//!    [`SutReport`] plus the tracer's stage-pair latency records into the
+//!    merged [`ResultLog`] (source = the platform name / `trace`,
+//!    timestamped at run end / emit time).
 
 use std::sync::Arc;
 use std::time::Duration;
 
-use gt_metrics::{Clock, HubSampler, MetricRecord, ResultLog, WallClock};
+use gt_metrics::{Clock, HubSampler, MetricRecord, MetricsHub, ResultLog, WallClock};
 use gt_replayer::ReplayError;
 use gt_sut::{SutError, SutOptions, SutRegistry, SutReport, SystemUnderTest};
+use gt_trace::{TraceConfig, Tracer, TRACE_SOURCE};
 
 use crate::levels::EvaluationLevel;
 use crate::run::{
@@ -114,6 +120,32 @@ fn wire_sut(
     effective
 }
 
+/// Starts the Level-2 event tracer when the effective level grants
+/// in-source instrumentation: the tracer publishes its stage-pair
+/// latency histograms through a dedicated hub sampled under
+/// [`TRACE_SOURCE`], and the platform installs probes at its own
+/// tracepoints ([`SystemUnderTest::install_tracer`]) *before* the first
+/// connector is built, so the connector can stamp received events.
+fn wire_tracer(
+    sut: &mut Box<dyn SystemUnderTest>,
+    effective: EvaluationLevel,
+    loggers: &mut Vec<Box<dyn gt_metrics::MetricsLogger>>,
+    clock: &Arc<dyn Clock>,
+) -> Option<Tracer> {
+    if !effective.includes(EvaluationLevel::Level2) {
+        return None;
+    }
+    let trace_hub = MetricsHub::new();
+    let tracer = Tracer::new(TraceConfig::default(), Arc::clone(clock), &trace_hub);
+    loggers.push(Box::new(HubSampler::new(
+        trace_hub,
+        Arc::clone(clock),
+        TRACE_SOURCE,
+    )));
+    sut.install_tracer(&tracer);
+    Some(tracer)
+}
+
 /// Folds the platform's final report into a log as `float` records under
 /// the platform's name, timestamped at `t_micros`.
 fn fold_report(log: &ResultLog, report: &SutReport, t_micros: u64) -> ResultLog {
@@ -121,6 +153,22 @@ fn fold_report(log: &ResultLog, report: &SutReport, t_micros: u64) -> ResultLog 
     for (metric, value) in &report.summary {
         records.push(MetricRecord::float(t_micros, &report.name, metric, *value));
     }
+    ResultLog::from_records(records)
+}
+
+/// Stops the tracer and folds its matched stage-pair latency records
+/// into the log (they carry their own emit-time timestamps, so they
+/// interleave chronologically with the sampled series).
+fn fold_trace(log: ResultLog, tracer: Option<Tracer>) -> ResultLog {
+    let Some(tracer) = tracer else {
+        return log;
+    };
+    let trace = tracer.stop();
+    if trace.records.is_empty() {
+        return log;
+    }
+    let mut records: Vec<MetricRecord> = log.records().to_vec();
+    records.extend(trace.records);
     ResultLog::from_records(records)
 }
 
@@ -138,6 +186,10 @@ pub fn run_sut_experiment(
     let clock: Arc<dyn Clock> = Arc::new(WallClock::start());
     let mut sut = registry.start(name, options)?;
     plan.level = wire_sut(&mut sut, plan.level, &mut plan.loggers, &clock);
+    let tracer = wire_tracer(&mut sut, plan.level, &mut plan.loggers, &clock);
+    if let Some(tracer) = &tracer {
+        plan.tracer = Some(tracer.clone());
+    }
 
     let mut connector = sut.connector()?;
     let result = run_experiment_with_clock(plan, &mut connector, Arc::clone(&clock));
@@ -145,8 +197,17 @@ pub fn run_sut_experiment(
 
     let quiesced = sut.quiesce(DEFAULT_QUIESCE_TIMEOUT);
     let report = sut.shutdown();
-    let mut run = result?;
+    let mut run = match result {
+        Ok(run) => run,
+        Err(e) => {
+            if let Some(tracer) = tracer {
+                tracer.stop();
+            }
+            return Err(e.into());
+        }
+    };
     run.log = fold_report(&run.log, &report, clock.now_micros());
+    run.log = fold_trace(run.log, tracer);
     Ok(SutRunOutcome {
         run,
         report,
@@ -165,6 +226,10 @@ pub fn run_file_sut_experiment(
     let clock: Arc<dyn Clock> = Arc::new(WallClock::start());
     let mut sut = registry.start(name, options)?;
     plan.level = wire_sut(&mut sut, plan.level, &mut plan.loggers, &clock);
+    let tracer = wire_tracer(&mut sut, plan.level, &mut plan.loggers, &clock);
+    if let Some(tracer) = &tracer {
+        plan.tracer = Some(tracer.clone());
+    }
 
     let mut connector = sut.connector()?;
     let result = run_file_experiment_with_clock(plan, &mut connector, Arc::clone(&clock));
@@ -172,8 +237,17 @@ pub fn run_file_sut_experiment(
 
     let quiesced = sut.quiesce(DEFAULT_QUIESCE_TIMEOUT);
     let report = sut.shutdown();
-    let mut run = result?;
+    let mut run = match result {
+        Ok(run) => run,
+        Err(e) => {
+            if let Some(tracer) = tracer {
+                tracer.stop();
+            }
+            return Err(e.into());
+        }
+    };
     run.log = fold_report(&run.log, &report, clock.now_micros());
+    run.log = fold_trace(run.log, tracer);
     Ok(SutRunOutcome {
         run,
         report,
@@ -228,6 +302,20 @@ mod tests {
             .series("tide-store", "store.events")
             .is_empty());
         assert!(outcome.run.log.marker("stream-end").is_some());
+        // Level 2 granted: the tracer broke the pipeline latency down by
+        // stage — sampled events carry emit→connector and connector→apply
+        // records in the merged log (sampling is 1-in-64, so 500 events
+        // yield a handful, and event #0 is always sampled).
+        assert!(!outcome
+            .run
+            .log
+            .series(TRACE_SOURCE, "emit_to_connector_micros")
+            .is_empty());
+        assert!(!outcome
+            .run
+            .log
+            .series(TRACE_SOURCE, "connector_to_apply_micros")
+            .is_empty());
     }
 
     #[test]
@@ -246,6 +334,12 @@ mod tests {
             .log
             .series("tide-graph", "worker-0.ops")
             .is_empty());
+        // The engine's worker threads stamped sampled events too.
+        assert!(!outcome
+            .run
+            .log
+            .series(TRACE_SOURCE, "connector_to_apply_micros")
+            .is_empty());
     }
 
     #[test]
@@ -262,6 +356,13 @@ mod tests {
             .log
             .series("tide-store", "store.events")
             .is_empty());
+        // No L2 tracer either: in-source tracepoints stay dark.
+        assert!(outcome
+            .run
+            .log
+            .records()
+            .iter()
+            .all(|r| r.source != TRACE_SOURCE));
         assert_eq!(outcome.report.get("events"), Some(100.0));
     }
 
@@ -301,6 +402,20 @@ mod tests {
             .log
             .series("pipeline", "ingress_events")
             .is_empty());
+        // The full pipeline is traced end to end on the file path:
+        // reader → paced emit → sink write on the replay side, plus
+        // connector → apply inside the platform.
+        for metric in [
+            "reader_to_emit_micros",
+            "emit_to_sink_micros",
+            "emit_to_connector_micros",
+            "connector_to_apply_micros",
+        ] {
+            assert!(
+                !outcome.run.log.series(TRACE_SOURCE, metric).is_empty(),
+                "missing trace series {metric}"
+            );
+        }
         std::fs::remove_file(path).ok();
     }
 }

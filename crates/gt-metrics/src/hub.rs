@@ -8,7 +8,7 @@
 //! buckets. All are lock-free on the hot path.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
@@ -78,6 +78,7 @@ struct HistogramInner {
     count: AtomicU64,
     sum: AtomicU64,
     max: AtomicU64,
+    saturated: AtomicBool,
 }
 
 impl Default for HistogramInner {
@@ -87,6 +88,7 @@ impl Default for HistogramInner {
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
             max: AtomicU64::new(0),
+            saturated: AtomicBool::new(false),
         }
     }
 }
@@ -103,7 +105,19 @@ impl Histogram {
         let bucket = (u64::BITS - (value.saturating_add(1)).leading_zeros() - 1) as usize;
         self.0.buckets[bucket].fetch_add(1, Ordering::Relaxed);
         self.0.count.fetch_add(1, Ordering::Relaxed);
-        self.0.sum.fetch_add(value, Ordering::Relaxed);
+        // The sum must saturate, not wrap: a week-long run recording large
+        // latencies would otherwise overflow and make `mean()` silently
+        // wrong. Saturation is flagged so the snapshot can report it.
+        let prev = self
+            .0
+            .sum
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |sum| {
+                Some(sum.saturating_add(value))
+            })
+            .expect("closure always returns Some");
+        if prev.checked_add(value).is_none() {
+            self.0.saturated.store(true, Ordering::Relaxed);
+        }
         self.0.max.fetch_max(value, Ordering::Relaxed);
     }
 
@@ -121,6 +135,7 @@ impl Histogram {
             count: self.0.count.load(Ordering::Relaxed),
             sum: self.0.sum.load(Ordering::Relaxed),
             max: self.0.max.load(Ordering::Relaxed),
+            saturated: self.0.saturated.load(Ordering::Relaxed),
         }
     }
 }
@@ -137,10 +152,15 @@ pub struct HistogramSnapshot {
     pub sum: u64,
     /// Largest sample.
     pub max: u64,
+    /// Whether the sample sum overflowed `u64` and was clamped to
+    /// `u64::MAX`. When set, [`Self::mean`] is a lower bound, not the
+    /// true mean.
+    pub saturated: bool,
 }
 
 impl HistogramSnapshot {
-    /// Mean sample value (0 when empty).
+    /// Mean sample value (0 when empty; a lower bound when
+    /// [`Self::saturated`] is set).
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
             0.0
@@ -356,6 +376,31 @@ mod tests {
         let empty = Histogram::new().snapshot();
         assert_eq!(empty.mean(), 0.0);
         assert_eq!(empty.quantile_upper_bound(0.9), 0);
+    }
+
+    #[test]
+    fn histogram_sum_saturates_instead_of_wrapping() {
+        // Regression: `sum` used `fetch_add`, so the second sample here
+        // wrapped the sum around to ~89 and the mean collapsed to ~44
+        // with no indication anything was wrong.
+        let h = Histogram::new();
+        h.record(u64::MAX - 10);
+        h.record(100);
+        let snap = h.snapshot();
+        assert_eq!(snap.sum, u64::MAX, "sum must clamp at u64::MAX");
+        assert!(snap.saturated, "overflow must be flagged");
+        assert!(
+            snap.mean() > 1e18,
+            "mean must stay a large lower bound, got {}",
+            snap.mean()
+        );
+        // A histogram that never overflows stays unflagged.
+        let clean = Histogram::new();
+        clean.record(5);
+        clean.record(7);
+        let snap = clean.snapshot();
+        assert!(!snap.saturated);
+        assert_eq!(snap.sum, 12);
     }
 
     #[test]

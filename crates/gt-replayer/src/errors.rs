@@ -28,6 +28,16 @@ pub enum ReplayError {
     },
     /// The reader thread panicked (a bug, not an environment failure).
     ReaderPanicked,
+    /// An in-stream control event carried an invalid payload (e.g. a
+    /// `SPEED` factor that is zero, negative, or not finite). The replay
+    /// fails fast instead of letting the payload corrupt the pacing
+    /// schedule.
+    InvalidControl {
+        /// The offending control event, rendered for diagnostics.
+        control: String,
+        /// Why the payload was rejected.
+        reason: String,
+    },
 }
 
 impl ReplayError {
@@ -50,6 +60,7 @@ impl ReplayError {
         let kind = match &self {
             ReplayError::Io(e) => e.kind(),
             ReplayError::SinkGaveUp { .. } => io::ErrorKind::ConnectionAborted,
+            ReplayError::InvalidControl { .. } => io::ErrorKind::InvalidData,
             _ => io::ErrorKind::Other,
         };
         io::Error::new(kind, self)
@@ -66,6 +77,9 @@ impl fmt::Display for ReplayError {
                 "sink gave up after {attempts} reconnect attempts: {last}"
             ),
             ReplayError::ReaderPanicked => f.write_str("stream reader thread panicked"),
+            ReplayError::InvalidControl { control, reason } => {
+                write!(f, "invalid control event {control}: {reason}")
+            }
         }
     }
 }
@@ -77,6 +91,7 @@ impl std::error::Error for ReplayError {
             ReplayError::Source(e) => Some(e),
             ReplayError::SinkGaveUp { last, .. } => Some(last),
             ReplayError::ReaderPanicked => None,
+            ReplayError::InvalidControl { .. } => None,
         }
     }
 }

@@ -64,11 +64,15 @@ impl PacerCore {
 
     /// Applies a `SPEED` control factor (1.0 restores the base rate).
     ///
-    /// # Panics
-    /// If `factor` is not positive and finite.
+    /// Invalid factors — zero, negative, NaN, infinite — are ignored and
+    /// the previous speed is kept. The pacer is the last line of defense
+    /// behind parse-time and replay-time validation, and a bad factor
+    /// must degrade to "unchanged", never to the `u64::MAX`-nanosecond
+    /// interval the old saturating cast produced (a permanent stall).
     pub fn set_speed(&mut self, factor: f64) {
-        assert!(factor.is_finite() && factor > 0.0, "speed must be positive");
-        self.speed = factor;
+        if factor.is_finite() && factor > 0.0 {
+            self.speed = factor;
+        }
     }
 
     /// Current speed factor.
@@ -81,9 +85,18 @@ impl PacerCore {
         1e9 / self.base_interval_nanos * self.speed
     }
 
-    /// The current inter-event interval in nanoseconds.
+    /// The current inter-event interval in nanoseconds, clamped to a
+    /// finite, representable value. `set_speed` already rejects invalid
+    /// factors, so the clamp only matters as defense in depth — a
+    /// non-finite quotient must not saturate the `as u64` cast into a
+    /// ~585-year interval.
     fn interval_nanos(&self) -> u64 {
-        (self.base_interval_nanos / self.speed) as u64
+        let interval = self.base_interval_nanos / self.speed;
+        if interval.is_finite() && interval >= 0.0 {
+            interval as u64
+        } else {
+            1
+        }
     }
 
     /// Decides the wait for the next emission given the current
@@ -91,7 +104,7 @@ impl PacerCore {
     ///
     /// Behind schedule (deadline in the past) the wait is zero and the
     /// lateness positive, letting the caller catch up in a burst; more
-    /// than [`RE_ANCHOR_NANOS`] behind, the deadline snaps to `now` so
+    /// than `RE_ANCHOR_NANOS` (100 ms) behind, the deadline snaps to `now` so
     /// the burst stays bounded (a 20 s `PAUSE` must not be followed by
     /// 20 s × rate instantaneous events).
     pub fn schedule(&mut self, now_nanos: u64) -> Schedule {
@@ -141,9 +154,8 @@ impl Pacer {
     }
 
     /// Applies a `SPEED` control factor (1.0 restores the base rate).
-    ///
-    /// # Panics
-    /// If `factor` is not positive and finite.
+    /// Invalid factors (zero, negative, NaN, infinite) are ignored — see
+    /// [`PacerCore::set_speed`].
     pub fn set_speed(&mut self, factor: f64) {
         self.core.set_speed(factor);
     }
@@ -389,9 +401,35 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "speed must be positive")]
-    fn rejects_zero_speed() {
-        Pacer::new(1.0).set_speed(0.0);
+    fn invalid_speed_factors_are_ignored() {
+        // Regression: `set_speed` used to panic on these, and before that
+        // a zero/negative/NaN factor flowed into `interval_nanos` where
+        // the saturating `as u64` cast produced a u64::MAX-nanosecond
+        // interval — a replay stalled for ~585 years.
+        let mut core = PacerCore::new(1_000.0);
+        core.set_speed(2.0);
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            core.set_speed(bad);
+            assert_eq!(core.speed(), 2.0, "factor {bad} must be ignored");
+        }
+        // The schedule keeps advancing at the last valid speed: the next
+        // slot is half a base interval away, not u64::MAX nanoseconds.
+        core.reset(0);
+        let s = core.schedule(0);
+        assert_eq!(s.wait_nanos, 500_000);
+    }
+
+    #[test]
+    fn interval_clamp_survives_non_finite_quotients() {
+        // Defense in depth: even with the speed forced into an invalid
+        // state (bypassing set_speed), the interval must stay finite.
+        let mut core = PacerCore::new(1_000.0);
+        core.speed = 0.0; // quotient = +inf
+        assert_eq!(core.interval_nanos(), 1);
+        core.speed = f64::NAN;
+        assert_eq!(core.interval_nanos(), 1);
+        core.speed = -1.0; // quotient negative
+        assert_eq!(core.interval_nanos(), 1);
     }
 
     // ---- Wall-clock timing tests: `#[ignore]` by default, run by the

@@ -6,7 +6,9 @@ use std::sync::Arc;
 use gt_core::prelude::*;
 use gt_metrics::hub::Counter;
 use gt_metrics::{Clock, Histogram, WallClock};
+use gt_trace::Probe;
 
+use crate::errors::ReplayError;
 use crate::pacing::Pacer;
 use crate::sink::EventSink;
 
@@ -70,6 +72,9 @@ pub struct Replayer {
     /// Optional emit-latency histogram: per graph event, how far past its
     /// pacing deadline the emission happened, in microseconds.
     emit_latency: Option<Histogram>,
+    /// Optional Level-2 tracepoint at the paced-emit stage: stamps sampled
+    /// graph events just before they are handed to the sink.
+    trace_probe: Option<Probe>,
 }
 
 impl Replayer {
@@ -80,6 +85,7 @@ impl Replayer {
             clock: Arc::new(WallClock::start()),
             ingress_counter: None,
             emit_latency: None,
+            trace_probe: None,
         }
     }
 
@@ -103,6 +109,14 @@ impl Replayer {
         self
     }
 
+    /// Registers a Level-2 tracepoint probe (normally
+    /// [`gt_trace::Stage::PacedEmit`]) stamped once per graph event just
+    /// before delivery to the sink. Sampling happens inside the probe.
+    pub fn with_trace_probe(mut self, probe: Probe) -> Self {
+        self.trace_probe = Some(probe);
+        self
+    }
+
     /// Delivers the pending batch and attributes its events to the metrics
     /// (ingress counter, rate buckets) with a single clock read.
     fn flush_batch<S: EventSink + ?Sized>(
@@ -116,6 +130,13 @@ impl Replayer {
     ) -> io::Result<()> {
         if batch.is_empty() {
             return Ok(());
+        }
+        // Stamp before dispatch so downstream stages always observe a
+        // later time than the emit stamp. The batch holds only graph
+        // events (markers and control never enter it), so every slot
+        // advances the trace sequence.
+        if let Some(probe) = &self.trace_probe {
+            probe.stamp_n(batch.len() as u64);
         }
         sink.send_batch(batch)?;
         let n = batch.len() as u64;
@@ -212,6 +233,18 @@ impl Replayer {
                     markers.push((name.clone(), self.clock.now_micros()));
                 }
                 StreamEntry::Control(ControlEvent::SetSpeed(factor)) => {
+                    // The file parser rejects bad SPEED payloads at parse
+                    // time; programmatic in-memory streams can still carry
+                    // one. Fail fast with a typed error — the pacer would
+                    // ignore the factor, silently replaying at the wrong
+                    // rate.
+                    if !(factor.is_finite() && *factor > 0.0) {
+                        return Err(ReplayError::InvalidControl {
+                            control: format!("SPEED({factor})"),
+                            reason: "speed factor must be positive and finite".to_owned(),
+                        }
+                        .into_io());
+                    }
                     pacer.set_speed(*factor);
                 }
                 StreamEntry::Control(ControlEvent::Pause(duration)) => {
@@ -337,6 +370,44 @@ mod tests {
         // Naive all-base-rate duration would be 0.1s; with the second half
         // at 4x it should be ~0.0625s. Assert it clearly beats base-rate.
         assert!(elapsed < 0.095, "elapsed {elapsed}");
+    }
+
+    #[test]
+    fn invalid_speed_payload_fails_fast_with_typed_error() {
+        // Regression: a zero/negative/NaN SPEED payload in a programmatic
+        // stream used to reach the pacer, where the saturating interval
+        // cast turned it into a u64::MAX-nanosecond stall (or, later, a
+        // panic on the replay thread). It must instead surface as a typed
+        // ReplayError::InvalidControl before any pacing state changes.
+        for bad in [0.0, -1.0, f64::NAN] {
+            let mut stream = vertices(3);
+            stream.push(StreamEntry::speed(bad));
+            stream.extend(vertices(3));
+            let replayer = Replayer::new(ReplayerConfig {
+                target_rate: 1e6,
+                ..Default::default()
+            });
+            let mut sink = CollectSink::new();
+            let started = std::time::Instant::now();
+            let err = replayer
+                .replay_stream(&stream, &mut sink)
+                .expect_err("bad factor must fail the replay");
+            assert!(
+                started.elapsed() < Duration::from_secs(5),
+                "replay with factor {bad} stalled instead of failing"
+            );
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "factor {bad}");
+            match ReplayError::from_sink_error(err) {
+                ReplayError::InvalidControl { control, reason } => {
+                    assert!(control.contains("SPEED"), "control {control}");
+                    assert!(reason.contains("positive"), "reason {reason}");
+                }
+                other => panic!("wrong variant for factor {bad}: {other:?}"),
+            }
+            // No event after the bad control was delivered (those before
+            // it may still sit in the unflushed pending batch).
+            assert!(sink.entries.len() <= 3, "delivered {}", sink.entries.len());
+        }
     }
 
     #[test]

@@ -30,6 +30,7 @@ use crossbeam::channel::Receiver;
 use gt_core::prelude::*;
 use gt_metrics::hub::{Counter, Gauge};
 use gt_metrics::{Clock, HistogramSnapshot, MetricsHub, WallClock};
+use gt_trace::{Probe, Stage, Tracer};
 
 use crate::errors::ReplayError;
 use crate::reader::{spawn_file_reader, DEFAULT_BUFFER};
@@ -82,6 +83,7 @@ pub struct ReplaySession {
     config: ReplaySessionConfig,
     clock: Arc<dyn Clock>,
     hub: MetricsHub,
+    tracer: Option<Tracer>,
 }
 
 impl ReplaySession {
@@ -91,6 +93,7 @@ impl ReplaySession {
             config,
             clock: Arc::new(WallClock::start()),
             hub: MetricsHub::new(),
+            tracer: None,
         }
     }
 
@@ -115,6 +118,16 @@ impl ReplaySession {
         &self.hub
     }
 
+    /// Attaches a Level-2 [`Tracer`]: the pipeline stamps sampled graph
+    /// events at [`Stage::ReaderDequeue`], [`Stage::PacedEmit`], and
+    /// [`Stage::SinkWrite`] so the tracer's collector can break the
+    /// replayer-side latency down by stage.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: &Tracer) -> Self {
+        self.tracer = Some(tracer.clone());
+        self
+    }
+
     /// Streams `path` through the pipeline into `sink`. The file is read
     /// and parsed on a dedicated thread; this thread paces and emits.
     pub fn run<S: EventSink + ?Sized>(
@@ -130,17 +143,22 @@ impl ReplaySession {
             queue_depth: self.hub.gauge("queue_depth"),
             reader_stall: self.hub.counter("reader_stall_micros"),
             max_depth: Arc::clone(&max_queue_depth),
+            trace_probe: self.tracer.as_ref().map(|t| t.probe(Stage::ReaderDequeue)),
         };
         let mut instrumented_sink = InstrumentedSink {
             inner: sink,
             sink_stall: self.hub.counter("sink_stall_micros"),
+            trace_probe: self.tracer.as_ref().map(|t| t.probe(Stage::SinkWrite)),
         };
 
         let emit_latency = self.hub.histogram("emit_latency_micros");
-        let replayer = Replayer::new(self.config.replayer.clone())
+        let mut replayer = Replayer::new(self.config.replayer.clone())
             .with_clock(Arc::clone(&self.clock))
             .with_ingress_counter(self.hub.counter("ingress_events"))
             .with_emit_latency(emit_latency.clone());
+        if let Some(tracer) = &self.tracer {
+            replayer = replayer.with_trace_probe(tracer.probe(Stage::PacedEmit));
+        }
 
         // `replay` consumes the entry iterator, so by the time it returns
         // the receiver is dropped and the reader thread is unblocked and
@@ -174,6 +192,7 @@ struct InstrumentedRx {
     queue_depth: Gauge,
     reader_stall: Counter,
     max_depth: Arc<AtomicI64>,
+    trace_probe: Option<Probe>,
 }
 
 impl Iterator for InstrumentedRx {
@@ -191,6 +210,13 @@ impl Iterator for InstrumentedRx {
         let depth = self.rx.len() as i64;
         self.queue_depth.set(depth);
         self.max_depth.fetch_max(depth, Ordering::Relaxed);
+        // Only graph events advance the trace sequence — every stage must
+        // count the same stream positions for seq-based matching to hold.
+        if let (Some(probe), Some(entry)) = (&self.trace_probe, &item) {
+            if entry.as_ref().is_graph() {
+                probe.stamp();
+            }
+        }
         item
     }
 }
@@ -199,6 +225,7 @@ impl Iterator for InstrumentedRx {
 struct InstrumentedSink<'a, S: ?Sized> {
     inner: &'a mut S,
     sink_stall: Counter,
+    trace_probe: Option<Probe>,
 }
 
 impl<S: EventSink + ?Sized> EventSink for InstrumentedSink<'_, S> {
@@ -207,6 +234,14 @@ impl<S: EventSink + ?Sized> EventSink for InstrumentedSink<'_, S> {
     }
 
     fn send(&mut self, entry: &StreamEntry) -> std::io::Result<()> {
+        // Stamp on entry (before the write) so the sink-write stamp never
+        // precedes the paced-emit stamp of the same event. Markers and
+        // control events do not advance the trace sequence.
+        if let Some(probe) = &self.trace_probe {
+            if entry.is_graph() {
+                probe.stamp();
+            }
+        }
         let start = Instant::now();
         let result = self.inner.send(entry);
         self.sink_stall.add(start.elapsed().as_micros() as u64);
@@ -214,6 +249,11 @@ impl<S: EventSink + ?Sized> EventSink for InstrumentedSink<'_, S> {
     }
 
     fn send_batch(&mut self, batch: &[SharedEntry]) -> std::io::Result<()> {
+        // Replayer batches carry only graph events, so the whole batch
+        // advances the trace sequence.
+        if let Some(probe) = &self.trace_probe {
+            probe.stamp_n(batch.len() as u64);
+        }
         let start = Instant::now();
         let result = self.inner.send_batch(batch);
         self.sink_stall.add(start.elapsed().as_micros() as u64);
@@ -311,6 +351,45 @@ mod tests {
             Err(ReplayError::Source(CoreError::Io(_))) => {}
             other => panic!("expected Source(Io) error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn tracer_breaks_replayer_latency_down_by_stage() {
+        use gt_trace::{TraceConfig, Tracer};
+
+        let path = temp_stream_file("traced", 2_000);
+        let clock: Arc<dyn Clock> = Arc::new(WallClock::start());
+        let trace_hub = MetricsHub::new();
+        let tracer = Tracer::new(
+            TraceConfig::default().sampling(16),
+            Arc::clone(&clock),
+            &trace_hub,
+        );
+        let session = ReplaySession::new(fast_config(64))
+            .with_clock(clock)
+            .with_tracer(&tracer);
+        let mut sink = CollectSink::new();
+        let report = session.run(&path, &mut sink).unwrap();
+        assert_eq!(report.replay.graph_events, 2_000);
+        let trace = tracer.stop();
+        // 2000 events at 1-in-16 → 125 sampled seqs; each can complete
+        // reader→emit and emit→sink. Ring drops are possible in theory
+        // (they shed load rather than block), so assert on what arrived.
+        assert!(trace.matched > 0, "no stage pairs matched");
+        for metric in ["reader_to_emit_micros", "emit_to_sink_micros"] {
+            assert!(
+                trace.records.iter().any(|r| r.metric == metric),
+                "no {metric} records"
+            );
+            assert!(trace_hub.histogram(metric).count() > 0, "{metric} empty");
+        }
+        // No SUT side in this pipeline: connector/apply pairs must be
+        // absent, not fabricated.
+        assert!(trace
+            .records
+            .iter()
+            .all(|r| r.metric != "emit_to_connector_micros"));
+        std::fs::remove_file(path).ok();
     }
 
     #[test]

@@ -6,6 +6,7 @@ use std::time::Duration;
 
 use gt_metrics::MetricsHub;
 use gt_replayer::EventSink;
+use gt_trace::Tracer;
 
 use crate::levels::EvaluationLevel;
 
@@ -45,6 +46,27 @@ pub trait SystemUnderTest: Send {
     /// logger threads sample it live and merge the series into the result
     /// log. `None` for black-box platforms.
     fn hub(&self) -> Option<&MetricsHub> {
+        None
+    }
+
+    /// Installs a Level-2 [`Tracer`] whose probes the platform should
+    /// stamp at its in-source tracepoints ([connector
+    /// receive](gt_trace::Stage::ConnectorRecv), [engine
+    /// apply](gt_trace::Stage::EngineApply)). Called by the harness after
+    /// spawn and before the first [`connector`](SystemUnderTest::connector)
+    /// when the run's evaluation level includes Level 2. The default is a
+    /// no-op: a platform that ignores the tracer simply contributes no
+    /// in-source stamps, and the collector reports only the replayer-side
+    /// stage pairs.
+    fn install_tracer(&mut self, tracer: &Tracer) {
+        let _ = tracer;
+    }
+
+    /// The tracer previously passed to
+    /// [`install_tracer`](SystemUnderTest::install_tracer), if the
+    /// platform kept it. `None` for platforms without in-source
+    /// tracepoints.
+    fn tracer(&self) -> Option<&Tracer> {
         None
     }
 

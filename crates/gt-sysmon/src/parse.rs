@@ -216,6 +216,12 @@ pub struct Derived {
     pub voluntary_ctxt_switches: Option<u64>,
     /// Cumulative involuntary context switches.
     pub nonvoluntary_ctxt_switches: Option<u64>,
+    /// Whether any cumulative counter went *backwards* between the two
+    /// samples (pid reuse after a restart, a proc snapshot reset, or
+    /// kernel accounting wobble). The affected deltas are clamped to
+    /// zero, so rates for this instant are degraded — consumers should
+    /// treat them as a gap, not a measurement.
+    pub counter_reset: bool,
 }
 
 /// Converts a pair of consecutive samples into the derived series.
@@ -228,6 +234,13 @@ pub fn derive(prev: &Sample, curr: &Sample, ticks_per_sec: f64, page_size: u64) 
     }
     let dt_secs = (curr.t_micros - prev.t_micros) as f64 / 1e6;
     let pct = |ticks: u64| 100.0 * (ticks as f64 / ticks_per_sec) / dt_secs;
+    // Cumulative counters only ever grow for a live process; a regression
+    // means the pid was reused or the source restarted. The saturating
+    // diffs clamp the rates to zero (instead of underflowing into
+    // astronomical values), and the regression is flagged so the sampler
+    // can emit a typed degradation marker.
+    let mut counter_reset = curr.stat.utime_ticks < prev.stat.utime_ticks
+        || curr.stat.stime_ticks < prev.stat.stime_ticks;
     let user = pct(curr.stat.utime_ticks.saturating_sub(prev.stat.utime_ticks));
     let sys = pct(curr.stat.stime_ticks.saturating_sub(prev.stat.stime_ticks));
 
@@ -237,8 +250,23 @@ pub fn derive(prev: &Sample, curr: &Sample, ticks_per_sec: f64, page_size: u64) 
             let idle = b.idle_ticks.saturating_sub(a.idle_ticks) as f64;
             Some(100.0 * (total - idle).max(0.0) / total)
         }
+        (Some(a), Some(b)) => {
+            // Host jiffies cannot stand still across a strictly ordered
+            // sample pair, let alone shrink: the host stat was reset.
+            counter_reset |= b.total_ticks < a.total_ticks;
+            None
+        }
         _ => None,
     };
+    if let (Some(a), Some(b)) = (prev.io, curr.io) {
+        counter_reset |= b.read_bytes < a.read_bytes || b.write_bytes < a.write_bytes;
+    }
+    if let (Some(a), Some(b)) = (prev.status, curr.status) {
+        let regressed =
+            |x: Option<u64>, y: Option<u64>| matches!((x, y), (Some(x), Some(y)) if y < x);
+        counter_reset |= regressed(a.voluntary_ctxt_switches, b.voluntary_ctxt_switches)
+            || regressed(a.nonvoluntary_ctxt_switches, b.nonvoluntary_ctxt_switches);
+    }
 
     let rss_bytes = curr
         .status
@@ -261,6 +289,7 @@ pub fn derive(prev: &Sample, curr: &Sample, ticks_per_sec: f64, page_size: u64) 
         write_bytes: curr.io.map(|io| io.write_bytes),
         voluntary_ctxt_switches: curr.status.and_then(|s| s.voluntary_ctxt_switches),
         nonvoluntary_ctxt_switches: curr.status.and_then(|s| s.nonvoluntary_ctxt_switches),
+        counter_reset,
     })
 }
 
@@ -421,5 +450,48 @@ mod tests {
         let b = sample(1_000_000, 50, 50, 1);
         let d = derive(&a, &b, 100.0, 4096).unwrap();
         assert_eq!(d.cpu_percent, 0.0);
+        // Regression: the clamp used to be silent — the reset must be
+        // flagged so consumers can discard the degraded instant.
+        assert!(d.counter_reset);
+        // A well-behaved pair stays unflagged.
+        let c = sample(2_000_000, 60, 60, 1);
+        let d = derive(&b, &c, 100.0, 4096).unwrap();
+        assert!(!d.counter_reset);
+        assert!(d.cpu_percent > 0.0);
+    }
+
+    #[test]
+    fn derive_flags_host_and_io_counter_resets() {
+        // Host jiffy total going backwards (e.g. a rebooted container's
+        // /proc/stat) must flag a reset and withhold host CPU%.
+        let mut a = sample(0, 0, 0, 1);
+        let mut b = sample(1_000_000, 1, 0, 1);
+        a.host = Some(HostStat {
+            total_ticks: 5_000,
+            idle_ticks: 4_000,
+            cpus: 2,
+        });
+        b.host = Some(HostStat {
+            total_ticks: 100,
+            idle_ticks: 50,
+            cpus: 2,
+        });
+        let d = derive(&a, &b, 100.0, 4096).unwrap();
+        assert!(d.counter_reset);
+        assert_eq!(d.host_cpu_percent, None);
+
+        // Cumulative io bytes shrinking (pid reuse) likewise.
+        let mut a = sample(0, 0, 0, 1);
+        let mut b = sample(1_000_000, 1, 0, 1);
+        a.io = Some(PidIo {
+            read_bytes: 9_000,
+            write_bytes: 9_000,
+        });
+        b.io = Some(PidIo {
+            read_bytes: 10,
+            write_bytes: 10,
+        });
+        let d = derive(&a, &b, 100.0, 4096).unwrap();
+        assert!(d.counter_reset);
     }
 }

@@ -180,6 +180,13 @@ impl SysmonSampler {
                     self.config.page_size,
                 ) {
                     let t = d.t_micros;
+                    if d.counter_reset {
+                        // A cumulative counter went backwards (pid reuse,
+                        // proc restart): this instant's rates are clamped
+                        // to zero, so mark the series as degraded instead
+                        // of letting the zeros masquerade as idleness.
+                        records.push(MetricRecord::text(t, src, "degradation", "counter_reset"));
+                    }
                     records.push(MetricRecord::float(t, src, "cpu_percent", d.cpu_percent));
                     records.push(MetricRecord::float(
                         t,
@@ -484,6 +491,47 @@ mod tests {
             .as_f64()
             .unwrap();
         assert!((host - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn counter_reset_emits_degradation_marker() {
+        // Regression: a /proc counter reset between ticks (pid reuse)
+        // used to surface only as a silent 0% CPU sample. It must now be
+        // accompanied by a typed "degradation" record.
+        let (fake, clock) = fake_with_stat();
+        fake.set(ProcFile::PidStat, stat_line(500, 500, 4, 1000));
+        let mut sampler = SysmonSampler::with_source(
+            SamplerConfig::default(),
+            Box::new(fake.clone()),
+            Arc::clone(&clock) as Arc<dyn Clock>,
+        );
+        sampler.tick().unwrap();
+        // The counters collapse: a fresh process now owns the pid.
+        clock.advance_secs(1.0);
+        fake.set(ProcFile::PidStat, stat_line(3, 1, 2, 500));
+        let records = sampler.tick().unwrap();
+        let degradation = records
+            .iter()
+            .find(|r| r.metric == "degradation")
+            .expect("reset must emit a degradation record");
+        assert_eq!(
+            degradation.value,
+            MetricValue::Text("counter_reset".to_owned())
+        );
+        // The clamped rates still come through (as zeros), not garbage.
+        let cpu = records
+            .iter()
+            .find(|r| r.metric == "cpu_percent")
+            .unwrap()
+            .value
+            .as_f64()
+            .unwrap();
+        assert_eq!(cpu, 0.0);
+        // A subsequent well-behaved tick emits no degradation record.
+        clock.advance_secs(1.0);
+        fake.set(ProcFile::PidStat, stat_line(10, 5, 2, 500));
+        let records = sampler.tick().unwrap();
+        assert!(records.iter().all(|r| r.metric != "degradation"));
     }
 
     #[test]

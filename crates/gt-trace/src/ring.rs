@@ -1,0 +1,158 @@
+//! A bounded single-producer / single-consumer stamp ring.
+//!
+//! Each [`crate::Probe`] owns one ring; the collector thread is the only
+//! consumer. Slots are pairs of atomics with release/acquire publication
+//! on the cursors, so the ring is lock-free and allocation-free on the
+//! producer side without any `unsafe`. A full ring *drops* the stamp and
+//! counts the drop — a tracer must shed load, never block the pipeline
+//! it is measuring.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::stage::Stage;
+
+/// One `(seq, t_micros)` stamp slot.
+#[derive(Debug)]
+struct Slot {
+    seq: AtomicU64,
+    t: AtomicU64,
+}
+
+/// The SPSC stamp ring shared between one probe and the collector.
+#[derive(Debug)]
+pub(crate) struct Ring {
+    stage: Stage,
+    slots: Box<[Slot]>,
+    /// Producer cursor: index of the next write. Only the probe advances
+    /// it (release), the collector reads it (acquire).
+    head: AtomicU64,
+    /// Consumer cursor: index of the next read. Only the collector
+    /// advances it (release), the probe reads it (acquire).
+    tail: AtomicU64,
+    /// Stamps lost to a full ring.
+    dropped: AtomicU64,
+}
+
+impl Ring {
+    pub(crate) fn new(stage: Stage, capacity: usize) -> Self {
+        let capacity = capacity.max(2);
+        Ring {
+            stage,
+            slots: (0..capacity)
+                .map(|_| Slot {
+                    seq: AtomicU64::new(0),
+                    t: AtomicU64::new(0),
+                })
+                .collect(),
+            head: AtomicU64::new(0),
+            tail: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn stage(&self) -> Stage {
+        self.stage
+    }
+
+    /// Producer side: publishes one stamp, or drops it when the collector
+    /// has fallen a full ring behind.
+    #[inline]
+    pub(crate) fn push(&self, seq: u64, t_micros: u64) {
+        let head = self.head.load(Ordering::Relaxed);
+        let tail = self.tail.load(Ordering::Acquire);
+        if head.wrapping_sub(tail) >= self.slots.len() as u64 {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let slot = &self.slots[(head % self.slots.len() as u64) as usize];
+        slot.seq.store(seq, Ordering::Relaxed);
+        slot.t.store(t_micros, Ordering::Relaxed);
+        self.head.store(head.wrapping_add(1), Ordering::Release);
+    }
+
+    /// Consumer side: appends every published stamp to `out` and frees
+    /// the slots.
+    pub(crate) fn drain(&self, out: &mut Vec<(u64, u64)>) {
+        let head = self.head.load(Ordering::Acquire);
+        let mut tail = self.tail.load(Ordering::Relaxed);
+        while tail != head {
+            let slot = &self.slots[(tail % self.slots.len() as u64) as usize];
+            out.push((
+                slot.seq.load(Ordering::Relaxed),
+                slot.t.load(Ordering::Relaxed),
+            ));
+            tail = tail.wrapping_add(1);
+        }
+        self.tail.store(tail, Ordering::Release);
+    }
+
+    pub(crate) fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_in_order() {
+        let ring = Ring::new(Stage::PacedEmit, 8);
+        for i in 0..5u64 {
+            ring.push(i, i * 10);
+        }
+        let mut out = Vec::new();
+        ring.drain(&mut out);
+        assert_eq!(out, [(0, 0), (1, 10), (2, 20), (3, 30), (4, 40)]);
+        assert_eq!(ring.dropped(), 0);
+        // Drained slots are reusable.
+        ring.push(9, 90);
+        out.clear();
+        ring.drain(&mut out);
+        assert_eq!(out, [(9, 90)]);
+    }
+
+    #[test]
+    fn full_ring_drops_instead_of_blocking() {
+        let ring = Ring::new(Stage::PacedEmit, 4);
+        for i in 0..10u64 {
+            ring.push(i, i);
+        }
+        assert_eq!(ring.dropped(), 6);
+        let mut out = Vec::new();
+        ring.drain(&mut out);
+        assert_eq!(out.len(), 4, "only the first four fit");
+        assert_eq!(out[0], (0, 0));
+    }
+
+    #[test]
+    fn concurrent_producer_consumer_loses_nothing_when_paced() {
+        use std::sync::Arc;
+        let ring = Arc::new(Ring::new(Stage::EngineApply, 1024));
+        let producer = {
+            let ring = Arc::clone(&ring);
+            std::thread::spawn(move || {
+                for i in 0..50_000u64 {
+                    ring.push(i, i);
+                    if i % 512 == 0 {
+                        std::thread::yield_now();
+                    }
+                }
+            })
+        };
+        let mut out = Vec::new();
+        let mut buf = Vec::new();
+        while out.len() + (ring.dropped() as usize) < 50_000 {
+            buf.clear();
+            ring.drain(&mut buf);
+            out.extend_from_slice(&buf);
+            std::thread::yield_now();
+        }
+        producer.join().unwrap();
+        // Whatever was not dropped arrives intact and in order.
+        for pair in out.windows(2) {
+            assert!(pair[0].0 < pair[1].0, "out of order: {pair:?}");
+        }
+        assert_eq!(out.len() as u64 + ring.dropped(), 50_000);
+    }
+}

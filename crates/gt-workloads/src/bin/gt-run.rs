@@ -13,6 +13,7 @@
 
 use std::process::ExitCode;
 
+use gt_analysis::{Quantiles, TRACE_SOURCE, TRACE_STAGE_METRICS};
 use gt_harness::{run_file_sut_experiment, EvaluationLevel, FileRunPlan, SutOptions, SutRegistry};
 
 struct Args {
@@ -109,6 +110,30 @@ fn main() -> ExitCode {
     println!("\n# {} final report", outcome.report.name);
     for (metric, value) in &outcome.report.summary {
         println!("{metric:<19} {value:>12.0}");
+    }
+    // Level-2 stage-pair latencies of the 1-in-N sampled events, when the
+    // platform granted in-source tracing.
+    let mut traced = false;
+    for metric in TRACE_STAGE_METRICS {
+        let values: Vec<f64> = outcome
+            .run
+            .log
+            .series(TRACE_SOURCE, metric)
+            .into_iter()
+            .map(|(_, v)| v)
+            .collect();
+        if let Some(q) = Quantiles::of(&values) {
+            if !traced {
+                println!("\n# sampled stage latencies [us] (median / p99, n)");
+                traced = true;
+            }
+            println!(
+                "{metric:<26} {:>8.0} / {:>8.0}  n={}",
+                q.median,
+                q.p99,
+                values.len()
+            );
+        }
     }
     println!(
         "\n# merged result log: {} records",

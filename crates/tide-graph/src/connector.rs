@@ -11,6 +11,7 @@ use std::sync::Arc;
 
 use gt_core::prelude::*;
 use gt_replayer::EventSink;
+use gt_trace::Probe;
 
 use crate::engine::Engine;
 use crate::program::Partition;
@@ -21,6 +22,7 @@ use crate::rank::RankPartition;
 pub struct EngineConnector<P: Partition = RankPartition> {
     engine: Arc<Engine<P>>,
     events_sent: u64,
+    trace_probe: Option<Probe>,
 }
 
 impl<P: Partition> EngineConnector<P> {
@@ -29,12 +31,29 @@ impl<P: Partition> EngineConnector<P> {
         EngineConnector {
             engine,
             events_sent: 0,
+            trace_probe: None,
         }
+    }
+
+    /// Attaches a Level-2 tracepoint (normally
+    /// [`gt_trace::Stage::ConnectorRecv`]) stamped once per received
+    /// graph event, in stream order.
+    #[must_use]
+    pub fn with_trace_probe(mut self, probe: Probe) -> Self {
+        self.trace_probe = Some(probe);
+        self
     }
 
     /// Graph events forwarded so far.
     pub fn events_sent(&self) -> u64 {
         self.events_sent
+    }
+
+    #[inline]
+    fn stamp_recv(&self) {
+        if let Some(probe) = &self.trace_probe {
+            probe.stamp();
+        }
     }
 }
 
@@ -42,6 +61,7 @@ impl<P: Partition> EventSink for EngineConnector<P> {
     fn send(&mut self, entry: &StreamEntry) -> io::Result<()> {
         match entry {
             StreamEntry::Graph(event) => {
+                self.stamp_recv();
                 self.engine.ingest(event.clone());
                 self.events_sent += 1;
             }
@@ -62,6 +82,7 @@ impl<P: Partition> EventSink for EngineConnector<P> {
                 // The shared handle moves into the owner's mailbox: no
                 // per-event payload clone on the batched ingest path.
                 Some(event) => {
+                    self.stamp_recv();
                     self.engine.ingest_shared(event);
                     self.events_sent += 1;
                 }

@@ -6,6 +6,7 @@
 //! as [`crate::sssp::SsspEngine`].
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -14,6 +15,7 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use gt_core::prelude::*;
 use gt_metrics::hub::{Counter, Gauge};
 use gt_metrics::MetricsHub;
+use gt_trace::{Probe, Stage, TracerCell};
 use parking_lot::Mutex;
 
 use crate::program::Partition;
@@ -68,7 +70,10 @@ pub struct EngineStats {
 }
 
 enum Msg<M> {
-    Event(SharedGraphEvent),
+    /// A mutation event with its global ingest sequence number (stream
+    /// position), carried so out-of-order worker processing can still
+    /// stamp Level-2 tracepoints against the replayer-side stages.
+    Event(SharedGraphEvent, u64),
     /// Broadcast half of vertex removal: strip edges pointing at the id.
     Purge(VertexId),
     Compute(VertexId, M),
@@ -97,6 +102,12 @@ pub struct Engine<P: Partition> {
     started: Instant,
     hub: MetricsHub,
     workers: usize,
+    /// Global ingest counter: each graph event's stream position, carried
+    /// into the worker mailboxes for Level-2 trace stamping.
+    ingest_seq: AtomicU64,
+    /// Lazily installed Level-2 tracer shared with the worker threads,
+    /// which spawn in [`Engine::start_with`] — before any tracer exists.
+    tracer_cell: TracerCell,
 }
 
 /// The influence-rank engine — the paper's Chronograph stand-in.
@@ -149,6 +160,7 @@ impl<P: Partition> Engine<P> {
         let markers: MarkerLog = Arc::new(Mutex::new(Vec::new()));
         let started = Instant::now();
 
+        let tracer_cell = TracerCell::new();
         let mut handles = Vec::with_capacity(config.workers);
         for (worker_id, rx) in receivers.into_iter().enumerate() {
             let ctx = WorkerCtx {
@@ -159,6 +171,7 @@ impl<P: Partition> Engine<P> {
                 markers: Arc::clone(&markers),
                 started,
                 config: config.clone(),
+                tracer_cell: tracer_cell.clone(),
                 queue_gauge: hub.gauge(&format!("worker-{worker_id}.queue")),
                 ops: hub.counter(&format!("worker-{worker_id}.ops")),
                 events: hub.counter(&format!("worker-{worker_id}.events")),
@@ -182,7 +195,17 @@ impl<P: Partition> Engine<P> {
             started,
             hub: hub.clone(),
             workers: config.workers,
+            ingest_seq: AtomicU64::new(0),
+            tracer_cell,
         }
+    }
+
+    /// The tracer slot shared with the worker threads. Installing a
+    /// [`gt_trace::Tracer`] here makes every worker stamp applied
+    /// mutation events at [`Stage::EngineApply`], keyed by the global
+    /// ingest sequence carried in their mailbox message.
+    pub fn tracer_cell(&self) -> &TracerCell {
+        &self.tracer_cell
     }
 
     /// Number of workers.
@@ -221,7 +244,11 @@ impl<P: Partition> Engine<P> {
             | GraphEvent::RemoveEdge { id }
             | GraphEvent::UpdateEdge { id, .. } => id.src,
         };
-        let _ = self.senders[owner(target, self.workers)].send(Msg::Event(event));
+        // The ingest counter assigns each graph event its global stream
+        // position; connectors call in stream order, so the sequence
+        // matches what the replayer-side tracepoints counted.
+        let seq = self.ingest_seq.fetch_add(1, Ordering::Relaxed);
+        let _ = self.senders[owner(target, self.workers)].send(Msg::Event(event, seq));
     }
 
     /// Enqueues a watermark on every worker. Each worker timestamps it
@@ -328,6 +355,7 @@ struct WorkerCtx<M> {
     markers: MarkerLog,
     started: Instant,
     config: EngineConfig,
+    tracer_cell: TracerCell,
     queue_gauge: Gauge,
     ops: Counter,
     events: Counter,
@@ -342,6 +370,9 @@ fn worker_loop<P: Partition>(ctx: WorkerCtx<P::Msg>, mut partition: P) -> P {
     let mut dirty: Vec<VertexId> = Vec::new();
     let mut processed: u64 = 0;
     let mut running = true;
+    // Lazily acquired apply tracepoint: the thread outlives tracer
+    // installation, so it polls the cell (one atomic load while empty).
+    let mut trace_probe: Option<Probe> = None;
 
     while running {
         // Block for the first message, then opportunistically drain more.
@@ -354,10 +385,18 @@ fn worker_loop<P: Partition>(ctx: WorkerCtx<P::Msg>, mut partition: P) -> P {
         let mut msg = first;
         loop {
             match msg {
-                Msg::Event(event) => {
+                Msg::Event(event, seq) => {
                     busy_work(ctx.config.event_cost);
                     partition.apply_event_deferred(event.event(), &mut dirty);
                     ctx.events.inc();
+                    if trace_probe.is_none() {
+                        trace_probe = ctx.tracer_cell.probe(Stage::EngineApply);
+                    }
+                    if let Some(probe) = &trace_probe {
+                        // Workers process out of stream order, so the
+                        // stamp carries the global ingest sequence.
+                        probe.stamp_seq(seq);
+                    }
                 }
                 Msg::Purge(id) => {
                     partition.purge(id, &mut outbox);

@@ -9,6 +9,7 @@ use std::time::Duration;
 use gt_metrics::MetricsHub;
 use gt_replayer::EventSink;
 use gt_sut::{EvaluationLevel, SutOptions, SutRegistry, SutReport, SystemUnderTest};
+use gt_trace::{Stage, Tracer};
 
 use crate::connector::EngineConnector;
 use crate::engine::{EngineConfig, EngineStats, TideGraph};
@@ -34,6 +35,7 @@ pub const SUT_NAME: &str = "tide-graph";
 pub struct TideGraphSut {
     engine: Option<Arc<TideGraph>>,
     hub: MetricsHub,
+    tracer: Option<Tracer>,
 }
 
 impl TideGraphSut {
@@ -73,6 +75,7 @@ impl TideGraphSut {
         Ok(TideGraphSut {
             engine: Some(engine),
             hub,
+            tracer: None,
         })
     }
 
@@ -109,11 +112,24 @@ impl SystemUnderTest for TideGraphSut {
     }
 
     fn connector(&mut self) -> io::Result<Box<dyn EventSink + Send>> {
-        Ok(Box::new(EngineConnector::new(Arc::clone(self.engine()))))
+        let mut connector = EngineConnector::new(Arc::clone(self.engine()));
+        if let Some(tracer) = &self.tracer {
+            connector = connector.with_trace_probe(tracer.probe(Stage::ConnectorRecv));
+        }
+        Ok(Box::new(connector))
     }
 
     fn hub(&self) -> Option<&MetricsHub> {
         Some(&self.hub)
+    }
+
+    fn install_tracer(&mut self, tracer: &Tracer) {
+        self.engine().tracer_cell().install(tracer);
+        self.tracer = Some(tracer.clone());
+    }
+
+    fn tracer(&self) -> Option<&Tracer> {
+        self.tracer.as_ref()
     }
 
     fn quiesce(&mut self, timeout: Duration) -> bool {
@@ -176,6 +192,42 @@ mod tests {
         let report = sut.shutdown();
         assert_eq!(report.get("events"), Some(40.0));
         assert_eq!(report.get("vertices"), Some(40.0));
+    }
+
+    #[test]
+    fn installed_tracer_matches_connector_to_apply_pairs() {
+        use gt_trace::TraceConfig;
+
+        let options = SutOptions::new().set("workers", 3);
+        let sut = TideGraphSut::start(&options).unwrap();
+        let clock: Arc<dyn gt_metrics::Clock> = Arc::new(gt_metrics::WallClock::start());
+        let trace_hub = MetricsHub::new();
+        let tracer = Tracer::new(TraceConfig::default().sampling(1), clock, &trace_hub);
+        let mut boxed: Box<dyn SystemUnderTest> = Box::new(sut);
+        boxed.install_tracer(&tracer);
+        assert!(boxed.tracer().is_some());
+        let mut connector = boxed.connector().unwrap();
+        let entries: Vec<SharedEntry> = (0..30u64)
+            .map(|i| {
+                SharedEntry::new(StreamEntry::graph(GraphEvent::AddVertex {
+                    id: VertexId(i),
+                    state: State::empty(),
+                }))
+            })
+            .collect();
+        connector.send_batch(&entries).unwrap();
+        assert!(boxed.quiesce(Duration::from_secs(10)));
+        drop(connector);
+        let report = boxed.shutdown();
+        assert_eq!(report.get("events"), Some(30.0));
+        let trace = tracer.stop();
+        let pairs = trace
+            .records
+            .iter()
+            .filter(|r| r.metric == "connector_to_apply_micros")
+            .count();
+        assert_eq!(pairs, 30, "matched {} of 30 events", pairs);
+        assert_eq!(trace.dropped, 0);
     }
 
     #[test]

@@ -13,6 +13,7 @@ use std::io;
 
 use gt_core::prelude::*;
 use gt_replayer::EventSink;
+use gt_trace::Probe;
 
 use crate::store::{StoreClient, Transaction};
 
@@ -28,6 +29,7 @@ pub struct BatchingConnector {
     pending: Vec<SharedGraphEvent>,
     submitted_tx: u64,
     submitted_events: u64,
+    trace_probe: Option<Probe>,
 }
 
 impl BatchingConnector {
@@ -43,7 +45,17 @@ impl BatchingConnector {
             pending: Vec::with_capacity(batch_size),
             submitted_tx: 0,
             submitted_events: 0,
+            trace_probe: None,
         }
+    }
+
+    /// Attaches a Level-2 tracepoint (normally
+    /// [`gt_trace::Stage::ConnectorRecv`]) stamped once per received
+    /// graph event, in stream order.
+    #[must_use]
+    pub fn with_trace_probe(mut self, probe: Probe) -> Self {
+        self.trace_probe = Some(probe);
+        self
     }
 
     /// Transactions submitted so far.
@@ -62,6 +74,11 @@ impl BatchingConnector {
     }
 
     fn push(&mut self, event: SharedGraphEvent) -> io::Result<()> {
+        // Every graph event passes through here exactly once, in stream
+        // order — the connector-receive tracepoint.
+        if let Some(probe) = &self.trace_probe {
+            probe.stamp();
+        }
         self.pending.push(event);
         if self.pending.len() >= self.batch_size {
             self.submit_pending()?;

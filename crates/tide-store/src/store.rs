@@ -8,6 +8,7 @@ use gt_core::prelude::*;
 use gt_graph::{ApplyPolicy, EvolvingGraph};
 use gt_metrics::hub::{Counter, Gauge};
 use gt_metrics::MetricsHub;
+use gt_trace::{Probe, Stage, TracerCell};
 
 /// Store configuration.
 ///
@@ -172,6 +173,9 @@ pub struct TideStore {
     shards: Option<Vec<JoinHandle<ShardLog>>>,
     events_counter: Counter,
     tx_counter: Counter,
+    /// Lazily installed Level-2 tracer shared with the shard threads,
+    /// which spawn in [`TideStore::start`] — before any tracer exists.
+    tracer_cell: TracerCell,
 }
 
 /// Burns CPU for the given duration (simulated component work). Spinning —
@@ -198,6 +202,7 @@ impl TideStore {
     pub fn start(config: StoreConfig, hub: &MetricsHub) -> Self {
         assert!(config.shards >= 1, "at least one shard required");
         let (client_tx, client_rx) = bounded::<ClientMsg>(config.queue_capacity);
+        let tracer_cell = TracerCell::new();
 
         let mut shard_txs: Vec<Sender<ShardMsg>> = Vec::with_capacity(config.shards);
         let mut shard_handles = Vec::with_capacity(config.shards);
@@ -207,10 +212,11 @@ impl TideStore {
             let busy = hub.counter(&format!("shard-{shard_id}.busy_micros"));
             let applied = hub.counter(&format!("shard-{shard_id}.events"));
             let cost = config.shard_cost_per_event;
+            let cell = tracer_cell.clone();
             shard_handles.push(
                 std::thread::Builder::new()
                     .name(format!("tide-store-shard-{shard_id}"))
-                    .spawn(move || shard_loop(rx, cost, busy, applied))
+                    .spawn(move || shard_loop(rx, cost, busy, applied, cell))
                     .expect("spawn shard"),
             );
         }
@@ -243,7 +249,17 @@ impl TideStore {
             shards: Some(shard_handles),
             events_counter,
             tx_counter,
+            tracer_cell,
         }
+    }
+
+    /// The tracer slot shared with the shard threads. Installing a
+    /// [`gt_trace::Tracer`] here makes every shard stamp applied events
+    /// at [`Stage::EngineApply`], keyed by their global commit timestamp
+    /// — which equals the event's global stream position, so the stamps
+    /// match the replayer-side stages without any event metadata.
+    pub fn tracer_cell(&self) -> &TracerCell {
+        &self.tracer_cell
     }
 
     /// A new client handle.
@@ -376,8 +392,17 @@ fn timestamper_loop(
     committed
 }
 
-fn shard_loop(rx: Receiver<ShardMsg>, cost: Duration, busy: Counter, applied: Counter) -> ShardLog {
+fn shard_loop(
+    rx: Receiver<ShardMsg>,
+    cost: Duration,
+    busy: Counter,
+    applied: Counter,
+    tracer_cell: TracerCell,
+) -> ShardLog {
     let mut log: ShardLog = Vec::new();
+    // Lazily acquired apply tracepoint: the thread outlives tracer
+    // installation, so it polls the cell (one atomic load while empty).
+    let mut trace_probe: Option<Probe> = None;
     // Partition-local state for reads: vertex and edge states, applied
     // leniently (the cross-shard existence of endpoints cannot be checked
     // locally; the merged reconstruction at shutdown is authoritative).
@@ -407,6 +432,15 @@ fn shard_loop(rx: Receiver<ShardMsg>, cost: Duration, busy: Counter, applied: Co
                 }
                 log.push((ts, event));
                 applied.inc();
+                if trace_probe.is_none() {
+                    trace_probe = tracer_cell.probe(Stage::EngineApply);
+                }
+                if let Some(probe) = &trace_probe {
+                    // The commit timestamp is the event's global stream
+                    // position: shards apply out of order, so the stamp
+                    // carries it explicitly.
+                    probe.stamp_seq(ts);
+                }
             }
             ShardMsg::ReadVertex(id, reply) => {
                 let _ = reply.send(vertices.get(&id).cloned());

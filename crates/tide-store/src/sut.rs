@@ -7,6 +7,7 @@ use std::io;
 use gt_metrics::MetricsHub;
 use gt_replayer::EventSink;
 use gt_sut::{EvaluationLevel, SutOptions, SutRegistry, SutReport, SystemUnderTest};
+use gt_trace::{Stage, Tracer};
 
 use crate::connector::BatchingConnector;
 use crate::store::{StoreConfig, TideStore};
@@ -29,6 +30,7 @@ pub struct TideStoreSut {
     store: Option<TideStore>,
     hub: MetricsHub,
     batch_size: usize,
+    tracer: Option<Tracer>,
 }
 
 impl TideStoreSut {
@@ -61,6 +63,7 @@ impl TideStoreSut {
             store: Some(store),
             hub,
             batch_size,
+            tracer: None,
         })
     }
 
@@ -81,14 +84,24 @@ impl SystemUnderTest for TideStoreSut {
     }
 
     fn connector(&mut self) -> io::Result<Box<dyn EventSink + Send>> {
-        Ok(Box::new(BatchingConnector::new(
-            self.store().client(),
-            self.batch_size,
-        )))
+        let mut connector = BatchingConnector::new(self.store().client(), self.batch_size);
+        if let Some(tracer) = &self.tracer {
+            connector = connector.with_trace_probe(tracer.probe(Stage::ConnectorRecv));
+        }
+        Ok(Box::new(connector))
     }
 
     fn hub(&self) -> Option<&MetricsHub> {
         Some(&self.hub)
+    }
+
+    fn install_tracer(&mut self, tracer: &Tracer) {
+        self.store().tracer_cell().install(tracer);
+        self.tracer = Some(tracer.clone());
+    }
+
+    fn tracer(&self) -> Option<&Tracer> {
+        self.tracer.as_ref()
     }
 
     // Default quiesce: `TideStore::shutdown` drains every queue before
@@ -149,6 +162,47 @@ mod tests {
         let report = sut.shutdown();
         assert_eq!(report.get("events"), Some(42.0));
         assert_eq!(report.get("vertices"), Some(42.0));
+    }
+
+    #[test]
+    fn installed_tracer_matches_connector_to_apply_pairs() {
+        use gt_trace::TraceConfig;
+        use std::sync::Arc;
+
+        let options = SutOptions::new()
+            .set("timestamper_cost_us", 0)
+            .set("shard_cost_us", 0)
+            .set("batch_size", 5);
+        let sut = TideStoreSut::start(&options).unwrap();
+        let clock: Arc<dyn gt_metrics::Clock> = Arc::new(gt_metrics::WallClock::start());
+        let trace_hub = MetricsHub::new();
+        let tracer = Tracer::new(TraceConfig::default().sampling(1), clock, &trace_hub);
+        let mut boxed: Box<dyn SystemUnderTest> = Box::new(sut);
+        boxed.install_tracer(&tracer);
+        assert!(boxed.tracer().is_some());
+        let mut connector = boxed.connector().unwrap();
+        for i in 0..40u64 {
+            connector
+                .send(&StreamEntry::graph(GraphEvent::AddVertex {
+                    id: VertexId(i),
+                    state: State::empty(),
+                }))
+                .unwrap();
+        }
+        connector.close().unwrap();
+        drop(connector);
+        let report = boxed.shutdown();
+        assert_eq!(report.get("events"), Some(40.0));
+        // All apply stamps are in the rings once shutdown drained the
+        // shards; stop() does a final drain before matching.
+        let trace = tracer.stop();
+        let pairs = trace
+            .records
+            .iter()
+            .filter(|r| r.metric == "connector_to_apply_micros")
+            .count();
+        assert_eq!(pairs, 40, "matched {} of 40 events", pairs);
+        assert_eq!(trace.dropped, 0);
     }
 
     #[test]

@@ -46,6 +46,8 @@ pub use gt_replayer as replayer;
 pub use gt_sut as sut;
 /// The Level-0 black-box process monitor (`/proc` sampler).
 pub use gt_sysmon as sysmon;
+/// Level-2 in-source event tracing: sampled pipeline tracepoints.
+pub use gt_trace as trace;
 /// Ready-made representative workloads.
 pub use gt_workloads as workloads;
 /// The Chronograph-class online engine under test.

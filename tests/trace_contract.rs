@@ -1,0 +1,150 @@
+//! Property tests of the Level-2 tracing contract at the SUT boundary:
+//! attaching a tracer at *any* sampling rate is observation, not
+//! interference. For any random interleaving of graph events and markers
+//! delivered in arbitrary chunk sizes,
+//!
+//! * the batched-sink marker contract holds exactly as it does untraced
+//!   (markers flush all prior events, nothing lost or duplicated);
+//! * the platform's stream metrics are unchanged — a traced run commits
+//!   the same events, transactions, and vertices as an untraced run of
+//!   the same stream;
+//! * the only new output is the trace itself: `connector_to_apply_micros`
+//!   latency records for exactly the 1-in-N sampled events, with no
+//!   stamps dropped at these stream sizes.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use graphtides::metrics::{Clock, MetricsHub, WallClock};
+use graphtides::prelude::*;
+use graphtides::replayer::EventSink;
+use graphtides::store::{BatchingConnector, StoreConfig, TideStore};
+use graphtides::trace::{Stage, TraceConfig, Tracer};
+use proptest::prelude::*;
+
+/// One random stream: `ops[i] < 2` becomes a marker, anything else a
+/// fresh `AddVertex`. Returns the shared entries and the graph-event
+/// count.
+fn build_stream(ops: &[u8]) -> (Vec<SharedEntry>, u64) {
+    let mut entries = Vec::with_capacity(ops.len());
+    let mut events = 0u64;
+    let mut markers = 0u64;
+    for &op in ops {
+        if op < 2 {
+            entries.push(SharedEntry::new(StreamEntry::marker(format!("m{markers}"))));
+            markers += 1;
+        } else {
+            entries.push(SharedEntry::new(StreamEntry::graph(
+                GraphEvent::AddVertex {
+                    id: VertexId(events),
+                    state: State::empty(),
+                },
+            )));
+            events += 1;
+        }
+    }
+    (entries, events)
+}
+
+fn zero_cost_store(hub: &MetricsHub) -> TideStore {
+    TideStore::start(
+        StoreConfig {
+            shards: 2,
+            timestamper_cost_per_tx: Duration::ZERO,
+            shard_cost_per_event: Duration::ZERO,
+            queue_capacity: 64,
+        },
+        hub,
+    )
+}
+
+/// Streams `entries` into a fresh store in `chunk`-sized batches,
+/// checking the marker-flush invariant after every batch, and returns
+/// `(committed_events, committed_transactions, vertices)`.
+fn run_store(
+    entries: &[SharedEntry],
+    chunk: usize,
+    batch_size: usize,
+    tracer: Option<&Tracer>,
+) -> Result<(u64, u64, u64), TestCaseError> {
+    let hub = MetricsHub::new();
+    let store = zero_cost_store(&hub);
+    let mut connector = BatchingConnector::new(store.client(), batch_size);
+    if let Some(tracer) = tracer {
+        store.tracer_cell().install(tracer);
+        connector = connector.with_trace_probe(tracer.probe(Stage::ConnectorRecv));
+    }
+
+    let mut sent_events = 0u64;
+    let mut last_marker_events = 0u64;
+    for chunk_entries in entries.chunks(chunk) {
+        connector.send_batch(chunk_entries).unwrap();
+        for entry in chunk_entries {
+            match entry.as_ref() {
+                StreamEntry::Graph(_) => sent_events += 1,
+                StreamEntry::Marker(_) => last_marker_events = sent_events,
+                StreamEntry::Control(_) => {}
+            }
+        }
+        // Conservation and the marker contract, exactly as untraced.
+        prop_assert_eq!(
+            connector.submitted_events() + connector.pending_len() as u64,
+            sent_events
+        );
+        prop_assert!(connector.submitted_events() >= last_marker_events);
+    }
+    connector.close().unwrap();
+    prop_assert_eq!(connector.pending_len(), 0);
+    drop(connector);
+    let stats = store.shutdown();
+    Ok((
+        stats.events,
+        stats.transactions,
+        stats.graph.vertex_count() as u64,
+    ))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn tracing_preserves_the_stream_contract_at_any_sampling_rate(
+        ops in proptest::collection::vec(0u8..10, 10..160),
+        chunk in 1usize..17,
+        batch_size in 1usize..8,
+        sample_every in 1u64..129,
+    ) {
+        let (entries, total_events) = build_stream(&ops);
+
+        // Baseline: the same stream, untraced.
+        let untraced = run_store(&entries, chunk, batch_size, None)?;
+
+        // Traced at 1-in-`sample_every`.
+        let clock: Arc<dyn Clock> = Arc::new(WallClock::start());
+        let trace_hub = MetricsHub::new();
+        let tracer = Tracer::new(
+            TraceConfig::default().sampling(sample_every),
+            clock,
+            &trace_hub,
+        );
+        let traced = run_store(&entries, chunk, batch_size, Some(&tracer))?;
+        let trace = tracer.stop();
+
+        // Observation, not interference: identical stream metrics.
+        prop_assert_eq!(traced, untraced);
+        prop_assert_eq!(traced.0, total_events);
+
+        // The trace adds exactly the sampled latency pairs and nothing
+        // else: without a replayer there is no emit stamp, so the only
+        // matchable stage pair is connector receive → engine apply.
+        prop_assert!(trace
+            .records
+            .iter()
+            .all(|r| r.source == "trace" && r.metric == "connector_to_apply_micros"));
+        let expected_sampled = total_events.div_ceil(sample_every);
+        prop_assert_eq!(trace.matched, expected_sampled);
+        prop_assert_eq!(trace.records.len() as u64, expected_sampled);
+        prop_assert_eq!(trace.dropped, 0);
+        prop_assert_eq!(trace.evicted, 0);
+    }
+}
