@@ -18,12 +18,16 @@
 //!   summaries and in-window correlation (the analysis side of the §4.5
 //!   watermark pattern),
 //! * [`error`] — relative errors of approximate results against exact
-//!   references (the "relative rank error" of §5.3.2).
+//!   references (the "relative rank error" of §5.3.2),
+//! * [`recovery`] — fault/recovery correlation for chaos runs:
+//!   time-to-recover, throughput-dip depth, and events lost per injected
+//!   fault.
 
 pub mod correlate;
 pub mod error;
 pub mod markers;
 pub mod percentiles;
+pub mod recovery;
 pub mod summary;
 pub mod timeseries;
 pub mod trend;
@@ -36,6 +40,7 @@ pub use markers::{
     PhaseStats, StageLatency, TRACE_SOURCE, TRACE_STAGE_METRICS,
 };
 pub use percentiles::{percentile, Quantiles};
+pub use recovery::{recovery_windows, RecoveryWindow, CHAOS_SOURCE};
 pub use summary::{compare_ci95, ConfidenceInterval, Summary};
 pub use timeseries::{RateSeries, TimeSeries};
 pub use trend::{densification_exponent, linear_trend, Trend};

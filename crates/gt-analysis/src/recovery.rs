@@ -1,0 +1,278 @@
+//! Recovery-window analysis for chaos runs.
+//!
+//! A chaos run's merged log carries the fault/recovery journal (source
+//! `chaos`) chronologically interleaved with the replayer's ingress-rate
+//! series. [`recovery_windows`] correlates the two: for every fault it
+//! measures the throughput baseline before the hit, the depth and
+//! duration of the dip after it, the time until the rate climbed back to
+//! a caller-chosen fraction of the baseline, and the events lost (and
+//! duplicated, for platforms that report duplicates) to the fault — the
+//! numbers a robustness experiment exists to produce.
+
+use gt_metrics::{MetricValue, ResultLog};
+
+/// The result-log source under which chaos journals are folded. Kept as
+/// a string constant so this crate analyses chaos output without
+/// depending on the injector (same decoupling as
+/// [`crate::markers::TRACE_SOURCE`]).
+pub const CHAOS_SOURCE: &str = "chaos";
+
+/// What happened around one injected fault.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryWindow {
+    /// The fault's journal description (`crash(worker=1, restart=+200)
+    /// ok`, `disconnect(lose=300)`, …).
+    pub fault: String,
+    /// When the fault fired, seconds since run start.
+    pub t_fault_secs: f64,
+    /// Mean ingress rate over the pre-fault window (since the previous
+    /// fault, or run start), events/s. `0.0` when no rate samples
+    /// precede the fault.
+    pub baseline_rate: f64,
+    /// Lowest ingress rate observed between this fault and the next (or
+    /// run end), events/s.
+    pub dip_rate: f64,
+    /// Relative dip depth, `1 - dip_rate / baseline_rate` clamped to
+    /// `[0, 1]`; `0.0` when there is no usable baseline.
+    pub dip_depth: f64,
+    /// Seconds from the fault until the rate first climbed back to the
+    /// recovery fraction of the baseline. `None` = never recovered
+    /// within this window (or no usable baseline).
+    pub time_to_recover_secs: Option<f64>,
+    /// The first journaled recovery action inside the window
+    /// (`restart(worker=1) ok`, `reconnected after 300 lost events`),
+    /// with its time in seconds since run start.
+    pub recovery: Option<(String, f64)>,
+    /// Graph events lost to faults inside this window (from the
+    /// journal's `events_lost` records).
+    pub events_lost: u64,
+    /// Graph events applied more than once during recovery, for
+    /// platforms that journal `events_duplicated`. The bundled platforms
+    /// replay under an exclusive lock and report none.
+    pub events_duplicated: u64,
+}
+
+/// Text records for one chaos metric as `(seconds, description)`.
+fn chaos_texts(log: &ResultLog, metric: &str) -> Vec<(f64, String)> {
+    log.records()
+        .iter()
+        .filter(|r| r.source == CHAOS_SOURCE && r.metric == metric)
+        .filter_map(|r| match &r.value {
+            MetricValue::Text(text) => Some((r.t_secs(), text.clone())),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Sums an int-valued chaos metric over `[start, end)` seconds.
+fn chaos_sum(log: &ResultLog, metric: &str, start: f64, end: f64) -> u64 {
+    log.records()
+        .iter()
+        .filter(|r| r.source == CHAOS_SOURCE && r.metric == metric)
+        .filter(|r| {
+            let t = r.t_secs();
+            t >= start && t < end
+        })
+        .filter_map(|r| r.value.as_f64())
+        .sum::<f64>() as u64
+}
+
+/// Correlates the chaos journal with the replayer's ingress-rate series:
+/// one [`RecoveryWindow`] per journaled fault, in fault order.
+///
+/// `recovery_fraction` defines "recovered": the first post-fault rate
+/// sample at or above `recovery_fraction * baseline` closes the
+/// time-to-recover clock (0.9 is a reasonable default — throughput back
+/// to 90 % of the pre-fault mean).
+///
+/// Window boundaries are the fault times themselves: samples between
+/// fault *n* and fault *n + 1* belong to window *n*, and the baseline of
+/// window *n* is the mean rate of window *n − 1* (run start for the
+/// first). Stacked faults therefore measure each fault against the
+/// (possibly already degraded) regime it actually interrupted.
+pub fn recovery_windows(log: &ResultLog, recovery_fraction: f64) -> Vec<RecoveryWindow> {
+    let faults = chaos_texts(log, "fault");
+    if faults.is_empty() {
+        return Vec::new();
+    }
+    let recoveries = chaos_texts(log, "recovery");
+    let rate = log.series("replayer", "ingress_rate");
+
+    let mut windows = Vec::with_capacity(faults.len());
+    for (i, (t_fault, fault)) in faults.iter().enumerate() {
+        let window_start = if i == 0 { 0.0 } else { faults[i - 1].0 };
+        let window_end = faults
+            .get(i + 1)
+            .map_or(f64::INFINITY, |&(t_next, _)| t_next);
+
+        let pre: Vec<f64> = rate
+            .iter()
+            .filter(|&&(t, _)| t >= window_start && t < *t_fault)
+            .map(|&(_, v)| v)
+            .collect();
+        let baseline_rate = if pre.is_empty() {
+            0.0
+        } else {
+            pre.iter().sum::<f64>() / pre.len() as f64
+        };
+
+        let post: Vec<(f64, f64)> = rate
+            .iter()
+            .filter(|&&(t, _)| t >= *t_fault && t < window_end)
+            .copied()
+            .collect();
+        let dip_rate = post.iter().map(|&(_, v)| v).fold(f64::INFINITY, f64::min);
+        let dip_rate = if dip_rate.is_finite() { dip_rate } else { 0.0 };
+        let dip_depth = if baseline_rate > 0.0 {
+            (1.0 - dip_rate / baseline_rate).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+
+        let time_to_recover_secs = if baseline_rate > 0.0 {
+            post.iter()
+                .find(|&&(_, v)| v >= recovery_fraction * baseline_rate)
+                .map(|&(t, _)| t - t_fault)
+        } else {
+            None
+        };
+
+        let recovery = recoveries
+            .iter()
+            .find(|&&(t, _)| t >= *t_fault && t < window_end)
+            .map(|(t, text)| (text.clone(), *t));
+
+        windows.push(RecoveryWindow {
+            fault: fault.clone(),
+            t_fault_secs: *t_fault,
+            baseline_rate,
+            dip_rate,
+            dip_depth,
+            time_to_recover_secs,
+            recovery,
+            events_lost: chaos_sum(log, "events_lost", *t_fault, window_end),
+            events_duplicated: chaos_sum(log, "events_duplicated", *t_fault, window_end),
+        });
+    }
+    windows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gt_metrics::MetricRecord;
+
+    fn micros(secs: f64) -> u64 {
+        (secs * 1e6) as u64
+    }
+
+    fn rate(t: f64, v: f64) -> MetricRecord {
+        MetricRecord::float(micros(t), "replayer", "ingress_rate", v)
+    }
+
+    fn fault(t: f64, text: &str) -> MetricRecord {
+        MetricRecord::text(micros(t), CHAOS_SOURCE, "fault", text)
+    }
+
+    fn recovery(t: f64, text: &str) -> MetricRecord {
+        MetricRecord::text(micros(t), CHAOS_SOURCE, "recovery", text)
+    }
+
+    fn lost(t: f64, n: i64) -> MetricRecord {
+        MetricRecord::int(micros(t), CHAOS_SOURCE, "events_lost", n)
+    }
+
+    #[test]
+    fn empty_log_has_no_windows() {
+        let log = ResultLog::from_records(vec![rate(1.0, 100.0)]);
+        assert!(recovery_windows(&log, 0.9).is_empty());
+    }
+
+    #[test]
+    fn single_fault_measures_dip_and_recovery_time() {
+        // Steady 100 ev/s, a crash at t=3 dips to 20, back above 90 at
+        // t=6: baseline 100, dip depth 0.8, TTR 3 s.
+        let log = ResultLog::from_records(vec![
+            rate(1.0, 100.0),
+            rate(2.0, 100.0),
+            fault(3.0, "crash(worker=0) ok"),
+            rate(3.5, 20.0),
+            rate(4.5, 60.0),
+            recovery(5.0, "restart(worker=0) ok"),
+            rate(6.0, 95.0),
+            rate(7.0, 100.0),
+        ]);
+        let windows = recovery_windows(&log, 0.9);
+        assert_eq!(windows.len(), 1);
+        let w = &windows[0];
+        assert_eq!(w.fault, "crash(worker=0) ok");
+        assert!((w.t_fault_secs - 3.0).abs() < 1e-9);
+        assert!((w.baseline_rate - 100.0).abs() < 1e-9);
+        assert!((w.dip_rate - 20.0).abs() < 1e-9);
+        assert!((w.dip_depth - 0.8).abs() < 1e-9);
+        assert!((w.time_to_recover_secs.unwrap() - 3.0).abs() < 1e-9);
+        assert_eq!(w.recovery, Some(("restart(worker=0) ok".to_owned(), 5.0)));
+        assert_eq!(w.events_lost, 0);
+    }
+
+    #[test]
+    fn stacked_faults_partition_the_timeline() {
+        let log = ResultLog::from_records(vec![
+            rate(1.0, 100.0),
+            fault(2.0, "disconnect(lose=50)"),
+            rate(2.5, 40.0),
+            lost(3.0, 50),
+            recovery(3.0, "reconnected after 50 lost events"),
+            rate(3.5, 80.0),
+            fault(4.0, "stall(ms=500)"),
+            rate(4.5, 10.0),
+            recovery(5.0, "stall ended after 500 ms"),
+            rate(5.5, 90.0),
+        ]);
+        let windows = recovery_windows(&log, 0.9);
+        assert_eq!(windows.len(), 2);
+        // Window 0: baseline from [0, 2), losses inside [2, 4).
+        assert!((windows[0].baseline_rate - 100.0).abs() < 1e-9);
+        assert_eq!(windows[0].events_lost, 50);
+        assert!((windows[0].dip_rate - 40.0).abs() < 1e-9);
+        // Window 1's baseline is the degraded regime between the faults.
+        assert!((windows[1].baseline_rate - 60.0).abs() < 1e-9);
+        assert_eq!(windows[1].events_lost, 0);
+        assert!((windows[1].dip_rate - 10.0).abs() < 1e-9);
+        assert_eq!(
+            windows[1].recovery.as_ref().unwrap().0,
+            "stall ended after 500 ms"
+        );
+    }
+
+    #[test]
+    fn unrecovered_fault_has_no_ttr() {
+        let log = ResultLog::from_records(vec![
+            rate(1.0, 100.0),
+            fault(2.0, "crash(worker=1) ok"),
+            rate(3.0, 30.0),
+            rate(4.0, 35.0),
+        ]);
+        let windows = recovery_windows(&log, 0.9);
+        assert_eq!(windows.len(), 1);
+        assert_eq!(windows[0].time_to_recover_secs, None);
+        assert_eq!(windows[0].recovery, None);
+        assert!((windows[0].dip_depth - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn missing_baseline_degrades_gracefully() {
+        // Fault before any rate sample: no baseline, no TTR, depth 0.
+        let log = ResultLog::from_records(vec![
+            fault(0.5, "disconnect(lose=10)"),
+            lost(0.6, 10),
+            rate(1.0, 50.0),
+        ]);
+        let windows = recovery_windows(&log, 0.9);
+        assert_eq!(windows.len(), 1);
+        assert_eq!(windows[0].baseline_rate, 0.0);
+        assert_eq!(windows[0].dip_depth, 0.0);
+        assert_eq!(windows[0].time_to_recover_secs, None);
+        assert_eq!(windows[0].events_lost, 10);
+    }
+}

@@ -129,6 +129,7 @@ fn bench_connector_dispatch(c: &mut Criterion) {
         timestamper_cost_per_tx: Duration::ZERO,
         shard_cost_per_event: Duration::ZERO,
         queue_capacity: 4096,
+        supervised: false,
     };
     let mut group = c.benchmark_group("ingest/store_connector");
     group.throughput(Throughput::Elements(N));
@@ -179,6 +180,7 @@ fn bench_traced_dispatch(c: &mut Criterion) {
         timestamper_cost_per_tx: Duration::ZERO,
         shard_cost_per_event: Duration::ZERO,
         queue_capacity: 4096,
+        supervised: false,
     };
     // The Level-2 tracing overhead budget (ISSUE acceptance): the traced
     // row stamps a ConnectorRecv tracepoint for 1 event in 64 and an

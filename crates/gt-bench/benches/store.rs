@@ -28,6 +28,7 @@ fn commit_all(batch: usize, ts_cost: Duration) {
             timestamper_cost_per_tx: ts_cost,
             shard_cost_per_event: Duration::ZERO,
             queue_capacity: 128,
+            supervised: false,
         },
         &hub,
     );

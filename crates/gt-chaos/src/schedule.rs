@@ -1,0 +1,338 @@
+//! Deterministic fault schedules.
+//!
+//! A [`FaultSchedule`] pins every runtime fault to a position *in the
+//! stream* — a graph-event sequence number or a marker label — never to
+//! wall-clock time. That is the determinism contract: the same
+//! `(schedule, seed)` against the same stream fires the same faults at the
+//! same stream positions in the same order, run after run, so chaos
+//! experiments are as repeatable as the a-priori `gt-faults`
+//! transformations (paper §3.2).
+
+use std::time::Duration;
+
+/// Where in the stream a fault fires.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultTrigger {
+    /// After the given number of *graph events* have been handed to the
+    /// sink (1-based: `AtSeq(100)` fires when event 100 arrives).
+    AtSeq(u64),
+    /// When the named marker passes through the sink.
+    AtMarker(String),
+}
+
+/// What happens when a trigger fires.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A forced transport disconnect: the next `lose` graph events are
+    /// dropped on the floor (the platform never sees them), then delivery
+    /// resumes — a connection reset with loss.
+    Disconnect {
+        /// Graph events lost while the transport is down.
+        lose: u64,
+    },
+    /// A consumer stall / latency spike: delivery blocks for the duration,
+    /// backpressuring the replayer.
+    Stall {
+        /// How long delivery blocks.
+        duration: Duration,
+    },
+    /// A partial batch write: the next batched delivery is truncated to
+    /// its first `keep` entries, the rest are lost — a write that died
+    /// mid-buffer.
+    PartialBatch {
+        /// Entries of the truncated batch that still get through.
+        keep: usize,
+    },
+    /// Kills a platform worker (store shard / engine worker) through the
+    /// platform's [`gt_sut::WorkerSupervisor`], optionally restarting it a
+    /// fixed number of graph events later.
+    CrashWorker {
+        /// The worker index to kill.
+        worker: usize,
+        /// Graph events after the crash at which to restart the worker;
+        /// `None` leaves it dead for the rest of the run.
+        restart_after: Option<u64>,
+    },
+}
+
+impl FaultKind {
+    /// Short human-readable form for logs and journals.
+    pub fn describe(&self) -> String {
+        match self {
+            FaultKind::Disconnect { lose } => format!("disconnect(lose={lose})"),
+            FaultKind::Stall { duration } => format!("stall(ms={})", duration.as_millis()),
+            FaultKind::PartialBatch { keep } => format!("partial(keep={keep})"),
+            FaultKind::CrashWorker {
+                worker,
+                restart_after,
+            } => match restart_after {
+                Some(n) => format!("crash(worker={worker}, restart=+{n})"),
+                None => format!("crash(worker={worker})"),
+            },
+        }
+    }
+}
+
+/// One scheduled fault: a trigger plus what it does.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduledFault {
+    /// Where it fires.
+    pub trigger: FaultTrigger,
+    /// What it does.
+    pub kind: FaultKind,
+}
+
+/// A full, replayable chaos plan for one run.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultSchedule {
+    /// The scheduled faults. Order matters only for faults sharing a
+    /// trigger position; they fire in schedule order.
+    pub faults: Vec<ScheduledFault>,
+    /// Recorded with the run so future randomized fault kinds stay
+    /// replayable; the current kinds are position-deterministic and do not
+    /// consume it.
+    pub seed: u64,
+}
+
+impl FaultSchedule {
+    /// An empty schedule (no faults).
+    pub fn new(seed: u64) -> Self {
+        FaultSchedule {
+            faults: Vec::new(),
+            seed,
+        }
+    }
+
+    /// Appends a fault at a graph-event sequence number (builder style).
+    #[must_use]
+    pub fn at_seq(mut self, seq: u64, kind: FaultKind) -> Self {
+        self.faults.push(ScheduledFault {
+            trigger: FaultTrigger::AtSeq(seq),
+            kind,
+        });
+        self
+    }
+
+    /// Appends a fault at a marker label (builder style).
+    #[must_use]
+    pub fn at_marker(mut self, marker: impl Into<String>, kind: FaultKind) -> Self {
+        self.faults.push(ScheduledFault {
+            trigger: FaultTrigger::AtMarker(marker.into()),
+            kind,
+        });
+        self
+    }
+
+    /// Whether the schedule has no faults.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// One-line description for run headers: the clauses that built it.
+    pub fn describe(&self) -> String {
+        let parts: Vec<String> = self
+            .faults
+            .iter()
+            .map(|f| {
+                let at = match &f.trigger {
+                    FaultTrigger::AtSeq(seq) => format!("@{seq}"),
+                    FaultTrigger::AtMarker(name) => format!("@marker:{name}"),
+                };
+                format!("{}{at}", f.kind.describe())
+            })
+            .collect();
+        parts.join("; ")
+    }
+
+    /// Parses the `gt-run --chaos` spec syntax: semicolon-separated
+    /// clauses of the form `kind@trigger[,key=value…]`, where `trigger` is
+    /// a graph-event sequence number or `marker:NAME`.
+    ///
+    /// ```text
+    /// crash@5000,worker=1,restart=2000
+    /// crash@marker:phase-2,worker=0
+    /// disconnect@8000,lose=300
+    /// stall@4000,ms=50
+    /// partial@6000,keep=10
+    /// ```
+    pub fn parse(spec: &str, seed: u64) -> Result<Self, String> {
+        let mut schedule = FaultSchedule::new(seed);
+        for clause in spec.split(';') {
+            let clause = clause.trim();
+            if clause.is_empty() {
+                continue;
+            }
+            schedule.faults.push(parse_clause(clause)?);
+        }
+        if schedule.is_empty() {
+            return Err("empty chaos spec".into());
+        }
+        Ok(schedule)
+    }
+}
+
+fn parse_clause(clause: &str) -> Result<ScheduledFault, String> {
+    let mut parts = clause.split(',').map(str::trim);
+    let head = parts.next().expect("split yields at least one part");
+    let (kind_name, trigger) = head
+        .split_once('@')
+        .ok_or_else(|| format!("bad chaos clause `{clause}`: expected kind@trigger"))?;
+    let trigger = if let Some(name) = trigger.strip_prefix("marker:") {
+        if name.is_empty() {
+            return Err(format!("bad chaos clause `{clause}`: empty marker name"));
+        }
+        FaultTrigger::AtMarker(name.to_owned())
+    } else {
+        FaultTrigger::AtSeq(
+            trigger
+                .parse()
+                .map_err(|_| format!("bad chaos trigger `{trigger}`: expected N or marker:NAME"))?,
+        )
+    };
+
+    let mut params = std::collections::BTreeMap::new();
+    for part in parts {
+        let (key, value) = part
+            .split_once('=')
+            .ok_or_else(|| format!("bad chaos parameter `{part}`: expected key=value"))?;
+        if params.insert(key, value).is_some() {
+            return Err(format!("duplicate chaos parameter `{key}` in `{clause}`"));
+        }
+    }
+    let take_u64 = |params: &mut std::collections::BTreeMap<&str, &str>, key: &str| {
+        params
+            .remove(key)
+            .map(|v| {
+                v.parse::<u64>()
+                    .map_err(|_| format!("bad chaos parameter `{key}={v}`: expected integer"))
+            })
+            .transpose()
+    };
+
+    let kind = match kind_name {
+        "disconnect" => FaultKind::Disconnect {
+            lose: take_u64(&mut params, "lose")?
+                .ok_or_else(|| format!("`{clause}`: disconnect needs lose=N"))?,
+        },
+        "stall" => FaultKind::Stall {
+            duration: Duration::from_millis(
+                take_u64(&mut params, "ms")?
+                    .ok_or_else(|| format!("`{clause}`: stall needs ms=N"))?,
+            ),
+        },
+        "partial" => FaultKind::PartialBatch {
+            keep: take_u64(&mut params, "keep")?
+                .ok_or_else(|| format!("`{clause}`: partial needs keep=N"))?
+                as usize,
+        },
+        "crash" => FaultKind::CrashWorker {
+            worker: take_u64(&mut params, "worker")?
+                .ok_or_else(|| format!("`{clause}`: crash needs worker=N"))?
+                as usize,
+            restart_after: take_u64(&mut params, "restart")?,
+        },
+        other => {
+            return Err(format!(
+                "unknown chaos kind `{other}` (expected disconnect|stall|partial|crash)"
+            ))
+        }
+    };
+    if let Some(key) = params.keys().next() {
+        return Err(format!("unknown chaos parameter `{key}` in `{clause}`"));
+    }
+    Ok(ScheduledFault { trigger, kind })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_kind_and_trigger() {
+        let schedule = FaultSchedule::parse(
+            "crash@5000,worker=1,restart=2000; crash@marker:phase-2,worker=0; \
+             disconnect@8000,lose=300; stall@4000,ms=50; partial@6000,keep=10",
+            7,
+        )
+        .unwrap();
+        assert_eq!(schedule.seed, 7);
+        assert_eq!(schedule.faults.len(), 5);
+        assert_eq!(
+            schedule.faults[0],
+            ScheduledFault {
+                trigger: FaultTrigger::AtSeq(5000),
+                kind: FaultKind::CrashWorker {
+                    worker: 1,
+                    restart_after: Some(2000),
+                },
+            }
+        );
+        assert_eq!(
+            schedule.faults[1].trigger,
+            FaultTrigger::AtMarker("phase-2".into())
+        );
+        assert_eq!(
+            schedule.faults[1].kind,
+            FaultKind::CrashWorker {
+                worker: 0,
+                restart_after: None,
+            }
+        );
+        assert_eq!(schedule.faults[2].kind, FaultKind::Disconnect { lose: 300 });
+        assert_eq!(
+            schedule.faults[3].kind,
+            FaultKind::Stall {
+                duration: Duration::from_millis(50),
+            }
+        );
+        assert_eq!(
+            schedule.faults[4].kind,
+            FaultKind::PartialBatch { keep: 10 }
+        );
+    }
+
+    #[test]
+    fn describe_round_trips_the_spec_shape() {
+        let schedule =
+            FaultSchedule::parse("crash@100,worker=0,restart=50; stall@marker:mid,ms=5", 0)
+                .unwrap();
+        assert_eq!(
+            schedule.describe(),
+            "crash(worker=0, restart=+50)@100; stall(ms=5)@marker:mid"
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        for bad in [
+            "",
+            "   ",
+            "crash",
+            "crash@",
+            "crash@100",            // missing worker
+            "warp@100,worker=0",    // unknown kind
+            "crash@100,worker=x",   // non-integer
+            "crash@100,worker=0,x", // not key=value
+            "crash@marker:,worker=0",
+            "disconnect@100",
+            "stall@100",
+            "partial@100",
+            "crash@100,worker=0,worker=1",
+            "crash@100,worker=0,frob=1",
+        ] {
+            assert!(
+                FaultSchedule::parse(bad, 0).is_err(),
+                "`{bad}` should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn builder_matches_parser() {
+        let built = FaultSchedule::new(3)
+            .at_seq(10, FaultKind::Disconnect { lose: 5 })
+            .at_marker("mid", FaultKind::PartialBatch { keep: 2 });
+        let parsed = FaultSchedule::parse("disconnect@10,lose=5; partial@marker:mid,keep=2", 3);
+        assert_eq!(built, parsed.unwrap());
+    }
+}

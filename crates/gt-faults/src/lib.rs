@@ -220,6 +220,86 @@ impl FaultPipeline {
     }
 }
 
+/// Parses a compact CLI fault-pipeline spec into a [`FaultPipeline`].
+///
+/// The spec is a comma-separated list of stages applied left to right:
+///
+/// * `drop:P` — [`DropFaults`] with probability `P`,
+/// * `dup:P` — [`DuplicateFaults`] with probability `P`,
+/// * `shuffle:W` — [`ShuffleWindows`] with window `W`,
+/// * `delay:P:N` — [`DelayFaults`] with probability `P` and maximum
+///   displacement `N`.
+///
+/// `parse_pipeline("drop:0.01,dup:0.005,shuffle:64")` builds the §3.2
+/// "unreliable, unordered" derivation of a reliable stream. Whitespace
+/// around stages is ignored; an empty spec is an error (use no flag at
+/// all for the identity pipeline).
+pub fn parse_pipeline(spec: &str) -> Result<FaultPipeline, String> {
+    let mut pipeline = FaultPipeline::new();
+    for stage in spec.split(',') {
+        let stage = stage.trim();
+        if stage.is_empty() {
+            return Err(format!("empty stage in fault spec {spec:?}"));
+        }
+        let mut parts = stage.split(':');
+        let kind = parts.next().unwrap_or_default();
+        let args: Vec<&str> = parts.collect();
+        let prob = |s: &str| -> Result<f64, String> {
+            let p: f64 = s
+                .parse()
+                .map_err(|_| format!("{stage:?}: {s:?} is not a probability"))?;
+            if (0.0..=1.0).contains(&p) {
+                Ok(p)
+            } else {
+                Err(format!("{stage:?}: probability {p} outside [0, 1]"))
+            }
+        };
+        match (kind, args.as_slice()) {
+            ("drop", [p]) => {
+                pipeline = pipeline.then(DropFaults {
+                    probability: prob(p)?,
+                });
+            }
+            ("dup", [p]) | ("duplicate", [p]) => {
+                pipeline = pipeline.then(DuplicateFaults {
+                    probability: prob(p)?,
+                });
+            }
+            ("shuffle", [w]) => {
+                let window: usize = w
+                    .parse()
+                    .map_err(|_| format!("{stage:?}: {w:?} is not a window size"))?;
+                if window < 1 {
+                    return Err(format!("{stage:?}: window must be at least 1"));
+                }
+                pipeline = pipeline.then(ShuffleWindows { window });
+            }
+            ("delay", [p, n]) => {
+                let max_displacement: usize = n
+                    .parse()
+                    .map_err(|_| format!("{stage:?}: {n:?} is not a displacement"))?;
+                if max_displacement < 1 {
+                    return Err(format!("{stage:?}: displacement must be at least 1"));
+                }
+                pipeline = pipeline.then(DelayFaults {
+                    probability: prob(p)?,
+                    max_displacement,
+                });
+            }
+            _ => {
+                return Err(format!(
+                    "unknown fault stage {stage:?} (expected drop:P, dup:P, \
+                     shuffle:W, or delay:P:N)"
+                ));
+            }
+        }
+    }
+    if pipeline.is_empty() {
+        return Err("fault spec has no stages".to_owned());
+    }
+    Ok(pipeline)
+}
+
 impl FaultInjector for FaultPipeline {
     fn inject(&self, stream: GraphStream, seed: u64) -> GraphStream {
         let mut current = stream;
@@ -372,6 +452,44 @@ mod tests {
         );
         assert_eq!(make().len(), 3);
         assert!(!make().is_empty());
+    }
+
+    #[test]
+    fn parse_pipeline_builds_the_documented_stages() {
+        let p = parse_pipeline("drop:0.01, dup:0.005, shuffle:64, delay:0.1:4").unwrap();
+        assert_eq!(
+            p.describe(),
+            "drop(p=0.01) -> duplicate(p=0.005) -> shuffle(window=64) -> delay(p=0.1, max=4)"
+        );
+        // Parsed and hand-built pipelines agree event for event.
+        let hand = FaultPipeline::new()
+            .then(DropFaults { probability: 0.01 })
+            .then(DuplicateFaults { probability: 0.005 })
+            .then(ShuffleWindows { window: 64 })
+            .then(DelayFaults {
+                probability: 0.1,
+                max_displacement: 4,
+            });
+        let stream = vertex_stream(300);
+        assert_eq!(p.inject(stream.clone(), 7), hand.inject(stream, 7));
+    }
+
+    #[test]
+    fn parse_pipeline_rejects_malformed_specs() {
+        for bad in [
+            "",
+            "drop",
+            "drop:1.5",
+            "drop:x",
+            "shuffle:0",
+            "shuffle:ten",
+            "delay:0.1",
+            "delay:0.1:0",
+            "teleport:0.5",
+            "drop:0.1,,dup:0.1",
+        ] {
+            assert!(parse_pipeline(bad).is_err(), "accepted {bad:?}");
+        }
     }
 
     #[test]

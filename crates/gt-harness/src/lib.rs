@@ -25,6 +25,9 @@
 //! * [`run`] — the run loop: replay on the driver thread, sample loggers
 //!   on a background thread, merge logs.
 //! * [`repeat`] — n ≥ 30 repetition helper and CI95 system comparison.
+//! * [`watchdog`] — progress-stall and deadline detection: a broken
+//!   system under test aborts the run with a typed status instead of
+//!   hanging the harness.
 
 pub mod levels;
 pub mod repeat;
@@ -32,17 +35,23 @@ pub mod run;
 pub mod spec;
 pub mod sut;
 pub mod sweep;
+pub mod watchdog;
 
 pub use levels::EvaluationLevel;
 pub use repeat::{compare_metric, repeat_runs, RepeatOutcome};
 pub use run::{
     run_experiment, run_experiment_with_clock, run_file_experiment, run_file_experiment_with_clock,
-    FileRunOutcome, FileRunPlan, RunOutcome, RunPlan,
+    ChaosPlan, FileRunOutcome, FileRunPlan, RunOutcome, RunPlan,
 };
 pub use spec::ExperimentSpec;
-pub use sut::{run_file_sut_experiment, run_sut_experiment, SutRunError, SutRunOutcome};
+pub use sut::{
+    run_file_sut_experiment, run_file_sut_experiment_with_timeout, run_sut_experiment,
+    run_sut_experiment_with_timeout, SutRunError, SutRunOutcome, DEFAULT_QUIESCE_TIMEOUT,
+};
 pub use sweep::{Assignment, Factor, FactorSpace};
+pub use watchdog::{AbortReason, RunStatus, WatchdogConfig};
 
-pub use gt_sut::{SutOptions, SutRegistry, SutReport, SystemUnderTest};
+pub use gt_chaos::{ChaosJournal, FaultKind, FaultSchedule, FaultTrigger, CHAOS_SOURCE};
+pub use gt_sut::{SutOptions, SutRegistry, SutReport, SystemUnderTest, WorkerSupervisor};
 pub use gt_sysmon::SamplerConfig;
 pub use gt_trace::{TraceConfig, Tracer, TRACE_SOURCE};

@@ -11,7 +11,9 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use gt_chaos::{ChaosJournal, ChaosSink, FaultSchedule};
 use gt_core::prelude::*;
+use gt_metrics::hub::Counter;
 use gt_metrics::{
     Clock, HubSampler, LogCollector, MetricRecord, MetricsHub, MetricsLogger, ResultLog, WallClock,
 };
@@ -19,10 +21,46 @@ use gt_replayer::{
     EventSink, ReplayError, ReplayReport, ReplaySession, ReplaySessionConfig, Replayer,
     ReplayerConfig, SessionReport, SinkEventKind,
 };
+use gt_sut::WorkerSupervisor;
 use gt_sysmon::SamplerConfig;
 use gt_trace::{Stage, Tracer};
 
 use crate::levels::EvaluationLevel;
+use crate::watchdog::{spawn_watchdog, RunStatus, WatchdogConfig, WatchdogHandle};
+
+/// Live chaos for one run: a deterministic fault schedule, the journal it
+/// writes to, and (optionally) the platform's crash/restart surface.
+///
+/// The journal is shared — keep a clone to assert on
+/// [`ChaosJournal::signature`] after the run; the run loop also folds
+/// [`ChaosJournal::records`] into the merged log under the `chaos` source.
+pub struct ChaosPlan {
+    /// The faults to inject, pinned to stream positions.
+    pub schedule: FaultSchedule,
+    /// Where fault/recovery events are journaled.
+    pub journal: ChaosJournal,
+    /// The platform's crash/restart surface. The SUT runner fills this
+    /// from [`gt_sut::SystemUnderTest::supervisor`] when left `None`.
+    pub supervisor: Option<Arc<dyn WorkerSupervisor>>,
+}
+
+impl ChaosPlan {
+    /// A chaos plan for the given schedule with a fresh journal.
+    pub fn new(schedule: FaultSchedule) -> Self {
+        ChaosPlan {
+            schedule,
+            journal: ChaosJournal::new(),
+            supervisor: None,
+        }
+    }
+
+    /// Attaches a crash/restart surface (builder style).
+    #[must_use]
+    pub fn with_supervisor(mut self, supervisor: Arc<dyn WorkerSupervisor>) -> Self {
+        self.supervisor = Some(supervisor);
+        self
+    }
+}
 
 /// Everything a single run needs besides the system under test.
 pub struct RunPlan {
@@ -46,6 +84,14 @@ pub struct RunPlan {
     /// stage. The caller keeps a clone and calls [`Tracer::stop`] after
     /// the run to collect the matched stage-pair records.
     pub tracer: Option<Tracer>,
+    /// Experiment watchdog; `None` runs unguarded. When set, the replayer
+    /// carries the watchdog's abort flag and the outcome's
+    /// [`RunOutcome::status`] reports whether the run was cut short.
+    pub watchdog: Option<WatchdogConfig>,
+    /// Live fault injection; `None` runs clean. When set, the sink is
+    /// wrapped in a [`ChaosSink`] and the journal's fault/recovery events
+    /// land in the merged log under the `chaos` source.
+    pub chaos: Option<ChaosPlan>,
 }
 
 impl RunPlan {
@@ -63,6 +109,8 @@ impl RunPlan {
             level: EvaluationLevel::Level0,
             sysmon: Some(SamplerConfig::default()),
             tracer: None,
+            watchdog: None,
+            chaos: None,
         }
     }
 
@@ -91,6 +139,20 @@ impl RunPlan {
     #[must_use]
     pub fn with_tracer(mut self, tracer: &Tracer) -> Self {
         self.tracer = Some(tracer.clone());
+        self
+    }
+
+    /// Arms the experiment watchdog (builder style).
+    #[must_use]
+    pub fn with_watchdog(mut self, config: WatchdogConfig) -> Self {
+        self.watchdog = Some(config);
+        self
+    }
+
+    /// Arms live chaos injection (builder style).
+    #[must_use]
+    pub fn with_chaos(mut self, chaos: ChaosPlan) -> Self {
+        self.chaos = Some(chaos);
         self
     }
 }
@@ -145,6 +207,9 @@ pub struct RunOutcome {
     /// The merged result log: logger samples plus replayer marker
     /// records (source `replayer`, metric `marker`).
     pub log: ResultLog,
+    /// Whether the run completed or the watchdog aborted it. An abort is
+    /// also recorded in the log (source `watchdog`, metric `abort`).
+    pub status: RunStatus,
 }
 
 /// Spawns the background thread that drives all loggers until `stop` is
@@ -170,6 +235,36 @@ fn spawn_sampler(
             records
         })
         .expect("spawn sampler")
+}
+
+/// Joins the sampler thread, degrading gracefully: a panicked logger
+/// must not poison the whole run, so the lost series is replaced by one
+/// typed degradation record (source `harness`) explaining the gap.
+fn join_sampler(
+    sampler: JoinHandle<Vec<MetricRecord>>,
+    clock: &Arc<dyn Clock>,
+) -> Vec<MetricRecord> {
+    sampler.join().unwrap_or_else(|_| {
+        vec![MetricRecord::text(
+            clock.now_micros(),
+            "harness",
+            "degradation",
+            "sampler thread panicked; sampled metric series truncated",
+        )]
+    })
+}
+
+/// Stops the watchdog (if armed) and converts its verdict into a run
+/// status plus the abort record for the merged log.
+fn finish_watchdog(
+    watchdog: Option<WatchdogHandle>,
+    clock: &Arc<dyn Clock>,
+) -> (RunStatus, Vec<MetricRecord>) {
+    let Some(reason) = watchdog.and_then(WatchdogHandle::finish) else {
+        return (RunStatus::Completed, Vec::new());
+    };
+    let record = MetricRecord::text(clock.now_micros(), "watchdog", "abort", reason.to_string());
+    (RunStatus::Aborted(reason), vec![record])
 }
 
 /// Replayer marker and ingress-rate records for the merged log.
@@ -207,25 +302,57 @@ pub fn run_experiment_with_clock<S: EventSink + ?Sized>(
     let sysmon = spawn_sysmon(plan.level, &plan.sysmon, &clock, None);
     let sampler = spawn_sampler(plan.loggers, plan.sampling_interval, Arc::clone(&stop));
 
+    let abort = Arc::new(AtomicBool::new(false));
+    let progress = Counter::default();
+    let watchdog = plan
+        .watchdog
+        .clone()
+        .map(|config| spawn_watchdog(config, progress.clone(), Arc::clone(&abort)));
+
     let mut replayer = Replayer::new(plan.replayer).with_clock(Arc::clone(&clock));
+    if watchdog.is_some() {
+        replayer = replayer
+            .with_abort_flag(Arc::clone(&abort))
+            .with_ingress_counter(progress);
+    }
     if let Some(tracer) = &plan.tracer {
         replayer = replayer.with_trace_probe(tracer.probe(Stage::PacedEmit));
     }
-    let result = replayer.replay_stream(&plan.stream, sink);
+    let result = match &plan.chaos {
+        Some(chaos) => {
+            let mut chaos_sink = ChaosSink::new(
+                &mut *sink,
+                &chaos.schedule,
+                chaos.journal.clone(),
+                Arc::clone(&clock),
+            );
+            if let Some(supervisor) = &chaos.supervisor {
+                chaos_sink = chaos_sink.with_supervisor(Arc::clone(supervisor));
+            }
+            replayer.replay_stream(&plan.stream, &mut chaos_sink)
+        }
+        None => replayer.replay_stream(&plan.stream, sink),
+    };
 
     stop.store(true, Ordering::Relaxed);
-    let sampled = sampler.join().expect("sampler panicked");
+    let sampled = join_sampler(sampler, &clock);
     let resource = sysmon_records(sysmon, &plan.sysmon, &clock);
+    let (status, abort_records) = finish_watchdog(watchdog, &clock);
     let report = result?;
 
     let mut collector = LogCollector::new();
     collector
         .add_records(sampled)
         .add_records(resource)
-        .add_records(replay_records(&report));
+        .add_records(replay_records(&report))
+        .add_records(abort_records);
+    if let Some(chaos) = &plan.chaos {
+        collector.add_records(chaos.journal.records());
+    }
     Ok(RunOutcome {
         report,
         log: collector.collect(),
+        status,
     })
 }
 
@@ -253,6 +380,14 @@ pub struct FileRunPlan {
     /// [`Stage::SinkWrite`] tracepoints for sampled graph events, so the
     /// replay pipeline's internal latencies can be broken down per stage.
     pub tracer: Option<Tracer>,
+    /// Experiment watchdog; `None` runs unguarded. When set, the session
+    /// carries the watchdog's abort flag and the outcome's
+    /// [`FileRunOutcome::status`] reports whether the run was cut short.
+    pub watchdog: Option<WatchdogConfig>,
+    /// Live fault injection; `None` runs clean. When set, the sink is
+    /// wrapped in a [`ChaosSink`] and the journal's fault/recovery events
+    /// land in the merged log under the `chaos` source.
+    pub chaos: Option<ChaosPlan>,
 }
 
 impl FileRunPlan {
@@ -273,6 +408,8 @@ impl FileRunPlan {
             level: EvaluationLevel::Level0,
             sysmon: Some(SamplerConfig::default()),
             tracer: None,
+            watchdog: None,
+            chaos: None,
         }
     }
 
@@ -310,6 +447,20 @@ impl FileRunPlan {
         self.tracer = Some(tracer.clone());
         self
     }
+
+    /// Arms the experiment watchdog (builder style).
+    #[must_use]
+    pub fn with_watchdog(mut self, config: WatchdogConfig) -> Self {
+        self.watchdog = Some(config);
+        self
+    }
+
+    /// Arms live chaos injection (builder style).
+    #[must_use]
+    pub fn with_chaos(mut self, chaos: ChaosPlan) -> Self {
+        self.chaos = Some(chaos);
+        self
+    }
 }
 
 /// The outputs of one file-backed run.
@@ -321,6 +472,9 @@ pub struct FileRunOutcome {
     /// replayer markers, ingress-rate series, and sink
     /// disconnect/reconnect events.
     pub log: ResultLog,
+    /// Whether the run completed or the watchdog aborted it. An abort is
+    /// also recorded in the log (source `watchdog`, metric `abort`).
+    pub status: RunStatus,
 }
 
 /// Executes one file-backed run through [`ReplaySession`]: parses and
@@ -355,17 +509,43 @@ pub fn run_file_experiment_with_clock<S: EventSink + ?Sized>(
     )));
     let sampler = spawn_sampler(loggers, plan.sampling_interval, Arc::clone(&stop));
 
+    let abort = Arc::new(AtomicBool::new(false));
+    // The session's replayer counts emitted graph events into the
+    // pipeline hub; the watchdog watches the very same counter.
+    let watchdog = plan
+        .watchdog
+        .clone()
+        .map(|config| spawn_watchdog(config, hub.counter("ingress_events"), Arc::clone(&abort)));
+
     let mut session = ReplaySession::new(plan.session)
         .with_clock(Arc::clone(&clock))
         .with_hub(hub);
+    if watchdog.is_some() {
+        session = session.with_abort_flag(Arc::clone(&abort));
+    }
     if let Some(tracer) = &plan.tracer {
         session = session.with_tracer(tracer);
     }
-    let result = session.run(&plan.path, sink);
+    let result = match &plan.chaos {
+        Some(chaos) => {
+            let mut chaos_sink = ChaosSink::new(
+                &mut *sink,
+                &chaos.schedule,
+                chaos.journal.clone(),
+                Arc::clone(&clock),
+            );
+            if let Some(supervisor) = &chaos.supervisor {
+                chaos_sink = chaos_sink.with_supervisor(Arc::clone(supervisor));
+            }
+            session.run(&plan.path, &mut chaos_sink)
+        }
+        None => session.run(&plan.path, sink),
+    };
 
     stop.store(true, Ordering::Relaxed);
-    let sampled = sampler.join().expect("sampler panicked");
+    let sampled = join_sampler(sampler, &clock);
     let resource = sysmon_records(sysmon, &plan.sysmon, &clock);
+    let (status, abort_records) = finish_watchdog(watchdog, &clock);
     let report = result?;
 
     let sink_records: Vec<MetricRecord> = report
@@ -385,10 +565,15 @@ pub fn run_file_experiment_with_clock<S: EventSink + ?Sized>(
         .add_records(sampled)
         .add_records(resource)
         .add_records(replay_records(&report.replay))
-        .add_records(sink_records);
+        .add_records(sink_records)
+        .add_records(abort_records);
+    if let Some(chaos) = &plan.chaos {
+        collector.add_records(chaos.journal.records());
+    }
     Ok(FileRunOutcome {
         report,
         log: collector.collect(),
+        status,
     })
 }
 
@@ -556,5 +741,187 @@ mod tests {
         let markers = &outcome.report.markers;
         assert_eq!(markers.len(), 2);
         assert!(markers[0].1 <= markers[1].1);
+    }
+
+    #[test]
+    fn unguarded_run_completes() {
+        let plan = RunPlan::new(stream(100), 200_000.0);
+        let mut sink = CollectSink::new();
+        let outcome = run_experiment(plan, &mut sink).unwrap();
+        assert_eq!(outcome.status, crate::watchdog::RunStatus::Completed);
+        assert!(!outcome.report.aborted);
+        assert!(outcome.log.records().iter().all(|r| r.source != "watchdog"));
+    }
+
+    #[test]
+    fn watchdog_aborts_a_stalled_run_and_salvages_the_log() {
+        use crate::watchdog::{AbortReason, RunStatus};
+        // A scripted 60 s pause stalls ingress; the watchdog must cut the
+        // run short in well under a second and the partial log must still
+        // carry everything delivered before the stall.
+        let mut s: GraphStream = (0..50)
+            .map(|i| {
+                StreamEntry::graph(GraphEvent::AddVertex {
+                    id: VertexId(i),
+                    state: State::empty(),
+                })
+            })
+            .collect();
+        s.push(StreamEntry::pause(Duration::from_secs(60)));
+        for i in 50..100 {
+            s.push(StreamEntry::graph(GraphEvent::AddVertex {
+                id: VertexId(i),
+                state: State::empty(),
+            }));
+        }
+        let mut plan = RunPlan::new(s, 1_000_000.0).with_watchdog(
+            crate::watchdog::WatchdogConfig::stall_after(Duration::from_millis(100))
+                .polling_every(Duration::from_millis(5)),
+        );
+        plan.sysmon = None;
+
+        let started = std::time::Instant::now();
+        let mut sink = CollectSink::new();
+        let outcome = run_experiment(plan, &mut sink).unwrap();
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "watchdog failed to cut the pause short"
+        );
+        assert!(outcome.report.aborted);
+        match &outcome.status {
+            RunStatus::Aborted(AbortReason::Stalled {
+                events_delivered, ..
+            }) => assert_eq!(*events_delivered, 50),
+            other => panic!("expected a stall abort, got {other:?}"),
+        }
+        // Everything before the stall was salvaged...
+        assert_eq!(outcome.report.graph_events, 50);
+        // ...and the abort itself is a typed record in the merged log.
+        assert!(outcome
+            .log
+            .records()
+            .iter()
+            .any(|r| r.source == "watchdog" && r.metric == "abort"));
+    }
+
+    #[test]
+    fn watchdog_deadline_cuts_a_slow_run_short() {
+        use crate::watchdog::{AbortReason, RunStatus};
+        // 10k events at 1k/s would take 10 s; the 150 ms deadline fires
+        // even though ingress keeps progressing the whole time.
+        let mut plan = RunPlan::new(stream(10_000), 1_000.0).with_watchdog(
+            crate::watchdog::WatchdogConfig::stall_after(Duration::from_secs(60))
+                .with_deadline(Duration::from_millis(150))
+                .polling_every(Duration::from_millis(5)),
+        );
+        plan.sysmon = None;
+        let started = std::time::Instant::now();
+        let mut sink = CollectSink::new();
+        let outcome = run_experiment(plan, &mut sink).unwrap();
+        assert!(started.elapsed() < Duration::from_secs(10));
+        assert!(outcome.report.aborted);
+        assert!(matches!(
+            outcome.status,
+            RunStatus::Aborted(AbortReason::DeadlineExceeded { .. })
+        ));
+        assert!(outcome.report.graph_events < 10_000);
+    }
+
+    #[test]
+    fn chaos_run_folds_fault_and_recovery_markers_into_the_log() {
+        use gt_chaos::FaultSchedule;
+        let schedule = FaultSchedule::parse("disconnect@10,lose=5; stall@30,ms=1", 7).unwrap();
+        let chaos = ChaosPlan::new(schedule);
+        let journal = chaos.journal.clone();
+        let mut plan = RunPlan::new(stream(100), 500_000.0).with_chaos(chaos);
+        plan.sysmon = None;
+        let mut sink = CollectSink::new();
+        let outcome = run_experiment(plan, &mut sink).unwrap();
+        // The replayer emitted all 100; 5 were lost downstream of it.
+        assert_eq!(outcome.report.graph_events, 100);
+        let delivered = sink
+            .entries
+            .iter()
+            .filter(|e| matches!(e, StreamEntry::Graph(_)))
+            .count();
+        assert_eq!(delivered, 95);
+        // Fault and recovery markers sit in the merged log under `chaos`.
+        let faults: Vec<_> = outcome
+            .log
+            .records()
+            .iter()
+            .filter(|r| r.source == gt_chaos::CHAOS_SOURCE && r.metric == "fault")
+            .collect();
+        assert_eq!(faults.len(), 2);
+        assert!(outcome
+            .log
+            .records()
+            .iter()
+            .any(|r| r.source == gt_chaos::CHAOS_SOURCE && r.metric == "recovery"));
+        // The journal clone the caller kept sees the same events.
+        assert_eq!(journal.signature().len(), 4);
+    }
+
+    /// A logger that panics on its very first sample — the regression
+    /// shape for the old `sampler.join().expect("sampler panicked")`.
+    struct PanickingLogger;
+
+    impl MetricsLogger for PanickingLogger {
+        fn sample(&mut self) -> Vec<MetricRecord> {
+            panic!("deliberate test panic in logger");
+        }
+        fn source(&self) -> &str {
+            "panicking"
+        }
+    }
+
+    #[test]
+    fn panicking_logger_degrades_instead_of_poisoning_the_run() {
+        let mut plan = RunPlan::new(stream(200), 200_000.0).with_logger(Box::new(PanickingLogger));
+        plan.sysmon = None;
+        let mut sink = CollectSink::new();
+        let outcome = run_experiment(plan, &mut sink).unwrap();
+        // The run itself is unharmed...
+        assert_eq!(outcome.report.graph_events, 200);
+        assert_eq!(outcome.status, crate::watchdog::RunStatus::Completed);
+        // ...and the lost series is explained by a typed degradation
+        // record instead of a harness panic.
+        assert!(outcome.log.records().iter().any(|r| r.source == "harness"
+            && r.metric == "degradation"
+            && r.value.to_string().contains("sampler")));
+    }
+
+    #[test]
+    fn file_run_watchdog_and_chaos_share_the_pipeline() {
+        use gt_chaos::FaultSchedule;
+        let dir = std::env::temp_dir().join("gt-harness-file-run-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("chaos-stream.csv");
+        let mut content = String::new();
+        for i in 0..2_000 {
+            content.push_str(&format!("ADD_VERTEX,{i},\n"));
+        }
+        std::fs::write(&path, content).unwrap();
+
+        let chaos = ChaosPlan::new(FaultSchedule::parse("disconnect@100,lose=50", 1).unwrap());
+        let plan = FileRunPlan::new(&path, 400_000.0)
+            .with_watchdog(crate::watchdog::WatchdogConfig::default())
+            .with_chaos(chaos);
+        let mut sink = CollectSink::new();
+        let outcome = run_file_experiment(plan, &mut sink).unwrap();
+        assert_eq!(outcome.status, crate::watchdog::RunStatus::Completed);
+        assert_eq!(outcome.report.replay.graph_events, 2_000);
+        let delivered = sink
+            .entries
+            .iter()
+            .filter(|e| matches!(e, StreamEntry::Graph(_)))
+            .count();
+        assert_eq!(delivered, 1_950);
+        assert!(outcome
+            .log
+            .records()
+            .iter()
+            .any(|r| r.source == gt_chaos::CHAOS_SOURCE && r.metric == "recovery"));
+        std::fs::remove_file(path).ok();
     }
 }

@@ -172,16 +172,42 @@ fn fold_trace(log: ResultLog, tracer: Option<Tracer>) -> ResultLog {
     ResultLog::from_records(records)
 }
 
+/// Arms a chaos plan with the platform's own crash/restart surface when
+/// the caller has not wired one explicitly. A platform without a
+/// supervisor leaves crash faults journaled as undeliverable.
+fn wire_chaos_supervisor(chaos: &mut Option<crate::run::ChaosPlan>, sut: &dyn SystemUnderTest) {
+    if let Some(chaos) = chaos {
+        if chaos.supervisor.is_none() {
+            chaos.supervisor = sut.supervisor();
+        }
+    }
+}
+
 /// Runs an in-memory plan against the platform registered under `name`.
 ///
 /// See the module docs for the exact wiring sequence. The plan's `level`
 /// is treated as *requested* access; the effective level is
 /// `min(plan.level, sut.level())`.
 pub fn run_sut_experiment(
+    plan: RunPlan,
+    registry: &SutRegistry,
+    name: &str,
+    options: &SutOptions,
+) -> Result<SutRunOutcome<RunOutcome>, SutRunError> {
+    run_sut_experiment_with_timeout(plan, registry, name, options, DEFAULT_QUIESCE_TIMEOUT)
+}
+
+/// [`run_sut_experiment`] with an explicit quiesce timeout — how long the
+/// runner waits for the platform to drain after the stream ends. A
+/// platform still busy when the timeout expires yields `quiesced ==
+/// false` while its partial report and sampled metrics are folded into
+/// the outcome as usual.
+pub fn run_sut_experiment_with_timeout(
     mut plan: RunPlan,
     registry: &SutRegistry,
     name: &str,
     options: &SutOptions,
+    quiesce_timeout: Duration,
 ) -> Result<SutRunOutcome<RunOutcome>, SutRunError> {
     let clock: Arc<dyn Clock> = Arc::new(WallClock::start());
     let mut sut = registry.start(name, options)?;
@@ -190,12 +216,13 @@ pub fn run_sut_experiment(
     if let Some(tracer) = &tracer {
         plan.tracer = Some(tracer.clone());
     }
+    wire_chaos_supervisor(&mut plan.chaos, sut.as_ref());
 
     let mut connector = sut.connector()?;
     let result = run_experiment_with_clock(plan, &mut connector, Arc::clone(&clock));
     drop(connector);
 
-    let quiesced = sut.quiesce(DEFAULT_QUIESCE_TIMEOUT);
+    let quiesced = sut.quiesce(quiesce_timeout);
     let report = sut.shutdown();
     let mut run = match result {
         Ok(run) => run,
@@ -218,10 +245,22 @@ pub fn run_sut_experiment(
 /// Runs a file-backed plan against the platform registered under `name`
 /// — the same wiring as [`run_sut_experiment`] on the streaming pipeline.
 pub fn run_file_sut_experiment(
+    plan: FileRunPlan,
+    registry: &SutRegistry,
+    name: &str,
+    options: &SutOptions,
+) -> Result<SutRunOutcome<FileRunOutcome>, SutRunError> {
+    run_file_sut_experiment_with_timeout(plan, registry, name, options, DEFAULT_QUIESCE_TIMEOUT)
+}
+
+/// [`run_file_sut_experiment`] with an explicit quiesce timeout (see
+/// [`run_sut_experiment_with_timeout`]).
+pub fn run_file_sut_experiment_with_timeout(
     mut plan: FileRunPlan,
     registry: &SutRegistry,
     name: &str,
     options: &SutOptions,
+    quiesce_timeout: Duration,
 ) -> Result<SutRunOutcome<FileRunOutcome>, SutRunError> {
     let clock: Arc<dyn Clock> = Arc::new(WallClock::start());
     let mut sut = registry.start(name, options)?;
@@ -230,12 +269,13 @@ pub fn run_file_sut_experiment(
     if let Some(tracer) = &tracer {
         plan.tracer = Some(tracer.clone());
     }
+    wire_chaos_supervisor(&mut plan.chaos, sut.as_ref());
 
     let mut connector = sut.connector()?;
     let result = run_file_experiment_with_clock(plan, &mut connector, Arc::clone(&clock));
     drop(connector);
 
-    let quiesced = sut.quiesce(DEFAULT_QUIESCE_TIMEOUT);
+    let quiesced = sut.quiesce(quiesce_timeout);
     let report = sut.shutdown();
     let mut run = match result {
         Ok(run) => run,
@@ -364,6 +404,156 @@ mod tests {
             .iter()
             .all(|r| r.source != TRACE_SOURCE));
         assert_eq!(outcome.report.get("events"), Some(100.0));
+    }
+
+    /// A stub platform that ingests everything but never drains: its
+    /// `quiesce` honours the timeout contract by polling a backlog that
+    /// never empties. The real-world shape is the paper's Figure 3d
+    /// system, still computing long after the stream ends.
+    struct NeverDrains {
+        hub: MetricsHub,
+        events: std::sync::Arc<std::sync::atomic::AtomicU64>,
+    }
+
+    struct NeverDrainsSink {
+        events: std::sync::Arc<std::sync::atomic::AtomicU64>,
+        counter: gt_metrics::hub::Counter,
+    }
+
+    impl gt_replayer::EventSink for NeverDrainsSink {
+        fn send(&mut self, entry: &StreamEntry) -> std::io::Result<()> {
+            if matches!(entry, StreamEntry::Graph(_)) {
+                self.events
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                self.counter.inc();
+            }
+            Ok(())
+        }
+        fn send_batch(&mut self, batch: &[SharedEntry]) -> std::io::Result<()> {
+            for entry in batch {
+                self.send(entry)?;
+            }
+            Ok(())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    impl SystemUnderTest for NeverDrains {
+        fn name(&self) -> &str {
+            "never-drains"
+        }
+        fn level(&self) -> EvaluationLevel {
+            EvaluationLevel::Level1
+        }
+        fn connector(&mut self) -> std::io::Result<Box<dyn gt_replayer::EventSink + Send>> {
+            Ok(Box::new(NeverDrainsSink {
+                events: std::sync::Arc::clone(&self.events),
+                counter: self.hub.counter("stub.events"),
+            }))
+        }
+        fn hub(&self) -> Option<&MetricsHub> {
+            Some(&self.hub)
+        }
+        fn quiesce(&mut self, timeout: Duration) -> bool {
+            // The backlog never empties: poll until the timeout burns off.
+            let deadline = std::time::Instant::now() + timeout;
+            while std::time::Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            false
+        }
+        fn shutdown(self: Box<Self>) -> SutReport {
+            SutReport::new("never-drains").with(
+                "events",
+                self.events.load(std::sync::atomic::Ordering::Relaxed) as f64,
+            )
+        }
+        fn as_any(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+        fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+            self
+        }
+    }
+
+    #[test]
+    fn quiesce_timeout_yields_false_but_still_folds_the_partial_outcome() {
+        let mut registry = SutRegistry::new();
+        registry.register("never-drains", |_options| {
+            Ok(Box::new(NeverDrains {
+                hub: MetricsHub::new(),
+                events: std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0)),
+            }) as Box<dyn SystemUnderTest>)
+        });
+
+        let plan = RunPlan::new(stream(300), 300_000.0).at_level(EvaluationLevel::Level1);
+        let started = std::time::Instant::now();
+        let outcome = run_sut_experiment_with_timeout(
+            plan,
+            &registry,
+            "never-drains",
+            &SutOptions::new(),
+            Duration::from_millis(50),
+        )
+        .unwrap();
+        // The runner gave up within the (shortened) timeout instead of
+        // hanging for the 30 s default...
+        assert!(started.elapsed() < DEFAULT_QUIESCE_TIMEOUT);
+        assert!(!outcome.quiesced);
+        // ...while the partial report and sampled metrics still made it
+        // into the outcome.
+        assert_eq!(outcome.report.get("events"), Some(300.0));
+        assert!(!outcome.run.log.series("never-drains", "events").is_empty());
+        assert!(!outcome
+            .run
+            .log
+            .series("never-drains", "stub.events")
+            .is_empty());
+        assert_eq!(outcome.run.report.graph_events, 300);
+    }
+
+    #[test]
+    fn chaos_crash_supervisor_is_wired_from_the_platform() {
+        use crate::run::ChaosPlan;
+        use gt_chaos::FaultSchedule;
+
+        // Kill store shard 1 at event 100, restart it 200 events later:
+        // the supervisor must come from the platform itself (the plan
+        // leaves it None), and both fault and recovery must be journaled.
+        let options = SutOptions::new()
+            .set("timestamper_cost_us", 0)
+            .set("shard_cost_us", 0)
+            .set("supervised", 1);
+        let chaos =
+            ChaosPlan::new(FaultSchedule::parse("crash@100,worker=1,restart=200", 11).unwrap());
+        let journal = chaos.journal.clone();
+        let plan = RunPlan::new(stream(600), 300_000.0).with_chaos(chaos);
+        let outcome = run_sut_experiment(plan, &registry(), "tide-store", &options).unwrap();
+
+        assert_eq!(
+            journal.signature(),
+            vec![
+                (100, "crash(worker=1, restart=+200) ok".to_owned()),
+                (300, "restart(worker=1) ok".to_owned()),
+            ]
+        );
+        assert!(outcome
+            .run
+            .log
+            .records()
+            .iter()
+            .any(|r| r.source == gt_chaos::CHAOS_SOURCE && r.metric == "fault"));
+        assert!(outcome
+            .run
+            .log
+            .records()
+            .iter()
+            .any(|r| r.source == gt_chaos::CHAOS_SOURCE && r.metric == "recovery"));
+        // The platform counted the crash and restart in its final report.
+        assert_eq!(outcome.report.get("crashes"), Some(1.0));
+        assert_eq!(outcome.report.get("restarts"), Some(1.0));
     }
 
     #[test]

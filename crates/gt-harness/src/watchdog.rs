@@ -1,0 +1,303 @@
+//! The experiment watchdog: stall detection and hard deadlines.
+//!
+//! A chaos experiment deliberately breaks the system mid-run — and a
+//! broken platform must not be able to hang the harness. The watchdog is
+//! a small background thread that watches *ingress progress* (graph
+//! events delivered by the replayer) and wall time, and raises a shared
+//! abort flag when either
+//!
+//! * no progress has been made for [`WatchdogConfig::stall_timeout`], or
+//! * the run has exceeded its hard [`WatchdogConfig::deadline`].
+//!
+//! The replayer polls that flag between entries (and inside scripted
+//! pauses), stops early, and reports `aborted = true`; the run loop then
+//! salvages everything sampled so far into the merged [`ResultLog`] and
+//! surfaces a typed [`RunStatus`] instead of hanging forever.
+//!
+//! The abort is *cooperative*: it interrupts a replay that is slow or
+//! paused, not a sink thread blocked forever inside a single `send`.
+//! That second failure mode is prevented one layer down — the platform
+//! channels fail fast when their consumer dies (crash containment), so a
+//! killed worker surfaces as lost events, never as a wedged sender. The
+//! watchdog is the defense-in-depth layer above it.
+//!
+//! [`ResultLog`]: gt_metrics::ResultLog
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use gt_metrics::hub::Counter;
+
+/// When the watchdog pulls the plug.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WatchdogConfig {
+    /// Abort when the ingress counter has not moved for this long.
+    /// Scripted pauses count as stalls too — raise this above the longest
+    /// expected pause when replaying streams with `PAUSE` phases.
+    pub stall_timeout: Duration,
+    /// Hard wall-clock bound on the whole replay; `None` means stall
+    /// detection only.
+    pub deadline: Option<Duration>,
+    /// How often the watchdog wakes up to check. Detection latency is at
+    /// most one interval past the configured bounds.
+    pub poll_interval: Duration,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            stall_timeout: Duration::from_secs(10),
+            deadline: None,
+            poll_interval: Duration::from_millis(20),
+        }
+    }
+}
+
+impl WatchdogConfig {
+    /// Stall detection with the given timeout, no deadline.
+    pub fn stall_after(timeout: Duration) -> Self {
+        WatchdogConfig {
+            stall_timeout: timeout,
+            ..Default::default()
+        }
+    }
+
+    /// Adds a hard wall-clock deadline (builder style).
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the poll interval (builder style).
+    #[must_use]
+    pub fn polling_every(mut self, interval: Duration) -> Self {
+        self.poll_interval = interval;
+        self
+    }
+}
+
+/// Why the watchdog aborted a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AbortReason {
+    /// Ingress made no progress for longer than the stall timeout.
+    Stalled {
+        /// How long the ingress counter sat still before the abort.
+        stalled_for: Duration,
+        /// Graph events delivered up to the stall.
+        events_delivered: u64,
+    },
+    /// The run exceeded its hard wall-clock deadline.
+    DeadlineExceeded {
+        /// The configured deadline.
+        deadline: Duration,
+        /// Graph events delivered when the deadline hit.
+        events_delivered: u64,
+    },
+}
+
+impl std::fmt::Display for AbortReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AbortReason::Stalled {
+                stalled_for,
+                events_delivered,
+            } => write!(
+                f,
+                "stalled: no ingress progress for {} ms ({} events delivered)",
+                stalled_for.as_millis(),
+                events_delivered
+            ),
+            AbortReason::DeadlineExceeded {
+                deadline,
+                events_delivered,
+            } => write!(
+                f,
+                "deadline exceeded: {} ms elapsed ({} events delivered)",
+                deadline.as_millis(),
+                events_delivered
+            ),
+        }
+    }
+}
+
+/// How a run ended: to completion, or cut short by the watchdog. Either
+/// way the outcome carries a (possibly partial) report and merged log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunStatus {
+    /// The stream ran to its end.
+    Completed,
+    /// The watchdog aborted the run for the given reason.
+    Aborted(AbortReason),
+}
+
+impl RunStatus {
+    /// Whether the watchdog cut the run short.
+    pub fn is_aborted(&self) -> bool {
+        matches!(self, RunStatus::Aborted(_))
+    }
+}
+
+impl std::fmt::Display for RunStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunStatus::Completed => write!(f, "completed"),
+            RunStatus::Aborted(reason) => write!(f, "aborted ({reason})"),
+        }
+    }
+}
+
+/// A running watchdog thread.
+pub(crate) struct WatchdogHandle {
+    stop: Arc<AtomicBool>,
+    join: JoinHandle<Option<AbortReason>>,
+}
+
+impl WatchdogHandle {
+    /// Signals the thread and collects its verdict. `None` = the run
+    /// finished on its own (or the watchdog thread itself died — a dead
+    /// watchdog must not turn a healthy run into an aborted one).
+    pub(crate) fn finish(self) -> Option<AbortReason> {
+        self.stop.store(true, Ordering::Relaxed);
+        self.join.join().unwrap_or(None)
+    }
+}
+
+/// Spawns the watchdog. It polls `progress` every
+/// [`WatchdogConfig::poll_interval`]; on a stall or a blown deadline it
+/// raises `abort` (observed by the replayer) and exits with the reason.
+///
+/// The watchdog measures real elapsed time with [`Instant`] rather than
+/// the run clock: a stall is a wall-clock phenomenon, and the run clock
+/// may itself be a frozen [`gt_metrics::ManualClock`] in tests.
+pub(crate) fn spawn_watchdog(
+    config: WatchdogConfig,
+    progress: Counter,
+    abort: Arc<AtomicBool>,
+) -> WatchdogHandle {
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = Arc::clone(&stop);
+    let join = std::thread::Builder::new()
+        .name("gt-harness-watchdog".into())
+        .spawn(move || {
+            let started = Instant::now();
+            let mut last_value = progress.get();
+            let mut last_change = Instant::now();
+            loop {
+                std::thread::sleep(config.poll_interval);
+                if stop_flag.load(Ordering::Relaxed) {
+                    return None;
+                }
+                let value = progress.get();
+                if value != last_value {
+                    last_value = value;
+                    last_change = Instant::now();
+                } else if last_change.elapsed() >= config.stall_timeout {
+                    abort.store(true, Ordering::Relaxed);
+                    return Some(AbortReason::Stalled {
+                        stalled_for: last_change.elapsed(),
+                        events_delivered: value,
+                    });
+                }
+                if let Some(deadline) = config.deadline {
+                    if started.elapsed() >= deadline {
+                        abort.store(true, Ordering::Relaxed);
+                        return Some(AbortReason::DeadlineExceeded {
+                            deadline,
+                            events_delivered: value,
+                        });
+                    }
+                }
+            }
+        })
+        .expect("spawn gt-harness-watchdog thread");
+    WatchdogHandle { stop, join }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast(stall_ms: u64) -> WatchdogConfig {
+        WatchdogConfig::stall_after(Duration::from_millis(stall_ms))
+            .polling_every(Duration::from_millis(2))
+    }
+
+    #[test]
+    fn quiet_watchdog_reports_nothing() {
+        let progress = Counter::default();
+        let abort = Arc::new(AtomicBool::new(false));
+        let handle = spawn_watchdog(fast(10_000), progress.clone(), Arc::clone(&abort));
+        progress.add(5);
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(handle.finish(), None);
+        assert!(!abort.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn stall_raises_the_abort_flag() {
+        let progress = Counter::default();
+        let abort = Arc::new(AtomicBool::new(false));
+        let handle = spawn_watchdog(fast(20), progress.clone(), Arc::clone(&abort));
+        progress.add(7);
+        // No further progress: the stall timeout must fire.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while !abort.load(Ordering::Relaxed) && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(abort.load(Ordering::Relaxed), "stall never detected");
+        match handle.finish() {
+            Some(AbortReason::Stalled {
+                events_delivered, ..
+            }) => assert_eq!(events_delivered, 7),
+            other => panic!("expected a stall, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn steady_progress_defeats_the_stall_timer() {
+        let progress = Counter::default();
+        let abort = Arc::new(AtomicBool::new(false));
+        let handle = spawn_watchdog(fast(40), progress.clone(), Arc::clone(&abort));
+        for _ in 0..10 {
+            progress.inc();
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(!abort.load(Ordering::Relaxed));
+        assert_eq!(handle.finish(), None);
+    }
+
+    #[test]
+    fn deadline_fires_even_while_progressing() {
+        let progress = Counter::default();
+        let abort = Arc::new(AtomicBool::new(false));
+        let config = fast(10_000).with_deadline(Duration::from_millis(20));
+        let handle = spawn_watchdog(config, progress.clone(), Arc::clone(&abort));
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while !abort.load(Ordering::Relaxed) && Instant::now() < deadline {
+            progress.inc();
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(abort.load(Ordering::Relaxed), "deadline never fired");
+        assert!(matches!(
+            handle.finish(),
+            Some(AbortReason::DeadlineExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn status_display_is_reportable() {
+        let status = RunStatus::Aborted(AbortReason::Stalled {
+            stalled_for: Duration::from_millis(1500),
+            events_delivered: 42,
+        });
+        assert!(status.is_aborted());
+        assert_eq!(
+            status.to_string(),
+            "aborted (stalled: no ingress progress for 1500 ms (42 events delivered))"
+        );
+        assert_eq!(RunStatus::Completed.to_string(), "completed");
+    }
+}

@@ -1,6 +1,7 @@
 //! The replay driver.
 
 use std::io;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use gt_core::prelude::*;
@@ -60,6 +61,10 @@ pub struct ReplayReport {
     /// (graph events only) — a paused replayer is obeying the stream, not
     /// falling behind, so pauses must not depress this number.
     pub achieved_rate: f64,
+    /// Whether the replay was cut short by an abort flag (experiment
+    /// watchdog) before the stream ended. Everything delivered up to the
+    /// abort is still accounted in the fields above.
+    pub aborted: bool,
 }
 
 /// The rate-controlled replayer.
@@ -75,6 +80,10 @@ pub struct Replayer {
     /// Optional Level-2 tracepoint at the paced-emit stage: stamps sampled
     /// graph events just before they are handed to the sink.
     trace_probe: Option<Probe>,
+    /// Optional shared abort flag (set by an experiment watchdog): checked
+    /// between entries and during pauses; when raised, the replay stops
+    /// early, flushes what it has, and reports `aborted = true`.
+    abort: Option<Arc<AtomicBool>>,
 }
 
 impl Replayer {
@@ -86,6 +95,7 @@ impl Replayer {
             ingress_counter: None,
             emit_latency: None,
             trace_probe: None,
+            abort: None,
         }
     }
 
@@ -115,6 +125,22 @@ impl Replayer {
     pub fn with_trace_probe(mut self, probe: Probe) -> Self {
         self.trace_probe = Some(probe);
         self
+    }
+
+    /// Registers a shared abort flag. When another thread (normally the
+    /// experiment watchdog) sets it, the replay stops at the next entry
+    /// boundary — or mid-pause — delivers the pending batch, closes the
+    /// sink, and returns a report with `aborted = true` instead of
+    /// running the stream to its end.
+    pub fn with_abort_flag(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.abort = Some(flag);
+        self
+    }
+
+    fn abort_requested(&self) -> bool {
+        self.abort
+            .as_ref()
+            .is_some_and(|flag| flag.load(Ordering::Relaxed))
     }
 
     /// Delivers the pending batch and attributes its events to the metrics
@@ -196,7 +222,12 @@ impl Replayer {
             };
         }
 
+        let mut aborted = false;
         for entry in entries {
+            if self.abort_requested() {
+                aborted = true;
+                break;
+            }
             let entry: SharedEntry = entry.into();
             match entry.as_ref() {
                 StreamEntry::Graph(_) => {
@@ -252,8 +283,23 @@ impl Replayer {
                     sink.flush()?;
                     if self.config.honor_pauses {
                         let pause_start = self.clock.now_micros();
-                        std::thread::sleep(*duration);
+                        // Sleep in slices so a watchdog abort does not
+                        // have to wait out a long scripted pause.
+                        let mut remaining = *duration;
+                        let slice = std::time::Duration::from_millis(20);
+                        while !remaining.is_zero() {
+                            if self.abort_requested() {
+                                aborted = true;
+                                break;
+                            }
+                            let step = remaining.min(slice);
+                            std::thread::sleep(step);
+                            remaining -= step;
+                        }
                         paused_micros += self.clock.now_micros().saturating_sub(pause_start);
+                        if aborted {
+                            break;
+                        }
                     }
                     pacer.reset();
                 }
@@ -289,6 +335,7 @@ impl Replayer {
             paused_micros,
             rate_series,
             achieved_rate: graph_events as f64 / (active_micros as f64 / 1e6),
+            aborted,
         })
     }
 
@@ -615,6 +662,60 @@ mod tests {
         let mut sink = PatternSink::default();
         replayer.replay_stream(&vertices(200), &mut sink).unwrap();
         assert!(sink.deliveries.iter().all(|d| d.len() <= 16));
+    }
+
+    #[test]
+    fn abort_flag_stops_replay_and_marks_report() {
+        // The flag is pre-set: the replay must stop at the first entry
+        // boundary, deliver nothing further, and still close the sink.
+        let flag = Arc::new(AtomicBool::new(true));
+        let replayer = Replayer::new(ReplayerConfig {
+            target_rate: 1e6,
+            ..Default::default()
+        })
+        .with_abort_flag(Arc::clone(&flag));
+        let mut sink = PatternSink::default();
+        let report = replayer.replay_stream(&vertices(100), &mut sink).unwrap();
+        assert!(report.aborted);
+        assert_eq!(report.graph_events, 0);
+        assert_eq!(sink.closed, 1, "abort must still close the sink");
+
+        // And an unset flag changes nothing.
+        flag.store(false, Ordering::Relaxed);
+        let mut sink = CollectSink::new();
+        let report = replayer.replay_stream(&vertices(100), &mut sink).unwrap();
+        assert!(!report.aborted);
+        assert_eq!(report.graph_events, 100);
+    }
+
+    #[test]
+    fn abort_cuts_scripted_pause_short() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let mut stream = vertices(2);
+        stream.push(StreamEntry::pause(Duration::from_secs(30)));
+        stream.extend(vertices(2));
+        let replayer = Replayer::new(ReplayerConfig {
+            target_rate: 1e6,
+            ..Default::default()
+        })
+        .with_abort_flag(Arc::clone(&flag));
+        let setter = {
+            let flag = Arc::clone(&flag);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(60));
+                flag.store(true, Ordering::Relaxed);
+            })
+        };
+        let started = std::time::Instant::now();
+        let mut sink = CollectSink::new();
+        let report = replayer.replay_stream(&stream, &mut sink).unwrap();
+        setter.join().unwrap();
+        assert!(report.aborted);
+        assert_eq!(report.graph_events, 2, "pre-pause events delivered");
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "abort had to wait out the pause"
+        );
     }
 
     #[test]

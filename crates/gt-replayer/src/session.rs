@@ -22,7 +22,7 @@
 //! [`SessionReport`].
 
 use std::path::Path;
-use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -84,6 +84,7 @@ pub struct ReplaySession {
     clock: Arc<dyn Clock>,
     hub: MetricsHub,
     tracer: Option<Tracer>,
+    abort: Option<Arc<AtomicBool>>,
 }
 
 impl ReplaySession {
@@ -94,6 +95,7 @@ impl ReplaySession {
             clock: Arc::new(WallClock::start()),
             hub: MetricsHub::new(),
             tracer: None,
+            abort: None,
         }
     }
 
@@ -128,6 +130,16 @@ impl ReplaySession {
         self
     }
 
+    /// Attaches a shared abort flag, forwarded to the emitter stage: when
+    /// set (normally by an experiment watchdog), the replay stops early
+    /// and the report's `replay.aborted` is true. The reader thread winds
+    /// down on its own once the emitter drops the channel.
+    #[must_use]
+    pub fn with_abort_flag(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.abort = Some(flag);
+        self
+    }
+
     /// Streams `path` through the pipeline into `sink`. The file is read
     /// and parsed on a dedicated thread; this thread paces and emits.
     pub fn run<S: EventSink + ?Sized>(
@@ -158,6 +170,9 @@ impl ReplaySession {
             .with_emit_latency(emit_latency.clone());
         if let Some(tracer) = &self.tracer {
             replayer = replayer.with_trace_probe(tracer.probe(Stage::PacedEmit));
+        }
+        if let Some(flag) = &self.abort {
+            replayer = replayer.with_abort_flag(Arc::clone(flag));
         }
 
         // `replay` consumes the entry iterator, so by the time it returns

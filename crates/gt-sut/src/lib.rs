@@ -31,4 +31,4 @@ pub mod sut;
 
 pub use levels::EvaluationLevel;
 pub use registry::{SutError, SutOptions, SutRegistry};
-pub use sut::{SutReport, SystemUnderTest};
+pub use sut::{SutReport, SystemUnderTest, WorkerSupervisor};

@@ -2,6 +2,7 @@
 
 use std::any::Any;
 use std::io;
+use std::sync::Arc;
 use std::time::Duration;
 
 use gt_metrics::MetricsHub;
@@ -78,6 +79,15 @@ pub trait SystemUnderTest: Send {
         true
     }
 
+    /// The platform's crash/restart control surface, if it supports
+    /// supervised chaos runs. Returns a handle that stays valid while the
+    /// platform runs — chaos middleware calls it from the replay thread to
+    /// kill and resurrect individual workers mid-stream. `None` (the
+    /// default) means the platform cannot be crash-injected.
+    fn supervisor(&self) -> Option<Arc<dyn WorkerSupervisor>> {
+        None
+    }
+
     /// Stops the platform and returns its final report.
     fn shutdown(self: Box<Self>) -> SutReport;
 
@@ -90,6 +100,29 @@ pub trait SystemUnderTest: Send {
     /// more than the generic [`SutReport`] (e.g. final algorithm results).
     /// Implement as `fn into_any(self: Box<Self>) -> Box<dyn Any> { self }`.
     fn into_any(self: Box<Self>) -> Box<dyn Any>;
+}
+
+/// A platform's crash/restart control surface for supervised chaos runs.
+///
+/// Implementations hold *shared internals* of a running platform (channel
+/// senders, worker handles) — never the platform's own top-level handle,
+/// so normal shutdown paths that require sole ownership keep working.
+/// All methods must be safe to call from any thread at any point of a run,
+/// including on workers that are already dead.
+pub trait WorkerSupervisor: Send + Sync {
+    /// How many crash-injectable workers the platform currently runs
+    /// (engine workers, store shards).
+    fn worker_count(&self) -> usize;
+
+    /// Kills the given worker as if it had failed (its in-memory state is
+    /// lost). Returns whether a crash was actually delivered — `false` for
+    /// out-of-range indices or workers that are already dead.
+    fn inject_crash(&self, worker: usize) -> bool;
+
+    /// Restarts a previously crashed worker, rebuilding its state by
+    /// replaying the platform's retained event log (supervised mode only).
+    /// Returns whether the worker came back.
+    fn restart_worker(&self, worker: usize) -> bool;
 }
 
 /// What a platform reported when it shut down: a flat list of named final

@@ -45,7 +45,9 @@ pub mod sampler;
 pub mod source;
 
 pub use parse::{Derived, HostStat, PidIo, PidStat, PidStatus, Sample};
-pub use sampler::{spawn, SamplerConfig, SysmonHandle, SysmonOutcome, SysmonSampler};
+pub use sampler::{
+    spawn, spawn_with_source, SamplerConfig, SysmonHandle, SysmonOutcome, SysmonSampler,
+};
 pub use source::{FakeProc, LiveProc, ProcFile, ProcSource};
 
 /// Why the monitor could not observe its target.

@@ -312,9 +312,30 @@ pub fn spawn(
     clock: Arc<dyn Clock>,
     hub: Option<&MetricsHub>,
 ) -> SysmonHandle {
+    let sampler = SysmonSampler::new(config.clone(), clock);
+    spawn_sampler(config, sampler, hub)
+}
+
+/// [`spawn`] reading through an injected [`ProcSource`] instead of the
+/// live `/proc` — the monitor-thread counterpart of
+/// [`SysmonSampler::with_source`], for tests and simulated targets.
+pub fn spawn_with_source(
+    config: SamplerConfig,
+    source: Box<dyn ProcSource>,
+    clock: Arc<dyn Clock>,
+    hub: Option<&MetricsHub>,
+) -> SysmonHandle {
+    let sampler = SysmonSampler::with_source(config.clone(), source, clock);
+    spawn_sampler(config, sampler, hub)
+}
+
+fn spawn_sampler(
+    config: SamplerConfig,
+    mut sampler: SysmonSampler,
+    hub: Option<&MetricsHub>,
+) -> SysmonHandle {
     let stop = Arc::new(AtomicBool::new(false));
     let stop_flag = Arc::clone(&stop);
-    let mut sampler = SysmonSampler::new(config.clone(), clock);
     if let Some(hub) = hub {
         sampler = sampler.with_hub(hub);
     }
@@ -593,6 +614,63 @@ mod tests {
         let records = join.join().unwrap();
         assert!(records.iter().any(|r| r.metric == "cpu_percent"));
         assert!(records.iter().filter(|r| r.metric == "rss_bytes").count() >= 2);
+    }
+
+    /// A source that panics on every read — the monitor thread dies
+    /// mid-run, which must surface as a typed error, never as a
+    /// propagated panic in the harness that joins it.
+    #[derive(Clone)]
+    struct PanickingProc;
+
+    impl ProcSource for PanickingProc {
+        fn read(&self, _file: ProcFile) -> std::io::Result<String> {
+            panic!("deliberate test panic in proc source");
+        }
+        fn describe(&self) -> String {
+            "panicking".to_owned()
+        }
+    }
+
+    #[test]
+    fn panicking_source_degrades_to_a_typed_error() {
+        let clock: Arc<dyn Clock> = Arc::new(ManualClock::new());
+        let handle = spawn_with_source(
+            SamplerConfig::default().every(Duration::from_millis(5)),
+            Box::new(PanickingProc),
+            clock,
+            None,
+        );
+        std::thread::sleep(Duration::from_millis(20));
+        let outcome = handle.stop();
+        assert!(outcome.records.is_empty());
+        assert_eq!(outcome.ticks, 0);
+        let error = outcome.error.expect("panic must become a typed error");
+        assert!(
+            error.to_string().contains("panicked"),
+            "unexpected error: {error}"
+        );
+    }
+
+    #[test]
+    fn spawn_with_source_samples_injected_files() {
+        let (fake, clock) = fake_with_stat();
+        let hub = MetricsHub::new();
+        let handle = spawn_with_source(
+            SamplerConfig::default().every(Duration::from_millis(2)),
+            Box::new(fake.clone()),
+            Arc::clone(&clock) as Arc<dyn Clock>,
+            Some(&hub),
+        );
+        std::thread::sleep(Duration::from_millis(15));
+        clock.advance_secs(1.0);
+        fake.set(ProcFile::PidStat, stat_line(25, 25, 4, 1500));
+        std::thread::sleep(Duration::from_millis(15));
+        let outcome = handle.stop();
+        assert!(outcome.error.is_none());
+        assert!(outcome.ticks >= 2);
+        assert!(outcome.records.iter().any(|r| r.metric == "cpu_percent"));
+        // The hub gauges mirror the injected values live.
+        assert_eq!(hub.gauge("sysmon.rss_bytes").get(), 1500 * 4096);
     }
 
     #[test]

@@ -9,18 +9,39 @@
 //!
 //! ```text
 //! gt-run <stream.csv> --sut <name> [--rate R] [--opt key=value ...]
+//!        [--faults drop:0.01,dup:0.005,shuffle:64] [--fault-seed N]
+//!        [--chaos "crash@200,worker=0,restart=300; stall@500,ms=50"]
 //! ```
+//!
+//! `--faults` derives an unreliable/unordered stream a priori (§3.2)
+//! before replay; `--chaos` injects live faults mid-run through the
+//! chaos sink and prints a per-fault recovery summary (time-to-recover,
+//! throughput-dip depth, events lost). Both are seeded by `--fault-seed`
+//! and fully deterministic. Chaos runs are guarded by the experiment
+//! watchdog so a killed worker can never hang the invocation.
 
 use std::process::ExitCode;
+use std::time::Duration;
 
-use gt_analysis::{Quantiles, TRACE_SOURCE, TRACE_STAGE_METRICS};
-use gt_harness::{run_file_sut_experiment, EvaluationLevel, FileRunPlan, SutOptions, SutRegistry};
+use gt_analysis::{recovery_windows, Quantiles, TRACE_SOURCE, TRACE_STAGE_METRICS};
+use gt_faults::{parse_pipeline, FaultInjector};
+use gt_harness::{
+    run_file_sut_experiment, ChaosPlan, EvaluationLevel, FaultSchedule, FileRunPlan, SutOptions,
+    SutRegistry, WatchdogConfig,
+};
+
+/// Throughput fraction of the pre-fault baseline that counts as
+/// "recovered" in the summary table.
+const RECOVERY_FRACTION: f64 = 0.9;
 
 struct Args {
     path: String,
     sut: String,
     rate: f64,
     options: SutOptions,
+    faults: Option<String>,
+    chaos: Option<String>,
+    fault_seed: u64,
 }
 
 /// The registry of built-in platforms.
@@ -33,7 +54,11 @@ fn builtin_registry() -> SutRegistry {
 
 fn usage() -> String {
     let names = builtin_registry().names().join("|");
-    format!("usage: gt-run <stream.csv> --sut <{names}> [--rate R] [--opt key=value ...]")
+    format!(
+        "usage: gt-run <stream.csv> --sut <{names}> [--rate R] [--opt key=value ...]\n\
+         \x20             [--faults drop:P,dup:P,shuffle:W,delay:P:N] [--fault-seed N]\n\
+         \x20             [--chaos \"kind@trigger[,key=value ...]; ...\"]"
+    )
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -42,9 +67,21 @@ fn parse_args() -> Result<Args, String> {
     let mut sut = None;
     let mut rate: f64 = 10_000.0;
     let mut options = SutOptions::new();
+    let mut faults = None;
+    let mut chaos = None;
+    let mut fault_seed: u64 = 0;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--sut" => sut = Some(args.next().ok_or("--sut needs a value")?),
+            "--faults" => faults = Some(args.next().ok_or("--faults needs a spec")?),
+            "--chaos" => chaos = Some(args.next().ok_or("--chaos needs a spec")?),
+            "--fault-seed" => {
+                fault_seed = args
+                    .next()
+                    .ok_or("--fault-seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad fault seed: {e}"))?;
+            }
             "--rate" => {
                 rate = args
                     .next()
@@ -72,7 +109,24 @@ fn parse_args() -> Result<Args, String> {
         sut: sut.ok_or_else(usage)?,
         rate,
         options,
+        faults,
+        chaos,
+        fault_seed,
     })
+}
+
+/// Applies an a-priori fault pipeline: reads the stream, injects, writes
+/// the derived stream to a scratch file, and returns `(path, description)`.
+fn materialize_faults(path: &str, spec: &str, seed: u64) -> Result<(String, String), String> {
+    let pipeline = parse_pipeline(spec)?;
+    let stream =
+        gt_core::GraphStream::read_from_file(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let faulty = pipeline.inject(stream, seed);
+    let out = std::env::temp_dir().join(format!("gt-run-faulty-{}-{seed}.csv", std::process::id()));
+    faulty
+        .write_to_file(&out)
+        .map_err(|e| format!("writing {}: {e}", out.display()))?;
+    Ok((out.to_string_lossy().into_owned(), pipeline.describe()))
 }
 
 fn main() -> ExitCode {
@@ -84,7 +138,41 @@ fn main() -> ExitCode {
         }
     };
     let registry = builtin_registry();
-    let plan = FileRunPlan::new(&args.path, args.rate).at_level(EvaluationLevel::Level2);
+
+    // A-priori stream faults: derive the weaker stream before replay.
+    let (path, fault_description, scratch) = match &args.faults {
+        Some(spec) => match materialize_faults(&args.path, spec, args.fault_seed) {
+            Ok((path, description)) => (path.clone(), Some(description), Some(path)),
+            Err(error) => {
+                eprintln!("gt-run: --faults {error}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => (args.path.clone(), None, None),
+    };
+
+    // Live chaos: parse the schedule, keep the journal for the summary,
+    // and guard the run with the watchdog so a killed worker can never
+    // hang the invocation.
+    let mut plan = FileRunPlan::new(&path, args.rate).at_level(EvaluationLevel::Level2);
+    let chaos_description = match &args.chaos {
+        Some(spec) => match FaultSchedule::parse(spec, args.fault_seed) {
+            Ok(schedule) => {
+                let description = schedule.describe();
+                plan = plan.with_chaos(ChaosPlan::new(schedule)).with_watchdog(
+                    WatchdogConfig::stall_after(Duration::from_secs(30))
+                        .with_deadline(Duration::from_secs(600)),
+                );
+                Some(description)
+            }
+            Err(error) => {
+                eprintln!("gt-run: --chaos {error}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+
     let outcome = match run_file_sut_experiment(plan, &registry, &args.sut, &args.options) {
         Ok(outcome) => outcome,
         Err(error) => {
@@ -92,9 +180,19 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Some(scratch) = scratch {
+        let _ = std::fs::remove_file(scratch);
+    }
 
     let replay = &outcome.run.report;
     println!("# gt-run: {} @ {} events/s", args.sut, args.rate);
+    if let Some(faults) = &fault_description {
+        println!("# stream faults: {faults} (seed {})", args.fault_seed);
+    }
+    if let Some(chaos) = &chaos_description {
+        println!("# chaos schedule: {chaos} (seed {})", args.fault_seed);
+    }
+    println!("run status          {:>12}", outcome.run.status.to_string());
     println!("entries read        {:>12}", replay.entries_read);
     println!("graph events        {:>12}", replay.replay.graph_events);
     println!(
@@ -135,9 +233,47 @@ fn main() -> ExitCode {
             );
         }
     }
+    // Chaos recovery summary: one row per injected fault, correlated
+    // against the ingress-rate series.
+    if chaos_description.is_some() {
+        let windows = recovery_windows(&outcome.run.log, RECOVERY_FRACTION);
+        if windows.is_empty() {
+            println!("\n# chaos recovery: no faults fired");
+        } else {
+            println!(
+                "\n# chaos recovery (recovered = {:.0}% of pre-fault rate)",
+                RECOVERY_FRACTION * 100.0
+            );
+            println!(
+                "{:<40} {:>8} {:>10} {:>7} {:>9} {:>6}",
+                "fault", "t[s]", "dip[e/s]", "depth", "ttr[s]", "lost"
+            );
+            for w in &windows {
+                let ttr = w
+                    .time_to_recover_secs
+                    .map_or_else(|| "never".to_owned(), |t| format!("{t:.2}"));
+                println!(
+                    "{:<40} {:>8.2} {:>10.0} {:>6.0}% {:>9} {:>6}",
+                    w.fault,
+                    w.t_fault_secs,
+                    w.dip_rate,
+                    w.dip_depth * 100.0,
+                    ttr,
+                    w.events_lost
+                );
+                if let Some((action, t)) = &w.recovery {
+                    println!("  └ {action} at t={t:.2}s");
+                }
+            }
+        }
+    }
     println!(
         "\n# merged result log: {} records",
         outcome.run.log.records().len()
     );
+    if outcome.run.status.is_aborted() {
+        eprintln!("gt-run: run aborted by watchdog: {}", outcome.run.status);
+        return ExitCode::FAILURE;
+    }
     ExitCode::SUCCESS
 }

@@ -1,12 +1,27 @@
-//! The worker runtime: mailboxes, routing, instrumentation.
+//! The worker runtime: mailboxes, routing, instrumentation, supervision.
 //!
 //! [`Engine`] is generic over the vertex program ([`Partition`]); the
 //! influence-rank instantiation is exported as [`TideGraph`], matching
 //! the paper's Chronograph experiment, and the online-SSSP instantiation
 //! as [`crate::sssp::SsspEngine`].
+//!
+//! # Crash containment and supervised recovery
+//!
+//! Workers are *crash-containable*: a scheduled [`Msg::Crash`] (delivered
+//! through the [`EngineSupervisor`], the engine's
+//! [`gt_sut::WorkerSupervisor`] surface) makes the worker discard its
+//! partition state and exit, exactly like a killed process. The rest of
+//! the engine keeps running — events routed to the dead worker are
+//! counted as lost (`engine.events_lost`), never deadlocked on, and
+//! shutdown joins dead workers tolerantly instead of poisoning the run.
+//! In *supervised* mode ([`EngineConfig::supervised`]) the engine
+//! additionally retains every ingested event, so a crashed worker can be
+//! restarted and rebuilt by replaying its share of the retained log
+//! (replay-from-last-applied-sequence, with ingest excluded during the
+//! swap so recovery is exactly-once with respect to new events).
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -15,8 +30,9 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use gt_core::prelude::*;
 use gt_metrics::hub::{Counter, Gauge};
 use gt_metrics::MetricsHub;
+use gt_sut::WorkerSupervisor;
 use gt_trace::{Probe, Stage, TracerCell};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
 use crate::program::Partition;
 use crate::rank::{RankParams, RankPartition};
@@ -42,6 +58,11 @@ pub struct EngineConfig {
     /// traffic at fan-in hubs; `1` disables coalescing (the naive
     /// per-message engine — see the drain-batch ablation bench).
     pub drain_batch: usize,
+    /// Retain every ingested event so crashed workers can be restarted
+    /// with their state rebuilt by replay (the single-process stand-in
+    /// for a durable write-ahead log). Costs memory proportional to the
+    /// stream length; off by default.
+    pub supervised: bool,
 }
 
 impl Default for EngineConfig {
@@ -53,6 +74,7 @@ impl Default for EngineConfig {
             share_cost: Duration::ZERO,
             board_refresh_every: 256,
             drain_batch: 64,
+            supervised: false,
         }
     }
 }
@@ -60,13 +82,24 @@ impl Default for EngineConfig {
 /// Final statistics after shutdown.
 #[derive(Debug)]
 pub struct EngineStats {
-    /// Mutation events processed.
+    /// Mutation events processed. Replayed events are re-processed by the
+    /// restarted worker, so after a supervised recovery this exceeds the
+    /// number of distinct stream events.
     pub events: u64,
     /// Computational messages processed.
     pub shares: u64,
     /// Final per-vertex result values (unnormalized for the rank
     /// program).
     pub ranks: BTreeMap<VertexId, f64>,
+    /// Worker deaths (injected crashes plus contained panics).
+    pub crashes: u64,
+    /// Supervised worker restarts.
+    pub restarts: u64,
+    /// Messages (mutation events and shares) that could not be delivered
+    /// because their owner worker was dead.
+    pub events_lost: u64,
+    /// Mutation events re-enqueued from the retained log on restarts.
+    pub events_replayed: u64,
 }
 
 enum Msg<M> {
@@ -81,6 +114,11 @@ enum Msg<M> {
     /// its processing time measures the ingest-to-process latency of the
     /// events streamed before it (§4.5's watermark pattern).
     Marker(String),
+    /// A simulated worker kill: the worker discards its partition state
+    /// and exits immediately, as if the process died. Queued like any
+    /// message, so the crash lands at a deterministic position in the
+    /// worker's message stream.
+    Crash,
     Stop,
 }
 
@@ -93,21 +131,99 @@ type ResultBoard = Arc<Mutex<BTreeMap<VertexId, f64>>>;
 /// start)`.
 type MarkerLog = Arc<Mutex<Vec<(String, usize, u64)>>>;
 
-/// A running vertex-centric engine executing the program `P`.
-pub struct Engine<P: Partition> {
-    senders: Arc<Vec<Sender<Msg<P::Msg>>>>,
-    handles: Option<Vec<JoinHandle<P>>>,
+/// The mailbox fabric shared by the engine handle, the workers, and the
+/// supervisor: the current sender of every worker slot (swapped on
+/// restart, hence the lock) plus a liveness flag per slot.
+struct Mailboxes<M> {
+    /// Write-locked only while a restart swaps a sender — which also
+    /// excludes ingest, making recovery exactly-once with respect to new
+    /// events.
+    senders: RwLock<Vec<Sender<Msg<M>>>>,
+    alive: Vec<AtomicBool>,
+}
+
+/// Counters describing fault/recovery activity, registered on the
+/// engine's hub (`engine.crashes`, `engine.restarts`,
+/// `engine.events_lost`, `engine.events_replayed`) so Level-1 sampling
+/// sees them live.
+#[derive(Clone)]
+struct FaultCounters {
+    crashes: Counter,
+    restarts: Counter,
+    events_lost: Counter,
+    events_replayed: Counter,
+}
+
+impl FaultCounters {
+    fn register(hub: &MetricsHub) -> Self {
+        FaultCounters {
+            crashes: hub.counter("engine.crashes"),
+            restarts: hub.counter("engine.restarts"),
+            events_lost: hub.counter("engine.events_lost"),
+            events_replayed: hub.counter("engine.events_replayed"),
+        }
+    }
+}
+
+/// Everything a supervisor needs to kill and resurrect workers; shared
+/// between the [`Engine`] handle and [`EngineSupervisor`] clones, and
+/// deliberately *not* holding the `Engine` itself so shutdown paths that
+/// need sole ownership of the engine keep working.
+struct EngineCore<P: Partition> {
+    mailboxes: Arc<Mailboxes<P::Msg>>,
+    handles: Mutex<Vec<JoinHandle<Option<P>>>>,
+    /// `(ingest seq, event)` — populated only in supervised mode.
+    retained: Mutex<Vec<(u64, SharedGraphEvent)>>,
+    factory: Box<dyn Fn(usize) -> P + Send + Sync>,
     board: ResultBoard,
     markers: MarkerLog,
     started: Instant,
+    config: EngineConfig,
     hub: MetricsHub,
+    tracer_cell: TracerCell,
+    /// Set by shutdown; blocks further restarts.
+    stopping: AtomicBool,
+    counters: FaultCounters,
+}
+
+impl<P: Partition> EngineCore<P> {
+    /// Spawns (or respawns) the worker for a slot, consuming the receiver
+    /// side of its fresh mailbox. Hub metrics are looked up by name, so a
+    /// restarted worker keeps accumulating on the same series.
+    fn spawn_worker(&self, worker_id: usize, rx: Receiver<Msg<P::Msg>>) -> JoinHandle<Option<P>> {
+        let ctx = WorkerCtx {
+            worker_id,
+            rx,
+            mailboxes: Arc::clone(&self.mailboxes),
+            board: Arc::clone(&self.board),
+            markers: Arc::clone(&self.markers),
+            started: self.started,
+            config: self.config.clone(),
+            tracer_cell: self.tracer_cell.clone(),
+            queue_gauge: self.hub.gauge(&format!("worker-{worker_id}.queue")),
+            ops: self.hub.counter(&format!("worker-{worker_id}.ops")),
+            events: self.hub.counter(&format!("worker-{worker_id}.events")),
+            shares: self.hub.counter(&format!("worker-{worker_id}.shares")),
+            busy: self.hub.counter(&format!("worker-{worker_id}.busy_micros")),
+            crashes: self.counters.crashes.clone(),
+            events_lost: self.counters.events_lost.clone(),
+        };
+        let partition = (self.factory)(worker_id);
+        std::thread::Builder::new()
+            .name(format!("tide-graph-worker-{worker_id}"))
+            .spawn(move || worker_loop(ctx, partition))
+            .expect("spawn worker")
+    }
+}
+
+/// A running vertex-centric engine executing the program `P`.
+pub struct Engine<P: Partition> {
+    core: Arc<EngineCore<P>>,
     workers: usize,
+    hub: MetricsHub,
     /// Global ingest counter: each graph event's stream position, carried
     /// into the worker mailboxes for Level-2 trace stamping.
     ingest_seq: AtomicU64,
-    /// Lazily installed Level-2 tracer shared with the worker threads,
-    /// which spawn in [`Engine::start_with`] — before any tracer exists.
-    tracer_cell: TracerCell,
 }
 
 /// The influence-rank engine — the paper's Chronograph stand-in.
@@ -128,11 +244,25 @@ fn owner(v: VertexId, workers: usize) -> usize {
     ((v.0.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) % workers as u64) as usize
 }
 
+/// The vertex whose owner a mutation event is routed to.
+fn route_target(event: &GraphEvent) -> VertexId {
+    match event {
+        GraphEvent::AddVertex { id, .. }
+        | GraphEvent::RemoveVertex { id }
+        | GraphEvent::UpdateVertex { id, .. } => *id,
+        GraphEvent::AddEdge { id, .. }
+        | GraphEvent::RemoveEdge { id }
+        | GraphEvent::UpdateEdge { id, .. } => id.src,
+    }
+}
+
 impl Engine<RankPartition> {
     /// Starts the influence-rank engine. Per-worker metrics registered on
     /// `hub`: `worker-N.queue` (mailbox length gauge), `worker-N.ops`
     /// (messages processed), `worker-N.events`, `worker-N.shares`,
-    /// `worker-N.busy_micros`.
+    /// `worker-N.busy_micros`; engine-wide fault counters
+    /// `engine.crashes`, `engine.restarts`, `engine.events_lost`,
+    /// `engine.events_replayed`.
     pub fn start(config: EngineConfig, hub: &MetricsHub) -> Self {
         let params = config.rank;
         Engine::start_with(config, hub, move |_worker| RankPartition::new(params))
@@ -141,62 +271,53 @@ impl Engine<RankPartition> {
 
 impl<P: Partition> Engine<P> {
     /// Starts an engine whose workers each run the partition produced by
-    /// `factory(worker_id)`.
+    /// `factory(worker_id)`. The factory is retained: in supervised mode
+    /// it also builds the fresh partition of a restarted worker.
     pub fn start_with(
         config: EngineConfig,
         hub: &MetricsHub,
-        factory: impl Fn(usize) -> P,
+        factory: impl Fn(usize) -> P + Send + Sync + 'static,
     ) -> Self {
         assert!(config.workers >= 1, "at least one worker required");
-        let mut senders = Vec::with_capacity(config.workers);
-        let mut receivers: Vec<Receiver<Msg<P::Msg>>> = Vec::with_capacity(config.workers);
-        for _ in 0..config.workers {
+        let workers = config.workers;
+        let mut senders = Vec::with_capacity(workers);
+        let mut receivers: Vec<Receiver<Msg<P::Msg>>> = Vec::with_capacity(workers);
+        for _ in 0..workers {
             let (tx, rx) = unbounded();
             senders.push(tx);
             receivers.push(rx);
         }
-        let senders = Arc::new(senders);
-        let board: ResultBoard = Arc::new(Mutex::new(BTreeMap::new()));
-        let markers: MarkerLog = Arc::new(Mutex::new(Vec::new()));
-        let started = Instant::now();
+        let mailboxes = Arc::new(Mailboxes {
+            senders: RwLock::new(senders),
+            alive: (0..workers).map(|_| AtomicBool::new(true)).collect(),
+        });
 
-        let tracer_cell = TracerCell::new();
-        let mut handles = Vec::with_capacity(config.workers);
-        for (worker_id, rx) in receivers.into_iter().enumerate() {
-            let ctx = WorkerCtx {
-                worker_id,
-                rx,
-                senders: Arc::clone(&senders),
-                board: Arc::clone(&board),
-                markers: Arc::clone(&markers),
-                started,
-                config: config.clone(),
-                tracer_cell: tracer_cell.clone(),
-                queue_gauge: hub.gauge(&format!("worker-{worker_id}.queue")),
-                ops: hub.counter(&format!("worker-{worker_id}.ops")),
-                events: hub.counter(&format!("worker-{worker_id}.events")),
-                shares: hub.counter(&format!("worker-{worker_id}.shares")),
-                busy: hub.counter(&format!("worker-{worker_id}.busy_micros")),
-            };
-            let partition = factory(worker_id);
-            handles.push(
-                std::thread::Builder::new()
-                    .name(format!("tide-graph-worker-{worker_id}"))
-                    .spawn(move || worker_loop(ctx, partition))
-                    .expect("spawn worker"),
-            );
+        let core = Arc::new(EngineCore {
+            mailboxes,
+            handles: Mutex::new(Vec::with_capacity(workers)),
+            retained: Mutex::new(Vec::new()),
+            factory: Box::new(factory),
+            board: Arc::new(Mutex::new(BTreeMap::new())),
+            markers: Arc::new(Mutex::new(Vec::new())),
+            started: Instant::now(),
+            config,
+            hub: hub.clone(),
+            tracer_cell: TracerCell::new(),
+            stopping: AtomicBool::new(false),
+            counters: FaultCounters::register(hub),
+        });
+        {
+            let mut handles = core.handles.lock();
+            for (worker_id, rx) in receivers.into_iter().enumerate() {
+                handles.push(core.spawn_worker(worker_id, rx));
+            }
         }
 
         Engine {
-            senders,
-            handles: Some(handles),
-            board,
-            markers,
-            started,
+            core,
+            workers,
             hub: hub.clone(),
-            workers: config.workers,
             ingest_seq: AtomicU64::new(0),
-            tracer_cell,
         }
     }
 
@@ -205,7 +326,7 @@ impl<P: Partition> Engine<P> {
     /// mutation events at [`Stage::EngineApply`], keyed by the global
     /// ingest sequence carried in their mailbox message.
     pub fn tracer_cell(&self) -> &TracerCell {
-        &self.tracer_cell
+        &self.core.tracer_cell
     }
 
     /// Number of workers.
@@ -216,7 +337,17 @@ impl<P: Partition> Engine<P> {
     /// Microseconds since the engine started (the engine-side clock that
     /// timestamps processed watermarks).
     pub fn now_micros(&self) -> u64 {
-        self.started.elapsed().as_micros() as u64
+        self.core.started.elapsed().as_micros() as u64
+    }
+
+    /// The engine's crash/restart control surface, for chaos runs. The
+    /// handle shares the engine's internals (not the engine itself), so
+    /// it stays valid until shutdown and never blocks an ownership-taking
+    /// shutdown path.
+    pub fn supervisor(&self) -> Arc<dyn WorkerSupervisor> {
+        Arc::new(EngineSupervisor {
+            core: Arc::clone(&self.core),
+        })
     }
 
     /// Routes one mutation event to its owner worker. Vertex removals are
@@ -229,33 +360,40 @@ impl<P: Partition> Engine<P> {
     /// path, which moves the replayer's `Arc` handle straight into the
     /// owner's mailbox without copying the event payload.
     pub fn ingest_shared(&self, event: SharedGraphEvent) {
+        // Holding the read lock for the whole routing step means a
+        // restart (write lock) can never interleave with one ingest.
+        let senders = self.core.mailboxes.senders.read();
         if let GraphEvent::RemoveVertex { id } = event.event() {
-            for (w, tx) in self.senders.iter().enumerate() {
-                if w != owner(*id, self.workers) {
-                    let _ = tx.send(Msg::Purge(*id));
+            for (w, tx) in senders.iter().enumerate() {
+                if w != owner(*id, self.workers) && tx.send(Msg::Purge(*id)).is_err() {
+                    self.core.counters.events_lost.inc();
                 }
             }
         }
-        let target = match event.event() {
-            GraphEvent::AddVertex { id, .. }
-            | GraphEvent::RemoveVertex { id }
-            | GraphEvent::UpdateVertex { id, .. } => *id,
-            GraphEvent::AddEdge { id, .. }
-            | GraphEvent::RemoveEdge { id }
-            | GraphEvent::UpdateEdge { id, .. } => id.src,
-        };
+        let target = route_target(event.event());
         // The ingest counter assigns each graph event its global stream
         // position; connectors call in stream order, so the sequence
         // matches what the replayer-side tracepoints counted.
         let seq = self.ingest_seq.fetch_add(1, Ordering::Relaxed);
-        let _ = self.senders[owner(target, self.workers)].send(Msg::Event(event, seq));
+        if self.core.config.supervised {
+            self.core.retained.lock().push((seq, event.clone()));
+        }
+        if senders[owner(target, self.workers)]
+            .send(Msg::Event(event, seq))
+            .is_err()
+        {
+            self.core.counters.events_lost.inc();
+        }
     }
 
     /// Enqueues a watermark on every worker. Each worker timestamps it
     /// when *processed* — behind everything already in its mailbox — so
     /// `processed time − enqueue time` is the current ingestion latency.
+    /// Dead workers miss the watermark (their marker-log entry is absent,
+    /// which is itself a degradation signal).
     pub fn ingest_marker(&self, name: &str) {
-        for tx in self.senders.iter() {
+        let senders = self.core.mailboxes.senders.read();
+        for tx in senders.iter() {
             let _ = tx.send(Msg::Marker(name.to_owned()));
         }
     }
@@ -263,29 +401,38 @@ impl<P: Partition> Engine<P> {
     /// Processed watermarks so far: `(name, worker, micros since engine
     /// start)`.
     pub fn marker_log(&self) -> Vec<(String, usize, u64)> {
-        self.markers.lock().clone()
+        self.core.markers.lock().clone()
     }
 
-    /// Sum of all worker mailbox lengths (live backlog).
+    /// Sum of the *live* workers' mailbox lengths (live backlog). Dead
+    /// workers are skipped: their channels retain undeliverable messages
+    /// that would otherwise read as permanent backlog.
     pub fn total_queue_len(&self) -> usize {
-        self.senders.iter().map(|tx| tx.len()).sum()
+        let senders = self.core.mailboxes.senders.read();
+        senders
+            .iter()
+            .enumerate()
+            .filter(|(w, _)| self.core.mailboxes.alive[*w].load(Ordering::SeqCst))
+            .map(|(_, tx)| tx.len())
+            .sum()
     }
 
     /// A snapshot of the result board (the periodically dumped
     /// intermediate results), normalized to sum to 1.
     pub fn board_ranks(&self) -> BTreeMap<VertexId, f64> {
-        let board = self.board.lock().clone();
+        let board = self.core.board.lock().clone();
         normalize(board)
     }
 
     /// A raw (unnormalized) snapshot of the result board.
     pub fn board_values(&self) -> BTreeMap<VertexId, f64> {
-        self.board.lock().clone()
+        self.core.board.lock().clone()
     }
 
-    /// Blocks until all mailboxes are empty and the total op count is
-    /// stable across two polls, or the timeout elapses. Returns whether
-    /// quiescence was reached.
+    /// Blocks until all live mailboxes are empty and the total op count
+    /// is stable across two polls, or the timeout elapses. Returns
+    /// whether quiescence was reached. A crashed (un-restarted) worker
+    /// does not prevent quiescence — its backlog is lost, not pending.
     pub fn quiesce(&self, timeout: Duration) -> bool {
         let deadline = Instant::now() + timeout;
         let mut last_ops = u64::MAX;
@@ -305,16 +452,34 @@ impl<P: Partition> Engine<P> {
         }
     }
 
-    /// Stops the workers, joins them, and merges final results.
-    pub fn shutdown(mut self) -> EngineStats {
-        for tx in self.senders.iter() {
-            let _ = tx.send(Msg::Stop);
+    /// Stops the workers, joins them tolerantly, and merges final
+    /// results. Crashed workers contribute no summary (their state died
+    /// with them); a worker that *panicked* is contained and counted as a
+    /// crash instead of poisoning the run.
+    pub fn shutdown(self) -> EngineStats {
+        self.core.stopping.store(true, Ordering::SeqCst);
+        {
+            let senders = self.core.mailboxes.senders.read();
+            for tx in senders.iter() {
+                let _ = tx.send(Msg::Stop);
+            }
         }
+        let handles: Vec<JoinHandle<Option<P>>> = {
+            let mut guard = self.core.handles.lock();
+            guard.drain(..).collect()
+        };
         let mut ranks = BTreeMap::new();
-        for handle in self.handles.take().expect("not yet shut down") {
-            let partition = handle.join().expect("worker panicked");
-            for (id, p) in partition.summary() {
-                ranks.insert(id, p);
+        for handle in handles {
+            match handle.join() {
+                Ok(Some(partition)) => {
+                    for (id, p) in partition.summary() {
+                        ranks.insert(id, p);
+                    }
+                }
+                // Injected crash: state discarded by design.
+                Ok(None) => {}
+                // Contained panic: the run survives, the death is counted.
+                Err(_) => self.core.counters.crashes.inc(),
             }
         }
         let events: u64 = (0..self.workers)
@@ -327,6 +492,10 @@ impl<P: Partition> Engine<P> {
             events,
             shares,
             ranks,
+            crashes: self.core.counters.crashes.get(),
+            restarts: self.core.counters.restarts.get(),
+            events_lost: self.core.counters.events_lost.get(),
+            events_replayed: self.core.counters.events_replayed.get(),
         }
     }
 
@@ -334,6 +503,85 @@ impl<P: Partition> Engine<P> {
     /// analyses of the rank program).
     pub fn normalized(ranks: &BTreeMap<VertexId, f64>) -> BTreeMap<VertexId, f64> {
         normalize(ranks.clone())
+    }
+}
+
+/// The engine's [`WorkerSupervisor`]: kills and resurrects individual
+/// workers. Obtained from [`Engine::supervisor`].
+pub struct EngineSupervisor<P: Partition> {
+    core: Arc<EngineCore<P>>,
+}
+
+impl<P: Partition> WorkerSupervisor for EngineSupervisor<P> {
+    fn worker_count(&self) -> usize {
+        self.core.config.workers
+    }
+
+    /// Enqueues a crash on the worker's mailbox. The kill lands behind
+    /// the worker's current backlog — a deterministic position in its
+    /// message stream — and the worker then discards its state and exits.
+    fn inject_crash(&self, worker: usize) -> bool {
+        if worker >= self.core.config.workers
+            || self.core.stopping.load(Ordering::SeqCst)
+            || !self.core.mailboxes.alive[worker].load(Ordering::SeqCst)
+        {
+            return false;
+        }
+        let senders = self.core.mailboxes.senders.read();
+        senders[worker].send(Msg::Crash).is_ok()
+    }
+
+    /// Restarts a crashed worker (supervised mode only): waits briefly
+    /// for the crash to land, then — with ingest write-locked out — spawns
+    /// a fresh partition, replays the worker's share of the retained
+    /// event log into its new mailbox, and swaps the sender in.
+    fn restart_worker(&self, worker: usize) -> bool {
+        let config = &self.core.config;
+        if worker >= config.workers || !config.supervised {
+            return false;
+        }
+        // The crash message travels through the worker's backlog; give it
+        // time to land before declaring the restart impossible.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while self.core.mailboxes.alive[worker].load(Ordering::SeqCst) {
+            if Instant::now() > deadline || self.core.stopping.load(Ordering::SeqCst) {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+
+        let mut senders = self.core.mailboxes.senders.write();
+        if self.core.stopping.load(Ordering::SeqCst) {
+            return false;
+        }
+        let (tx, rx) = unbounded();
+        let workers = config.workers;
+        let mut replayed = 0u64;
+        {
+            let retained = self.core.retained.lock();
+            for (seq, event) in retained.iter() {
+                match event.event() {
+                    // The broadcast half of remote removals, re-delivered
+                    // so the fresh partition strips dangling references.
+                    GraphEvent::RemoveVertex { id } if owner(*id, workers) != worker => {
+                        let _ = tx.send(Msg::Purge(*id));
+                    }
+                    e => {
+                        if owner(route_target(e), workers) == worker {
+                            let _ = tx.send(Msg::Event(event.clone(), *seq));
+                            replayed += 1;
+                        }
+                    }
+                }
+            }
+        }
+        let handle = self.core.spawn_worker(worker, rx);
+        senders[worker] = tx;
+        self.core.mailboxes.alive[worker].store(true, Ordering::SeqCst);
+        self.core.handles.lock().push(handle);
+        self.core.counters.restarts.inc();
+        self.core.counters.events_replayed.add(replayed);
+        true
     }
 }
 
@@ -350,7 +598,7 @@ fn normalize(mut ranks: BTreeMap<VertexId, f64>) -> BTreeMap<VertexId, f64> {
 struct WorkerCtx<M> {
     worker_id: usize,
     rx: Receiver<Msg<M>>,
-    senders: Arc<Vec<Sender<Msg<M>>>>,
+    mailboxes: Arc<Mailboxes<M>>,
     board: ResultBoard,
     markers: MarkerLog,
     started: Instant,
@@ -361,9 +609,14 @@ struct WorkerCtx<M> {
     events: Counter,
     shares: Counter,
     busy: Counter,
+    crashes: Counter,
+    events_lost: Counter,
 }
 
-fn worker_loop<P: Partition>(ctx: WorkerCtx<P::Msg>, mut partition: P) -> P {
+/// Runs one worker until `Stop` (returns the final partition), channel
+/// disconnect (ditto), or `Crash` (marks the slot dead and returns `None`
+/// — the partition state is deliberately lost, like a killed process).
+fn worker_loop<P: Partition>(ctx: WorkerCtx<P::Msg>, mut partition: P) -> Option<P> {
     let workers = ctx.config.workers;
     let drain_batch = ctx.config.drain_batch.max(1);
     let mut outbox: Vec<(VertexId, P::Msg)> = Vec::new();
@@ -410,6 +663,16 @@ fn worker_loop<P: Partition>(ctx: WorkerCtx<P::Msg>, mut partition: P) -> P {
                     let t = ctx.started.elapsed().as_micros() as u64;
                     ctx.markers.lock().push((name, ctx.worker_id, t));
                 }
+                Msg::Crash => {
+                    // Die like a killed process: no final board publish,
+                    // no summary, queued messages abandoned. The alive
+                    // flag tells the rest of the engine (and a waiting
+                    // supervisor) that this slot is vacant.
+                    ctx.mailboxes.alive[ctx.worker_id].store(false, Ordering::SeqCst);
+                    ctx.crashes.inc();
+                    ctx.queue_gauge.set(0);
+                    return None;
+                }
                 Msg::Stop => {
                     running = false;
                     break;
@@ -436,9 +699,19 @@ fn worker_loop<P: Partition>(ctx: WorkerCtx<P::Msg>, mut partition: P) -> P {
 
         // Route produced messages; self-targets loop through the own
         // mailbox too — computation and mutation genuinely share the
-        // queue.
-        for (target, payload) in outbox.drain(..) {
-            let _ = ctx.senders[owner(target, workers)].send(Msg::Compute(target, payload));
+        // queue. Shares owed to a dead worker are counted lost (they
+        // degrade result accuracy until a restart replays the events
+        // that would regenerate them).
+        if !outbox.is_empty() {
+            let senders = ctx.mailboxes.senders.read();
+            for (target, payload) in outbox.drain(..) {
+                if senders[owner(target, workers)]
+                    .send(Msg::Compute(target, payload))
+                    .is_err()
+                {
+                    ctx.events_lost.inc();
+                }
+            }
         }
 
         if processed % ctx.config.board_refresh_every.max(1) < batch {
@@ -455,7 +728,7 @@ fn worker_loop<P: Partition>(ctx: WorkerCtx<P::Msg>, mut partition: P) -> P {
             board.insert(id, p);
         }
     }
-    partition
+    Some(partition)
 }
 
 #[cfg(test)]
@@ -491,6 +764,9 @@ mod tests {
         assert_eq!(stats.events, 100);
         assert!(stats.shares > 0);
         assert_eq!(stats.ranks.len(), 50);
+        assert_eq!(stats.crashes, 0);
+        assert_eq!(stats.restarts, 0);
+        assert_eq!(stats.events_lost, 0);
         // Symmetric ring: normalized ranks near-uniform.
         let norm = TideGraph::normalized(&stats.ranks);
         for (&id, &p) in &norm {
@@ -706,5 +982,144 @@ mod tests {
             .map(|w| hub.counter(&format!("worker-{w}.ops")).get())
             .sum();
         assert!(total_ops >= 30);
+    }
+
+    /// Which worker owns a vertex id — helper for crash tests that need
+    /// to know where events land.
+    fn owner_of(id: u64, workers: usize) -> usize {
+        owner(VertexId(id), workers)
+    }
+
+    #[test]
+    fn crash_is_contained_without_supervision() {
+        let hub = MetricsHub::new();
+        let engine = TideGraph::start(
+            EngineConfig {
+                workers: 2,
+                ..Default::default()
+            },
+            &hub,
+        );
+        for i in 0..100 {
+            engine.ingest(add_v(i));
+        }
+        assert!(engine.quiesce(Duration::from_secs(10)));
+
+        let supervisor = engine.supervisor();
+        assert_eq!(supervisor.worker_count(), 2);
+        assert!(supervisor.inject_crash(0));
+        // Unsupervised: restart must refuse.
+        assert!(!supervisor.restart_worker(0));
+        // Crashing a dead worker must refuse too (wait for the kill).
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while supervisor.inject_crash(0) {
+            assert!(Instant::now() < deadline, "worker 0 never died");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+
+        // The engine keeps ingesting; events owned by the dead worker
+        // are counted lost, the rest still process.
+        for i in 100..200 {
+            engine.ingest(add_v(i));
+        }
+        // Quiesce must still succeed: dead backlog is lost, not pending.
+        assert!(engine.quiesce(Duration::from_secs(10)));
+        let stats = engine.shutdown();
+        assert_eq!(stats.crashes, 1);
+        assert_eq!(stats.restarts, 0);
+        let lost_vertices = (100..200).filter(|&i| owner_of(i, 2) == 0).count();
+        assert!(lost_vertices > 0, "hash routed nothing to worker 0");
+        assert!(
+            stats.events_lost >= lost_vertices as u64,
+            "lost {} < routed-to-dead {}",
+            stats.events_lost,
+            lost_vertices
+        );
+        // Survivor's vertices are all present.
+        for i in 100..200 {
+            if owner_of(i, 2) == 1 {
+                assert!(stats.ranks.contains_key(&VertexId(i)));
+            }
+        }
+    }
+
+    #[test]
+    fn supervised_restart_rebuilds_worker_state_by_replay() {
+        let hub = MetricsHub::new();
+        let engine = TideGraph::start(
+            EngineConfig {
+                workers: 2,
+                supervised: true,
+                ..Default::default()
+            },
+            &hub,
+        );
+        for i in 0..60 {
+            engine.ingest(add_v(i));
+        }
+        for i in 0..60 {
+            engine.ingest(add_e(i, (i + 1) % 60));
+        }
+        assert!(engine.quiesce(Duration::from_secs(10)));
+
+        let supervisor = engine.supervisor();
+        assert!(supervisor.inject_crash(1));
+        assert!(supervisor.restart_worker(1));
+
+        // Post-restart events must land normally again.
+        for i in 60..80 {
+            engine.ingest(add_v(i));
+        }
+        assert!(engine.quiesce(Duration::from_secs(30)));
+        let stats = engine.shutdown();
+        assert_eq!(stats.crashes, 1);
+        assert_eq!(stats.restarts, 1);
+        assert!(stats.events_replayed > 0);
+        // Replay rebuilt the crashed worker's vertices: every vertex of
+        // the run is present in the final summary.
+        assert_eq!(stats.ranks.len(), 80, "missing vertices after restart");
+    }
+
+    #[test]
+    fn crash_mid_backlog_never_hangs() {
+        let hub = MetricsHub::new();
+        let engine = TideGraph::start(
+            EngineConfig {
+                workers: 2,
+                event_cost: Duration::from_micros(200),
+                supervised: true,
+                ..Default::default()
+            },
+            &hub,
+        );
+        // Build a backlog, then crash while it drains.
+        for i in 0..2_000 {
+            engine.ingest(add_v(i));
+        }
+        let supervisor = engine.supervisor();
+        assert!(supervisor.inject_crash(0));
+        assert!(supervisor.restart_worker(0));
+        assert!(engine.quiesce(Duration::from_secs(60)));
+        let stats = engine.shutdown();
+        assert_eq!(stats.crashes, 1);
+        assert_eq!(stats.restarts, 1);
+        assert_eq!(stats.ranks.len(), 2_000);
+    }
+
+    #[test]
+    fn restart_out_of_range_or_alive_refuses() {
+        let hub = MetricsHub::new();
+        let engine = TideGraph::start(
+            EngineConfig {
+                workers: 2,
+                supervised: true,
+                ..Default::default()
+            },
+            &hub,
+        );
+        let supervisor = engine.supervisor();
+        assert!(!supervisor.inject_crash(7));
+        assert!(!supervisor.restart_worker(7));
+        engine.shutdown();
     }
 }

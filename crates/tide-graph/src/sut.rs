@@ -32,6 +32,7 @@ pub const SUT_NAME: &str = "tide-graph";
 /// | `share_cost_us` | simulated cost per computational message, µs | 0 |
 /// | `board_refresh_every` | result-board publish period (messages) | 256 |
 /// | `drain_batch` | mailbox messages drained per round | 64 |
+/// | `supervised` | retain events so crashed workers can be restarted (`1` = on) | 0 |
 pub struct TideGraphSut {
     engine: Option<Arc<TideGraph>>,
     hub: MetricsHub,
@@ -63,6 +64,7 @@ impl TideGraphSut {
             drain_batch: options
                 .get_usize("drain_batch")?
                 .unwrap_or(defaults.drain_batch),
+            supervised: options.get_u64("supervised")?.unwrap_or(0) != 0,
         };
         if config.workers == 0 {
             return Err(io::Error::new(
@@ -132,6 +134,13 @@ impl SystemUnderTest for TideGraphSut {
         self.tracer.as_ref()
     }
 
+    fn supervisor(&self) -> Option<Arc<dyn gt_sut::WorkerSupervisor>> {
+        // The supervisor shares the engine's internals, not the engine
+        // handle itself, so `shutdown_engine`'s sole-ownership unwrap
+        // still succeeds with supervisors outstanding.
+        Some(self.engine().supervisor())
+    }
+
     fn quiesce(&mut self, timeout: Duration) -> bool {
         // The mailboxes are unbounded, so the stream can end long before
         // the workers have drained — Figure 3d's pathology. Wait for the
@@ -145,6 +154,10 @@ impl SystemUnderTest for TideGraphSut {
             .with("events", stats.events as f64)
             .with("shares", stats.shares as f64)
             .with("vertices", stats.ranks.len() as f64)
+            .with("crashes", stats.crashes as f64)
+            .with("restarts", stats.restarts as f64)
+            .with("events_lost", stats.events_lost as f64)
+            .with("events_replayed", stats.events_replayed as f64)
     }
 
     fn as_any(&mut self) -> &mut dyn Any {

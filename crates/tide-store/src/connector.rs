@@ -148,6 +148,7 @@ mod tests {
                 timestamper_cost_per_tx: Duration::ZERO,
                 shard_cost_per_event: Duration::ZERO,
                 queue_capacity: 64,
+                supervised: false,
             },
             hub,
         )

@@ -30,5 +30,7 @@ pub mod store;
 pub mod sut;
 
 pub use connector::BatchingConnector;
-pub use store::{StoreClient, StoreClosed, StoreConfig, StoreStats, TideStore, Transaction};
+pub use store::{
+    StoreClient, StoreClosed, StoreConfig, StoreStats, StoreSupervisor, TideStore, Transaction,
+};
 pub use sut::TideStoreSut;

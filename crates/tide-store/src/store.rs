@@ -1,5 +1,22 @@
 //! The store runtime: client → timestamper → shards.
+//!
+//! # Crash containment and supervised recovery
+//!
+//! Shards are *crash-containable*: a [`ShardMsg::Crash`] delivered through
+//! the store's [`gt_sut::WorkerSupervisor`] (see [`TideStore::supervisor`])
+//! makes the shard discard its state and log and exit, like a killed
+//! process. The timestamper keeps sequencing — events routed to a dead
+//! shard are counted as lost (`store.events_lost`) instead of silently
+//! ending the run (which is what the old early-return did), reads routed
+//! to a dead shard fail with [`StoreClosed`] rather than hanging, and
+//! shutdown joins dead shards tolerantly. In *supervised* mode
+//! ([`StoreConfig::supervised`]) the timestamper additionally retains
+//! every committed `(timestamp, event)` pair, so a crashed shard can be
+//! restarted and rebuilt by replaying its share of the retained log with
+//! the original timestamps.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -8,7 +25,9 @@ use gt_core::prelude::*;
 use gt_graph::{ApplyPolicy, EvolvingGraph};
 use gt_metrics::hub::{Counter, Gauge};
 use gt_metrics::MetricsHub;
+use gt_sut::WorkerSupervisor;
 use gt_trace::{Probe, Stage, TracerCell};
+use parking_lot::{Mutex, RwLock};
 
 /// Store configuration.
 ///
@@ -28,6 +47,11 @@ pub struct StoreConfig {
     /// Capacity of the client→timestamper and timestamper→shard queues;
     /// full queues backpressure the sender (the paper's "backthrottling").
     pub queue_capacity: usize,
+    /// Retain every committed `(timestamp, event)` pair so crashed shards
+    /// can be restarted with their state rebuilt by replay (the
+    /// single-process stand-in for a durable write-ahead log). Costs
+    /// memory proportional to the stream length; off by default.
+    pub supervised: bool,
 }
 
 impl Default for StoreConfig {
@@ -37,6 +61,7 @@ impl Default for StoreConfig {
             timestamper_cost_per_tx: Duration::from_micros(800),
             shard_cost_per_event: Duration::from_micros(20),
             queue_capacity: 256,
+            supervised: false,
         }
     }
 }
@@ -113,7 +138,8 @@ impl StoreClient {
     /// Reads a vertex's current state as a transaction: the read is
     /// ordered behind every write submitted before it on this client.
     /// `None` if the vertex does not exist; `Err(StoreClosed)` if the
-    /// store has shut down.
+    /// store has shut down — or if the owning shard has crashed (its
+    /// partition is unavailable until a supervised restart).
     pub fn read_vertex(&self, id: VertexId) -> Result<Option<State>, StoreClosed> {
         let (reply_tx, reply_rx) = bounded(1);
         self.tx
@@ -150,32 +176,110 @@ impl std::error::Error for StoreClosed {}
 pub struct StoreStats {
     /// Transactions committed.
     pub transactions: u64,
-    /// Events applied across all shards.
+    /// Events applied across all shards (merged log entries; a crashed,
+    /// un-restarted shard's events are missing here).
     pub events: u64,
     /// The reconstructed graph (all shard logs merged in timestamp order).
     pub graph: EvolvingGraph,
+    /// Shard deaths (injected crashes plus contained panics).
+    pub crashes: u64,
+    /// Supervised shard restarts.
+    pub restarts: u64,
+    /// Events that could not be delivered because their shard was dead.
+    pub events_lost: u64,
+    /// Events re-enqueued from the retained log on restarts.
+    pub events_replayed: u64,
 }
 
 enum ShardMsg {
     Apply(u64, SharedGraphEvent),
     ReadVertex(VertexId, Sender<Option<State>>),
     ReadEdge(EdgeId, Sender<Option<State>>),
+    /// A simulated shard kill: discard state and log and exit immediately,
+    /// as if the process died. Queued like any message, so the crash lands
+    /// at a deterministic position in the shard's message stream.
+    Crash,
     Stop,
 }
 
 /// A shard's committed write log: `(timestamp, event)` pairs.
 type ShardLog = Vec<(u64, SharedGraphEvent)>;
 
+/// The retained commit log for supervised replay.
+type Retained = Arc<Mutex<Vec<(u64, SharedGraphEvent)>>>;
+
+/// The shard fabric shared by the timestamper, the shards themselves, and
+/// the supervisor: the current sender of every shard slot (swapped on
+/// restart, hence the lock) plus a liveness flag per slot.
+struct ShardFabric {
+    /// Write-locked only while a restart swaps a sender — which also
+    /// excludes the timestamper's routing, so recovery never interleaves
+    /// with the commit order.
+    txs: RwLock<Vec<Sender<ShardMsg>>>,
+    alive: Vec<AtomicBool>,
+}
+
+/// Counters describing fault/recovery activity, registered on the store's
+/// hub (`store.crashes`, `store.restarts`, `store.events_lost`,
+/// `store.events_replayed`).
+#[derive(Clone)]
+struct FaultCounters {
+    crashes: Counter,
+    restarts: Counter,
+    events_lost: Counter,
+    events_replayed: Counter,
+}
+
+impl FaultCounters {
+    fn register(hub: &MetricsHub) -> Self {
+        FaultCounters {
+            crashes: hub.counter("store.crashes"),
+            restarts: hub.counter("store.restarts"),
+            events_lost: hub.counter("store.events_lost"),
+            events_replayed: hub.counter("store.events_replayed"),
+        }
+    }
+}
+
+/// Everything a supervisor needs to kill and resurrect shards; shared
+/// between the [`TideStore`] handle and [`StoreSupervisor`] clones.
+struct StoreCore {
+    fabric: Arc<ShardFabric>,
+    handles: Mutex<Vec<JoinHandle<ShardLog>>>,
+    retained: Retained,
+    config: StoreConfig,
+    hub: MetricsHub,
+    tracer_cell: TracerCell,
+    /// Set by shutdown; blocks further restarts.
+    stopping: AtomicBool,
+    counters: FaultCounters,
+}
+
+impl StoreCore {
+    /// Spawns (or respawns) the shard for a slot, consuming the receiver
+    /// side of its fresh queue. Hub metrics are looked up by name, so a
+    /// restarted shard keeps accumulating on the same series.
+    fn spawn_shard(&self, shard_id: usize, rx: Receiver<ShardMsg>) -> JoinHandle<ShardLog> {
+        let busy = self.hub.counter(&format!("shard-{shard_id}.busy_micros"));
+        let applied = self.hub.counter(&format!("shard-{shard_id}.events"));
+        let cost = self.config.shard_cost_per_event;
+        let cell = self.tracer_cell.clone();
+        let fabric = Arc::clone(&self.fabric);
+        let crashes = self.counters.crashes.clone();
+        std::thread::Builder::new()
+            .name(format!("tide-store-shard-{shard_id}"))
+            .spawn(move || shard_loop(shard_id, rx, cost, busy, applied, cell, fabric, crashes))
+            .expect("spawn shard")
+    }
+}
+
 /// The running store.
 pub struct TideStore {
     client_tx: Option<Sender<ClientMsg>>,
     timestamper: Option<JoinHandle<u64>>,
-    shards: Option<Vec<JoinHandle<ShardLog>>>,
+    core: Arc<StoreCore>,
     events_counter: Counter,
     tx_counter: Counter,
-    /// Lazily installed Level-2 tracer shared with the shard threads,
-    /// which spawn in [`TideStore::start`] — before any tracer exists.
-    tracer_cell: TracerCell,
 }
 
 /// Burns CPU for the given duration (simulated component work). Spinning —
@@ -198,27 +302,40 @@ impl TideStore {
     /// * `store.tx` / `store.events` — committed counts,
     /// * `timestamper.busy_micros`, `shard-N.busy_micros` — per-component
     ///   simulated CPU time,
-    /// * `timestamper.queue` — ingestion queue length gauge.
+    /// * `timestamper.queue` — ingestion queue length gauge,
+    /// * `store.crashes` / `store.restarts` / `store.events_lost` /
+    ///   `store.events_replayed` — fault and recovery activity.
     pub fn start(config: StoreConfig, hub: &MetricsHub) -> Self {
         assert!(config.shards >= 1, "at least one shard required");
         let (client_tx, client_rx) = bounded::<ClientMsg>(config.queue_capacity);
         let tracer_cell = TracerCell::new();
 
         let mut shard_txs: Vec<Sender<ShardMsg>> = Vec::with_capacity(config.shards);
-        let mut shard_handles = Vec::with_capacity(config.shards);
-        for shard_id in 0..config.shards {
+        let mut shard_rxs: Vec<Receiver<ShardMsg>> = Vec::with_capacity(config.shards);
+        for _ in 0..config.shards {
             let (tx, rx) = bounded::<ShardMsg>(config.queue_capacity);
             shard_txs.push(tx);
-            let busy = hub.counter(&format!("shard-{shard_id}.busy_micros"));
-            let applied = hub.counter(&format!("shard-{shard_id}.events"));
-            let cost = config.shard_cost_per_event;
-            let cell = tracer_cell.clone();
-            shard_handles.push(
-                std::thread::Builder::new()
-                    .name(format!("tide-store-shard-{shard_id}"))
-                    .spawn(move || shard_loop(rx, cost, busy, applied, cell))
-                    .expect("spawn shard"),
-            );
+            shard_rxs.push(rx);
+        }
+        let fabric = Arc::new(ShardFabric {
+            txs: RwLock::new(shard_txs),
+            alive: (0..config.shards).map(|_| AtomicBool::new(true)).collect(),
+        });
+        let core = Arc::new(StoreCore {
+            fabric: Arc::clone(&fabric),
+            handles: Mutex::new(Vec::with_capacity(config.shards)),
+            retained: Arc::new(Mutex::new(Vec::new())),
+            config: config.clone(),
+            hub: hub.clone(),
+            tracer_cell: tracer_cell.clone(),
+            stopping: AtomicBool::new(false),
+            counters: FaultCounters::register(hub),
+        });
+        {
+            let mut handles = core.handles.lock();
+            for (shard_id, rx) in shard_rxs.into_iter().enumerate() {
+                handles.push(core.spawn_shard(shard_id, rx));
+            }
         }
 
         let events_counter = hub.counter("store.events");
@@ -228,17 +345,21 @@ impl TideStore {
         let ts_cost = config.timestamper_cost_per_tx;
         let events_counter_t = events_counter.clone();
         let tx_counter_t = tx_counter.clone();
+        let retained = config.supervised.then(|| Arc::clone(&core.retained));
+        let events_lost = core.counters.events_lost.clone();
         let timestamper = std::thread::Builder::new()
             .name("tide-store-timestamper".into())
             .spawn(move || {
                 timestamper_loop(
                     client_rx,
-                    shard_txs,
+                    fabric,
+                    retained,
                     ts_cost,
                     ts_busy,
                     ts_queue,
                     tx_counter_t,
                     events_counter_t,
+                    events_lost,
                 )
             })
             .expect("spawn timestamper");
@@ -246,10 +367,9 @@ impl TideStore {
         TideStore {
             client_tx: Some(client_tx),
             timestamper: Some(timestamper),
-            shards: Some(shard_handles),
+            core,
             events_counter,
             tx_counter,
-            tracer_cell,
         }
     }
 
@@ -259,7 +379,16 @@ impl TideStore {
     /// — which equals the event's global stream position, so the stamps
     /// match the replayer-side stages without any event metadata.
     pub fn tracer_cell(&self) -> &TracerCell {
-        &self.tracer_cell
+        &self.core.tracer_cell
+    }
+
+    /// The store's crash/restart control surface, for chaos runs. The
+    /// handle shares the store's internals (not the store itself), so it
+    /// stays valid until shutdown.
+    pub fn supervisor(&self) -> Arc<dyn WorkerSupervisor> {
+        Arc::new(StoreSupervisor {
+            core: Arc::clone(&self.core),
+        })
     }
 
     /// A new client handle.
@@ -287,22 +416,44 @@ impl TideStore {
     /// reconstructs the committed graph from the shard logs.
     ///
     /// Everything enqueued before this call commits; client handles that
-    /// outlive the store receive errors on subsequent submits.
+    /// outlive the store receive errors on subsequent submits. Crashed
+    /// shards are joined tolerantly — their events are simply absent from
+    /// the reconstruction (unless a supervised restart replayed them) —
+    /// and a shard that *panicked* is contained and counted as a crash
+    /// instead of poisoning the run.
     pub fn shutdown(mut self) -> StoreStats {
+        self.core.stopping.store(true, Ordering::SeqCst);
         let client_tx = self.client_tx.take().expect("not yet shut down");
         // A sentinel (not channel disconnect) ends the timestamper, so
         // shutdown completes even while client clones are still alive.
         let _ = client_tx.send(ClientMsg::Shutdown);
         drop(client_tx);
-        let transactions = self
-            .timestamper
-            .take()
-            .expect("not yet shut down")
-            .join()
-            .expect("timestamper panicked");
+        let transactions = match self.timestamper.take().expect("not yet shut down").join() {
+            Ok(committed) => committed,
+            // Contained timestamper panic: the run survives with the
+            // live-counter value standing in for the return.
+            Err(_) => self.tx_counter.get(),
+        };
+        // The timestamper sends Stop on its normal exit; repeat here so a
+        // panicked timestamper cannot leave the shards running (the
+        // duplicate is harmless — a stopped shard's channel rejects it).
+        {
+            let txs = self.core.fabric.txs.read();
+            for tx in txs.iter() {
+                let _ = tx.send(ShardMsg::Stop);
+            }
+        }
+        let handles: Vec<JoinHandle<ShardLog>> = {
+            let mut guard = self.core.handles.lock();
+            guard.drain(..).collect()
+        };
         let mut all: Vec<(u64, SharedGraphEvent)> = Vec::new();
-        for handle in self.shards.take().expect("not yet shut down") {
-            all.extend(handle.join().expect("shard panicked"));
+        for handle in handles {
+            match handle.join() {
+                Ok(log) => all.extend(log),
+                // Contained panic: the run survives, the death is counted.
+                Err(_) => self.core.counters.crashes.inc(),
+            }
         }
         all.sort_by_key(|(ts, _)| *ts);
         let mut graph = EvolvingGraph::new();
@@ -315,20 +466,101 @@ impl TideStore {
             transactions,
             events,
             graph,
+            crashes: self.core.counters.crashes.get(),
+            restarts: self.core.counters.restarts.get(),
+            events_lost: self.core.counters.events_lost.get(),
+            events_replayed: self.core.counters.events_replayed.get(),
         }
     }
 }
 
+/// The store's [`WorkerSupervisor`]: kills and resurrects individual
+/// shards. Obtained from [`TideStore::supervisor`].
+pub struct StoreSupervisor {
+    core: Arc<StoreCore>,
+}
+
+impl WorkerSupervisor for StoreSupervisor {
+    fn worker_count(&self) -> usize {
+        self.core.config.shards
+    }
+
+    /// Enqueues a crash on the shard's queue. The kill lands behind the
+    /// shard's current backlog — a deterministic position in its message
+    /// stream — and the shard then discards its state and log and exits.
+    fn inject_crash(&self, worker: usize) -> bool {
+        if worker >= self.core.config.shards
+            || self.core.stopping.load(Ordering::SeqCst)
+            || !self.core.fabric.alive[worker].load(Ordering::SeqCst)
+        {
+            return false;
+        }
+        let txs = self.core.fabric.txs.read();
+        txs[worker].send(ShardMsg::Crash).is_ok()
+    }
+
+    /// Restarts a crashed shard (supervised mode only): waits briefly for
+    /// the crash to land, then — with the timestamper's routing
+    /// write-locked out — spawns a fresh shard and replays its share of
+    /// the retained commit log (original timestamps) into its new queue.
+    fn restart_worker(&self, worker: usize) -> bool {
+        let config = &self.core.config;
+        if worker >= config.shards || !config.supervised {
+            return false;
+        }
+        // The crash message travels through the shard's backlog; give it
+        // time to land before declaring the restart impossible.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while self.core.fabric.alive[worker].load(Ordering::SeqCst) {
+            if Instant::now() > deadline || self.core.stopping.load(Ordering::SeqCst) {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+
+        let mut txs = self.core.fabric.txs.write();
+        if self.core.stopping.load(Ordering::SeqCst) {
+            return false;
+        }
+        let (tx, rx) = bounded::<ShardMsg>(config.queue_capacity);
+        // Spawn first so the bounded queue drains while replay fills it.
+        let handle = self.core.spawn_shard(worker, rx);
+        let shards = config.shards as u64;
+        let mut replayed = 0u64;
+        {
+            let retained = self.core.retained.lock();
+            for (ts, event) in retained.iter() {
+                if shard_for(event.event(), shards) == worker as u64 {
+                    let _ = tx.send(ShardMsg::Apply(*ts, event.clone()));
+                    replayed += 1;
+                }
+            }
+        }
+        txs[worker] = tx;
+        self.core.fabric.alive[worker].store(true, Ordering::SeqCst);
+        self.core.handles.lock().push(handle);
+        self.core.counters.restarts.inc();
+        self.core.counters.events_replayed.add(replayed);
+        true
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn timestamper_loop(
     client_rx: Receiver<ClientMsg>,
-    shard_txs: Vec<Sender<ShardMsg>>,
+    fabric: Arc<ShardFabric>,
+    retained: Option<Retained>,
     cost: Duration,
     busy: Counter,
     queue: Gauge,
     tx_counter: Counter,
     events_counter: Counter,
+    events_lost: Counter,
 ) -> u64 {
-    let shards = shard_txs.len() as u64;
+    let shards = {
+        let txs = fabric.txs.read();
+        txs.len() as u64
+    };
     let mut next_ts = 0u64;
     let mut committed = 0u64;
     while let Ok(msg) = client_rx.recv() {
@@ -340,12 +572,11 @@ fn timestamper_loop(
                 busy_work(cost);
                 busy.add(start.elapsed().as_micros() as u64);
                 let shard = shard_for_key(id.0, shards);
-                if shard_txs[shard as usize]
-                    .send(ShardMsg::ReadVertex(id, reply))
-                    .is_err()
-                {
-                    return committed;
-                }
+                let txs = fabric.txs.read();
+                // A dead shard's queue rejects the send; dropping the
+                // reply sender turns the client's wait into StoreClosed
+                // instead of a hang.
+                let _ = txs[shard as usize].send(ShardMsg::ReadVertex(id, reply));
                 continue;
             }
             ClientMsg::ReadEdge(id, reply) => {
@@ -353,12 +584,8 @@ fn timestamper_loop(
                 busy_work(cost);
                 busy.add(start.elapsed().as_micros() as u64);
                 let shard = shard_for_key(id.src.0, shards);
-                if shard_txs[shard as usize]
-                    .send(ShardMsg::ReadEdge(id, reply))
-                    .is_err()
-                {
-                    return committed;
-                }
+                let txs = fabric.txs.read();
+                let _ = txs[shard as usize].send(ShardMsg::ReadEdge(id, reply));
                 continue;
             }
             ClientMsg::Shutdown => break,
@@ -373,31 +600,47 @@ fn timestamper_loop(
             let ts = next_ts;
             next_ts += 1;
             let shard = shard_for(event.event(), shards);
+            // Retain + route under one read lock: a restart (write lock)
+            // can then never snapshot the retained log with this event's
+            // delivery still in flight, which would replay it twice.
+            let txs = fabric.txs.read();
+            if let Some(retained) = &retained {
+                retained.lock().push((ts, event.clone()));
+            }
             // Blocking send: full shard queues backpressure the
-            // timestamper, which in turn backpressures clients.
-            if shard_txs[shard as usize]
+            // timestamper, which in turn backpressures clients. A dead
+            // shard's queue fails fast instead — the event is counted
+            // lost and sequencing continues (a dead partition must not
+            // end the whole store).
+            if txs[shard as usize]
                 .send(ShardMsg::Apply(ts, event))
                 .is_err()
             {
-                return committed;
+                events_lost.inc();
+            } else {
+                events_counter.inc();
             }
-            events_counter.inc();
         }
         committed += 1;
         tx_counter.inc();
     }
-    for tx in &shard_txs {
+    let txs = fabric.txs.read();
+    for tx in txs.iter() {
         let _ = tx.send(ShardMsg::Stop);
     }
     committed
 }
 
+#[allow(clippy::too_many_arguments)]
 fn shard_loop(
+    shard_id: usize,
     rx: Receiver<ShardMsg>,
     cost: Duration,
     busy: Counter,
     applied: Counter,
     tracer_cell: TracerCell,
+    fabric: Arc<ShardFabric>,
+    crashes: Counter,
 ) -> ShardLog {
     let mut log: ShardLog = Vec::new();
     // Lazily acquired apply tracepoint: the thread outlives tracer
@@ -448,6 +691,15 @@ fn shard_loop(
             ShardMsg::ReadEdge(id, reply) => {
                 let _ = reply.send(edges.get(&id).cloned());
             }
+            ShardMsg::Crash => {
+                // Die like a killed process: state and log abandoned,
+                // queued messages dropped with the receiver. The alive
+                // flag tells the timestamper (and a waiting supervisor)
+                // that this partition is vacant.
+                fabric.alive[shard_id].store(false, Ordering::SeqCst);
+                crashes.inc();
+                return Vec::new();
+            }
             ShardMsg::Stop => break,
         }
     }
@@ -483,6 +735,7 @@ mod tests {
             timestamper_cost_per_tx: Duration::ZERO,
             shard_cost_per_event: Duration::ZERO,
             queue_capacity: 64,
+            supervised: false,
         }
     }
 
@@ -517,6 +770,8 @@ mod tests {
         assert_eq!(stats.events, 199);
         assert_eq!(stats.graph.vertex_count(), 100);
         assert_eq!(stats.graph.edge_count(), 99);
+        assert_eq!(stats.crashes, 0);
+        assert_eq!(stats.events_lost, 0);
         stats.graph.check_invariants().unwrap();
     }
 
@@ -565,6 +820,7 @@ mod tests {
                 timestamper_cost_per_tx: Duration::from_millis(2),
                 shard_cost_per_event: Duration::ZERO,
                 queue_capacity: 16,
+                supervised: false,
             },
             &hub,
         );
@@ -606,6 +862,7 @@ mod tests {
                     timestamper_cost_per_tx: Duration::from_micros(1_000),
                     shard_cost_per_event: Duration::ZERO,
                     queue_capacity: 16,
+                    supervised: false,
                 },
                 &hub,
             );
@@ -646,6 +903,7 @@ mod tests {
                 timestamper_cost_per_tx: Duration::from_micros(500),
                 shard_cost_per_event: Duration::from_micros(10),
                 queue_capacity: 16,
+                supervised: false,
             },
             &hub,
         );
@@ -736,5 +994,120 @@ mod tests {
             },
             &MetricsHub::new(),
         );
+    }
+
+    /// Which shard owns a vertex id — helper for crash tests that need to
+    /// know where events land.
+    fn shard_of(id: u64, shards: u64) -> u64 {
+        shard_for_key(id, shards)
+    }
+
+    /// Waits for an injected crash to land (the kill travels through the
+    /// shard's queue behind its backlog).
+    fn wait_dead(supervisor: &Arc<dyn WorkerSupervisor>, shard: usize) {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while supervisor.inject_crash(shard) {
+            assert!(Instant::now() < deadline, "shard {shard} never died");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    #[test]
+    fn shard_crash_is_contained_without_supervision() {
+        let hub = MetricsHub::new();
+        let store = TideStore::start(fast_config(), &hub);
+        let client = store.client();
+        for event in vertex_events(50) {
+            client.submit(Transaction::single(event)).unwrap();
+        }
+        let supervisor = store.supervisor();
+        assert_eq!(supervisor.worker_count(), 2);
+        assert!(supervisor.inject_crash(0));
+        assert!(!supervisor.restart_worker(0), "unsupervised restart");
+        wait_dead(&supervisor, 0);
+
+        // The timestamper keeps sequencing: events to the dead shard are
+        // lost, events to the survivor commit, and reads to the dead
+        // shard fail instead of hanging.
+        for event in vertex_events(50).into_iter().map(|e| match e {
+            GraphEvent::AddVertex { id, state } => GraphEvent::AddVertex {
+                id: VertexId(id.0 + 100),
+                state,
+            },
+            other => other,
+        }) {
+            client.submit(Transaction::single(event)).unwrap();
+        }
+        let dead_vertex = (0..50u64).find(|&i| shard_of(i, 2) == 0).unwrap();
+        assert_eq!(client.read_vertex(VertexId(dead_vertex)), Err(StoreClosed));
+
+        let stats = store.shutdown();
+        assert_eq!(stats.crashes, 1);
+        assert_eq!(stats.restarts, 0);
+        assert!(stats.events_lost > 0, "no events routed to the dead shard");
+        // The survivor's share of the second wave made it in.
+        let survivor_second_wave = (100..150u64).filter(|&i| shard_of(i, 2) == 1).count();
+        assert!(stats.graph.vertex_count() >= survivor_second_wave);
+        // And the dead shard's state is gone from the reconstruction.
+        assert!(stats.graph.vertex_count() < 100);
+    }
+
+    #[test]
+    fn supervised_restart_rebuilds_shard_by_replay() {
+        let hub = MetricsHub::new();
+        let store = TideStore::start(
+            StoreConfig {
+                supervised: true,
+                ..fast_config()
+            },
+            &hub,
+        );
+        let client = store.client();
+        for event in vertex_events(60) {
+            client.submit(Transaction::single(event)).unwrap();
+        }
+        let supervisor = store.supervisor();
+        assert!(supervisor.inject_crash(1));
+        assert!(supervisor.restart_worker(1));
+
+        // Post-restart traffic lands normally again, including reads
+        // served from the replayed state.
+        for i in 60..80u64 {
+            client
+                .submit(Transaction::single(GraphEvent::AddVertex {
+                    id: VertexId(i),
+                    state: State::empty(),
+                }))
+                .unwrap();
+        }
+        let replayed_vertex = (0..60u64).find(|&i| shard_of(i, 2) == 1).unwrap();
+        assert_eq!(
+            client.read_vertex(VertexId(replayed_vertex)).unwrap(),
+            Some(State::empty())
+        );
+
+        let stats = store.shutdown();
+        assert_eq!(stats.crashes, 1);
+        assert_eq!(stats.restarts, 1);
+        assert!(stats.events_replayed > 0);
+        // Replay rebuilt the crashed shard's log: the reconstruction is
+        // complete.
+        assert_eq!(stats.graph.vertex_count(), 80);
+    }
+
+    #[test]
+    fn restart_out_of_range_or_alive_refuses() {
+        let hub = MetricsHub::new();
+        let store = TideStore::start(
+            StoreConfig {
+                supervised: true,
+                ..fast_config()
+            },
+            &hub,
+        );
+        let supervisor = store.supervisor();
+        assert!(!supervisor.inject_crash(9));
+        assert!(!supervisor.restart_worker(9));
+        store.shutdown();
     }
 }

@@ -26,6 +26,7 @@ pub const SUT_NAME: &str = "tide-store";
 /// | `shard_cost_us` | write cost per event, µs | 20 |
 /// | `queue_capacity` | bounded queue capacity | 256 |
 /// | `batch_size` | events per transaction in the connector | 10 |
+/// | `supervised` | retain commits so crashed shards can be restarted (`1` = on) | 0 |
 pub struct TideStoreSut {
     store: Option<TideStore>,
     hub: MetricsHub,
@@ -49,6 +50,7 @@ impl TideStoreSut {
             queue_capacity: options
                 .get_usize("queue_capacity")?
                 .unwrap_or(defaults.queue_capacity),
+            supervised: options.get_u64("supervised")?.unwrap_or(0) != 0,
         };
         let batch_size = options.get_usize("batch_size")?.unwrap_or(10);
         if batch_size == 0 {
@@ -104,6 +106,12 @@ impl SystemUnderTest for TideStoreSut {
         self.tracer.as_ref()
     }
 
+    fn supervisor(&self) -> Option<std::sync::Arc<dyn gt_sut::WorkerSupervisor>> {
+        // Shares the store's internals, not the store handle, so
+        // shutdown's ownership-taking path keeps working.
+        Some(self.store().supervisor())
+    }
+
     // Default quiesce: `TideStore::shutdown` drains every queue before
     // joining its threads, so there is no separate drain phase.
 
@@ -114,6 +122,10 @@ impl SystemUnderTest for TideStoreSut {
             .with("transactions", stats.transactions as f64)
             .with("vertices", stats.graph.vertex_count() as f64)
             .with("edges", stats.graph.edge_count() as f64)
+            .with("crashes", stats.crashes as f64)
+            .with("restarts", stats.restarts as f64)
+            .with("events_lost", stats.events_lost as f64)
+            .with("events_replayed", stats.events_replayed as f64)
     }
 
     fn as_any(&mut self) -> &mut dyn Any {

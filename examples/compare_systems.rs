@@ -28,6 +28,7 @@ fn measure_throughput(stream: &GraphStream, batch: usize) -> f64 {
             timestamper_cost_per_tx: Duration::from_micros(400),
             shard_cost_per_event: Duration::from_micros(10),
             queue_capacity: 32,
+            supervised: false,
         },
         &hub,
     );

@@ -31,6 +31,7 @@ fn zero_cost_store(hub: &MetricsHub) -> TideStore {
             timestamper_cost_per_tx: Duration::ZERO,
             shard_cost_per_event: Duration::ZERO,
             queue_capacity: 128,
+            supervised: false,
         },
         hub,
     )
@@ -74,6 +75,7 @@ fn store_backpressure_caps_achieved_rate() {
             timestamper_cost_per_tx: Duration::from_millis(1),
             shard_cost_per_event: Duration::ZERO,
             queue_capacity: 8,
+            supervised: false,
         },
         &hub,
     );
@@ -105,6 +107,7 @@ fn batching_multiplies_the_ceiling_end_to_end() {
                 timestamper_cost_per_tx: Duration::from_micros(500),
                 shard_cost_per_event: Duration::ZERO,
                 queue_capacity: 8,
+                supervised: false,
             },
             &hub,
         );

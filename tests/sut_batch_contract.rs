@@ -64,6 +64,7 @@ proptest! {
                 timestamper_cost_per_tx: Duration::ZERO,
                 shard_cost_per_event: Duration::ZERO,
                 queue_capacity: 64,
+                supervised: false,
             },
             &hub,
         );

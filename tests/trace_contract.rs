@@ -53,6 +53,7 @@ fn zero_cost_store(hub: &MetricsHub) -> TideStore {
             timestamper_cost_per_tx: Duration::ZERO,
             shard_cost_per_event: Duration::ZERO,
             queue_capacity: 64,
+            supervised: false,
         },
         hub,
     )
