@@ -21,10 +21,14 @@
 //!   references (the "relative rank error" of §5.3.2),
 //! * [`recovery`] — fault/recovery correlation for chaos runs:
 //!   time-to-recover, throughput-dip depth, and events lost per injected
-//!   fault.
+//!   fault,
+//! * [`load`] — load-run analysis: offered-vs-achieved rate and
+//!   per-client-class sojourn-latency tails (p99/p999) inside marker
+//!   windows.
 
 pub mod correlate;
 pub mod error;
+pub mod load;
 pub mod markers;
 pub mod percentiles;
 pub mod recovery;
@@ -35,11 +39,15 @@ pub mod variability;
 
 pub use correlate::{cross_correlation, pearson};
 pub use error::{median_relative_error, relative_error, relative_errors, top_k_overlap};
+pub use load::{
+    offered_vs_achieved, sojourn_quantiles, window_offered_vs_achieved, window_sojourn_quantiles,
+    OfferedAchieved, LOAD_SOURCE,
+};
 pub use markers::{
     latency_breakdown, phase_summaries, window_correlation, window_series, window_summary,
     PhaseStats, StageLatency, TRACE_SOURCE, TRACE_STAGE_METRICS,
 };
-pub use percentiles::{percentile, Quantiles};
+pub use percentiles::{percentile, CleanSeries, Quantiles, TailQuantiles};
 pub use recovery::{recovery_windows, RecoveryWindow, CHAOS_SOURCE};
 pub use summary::{compare_ci95, ConfidenceInterval, Summary};
 pub use timeseries::{RateSeries, TimeSeries};

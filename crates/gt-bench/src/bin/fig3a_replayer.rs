@@ -92,10 +92,31 @@ fn main() {
 }
 
 fn print_row(rate: f64, transport: &str, rates: &[f64]) {
-    let q = Quantiles::of(rates).expect("non-empty");
-    println!(
-        "{:>12.0} {:>10} {:>12.0} {:>12.0} {:>12.0}",
-        rate, transport, q.median, q.p5, q.max
-    );
+    // Degrade rather than abort: a repeat set can come back empty or
+    // all-NaN if every attempt was salvaged away.
+    match Quantiles::of(rates) {
+        Some(q) => println!(
+            "{:>12.0} {:>10} {:>12.0} {:>12.0} {:>12.0}",
+            rate, transport, q.median, q.p5, q.max
+        ),
+        None => println!(
+            "{rate:>12.0} {transport:>10} {:>38}",
+            "insufficient samples"
+        ),
+    }
     let _ = std::io::stdout().flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Regression: an empty or all-NaN repeat set used to panic
+    // `expect("non-empty")`; the row must degrade instead.
+    #[test]
+    fn empty_and_nan_rows_degrade_instead_of_panicking() {
+        print_row(1000.0, "tcp", &[]);
+        print_row(1000.0, "tcp", &[f64::NAN, f64::NAN]);
+        print_row(1000.0, "tcp", &[900.0, 1000.0, 1100.0]);
+    }
 }

@@ -98,7 +98,15 @@ fn print_series_summary(log: &ResultLog, source: &str, metric: &str) {
     }
     let values: Vec<f64> = series.iter().map(|&(_, v)| v).collect();
     let summary = Summary::of(&values);
-    let q = Quantiles::of(&values).expect("non-empty");
+    // A salvaged partial log can carry all-NaN windows (a degraded
+    // sampler); degrade the row rather than aborting the whole report.
+    let Some(q) = Quantiles::of(&values) else {
+        println!(
+            "{source}/{metric}: insufficient samples ({} records, none usable)",
+            values.len()
+        );
+        return;
+    };
     println!(
         "{source}/{metric}: n={} span {:.2}s..{:.2}s",
         summary.count(),
@@ -209,5 +217,29 @@ fn main() -> ExitCode {
             eprintln!("gt-report: {msg}");
             ExitCode::FAILURE
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gt_metrics::MetricRecord;
+
+    // Regression: an all-NaN series from a degraded sampler used to
+    // panic `Quantiles::of`'s sort and abort the whole report; it must
+    // degrade to an "insufficient samples" row instead.
+    #[test]
+    fn all_nan_series_degrades_instead_of_panicking() {
+        let mut log = ResultLog::new();
+        for i in 0..5u64 {
+            log.push(MetricRecord::float(i * 1000, "sysmon", "cpu", f64::NAN));
+        }
+        print_series_summary(&log, "sysmon", "cpu");
+    }
+
+    #[test]
+    fn empty_series_degrades_instead_of_panicking() {
+        let log = ResultLog::new();
+        print_series_summary(&log, "sysmon", "cpu");
     }
 }

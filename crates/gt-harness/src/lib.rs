@@ -24,12 +24,16 @@
 //!   metrics, L2 in-source instrumentation).
 //! * [`run`] — the run loop: replay on the driver thread, sample loggers
 //!   on a background thread, merge logs.
+//! * [`load`] — the multi-client load mode: fan the stream across N
+//!   concurrent TCP clients (open/closed/partial-open loop per class)
+//!   into one platform connector per connection.
 //! * [`repeat`] — n ≥ 30 repetition helper and CI95 system comparison.
 //! * [`watchdog`] — progress-stall and deadline detection: a broken
 //!   system under test aborts the run with a typed status instead of
 //!   hanging the harness.
 
 pub mod levels;
+pub mod load;
 pub mod repeat;
 pub mod run;
 pub mod spec;
@@ -38,6 +42,10 @@ pub mod sweep;
 pub mod watchdog;
 
 pub use levels::EvaluationLevel;
+pub use load::{
+    load_records, run_load_file_sut_experiment, run_load_sut_experiment,
+    run_load_sut_experiment_with_timeout, LoadSutRunOutcome, LOAD_SOURCE,
+};
 pub use repeat::{compare_metric, repeat_runs, RepeatOutcome};
 pub use run::{
     run_experiment, run_experiment_with_clock, run_file_experiment, run_file_experiment_with_clock,
@@ -52,6 +60,7 @@ pub use sweep::{Assignment, Factor, FactorSpace};
 pub use watchdog::{AbortReason, RunStatus, WatchdogConfig};
 
 pub use gt_chaos::{ChaosJournal, FaultKind, FaultSchedule, FaultTrigger, CHAOS_SOURCE};
+pub use gt_load::{ClientClass, LoadPlan, LoopModel};
 pub use gt_sut::{SutOptions, SutRegistry, SutReport, SystemUnderTest, WorkerSupervisor};
 pub use gt_sysmon::SamplerConfig;
 pub use gt_trace::{TraceConfig, Tracer, TRACE_SOURCE};

@@ -1,0 +1,339 @@
+//! The load-mode SUT runner: one multi-client traffic run against a
+//! registry-selected platform.
+//!
+//! Where [`crate::sut::run_sut_experiment`] replays the stream through a
+//! *single* platform connector, this runner hands the stream to the
+//! `gt-load` layer: a seeded partitioner splits it into one substream per
+//! connection, hundreds of concurrent TCP clients pace their own arrival
+//! schedules (open, closed, or partial-open loop per class), and the
+//! multi-connection listener feeds one platform connector per accepted
+//! connection — markers stay totally ordered across all of them.
+//!
+//! The client reports are folded into the merged [`ResultLog`] under the
+//! [`LOAD_SOURCE`] source using the conventions `gt-analysis::load`
+//! consumes:
+//!
+//! * `marker` text records — the listener's totally-ordered marker log;
+//! * `sojourn_us.<class>` — one float record per graph event, stamped at
+//!   write completion, valued at completion minus *scheduled* arrival
+//!   (the coordinated-omission-free latency);
+//! * `offered_rate.<class>` / `achieved_rate.<class>` — per-second
+//!   bucketed rate series (zero-filled inside the span, so a stall shows
+//!   as an achieved-rate dip rather than a gap);
+//! * run summary floats (`offered_total`, `sent_total`, `achieved_ratio`,
+//!   `marker_violations`, `parse_errors`, `connections`).
+//!
+//! Load mode runs at up to Level 1 (native hub sampling); the Level-2
+//! tracer and chaos/watchdog plan fields are single-sink concerns and are
+//! ignored here.
+
+use std::io;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use gt_load::{run_load, ConnectorFactory, LoadOutcome, LoadPlan};
+use gt_metrics::{Clock, LogCollector, MetricRecord, ResultLog, WallClock};
+use gt_sut::{SutOptions, SutRegistry, SutReport, SystemUnderTest};
+
+use crate::run::{join_sampler, spawn_sampler, spawn_sysmon, sysmon_records, FileRunPlan, RunPlan};
+use crate::sut::{fold_report, wire_sut, SutRunError, DEFAULT_QUIESCE_TIMEOUT};
+
+/// The result-log source under which load records are filed. Matches
+/// `gt_analysis::LOAD_SOURCE`.
+pub const LOAD_SOURCE: &str = "load";
+
+/// The outputs of one load-mode run.
+#[derive(Debug)]
+pub struct LoadSutRunOutcome {
+    /// Both sides' raw reports: per-client counts/sojourns and the
+    /// listener's marker log.
+    pub load: LoadOutcome,
+    /// The merged result log: sampled series, resource monitor, the
+    /// platform's final report, and the load records described in the
+    /// module docs.
+    pub log: ResultLog,
+    /// The platform's final report (also folded into the log).
+    pub report: SutReport,
+    /// Whether the platform drained within the quiesce timeout.
+    pub quiesced: bool,
+}
+
+/// Runs `plan` (which must carry a [`LoadPlan`]) against the platform
+/// registered under `name`, with the default quiesce timeout.
+pub fn run_load_sut_experiment(
+    plan: RunPlan,
+    registry: &SutRegistry,
+    name: &str,
+    options: &SutOptions,
+) -> Result<LoadSutRunOutcome, SutRunError> {
+    run_load_sut_experiment_with_timeout(plan, registry, name, options, DEFAULT_QUIESCE_TIMEOUT)
+}
+
+/// [`run_load_sut_experiment`] with an explicit quiesce timeout.
+///
+/// Wiring: start the platform, clamp the level and register the L1 hub
+/// sampler, spawn the Level-0 resource monitor and the sampling thread,
+/// then run the load layer with a connector factory that builds one
+/// platform connector per accepted connection (plus one control connector
+/// for marker forwarding). Afterwards the platform drains and shuts down,
+/// and everything is merged into one chronologically sorted log.
+pub fn run_load_sut_experiment_with_timeout(
+    mut plan: RunPlan,
+    registry: &SutRegistry,
+    name: &str,
+    options: &SutOptions,
+    quiesce_timeout: Duration,
+) -> Result<LoadSutRunOutcome, SutRunError> {
+    let load_plan = plan.load.take().ok_or_else(|| {
+        SutRunError::from(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "run plan has no load layer (RunPlan::with_load)",
+        ))
+    })?;
+
+    let clock: Arc<dyn Clock> = Arc::new(WallClock::start());
+    let mut sut = registry.start(name, options)?;
+    plan.level = wire_sut(&mut sut, plan.level, &mut plan.loggers, &clock);
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let sysmon = spawn_sysmon(plan.level, &plan.sysmon, &clock, None);
+    let sampler = spawn_sampler(plan.loggers, plan.sampling_interval, Arc::clone(&stop));
+
+    // The connector factory runs on the listener's accept thread, so the
+    // platform moves into a shared cell for the duration of the run and
+    // is taken back out for quiesce/shutdown once all connections are
+    // joined (run_load joins the listener before returning).
+    let sut_cell: Arc<Mutex<Option<Box<dyn SystemUnderTest>>>> = Arc::new(Mutex::new(Some(sut)));
+    let factory_cell = Arc::clone(&sut_cell);
+    let factory: ConnectorFactory = Box::new(move || {
+        factory_cell
+            .lock()
+            .expect("sut cell lock")
+            .as_mut()
+            .expect("platform present during run")
+            .connector()
+    });
+    let result = run_load(&plan.stream, &load_plan, factory, Arc::clone(&clock));
+
+    stop.store(true, Ordering::Relaxed);
+    let sampled = join_sampler(sampler, &clock);
+    let resource = sysmon_records(sysmon, &plan.sysmon, &clock);
+
+    let mut sut = sut_cell
+        .lock()
+        .expect("sut cell lock")
+        .take()
+        .expect("platform present after run");
+    let quiesced = sut.quiesce(quiesce_timeout);
+    let report = sut.shutdown();
+    let load = result?;
+
+    let mut collector = LogCollector::new();
+    collector
+        .add_records(sampled)
+        .add_records(resource)
+        .add_records(load_records(&load, &load_plan, clock.now_micros()));
+    let log = fold_report(&collector.collect(), &report, clock.now_micros());
+    Ok(LoadSutRunOutcome {
+        load,
+        log,
+        report,
+        quiesced,
+    })
+}
+
+/// The file-backed variant: materializes the stream file (substream
+/// partitioning needs the whole stream up front, unlike the single-sink
+/// streaming pipeline) and delegates to [`run_load_sut_experiment`].
+pub fn run_load_file_sut_experiment(
+    plan: FileRunPlan,
+    registry: &SutRegistry,
+    name: &str,
+    options: &SutOptions,
+) -> Result<LoadSutRunOutcome, SutRunError> {
+    let stream = gt_core::GraphStream::read_from_file(&plan.path).map_err(|e| {
+        SutRunError::from(io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    })?;
+    let mut run_plan = RunPlan::new(stream, plan.session.replayer.target_rate);
+    run_plan.loggers = plan.loggers;
+    run_plan.sampling_interval = plan.sampling_interval;
+    run_plan.level = plan.level;
+    run_plan.sysmon = plan.sysmon;
+    run_plan.load = plan.load;
+    run_load_sut_experiment(run_plan, registry, name, options)
+}
+
+/// One-second rate buckets over `times`, zero-filled across the span so
+/// stall windows read as dips rather than gaps. Records land at bucket
+/// midpoints.
+fn rate_records(times: &[u64], metric: &str) -> Vec<MetricRecord> {
+    let (Some(&min), Some(&max)) = (times.iter().min(), times.iter().max()) else {
+        return Vec::new();
+    };
+    let (first, last) = (min / 1_000_000, max / 1_000_000);
+    let mut counts = vec![0u64; (last - first + 1) as usize];
+    for &t in times {
+        counts[(t / 1_000_000 - first) as usize] += 1;
+    }
+    counts
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| {
+            let midpoint = (first + i as u64) * 1_000_000 + 500_000;
+            MetricRecord::float(midpoint, LOAD_SOURCE, metric, n as f64)
+        })
+        .collect()
+}
+
+/// Folds a finished load run into result-log records (see module docs
+/// for the conventions).
+pub fn load_records(load: &LoadOutcome, plan: &LoadPlan, t_end: u64) -> Vec<MetricRecord> {
+    let mut records: Vec<MetricRecord> = load
+        .listener
+        .markers
+        .iter()
+        .map(|(name, t)| MetricRecord::text(*t, LOAD_SOURCE, "marker", name.clone()))
+        .collect();
+    for class in plan.class_names() {
+        let mut arrivals: Vec<u64> = Vec::new();
+        let mut completions: Vec<u64> = Vec::new();
+        for client in load.class_reports(class) {
+            arrivals.extend(
+                client
+                    .schedule_micros
+                    .iter()
+                    .map(|&offset| client.started_micros + offset),
+            );
+            for &(t, sojourn) in &client.sojourn {
+                completions.push(t);
+                records.push(MetricRecord::float(
+                    t,
+                    LOAD_SOURCE,
+                    &format!("sojourn_us.{class}"),
+                    sojourn as f64,
+                ));
+            }
+        }
+        records.extend(rate_records(&arrivals, &format!("offered_rate.{class}")));
+        records.extend(rate_records(
+            &completions,
+            &format!("achieved_rate.{class}"),
+        ));
+    }
+    for (metric, value) in [
+        ("offered_total", load.offered() as f64),
+        ("sent_total", load.sent() as f64),
+        ("achieved_ratio", load.achieved_ratio()),
+        ("connections", load.listener.connections as f64),
+        ("marker_violations", load.listener.marker_violations as f64),
+        ("parse_errors", load.listener.parse_errors as f64),
+    ] {
+        records.push(MetricRecord::float(t_end, LOAD_SOURCE, metric, value));
+    }
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gt_core::prelude::*;
+    use gt_load::LoopModel;
+    use gt_sut::SutRegistry;
+
+    fn registry() -> SutRegistry {
+        let mut registry = SutRegistry::new();
+        tide_store::sut::register(&mut registry);
+        tide_graph::sut::register(&mut registry);
+        registry
+    }
+
+    fn stream(n: u64) -> GraphStream {
+        let mut s: GraphStream = (0..n)
+            .map(|i| {
+                StreamEntry::graph(GraphEvent::AddVertex {
+                    id: VertexId(i),
+                    state: State::empty(),
+                })
+            })
+            .collect();
+        s.push(StreamEntry::marker("stream-end"));
+        s
+    }
+
+    #[test]
+    fn load_run_fans_out_and_folds_the_log() {
+        let options = SutOptions::new()
+            .set("timestamper_cost_us", 0)
+            .set("shard_cost_us", 0)
+            .set("batch_size", 10);
+        let mut plan = RunPlan::new(stream(800), 0.0).with_load(LoadPlan::single(
+            8,
+            160_000.0,
+            LoopModel::Open,
+            3,
+        ));
+        plan.sysmon = None;
+        let outcome = run_load_sut_experiment(plan, &registry(), "tide-store", &options).unwrap();
+
+        assert!(outcome.quiesced);
+        // Every event reached the platform exactly once across 8 clients.
+        assert_eq!(outcome.report.get("events"), Some(800.0));
+        assert_eq!(outcome.load.offered(), 800);
+        assert_eq!(outcome.load.listener.connections, 8);
+        assert_eq!(outcome.load.listener.marker_violations, 0);
+        // The marker crossed the multi-connection boundary exactly once.
+        assert!(outcome.log.marker("stream-end").is_some());
+        // The analysis-facing series are present and consistent.
+        let oa = gt_analysis::offered_vs_achieved(&outcome.log, "main").unwrap();
+        assert!(oa.ratio() > 0.5, "achieved/offered = {}", oa.ratio());
+        let tail = gt_analysis::sojourn_quantiles(&outcome.log, "main").unwrap();
+        assert_eq!(tail.n, 800);
+        // The platform's final report is folded in too.
+        assert!(!outcome.log.series("tide-store", "events").is_empty());
+        // Summary floats give CI something cheap to assert on.
+        assert!(!outcome.log.series(LOAD_SOURCE, "achieved_ratio").is_empty());
+    }
+
+    #[test]
+    fn load_run_without_plan_is_rejected() {
+        let plan = RunPlan::new(stream(10), 1000.0);
+        let err = run_load_sut_experiment(plan, &registry(), "tide-store", &SutOptions::new())
+            .unwrap_err();
+        assert!(err.to_string().contains("no load layer"));
+    }
+
+    #[test]
+    fn file_load_run_materializes_the_stream() {
+        let dir = std::env::temp_dir().join("gt-harness-load-run-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stream.csv");
+        let mut content = String::new();
+        for i in 0..400 {
+            content.push_str(&format!("ADD_VERTEX,{i},\n"));
+        }
+        content.push_str("MARKER,stream-end,\n");
+        std::fs::write(&path, content).unwrap();
+
+        let options = SutOptions::new().set("workers", 2);
+        let mut plan = FileRunPlan::new(&path, 0.0);
+        plan.load = Some(LoadPlan::single(4, 80_000.0, LoopModel::Closed, 7));
+        plan.sysmon = None;
+        let outcome =
+            run_load_file_sut_experiment(plan, &registry(), "tide-graph", &options).unwrap();
+        assert_eq!(outcome.report.get("events"), Some(400.0));
+        assert_eq!(outcome.load.listener.connections, 4);
+        assert!(outcome.log.marker("stream-end").is_some());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn rate_records_zero_fill_the_span() {
+        // Arrivals in seconds 0 and 3 only: the bucketed series must carry
+        // explicit zeros for seconds 1 and 2 (a dip, not a gap).
+        let times = [100_000, 200_000, 3_200_000];
+        let records = rate_records(&times, "offered_rate.x");
+        let values: Vec<f64> = records.iter().map(|r| r.value.as_f64().unwrap()).collect();
+        assert_eq!(values, vec![2.0, 0.0, 0.0, 1.0]);
+    }
+}

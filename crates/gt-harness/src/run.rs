@@ -92,6 +92,12 @@ pub struct RunPlan {
     /// wrapped in a [`ChaosSink`] and the journal's fault/recovery events
     /// land in the merged log under the `chaos` source.
     pub chaos: Option<ChaosPlan>,
+    /// Multi-client traffic layer; `None` replays single-sink. When set,
+    /// the SUT runner ([`crate::load::run_load_sut_experiment`]) fans the
+    /// stream across `load.total_connections()` concurrent TCP clients
+    /// instead of the single replayer sink, and the plan's `replayer`
+    /// pacing is ignored (each client paces its own arrival schedule).
+    pub load: Option<gt_load::LoadPlan>,
 }
 
 impl RunPlan {
@@ -111,6 +117,7 @@ impl RunPlan {
             tracer: None,
             watchdog: None,
             chaos: None,
+            load: None,
         }
     }
 
@@ -118,6 +125,13 @@ impl RunPlan {
     #[must_use]
     pub fn with_logger(mut self, logger: Box<dyn MetricsLogger>) -> Self {
         self.loggers.push(logger);
+        self
+    }
+
+    /// Attaches a multi-client load plan (builder style).
+    #[must_use]
+    pub fn with_load(mut self, load: gt_load::LoadPlan) -> Self {
+        self.load = Some(load);
         self
     }
 
@@ -159,7 +173,7 @@ impl RunPlan {
 
 /// Spawns the Level-0 monitor when the plan's level grants black-box
 /// process access and a sampler is configured.
-fn spawn_sysmon(
+pub(crate) fn spawn_sysmon(
     level: EvaluationLevel,
     config: &Option<SamplerConfig>,
     clock: &Arc<dyn Clock>,
@@ -175,7 +189,7 @@ fn spawn_sysmon(
 /// Stops the monitor and converts its outcome into records: the sampled
 /// resource series, plus one text record when observation failed (so a
 /// log from a non-Linux host says *why* the series is empty).
-fn sysmon_records(
+pub(crate) fn sysmon_records(
     handle: Option<gt_sysmon::SysmonHandle>,
     config: &Option<SamplerConfig>,
     clock: &Arc<dyn Clock>,
@@ -214,7 +228,7 @@ pub struct RunOutcome {
 
 /// Spawns the background thread that drives all loggers until `stop` is
 /// raised, finishing with one final sample so the log covers the run end.
-fn spawn_sampler(
+pub(crate) fn spawn_sampler(
     mut loggers: Vec<Box<dyn MetricsLogger>>,
     interval: Duration,
     stop: Arc<AtomicBool>,
@@ -240,7 +254,7 @@ fn spawn_sampler(
 /// Joins the sampler thread, degrading gracefully: a panicked logger
 /// must not poison the whole run, so the lost series is replaced by one
 /// typed degradation record (source `harness`) explaining the gap.
-fn join_sampler(
+pub(crate) fn join_sampler(
     sampler: JoinHandle<Vec<MetricRecord>>,
     clock: &Arc<dyn Clock>,
 ) -> Vec<MetricRecord> {
@@ -256,7 +270,7 @@ fn join_sampler(
 
 /// Stops the watchdog (if armed) and converts its verdict into a run
 /// status plus the abort record for the merged log.
-fn finish_watchdog(
+pub(crate) fn finish_watchdog(
     watchdog: Option<WatchdogHandle>,
     clock: &Arc<dyn Clock>,
 ) -> (RunStatus, Vec<MetricRecord>) {
@@ -388,6 +402,11 @@ pub struct FileRunPlan {
     /// wrapped in a [`ChaosSink`] and the journal's fault/recovery events
     /// land in the merged log under the `chaos` source.
     pub chaos: Option<ChaosPlan>,
+    /// Multi-client traffic layer; `None` replays single-sink. The load
+    /// path materializes the stream file first (substream partitioning
+    /// needs the whole stream), so a file plan with load behaves like the
+    /// in-memory path — see [`crate::load::run_load_file_sut_experiment`].
+    pub load: Option<gt_load::LoadPlan>,
 }
 
 impl FileRunPlan {
@@ -410,6 +429,7 @@ impl FileRunPlan {
             tracer: None,
             watchdog: None,
             chaos: None,
+            load: None,
         }
     }
 
@@ -417,6 +437,13 @@ impl FileRunPlan {
     #[must_use]
     pub fn with_logger(mut self, logger: Box<dyn MetricsLogger>) -> Self {
         self.loggers.push(logger);
+        self
+    }
+
+    /// Attaches a multi-client load plan (builder style).
+    #[must_use]
+    pub fn with_load(mut self, load: gt_load::LoadPlan) -> Self {
+        self.load = Some(load);
         self
     }
 

@@ -101,7 +101,7 @@ impl From<std::io::Error> for SutRunError {
 
 /// Prepares a started SUT for the run: clamps the level and registers the
 /// L1 hub sampler. Returns the effective level.
-fn wire_sut(
+pub(crate) fn wire_sut(
     sut: &mut Box<dyn SystemUnderTest>,
     plan_level: EvaluationLevel,
     loggers: &mut Vec<Box<dyn gt_metrics::MetricsLogger>>,
@@ -148,7 +148,7 @@ fn wire_tracer(
 
 /// Folds the platform's final report into a log as `float` records under
 /// the platform's name, timestamped at `t_micros`.
-fn fold_report(log: &ResultLog, report: &SutReport, t_micros: u64) -> ResultLog {
+pub(crate) fn fold_report(log: &ResultLog, report: &SutReport, t_micros: u64) -> ResultLog {
     let mut records: Vec<MetricRecord> = log.records().to_vec();
     for (metric, value) in &report.summary {
         records.push(MetricRecord::float(t_micros, &report.name, metric, *value));

@@ -59,6 +59,7 @@ fn listener_restart_lands_in_result_log() {
             initial_backoff: Duration::from_millis(5),
             max_backoff: Duration::from_millis(50),
             multiplier: 2.0,
+            ..Default::default()
         })
         .with_flush_every(64);
     let outcome = run_file_experiment(plan, &mut sink).unwrap();

@@ -1,0 +1,577 @@
+//! One load client driving one connection under an explicit loop model.
+//!
+//! A client owns a substream and an [`EventSink`] (normally a
+//! [`gt_replayer::TcpSink`] into the SUT-side listener). How it couples
+//! arrivals to sink progress is the [`LoopModel`]:
+//!
+//! * **open**: a generator thread emits graph events into an unbounded
+//!   queue exactly on the precomputed [`ArrivalSchedule`]; a writer
+//!   thread drains the queue into the sink in bursts. A stalled sink
+//!   grows the queue (counted backlog) but never slows the generator —
+//!   each event's *sojourn* latency (write completion minus scheduled
+//!   arrival) then charges the stall to the SUT.
+//! * **closed**: one thread sends, flushes (the "ack"), then waits out
+//!   the schedule's think time before the next send. A stalled sink
+//!   stalls the client — offered load collapses, which is exactly the
+//!   coordinated omission the open-loop model exists to expose.
+//! * **partial open**: open-loop behaviour until the backlog reaches a
+//!   window, then the generator stalls (schedule slips) until the writer
+//!   catches up.
+
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use crossbeam::channel::{self, Receiver, Sender};
+use gt_core::prelude::*;
+use gt_metrics::Clock;
+use gt_replayer::EventSink;
+
+use crate::model::LoopModel;
+use crate::schedule::ArrivalSchedule;
+
+/// Below this remaining wait the client spins instead of sleeping, for
+/// microsecond-accurate arrivals (the replayer's hybrid pacing idiom).
+const SPIN_THRESHOLD_MICROS: u64 = 1_000;
+
+/// Maximum events a writer burst drains before flushing and stamping
+/// completions — bounds both syscall rate and ack granularity.
+const WRITE_BURST: usize = 256;
+
+/// Configuration of one load client.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Client-class label (reported per class in the analysis).
+    pub class: String,
+    /// Arrival/ack coupling model.
+    pub model: LoopModel,
+    /// Offered rate of this connection, graph events per second.
+    pub rate: f64,
+    /// Seed of the Poisson arrival schedule.
+    pub seed: u64,
+    /// Draw Poisson arrivals (default); `false` paces uniformly.
+    pub poisson: bool,
+}
+
+impl ClientConfig {
+    /// A client of the given class, model, per-connection rate and seed,
+    /// with Poisson arrivals.
+    pub fn new(class: impl Into<String>, model: LoopModel, rate: f64, seed: u64) -> Self {
+        ClientConfig {
+            class: class.into(),
+            model,
+            rate,
+            seed,
+            poisson: true,
+        }
+    }
+
+    /// The arrival schedule this client will emit for `events` graph
+    /// events — a pure function of the config, never of the SUT.
+    pub fn schedule(&self, events: usize) -> ArrivalSchedule {
+        if self.poisson {
+            ArrivalSchedule::poisson(self.rate, events, self.seed)
+        } else {
+            ArrivalSchedule::uniform(self.rate, events)
+        }
+    }
+}
+
+/// What one client did: counts, backlog, and per-event sojourn samples.
+#[derive(Debug, Clone)]
+pub struct ClientReport {
+    /// Client-class label.
+    pub class: String,
+    /// The model the client ran.
+    pub model: LoopModel,
+    /// Graph events the generator emitted (offered load).
+    pub offered: u64,
+    /// Graph events whose write into the sink completed.
+    pub sent: u64,
+    /// Largest client-side queue of emitted-but-unwritten events.
+    pub backlog_peak: u64,
+    /// The arrival schedule the generator emitted, microsecond offsets
+    /// from client start — the coordinated-omission guard compares this
+    /// across sink behaviours.
+    pub schedule_micros: Vec<u64>,
+    /// Per-event `(completion t_micros on the run clock, sojourn_micros)`
+    /// samples; sojourn is write completion minus scheduled arrival.
+    pub sojourn: Vec<(u64, u64)>,
+    /// Run-clock time the client started, microseconds.
+    pub started_micros: u64,
+    /// Run-clock time the client finished, microseconds.
+    pub finished_micros: u64,
+}
+
+impl ClientReport {
+    /// Offered rate over the client's lifetime, events per second.
+    pub fn offered_rate(&self) -> f64 {
+        let span = self.finished_micros.saturating_sub(self.started_micros);
+        if span == 0 {
+            return 0.0;
+        }
+        self.offered as f64 / (span as f64 / 1e6)
+    }
+
+    /// Achieved (written) rate over the client's lifetime, events per second.
+    pub fn achieved_rate(&self) -> f64 {
+        let span = self.finished_micros.saturating_sub(self.started_micros);
+        if span == 0 {
+            return 0.0;
+        }
+        self.sent as f64 / (span as f64 / 1e6)
+    }
+}
+
+/// Sleeps (then spins) until the run clock reaches `target_micros`.
+fn wait_until(clock: &dyn Clock, target_micros: u64) {
+    loop {
+        let now = clock.now_micros();
+        if now >= target_micros {
+            return;
+        }
+        let remaining = target_micros - now;
+        if remaining > SPIN_THRESHOLD_MICROS {
+            thread::sleep(Duration::from_micros(remaining - SPIN_THRESHOLD_MICROS / 2));
+        } else {
+            std::hint::spin_loop();
+            thread::yield_now();
+        }
+    }
+}
+
+/// One queued item: the entry plus, for graph events, its scheduled
+/// arrival on the run clock (markers and control events carry `None`).
+struct QueuedItem {
+    entry: SharedEntry,
+    scheduled_micros: Option<u64>,
+}
+
+/// Shared generator/writer counters for backlog accounting.
+#[derive(Default)]
+struct Counters {
+    offered: AtomicU64,
+    sent: AtomicU64,
+    backlog_peak: AtomicU64,
+}
+
+impl Counters {
+    fn note_backlog(&self) {
+        let backlog = self
+            .offered
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.sent.load(Ordering::Relaxed));
+        self.backlog_peak.fetch_max(backlog, Ordering::Relaxed);
+    }
+}
+
+/// Drains the queue into the sink in bursts, stamping completions.
+fn writer_loop(
+    rx: Receiver<QueuedItem>,
+    mut sink: Box<dyn EventSink + Send>,
+    clock: Arc<dyn Clock>,
+    counters: Arc<Counters>,
+) -> io::Result<Vec<(u64, u64)>> {
+    let mut sojourn = Vec::new();
+    let mut burst: Vec<QueuedItem> = Vec::with_capacity(WRITE_BURST);
+    let mut batch: Vec<SharedEntry> = Vec::with_capacity(WRITE_BURST);
+    while let Ok(first) = rx.recv() {
+        burst.push(first);
+        while burst.len() < WRITE_BURST {
+            match rx.try_recv() {
+                Ok(item) => burst.push(item),
+                Err(_) => break,
+            }
+        }
+        // Deliver the burst: contiguous graph events go through the
+        // batched path; markers and control events force a flush so the
+        // sink sees the same ordering contract the replayer guarantees.
+        for item in &burst {
+            match &*item.entry {
+                StreamEntry::Graph(_) => batch.push(SharedEntry::clone(&item.entry)),
+                _ => {
+                    if !batch.is_empty() {
+                        sink.send_batch(&batch)?;
+                        batch.clear();
+                    }
+                    sink.flush()?;
+                    sink.send(&item.entry)?;
+                    sink.flush()?;
+                }
+            }
+        }
+        if !batch.is_empty() {
+            sink.send_batch(&batch)?;
+            batch.clear();
+        }
+        sink.flush()?;
+        // The flush completed: every graph event of the burst is now in
+        // the socket. Stamp completions and sojourns.
+        let now = clock.now_micros();
+        let mut written = 0;
+        for item in burst.drain(..) {
+            if let Some(scheduled) = item.scheduled_micros {
+                sojourn.push((now, now.saturating_sub(scheduled)));
+                written += 1;
+            }
+        }
+        counters.sent.fetch_add(written, Ordering::Relaxed);
+    }
+    sink.close()?;
+    Ok(sojourn)
+}
+
+/// Emits entries into the queue per the schedule (open / partial-open).
+#[allow(clippy::too_many_arguments)]
+fn generator_loop(
+    entries: &[StreamEntry],
+    schedule: &ArrivalSchedule,
+    window: Option<usize>,
+    tx: Sender<QueuedItem>,
+    clock: &dyn Clock,
+    counters: &Counters,
+    t0: u64,
+    emitted_schedule: &mut Vec<u64>,
+) {
+    let mut next_event = 0usize;
+    for entry in entries {
+        let scheduled = match entry {
+            StreamEntry::Graph(_) => {
+                let target = t0 + schedule.offsets_micros()[next_event];
+                next_event += 1;
+                wait_until(clock, target);
+                // Partial open: stall the generator while the backlog is
+                // at the window; the schedule slips to admission time.
+                if let Some(window) = window {
+                    loop {
+                        let backlog = counters
+                            .offered
+                            .load(Ordering::Relaxed)
+                            .saturating_sub(counters.sent.load(Ordering::Relaxed));
+                        if (backlog as usize) < window {
+                            break;
+                        }
+                        thread::sleep(Duration::from_micros(200));
+                    }
+                }
+                let arrival = match window {
+                    None => target,
+                    Some(_) => target.max(clock.now_micros()),
+                };
+                emitted_schedule.push(arrival - t0);
+                counters.offered.fetch_add(1, Ordering::Relaxed);
+                Some(arrival)
+            }
+            _ => None,
+        };
+        let item = QueuedItem {
+            entry: SharedEntry::new(entry.clone()),
+            scheduled_micros: scheduled,
+        };
+        if tx.send(item).is_err() {
+            // Writer died (sink error); stop offering. The writer's
+            // error is what the client returns.
+            return;
+        }
+        counters.note_backlog();
+    }
+}
+
+/// Runs one client to completion: emits `entries` into `sink` under the
+/// configured loop model, measuring against `clock`.
+///
+/// Graph events are paced by the client's [`ArrivalSchedule`]; markers
+/// and control events ride along in stream position. The returned report
+/// carries the emitted schedule (for the coordinated-omission guard) and
+/// per-event sojourn samples.
+pub fn run_client(
+    entries: &[StreamEntry],
+    config: &ClientConfig,
+    sink: Box<dyn EventSink + Send>,
+    clock: Arc<dyn Clock>,
+) -> io::Result<ClientReport> {
+    let events = entries.iter().filter(|e| e.is_graph()).count();
+    let schedule = config.schedule(events);
+    match config.model {
+        LoopModel::Open => run_decoupled(entries, config, &schedule, None, sink, clock),
+        LoopModel::PartialOpen { window } => {
+            run_decoupled(entries, config, &schedule, Some(window), sink, clock)
+        }
+        LoopModel::Closed => run_closed(entries, config, &schedule, sink, clock),
+    }
+}
+
+fn run_decoupled(
+    entries: &[StreamEntry],
+    config: &ClientConfig,
+    schedule: &ArrivalSchedule,
+    window: Option<usize>,
+    mut sink: Box<dyn EventSink + Send>,
+    clock: Arc<dyn Clock>,
+) -> io::Result<ClientReport> {
+    sink.open()?;
+    let counters = Arc::new(Counters::default());
+    let (tx, rx) = channel::unbounded();
+    let writer = {
+        let clock = Arc::clone(&clock);
+        let counters = Arc::clone(&counters);
+        thread::spawn(move || writer_loop(rx, sink, clock, counters))
+    };
+    let t0 = clock.now_micros();
+    let mut emitted_schedule = Vec::with_capacity(schedule.len());
+    generator_loop(
+        entries,
+        schedule,
+        window,
+        tx,
+        clock.as_ref(),
+        &counters,
+        t0,
+        &mut emitted_schedule,
+    );
+    let sojourn = writer
+        .join()
+        .map_err(|_| io::Error::other("load client writer thread panicked"))??;
+    let finished = clock.now_micros();
+    Ok(ClientReport {
+        class: config.class.clone(),
+        model: config.model,
+        offered: counters.offered.load(Ordering::Relaxed),
+        sent: counters.sent.load(Ordering::Relaxed),
+        backlog_peak: counters.backlog_peak.load(Ordering::Relaxed),
+        schedule_micros: emitted_schedule,
+        sojourn,
+        started_micros: t0,
+        finished_micros: finished,
+    })
+}
+
+fn run_closed(
+    entries: &[StreamEntry],
+    config: &ClientConfig,
+    schedule: &ArrivalSchedule,
+    mut sink: Box<dyn EventSink + Send>,
+    clock: Arc<dyn Clock>,
+) -> io::Result<ClientReport> {
+    sink.open()?;
+    let t0 = clock.now_micros();
+    let mut offered = 0u64;
+    let mut sojourn = Vec::new();
+    let mut emitted_schedule = Vec::with_capacity(schedule.len());
+    let mut next_event = 0usize;
+    let mut earliest_send = t0;
+    for entry in entries {
+        match entry {
+            StreamEntry::Graph(_) => {
+                // Think time: the schedule's inter-arrival gap, measured
+                // from the previous completion (send-after-ack).
+                wait_until(clock.as_ref(), earliest_send);
+                let sent_at = clock.now_micros();
+                emitted_schedule.push(sent_at - t0);
+                sink.send(entry)?;
+                sink.flush()?;
+                let done = clock.now_micros();
+                offered += 1;
+                sojourn.push((done, done.saturating_sub(sent_at)));
+                let gap = gap_micros(schedule, next_event);
+                next_event += 1;
+                earliest_send = done + gap;
+            }
+            _ => {
+                sink.flush()?;
+                sink.send(entry)?;
+                sink.flush()?;
+            }
+        }
+    }
+    sink.close()?;
+    let finished = clock.now_micros();
+    Ok(ClientReport {
+        class: config.class.clone(),
+        model: config.model,
+        offered,
+        sent: offered,
+        backlog_peak: 0,
+        schedule_micros: emitted_schedule,
+        sojourn,
+        started_micros: t0,
+        finished_micros: finished,
+    })
+}
+
+/// The schedule's inter-arrival gap after event `index`.
+fn gap_micros(schedule: &ArrivalSchedule, index: usize) -> u64 {
+    let offsets = schedule.offsets_micros();
+    match index {
+        0 => offsets.first().copied().unwrap_or(0),
+        i if i < offsets.len() => offsets[i] - offsets[i - 1],
+        _ => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gt_metrics::WallClock;
+    use std::sync::Mutex;
+
+    /// A sink recording entries, optionally stalling on the Nth flush.
+    struct TestSink {
+        entries: Arc<Mutex<Vec<StreamEntry>>>,
+        stall_at_event: Option<u64>,
+        stall: Duration,
+        seen: u64,
+        stalled: bool,
+    }
+
+    impl TestSink {
+        fn new(entries: Arc<Mutex<Vec<StreamEntry>>>) -> Self {
+            TestSink {
+                entries,
+                stall_at_event: None,
+                stall: Duration::ZERO,
+                seen: 0,
+                stalled: false,
+            }
+        }
+
+        fn stalling(mut self, at_event: u64, stall: Duration) -> Self {
+            self.stall_at_event = Some(at_event);
+            self.stall = stall;
+            self
+        }
+    }
+
+    impl EventSink for TestSink {
+        fn send(&mut self, entry: &StreamEntry) -> io::Result<()> {
+            if entry.is_graph() {
+                self.seen += 1;
+                if !self.stalled && Some(self.seen) == self.stall_at_event {
+                    self.stalled = true;
+                    thread::sleep(self.stall);
+                }
+            }
+            self.entries.lock().unwrap().push(entry.clone());
+            Ok(())
+        }
+
+        fn send_batch(&mut self, batch: &[SharedEntry]) -> io::Result<()> {
+            for entry in batch {
+                self.send(entry)?;
+            }
+            Ok(())
+        }
+    }
+
+    fn stream_entries(n: u64) -> Vec<StreamEntry> {
+        let mut entries = vec![StreamEntry::marker("start")];
+        for i in 0..n {
+            entries.push(StreamEntry::graph(GraphEvent::AddVertex {
+                id: VertexId(i),
+                state: State::empty(),
+            }));
+        }
+        entries.push(StreamEntry::marker("end"));
+        entries
+    }
+
+    fn run(model: LoopModel, entries: &[StreamEntry], sink: TestSink) -> ClientReport {
+        let clock: Arc<dyn Clock> = Arc::new(WallClock::start());
+        let config = ClientConfig::new("test", model, 20_000.0, 7);
+        run_client(entries, &config, Box::new(sink), clock).unwrap()
+    }
+
+    #[test]
+    fn open_loop_delivers_everything_in_order() {
+        let delivered = Arc::new(Mutex::new(Vec::new()));
+        let entries = stream_entries(200);
+        let report = run(
+            LoopModel::Open,
+            &entries,
+            TestSink::new(Arc::clone(&delivered)),
+        );
+        assert_eq!(report.offered, 200);
+        assert_eq!(report.sent, 200);
+        assert_eq!(report.sojourn.len(), 200);
+        let delivered = delivered.lock().unwrap();
+        assert_eq!(delivered.as_slice(), &entries[..], "order preserved");
+    }
+
+    #[test]
+    fn open_loop_offered_survives_a_stall_and_sojourn_spikes() {
+        let delivered = Arc::new(Mutex::new(Vec::new()));
+        let entries = stream_entries(400);
+        let stall = Duration::from_millis(200);
+        let report = run(
+            LoopModel::Open,
+            &entries,
+            TestSink::new(Arc::clone(&delivered)).stalling(50, stall),
+        );
+        assert_eq!(report.offered, 400, "open loop keeps offering under stall");
+        assert_eq!(report.sent, 400);
+        assert!(
+            report.backlog_peak > 10,
+            "stall must grow a counted backlog, saw {}",
+            report.backlog_peak
+        );
+        let max_sojourn = report.sojourn.iter().map(|&(_, s)| s).max().unwrap();
+        assert!(
+            max_sojourn >= 150_000,
+            "queued events must be charged the stall, max sojourn {max_sojourn}us"
+        );
+    }
+
+    #[test]
+    fn closed_loop_collapses_offered_rate_under_stall() {
+        let delivered = Arc::new(Mutex::new(Vec::new()));
+        let entries = stream_entries(100);
+        let stall = Duration::from_millis(200);
+        let report = run(
+            LoopModel::Closed,
+            &entries,
+            TestSink::new(Arc::clone(&delivered)).stalling(10, stall),
+        );
+        assert_eq!(report.offered, 100);
+        // 100 events at 20k/s ≈ 5ms nominal; the stall dominates the
+        // run, so the achieved offered rate collapses far below nominal.
+        assert!(
+            report.offered_rate() < 2_000.0,
+            "closed loop should slow down with the sink, got {:.0} e/s",
+            report.offered_rate()
+        );
+    }
+
+    #[test]
+    fn partial_open_bounds_backlog_at_the_window() {
+        let delivered = Arc::new(Mutex::new(Vec::new()));
+        let entries = stream_entries(300);
+        let report = run(
+            LoopModel::PartialOpen { window: 16 },
+            &entries,
+            TestSink::new(Arc::clone(&delivered)).stalling(20, Duration::from_millis(100)),
+        );
+        assert_eq!(report.offered, 300);
+        assert!(
+            report.backlog_peak <= 16 + WRITE_BURST as u64,
+            "window must bound the backlog, saw {}",
+            report.backlog_peak
+        );
+    }
+
+    #[test]
+    fn sink_error_propagates() {
+        struct FailingSink;
+        impl EventSink for FailingSink {
+            fn send(&mut self, _entry: &StreamEntry) -> io::Result<()> {
+                Err(io::Error::other("boom"))
+            }
+        }
+        let clock: Arc<dyn Clock> = Arc::new(WallClock::start());
+        let config = ClientConfig::new("test", LoopModel::Open, 50_000.0, 0);
+        let err =
+            run_client(&stream_entries(50), &config, Box::new(FailingSink), clock).unwrap_err();
+        assert_eq!(err.to_string(), "boom");
+    }
+}

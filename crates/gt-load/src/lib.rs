@@ -1,0 +1,54 @@
+#![warn(missing_docs)]
+
+//! # gt-load
+//!
+//! The multi-client traffic layer: fans one generated graph stream (or N
+//! deterministically partitioned substreams) across many concurrent TCP
+//! connections, each driven by an explicit client model, and receives it
+//! on the SUT side through a multi-connection listener that feeds the
+//! platform's batched [`gt_replayer::EventSink`] connectors while keeping
+//! markers totally ordered.
+//!
+//! The paper's §4.4 rate-controlled replay drives a SUT through a single
+//! paced connection — a closed feedback loop in which a stalled SUT
+//! silently throttles the offered load, hiding exactly the latency spikes
+//! an evaluation should surface (coordinated omission). This crate makes
+//! the client model explicit:
+//!
+//! * **open loop** — arrivals follow a precomputed, seeded schedule that
+//!   advances regardless of SUT progress; what the SUT cannot absorb is
+//!   *counted as backlog*, and each event's sojourn latency is measured
+//!   from its scheduled arrival, so stalls surface as tail latency.
+//! * **closed loop** — the next event is sent only after the previous
+//!   write completed (send-after-ack); offered load adapts to the SUT.
+//! * **partial open loop** — open-loop arrivals, but the generator blocks
+//!   once the un-acked backlog reaches a window, bounding client memory.
+//!
+//! Modules:
+//!
+//! * [`model`] — the three client models ([`LoopModel`]).
+//! * [`schedule`] — the pure seeded [`ArrivalSchedule`] (the
+//!   coordinated-omission guard: bit-identical however the SUT behaves).
+//! * [`partition`] — the seeded entity partitioner splitting one stream
+//!   into per-connection substreams with broadcast markers.
+//! * [`client`] — one load client driving one connection.
+//! * [`listener`] — the SUT-side multi-connection listener with the
+//!   marker barrier.
+//! * [`plan`] — [`LoadPlan`]: connections × rate × model × class mix.
+//! * [`runner`] — the composed fan-out: partition, listen, drive, report.
+
+pub mod client;
+pub mod listener;
+pub mod model;
+pub mod partition;
+pub mod plan;
+pub mod runner;
+pub mod schedule;
+
+pub use client::{run_client, ClientConfig, ClientReport};
+pub use listener::{ListenerHandle, ListenerReport, LoadListener};
+pub use model::LoopModel;
+pub use partition::SeededPartitioner;
+pub use plan::{ClientClass, LoadPlan};
+pub use runner::{run_load, ConnectorFactory, LoadOutcome};
+pub use schedule::ArrivalSchedule;

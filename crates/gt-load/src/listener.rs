@@ -1,0 +1,567 @@
+//! The SUT-side multi-connection listener.
+//!
+//! Replaces the single-accept TCP front-end
+//! ([`gt_replayer::spawn_tcp_source`]) for load runs: a nonblocking
+//! accept loop admits N client connections, one reader thread per
+//! connection parses the line protocol and feeds a *per-connection*
+//! platform connector through the batched [`EventSink`] path, and a
+//! marker barrier re-establishes the total marker order the single
+//! connection used to provide for free.
+//!
+//! # Marker ordering
+//!
+//! The load partitioner broadcasts every marker to every substream, so
+//! each connection carries the same marker sequence interleaved with its
+//! share of the graph events. When a reader hits its k-th marker it
+//! flushes its connector (everything it streamed before the marker is
+//! now in the platform) and arrives at barrier k; the last arriver
+//! forwards the marker — exactly once — through a dedicated control
+//! connector and releases the others. No event that follows marker k on
+//! any connection is delivered before marker k itself: the platform's
+//! existing sequencer therefore sees markers totally ordered against all
+//! events, exactly as in single-connection replay. Connections that
+//! disconnect early are excused from later barriers; a connection whose
+//! k-th marker name disagrees with the sequence is counted as a marker
+//! violation.
+
+use std::io::{self, BufRead, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use gt_core::format::parse_line;
+use gt_core::prelude::*;
+use gt_metrics::Clock;
+use gt_replayer::EventSink;
+
+/// How a listener builds one platform connector per accepted connection.
+pub type ConnectorFn = Box<dyn FnMut() -> io::Result<Box<dyn EventSink + Send>> + Send>;
+
+/// Events per batch handed to a connector's [`EventSink::send_batch`].
+const READER_BATCH: usize = 64;
+
+/// What the listener saw over a whole run.
+#[derive(Debug, Clone, Default)]
+pub struct ListenerReport {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Stream entries parsed across all connections.
+    pub entries: u64,
+    /// Graph events delivered to connectors.
+    pub graph_events: u64,
+    /// Lines that failed to parse (counted, not fatal).
+    pub parse_errors: u64,
+    /// Markers forwarded, in delivery order, with run-clock timestamps.
+    pub markers: Vec<(String, u64)>,
+    /// Marker-sequence disagreements between connections.
+    pub marker_violations: u64,
+}
+
+/// Shared marker-barrier state.
+struct BarrierInner {
+    /// Markers each connection has announced.
+    reached: Vec<u64>,
+    /// Whether each connection is still reading.
+    active: Vec<bool>,
+    /// Markers forwarded to the control connector so far.
+    delivered: u64,
+    /// The marker-name sequence, as first announced.
+    names: Vec<String>,
+    /// Name disagreements seen.
+    violations: u64,
+    /// `(name, t_micros)` per forwarded marker.
+    log: Vec<(String, u64)>,
+    /// Set when the control connector failed; readers give up waiting.
+    poisoned: bool,
+}
+
+struct Barrier {
+    inner: Mutex<BarrierInner>,
+    cond: Condvar,
+    control: Mutex<Box<dyn EventSink + Send>>,
+    clock: Arc<dyn Clock>,
+}
+
+impl Barrier {
+    fn new(connections: usize, control: Box<dyn EventSink + Send>, clock: Arc<dyn Clock>) -> Self {
+        Barrier {
+            inner: Mutex::new(BarrierInner {
+                reached: vec![0; connections],
+                active: vec![true; connections],
+                delivered: 0,
+                names: Vec::new(),
+                violations: 0,
+                log: Vec::new(),
+                poisoned: false,
+            }),
+            cond: Condvar::new(),
+            control: Mutex::new(control),
+            clock,
+        }
+    }
+
+    /// Forwards every marker all active connections have passed. Called
+    /// with the state lock held; takes the control-sink lock inside.
+    fn deliver_ready(&self, inner: &mut BarrierInner) {
+        loop {
+            let next = inner.delivered;
+            if (next as usize) >= inner.names.len() {
+                return;
+            }
+            let all_arrived = inner
+                .reached
+                .iter()
+                .zip(&inner.active)
+                .filter(|&(_, active)| *active)
+                .all(|(&reached, _)| reached > next);
+            if !all_arrived {
+                return;
+            }
+            let name = inner.names[next as usize].clone();
+            let marker = StreamEntry::marker(name.clone());
+            let mut control = self.control.lock().unwrap();
+            let sent = control.send(&marker).and_then(|()| control.flush());
+            drop(control);
+            if sent.is_err() {
+                inner.poisoned = true;
+                self.cond.notify_all();
+                return;
+            }
+            inner.log.push((name, self.clock.now_micros()));
+            inner.delivered += 1;
+            self.cond.notify_all();
+        }
+    }
+
+    /// Connection `conn` announced its next marker `name`; blocks until
+    /// that marker has been forwarded (or the barrier is poisoned).
+    fn arrive(&self, conn: usize, name: &str) -> io::Result<()> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.reached[conn] += 1;
+        let k = inner.reached[conn];
+        if inner.names.len() < k as usize {
+            inner.names.push(name.to_owned());
+        } else if inner.names[k as usize - 1] != name {
+            inner.violations += 1;
+        }
+        self.deliver_ready(&mut inner);
+        while inner.delivered < k && !inner.poisoned {
+            inner = self.cond.wait(inner).unwrap();
+        }
+        if inner.poisoned {
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "marker control connector failed",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Connection `conn` finished; later barriers no longer wait for it.
+    fn leave(&self, conn: usize) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.active[conn] = false;
+        self.deliver_ready(&mut inner);
+        self.cond.notify_all();
+    }
+
+    fn finish(&self) -> (Vec<(String, u64)>, u64) {
+        let inner = self.inner.lock().unwrap();
+        (inner.log.clone(), inner.violations)
+    }
+}
+
+/// Per-run totals shared by the reader threads.
+#[derive(Default)]
+struct Totals {
+    entries: AtomicU64,
+    graph_events: AtomicU64,
+    parse_errors: AtomicU64,
+}
+
+/// A bound, not-yet-started multi-connection listener.
+pub struct LoadListener {
+    listener: TcpListener,
+}
+
+impl LoadListener {
+    /// Binds on an OS-assigned localhost port.
+    pub fn bind() -> io::Result<Self> {
+        Self::bind_to("127.0.0.1:0")
+    }
+
+    /// Binds on an explicit address.
+    pub fn bind_to(addr: &str) -> io::Result<Self> {
+        Ok(LoadListener {
+            listener: TcpListener::bind(addr)?,
+        })
+    }
+
+    /// The bound address clients connect to.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Starts the accept loop: admits exactly `expected` connections,
+    /// building one platform connector per connection via `connect` (plus
+    /// one up-front control connector for markers), and returns a handle
+    /// to join for the final report.
+    pub fn start(
+        self,
+        expected: usize,
+        mut connect: ConnectorFn,
+        clock: Arc<dyn Clock>,
+    ) -> io::Result<ListenerHandle> {
+        let control = connect()?;
+        let barrier = Arc::new(Barrier::new(expected, control, clock));
+        let totals = Arc::new(Totals::default());
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = Arc::clone(&stop);
+        let accept_barrier = Arc::clone(&barrier);
+        let accept_totals = Arc::clone(&totals);
+        let listener = self.listener;
+        listener.set_nonblocking(true)?;
+        let handle = thread::Builder::new()
+            .name("gt-load-accept".into())
+            .spawn(move || {
+                accept_loop(
+                    listener,
+                    expected,
+                    &mut connect,
+                    accept_barrier,
+                    accept_totals,
+                    accept_stop,
+                )
+            })?;
+        Ok(ListenerHandle { handle, stop })
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    expected: usize,
+    connect: &mut ConnectorFn,
+    barrier: Arc<Barrier>,
+    totals: Arc<Totals>,
+    stop: Arc<AtomicBool>,
+) -> io::Result<ListenerReport> {
+    let mut readers = Vec::with_capacity(expected);
+    while readers.len() < expected && !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                stream.set_nodelay(true).ok();
+                let conn = readers.len();
+                let sink = connect()?;
+                let barrier = Arc::clone(&barrier);
+                let totals = Arc::clone(&totals);
+                readers.push(
+                    thread::Builder::new()
+                        .name(format!("gt-load-reader-{conn}"))
+                        .spawn(move || reader_loop(conn, stream, sink, &barrier, &totals))?,
+                );
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(1));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    let accepted = readers.len();
+    let mut first_error = None;
+    for reader in readers {
+        match reader.join() {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => first_error = first_error.or(Some(e)),
+            Err(_) => {
+                first_error =
+                    first_error.or_else(|| Some(io::Error::other("listener reader panicked")))
+            }
+        }
+    }
+    {
+        let mut control = barrier.control.lock().unwrap();
+        control.close()?;
+    }
+    if let Some(e) = first_error {
+        return Err(e);
+    }
+    let (markers, marker_violations) = barrier.finish();
+    Ok(ListenerReport {
+        connections: accepted as u64,
+        entries: totals.entries.load(Ordering::Relaxed),
+        graph_events: totals.graph_events.load(Ordering::Relaxed),
+        parse_errors: totals.parse_errors.load(Ordering::Relaxed),
+        markers,
+        marker_violations,
+    })
+}
+
+/// Reads one connection to EOF, feeding the batched connector path.
+fn reader_loop(
+    conn: usize,
+    stream: TcpStream,
+    mut sink: Box<dyn EventSink + Send>,
+    barrier: &Barrier,
+    totals: &Totals,
+) -> io::Result<()> {
+    let result = read_connection(conn, stream, &mut sink, barrier, totals);
+    barrier.leave(conn);
+    let close = sink.close();
+    result.and(close)
+}
+
+fn read_connection(
+    conn: usize,
+    stream: TcpStream,
+    sink: &mut Box<dyn EventSink + Send>,
+    barrier: &Barrier,
+    totals: &Totals,
+) -> io::Result<()> {
+    sink.open()?;
+    let reader = BufReader::new(stream);
+    let mut batch: Vec<SharedEntry> = Vec::with_capacity(READER_BATCH);
+    for line in reader.lines() {
+        let line = line?;
+        let entry = match parse_line(&line) {
+            Ok(Some(entry)) => entry,
+            Ok(None) => continue,
+            Err(_) => {
+                totals.parse_errors.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+        };
+        totals.entries.fetch_add(1, Ordering::Relaxed);
+        match &entry {
+            StreamEntry::Graph(_) => {
+                batch.push(SharedEntry::new(entry));
+                if batch.len() >= READER_BATCH {
+                    totals
+                        .graph_events
+                        .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                    sink.send_batch(&batch)?;
+                    batch.clear();
+                }
+            }
+            StreamEntry::Marker(name) => {
+                if !batch.is_empty() {
+                    totals
+                        .graph_events
+                        .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                    sink.send_batch(&batch)?;
+                    batch.clear();
+                }
+                sink.flush()?;
+                let name = name.clone();
+                barrier.arrive(conn, &name)?;
+            }
+            StreamEntry::Control(_) => {
+                // Control events are per-connection pacing hints; forward
+                // them in position on this connection's connector.
+                if !batch.is_empty() {
+                    totals
+                        .graph_events
+                        .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                    sink.send_batch(&batch)?;
+                    batch.clear();
+                }
+                sink.send(&entry)?;
+            }
+        }
+    }
+    if !batch.is_empty() {
+        totals
+            .graph_events
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        sink.send_batch(&batch)?;
+        batch.clear();
+    }
+    sink.flush()
+}
+
+/// A running listener; join it after the clients finish.
+pub struct ListenerHandle {
+    handle: thread::JoinHandle<io::Result<ListenerReport>>,
+    stop: Arc<AtomicBool>,
+}
+
+impl ListenerHandle {
+    /// Asks the accept loop to stop admitting new connections.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+    }
+
+    /// Waits for all connections to finish and returns the report.
+    pub fn join(self) -> io::Result<ListenerReport> {
+        self.handle
+            .join()
+            .map_err(|_| io::Error::other("listener accept thread panicked"))?
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gt_core::format::entry_to_line;
+    use gt_metrics::WallClock;
+    use std::io::Write;
+    use std::sync::Mutex as StdMutex;
+
+    /// A connector collecting everything into a shared, tagged log.
+    #[derive(Clone)]
+    struct SharedCollect {
+        log: Arc<StdMutex<Vec<(usize, StreamEntry)>>>,
+        tag: usize,
+    }
+
+    impl EventSink for SharedCollect {
+        fn send(&mut self, entry: &StreamEntry) -> io::Result<()> {
+            self.log.lock().unwrap().push((self.tag, entry.clone()));
+            Ok(())
+        }
+
+        fn send_batch(&mut self, batch: &[SharedEntry]) -> io::Result<()> {
+            let mut log = self.log.lock().unwrap();
+            for entry in batch {
+                log.push((self.tag, (**entry).clone()));
+            }
+            Ok(())
+        }
+    }
+
+    fn write_lines(stream: &mut TcpStream, entries: &[StreamEntry]) {
+        for entry in entries {
+            let mut line = entry_to_line(entry);
+            line.push('\n');
+            stream.write_all(line.as_bytes()).unwrap();
+        }
+        stream.flush().unwrap();
+    }
+
+    #[test]
+    fn markers_totally_ordered_across_connections() {
+        let log = Arc::new(StdMutex::new(Vec::new()));
+        let listener = LoadListener::bind().unwrap();
+        let addr = listener.local_addr().unwrap();
+        let clock: Arc<dyn Clock> = Arc::new(WallClock::start());
+        let connectors = Arc::new(StdMutex::new(0usize));
+        let factory_log = Arc::clone(&log);
+        let handle = listener
+            .start(
+                3,
+                Box::new(move || {
+                    let mut n = connectors.lock().unwrap();
+                    let tag = *n;
+                    *n += 1;
+                    Ok(Box::new(SharedCollect {
+                        log: Arc::clone(&factory_log),
+                        tag,
+                    }) as Box<dyn EventSink + Send>)
+                }),
+                clock,
+            )
+            .unwrap();
+
+        let mut streams: Vec<TcpStream> =
+            (0..3).map(|_| TcpStream::connect(addr).unwrap()).collect();
+        // Each connection: its own events, then the same two markers,
+        // then more events after the first marker.
+        for (i, stream) in streams.iter_mut().enumerate() {
+            let base = (i as u64) * 100;
+            let mut entries = Vec::new();
+            for k in 0..10 {
+                entries.push(StreamEntry::graph(GraphEvent::AddVertex {
+                    id: VertexId(base + k),
+                    state: State::empty(),
+                }));
+            }
+            entries.push(StreamEntry::marker("m1"));
+            for k in 10..20 {
+                entries.push(StreamEntry::graph(GraphEvent::AddVertex {
+                    id: VertexId(base + k),
+                    state: State::empty(),
+                }));
+            }
+            entries.push(StreamEntry::marker("m2"));
+            let stream_clone = stream.try_clone().unwrap();
+            let mut stream = stream_clone;
+            thread::spawn(move || {
+                write_lines(&mut stream, &entries);
+            });
+        }
+        drop(streams);
+        let report = handle.join().unwrap();
+        assert_eq!(report.connections, 3);
+        assert_eq!(report.graph_events, 60);
+        assert_eq!(report.marker_violations, 0);
+        assert_eq!(
+            report
+                .markers
+                .iter()
+                .map(|(name, _)| name.as_str())
+                .collect::<Vec<_>>(),
+            vec!["m1", "m2"]
+        );
+
+        // Total order: in the merged log, no event streamed after m1 on
+        // any connection may precede m1, and all 30 pre-m1 events must.
+        let log = log.lock().unwrap();
+        let m1_pos = log
+            .iter()
+            .position(|(_, e)| matches!(e, StreamEntry::Marker(n) if n == "m1"))
+            .expect("m1 delivered");
+        let before: Vec<u64> = log[..m1_pos]
+            .iter()
+            .filter_map(|(_, e)| e.as_graph())
+            .map(|g| match g {
+                GraphEvent::AddVertex { id, .. } => id.raw(),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(before.len(), 30, "all pre-m1 events precede m1");
+        assert!(
+            before.iter().all(|&v| v % 100 < 10),
+            "only pre-m1 events precede m1: {before:?}"
+        );
+    }
+
+    #[test]
+    fn early_disconnect_does_not_deadlock_barriers() {
+        let log = Arc::new(StdMutex::new(Vec::new()));
+        let listener = LoadListener::bind().unwrap();
+        let addr = listener.local_addr().unwrap();
+        let clock: Arc<dyn Clock> = Arc::new(WallClock::start());
+        let factory_log = Arc::clone(&log);
+        let handle = listener
+            .start(
+                2,
+                Box::new(move || {
+                    Ok(Box::new(SharedCollect {
+                        log: Arc::clone(&factory_log),
+                        tag: 0,
+                    }) as Box<dyn EventSink + Send>)
+                }),
+                clock,
+            )
+            .unwrap();
+        // Connection A sends one event and disconnects without markers;
+        // connection B sends a marker that must still be delivered.
+        let mut a = TcpStream::connect(addr).unwrap();
+        let mut b = TcpStream::connect(addr).unwrap();
+        write_lines(
+            &mut a,
+            &[StreamEntry::graph(GraphEvent::AddVertex {
+                id: VertexId(1),
+                state: State::empty(),
+            })],
+        );
+        drop(a);
+        thread::sleep(Duration::from_millis(50));
+        write_lines(&mut b, &[StreamEntry::marker("only")]);
+        drop(b);
+        let report = handle.join().unwrap();
+        assert_eq!(report.markers.len(), 1);
+        assert_eq!(report.marker_violations, 0);
+    }
+}

@@ -1,0 +1,112 @@
+//! Client models: how a load client couples its arrivals to SUT progress.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// How a client couples event arrivals to SUT progress.
+///
+/// The distinction decides what a latency number means when the SUT
+/// falls behind (the coordinated-omission problem): an open-loop client
+/// keeps offering load on schedule and charges the SUT for queueing
+/// delay, a closed-loop client silently stops offering and reports only
+/// service time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoopModel {
+    /// Arrivals follow the precomputed schedule regardless of SUT
+    /// progress; un-acked events queue client-side as counted backlog.
+    Open,
+    /// The next event is sent only after the previous write completed
+    /// (send-after-ack); the schedule supplies think time between sends.
+    Closed,
+    /// Open-loop arrivals, but the generator stalls once the un-acked
+    /// backlog reaches `window` events, bounding client memory at the
+    /// cost of schedule slip under sustained overload.
+    PartialOpen {
+        /// Maximum un-acked events queued client-side before the
+        /// generator stalls.
+        window: usize,
+    },
+}
+
+impl LoopModel {
+    /// Whether arrivals decouple from SUT progress (open and partial-open).
+    pub fn is_open(&self) -> bool {
+        !matches!(self, LoopModel::Closed)
+    }
+}
+
+impl fmt::Display for LoopModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoopModel::Open => f.write_str("open"),
+            LoopModel::Closed => f.write_str("closed"),
+            LoopModel::PartialOpen { window } => write!(f, "partial:{window}"),
+        }
+    }
+}
+
+impl FromStr for LoopModel {
+    type Err = String;
+
+    /// Parses `open`, `closed`, or `partial:<window>`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim() {
+            "open" => Ok(LoopModel::Open),
+            "closed" => Ok(LoopModel::Closed),
+            other => match other.strip_prefix("partial:") {
+                Some(window) => {
+                    let window: usize = window
+                        .parse()
+                        .map_err(|e| format!("bad partial-open window `{window}`: {e}"))?;
+                    if window == 0 {
+                        return Err("partial-open window must be positive".into());
+                    }
+                    Ok(LoopModel::PartialOpen { window })
+                }
+                None => Err(format!(
+                    "unknown loop model `{other}` (expected open, closed, or partial:<window>)"
+                )),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_all_models() {
+        assert_eq!("open".parse::<LoopModel>().unwrap(), LoopModel::Open);
+        assert_eq!("closed".parse::<LoopModel>().unwrap(), LoopModel::Closed);
+        assert_eq!(
+            "partial:128".parse::<LoopModel>().unwrap(),
+            LoopModel::PartialOpen { window: 128 }
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_models() {
+        assert!("halfopen".parse::<LoopModel>().is_err());
+        assert!("partial:0".parse::<LoopModel>().is_err());
+        assert!("partial:x".parse::<LoopModel>().is_err());
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for model in [
+            LoopModel::Open,
+            LoopModel::Closed,
+            LoopModel::PartialOpen { window: 7 },
+        ] {
+            assert_eq!(model.to_string().parse::<LoopModel>().unwrap(), model);
+        }
+    }
+
+    #[test]
+    fn openness() {
+        assert!(LoopModel::Open.is_open());
+        assert!(LoopModel::PartialOpen { window: 1 }.is_open());
+        assert!(!LoopModel::Closed.is_open());
+    }
+}

@@ -1,0 +1,307 @@
+//! The composed fan-out: partition the stream, start the listener, drive
+//! all clients, and collect both sides' reports.
+
+use std::io;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use gt_core::prelude::*;
+use gt_metrics::Clock;
+use gt_replayer::TcpSink;
+
+use crate::client::{run_client, ClientConfig, ClientReport};
+use crate::listener::{ListenerReport, LoadListener};
+use crate::partition::SeededPartitioner;
+use crate::plan::LoadPlan;
+
+/// How the runner builds one platform connector per accepted connection
+/// (re-export of the listener's factory type).
+pub type ConnectorFactory = crate::listener::ConnectorFn;
+
+/// Attempts a client makes to reach the listener before giving up —
+/// hundreds of simultaneous connects can transiently overflow the accept
+/// backlog.
+const CONNECT_ATTEMPTS: u32 = 100;
+const CONNECT_RETRY_DELAY: Duration = Duration::from_millis(10);
+
+/// Both sides of a finished load run.
+#[derive(Debug)]
+pub struct LoadOutcome {
+    /// Per-client reports, in connection order (class mix order).
+    pub clients: Vec<ClientReport>,
+    /// The SUT-side listener's report.
+    pub listener: ListenerReport,
+}
+
+impl LoadOutcome {
+    /// Graph events offered across all clients.
+    pub fn offered(&self) -> u64 {
+        self.clients.iter().map(|c| c.offered).sum()
+    }
+
+    /// Graph events written across all clients.
+    pub fn sent(&self) -> u64 {
+        self.clients.iter().map(|c| c.sent).sum()
+    }
+
+    /// Aggregate offered rate, events per second (earliest client start
+    /// to latest client finish).
+    pub fn offered_rate(&self) -> f64 {
+        self.aggregate_rate(|c| c.offered)
+    }
+
+    /// Aggregate achieved (written) rate, events per second.
+    pub fn achieved_rate(&self) -> f64 {
+        self.aggregate_rate(|c| c.sent)
+    }
+
+    /// Achieved/offered ratio in [0, 1]; 1.0 when nothing was offered.
+    pub fn achieved_ratio(&self) -> f64 {
+        let offered = self.offered();
+        if offered == 0 {
+            return 1.0;
+        }
+        self.sent() as f64 / offered as f64
+    }
+
+    fn aggregate_rate(&self, count: impl Fn(&ClientReport) -> u64) -> f64 {
+        let start = self.clients.iter().map(|c| c.started_micros).min();
+        let end = self.clients.iter().map(|c| c.finished_micros).max();
+        match (start, end) {
+            (Some(start), Some(end)) if end > start => {
+                let total: u64 = self.clients.iter().map(count).sum();
+                total as f64 / ((end - start) as f64 / 1e6)
+            }
+            _ => 0.0,
+        }
+    }
+
+    /// The reports of one client class.
+    pub fn class_reports<'a>(&'a self, class: &'a str) -> impl Iterator<Item = &'a ClientReport> {
+        self.clients.iter().filter(move |c| c.class == class)
+    }
+}
+
+/// Connects to the listener with bounded retries.
+fn connect_with_retry(addr: SocketAddr) -> io::Result<TcpSink> {
+    let mut last = None;
+    for _ in 0..CONNECT_ATTEMPTS {
+        match TcpSink::connect(addr) {
+            Ok(sink) => return Ok(sink),
+            Err(e) => {
+                last = Some(e);
+                thread::sleep(CONNECT_RETRY_DELAY);
+            }
+        }
+    }
+    Err(last.unwrap_or_else(|| io::Error::other("listener unreachable")))
+}
+
+/// Runs a full load experiment: splits `stream` into one substream per
+/// connection (markers broadcast), starts the multi-connection listener
+/// with one platform connector per connection from `connect`, drives
+/// every client of every class concurrently over TCP, and returns both
+/// sides' reports.
+///
+/// Client `i` gets arrival-schedule seed `plan.seed + i`, so schedules
+/// are distinct but the whole run is a deterministic function of the
+/// plan (modulo wall-clock scheduling).
+pub fn run_load(
+    stream: &GraphStream,
+    plan: &LoadPlan,
+    connect: ConnectorFactory,
+    clock: Arc<dyn Clock>,
+) -> io::Result<LoadOutcome> {
+    let total = plan.total_connections();
+    if total == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "load plan has no connections",
+        ));
+    }
+    let substreams = SeededPartitioner::new(total, plan.seed).split(stream);
+    let listener = LoadListener::bind()?;
+    let addr = listener.local_addr()?;
+    let handle = listener.start(total, connect, Arc::clone(&clock))?;
+
+    let mut workers = Vec::with_capacity(total);
+    let mut conn = 0usize;
+    for class in &plan.classes {
+        for _ in 0..class.connections {
+            let entries = substreams[conn].entries().to_vec();
+            let config = ClientConfig::new(
+                class.name.clone(),
+                class.model,
+                class.rate_per_connection,
+                plan.seed.wrapping_add(conn as u64),
+            );
+            let clock = Arc::clone(&clock);
+            workers.push(
+                thread::Builder::new()
+                    .name(format!("gt-load-client-{conn}"))
+                    .spawn(move || -> io::Result<ClientReport> {
+                        let sink = connect_with_retry(addr)?;
+                        run_client(&entries, &config, Box::new(sink), clock)
+                    })?,
+            );
+            conn += 1;
+        }
+    }
+
+    let mut clients = Vec::with_capacity(total);
+    let mut first_error: Option<io::Error> = None;
+    for worker in workers {
+        match worker.join() {
+            Ok(Ok(report)) => clients.push(report),
+            Ok(Err(e)) => first_error = first_error.or(Some(e)),
+            Err(_) => {
+                first_error = first_error.or_else(|| Some(io::Error::other("client panicked")))
+            }
+        }
+    }
+    // Client sockets are closed now (finished or failed), so the
+    // listener's readers all reach EOF and the join cannot hang.
+    handle.stop();
+    let listener_report = handle.join();
+    if let Some(e) = first_error {
+        return Err(e);
+    }
+    Ok(LoadOutcome {
+        clients,
+        listener: listener_report?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::LoopModel;
+    use gt_metrics::WallClock;
+    use gt_replayer::EventSink;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Mutex;
+
+    /// A connector counting events and recording markers globally.
+    struct CountingSink {
+        events: Arc<AtomicU64>,
+        markers: Arc<Mutex<Vec<String>>>,
+    }
+
+    impl EventSink for CountingSink {
+        fn send(&mut self, entry: &StreamEntry) -> io::Result<()> {
+            match entry {
+                StreamEntry::Graph(_) => {
+                    self.events.fetch_add(1, Ordering::Relaxed);
+                }
+                StreamEntry::Marker(name) => self.markers.lock().unwrap().push(name.clone()),
+                StreamEntry::Control(_) => {}
+            }
+            Ok(())
+        }
+
+        fn send_batch(&mut self, batch: &[SharedEntry]) -> io::Result<()> {
+            for entry in batch {
+                self.send(entry)?;
+            }
+            Ok(())
+        }
+    }
+
+    fn sample_stream(n: u64) -> GraphStream {
+        let mut stream = GraphStream::new();
+        for i in 0..n {
+            stream.push(StreamEntry::graph(GraphEvent::AddVertex {
+                id: VertexId(i),
+                state: State::empty(),
+            }));
+            if i == n / 2 {
+                stream.push(StreamEntry::marker("mid"));
+            }
+        }
+        stream.push(StreamEntry::marker("end"));
+        stream
+    }
+
+    #[test]
+    fn fan_out_delivers_every_event_once_and_markers_once() {
+        let events = Arc::new(AtomicU64::new(0));
+        let markers = Arc::new(Mutex::new(Vec::new()));
+        let stream = sample_stream(600);
+        let plan = LoadPlan::single(6, 120_000.0, LoopModel::Open, 11);
+        let clock: Arc<dyn Clock> = Arc::new(WallClock::start());
+        let factory_events = Arc::clone(&events);
+        let factory_markers = Arc::clone(&markers);
+        let outcome = run_load(
+            &stream,
+            &plan,
+            Box::new(move || {
+                Ok(Box::new(CountingSink {
+                    events: Arc::clone(&factory_events),
+                    markers: Arc::clone(&factory_markers),
+                }) as Box<dyn EventSink + Send>)
+            }),
+            clock,
+        )
+        .unwrap();
+        assert_eq!(outcome.offered(), 600);
+        assert_eq!(outcome.sent(), 600);
+        assert_eq!(
+            events.load(Ordering::Relaxed),
+            600,
+            "each event exactly once"
+        );
+        assert_eq!(
+            markers.lock().unwrap().as_slice(),
+            &["mid".to_owned(), "end".to_owned()],
+            "each marker exactly once, in order"
+        );
+        assert_eq!(outcome.listener.connections, 6);
+        assert_eq!(outcome.listener.marker_violations, 0);
+        assert!(outcome.achieved_ratio() > 0.999);
+    }
+
+    #[test]
+    fn class_mix_reports_per_class() {
+        let events = Arc::new(AtomicU64::new(0));
+        let markers = Arc::new(Mutex::new(Vec::new()));
+        let stream = sample_stream(300);
+        let plan = LoadPlan::single(3, 60_000.0, LoopModel::Open, 5).with_class(
+            crate::plan::ClientClass::new("probe", 1, 20_000.0, LoopModel::Closed),
+        );
+        let clock: Arc<dyn Clock> = Arc::new(WallClock::start());
+        let factory_events = Arc::clone(&events);
+        let factory_markers = Arc::clone(&markers);
+        let outcome = run_load(
+            &stream,
+            &plan,
+            Box::new(move || {
+                Ok(Box::new(CountingSink {
+                    events: Arc::clone(&factory_events),
+                    markers: Arc::clone(&factory_markers),
+                }) as Box<dyn EventSink + Send>)
+            }),
+            clock,
+        )
+        .unwrap();
+        assert_eq!(outcome.clients.len(), 4);
+        assert_eq!(outcome.class_reports("main").count(), 3);
+        assert_eq!(outcome.class_reports("probe").count(), 1);
+        let probe = outcome.class_reports("probe").next().unwrap();
+        assert_eq!(probe.model, LoopModel::Closed);
+        assert_eq!(outcome.offered(), 300);
+    }
+
+    #[test]
+    fn empty_plan_rejected() {
+        let stream = sample_stream(1);
+        let plan = LoadPlan {
+            classes: Vec::new(),
+            seed: 0,
+        };
+        let clock: Arc<dyn Clock> = Arc::new(WallClock::start());
+        let err = run_load(&stream, &plan, Box::new(|| unreachable!()), clock).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+}

@@ -1,0 +1,136 @@
+//! The pure, seeded arrival schedule.
+//!
+//! An open-loop client's arrival times are a *function of the plan*, not
+//! of the SUT: `(rate, seed, n) → timestamps`. Computing the schedule up
+//! front, independently of any socket, is what makes the
+//! coordinated-omission guard testable — the schedule a client emits
+//! must be bit-identical whether the SUT acks promptly or stalls.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A precomputed arrival schedule: monotone microsecond offsets from the
+/// client's start, one per graph event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrivalSchedule {
+    offsets: Vec<u64>,
+}
+
+impl ArrivalSchedule {
+    /// A Poisson-process schedule: exponential inter-arrival times with
+    /// mean `1/rate`, drawn from a seeded deterministic RNG. This is the
+    /// default for open-loop clients — independent arrivals are the
+    /// standard traffic model and exercise burstiness that a uniform
+    /// schedule hides.
+    ///
+    /// # Panics
+    /// If `rate` is not strictly positive and finite.
+    pub fn poisson(rate: f64, events: usize, seed: u64) -> Self {
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "arrival rate must be positive"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut offsets = Vec::with_capacity(events);
+        let mut t = 0.0_f64;
+        for _ in 0..events {
+            // Inverse-CDF sampling; 1-u keeps the argument away from 0.
+            let u: f64 = rng.random();
+            let dt = -(1.0 - u).ln() / rate;
+            t += dt;
+            offsets.push((t * 1e6) as u64);
+        }
+        ArrivalSchedule { offsets }
+    }
+
+    /// A uniform schedule: events exactly `1/rate` apart, as the paper's
+    /// §4.4 single-connection replayer paces them.
+    ///
+    /// # Panics
+    /// If `rate` is not strictly positive and finite.
+    pub fn uniform(rate: f64, events: usize) -> Self {
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "arrival rate must be positive"
+        );
+        let micros_per_event = 1e6 / rate;
+        let offsets = (1..=events as u64)
+            .map(|i| (i as f64 * micros_per_event) as u64)
+            .collect();
+        ArrivalSchedule { offsets }
+    }
+
+    /// The scheduled arrival offsets in microseconds, in order.
+    pub fn offsets_micros(&self) -> &[u64] {
+        &self.offsets
+    }
+
+    /// Number of scheduled arrivals.
+    pub fn len(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// Whether the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.offsets.is_empty()
+    }
+
+    /// The scheduled offset of the last arrival, if any.
+    pub fn last_micros(&self) -> Option<u64> {
+        self.offsets.last().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_is_deterministic_per_seed() {
+        let a = ArrivalSchedule::poisson(10_000.0, 500, 42);
+        let b = ArrivalSchedule::poisson(10_000.0, 500, 42);
+        let c = ArrivalSchedule::poisson(10_000.0, 500, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c, "different seeds must yield different schedules");
+    }
+
+    #[test]
+    fn poisson_mean_rate_is_close() {
+        let rate = 50_000.0;
+        let schedule = ArrivalSchedule::poisson(rate, 20_000, 7);
+        let span_secs = schedule.last_micros().unwrap() as f64 / 1e6;
+        let achieved = schedule.len() as f64 / span_secs;
+        let error = (achieved - rate).abs() / rate;
+        assert!(error < 0.05, "mean rate off by {:.1}%", error * 100.0);
+    }
+
+    #[test]
+    fn schedules_are_monotone() {
+        for schedule in [
+            ArrivalSchedule::poisson(1000.0, 1000, 3),
+            ArrivalSchedule::uniform(1000.0, 1000),
+        ] {
+            let offsets = schedule.offsets_micros();
+            assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    #[test]
+    fn uniform_spacing() {
+        let schedule = ArrivalSchedule::uniform(1000.0, 5);
+        assert_eq!(schedule.offsets_micros(), &[1000, 2000, 3000, 4000, 5000]);
+    }
+
+    #[test]
+    fn empty_schedule() {
+        let schedule = ArrivalSchedule::uniform(100.0, 0);
+        assert!(schedule.is_empty());
+        assert_eq!(schedule.last_micros(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn zero_rate_rejected() {
+        let _ = ArrivalSchedule::poisson(0.0, 10, 0);
+    }
+}

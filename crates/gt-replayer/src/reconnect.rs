@@ -20,6 +20,8 @@ use std::time::Duration;
 
 use gt_core::prelude::*;
 use gt_metrics::{Clock, WallClock};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
 
 use crate::errors::ReplayError;
 use crate::sink::{EventSink, SinkEvent, SinkEventKind};
@@ -36,6 +38,18 @@ pub struct ReconnectPolicy {
     pub max_backoff: Duration,
     /// Backoff growth factor per failed attempt.
     pub multiplier: f64,
+    /// Fraction of each backoff that is randomized: attempt `k`'s wait is
+    /// drawn uniformly from `base_k * [1 - jitter, 1 + jitter]` (then
+    /// capped at `max_backoff`). Without jitter, hundreds of load clients
+    /// cut off by one SUT restart re-dial in lockstep — a thundering herd
+    /// that turns recovery itself into a load spike. `0.0` disables.
+    pub jitter: f64,
+    /// Seed for the jitter draw. The jitter is *seeded-deterministic*:
+    /// the full backoff schedule is a pure function of the policy, so
+    /// chaos-run signatures stay reproducible. Give each client a
+    /// distinct seed (e.g. its connection index) so their retries
+    /// desynchronize; the same seed replays the same schedule.
+    pub seed: u64,
 }
 
 impl Default for ReconnectPolicy {
@@ -45,6 +59,8 @@ impl Default for ReconnectPolicy {
             initial_backoff: Duration::from_millis(20),
             max_backoff: Duration::from_secs(2),
             multiplier: 2.0,
+            jitter: 0.5,
+            seed: 0,
         }
     }
 }
@@ -57,6 +73,45 @@ impl ReconnectPolicy {
             max_attempts: 0,
             ..Default::default()
         }
+    }
+
+    /// Sets the jitter seed (builder style) — one distinct seed per
+    /// client is what desynchronizes a reconnect herd.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The full per-attempt wait schedule for outage number `round`
+    /// (0-based count of disconnects this sink has seen), jitter applied.
+    ///
+    /// Pure and deterministic: `(policy, round) → waits`, no clock or
+    /// socket involved, so tests can assert desynchronization without
+    /// sleeping. Successive rounds draw different jitter (the round is
+    /// folded into the seed) but remain reproducible run-to-run.
+    pub fn backoff_schedule(&self, round: u64) -> Vec<Duration> {
+        assert!(
+            (0.0..=1.0).contains(&self.jitter),
+            "jitter {} outside [0, 1]",
+            self.jitter
+        );
+        // SplitMix64-style fold so round 0/1/2… give unrelated draws.
+        let mut rng = StdRng::seed_from_u64(self.seed ^ round.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let max = self.max_backoff.as_secs_f64();
+        let mut base = self.initial_backoff.as_secs_f64().min(max);
+        (0..self.max_attempts)
+            .map(|_| {
+                let factor = if self.jitter > 0.0 {
+                    1.0 - self.jitter + 2.0 * self.jitter * rng.random::<f64>()
+                } else {
+                    1.0
+                };
+                let wait = (base * factor).min(max);
+                base = (base * self.multiplier).min(max);
+                Duration::from_secs_f64(wait.max(0.0))
+            })
+            .collect()
     }
 }
 
@@ -73,6 +128,9 @@ pub struct ReconnectingTcpSink {
     pending: Vec<String>,
     /// Successful reconnects so far.
     reconnects: u64,
+    /// Disconnects so far — the jitter round, so successive outages draw
+    /// fresh (but still seeded-deterministic) backoff schedules.
+    disconnects: u64,
     /// Flush automatically once this many lines are pending, bounding
     /// both userspace buffering and the at-least-once duplicate window.
     flush_every: usize,
@@ -98,6 +156,7 @@ impl ReconnectingTcpSink {
             emitted_lines: 0,
             pending: Vec::new(),
             reconnects: 0,
+            disconnects: 0,
             flush_every: 256,
             events: Vec::new(),
             buf: String::with_capacity(64),
@@ -156,31 +215,29 @@ impl ReconnectingTcpSink {
         Ok(())
     }
 
-    /// Reconnect loop with capped exponential backoff. On success the new
-    /// connection already carries the replayed pending lines.
+    /// Reconnect loop with capped exponential backoff and seeded jitter.
+    /// On success the new connection already carries the replayed pending
+    /// lines.
     fn reconnect(&mut self, trigger: &io::Error) -> io::Result<()> {
         self.writer = None;
         self.push_event(SinkEventKind::Disconnected, trigger.to_string());
-        let mut backoff = self.policy.initial_backoff;
+        let schedule = self.policy.backoff_schedule(self.disconnects);
+        self.disconnects += 1;
         let mut last = io::Error::new(io::ErrorKind::NotConnected, trigger.to_string());
-        for attempt in 1..=self.policy.max_attempts {
-            std::thread::sleep(backoff);
+        for (i, backoff) in schedule.iter().enumerate() {
+            std::thread::sleep(*backoff);
             match self.try_dial() {
                 Ok(()) => {
                     self.reconnects += 1;
                     self.push_event(
-                        SinkEventKind::Reconnected { attempt },
+                        SinkEventKind::Reconnected {
+                            attempt: i as u32 + 1,
+                        },
                         format!("replayed {} pending lines", self.pending.len()),
                     );
                     return Ok(());
                 }
-                Err(e) => {
-                    last = e;
-                    backoff = Duration::from_secs_f64(
-                        (backoff.as_secs_f64() * self.policy.multiplier)
-                            .min(self.policy.max_backoff.as_secs_f64()),
-                    );
-                }
+                Err(e) => last = e,
             }
         }
         Err(ReplayError::SinkGaveUp {
@@ -314,6 +371,7 @@ mod tests {
                 initial_backoff: Duration::from_millis(5),
                 max_backoff: Duration::from_millis(20),
                 multiplier: 2.0,
+                ..Default::default()
             });
         sink.send(&vertex(0)).unwrap();
         sink.send(&vertex(1)).unwrap();
@@ -379,6 +437,7 @@ mod tests {
                 initial_backoff: Duration::from_millis(1),
                 max_backoff: Duration::from_millis(2),
                 multiplier: 2.0,
+                ..Default::default()
             });
         accept.join().unwrap();
         // The listener is gone: sends eventually exhaust the budget.
@@ -393,6 +452,65 @@ mod tests {
         match ReplayError::from_sink_error(err) {
             ReplayError::SinkGaveUp { attempts, .. } => assert_eq!(attempts, 2),
             other => panic!("expected SinkGaveUp, got {other:?}"),
+        }
+    }
+
+    // Regression: backoff had no jitter, so N clients cut off by one SUT
+    // restart re-dialed in lockstep (thundering herd). The jitter must be
+    // seeded-deterministic: different seeds desynchronize, the same seed
+    // reproduces the exact schedule.
+    #[test]
+    fn different_seeds_desynchronize_backoff() {
+        let policy = |seed| ReconnectPolicy {
+            max_attempts: 16,
+            initial_backoff: Duration::from_millis(20),
+            max_backoff: Duration::from_secs(2),
+            multiplier: 2.0,
+            jitter: 0.5,
+            seed,
+        };
+        let a = policy(1).backoff_schedule(0);
+        let b = policy(2).backoff_schedule(0);
+        assert_eq!(a.len(), 16);
+        let differing = a.iter().zip(&b).filter(|(x, y)| x != y).count();
+        assert!(
+            differing >= 12,
+            "two seeds stayed in lockstep on {} of 16 attempts",
+            16 - differing
+        );
+        // Same seed → bit-identical schedule (chaos signatures reproduce).
+        assert_eq!(a, policy(1).backoff_schedule(0));
+        // A later outage draws fresh jitter but is still deterministic.
+        let round1 = policy(1).backoff_schedule(1);
+        assert_ne!(a, round1);
+        assert_eq!(round1, policy(1).backoff_schedule(1));
+    }
+
+    #[test]
+    fn jitter_stays_within_bounds_and_zero_disables() {
+        let base = ReconnectPolicy {
+            max_attempts: 10,
+            initial_backoff: Duration::from_millis(100),
+            max_backoff: Duration::from_secs(1),
+            multiplier: 2.0,
+            jitter: 0.0,
+            seed: 99,
+        };
+        // jitter 0.0: exact capped exponential, regardless of seed.
+        let exact = base.backoff_schedule(0);
+        assert_eq!(exact[0], Duration::from_millis(100));
+        assert_eq!(exact[1], Duration::from_millis(200));
+        assert_eq!(exact[9], Duration::from_secs(1), "capped at max_backoff");
+        assert_eq!(exact, base.clone().with_seed(7).backoff_schedule(0));
+        // jitter 0.5: each wait within [0.5, 1.5]× its base, never above max.
+        let jittered = ReconnectPolicy {
+            jitter: 0.5,
+            ..base
+        }
+        .backoff_schedule(0);
+        for (j, e) in jittered.iter().zip(&exact) {
+            let (j, e) = (j.as_secs_f64(), e.as_secs_f64());
+            assert!(j >= e * 0.5 - 1e-9 && j <= (e * 1.5).min(1.0) + 1e-9);
         }
     }
 

@@ -134,6 +134,7 @@ fn tcp_listener_restart_mid_replay_completes() {
             initial_backoff: Duration::from_millis(5),
             max_backoff: Duration::from_millis(50),
             multiplier: 2.0,
+            ..Default::default()
         })
         .with_flush_every(64);
     let report = session.run(&path, &mut sink).unwrap();

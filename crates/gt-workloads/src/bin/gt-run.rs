@@ -11,6 +11,8 @@
 //! gt-run <stream.csv> --sut <name> [--rate R] [--opt key=value ...]
 //!        [--faults drop:0.01,dup:0.005,shuffle:64] [--fault-seed N]
 //!        [--chaos "crash@200,worker=0,restart=300; stall@500,ms=50"]
+//!        [--clients N] [--loop-model open|closed|partial:W] [--load-seed N]
+//!        [--scale C1,C2,..xR1,R2,..] [--assert-achieved F]
 //! ```
 //!
 //! `--faults` derives an unreliable/unordered stream a priori (§3.2)
@@ -19,6 +21,15 @@
 //! throughput-dip depth, events lost). Both are seeded by `--fault-seed`
 //! and fully deterministic. Chaos runs are guarded by the experiment
 //! watchdog so a killed worker can never hang the invocation.
+//!
+//! `--clients` switches to the multi-client load layer: the stream is
+//! split into one seeded substream per connection and offered over N
+//! concurrent TCP clients under the chosen loop model; the report shows
+//! offered-vs-achieved rate and sojourn-latency tails. `--scale` runs a
+//! connections × rate grid (one SUT run per cell) and prints the
+//! ingress-scaling curve. `--assert-achieved F` fails the invocation
+//! when achieved/offered drops below F or any marker ordering violation
+//! is observed — the CI smoke hook.
 
 use std::process::ExitCode;
 use std::time::Duration;
@@ -26,8 +37,9 @@ use std::time::Duration;
 use gt_analysis::{recovery_windows, Quantiles, TRACE_SOURCE, TRACE_STAGE_METRICS};
 use gt_faults::{parse_pipeline, FaultInjector};
 use gt_harness::{
-    run_file_sut_experiment, ChaosPlan, EvaluationLevel, FaultSchedule, FileRunPlan, SutOptions,
-    SutRegistry, WatchdogConfig,
+    run_file_sut_experiment, run_load_file_sut_experiment, ChaosPlan, EvaluationLevel,
+    FaultSchedule, FileRunPlan, LoadPlan, LoadSutRunOutcome, LoopModel, SutOptions, SutRegistry,
+    WatchdogConfig,
 };
 
 /// Throughput fraction of the pre-fault baseline that counts as
@@ -42,6 +54,11 @@ struct Args {
     faults: Option<String>,
     chaos: Option<String>,
     fault_seed: u64,
+    clients: Option<usize>,
+    loop_model: LoopModel,
+    load_seed: u64,
+    scale: Option<(Vec<usize>, Vec<f64>)>,
+    assert_achieved: Option<f64>,
 }
 
 /// The registry of built-in platforms.
@@ -57,8 +74,40 @@ fn usage() -> String {
     format!(
         "usage: gt-run <stream.csv> --sut <{names}> [--rate R] [--opt key=value ...]\n\
          \x20             [--faults drop:P,dup:P,shuffle:W,delay:P:N] [--fault-seed N]\n\
-         \x20             [--chaos \"kind@trigger[,key=value ...]; ...\"]"
+         \x20             [--chaos \"kind@trigger[,key=value ...]; ...\"]\n\
+         \x20             [--clients N] [--loop-model open|closed|partial:W] [--load-seed N]\n\
+         \x20             [--scale C1,C2,..xR1,R2,..] [--assert-achieved F]"
     )
+}
+
+/// Parses the `--scale` grid: `1,4,16x10000,40000` → connections × rates.
+fn parse_scale(spec: &str) -> Result<(Vec<usize>, Vec<f64>), String> {
+    let (conns, rates) = spec
+        .split_once('x')
+        .ok_or_else(|| format!("bad scale grid `{spec}`: expected C1,C2,..xR1,R2,.."))?;
+    let connections: Vec<usize> = conns
+        .split(',')
+        .map(|c| {
+            c.trim()
+                .parse::<usize>()
+                .map_err(|e| format!("bad connection count `{c}`: {e}"))
+        })
+        .collect::<Result<_, _>>()?;
+    let rates: Vec<f64> = rates
+        .split(',')
+        .map(|r| {
+            r.trim()
+                .parse::<f64>()
+                .map_err(|e| format!("bad rate `{r}`: {e}"))
+        })
+        .collect::<Result<_, _>>()?;
+    if connections.is_empty() || connections.contains(&0) {
+        return Err("scale grid needs positive connection counts".into());
+    }
+    if rates.is_empty() || rates.iter().any(|r| !r.is_finite() || *r <= 0.0) {
+        return Err("scale grid needs positive rates".into());
+    }
+    Ok((connections, rates))
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -70,11 +119,55 @@ fn parse_args() -> Result<Args, String> {
     let mut faults = None;
     let mut chaos = None;
     let mut fault_seed: u64 = 0;
+    let mut clients = None;
+    let mut loop_model = LoopModel::Open;
+    let mut load_seed: u64 = 1;
+    let mut scale = None;
+    let mut assert_achieved = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--sut" => sut = Some(args.next().ok_or("--sut needs a value")?),
             "--faults" => faults = Some(args.next().ok_or("--faults needs a spec")?),
             "--chaos" => chaos = Some(args.next().ok_or("--chaos needs a spec")?),
+            "--clients" => {
+                let n: usize = args
+                    .next()
+                    .ok_or("--clients needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad client count: {e}"))?;
+                if n == 0 {
+                    return Err("--clients must be at least 1".into());
+                }
+                clients = Some(n);
+            }
+            "--loop-model" => {
+                loop_model = args
+                    .next()
+                    .ok_or("--loop-model needs open|closed|partial:W")?
+                    .parse()
+                    .map_err(|e| format!("bad loop model: {e}"))?;
+            }
+            "--load-seed" => {
+                load_seed = args
+                    .next()
+                    .ok_or("--load-seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad load seed: {e}"))?;
+            }
+            "--scale" => {
+                scale = Some(parse_scale(&args.next().ok_or("--scale needs a grid")?)?);
+            }
+            "--assert-achieved" => {
+                let f: f64 = args
+                    .next()
+                    .ok_or("--assert-achieved needs a fraction")?
+                    .parse()
+                    .map_err(|e| format!("bad fraction: {e}"))?;
+                if !(0.0..=1.0).contains(&f) {
+                    return Err("--assert-achieved fraction must be in [0, 1]".into());
+                }
+                assert_achieved = Some(f);
+            }
             "--fault-seed" => {
                 fault_seed = args
                     .next()
@@ -104,6 +197,9 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
+    if (clients.is_some() || scale.is_some()) && chaos.is_some() {
+        return Err("--chaos applies to single-sink replay; drop it for load mode".into());
+    }
     Ok(Args {
         path: path.ok_or_else(usage)?,
         sut: sut.ok_or_else(usage)?,
@@ -112,6 +208,11 @@ fn parse_args() -> Result<Args, String> {
         faults,
         chaos,
         fault_seed,
+        clients,
+        loop_model,
+        load_seed,
+        scale,
+        assert_achieved,
     })
 }
 
@@ -127,6 +228,157 @@ fn materialize_faults(path: &str, spec: &str, seed: u64) -> Result<(String, Stri
         .write_to_file(&out)
         .map_err(|e| format!("writing {}: {e}", out.display()))?;
     Ok((out.to_string_lossy().into_owned(), pipeline.describe()))
+}
+
+/// Runs one load cell and prints its per-class summary. Returns the
+/// outcome for the scaling table / assertion.
+fn run_load_cell(
+    path: &str,
+    registry: &SutRegistry,
+    args: &Args,
+    connections: usize,
+    rate: f64,
+) -> Result<LoadSutRunOutcome, String> {
+    let mut plan = FileRunPlan::new(path, rate).at_level(EvaluationLevel::Level1);
+    plan.load = Some(LoadPlan::single(
+        connections,
+        rate,
+        args.loop_model,
+        args.load_seed,
+    ));
+    run_load_file_sut_experiment(plan, registry, &args.sut, &args.options)
+        .map_err(|e| e.to_string())
+}
+
+/// Checks the CI gate: achieved/offered at or above the threshold and
+/// zero marker-ordering violations. Prints the verdict on failure.
+fn gate_holds(outcome: &LoadSutRunOutcome, threshold: Option<f64>) -> bool {
+    let Some(threshold) = threshold else {
+        return true;
+    };
+    let ratio = outcome.load.achieved_ratio();
+    let violations = outcome.load.listener.marker_violations;
+    let mut ok = true;
+    if ratio < threshold {
+        eprintln!("gt-run: achieved/offered {ratio:.3} below threshold {threshold:.3}");
+        ok = false;
+    }
+    if violations > 0 {
+        eprintln!("gt-run: {violations} marker ordering violation(s)");
+        ok = false;
+    }
+    ok
+}
+
+/// The multi-client path: a single load run, or the connections × rate
+/// scaling grid when `--scale` is given.
+fn run_load_mode(args: &Args, path: &str, registry: &SutRegistry) -> ExitCode {
+    if let Some((connections_grid, rates)) = &args.scale {
+        println!(
+            "# gt-run ingress scaling curve: {} {} loop, seed {}",
+            args.sut, args.loop_model, args.load_seed
+        );
+        println!(
+            "{:>8} {:>12} {:>12} {:>12} {:>8} {:>10} {:>10} {:>6}",
+            "clients",
+            "target[e/s]",
+            "offered[e/s]",
+            "achieved",
+            "ratio",
+            "p99[us]",
+            "p999[us]",
+            "viol"
+        );
+        let mut gate_ok = true;
+        for &connections in connections_grid {
+            for &rate in rates {
+                let outcome = match run_load_cell(path, registry, args, connections, rate) {
+                    Ok(outcome) => outcome,
+                    Err(error) => {
+                        eprintln!("gt-run: {connections} clients @ {rate:.0} e/s: {error}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                let tail = gt_analysis::sojourn_quantiles(&outcome.log, "main");
+                let (p99, p999) = tail.map_or((f64::NAN, f64::NAN), |t| (t.p99, t.p999));
+                println!(
+                    "{:>8} {:>12.0} {:>12.0} {:>12.0} {:>8.3} {:>10.0} {:>10.0} {:>6}",
+                    connections,
+                    rate,
+                    outcome.load.offered_rate(),
+                    outcome.load.achieved_rate(),
+                    outcome.load.achieved_ratio(),
+                    p99,
+                    p999,
+                    outcome.load.listener.marker_violations
+                );
+                gate_ok &= gate_holds(&outcome, args.assert_achieved);
+            }
+        }
+        return if gate_ok {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+
+    let connections = args.clients.unwrap_or(1);
+    let outcome = match run_load_cell(path, registry, args, connections, args.rate) {
+        Ok(outcome) => outcome,
+        Err(error) => {
+            eprintln!("gt-run: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "# gt-run load: {} with {connections} clients, {} loop @ {:.0} e/s offered (seed {})",
+        args.sut, args.loop_model, args.rate, args.load_seed
+    );
+    println!("offered events      {:>12}", outcome.load.offered());
+    println!("sent events         {:>12}", outcome.load.sent());
+    println!("offered rate [e/s]  {:>12.0}", outcome.load.offered_rate());
+    println!("achieved rate [e/s] {:>12.0}", outcome.load.achieved_rate());
+    println!(
+        "achieved/offered    {:>12.3}",
+        outcome.load.achieved_ratio()
+    );
+    println!(
+        "marker violations   {:>12}",
+        outcome.load.listener.marker_violations
+    );
+    println!(
+        "parse errors        {:>12}",
+        outcome.load.listener.parse_errors
+    );
+    println!("quiesced            {:>12}", outcome.quiesced);
+    println!("\n# sojourn latency [us] per class (completion - scheduled arrival)");
+    println!(
+        "{:<10} {:>8} {:>10} {:>10} {:>10} {:>10}",
+        "class", "n", "p50", "p99", "p999", "max"
+    );
+    for class in ["main"] {
+        if let Some(t) = gt_analysis::sojourn_quantiles(&outcome.log, class) {
+            println!(
+                "{class:<10} {:>8} {:>10.0} {:>10.0} {:>10.0} {:>10.0}",
+                t.n, t.p50, t.p99, t.p999, t.max
+            );
+        } else {
+            println!("{class:<10} insufficient samples");
+        }
+    }
+    println!("\n# {} final report", outcome.report.name);
+    for (metric, value) in &outcome.report.summary {
+        println!("{metric:<19} {value:>12.0}");
+    }
+    println!(
+        "\n# merged result log: {} records",
+        outcome.log.records().len()
+    );
+    if gate_holds(&outcome, args.assert_achieved) {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 fn main() -> ExitCode {
@@ -150,6 +402,16 @@ fn main() -> ExitCode {
         },
         None => (args.path.clone(), None, None),
     };
+
+    // Multi-client load mode bypasses the single-sink replay path
+    // entirely: the load layer paces per-client arrival schedules.
+    if args.clients.is_some() || args.scale.is_some() {
+        let code = run_load_mode(&args, &path, &registry);
+        if let Some(scratch) = scratch {
+            let _ = std::fs::remove_file(scratch);
+        }
+        return code;
+    }
 
     // Live chaos: parse the schedule, keep the journal for the summary,
     // and guard the run with the watchdog so a killed worker can never

@@ -38,6 +38,8 @@ pub use gt_generator as generator;
 pub use gt_graph as graph;
 /// The test harness: specs, run loop, repetition.
 pub use gt_harness as harness;
+/// The multi-client open/closed/partial-open-loop traffic layer.
+pub use gt_load as load;
 /// Metric records, loggers, hub, and log collector.
 pub use gt_metrics as metrics;
 /// The rate-controlled replayer and its connectors.
