@@ -24,7 +24,9 @@
 //!   fault,
 //! * [`load`] — load-run analysis: offered-vs-achieved rate and
 //!   per-client-class sojourn-latency tails (p99/p999) inside marker
-//!   windows.
+//!   windows,
+//! * [`sharding`] — throughput-vs-shards scaling curves (speedup and
+//!   parallel efficiency against the smallest configuration).
 
 pub mod correlate;
 pub mod error;
@@ -32,6 +34,7 @@ pub mod load;
 pub mod markers;
 pub mod percentiles;
 pub mod recovery;
+pub mod sharding;
 pub mod summary;
 pub mod timeseries;
 pub mod trend;
@@ -49,6 +52,7 @@ pub use markers::{
 };
 pub use percentiles::{percentile, CleanSeries, Quantiles, TailQuantiles};
 pub use recovery::{recovery_windows, RecoveryWindow, CHAOS_SOURCE};
+pub use sharding::{shard_scaling, ShardScalingRow};
 pub use summary::{compare_ci95, ConfidenceInterval, Summary};
 pub use timeseries::{RateSeries, TimeSeries};
 pub use trend::{densification_exponent, linear_trend, Trend};

@@ -1,0 +1,89 @@
+//! Throughput-vs-shards scaling analysis: how much of the serial
+//! bottleneck a sharded configuration actually buys back.
+//!
+//! The paper's methodology compares systems by their sustainable rates;
+//! for a *sharded variant of the same system* the interesting summary is
+//! the scaling curve — achieved throughput per shard count, normalized
+//! against the smallest configuration measured:
+//!
+//! * **speedup** `S(n) = T(n) / T(base)` — how many times faster than the
+//!   baseline configuration,
+//! * **efficiency** `E(n) = S(n) / (n / base)` — the fraction of ideal
+//!   linear scaling realized (1.0 = perfect, Amdahl-limited systems decay
+//!   toward the serial fraction).
+
+/// One point on the throughput-vs-shards scaling curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardScalingRow {
+    /// Shard (worker) count of this configuration.
+    pub shards: usize,
+    /// Achieved throughput, events/s.
+    pub achieved: f64,
+    /// Throughput relative to the smallest measured shard count.
+    pub speedup: f64,
+    /// Fraction of ideal linear scaling realized (speedup divided by the
+    /// shard-count ratio).
+    pub efficiency: f64,
+}
+
+/// Builds the scaling curve from `(shards, achieved events/s)` samples.
+///
+/// The baseline is the row with the **smallest shard count** (ties: its
+/// first occurrence); rows come back sorted by shard count. Returns an
+/// empty curve when no sample has positive throughput to normalize by.
+pub fn shard_scaling(samples: &[(usize, f64)]) -> Vec<ShardScalingRow> {
+    let mut sorted: Vec<(usize, f64)> = samples.to_vec();
+    sorted.sort_by_key(|&(shards, _)| shards);
+    let Some(&(base_shards, base_rate)) = sorted.first() else {
+        return Vec::new();
+    };
+    if base_rate <= 0.0 || base_shards == 0 {
+        return Vec::new();
+    }
+    sorted
+        .into_iter()
+        .map(|(shards, achieved)| {
+            let speedup = achieved / base_rate;
+            let ideal = shards as f64 / base_shards as f64;
+            ShardScalingRow {
+                shards,
+                achieved,
+                speedup,
+                efficiency: speedup / ideal,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curve_normalizes_against_the_smallest_shard_count() {
+        let rows = shard_scaling(&[(4, 3000.0), (1, 1000.0), (2, 1900.0)]);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].shards, 1);
+        assert!((rows[0].speedup - 1.0).abs() < 1e-12);
+        assert!((rows[0].efficiency - 1.0).abs() < 1e-12);
+        assert!((rows[1].speedup - 1.9).abs() < 1e-12);
+        assert!((rows[1].efficiency - 0.95).abs() < 1e-12);
+        assert!((rows[2].speedup - 3.0).abs() < 1e-12);
+        assert!((rows[2].efficiency - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nonunit_baseline_uses_shard_ratio_for_efficiency() {
+        // Baseline at 2 shards: 4 shards doubling throughput is perfect.
+        let rows = shard_scaling(&[(2, 500.0), (4, 1000.0)]);
+        assert!((rows[1].speedup - 2.0).abs() < 1e-12);
+        assert!((rows[1].efficiency - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs_yield_an_empty_curve() {
+        assert!(shard_scaling(&[]).is_empty());
+        assert!(shard_scaling(&[(1, 0.0), (2, 100.0)]).is_empty());
+        assert!(shard_scaling(&[(0, 100.0)]).is_empty());
+    }
+}

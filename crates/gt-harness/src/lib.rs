@@ -27,11 +27,16 @@
 //! * [`load`] — the multi-client load mode: fan the stream across N
 //!   concurrent TCP clients (open/closed/partial-open loop per class)
 //!   into one platform connector per connection.
+//! * [`differential`] — the serial-vs-sharded differential harness:
+//!   replay the same seeded stream through a `shards=1` baseline and a
+//!   `shards=N` candidate and assert bit-identical digests and
+//!   per-marker-window computation results.
 //! * [`repeat`] — n ≥ 30 repetition helper and CI95 system comparison.
 //! * [`watchdog`] — progress-stall and deadline detection: a broken
 //!   system under test aborts the run with a typed status instead of
 //!   hanging the harness.
 
+pub mod differential;
 pub mod levels;
 pub mod load;
 pub mod repeat;
@@ -41,6 +46,10 @@ pub mod sut;
 pub mod sweep;
 pub mod watchdog;
 
+pub use differential::{
+    graph_from_adjacency, run_differential, window_computations, DifferentialOutcome,
+    WindowComputation,
+};
 pub use levels::EvaluationLevel;
 pub use load::{
     load_records, run_load_file_sut_experiment, run_load_sut_experiment,
@@ -61,6 +70,9 @@ pub use watchdog::{AbortReason, RunStatus, WatchdogConfig};
 
 pub use gt_chaos::{ChaosJournal, FaultKind, FaultSchedule, FaultTrigger, CHAOS_SOURCE};
 pub use gt_load::{ClientClass, LoadPlan, LoopModel};
-pub use gt_sut::{SutOptions, SutRegistry, SutReport, SystemUnderTest, WorkerSupervisor};
+pub use gt_sut::{
+    Adjacency, StateDigest, SutOptions, SutRegistry, SutReport, SystemUnderTest, WindowDigest,
+    WorkerSupervisor,
+};
 pub use gt_sysmon::SamplerConfig;
 pub use gt_trace::{TraceConfig, Tracer, TRACE_SOURCE};

@@ -34,7 +34,7 @@ use std::time::Duration;
 
 use gt_load::{run_load, ConnectorFactory, LoadOutcome, LoadPlan};
 use gt_metrics::{Clock, LogCollector, MetricRecord, ResultLog, WallClock};
-use gt_sut::{SutOptions, SutRegistry, SutReport, SystemUnderTest};
+use gt_sut::{StateDigest, SutOptions, SutRegistry, SutReport, SystemUnderTest};
 
 use crate::run::{join_sampler, spawn_sampler, spawn_sysmon, sysmon_records, FileRunPlan, RunPlan};
 use crate::sut::{fold_report, wire_sut, SutRunError, DEFAULT_QUIESCE_TIMEOUT};
@@ -57,6 +57,12 @@ pub struct LoadSutRunOutcome {
     pub report: SutReport,
     /// Whether the platform drained within the quiesce timeout.
     pub quiesced: bool,
+    /// The platform's final-state digest (only with the `digest=1`
+    /// option). Note: multi-connection runs merge substreams in a
+    /// nondeterministic order, so digests from load mode are only
+    /// comparable across runs for order-insensitive streams (e.g.
+    /// add-only).
+    pub digest: Option<StateDigest>,
 }
 
 /// Runs `plan` (which must carry a [`LoadPlan`]) against the platform
@@ -126,7 +132,7 @@ pub fn run_load_sut_experiment_with_timeout(
         .take()
         .expect("platform present after run");
     let quiesced = sut.quiesce(quiesce_timeout);
-    let report = sut.shutdown();
+    let (report, digest) = sut.shutdown_digest();
     let load = result?;
 
     let mut collector = LogCollector::new();
@@ -140,6 +146,7 @@ pub fn run_load_sut_experiment_with_timeout(
         log,
         report,
         quiesced,
+        digest,
     })
 }
 

@@ -27,7 +27,7 @@ use std::time::Duration;
 
 use gt_metrics::{Clock, HubSampler, MetricRecord, MetricsHub, ResultLog, WallClock};
 use gt_replayer::ReplayError;
-use gt_sut::{SutError, SutOptions, SutRegistry, SutReport, SystemUnderTest};
+use gt_sut::{StateDigest, SutError, SutOptions, SutRegistry, SutReport, SystemUnderTest};
 use gt_trace::{TraceConfig, Tracer, TRACE_SOURCE};
 
 use crate::levels::EvaluationLevel;
@@ -52,6 +52,10 @@ pub struct SutRunOutcome<O> {
     /// here is itself a finding — the paper's Figure 3d system keeps
     /// computing long after the stream has ended.
     pub quiesced: bool,
+    /// The platform's final-state digest, present only when the platform
+    /// was started with its `digest=1` option — the raw material of the
+    /// serial-vs-sharded differential harness ([`crate::differential`]).
+    pub digest: Option<StateDigest>,
 }
 
 /// What can go wrong in a registry-selected run.
@@ -223,7 +227,7 @@ pub fn run_sut_experiment_with_timeout(
     drop(connector);
 
     let quiesced = sut.quiesce(quiesce_timeout);
-    let report = sut.shutdown();
+    let (report, digest) = sut.shutdown_digest();
     let mut run = match result {
         Ok(run) => run,
         Err(e) => {
@@ -239,6 +243,7 @@ pub fn run_sut_experiment_with_timeout(
         run,
         report,
         quiesced,
+        digest,
     })
 }
 
@@ -276,7 +281,7 @@ pub fn run_file_sut_experiment_with_timeout(
     drop(connector);
 
     let quiesced = sut.quiesce(quiesce_timeout);
-    let report = sut.shutdown();
+    let (report, digest) = sut.shutdown_digest();
     let mut run = match result {
         Ok(run) => run,
         Err(e) => {
@@ -292,6 +297,7 @@ pub fn run_file_sut_experiment_with_timeout(
         run,
         report,
         quiesced,
+        digest,
     })
 }
 

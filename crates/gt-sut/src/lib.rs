@@ -30,5 +30,5 @@ pub mod registry;
 pub mod sut;
 
 pub use levels::EvaluationLevel;
-pub use registry::{SutError, SutOptions, SutRegistry};
-pub use sut::{SutReport, SystemUnderTest, WorkerSupervisor};
+pub use registry::{ShardsError, SutError, SutOptions, SutRegistry, MAX_SHARDS};
+pub use sut::{Adjacency, StateDigest, SutReport, SystemUnderTest, WindowDigest, WorkerSupervisor};

@@ -75,6 +75,71 @@ impl SutOptions {
     pub fn get_duration_micros(&self, key: &str) -> io::Result<Option<std::time::Duration>> {
         Ok(self.get_u64(key)?.map(std::time::Duration::from_micros))
     }
+
+    /// The `shards` option, validated: a positive integer no larger than
+    /// [`MAX_SHARDS`]. Unlike the generic string getters (which accept any
+    /// value silently until a platform happens to parse it), this getter
+    /// rejects nonsense up front with a typed [`ShardsError`], so a typo
+    /// like `shards=0` or `shards=lots` fails the run at start-up instead
+    /// of silently running serial.
+    pub fn get_shards(&self) -> Result<Option<usize>, ShardsError> {
+        let Some(raw) = self.params.get("shards") else {
+            return Ok(None);
+        };
+        let shards: usize = raw
+            .trim()
+            .parse()
+            .map_err(|_| ShardsError::NotANumber(raw.clone()))?;
+        if shards == 0 {
+            return Err(ShardsError::Zero);
+        }
+        if shards > MAX_SHARDS {
+            return Err(ShardsError::TooLarge(shards));
+        }
+        Ok(Some(shards))
+    }
+}
+
+/// Upper bound accepted by [`SutOptions::get_shards`]. Far above anything
+/// a single-host run can use productively; values beyond it are treated
+/// as configuration mistakes, not requests.
+pub const MAX_SHARDS: usize = 1024;
+
+/// Why a `shards=` option was rejected by [`SutOptions::get_shards`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardsError {
+    /// The value is not an unsigned integer.
+    NotANumber(String),
+    /// `shards=0`: at least one shard is required.
+    Zero,
+    /// The value exceeds [`MAX_SHARDS`].
+    TooLarge(usize),
+}
+
+impl fmt::Display for ShardsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardsError::NotANumber(raw) => {
+                write!(
+                    f,
+                    "option `shards`: expected an unsigned integer, got `{raw}`"
+                )
+            }
+            ShardsError::Zero => write!(f, "option `shards`: at least one shard is required"),
+            ShardsError::TooLarge(got) => write!(
+                f,
+                "option `shards`: {got} exceeds the maximum of {MAX_SHARDS}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ShardsError {}
+
+impl From<ShardsError> for io::Error {
+    fn from(e: ShardsError) -> Self {
+        io::Error::new(io::ErrorKind::InvalidInput, e.to_string())
+    }
 }
 
 /// A platform builder: spawns the platform from an option bag.
@@ -265,6 +330,59 @@ mod tests {
         let err = options.get_usize("shards").unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
         assert!(err.to_string().contains("shards"));
+    }
+
+    #[test]
+    fn shards_getter_accepts_valid_counts() {
+        assert_eq!(SutOptions::new().get_shards().unwrap(), None);
+        assert_eq!(
+            SutOptions::new().set("shards", 1).get_shards().unwrap(),
+            Some(1)
+        );
+        assert_eq!(
+            SutOptions::new().set("shards", " 8 ").get_shards().unwrap(),
+            Some(8)
+        );
+        assert_eq!(
+            SutOptions::new()
+                .set("shards", MAX_SHARDS)
+                .get_shards()
+                .unwrap(),
+            Some(MAX_SHARDS)
+        );
+    }
+
+    #[test]
+    fn shards_getter_rejects_zero() {
+        let err = SutOptions::new().set("shards", 0).get_shards().unwrap_err();
+        assert_eq!(err, ShardsError::Zero);
+        assert!(err.to_string().contains("at least one shard"));
+        let io_err: io::Error = err.into();
+        assert_eq!(io_err.kind(), io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn shards_getter_rejects_non_numeric() {
+        for raw in ["many", "-4", "3.5", ""] {
+            let err = SutOptions::new()
+                .set("shards", raw)
+                .get_shards()
+                .unwrap_err();
+            assert_eq!(err, ShardsError::NotANumber(raw.to_owned()), "raw `{raw}`");
+            assert!(err.to_string().contains("shards"), "raw `{raw}`");
+        }
+    }
+
+    #[test]
+    fn shards_getter_rejects_absurd_counts() {
+        let err = SutOptions::new()
+            .set("shards", MAX_SHARDS + 1)
+            .get_shards()
+            .unwrap_err();
+        assert_eq!(err, ShardsError::TooLarge(MAX_SHARDS + 1));
+        assert!(err.to_string().contains("1024"));
+        let io_err: io::Error = err.into();
+        assert_eq!(io_err.kind(), io::ErrorKind::InvalidInput);
     }
 
     #[test]

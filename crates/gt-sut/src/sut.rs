@@ -91,6 +91,16 @@ pub trait SystemUnderTest: Send {
     /// Stops the platform and returns its final report.
     fn shutdown(self: Box<Self>) -> SutReport;
 
+    /// Stops the platform and returns its final report plus, when the
+    /// platform was started in digest mode, a [`StateDigest`] of its final
+    /// graph state and per-marker-window snapshots. The differential
+    /// harness compares these digests between a serial and a sharded run
+    /// of the same stream. The default forwards to
+    /// [`shutdown`](SystemUnderTest::shutdown) with no digest.
+    fn shutdown_digest(self: Box<Self>) -> (SutReport, Option<StateDigest>) {
+        (self.shutdown(), None)
+    }
+
     /// Mutable access as [`Any`], for platform-specific probes (e.g. a
     /// bench sampling tide-graph's leaderboard mid-run). Implement as
     /// `fn as_any(&mut self) -> &mut dyn Any { self }`.
@@ -160,9 +170,162 @@ impl SutReport {
     }
 }
 
+/// A canonical adjacency dump: `(vertex id, [(target id, weight bits)])`
+/// with both levels sorted ascending. Weights travel as [`f64::to_bits`]
+/// so equality is exact — the whole point of the differential harness is
+/// *bit*-identical comparison, never tolerance bands.
+pub type Adjacency = Vec<(u64, Vec<(u64, u64)>)>;
+
+/// One marker window's state snapshot inside a [`StateDigest`]: the graph
+/// topology visible at the marker's consistent cut.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowDigest {
+    /// The marker (watermark) name that closed this window.
+    pub marker: String,
+    /// Canonical adjacency at the cut.
+    pub adjacency: Adjacency,
+}
+
+/// A platform's state digest at shutdown: the final graph topology, one
+/// snapshot per marker window, and the run's degradation record.
+///
+/// Two runs of the same seeded stream — one serial, one sharded — must
+/// produce *equal* digests ([`StateDigest::diff`] returns `None`);
+/// anything else is an ordering, loss, duplication, or marker-placement
+/// bug in the sharded path. Degradation counters are carried alongside
+/// but not compared by `diff`: a chaos run legitimately records crashes
+/// its clean oracle does not, while still converging to the same state.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StateDigest {
+    /// Canonical adjacency of the final graph state.
+    pub final_adjacency: Adjacency,
+    /// Per-marker-window snapshots, in marker (stream) order.
+    pub windows: Vec<WindowDigest>,
+    /// Degradation record: named fault/recovery counters
+    /// (crashes, restarts, events lost, events replayed, …).
+    pub degradation: Vec<(String, u64)>,
+}
+
+impl StateDigest {
+    /// Sorts the adjacency dumps into canonical order (vertices ascending,
+    /// out-lists ascending). Platforms call this once after assembling a
+    /// digest from per-shard pieces.
+    pub fn canonicalize(&mut self) {
+        fn sort(adj: &mut Adjacency) {
+            for (_, out) in adj.iter_mut() {
+                out.sort_unstable();
+            }
+            adj.sort_unstable_by_key(|(v, _)| *v);
+        }
+        sort(&mut self.final_adjacency);
+        for w in &mut self.windows {
+            sort(&mut w.adjacency);
+        }
+    }
+
+    /// A named degradation counter, if recorded.
+    pub fn degradation(&self, name: &str) -> Option<u64> {
+        self.degradation
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Compares final state and every marker window against `other`
+    /// (degradation counters are deliberately excluded). Returns `None`
+    /// when equal, or a description of the first difference.
+    pub fn diff(&self, other: &StateDigest) -> Option<String> {
+        if self.windows.len() != other.windows.len() {
+            return Some(format!(
+                "window count differs: {} vs {}",
+                self.windows.len(),
+                other.windows.len()
+            ));
+        }
+        for (i, (a, b)) in self.windows.iter().zip(&other.windows).enumerate() {
+            if a.marker != b.marker {
+                return Some(format!(
+                    "window {i}: marker `{}` vs `{}`",
+                    a.marker, b.marker
+                ));
+            }
+            if let Some(what) = diff_adjacency(&a.adjacency, &b.adjacency) {
+                return Some(format!("window `{}`: {what}", a.marker));
+            }
+        }
+        diff_adjacency(&self.final_adjacency, &other.final_adjacency)
+            .map(|what| format!("final state: {what}"))
+    }
+}
+
+/// First difference between two canonical adjacencies, described.
+fn diff_adjacency(a: &Adjacency, b: &Adjacency) -> Option<String> {
+    if a.len() != b.len() {
+        return Some(format!("vertex count differs: {} vs {}", a.len(), b.len()));
+    }
+    for ((va, outa), (vb, outb)) in a.iter().zip(b) {
+        if va != vb {
+            return Some(format!("vertex id differs: {va} vs {vb}"));
+        }
+        if outa != outb {
+            return Some(format!(
+                "out-list of vertex {va} differs: {} vs {} edges",
+                outa.len(),
+                outb.len()
+            ));
+        }
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn digest_diff_finds_first_difference() {
+        let mut a = StateDigest {
+            final_adjacency: vec![(1, vec![(2, 0)]), (2, vec![])],
+            windows: vec![WindowDigest {
+                marker: "m".into(),
+                adjacency: vec![(1, vec![])],
+            }],
+            degradation: vec![("crashes".into(), 0)],
+        };
+        let b = a.clone();
+        assert_eq!(a.diff(&b), None);
+
+        // Degradation differences are not part of the comparison.
+        a.degradation = vec![("crashes".into(), 3)];
+        assert_eq!(a.diff(&b), None);
+        assert_eq!(a.degradation("crashes"), Some(3));
+
+        // A window mismatch is reported before the final state.
+        a.windows[0].adjacency = vec![(7, vec![])];
+        let msg = a.diff(&b).unwrap();
+        assert!(msg.contains("window `m`"), "{msg}");
+
+        a.windows = b.windows.clone();
+        a.final_adjacency = vec![(1, vec![(2, 0)]), (3, vec![])];
+        let msg = a.diff(&b).unwrap();
+        assert!(msg.contains("final state"), "{msg}");
+    }
+
+    #[test]
+    fn digest_canonicalize_sorts_both_levels() {
+        let mut d = StateDigest {
+            final_adjacency: vec![(5, vec![(9, 0), (1, 0)]), (2, vec![])],
+            windows: vec![WindowDigest {
+                marker: "m".into(),
+                adjacency: vec![(4, vec![]), (3, vec![])],
+            }],
+            degradation: Vec::new(),
+        };
+        d.canonicalize();
+        assert_eq!(d.final_adjacency[0].0, 2);
+        assert_eq!(d.final_adjacency[1].1, vec![(1, 0), (9, 0)]);
+        assert_eq!(d.windows[0].adjacency[0].0, 3);
+    }
 
     #[test]
     fn report_builder_and_lookup() {

@@ -13,6 +13,7 @@
 //!        [--chaos "crash@200,worker=0,restart=300; stall@500,ms=50"]
 //!        [--clients N] [--loop-model open|closed|partial:W] [--load-seed N]
 //!        [--scale C1,C2,..xR1,R2,..] [--assert-achieved F]
+//!        [--shards N | --shards N1,N2,..] [--differential N]
 //! ```
 //!
 //! `--faults` derives an unreliable/unordered stream a priori (§3.2)
@@ -30,16 +31,27 @@
 //! ingress-scaling curve. `--assert-achieved F` fails the invocation
 //! when achieved/offered drops below F or any marker ordering violation
 //! is observed — the CI smoke hook.
+//!
+//! `--shards N` selects the sharded variant of the named platform
+//! (`tide-store` → `tide-store-sharded`) with N hash-partitioned shard
+//! workers. A comma-separated list (`--shards 1,2,4`, load mode only)
+//! runs one load cell per shard count and prints the
+//! throughput-vs-shards scaling curve (speedup and parallel efficiency
+//! against the smallest count). `--differential N` replays the stream
+//! through the serial platform at `shards=1` and the sharded variant at
+//! `shards=N` over a single connector each, and fails the invocation
+//! unless final graph state and per-marker-window computation results
+//! are bit-identical.
 
 use std::process::ExitCode;
 use std::time::Duration;
 
-use gt_analysis::{recovery_windows, Quantiles, TRACE_SOURCE, TRACE_STAGE_METRICS};
+use gt_analysis::{recovery_windows, shard_scaling, Quantiles, TRACE_SOURCE, TRACE_STAGE_METRICS};
 use gt_faults::{parse_pipeline, FaultInjector};
 use gt_harness::{
-    run_file_sut_experiment, run_load_file_sut_experiment, ChaosPlan, EvaluationLevel,
-    FaultSchedule, FileRunPlan, LoadPlan, LoadSutRunOutcome, LoopModel, SutOptions, SutRegistry,
-    WatchdogConfig,
+    run_differential, run_file_sut_experiment, run_load_file_sut_experiment, ChaosPlan,
+    EvaluationLevel, FaultSchedule, FileRunPlan, LoadPlan, LoadSutRunOutcome, LoopModel,
+    SutOptions, SutRegistry, WatchdogConfig,
 };
 
 /// Throughput fraction of the pre-fault baseline that counts as
@@ -59,6 +71,19 @@ struct Args {
     load_seed: u64,
     scale: Option<(Vec<usize>, Vec<f64>)>,
     assert_achieved: Option<f64>,
+    shards: Option<Vec<usize>>,
+    differential: Option<usize>,
+}
+
+/// The serial base name of a platform: `tide-store-sharded` → `tide-store`.
+fn serial_name(sut: &str) -> &str {
+    sut.strip_suffix("-sharded").unwrap_or(sut)
+}
+
+/// The sharded variant name of a platform: `tide-store` →
+/// `tide-store-sharded` (idempotent on already-sharded names).
+fn sharded_name(sut: &str) -> String {
+    format!("{}-sharded", serial_name(sut))
 }
 
 /// The registry of built-in platforms.
@@ -76,7 +101,8 @@ fn usage() -> String {
          \x20             [--faults drop:P,dup:P,shuffle:W,delay:P:N] [--fault-seed N]\n\
          \x20             [--chaos \"kind@trigger[,key=value ...]; ...\"]\n\
          \x20             [--clients N] [--loop-model open|closed|partial:W] [--load-seed N]\n\
-         \x20             [--scale C1,C2,..xR1,R2,..] [--assert-achieved F]"
+         \x20             [--scale C1,C2,..xR1,R2,..] [--assert-achieved F]\n\
+         \x20             [--shards N | --shards N1,N2,..] [--differential N]"
     )
 }
 
@@ -124,6 +150,8 @@ fn parse_args() -> Result<Args, String> {
     let mut load_seed: u64 = 1;
     let mut scale = None;
     let mut assert_achieved = None;
+    let mut shards = None;
+    let mut differential = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--sut" => sut = Some(args.next().ok_or("--sut needs a value")?),
@@ -156,6 +184,32 @@ fn parse_args() -> Result<Args, String> {
             }
             "--scale" => {
                 scale = Some(parse_scale(&args.next().ok_or("--scale needs a grid")?)?);
+            }
+            "--shards" => {
+                let spec = args.next().ok_or("--shards needs N or N1,N2,..")?;
+                let list: Vec<usize> = spec
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse::<usize>()
+                            .map_err(|e| format!("bad shard count `{s}`: {e}"))
+                    })
+                    .collect::<Result<_, _>>()?;
+                if list.is_empty() || list.contains(&0) {
+                    return Err("--shards needs positive shard counts".into());
+                }
+                shards = Some(list);
+            }
+            "--differential" => {
+                let n: usize = args
+                    .next()
+                    .ok_or("--differential needs a shard count")?
+                    .parse()
+                    .map_err(|e| format!("bad shard count: {e}"))?;
+                if n == 0 {
+                    return Err("--differential shard count must be at least 1".into());
+                }
+                differential = Some(n);
             }
             "--assert-achieved" => {
                 let f: f64 = args
@@ -200,6 +254,20 @@ fn parse_args() -> Result<Args, String> {
     if (clients.is_some() || scale.is_some()) && chaos.is_some() {
         return Err("--chaos applies to single-sink replay; drop it for load mode".into());
     }
+    if differential.is_some() && (clients.is_some() || scale.is_some() || chaos.is_some()) {
+        return Err(
+            "--differential is single-connector A/B replay; drop --clients/--scale/--chaos".into(),
+        );
+    }
+    if differential.is_some() && shards.is_some() {
+        return Err("--differential already names the candidate shard count".into());
+    }
+    if shards.as_ref().is_some_and(|list| list.len() > 1) && clients.is_none() {
+        return Err("--shards with multiple counts is the scaling curve; add --clients N".into());
+    }
+    if shards.as_ref().is_some_and(|list| list.len() > 1) && scale.is_some() {
+        return Err("--shards with multiple counts replaces --scale; use one of them".into());
+    }
     Ok(Args {
         path: path.ok_or_else(usage)?,
         sut: sut.ok_or_else(usage)?,
@@ -213,6 +281,8 @@ fn parse_args() -> Result<Args, String> {
         load_seed,
         scale,
         assert_achieved,
+        shards,
+        differential,
     })
 }
 
@@ -236,6 +306,8 @@ fn run_load_cell(
     path: &str,
     registry: &SutRegistry,
     args: &Args,
+    sut: &str,
+    options: &SutOptions,
     connections: usize,
     rate: f64,
 ) -> Result<LoadSutRunOutcome, String> {
@@ -246,8 +318,7 @@ fn run_load_cell(
         args.loop_model,
         args.load_seed,
     ));
-    run_load_file_sut_experiment(plan, registry, &args.sut, &args.options)
-        .map_err(|e| e.to_string())
+    run_load_file_sut_experiment(plan, registry, sut, options).map_err(|e| e.to_string())
 }
 
 /// Checks the CI gate: achieved/offered at or above the threshold and
@@ -292,7 +363,15 @@ fn run_load_mode(args: &Args, path: &str, registry: &SutRegistry) -> ExitCode {
         let mut gate_ok = true;
         for &connections in connections_grid {
             for &rate in rates {
-                let outcome = match run_load_cell(path, registry, args, connections, rate) {
+                let outcome = match run_load_cell(
+                    path,
+                    registry,
+                    args,
+                    &args.sut,
+                    &args.options,
+                    connections,
+                    rate,
+                ) {
                     Ok(outcome) => outcome,
                     Err(error) => {
                         eprintln!("gt-run: {connections} clients @ {rate:.0} e/s: {error}");
@@ -323,7 +402,15 @@ fn run_load_mode(args: &Args, path: &str, registry: &SutRegistry) -> ExitCode {
     }
 
     let connections = args.clients.unwrap_or(1);
-    let outcome = match run_load_cell(path, registry, args, connections, args.rate) {
+    let outcome = match run_load_cell(
+        path,
+        registry,
+        args,
+        &args.sut,
+        &args.options,
+        connections,
+        args.rate,
+    ) {
         Ok(outcome) => outcome,
         Err(error) => {
             eprintln!("gt-run: {error}");
@@ -381,8 +468,125 @@ fn run_load_mode(args: &Args, path: &str, registry: &SutRegistry) -> ExitCode {
     }
 }
 
+/// The throughput-vs-shards scaling curve: one load cell per shard count
+/// against the sharded variant, normalized by `gt_analysis::shard_scaling`.
+fn run_shard_scaling_mode(
+    args: &Args,
+    path: &str,
+    registry: &SutRegistry,
+    counts: &[usize],
+) -> ExitCode {
+    let sut = sharded_name(&args.sut);
+    let connections = args.clients.unwrap_or(1);
+    println!(
+        "# gt-run throughput-vs-shards: {sut}, {connections} clients, {} loop @ {:.0} e/s, seed {}",
+        args.loop_model, args.rate, args.load_seed
+    );
+    let mut samples: Vec<(usize, f64)> = Vec::new();
+    let mut gate_ok = true;
+    for &shards in counts {
+        let options = args.options.clone().set("shards", shards);
+        let outcome =
+            match run_load_cell(path, registry, args, &sut, &options, connections, args.rate) {
+                Ok(outcome) => outcome,
+                Err(error) => {
+                    eprintln!("gt-run: shards={shards}: {error}");
+                    return ExitCode::FAILURE;
+                }
+            };
+        samples.push((shards, outcome.load.achieved_rate()));
+        gate_ok &= gate_holds(&outcome, args.assert_achieved);
+    }
+    println!(
+        "{:>8} {:>14} {:>10} {:>12}",
+        "shards", "achieved[e/s]", "speedup", "efficiency"
+    );
+    for row in shard_scaling(&samples) {
+        println!(
+            "{:>8} {:>14.0} {:>10.2} {:>12.2}",
+            row.shards, row.achieved, row.speedup, row.efficiency
+        );
+    }
+    if gate_ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// The differential mode: the same stream through the serial platform at
+/// `shards=1` and the sharded variant at `shards=N`, single connector
+/// each; nonzero exit on any digest or computation divergence.
+fn run_differential_mode(
+    args: &Args,
+    path: &str,
+    registry: &SutRegistry,
+    shards: usize,
+) -> ExitCode {
+    let stream = match gt_core::GraphStream::read_from_file(path) {
+        Ok(stream) => stream,
+        Err(error) => {
+            eprintln!("gt-run: reading {path}: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let baseline = serial_name(&args.sut).to_owned();
+    let candidate = sharded_name(&args.sut);
+    let baseline_options = args.options.clone().set("shards", 1);
+    let candidate_options = args.options.clone().set("shards", shards);
+    let outcome = match run_differential(
+        &stream,
+        args.rate,
+        registry,
+        (&baseline, &baseline_options),
+        (&candidate, &candidate_options),
+    ) {
+        Ok(outcome) => outcome,
+        Err(error) => {
+            eprintln!("gt-run: differential: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "# gt-run differential: {baseline} (shards=1) vs {candidate} (shards={shards}) @ {:.0} e/s",
+        args.rate
+    );
+    println!(
+        "baseline events     {:>12.0}",
+        outcome.baseline_report.get("events").unwrap_or(f64::NAN)
+    );
+    println!(
+        "candidate events    {:>12.0}",
+        outcome.candidate_report.get("events").unwrap_or(f64::NAN)
+    );
+    println!(
+        "marker windows      {:>12}",
+        outcome.baseline_digest.windows.len()
+    );
+    println!(
+        "final vertices      {:>12}",
+        outcome.baseline_digest.final_adjacency.len()
+    );
+    println!(
+        "computations        {:>12}",
+        // wcc + sssp + rank per window plus the final state
+        3 * outcome.baseline_computations.len()
+    );
+    match &outcome.mismatch {
+        None => {
+            println!("verdict             {:>12}", "IDENTICAL");
+            ExitCode::SUCCESS
+        }
+        Some(mismatch) => {
+            println!("verdict             {:>12}", "DIVERGED");
+            eprintln!("gt-run: differential mismatch: {mismatch}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
-    let args = match parse_args() {
+    let mut args = match parse_args() {
         Ok(args) => args,
         Err(message) => {
             eprintln!("{message}");
@@ -390,6 +594,17 @@ fn main() -> ExitCode {
         }
     };
     let registry = builtin_registry();
+
+    // A single `--shards N` simply reroutes to the sharded variant with
+    // that worker count; a list becomes the scaling-curve mode below.
+    let shard_curve = match args.shards.take() {
+        Some(list) if list.len() == 1 => {
+            args.sut = sharded_name(&args.sut);
+            args.options = args.options.clone().set("shards", list[0]);
+            None
+        }
+        other => other,
+    };
 
     // A-priori stream faults: derive the weaker stream before replay.
     let (path, fault_description, scratch) = match &args.faults {
@@ -402,6 +617,25 @@ fn main() -> ExitCode {
         },
         None => (args.path.clone(), None, None),
     };
+
+    // Differential mode replaces the normal replay entirely: two
+    // single-connector runs and a bit-exact comparison.
+    if let Some(shards) = args.differential {
+        let code = run_differential_mode(&args, &path, &registry, shards);
+        if let Some(scratch) = scratch {
+            let _ = std::fs::remove_file(scratch);
+        }
+        return code;
+    }
+
+    // The throughput-vs-shards curve: one load cell per shard count.
+    if let Some(counts) = &shard_curve {
+        let code = run_shard_scaling_mode(&args, &path, &registry, counts);
+        if let Some(scratch) = scratch {
+            let _ = std::fs::remove_file(scratch);
+        }
+        return code;
+    }
 
     // Multi-client load mode bypasses the single-sink replay path
     // entirely: the load layer paces per-client arrival schedules.

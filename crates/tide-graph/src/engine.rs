@@ -26,11 +26,11 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use gt_core::prelude::*;
 use gt_metrics::hub::{Counter, Gauge};
 use gt_metrics::MetricsHub;
-use gt_sut::WorkerSupervisor;
+use gt_sut::{Adjacency, StateDigest, WindowDigest, WorkerSupervisor};
 use gt_trace::{Probe, Stage, TracerCell};
 use parking_lot::{Mutex, RwLock};
 
@@ -63,6 +63,12 @@ pub struct EngineConfig {
     /// for a durable write-ahead log). Costs memory proportional to the
     /// stream length; off by default.
     pub supervised: bool,
+    /// Capture per-worker topology snapshots at every processed marker
+    /// plus the final partition structures, folded into a
+    /// [`gt_sut::StateDigest`] at shutdown — the raw material of the
+    /// serial-vs-sharded differential. Costs a structure copy per worker
+    /// per marker; off by default.
+    pub digest: bool,
 }
 
 impl Default for EngineConfig {
@@ -75,6 +81,7 @@ impl Default for EngineConfig {
             board_refresh_every: 256,
             drain_batch: 64,
             supervised: false,
+            digest: false,
         }
     }
 }
@@ -100,6 +107,9 @@ pub struct EngineStats {
     pub events_lost: u64,
     /// Mutation events re-enqueued from the retained log on restarts.
     pub events_replayed: u64,
+    /// Topology digest (final adjacency + per-marker windows), present
+    /// when the engine ran with [`EngineConfig::digest`] on.
+    pub digest: Option<StateDigest>,
 }
 
 enum Msg<M> {
@@ -112,8 +122,9 @@ enum Msg<M> {
     Compute(VertexId, M),
     /// A watermark: queued behind everything already in the mailbox, so
     /// its processing time measures the ingest-to-process latency of the
-    /// events streamed before it (§4.5's watermark pattern).
-    Marker(String),
+    /// events streamed before it (§4.5's watermark pattern). The optional
+    /// channel acknowledges processing (the marker barrier).
+    Marker(String, Option<Sender<()>>),
     /// A simulated worker kill: the worker discards its partition state
     /// and exits immediately, as if the process died. Queued like any
     /// message, so the crash lands at a deterministic position in the
@@ -130,6 +141,12 @@ type ResultBoard = Arc<Mutex<BTreeMap<VertexId, f64>>>;
 /// Processed watermarks: `(marker name, worker id, micros since engine
 /// start)`.
 type MarkerLog = Arc<Mutex<Vec<(String, usize, u64)>>>;
+
+/// Per-worker topology snapshots taken at marker processing time (digest
+/// mode): `(marker name, partition structure)`. Workers own disjoint
+/// vertices, so entries for one marker union into the engine's topology
+/// at that marker's consistent cut.
+type SnapshotLog = Arc<Mutex<Vec<(String, Adjacency)>>>;
 
 /// The mailbox fabric shared by the engine handle, the workers, and the
 /// supervisor: the current sender of every worker slot (swapped on
@@ -177,6 +194,7 @@ struct EngineCore<P: Partition> {
     factory: Box<dyn Fn(usize) -> P + Send + Sync>,
     board: ResultBoard,
     markers: MarkerLog,
+    snapshots: SnapshotLog,
     started: Instant,
     config: EngineConfig,
     hub: MetricsHub,
@@ -197,6 +215,7 @@ impl<P: Partition> EngineCore<P> {
             mailboxes: Arc::clone(&self.mailboxes),
             board: Arc::clone(&self.board),
             markers: Arc::clone(&self.markers),
+            snapshots: Arc::clone(&self.snapshots),
             started: self.started,
             config: self.config.clone(),
             tracer_cell: self.tracer_cell.clone(),
@@ -240,12 +259,18 @@ fn busy_work(cost: Duration) {
 }
 
 /// Owner worker of a vertex.
-fn owner(v: VertexId, workers: usize) -> usize {
+///
+/// Public because the routing function is part of the engine's sharding
+/// *contract*: a pure function of the vertex id (the shard contract tests
+/// pin this), identical to tide-store's `shard_for_key` hashing so both
+/// platforms partition entities the same way.
+pub fn owner(v: VertexId, workers: usize) -> usize {
     ((v.0.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) % workers as u64) as usize
 }
 
-/// The vertex whose owner a mutation event is routed to.
-fn route_target(event: &GraphEvent) -> VertexId {
+/// The vertex whose owner a mutation event is routed to: vertex events by
+/// the vertex itself, edge events by the edge's source.
+pub fn route_target(event: &GraphEvent) -> VertexId {
     match event {
         GraphEvent::AddVertex { id, .. }
         | GraphEvent::RemoveVertex { id }
@@ -299,6 +324,7 @@ impl<P: Partition> Engine<P> {
             factory: Box::new(factory),
             board: Arc::new(Mutex::new(BTreeMap::new())),
             markers: Arc::new(Mutex::new(Vec::new())),
+            snapshots: Arc::new(Mutex::new(Vec::new())),
             started: Instant::now(),
             config,
             hub: hub.clone(),
@@ -392,10 +418,38 @@ impl<P: Partition> Engine<P> {
     /// Dead workers miss the watermark (their marker-log entry is absent,
     /// which is itself a degradation signal).
     pub fn ingest_marker(&self, name: &str) {
-        let senders = self.core.mailboxes.senders.read();
-        for tx in senders.iter() {
-            let _ = tx.send(Msg::Marker(name.to_owned()));
+        self.ingest_marker_with(name, None);
+    }
+
+    /// Enqueues a watermark on every worker and waits (up to `timeout`)
+    /// until every worker that received it has *processed* it — the
+    /// marker barrier. Dead workers are skipped, so a degraded engine
+    /// reports a smaller count instead of hanging. Returns the number of
+    /// acknowledgements received.
+    pub fn ingest_marker_barrier(&self, name: &str, timeout: Duration) -> usize {
+        let (ack_tx, ack_rx) = bounded::<()>(self.workers);
+        let sent = self.ingest_marker_with(name, Some(ack_tx));
+        let deadline = Instant::now() + timeout;
+        let mut acked = 0usize;
+        while acked < sent {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() || ack_rx.recv_timeout(left).is_err() {
+                break;
+            }
+            acked += 1;
         }
+        acked
+    }
+
+    fn ingest_marker_with(&self, name: &str, ack: Option<Sender<()>>) -> usize {
+        let senders = self.core.mailboxes.senders.read();
+        let mut reached = 0usize;
+        for tx in senders.iter() {
+            if tx.send(Msg::Marker(name.to_owned(), ack.clone())).is_ok() {
+                reached += 1;
+            }
+        }
+        reached
     }
 
     /// Processed watermarks so far: `(name, worker, micros since engine
@@ -469,11 +523,16 @@ impl<P: Partition> Engine<P> {
             guard.drain(..).collect()
         };
         let mut ranks = BTreeMap::new();
+        let mut final_adjacency: Adjacency = Vec::new();
+        let digest_on = self.core.config.digest;
         for handle in handles {
             match handle.join() {
                 Ok(Some(partition)) => {
                     for (id, p) in partition.summary() {
                         ranks.insert(id, p);
+                    }
+                    if digest_on {
+                        final_adjacency.extend(partition.structure());
                     }
                 }
                 // Injected crash: state discarded by design.
@@ -488,6 +547,36 @@ impl<P: Partition> Engine<P> {
         let shares: u64 = (0..self.workers)
             .map(|w| self.hub.counter(&format!("worker-{w}.shares")).get())
             .sum();
+        let digest = digest_on.then(|| {
+            // Group the per-worker marker snapshots into windows, in
+            // first-sighting order; the per-worker adjacencies of one
+            // marker are disjoint, so concatenation is the union.
+            let mut windows: Vec<WindowDigest> = Vec::new();
+            for (name, adjacency) in self.core.snapshots.lock().drain(..) {
+                match windows.iter_mut().find(|w| w.marker == name) {
+                    Some(window) => window.adjacency.extend(adjacency),
+                    None => windows.push(WindowDigest {
+                        marker: name,
+                        adjacency,
+                    }),
+                }
+            }
+            let mut digest = StateDigest {
+                final_adjacency,
+                windows,
+                degradation: vec![
+                    ("crashes".into(), self.core.counters.crashes.get()),
+                    ("restarts".into(), self.core.counters.restarts.get()),
+                    ("events_lost".into(), self.core.counters.events_lost.get()),
+                    (
+                        "events_replayed".into(),
+                        self.core.counters.events_replayed.get(),
+                    ),
+                ],
+            };
+            digest.canonicalize();
+            digest
+        });
         EngineStats {
             events,
             shares,
@@ -496,6 +585,7 @@ impl<P: Partition> Engine<P> {
             restarts: self.core.counters.restarts.get(),
             events_lost: self.core.counters.events_lost.get(),
             events_replayed: self.core.counters.events_replayed.get(),
+            digest,
         }
     }
 
@@ -601,6 +691,7 @@ struct WorkerCtx<M> {
     mailboxes: Arc<Mailboxes<M>>,
     board: ResultBoard,
     markers: MarkerLog,
+    snapshots: SnapshotLog,
     started: Instant,
     config: EngineConfig,
     tracer_cell: TracerCell,
@@ -641,6 +732,16 @@ fn worker_loop<P: Partition>(ctx: WorkerCtx<P::Msg>, mut partition: P) -> Option
                 Msg::Event(event, seq) => {
                     busy_work(ctx.config.event_cost);
                     partition.apply_event_deferred(event.event(), &mut dirty);
+                    // The owner-side half of vertex removal: strip the
+                    // removed id from co-located out-lists too. Ingest
+                    // only broadcasts Purge to *other* workers, so
+                    // without this the surviving topology would depend
+                    // on the worker count (and workers=1 would never
+                    // purge at all) — breaking the serial-vs-sharded
+                    // differential.
+                    if let GraphEvent::RemoveVertex { id } = event.event() {
+                        partition.purge(*id, &mut outbox);
+                    }
                     ctx.events.inc();
                     if trace_probe.is_none() {
                         trace_probe = ctx.tracer_cell.probe(Stage::EngineApply);
@@ -659,9 +760,21 @@ fn worker_loop<P: Partition>(ctx: WorkerCtx<P::Msg>, mut partition: P) -> Option
                     partition.receive_deferred(target, payload, &mut dirty);
                     ctx.shares.inc();
                 }
-                Msg::Marker(name) => {
+                Msg::Marker(name, ack) => {
                     let t = ctx.started.elapsed().as_micros() as u64;
+                    if ctx.config.digest {
+                        // The mailbox FIFO-orders this marker behind
+                        // exactly the pre-marker events routed here, so
+                        // the snapshot is this worker's share of the
+                        // marker's consistent cut.
+                        ctx.snapshots
+                            .lock()
+                            .push((name.clone(), partition.structure()));
+                    }
                     ctx.markers.lock().push((name, ctx.worker_id, t));
+                    if let Some(ack) = ack {
+                        let _ = ack.send(());
+                    }
                 }
                 Msg::Crash => {
                     // Die like a killed process: no final board publish,

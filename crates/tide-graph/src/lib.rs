@@ -44,7 +44,9 @@ pub mod sssp;
 pub mod sut;
 
 pub use connector::EngineConnector;
-pub use engine::{Engine, EngineConfig, EngineStats, EngineSupervisor, TideGraph};
+pub use engine::{
+    owner, route_target, Engine, EngineConfig, EngineStats, EngineSupervisor, TideGraph,
+};
 pub use program::Partition;
 pub use rank::RankParams;
 pub use sssp::{start_sssp, DistancePartition, SsspEngine};

@@ -45,4 +45,15 @@ pub trait Partition: Send + 'static {
     /// The current per-vertex result values this partition owns — what
     /// the engine publishes on the shared result board.
     fn summary(&self) -> Vec<(VertexId, f64)>;
+
+    /// The partition's current local out-topology, as `(vertex id,
+    /// [(target id, weight bits)])` — the raw material of a
+    /// [`gt_sut::StateDigest`]. Weights are captured as `f64::to_bits`
+    /// so digest comparison is bit-exact; unweighted programs digest
+    /// weight 1.0. Worker partitions own disjoint vertex sets, so the
+    /// union of all workers' structures is the engine's full topology.
+    /// The default (empty) opts a program out of digest capture.
+    fn structure(&self) -> Vec<(u64, Vec<(u64, u64)>)> {
+        Vec::new()
+    }
 }

@@ -270,6 +270,19 @@ impl crate::program::Partition for RankPartition {
     fn summary(&self) -> Vec<(VertexId, f64)> {
         self.ranks()
     }
+
+    fn structure(&self) -> Vec<(u64, Vec<(u64, u64)>)> {
+        // The rank program is unweighted: edges digest as weight 1.0.
+        self.vertices
+            .iter()
+            .map(|(id, s)| {
+                (
+                    id.0,
+                    s.out.iter().map(|d| (d.0, 1.0f64.to_bits())).collect(),
+                )
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]

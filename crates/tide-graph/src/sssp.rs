@@ -181,6 +181,18 @@ impl Partition for DistancePartition {
             .map(|(id, s)| (*id, s.dist.unwrap_or(f64::INFINITY)))
             .collect()
     }
+
+    fn structure(&self) -> Vec<(u64, Vec<(u64, u64)>)> {
+        self.vertices
+            .iter()
+            .map(|(id, s)| {
+                (
+                    id.0,
+                    s.out.iter().map(|(t, w)| (t.0, w.to_bits())).collect(),
+                )
+            })
+            .collect()
+    }
 }
 
 /// An engine running the online SSSP program on every worker.

@@ -8,7 +8,7 @@ use std::time::Duration;
 
 use gt_metrics::MetricsHub;
 use gt_replayer::EventSink;
-use gt_sut::{EvaluationLevel, SutOptions, SutRegistry, SutReport, SystemUnderTest};
+use gt_sut::{EvaluationLevel, StateDigest, SutOptions, SutRegistry, SutReport, SystemUnderTest};
 use gt_trace::{Stage, Tracer};
 
 use crate::connector::EngineConnector;
@@ -18,6 +18,11 @@ use crate::rank::RankParams;
 /// The registry name of this platform.
 pub const SUT_NAME: &str = "tide-graph";
 
+/// The registry name of the explicitly-sharded variant: the same engine,
+/// but `shards` (default 4) names the worker count — the A/B counterpart
+/// of a `shards=1` serial baseline in the differential harness.
+pub const SHARDED_SUT_NAME: &str = "tide-graph-sharded";
+
 /// A running engine behind the [`SystemUnderTest`] boundary.
 ///
 /// Recognized [`SutOptions`]:
@@ -25,6 +30,7 @@ pub const SUT_NAME: &str = "tide-graph";
 /// | option | meaning | default |
 /// |---|---|---|
 /// | `workers` | worker threads | 4 |
+/// | `shards` | alias for `workers` (typed: 1..=[`gt_sut::MAX_SHARDS`]); takes precedence | — |
 /// | `alpha` | teleport probability of the rank program | 0.15 |
 /// | `epsilon` | push threshold of the rank program | 1e-4 |
 /// | `reseed` | re-seeded mass fraction on topology change | 1.0 |
@@ -33,9 +39,11 @@ pub const SUT_NAME: &str = "tide-graph";
 /// | `board_refresh_every` | result-board publish period (messages) | 256 |
 /// | `drain_batch` | mailbox messages drained per round | 64 |
 /// | `supervised` | retain events so crashed workers can be restarted (`1` = on) | 0 |
+/// | `digest` | capture a [`StateDigest`] at shutdown (`1` = on) | 0 |
 pub struct TideGraphSut {
     engine: Option<Arc<TideGraph>>,
     hub: MetricsHub,
+    name: &'static str,
     tracer: Option<Tracer>,
 }
 
@@ -43,10 +51,26 @@ impl TideGraphSut {
     /// Spawns an engine from the option bag (unset options keep the
     /// [`EngineConfig`] defaults).
     pub fn start(options: &SutOptions) -> io::Result<Self> {
+        Self::start_named(options, SUT_NAME)
+    }
+
+    /// Spawns the explicitly-sharded variant: identical engine, reported
+    /// as [`SHARDED_SUT_NAME`], worker count from `shards` (default 4).
+    pub fn start_sharded(options: &SutOptions) -> io::Result<Self> {
+        Self::start_named(options, SHARDED_SUT_NAME)
+    }
+
+    fn start_named(options: &SutOptions, name: &'static str) -> io::Result<Self> {
         let defaults = EngineConfig::default();
         let rank_defaults = RankParams::default();
+        // The typed shard getter (rejects 0 / non-numeric / absurd
+        // counts) takes precedence over the legacy free-form `workers`.
+        let workers = match options.get_shards()? {
+            Some(shards) => shards,
+            None => options.get_usize("workers")?.unwrap_or(defaults.workers),
+        };
         let config = EngineConfig {
-            workers: options.get_usize("workers")?.unwrap_or(defaults.workers),
+            workers,
             rank: RankParams {
                 alpha: options.get_f64("alpha")?.unwrap_or(rank_defaults.alpha),
                 epsilon: options.get_f64("epsilon")?.unwrap_or(rank_defaults.epsilon),
@@ -65,6 +89,7 @@ impl TideGraphSut {
                 .get_usize("drain_batch")?
                 .unwrap_or(defaults.drain_batch),
             supervised: options.get_u64("supervised")?.unwrap_or(0) != 0,
+            digest: options.get_u64("digest")?.unwrap_or(0) != 0,
         };
         if config.workers == 0 {
             return Err(io::Error::new(
@@ -77,6 +102,7 @@ impl TideGraphSut {
         Ok(TideGraphSut {
             engine: Some(engine),
             hub,
+            name,
             tracer: None,
         })
     }
@@ -104,7 +130,7 @@ impl TideGraphSut {
 
 impl SystemUnderTest for TideGraphSut {
     fn name(&self) -> &str {
-        SUT_NAME
+        self.name
     }
 
     fn level(&self) -> EvaluationLevel {
@@ -149,15 +175,16 @@ impl SystemUnderTest for TideGraphSut {
     }
 
     fn shutdown(mut self: Box<Self>) -> SutReport {
+        let name = self.name;
         let stats = self.shutdown_engine();
-        SutReport::new(SUT_NAME)
-            .with("events", stats.events as f64)
-            .with("shares", stats.shares as f64)
-            .with("vertices", stats.ranks.len() as f64)
-            .with("crashes", stats.crashes as f64)
-            .with("restarts", stats.restarts as f64)
-            .with("events_lost", stats.events_lost as f64)
-            .with("events_replayed", stats.events_replayed as f64)
+        report_from_stats(name, &stats)
+    }
+
+    fn shutdown_digest(mut self: Box<Self>) -> (SutReport, Option<StateDigest>) {
+        let name = self.name;
+        let mut stats = self.shutdown_engine();
+        let digest = stats.digest.take();
+        (report_from_stats(name, &stats), digest)
     }
 
     fn as_any(&mut self) -> &mut dyn Any {
@@ -169,10 +196,25 @@ impl SystemUnderTest for TideGraphSut {
     }
 }
 
-/// Registers this platform under [`SUT_NAME`].
+fn report_from_stats(name: &str, stats: &EngineStats) -> SutReport {
+    SutReport::new(name)
+        .with("events", stats.events as f64)
+        .with("shares", stats.shares as f64)
+        .with("vertices", stats.ranks.len() as f64)
+        .with("crashes", stats.crashes as f64)
+        .with("restarts", stats.restarts as f64)
+        .with("events_lost", stats.events_lost as f64)
+        .with("events_replayed", stats.events_replayed as f64)
+}
+
+/// Registers this platform under [`SUT_NAME`] and its explicitly-sharded
+/// variant under [`SHARDED_SUT_NAME`].
 pub fn register(registry: &mut SutRegistry) {
     registry.register(SUT_NAME, |options| {
         Ok(Box::new(TideGraphSut::start(options)?) as Box<dyn SystemUnderTest>)
+    });
+    registry.register(SHARDED_SUT_NAME, |options| {
+        Ok(Box::new(TideGraphSut::start_sharded(options)?) as Box<dyn SystemUnderTest>)
     });
 }
 

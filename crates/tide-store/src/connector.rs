@@ -15,7 +15,41 @@ use gt_core::prelude::*;
 use gt_replayer::EventSink;
 use gt_trace::Probe;
 
+use crate::sharded::ShardedClient;
 use crate::store::{StoreClient, Transaction};
+
+/// The client surface a [`BatchingConnector`] writes into: both the serial
+/// store's [`StoreClient`] (one global timestamper) and the sharded
+/// runtime's [`ShardedClient`] (router + per-shard sequencers) implement
+/// it, so one connector serves the serial/sharded A/B without separate
+/// plumbing.
+pub trait StoreFrontend: Send {
+    /// Submits a transaction, blocking on backpressure; returns the
+    /// transaction back when the store has shut down.
+    fn submit(&self, transaction: Transaction) -> Result<(), Transaction>;
+    /// Submits a watermark so the store records the marker's cut.
+    fn marker(&self, name: &str);
+}
+
+impl StoreFrontend for StoreClient {
+    fn submit(&self, transaction: Transaction) -> Result<(), Transaction> {
+        StoreClient::submit(self, transaction)
+    }
+
+    fn marker(&self, name: &str) {
+        let _ = StoreClient::marker(self, name);
+    }
+}
+
+impl StoreFrontend for ShardedClient {
+    fn submit(&self, transaction: Transaction) -> Result<(), Transaction> {
+        ShardedClient::submit(self, transaction)
+    }
+
+    fn marker(&self, name: &str) {
+        let _ = ShardedClient::marker(self, name);
+    }
+}
 
 /// Batches replayed events into store transactions.
 ///
@@ -23,8 +57,8 @@ use crate::store::{StoreClient, Transaction};
 /// event allocations into the transaction — only the `Arc` is cloned per
 /// event. The per-event [`EventSink::send`] fallback still accepts borrowed
 /// entries (and must copy them once into shared handles).
-pub struct BatchingConnector {
-    client: StoreClient,
+pub struct BatchingConnector<C: StoreFrontend = StoreClient> {
+    client: C,
     batch_size: usize,
     pending: Vec<SharedGraphEvent>,
     submitted_tx: u64,
@@ -32,12 +66,12 @@ pub struct BatchingConnector {
     trace_probe: Option<Probe>,
 }
 
-impl BatchingConnector {
+impl<C: StoreFrontend> BatchingConnector<C> {
     /// A connector committing `batch_size` events per transaction.
     ///
     /// # Panics
     /// If `batch_size` is zero.
-    pub fn new(client: StoreClient, batch_size: usize) -> Self {
+    pub fn new(client: C, batch_size: usize) -> Self {
         assert!(batch_size > 0, "batch size must be positive");
         BatchingConnector {
             client,
@@ -101,15 +135,24 @@ impl BatchingConnector {
         self.submitted_events += count;
         Ok(())
     }
+
+    /// Flushes pending events, then forwards the marker to the store so
+    /// the cut is recorded with everything streamed before it sequenced
+    /// first.
+    fn forward_marker(&mut self, name: &str) -> io::Result<()> {
+        self.submit_pending()?;
+        self.client.marker(name);
+        Ok(())
+    }
 }
 
-impl EventSink for BatchingConnector {
+impl<C: StoreFrontend> EventSink for BatchingConnector<C> {
     fn send(&mut self, entry: &StreamEntry) -> io::Result<()> {
         match entry {
             StreamEntry::Graph(event) => self.push(SharedGraphEvent::new(event.clone())),
             // Markers flush so that everything streamed before the marker
             // is committed when the marker's timestamp is taken.
-            StreamEntry::Marker(_) => self.submit_pending(),
+            StreamEntry::Marker(name) => self.forward_marker(name),
             StreamEntry::Control(_) => Ok(()),
         }
     }
@@ -119,8 +162,8 @@ impl EventSink for BatchingConnector {
             match SharedGraphEvent::from_entry(entry) {
                 Some(event) => self.push(event)?,
                 None => {
-                    if entry.is_marker() {
-                        self.submit_pending()?;
+                    if let StreamEntry::Marker(name) = &**entry {
+                        self.forward_marker(name)?;
                     }
                 }
             }

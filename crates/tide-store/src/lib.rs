@@ -26,11 +26,14 @@
 //! CPU utilization (Figure 3c).
 
 pub mod connector;
+pub mod sharded;
 pub mod store;
 pub mod sut;
 
-pub use connector::BatchingConnector;
+pub use connector::{BatchingConnector, StoreFrontend};
+pub use sharded::{ShardedClient, ShardedStats, ShardedStore, ShardedSupervisor};
 pub use store::{
-    StoreClient, StoreClosed, StoreConfig, StoreStats, StoreSupervisor, TideStore, Transaction,
+    shard_for, shard_for_key, StoreClient, StoreClosed, StoreConfig, StoreStats, StoreSupervisor,
+    TideStore, Transaction,
 };
 pub use sut::TideStoreSut;

@@ -1,0 +1,731 @@
+//! The sharded store runtime: client → entity-affine router → N batched
+//! per-shard sequencers.
+//!
+//! The serial [`crate::TideStore`] deliberately funnels every transaction
+//! through one timestamper thread — the Weaver-style bottleneck the paper
+//! measures (fig 3b/3c). This module is the scaling counter-move: the
+//! global sequencer is replaced by a lock-free router that assigns each
+//! event a global sequence number ([`std::sync::atomic::AtomicU64`]) and
+//! forwards it to the shard owning its entity ([`crate::store::shard_for`]
+//! — the same pure routing function the serial store's writers use). Each
+//! shard runs its *own* sequencer, paying the ordering cost once per
+//! received batch instead of once per transaction on a single thread, so
+//! ordering work parallelizes N ways while the total order *within* each
+//! partition is preserved: one entity's events always meet the same shard
+//! in submission order.
+//!
+//! # Equivalence to the serial store
+//!
+//! The global sequence numbers are assigned at routing time, before any
+//! shard queue is touched. With a single connector this numbering equals
+//! the serial timestamper's commit order, so merging the per-shard logs
+//! by sequence number at shutdown must reconstruct a bit-identical graph
+//! — the property the differential harness
+//! ([`gt_harness::differential`](../gt_harness/index.html)) pins.
+//!
+//! # Markers
+//!
+//! A marker records its *cut* — the router's sequence counter at the
+//! moment the marker is submitted — and is then broadcast to every shard
+//! (each shard logs it exactly once; [`ShardedClient::marker_barrier`]
+//! additionally waits for every live shard to acknowledge). The cut is
+//! recorded at the router rather than inside any shard, so it survives
+//! shard crashes, and log entries below the cut are exactly the events
+//! submitted before the marker.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use gt_core::prelude::*;
+use gt_graph::{ApplyPolicy, EvolvingGraph};
+use gt_metrics::hub::Counter;
+use gt_metrics::MetricsHub;
+use gt_sut::WorkerSupervisor;
+use gt_trace::{Probe, Stage, TracerCell};
+use parking_lot::{Mutex, RwLock};
+
+use crate::store::{busy_work, shard_for, shard_for_key, StoreConfig, StoreStats, Transaction};
+
+/// A shard's committed write log: `(sequence number, event)` pairs in
+/// apply order.
+type ShardLog = Vec<(u64, SharedGraphEvent)>;
+
+/// What a shard thread returns: its slot and its log (empty for a crash).
+type ShardExit = (usize, ShardLog);
+
+/// Work delivered to a shard's sequencer queue.
+enum ShardJob {
+    /// One transaction's slice for this shard, already sequence-stamped
+    /// by the router. The shard pays the ordering cost once per batch —
+    /// the "batched per-shard sequencer".
+    Batch(Vec<(u64, SharedGraphEvent)>),
+    /// A broadcast watermark; the optional channel acknowledges receipt
+    /// (the marker barrier).
+    Marker(String, Option<Sender<()>>),
+    ReadVertex(VertexId, Sender<Option<State>>),
+    ReadEdge(EdgeId, Sender<Option<State>>),
+    /// A simulated shard kill: discard state and log and exit.
+    Crash,
+    Stop,
+}
+
+/// The shard fabric: current senders (swapped on restart) + liveness.
+struct Fabric {
+    /// Write-locked only while a restart swaps a sender — which also
+    /// excludes the router, so recovery never interleaves with routing.
+    txs: RwLock<Vec<Sender<ShardJob>>>,
+    alive: Vec<AtomicBool>,
+}
+
+/// Fault/recovery counters registered on the store's hub under the same
+/// names the serial store uses, plus `store.marker_skips` for markers a
+/// dead shard never saw.
+#[derive(Clone)]
+struct Counters {
+    tx: Counter,
+    events: Counter,
+    crashes: Counter,
+    restarts: Counter,
+    events_lost: Counter,
+    events_replayed: Counter,
+    marker_skips: Counter,
+}
+
+impl Counters {
+    fn register(hub: &MetricsHub) -> Self {
+        Counters {
+            tx: hub.counter("store.tx"),
+            events: hub.counter("store.events"),
+            crashes: hub.counter("store.crashes"),
+            restarts: hub.counter("store.restarts"),
+            events_lost: hub.counter("store.events_lost"),
+            events_replayed: hub.counter("store.events_replayed"),
+            marker_skips: hub.counter("store.marker_skips"),
+        }
+    }
+}
+
+/// Shared internals of the sharded runtime.
+struct ShardedCore {
+    fabric: Arc<Fabric>,
+    handles: Mutex<Vec<JoinHandle<ShardExit>>>,
+    /// `(sequence, event)` — populated only in supervised mode.
+    retained: Mutex<Vec<(u64, SharedGraphEvent)>>,
+    /// The router's global event sequence: assigned at submit time,
+    /// before any queue send, so it is crash-safe and (with a single
+    /// connector) equals the serial store's commit order.
+    global_seq: AtomicU64,
+    /// Marker cuts in submission order: `(name, sequence at the cut)`.
+    cuts: Mutex<Vec<(String, u64)>>,
+    /// Per-shard marker sightings: `(name, shard)` in processing order —
+    /// the shard contract's "exactly once per shard" witness.
+    shard_markers: Arc<Mutex<Vec<(String, usize)>>>,
+    config: StoreConfig,
+    hub: MetricsHub,
+    tracer_cell: TracerCell,
+    /// Set by shutdown; blocks further restarts and submits.
+    stopping: AtomicBool,
+    counters: Counters,
+}
+
+impl ShardedCore {
+    fn spawn_shard(&self, shard_id: usize, rx: Receiver<ShardJob>) -> JoinHandle<ShardExit> {
+        let busy = self.hub.counter(&format!("shard-{shard_id}.busy_micros"));
+        let applied = self.hub.counter(&format!("shard-{shard_id}.events"));
+        let seq_cost = self.config.timestamper_cost_per_tx;
+        let write_cost = self.config.shard_cost_per_event;
+        let cell = self.tracer_cell.clone();
+        let fabric = Arc::clone(&self.fabric);
+        let crashes = self.counters.crashes.clone();
+        let markers = Arc::clone(&self.shard_markers);
+        std::thread::Builder::new()
+            .name(format!("tide-store-seq-{shard_id}"))
+            .spawn(move || {
+                shard_loop(
+                    shard_id, rx, seq_cost, write_cost, busy, applied, cell, fabric, crashes,
+                    markers,
+                )
+            })
+            .expect("spawn shard sequencer")
+    }
+}
+
+/// The running sharded store.
+pub struct ShardedStore {
+    core: Arc<ShardedCore>,
+}
+
+/// A router client handle; cloneable. Each submit routes the
+/// transaction's events to their owner shards under the fabric's read
+/// lock, stamping each with the next global sequence number.
+#[derive(Clone)]
+pub struct ShardedClient {
+    core: Arc<ShardedCore>,
+}
+
+impl ShardedStore {
+    /// Starts the sharded store: `config.shards` sequencer threads and no
+    /// central timestamper. `config.timestamper_cost_per_tx` is paid once
+    /// per *shard batch* by the owning shard's sequencer;
+    /// `config.shard_cost_per_event` per event as in the serial store.
+    /// Metrics are registered on `hub` under the serial store's names
+    /// (`store.tx`, `store.events`, `shard-N.busy_micros`, …).
+    pub fn start(config: StoreConfig, hub: &MetricsHub) -> Self {
+        assert!(config.shards >= 1, "at least one shard required");
+        let mut txs: Vec<Sender<ShardJob>> = Vec::with_capacity(config.shards);
+        let mut rxs: Vec<Receiver<ShardJob>> = Vec::with_capacity(config.shards);
+        for _ in 0..config.shards {
+            let (tx, rx) = bounded::<ShardJob>(config.queue_capacity);
+            txs.push(tx);
+            rxs.push(rx);
+        }
+        let fabric = Arc::new(Fabric {
+            txs: RwLock::new(txs),
+            alive: (0..config.shards).map(|_| AtomicBool::new(true)).collect(),
+        });
+        let core = Arc::new(ShardedCore {
+            fabric,
+            handles: Mutex::new(Vec::with_capacity(config.shards)),
+            retained: Mutex::new(Vec::new()),
+            global_seq: AtomicU64::new(0),
+            cuts: Mutex::new(Vec::new()),
+            shard_markers: Arc::new(Mutex::new(Vec::new())),
+            config,
+            hub: hub.clone(),
+            tracer_cell: TracerCell::new(),
+            stopping: AtomicBool::new(false),
+            counters: Counters::register(hub),
+        });
+        {
+            let mut handles = core.handles.lock();
+            for (shard_id, rx) in rxs.into_iter().enumerate() {
+                handles.push(core.spawn_shard(shard_id, rx));
+            }
+        }
+        ShardedStore { core }
+    }
+
+    /// A new router client handle.
+    pub fn client(&self) -> ShardedClient {
+        ShardedClient {
+            core: Arc::clone(&self.core),
+        }
+    }
+
+    /// The tracer slot shared with the shard threads (apply stamps are
+    /// keyed by global sequence number, as in the serial store).
+    pub fn tracer_cell(&self) -> &TracerCell {
+        &self.core.tracer_cell
+    }
+
+    /// The store's crash/restart control surface, for chaos runs.
+    pub fn supervisor(&self) -> Arc<dyn WorkerSupervisor> {
+        Arc::new(ShardedSupervisor {
+            core: Arc::clone(&self.core),
+        })
+    }
+
+    /// Events routed (sequenced) so far.
+    pub fn events_routed(&self) -> u64 {
+        self.core.global_seq.load(Ordering::SeqCst)
+    }
+
+    /// Sum of the live shards' queue lengths.
+    pub fn total_queue_len(&self) -> usize {
+        let txs = self.core.fabric.txs.read();
+        txs.iter()
+            .enumerate()
+            .filter(|(s, _)| self.core.fabric.alive[*s].load(Ordering::SeqCst))
+            .map(|(_, tx)| tx.len())
+            .sum()
+    }
+
+    /// Blocks until all live shard queues are empty and the applied-event
+    /// count is stable across two polls, or the timeout elapses.
+    pub fn quiesce(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut last_applied = u64::MAX;
+        loop {
+            let queue = self.total_queue_len();
+            let applied: u64 = (0..self.core.config.shards)
+                .map(|s| self.core.hub.counter(&format!("shard-{s}.events")).get())
+                .sum();
+            if queue == 0 && applied == last_applied {
+                return true;
+            }
+            last_applied = applied;
+            if Instant::now() > deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    /// Per-shard marker sightings so far: `(name, shard)` in processing
+    /// order.
+    pub fn shard_markers(&self) -> Vec<(String, usize)> {
+        self.core.shard_markers.lock().clone()
+    }
+
+    /// Stops all shards, joins them tolerantly, and merges their logs by
+    /// global sequence number into the committed graph — the same
+    /// reconstruction the serial store performs over commit timestamps.
+    pub fn shutdown(self) -> ShardedStats {
+        self.core.stopping.store(true, Ordering::SeqCst);
+        {
+            let txs = self.core.fabric.txs.read();
+            for tx in txs.iter() {
+                let _ = tx.send(ShardJob::Stop);
+            }
+        }
+        let handles: Vec<JoinHandle<ShardExit>> = {
+            let mut guard = self.core.handles.lock();
+            guard.drain(..).collect()
+        };
+        let mut per_shard_seqs: Vec<Vec<u64>> = vec![Vec::new(); self.core.config.shards];
+        let mut all: Vec<(u64, SharedGraphEvent)> = Vec::new();
+        for handle in handles {
+            match handle.join() {
+                Ok((shard_id, log)) => {
+                    // A restarted slot joins twice (dead thread first, with
+                    // an empty log); appending keeps the rebuilt order.
+                    per_shard_seqs[shard_id].extend(log.iter().map(|(seq, _)| *seq));
+                    all.extend(log);
+                }
+                Err(_) => self.core.counters.crashes.inc(),
+            }
+        }
+        all.sort_by_key(|(seq, _)| *seq);
+        let mut graph = EvolvingGraph::new();
+        let mut events = 0u64;
+        for (_, event) in &all {
+            let _ = graph.apply_with(event.event(), ApplyPolicy::Lenient);
+            events += 1;
+        }
+        ShardedStats {
+            store: StoreStats {
+                transactions: self.core.counters.tx.get(),
+                events,
+                graph,
+                crashes: self.core.counters.crashes.get(),
+                restarts: self.core.counters.restarts.get(),
+                events_lost: self.core.counters.events_lost.get(),
+                events_replayed: self.core.counters.events_replayed.get(),
+                markers: std::mem::take(&mut *self.core.cuts.lock()),
+                log: all,
+            },
+            per_shard_seqs,
+            shard_markers: std::mem::take(&mut *self.core.shard_markers.lock()),
+            marker_skips: self.core.counters.marker_skips.get(),
+        }
+    }
+}
+
+/// Final statistics of a sharded run: the merged [`StoreStats`] view plus
+/// the per-shard evidence the shard contract tests assert on.
+#[derive(Debug)]
+pub struct ShardedStats {
+    /// The merged view — same shape as the serial store's stats, with
+    /// sequence numbers in the timestamp slots.
+    pub store: StoreStats,
+    /// Apply-order sequence numbers per shard slot. With a single
+    /// connector and no faults each list is strictly increasing and
+    /// equals the input subsequence routed to that shard.
+    pub per_shard_seqs: Vec<Vec<u64>>,
+    /// Marker sightings `(name, shard)` in processing order — every
+    /// marker must appear exactly once per live shard.
+    pub shard_markers: Vec<(String, usize)>,
+    /// Markers that could not be delivered because a shard was dead.
+    pub marker_skips: u64,
+}
+
+impl ShardedClient {
+    /// Routes a transaction's events to their owner shards, stamping each
+    /// with the next global sequence number. Blocks while an owner
+    /// shard's queue is full (per-shard backpressure); events owed to a
+    /// dead shard are counted lost, exactly like the serial store.
+    pub fn submit(&self, transaction: Transaction) -> Result<(), Transaction> {
+        if self.core.stopping.load(Ordering::SeqCst) {
+            return Err(transaction);
+        }
+        // Holding the read lock across sequencing *and* delivery means a
+        // restart (write lock) can never observe a half-routed
+        // transaction, and the retained log never misses an in-flight
+        // event.
+        let txs = self.core.fabric.txs.read();
+        let shards = txs.len() as u64;
+        let supervised = self.core.config.supervised;
+        let mut slices: Vec<Vec<(u64, SharedGraphEvent)>> = vec![Vec::new(); txs.len()];
+        for event in transaction.events {
+            let seq = self.core.global_seq.fetch_add(1, Ordering::SeqCst);
+            if supervised {
+                self.core.retained.lock().push((seq, event.clone()));
+            }
+            let shard = shard_for(event.event(), shards) as usize;
+            slices[shard].push((seq, event));
+        }
+        for (shard, slice) in slices.into_iter().enumerate() {
+            if slice.is_empty() {
+                continue;
+            }
+            let n = slice.len() as u64;
+            if txs[shard].send(ShardJob::Batch(slice)).is_err() {
+                self.core.counters.events_lost.add(n);
+            } else {
+                self.core.counters.events.add(n);
+            }
+        }
+        self.core.counters.tx.inc();
+        Ok(())
+    }
+
+    /// Submits a watermark: records its cut (the router's sequence
+    /// counter right now) and broadcasts it to every shard. Dead shards
+    /// are skipped and counted (`store.marker_skips`) — a degradation
+    /// record, never a hang. Returns the number of shards reached.
+    pub fn marker(&self, name: &str) -> usize {
+        self.marker_with(name, None)
+    }
+
+    /// Like [`Self::marker`], but waits (up to `timeout`) until every
+    /// shard that received the marker has processed it — the marker
+    /// barrier. Returns the number of acknowledgements received.
+    pub fn marker_barrier(&self, name: &str, timeout: Duration) -> usize {
+        let (ack_tx, ack_rx) = bounded::<()>(self.core.config.shards);
+        let sent = self.marker_with(name, Some(ack_tx));
+        let deadline = Instant::now() + timeout;
+        let mut acked = 0usize;
+        while acked < sent {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() || ack_rx.recv_timeout(left).is_err() {
+                break;
+            }
+            acked += 1;
+        }
+        acked
+    }
+
+    fn marker_with(&self, name: &str, ack: Option<Sender<()>>) -> usize {
+        // The cut is recorded at the router, not inside any shard: it
+        // survives shard crashes and needs no cross-shard coordination.
+        let cut = self.core.global_seq.load(Ordering::SeqCst);
+        self.core.cuts.lock().push((name.to_owned(), cut));
+        let txs = self.core.fabric.txs.read();
+        let mut reached = 0usize;
+        for tx in txs.iter() {
+            if tx
+                .send(ShardJob::Marker(name.to_owned(), ack.clone()))
+                .is_ok()
+            {
+                reached += 1;
+            } else {
+                self.core.counters.marker_skips.inc();
+            }
+        }
+        reached
+    }
+
+    /// Reads a vertex's current state from its owner shard, ordered
+    /// behind every write this client routed to that shard before.
+    pub fn read_vertex(&self, id: VertexId) -> Result<Option<State>, crate::store::StoreClosed> {
+        let (reply_tx, reply_rx) = bounded(1);
+        {
+            let txs = self.core.fabric.txs.read();
+            let shard = shard_for_key(id.0, txs.len() as u64) as usize;
+            txs[shard]
+                .send(ShardJob::ReadVertex(id, reply_tx))
+                .map_err(|_| crate::store::StoreClosed)?;
+        }
+        reply_rx.recv().map_err(|_| crate::store::StoreClosed)
+    }
+
+    /// Reads an edge's current state from the shard owning its source.
+    pub fn read_edge(&self, id: EdgeId) -> Result<Option<State>, crate::store::StoreClosed> {
+        let (reply_tx, reply_rx) = bounded(1);
+        {
+            let txs = self.core.fabric.txs.read();
+            let shard = shard_for_key(id.src.0, txs.len() as u64) as usize;
+            txs[shard]
+                .send(ShardJob::ReadEdge(id, reply_tx))
+                .map_err(|_| crate::store::StoreClosed)?;
+        }
+        reply_rx.recv().map_err(|_| crate::store::StoreClosed)
+    }
+}
+
+/// The sharded store's [`WorkerSupervisor`]: kills and resurrects
+/// individual shard sequencers.
+pub struct ShardedSupervisor {
+    core: Arc<ShardedCore>,
+}
+
+impl WorkerSupervisor for ShardedSupervisor {
+    fn worker_count(&self) -> usize {
+        self.core.config.shards
+    }
+
+    fn inject_crash(&self, worker: usize) -> bool {
+        if worker >= self.core.config.shards
+            || self.core.stopping.load(Ordering::SeqCst)
+            || !self.core.fabric.alive[worker].load(Ordering::SeqCst)
+        {
+            return false;
+        }
+        let txs = self.core.fabric.txs.read();
+        txs[worker].send(ShardJob::Crash).is_ok()
+    }
+
+    /// Restarts a crashed shard (supervised mode only): with routing
+    /// write-locked out, spawns a fresh sequencer and replays its share
+    /// of the retained log — sorted by sequence number, so the rebuilt
+    /// shard log keeps the per-partition total order.
+    fn restart_worker(&self, worker: usize) -> bool {
+        let config = &self.core.config;
+        if worker >= config.shards || !config.supervised {
+            return false;
+        }
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while self.core.fabric.alive[worker].load(Ordering::SeqCst) {
+            if Instant::now() > deadline || self.core.stopping.load(Ordering::SeqCst) {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+
+        let mut txs = self.core.fabric.txs.write();
+        if self.core.stopping.load(Ordering::SeqCst) {
+            return false;
+        }
+        let (tx, rx) = bounded::<ShardJob>(config.queue_capacity);
+        // Spawn first so the bounded queue drains while replay fills it.
+        let handle = self.core.spawn_shard(worker, rx);
+        let shards = config.shards as u64;
+        let mut replay: Vec<(u64, SharedGraphEvent)> = {
+            let retained = self.core.retained.lock();
+            retained
+                .iter()
+                .filter(|(_, event)| shard_for(event.event(), shards) == worker as u64)
+                .cloned()
+                .collect()
+        };
+        replay.sort_by_key(|(seq, _)| *seq);
+        let replayed = replay.len() as u64;
+        for chunk in replay.chunks(64) {
+            let _ = tx.send(ShardJob::Batch(chunk.to_vec()));
+        }
+        txs[worker] = tx;
+        self.core.fabric.alive[worker].store(true, Ordering::SeqCst);
+        self.core.handles.lock().push(handle);
+        self.core.counters.restarts.inc();
+        self.core.counters.events_replayed.add(replayed);
+        true
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn shard_loop(
+    shard_id: usize,
+    rx: Receiver<ShardJob>,
+    seq_cost: Duration,
+    write_cost: Duration,
+    busy: Counter,
+    applied: Counter,
+    tracer_cell: TracerCell,
+    fabric: Arc<Fabric>,
+    crashes: Counter,
+    markers: Arc<Mutex<Vec<(String, usize)>>>,
+) -> ShardExit {
+    let mut log: ShardLog = Vec::new();
+    let mut trace_probe: Option<Probe> = None;
+    // Partition-local read state, applied leniently (the merged
+    // reconstruction at shutdown is authoritative).
+    let mut vertices: std::collections::HashMap<VertexId, State> = std::collections::HashMap::new();
+    let mut edges: std::collections::HashMap<EdgeId, State> = std::collections::HashMap::new();
+    while let Ok(job) = rx.recv() {
+        match job {
+            ShardJob::Batch(batch) => {
+                let start = Instant::now();
+                // The per-shard sequencer: ordering cost once per batch.
+                busy_work(seq_cost);
+                for (seq, event) in batch {
+                    busy_work(write_cost);
+                    match event.event() {
+                        GraphEvent::AddVertex { id, state }
+                        | GraphEvent::UpdateVertex { id, state } => {
+                            vertices.insert(*id, state.clone());
+                        }
+                        GraphEvent::RemoveVertex { id } => {
+                            vertices.remove(id);
+                            edges.retain(|e, _| e.src != *id && e.dst != *id);
+                        }
+                        GraphEvent::AddEdge { id, state }
+                        | GraphEvent::UpdateEdge { id, state } => {
+                            edges.insert(*id, state.clone());
+                        }
+                        GraphEvent::RemoveEdge { id } => {
+                            edges.remove(id);
+                        }
+                    }
+                    log.push((seq, event));
+                    applied.inc();
+                    if trace_probe.is_none() {
+                        trace_probe = tracer_cell.probe(Stage::EngineApply);
+                    }
+                    if let Some(probe) = &trace_probe {
+                        probe.stamp_seq(seq);
+                    }
+                }
+                busy.add(start.elapsed().as_micros() as u64);
+            }
+            ShardJob::Marker(name, ack) => {
+                markers.lock().push((name, shard_id));
+                if let Some(ack) = ack {
+                    let _ = ack.send(());
+                }
+            }
+            ShardJob::ReadVertex(id, reply) => {
+                let _ = reply.send(vertices.get(&id).cloned());
+            }
+            ShardJob::ReadEdge(id, reply) => {
+                let _ = reply.send(edges.get(&id).cloned());
+            }
+            ShardJob::Crash => {
+                fabric.alive[shard_id].store(false, Ordering::SeqCst);
+                crashes.inc();
+                return (shard_id, Vec::new());
+            }
+            ShardJob::Stop => break,
+        }
+    }
+    (shard_id, log)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_config(shards: usize) -> StoreConfig {
+        StoreConfig {
+            shards,
+            timestamper_cost_per_tx: Duration::ZERO,
+            shard_cost_per_event: Duration::ZERO,
+            queue_capacity: 64,
+            supervised: false,
+        }
+    }
+
+    fn vertex_events(n: u64) -> Vec<GraphEvent> {
+        (0..n)
+            .map(|i| GraphEvent::AddVertex {
+                id: VertexId(i),
+                state: State::empty(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sharded_store_commits_and_reconstructs() {
+        let hub = MetricsHub::new();
+        let store = ShardedStore::start(fast_config(4), &hub);
+        let client = store.client();
+        for event in vertex_events(100) {
+            client.submit(Transaction::single(event)).unwrap();
+        }
+        assert!(store.quiesce(Duration::from_secs(5)));
+        let stats = store.shutdown();
+        assert_eq!(stats.store.events, 100);
+        assert_eq!(stats.store.graph.vertex_count(), 100);
+        // Sequence numbers cover 0..100 exactly once after the merge.
+        let seqs: Vec<u64> = stats.store.log.iter().map(|(s, _)| *s).collect();
+        assert_eq!(seqs, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn per_shard_logs_preserve_submission_order() {
+        let hub = MetricsHub::new();
+        let store = ShardedStore::start(fast_config(3), &hub);
+        let client = store.client();
+        let events = vertex_events(200);
+        for event in &events {
+            client.submit(Transaction::single(event.clone())).unwrap();
+        }
+        assert!(store.quiesce(Duration::from_secs(5)));
+        let stats = store.shutdown();
+        for (shard, seqs) in stats.per_shard_seqs.iter().enumerate() {
+            assert!(
+                seqs.windows(2).all(|w| w[0] < w[1]),
+                "shard {shard} log out of order: {seqs:?}"
+            );
+            let expected: Vec<u64> = (0..200u64)
+                .filter(|i| shard_for(&events[*i as usize], 3) == shard as u64)
+                .collect();
+            assert_eq!(seqs, &expected, "shard {shard}");
+        }
+    }
+
+    #[test]
+    fn markers_cut_and_reach_every_shard() {
+        let hub = MetricsHub::new();
+        let store = ShardedStore::start(fast_config(4), &hub);
+        let client = store.client();
+        for event in vertex_events(10) {
+            client.submit(Transaction::single(event)).unwrap();
+        }
+        let acked = client.marker_barrier("mid", Duration::from_secs(5));
+        assert_eq!(acked, 4);
+        for event in vertex_events(10).into_iter().map(|e| match e {
+            GraphEvent::AddVertex { id, state } => GraphEvent::AddVertex {
+                id: VertexId(id.0 + 100),
+                state,
+            },
+            other => other,
+        }) {
+            client.submit(Transaction::single(event)).unwrap();
+        }
+        assert!(store.quiesce(Duration::from_secs(5)));
+        let stats = store.shutdown();
+        assert_eq!(stats.store.markers, vec![("mid".to_owned(), 10)]);
+        let sightings: Vec<usize> = stats
+            .shard_markers
+            .iter()
+            .filter(|(name, _)| name == "mid")
+            .map(|(_, shard)| *shard)
+            .collect();
+        let mut sorted = sightings.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3], "exactly once per shard");
+        assert_eq!(stats.marker_skips, 0);
+    }
+
+    #[test]
+    fn crash_and_supervised_restart_rebuild_the_shard() {
+        let hub = MetricsHub::new();
+        let store = ShardedStore::start(
+            StoreConfig {
+                supervised: true,
+                ..fast_config(2)
+            },
+            &hub,
+        );
+        let client = store.client();
+        let events = vertex_events(50);
+        for event in &events[..25] {
+            client.submit(Transaction::single(event.clone())).unwrap();
+        }
+        let supervisor = store.supervisor();
+        assert!(supervisor.inject_crash(0));
+        assert!(supervisor.restart_worker(0));
+        for event in &events[25..] {
+            client.submit(Transaction::single(event.clone())).unwrap();
+        }
+        assert!(store.quiesce(Duration::from_secs(5)));
+        let stats = store.shutdown();
+        // Replay rebuilt the crashed shard: the merged graph is complete.
+        assert_eq!(stats.store.graph.vertex_count(), 50);
+        assert_eq!(stats.store.crashes, 1);
+        assert_eq!(stats.store.restarts, 1);
+    }
+}

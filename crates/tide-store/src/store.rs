@@ -104,6 +104,11 @@ enum ClientMsg {
     /// timestamp discipline, simplified to a single global sequencer).
     ReadVertex(VertexId, Sender<Option<State>>),
     ReadEdge(EdgeId, Sender<Option<State>>),
+    /// A watermark: the timestamper records the current commit timestamp
+    /// as the marker's *cut* — every event sequenced before the marker
+    /// has a smaller timestamp, so the cut slices the merged log into
+    /// the marker window's consistent prefix.
+    Marker(String),
     Shutdown,
 }
 
@@ -157,6 +162,16 @@ impl StoreClient {
             .map_err(|_| StoreClosed)?;
         reply_rx.recv().map_err(|_| StoreClosed)
     }
+
+    /// Submits a watermark. The timestamper records the commit timestamp
+    /// current when the marker is sequenced as the marker's cut — the
+    /// boundary of that marker window in the merged commit log (see
+    /// [`StoreStats::markers`]).
+    pub fn marker(&self, name: &str) -> Result<(), StoreClosed> {
+        self.tx
+            .send(ClientMsg::Marker(name.to_owned()))
+            .map_err(|_| StoreClosed)
+    }
 }
 
 /// The store has shut down and can no longer serve reads.
@@ -189,6 +204,14 @@ pub struct StoreStats {
     pub events_lost: u64,
     /// Events re-enqueued from the retained log on restarts.
     pub events_replayed: u64,
+    /// Marker cuts, in sequencing order: `(marker name, commit timestamp
+    /// at the cut)`. Log entries with a smaller timestamp belong to the
+    /// window the marker closes.
+    pub markers: Vec<(String, u64)>,
+    /// The merged commit log the graph was reconstructed from, in
+    /// timestamp order. Slicing it at a marker cut reproduces that
+    /// window's graph state (the digest/differential path).
+    pub log: Vec<(u64, SharedGraphEvent)>,
 }
 
 enum ShardMsg {
@@ -280,12 +303,14 @@ pub struct TideStore {
     core: Arc<StoreCore>,
     events_counter: Counter,
     tx_counter: Counter,
+    /// Marker cuts recorded by the timestamper: `(name, commit ts)`.
+    marker_cuts: Arc<Mutex<Vec<(String, u64)>>>,
 }
 
 /// Burns CPU for the given duration (simulated component work). Spinning —
 /// not sleeping — so the busy time is real CPU time that a Level-0
 /// process sampler can observe.
-fn busy_work(cost: Duration) {
+pub(crate) fn busy_work(cost: Duration) {
     if cost.is_zero() {
         return;
     }
@@ -347,6 +372,8 @@ impl TideStore {
         let tx_counter_t = tx_counter.clone();
         let retained = config.supervised.then(|| Arc::clone(&core.retained));
         let events_lost = core.counters.events_lost.clone();
+        let marker_cuts: Arc<Mutex<Vec<(String, u64)>>> = Arc::new(Mutex::new(Vec::new()));
+        let marker_cuts_t = Arc::clone(&marker_cuts);
         let timestamper = std::thread::Builder::new()
             .name("tide-store-timestamper".into())
             .spawn(move || {
@@ -360,6 +387,7 @@ impl TideStore {
                     tx_counter_t,
                     events_counter_t,
                     events_lost,
+                    marker_cuts_t,
                 )
             })
             .expect("spawn timestamper");
@@ -370,6 +398,7 @@ impl TideStore {
             core,
             events_counter,
             tx_counter,
+            marker_cuts,
         }
     }
 
@@ -470,6 +499,8 @@ impl TideStore {
             restarts: self.core.counters.restarts.get(),
             events_lost: self.core.counters.events_lost.get(),
             events_replayed: self.core.counters.events_replayed.get(),
+            markers: std::mem::take(&mut *self.marker_cuts.lock()),
+            log: all,
         }
     }
 }
@@ -556,6 +587,7 @@ fn timestamper_loop(
     tx_counter: Counter,
     events_counter: Counter,
     events_lost: Counter,
+    marker_cuts: Arc<Mutex<Vec<(String, u64)>>>,
 ) -> u64 {
     let shards = {
         let txs = fabric.txs.read();
@@ -566,6 +598,13 @@ fn timestamper_loop(
     while let Ok(msg) = client_rx.recv() {
         let transaction = match msg {
             ClientMsg::Tx(tx) => tx,
+            ClientMsg::Marker(name) => {
+                // The cut: every event sequenced before this marker has a
+                // timestamp below `next_ts`. Markers are control traffic —
+                // they pay no ordering cost.
+                marker_cuts.lock().push((name, next_ts));
+                continue;
+            }
             ClientMsg::ReadVertex(id, reply) => {
                 // Reads pay the ordering cost like any transaction.
                 let start = Instant::now();
@@ -708,7 +747,12 @@ fn shard_loop(
 
 /// Routing: vertex events go to the owner of the vertex, edge events to
 /// the owner of the source vertex.
-fn shard_for(event: &GraphEvent, shards: u64) -> u64 {
+///
+/// Public because the routing function is part of the store's sharding
+/// *contract*: it must be a pure function of the entity id (the shard
+/// contract tests pin this), and the supervisor's replay and the sharded
+/// sequencer must agree with it exactly.
+pub fn shard_for(event: &GraphEvent, shards: u64) -> u64 {
     let key = match event {
         GraphEvent::AddVertex { id, .. }
         | GraphEvent::RemoveVertex { id }
@@ -721,7 +765,7 @@ fn shard_for(event: &GraphEvent, shards: u64) -> u64 {
 }
 
 /// Fibonacci hashing for an even spread of sequential ids.
-fn shard_for_key(key: u64, shards: u64) -> u64 {
+pub fn shard_for_key(key: u64, shards: u64) -> u64 {
     (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) % shards
 }
 

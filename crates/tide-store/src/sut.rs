@@ -1,83 +1,256 @@
 //! The [`SystemUnderTest`] adapter for the store — everything the harness
 //! needs to spawn, feed, observe, and stop a `tide-store` by name.
+//!
+//! Two registry entries share this adapter:
+//!
+//! * **`tide-store`** — the serial runtime ([`TideStore`]): one global
+//!   timestamper, the paper's Weaver-style bottleneck.
+//! * **`tide-store-sharded`** — the sharded runtime
+//!   ([`ShardedStore`]): an entity-affine router feeding N batched
+//!   per-shard sequencers, the scaling counter-move. Same options, same
+//!   report shape, same digest semantics — so the harness can A/B the two
+//!   by name alone (the serial-vs-sharded differential).
 
 use std::any::Any;
 use std::io;
+use std::time::Duration;
 
+use gt_graph::{ApplyPolicy, EvolvingGraph};
 use gt_metrics::MetricsHub;
 use gt_replayer::EventSink;
-use gt_sut::{EvaluationLevel, SutOptions, SutRegistry, SutReport, SystemUnderTest};
+use gt_sut::{
+    Adjacency, EvaluationLevel, StateDigest, SutOptions, SutRegistry, SutReport, SystemUnderTest,
+    WindowDigest,
+};
 use gt_trace::{Stage, Tracer};
 
 use crate::connector::BatchingConnector;
-use crate::store::{StoreConfig, TideStore};
+use crate::sharded::ShardedStore;
+use crate::store::{StoreConfig, StoreStats, TideStore};
 
-/// The registry name of this platform.
+/// The registry name of the serial runtime.
 pub const SUT_NAME: &str = "tide-store";
+
+/// The registry name of the sharded runtime.
+pub const SHARDED_SUT_NAME: &str = "tide-store-sharded";
+
+/// The running store behind the adapter: serial timestamper or sharded
+/// router, chosen at registry-start time.
+enum StoreRuntime {
+    Serial(TideStore),
+    Sharded(ShardedStore),
+}
 
 /// A running store behind the [`SystemUnderTest`] boundary.
 ///
-/// Recognized [`SutOptions`]:
+/// Recognized [`SutOptions`] (both runtimes):
 ///
 /// | option | meaning | default |
 /// |---|---|---|
-/// | `shards` | shard worker threads | 2 |
-/// | `timestamper_cost_us` | ordering cost per transaction, µs | 800 |
+/// | `shards` | shard worker threads (typed: 1..=[`gt_sut::MAX_SHARDS`]) | 2 serial / 4 sharded |
+/// | `timestamper_cost_us` | ordering cost per transaction (serial) or per shard batch (sharded), µs | 800 |
 /// | `shard_cost_us` | write cost per event, µs | 20 |
 /// | `queue_capacity` | bounded queue capacity | 256 |
 /// | `batch_size` | events per transaction in the connector | 10 |
 /// | `supervised` | retain commits so crashed shards can be restarted (`1` = on) | 0 |
+/// | `digest` | capture a [`StateDigest`] at shutdown (`1` = on) | 0 |
 pub struct TideStoreSut {
-    store: Option<TideStore>,
+    runtime: Option<StoreRuntime>,
     hub: MetricsHub,
     batch_size: usize,
+    digest: bool,
     tracer: Option<Tracer>,
 }
 
+/// Options shared by the serial and sharded start paths.
+struct ParsedOptions {
+    config: StoreConfig,
+    batch_size: usize,
+    digest: bool,
+}
+
+fn parse_options(options: &SutOptions, default_shards: usize) -> io::Result<ParsedOptions> {
+    let defaults = StoreConfig::default();
+    let config = StoreConfig {
+        // The typed getter: rejects 0, non-numeric, and absurd counts
+        // with a structured ShardsError instead of a stringly parse.
+        shards: options.get_shards()?.unwrap_or(default_shards),
+        timestamper_cost_per_tx: options
+            .get_duration_micros("timestamper_cost_us")?
+            .unwrap_or(defaults.timestamper_cost_per_tx),
+        shard_cost_per_event: options
+            .get_duration_micros("shard_cost_us")?
+            .unwrap_or(defaults.shard_cost_per_event),
+        queue_capacity: options
+            .get_usize("queue_capacity")?
+            .unwrap_or(defaults.queue_capacity),
+        supervised: options.get_u64("supervised")?.unwrap_or(0) != 0,
+    };
+    let batch_size = options.get_usize("batch_size")?.unwrap_or(10);
+    if batch_size == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "option `batch_size` must be positive",
+        ));
+    }
+    let digest = options.get_u64("digest")?.unwrap_or(0) != 0;
+    Ok(ParsedOptions {
+        config,
+        batch_size,
+        digest,
+    })
+}
+
 impl TideStoreSut {
-    /// Spawns a store from the option bag (unset options keep the
-    /// [`StoreConfig`] defaults).
+    /// Spawns a **serial** store from the option bag (unset options keep
+    /// the [`StoreConfig`] defaults).
     pub fn start(options: &SutOptions) -> io::Result<Self> {
-        let defaults = StoreConfig::default();
-        let config = StoreConfig {
-            shards: options.get_usize("shards")?.unwrap_or(defaults.shards),
-            timestamper_cost_per_tx: options
-                .get_duration_micros("timestamper_cost_us")?
-                .unwrap_or(defaults.timestamper_cost_per_tx),
-            shard_cost_per_event: options
-                .get_duration_micros("shard_cost_us")?
-                .unwrap_or(defaults.shard_cost_per_event),
-            queue_capacity: options
-                .get_usize("queue_capacity")?
-                .unwrap_or(defaults.queue_capacity),
-            supervised: options.get_u64("supervised")?.unwrap_or(0) != 0,
-        };
-        let batch_size = options.get_usize("batch_size")?.unwrap_or(10);
-        if batch_size == 0 {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidInput,
-                "option `batch_size` must be positive",
-            ));
-        }
+        let parsed = parse_options(options, StoreConfig::default().shards)?;
         let hub = MetricsHub::new();
-        let store = TideStore::start(config, &hub);
+        let store = TideStore::start(parsed.config, &hub);
         Ok(TideStoreSut {
-            store: Some(store),
+            runtime: Some(StoreRuntime::Serial(store)),
             hub,
-            batch_size,
+            batch_size: parsed.batch_size,
+            digest: parsed.digest,
             tracer: None,
         })
     }
 
-    /// The running store (live counters, extra client handles).
+    /// Spawns a **sharded** store: router + per-shard sequencers, shard
+    /// count from the `shards` option (default 4).
+    pub fn start_sharded(options: &SutOptions) -> io::Result<Self> {
+        let parsed = parse_options(options, 4)?;
+        let hub = MetricsHub::new();
+        let store = ShardedStore::start(parsed.config, &hub);
+        Ok(TideStoreSut {
+            runtime: Some(StoreRuntime::Sharded(store)),
+            hub,
+            batch_size: parsed.batch_size,
+            digest: parsed.digest,
+            tracer: None,
+        })
+    }
+
+    fn runtime(&self) -> &StoreRuntime {
+        self.runtime.as_ref().expect("store is running")
+    }
+
+    /// The running serial store (live counters, extra client handles).
+    ///
+    /// # Panics
+    /// If this adapter runs the sharded runtime.
     pub fn store(&self) -> &TideStore {
-        self.store.as_ref().expect("store is running")
+        match self.runtime() {
+            StoreRuntime::Serial(store) => store,
+            StoreRuntime::Sharded(_) => panic!("store(): sharded runtime"),
+        }
+    }
+
+    /// The running sharded store, when this adapter runs one.
+    pub fn sharded_store(&self) -> Option<&ShardedStore> {
+        match self.runtime() {
+            StoreRuntime::Serial(_) => None,
+            StoreRuntime::Sharded(store) => Some(store),
+        }
+    }
+}
+
+/// The out-adjacency of a reconstructed graph, weights captured as
+/// `f64::to_bits` so the digest comparison is bit-exact. Unweighted edges
+/// digest as weight 1.0.
+fn adjacency_of(graph: &EvolvingGraph) -> Adjacency {
+    graph
+        .vertices()
+        .map(|v| {
+            let out = graph
+                .out_edges(v)
+                .map(|(dst, state)| (dst.0, state.as_weight().unwrap_or(1.0).to_bits()))
+                .collect();
+            (v.0, out)
+        })
+        .collect()
+}
+
+/// Builds the digest from the merged commit log: one adjacency snapshot
+/// per marker cut (replaying the log prefix below the cut) plus the final
+/// graph. Marker cuts are nondecreasing (they were recorded in sequencing
+/// order), so the prefixes are built incrementally in one pass.
+fn digest_from_stats(stats: &StoreStats, extra_degradation: &[(&str, u64)]) -> StateDigest {
+    let mut windows = Vec::new();
+    let mut prefix = EvolvingGraph::new();
+    let mut applied = 0usize;
+    for (name, cut) in &stats.markers {
+        while applied < stats.log.len() && stats.log[applied].0 < *cut {
+            let _ = prefix.apply_with(stats.log[applied].1.event(), ApplyPolicy::Lenient);
+            applied += 1;
+        }
+        windows.push(WindowDigest {
+            marker: name.clone(),
+            adjacency: adjacency_of(&prefix),
+        });
+    }
+    let mut degradation: Vec<(String, u64)> = vec![
+        ("crashes".into(), stats.crashes),
+        ("restarts".into(), stats.restarts),
+        ("events_lost".into(), stats.events_lost),
+        ("events_replayed".into(), stats.events_replayed),
+    ];
+    for (name, value) in extra_degradation {
+        degradation.push(((*name).to_owned(), *value));
+    }
+    let mut digest = StateDigest {
+        final_adjacency: adjacency_of(&stats.graph),
+        windows,
+        degradation,
+    };
+    digest.canonicalize();
+    digest
+}
+
+fn report_from_stats(name: &str, stats: &StoreStats) -> SutReport {
+    SutReport::new(name)
+        .with("events", stats.events as f64)
+        .with("transactions", stats.transactions as f64)
+        .with("vertices", stats.graph.vertex_count() as f64)
+        .with("edges", stats.graph.edge_count() as f64)
+        .with("crashes", stats.crashes as f64)
+        .with("restarts", stats.restarts as f64)
+        .with("events_lost", stats.events_lost as f64)
+        .with("events_replayed", stats.events_replayed as f64)
+}
+
+impl TideStoreSut {
+    /// Shuts the runtime down and returns the report plus (in digest
+    /// mode) the state digest — shared by both shutdown entry points.
+    fn shutdown_inner(&mut self) -> (SutReport, Option<StateDigest>) {
+        let digest_on = self.digest;
+        match self.runtime.take().expect("store is running") {
+            StoreRuntime::Serial(store) => {
+                let stats = store.shutdown();
+                let digest = digest_on.then(|| digest_from_stats(&stats, &[]));
+                (report_from_stats(SUT_NAME, &stats), digest)
+            }
+            StoreRuntime::Sharded(store) => {
+                let stats = store.shutdown();
+                let digest = digest_on.then(|| {
+                    digest_from_stats(&stats.store, &[("marker_skips", stats.marker_skips)])
+                });
+                let report = report_from_stats(SHARDED_SUT_NAME, &stats.store)
+                    .with("shards", stats.per_shard_seqs.len() as f64)
+                    .with("marker_skips", stats.marker_skips as f64);
+                (report, digest)
+            }
+        }
     }
 }
 
 impl SystemUnderTest for TideStoreSut {
     fn name(&self) -> &str {
-        SUT_NAME
+        match self.runtime() {
+            StoreRuntime::Serial(_) => SUT_NAME,
+            StoreRuntime::Sharded(_) => SHARDED_SUT_NAME,
+        }
     }
 
     fn level(&self) -> EvaluationLevel {
@@ -86,11 +259,26 @@ impl SystemUnderTest for TideStoreSut {
     }
 
     fn connector(&mut self) -> io::Result<Box<dyn EventSink + Send>> {
-        let mut connector = BatchingConnector::new(self.store().client(), self.batch_size);
-        if let Some(tracer) = &self.tracer {
-            connector = connector.with_trace_probe(tracer.probe(Stage::ConnectorRecv));
+        let probe = self
+            .tracer
+            .as_ref()
+            .map(|tracer| tracer.probe(Stage::ConnectorRecv));
+        match self.runtime() {
+            StoreRuntime::Serial(store) => {
+                let mut connector = BatchingConnector::new(store.client(), self.batch_size);
+                if let Some(probe) = probe {
+                    connector = connector.with_trace_probe(probe);
+                }
+                Ok(Box::new(connector))
+            }
+            StoreRuntime::Sharded(store) => {
+                let mut connector = BatchingConnector::new(store.client(), self.batch_size);
+                if let Some(probe) = probe {
+                    connector = connector.with_trace_probe(probe);
+                }
+                Ok(Box::new(connector))
+            }
         }
-        Ok(Box::new(connector))
     }
 
     fn hub(&self) -> Option<&MetricsHub> {
@@ -98,7 +286,10 @@ impl SystemUnderTest for TideStoreSut {
     }
 
     fn install_tracer(&mut self, tracer: &Tracer) {
-        self.store().tracer_cell().install(tracer);
+        match self.runtime() {
+            StoreRuntime::Serial(store) => store.tracer_cell().install(tracer),
+            StoreRuntime::Sharded(store) => store.tracer_cell().install(tracer),
+        }
         self.tracer = Some(tracer.clone());
     }
 
@@ -109,23 +300,27 @@ impl SystemUnderTest for TideStoreSut {
     fn supervisor(&self) -> Option<std::sync::Arc<dyn gt_sut::WorkerSupervisor>> {
         // Shares the store's internals, not the store handle, so
         // shutdown's ownership-taking path keeps working.
-        Some(self.store().supervisor())
+        Some(match self.runtime() {
+            StoreRuntime::Serial(store) => store.supervisor(),
+            StoreRuntime::Sharded(store) => store.supervisor(),
+        })
     }
 
-    // Default quiesce: `TideStore::shutdown` drains every queue before
-    // joining its threads, so there is no separate drain phase.
+    fn quiesce(&mut self, timeout: Duration) -> bool {
+        match self.runtime() {
+            // Serial shutdown drains every queue before joining; no
+            // separate drain phase needed.
+            StoreRuntime::Serial(_) => true,
+            StoreRuntime::Sharded(store) => store.quiesce(timeout),
+        }
+    }
 
     fn shutdown(mut self: Box<Self>) -> SutReport {
-        let stats = self.store.take().expect("store is running").shutdown();
-        SutReport::new(SUT_NAME)
-            .with("events", stats.events as f64)
-            .with("transactions", stats.transactions as f64)
-            .with("vertices", stats.graph.vertex_count() as f64)
-            .with("edges", stats.graph.edge_count() as f64)
-            .with("crashes", stats.crashes as f64)
-            .with("restarts", stats.restarts as f64)
-            .with("events_lost", stats.events_lost as f64)
-            .with("events_replayed", stats.events_replayed as f64)
+        self.shutdown_inner().0
+    }
+
+    fn shutdown_digest(mut self: Box<Self>) -> (SutReport, Option<StateDigest>) {
+        self.shutdown_inner()
     }
 
     fn as_any(&mut self) -> &mut dyn Any {
@@ -137,10 +332,14 @@ impl SystemUnderTest for TideStoreSut {
     }
 }
 
-/// Registers this platform under [`SUT_NAME`].
+/// Registers the serial runtime under [`SUT_NAME`] and the sharded
+/// runtime under [`SHARDED_SUT_NAME`].
 pub fn register(registry: &mut SutRegistry) {
     registry.register(SUT_NAME, |options| {
         Ok(Box::new(TideStoreSut::start(options)?) as Box<dyn SystemUnderTest>)
+    });
+    registry.register(SHARDED_SUT_NAME, |options| {
+        Ok(Box::new(TideStoreSut::start_sharded(options)?) as Box<dyn SystemUnderTest>)
     });
 }
 
@@ -174,6 +373,35 @@ mod tests {
         let report = sut.shutdown();
         assert_eq!(report.get("events"), Some(42.0));
         assert_eq!(report.get("vertices"), Some(42.0));
+    }
+
+    #[test]
+    fn sharded_registry_run_commits_events() {
+        let mut registry = SutRegistry::new();
+        register(&mut registry);
+        let options = SutOptions::new()
+            .set("timestamper_cost_us", 0)
+            .set("shard_cost_us", 0)
+            .set("shards", 4)
+            .set("batch_size", 5);
+        let mut sut = registry.start(SHARDED_SUT_NAME, &options).unwrap();
+        assert_eq!(sut.name(), SHARDED_SUT_NAME);
+        let mut connector = sut.connector().unwrap();
+        for i in 0..42u64 {
+            connector
+                .send(&StreamEntry::graph(GraphEvent::AddVertex {
+                    id: VertexId(i),
+                    state: State::empty(),
+                }))
+                .unwrap();
+        }
+        connector.close().unwrap();
+        drop(connector);
+        assert!(sut.quiesce(Duration::from_secs(5)));
+        let report = sut.shutdown();
+        assert_eq!(report.get("events"), Some(42.0));
+        assert_eq!(report.get("vertices"), Some(42.0));
+        assert_eq!(report.get("shards"), Some(4.0));
     }
 
     #[test]
@@ -218,8 +446,113 @@ mod tests {
     }
 
     #[test]
+    fn sharded_tracer_stamps_every_apply() {
+        use gt_trace::TraceConfig;
+        use std::sync::Arc;
+
+        let options = SutOptions::new()
+            .set("timestamper_cost_us", 0)
+            .set("shard_cost_us", 0)
+            .set("shards", 3)
+            .set("batch_size", 5);
+        let sut = TideStoreSut::start_sharded(&options).unwrap();
+        let clock: Arc<dyn gt_metrics::Clock> = Arc::new(gt_metrics::WallClock::start());
+        let trace_hub = MetricsHub::new();
+        let tracer = Tracer::new(TraceConfig::default().sampling(1), clock, &trace_hub);
+        let mut boxed: Box<dyn SystemUnderTest> = Box::new(sut);
+        boxed.install_tracer(&tracer);
+        let mut connector = boxed.connector().unwrap();
+        for i in 0..40u64 {
+            connector
+                .send(&StreamEntry::graph(GraphEvent::AddVertex {
+                    id: VertexId(i),
+                    state: State::empty(),
+                }))
+                .unwrap();
+        }
+        connector.close().unwrap();
+        drop(connector);
+        boxed.quiesce(Duration::from_secs(5));
+        let report = boxed.shutdown();
+        assert_eq!(report.get("events"), Some(40.0));
+        let trace = tracer.stop();
+        let pairs = trace
+            .records
+            .iter()
+            .filter(|r| r.metric == "connector_to_apply_micros")
+            .count();
+        assert_eq!(pairs, 40, "matched {} of 40 events", pairs);
+    }
+
+    #[test]
+    fn digest_mode_snapshots_marker_windows() {
+        let run = |name: &str| -> StateDigest {
+            let mut registry = SutRegistry::new();
+            register(&mut registry);
+            let options = SutOptions::new()
+                .set("timestamper_cost_us", 0)
+                .set("shard_cost_us", 0)
+                .set("shards", if name == SHARDED_SUT_NAME { 4 } else { 2 })
+                .set("batch_size", 3)
+                .set("digest", 1);
+            let mut sut = registry.start(name, &options).unwrap();
+            let mut connector = sut.connector().unwrap();
+            for i in 0..20u64 {
+                connector
+                    .send(&StreamEntry::graph(GraphEvent::AddVertex {
+                        id: VertexId(i),
+                        state: State::empty(),
+                    }))
+                    .unwrap();
+                if i == 9 {
+                    connector.send(&StreamEntry::marker("mid")).unwrap();
+                }
+            }
+            for i in 1..20u64 {
+                connector
+                    .send(&StreamEntry::graph(GraphEvent::AddEdge {
+                        id: EdgeId::from((i - 1, i)),
+                        state: State::weight(i as f64),
+                    }))
+                    .unwrap();
+            }
+            connector.send(&StreamEntry::marker("end")).unwrap();
+            connector.close().unwrap();
+            drop(connector);
+            sut.quiesce(Duration::from_secs(5));
+            let (_, digest) = sut.shutdown_digest();
+            digest.expect("digest mode")
+        };
+        let serial = run(SUT_NAME);
+        let sharded = run(SHARDED_SUT_NAME);
+        assert_eq!(serial.windows.len(), 2);
+        assert_eq!(serial.windows[0].marker, "mid");
+        assert_eq!(serial.windows[0].adjacency.len(), 10);
+        assert_eq!(serial.windows[1].adjacency.len(), 20);
+        assert_eq!(serial.final_adjacency.len(), 20);
+        // The headline property: the sharded run's digest is bit-identical
+        // to the serial run's — same windows, same final adjacency.
+        assert_eq!(serial.diff(&sharded), None);
+    }
+
+    #[test]
     fn malformed_batch_size_rejected() {
         let options = SutOptions::new().set("batch_size", 0);
         assert!(TideStoreSut::start(&options).is_err());
+    }
+
+    #[test]
+    fn malformed_shards_rejected_by_typed_getter() {
+        for bad in ["0", "oops", "2000"] {
+            let options = SutOptions::new().set("shards", bad);
+            assert!(
+                TideStoreSut::start(&options).is_err(),
+                "shards={bad} accepted"
+            );
+            assert!(
+                TideStoreSut::start_sharded(&options).is_err(),
+                "sharded shards={bad} accepted"
+            );
+        }
     }
 }

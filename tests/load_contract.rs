@@ -182,6 +182,26 @@ fn markers_stay_totally_ordered_across_connections_on_tide_graph() {
     marker_order_holds_on("tide-graph", SutOptions::new().set("workers", 3));
 }
 
+// The sharded variants honour the same contract at shards=4: the marker
+// barrier broadcasts behind every connection's flushed events, so the
+// listener's total order survives both hash-partitioned fabrics.
+#[test]
+fn markers_stay_totally_ordered_across_connections_on_sharded_store() {
+    marker_order_holds_on(
+        "tide-store-sharded",
+        SutOptions::new()
+            .set("shards", 4)
+            .set("timestamper_cost_us", 0)
+            .set("shard_cost_us", 0)
+            .set("batch_size", 16),
+    );
+}
+
+#[test]
+fn markers_stay_totally_ordered_across_connections_on_sharded_graph() {
+    marker_order_holds_on("tide-graph-sharded", SutOptions::new().set("shards", 4));
+}
+
 // The acceptance demo, client-level: a 200 ms stall is *charged to the
 // SUT* by the open-loop client (offered unchanged, p999 sojourn spike)
 // and *erased* by the closed-loop client (offered collapses, sojourn

@@ -9,7 +9,11 @@
 //!   event is lost or duplicated end to end;
 //! * **tide-graph**: markers are observable *after* the events that
 //!   preceded them — each worker processes every marker exactly once, in
-//!   stream order, behind its FIFO mailbox.
+//!   stream order, behind its FIFO mailbox;
+//! * **tide-store-sharded**: the same flush/conservation contract holds
+//!   through the sharded frontend at `shards=4` — and additionally every
+//!   marker cut equals the number of events sequenced before it, and
+//!   every marker is broadcast to every shard exactly once.
 
 use std::time::Duration;
 
@@ -18,7 +22,7 @@ use graphtides::engine::TideGraphSut;
 use graphtides::prelude::*;
 use graphtides::replayer::EventSink;
 use graphtides::store::BatchingConnector;
-use graphtides::store::{StoreConfig, TideStore};
+use graphtides::store::{ShardedStore, StoreConfig, TideStore};
 use proptest::prelude::*;
 
 /// One random stream: `ops[i] < 2` becomes a marker, anything else a
@@ -99,6 +103,71 @@ proptest! {
         // End to end: nothing lost, nothing duplicated.
         prop_assert_eq!(stats.events, total_events);
         prop_assert_eq!(stats.graph.vertex_count() as u64, total_events);
+    }
+
+    #[test]
+    fn sharded_store_markers_flush_and_conserve_at_four_shards(
+        ops in proptest::collection::vec(0u8..10, 10..200),
+        chunk in 1usize..17,
+        batch_size in 1usize..8,
+    ) {
+        const SHARDS: usize = 4;
+        let (entries, events_before_marker, total_events) = build_stream(&ops);
+        let hub = MetricsHub::new();
+        let store = ShardedStore::start(
+            StoreConfig {
+                shards: SHARDS,
+                timestamper_cost_per_tx: Duration::ZERO,
+                shard_cost_per_event: Duration::ZERO,
+                queue_capacity: 64,
+                supervised: false,
+            },
+            &hub,
+        );
+        let mut connector = BatchingConnector::new(store.client(), batch_size);
+
+        let mut sent_events = 0u64;
+        let mut last_marker_events = 0u64;
+        for chunk_entries in entries.chunks(chunk) {
+            connector.send_batch(chunk_entries).unwrap();
+            for entry in chunk_entries {
+                match entry.as_ref() {
+                    StreamEntry::Graph(_) => sent_events += 1,
+                    StreamEntry::Marker(_) => last_marker_events = sent_events,
+                    StreamEntry::Control(_) => {}
+                }
+            }
+            prop_assert_eq!(
+                connector.submitted_events() + connector.pending_len() as u64,
+                sent_events
+            );
+            prop_assert!(connector.submitted_events() >= last_marker_events);
+        }
+        connector.close().unwrap();
+        prop_assert_eq!(connector.submitted_events(), total_events);
+
+        drop(connector);
+        prop_assert!(store.quiesce(Duration::from_secs(30)));
+        let stats = store.shutdown();
+        // Conservation across the sharded fabric: nothing lost, nothing
+        // duplicated, and the merged graph is complete.
+        prop_assert_eq!(stats.store.events, total_events);
+        prop_assert_eq!(stats.store.graph.vertex_count() as u64, total_events);
+        // Marker cuts: the flush-before-marker contract means the global
+        // sequence at each marker equals the events streamed before it.
+        let cuts: Vec<u64> = stats.store.markers.iter().map(|(_, cut)| *cut).collect();
+        prop_assert_eq!(cuts, events_before_marker.clone());
+        // Broadcast: every marker reached every shard exactly once.
+        prop_assert_eq!(stats.marker_skips, 0);
+        for i in 0..events_before_marker.len() {
+            let name = format!("m{i}");
+            let reached = stats
+                .shard_markers
+                .iter()
+                .filter(|(n, _)| *n == name)
+                .count();
+            prop_assert_eq!(reached, SHARDS, "marker {} reached {} shards", name, reached);
+        }
     }
 
     #[test]
