@@ -1,0 +1,91 @@
+//! The hybrid-adjacency ablation: `adjacency/hybrid-vs-map` replays the
+//! same skewed insert/lookup/remove workload against
+//! [`HybridAdjacency`] and a plain `BTreeMap` per-vertex adjacency. Most
+//! real vertices stay below the inline capacity, so the hybrid rows
+//! should match or beat the map rows — that is the acceptance check for
+//! adopting it across the engine and store partitions.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use gt_core::prelude::*;
+use gt_graph::HybridAdjacency;
+use std::collections::BTreeMap;
+use std::hint::black_box;
+
+const OPS: u64 = 10_000;
+
+/// A skewed op stream over per-vertex adjacency lists: ~90% of vertices
+/// keep degree <= 8 (inline territory) and a few hubs blow past it.
+fn sample_ops() -> Vec<(VertexId, VertexId, u8)> {
+    let mut x = 0xC0FF_EE11u64;
+    (0..OPS)
+        .map(|_| {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            // 16 hub sources get a fan-out of up to 256 targets; the
+            // remaining 1024 sources stay within the inline capacity.
+            let (src, dst) = if x % 10 < 2 {
+                (VertexId((x >> 13) % 16), VertexId((x >> 29) % 256))
+            } else {
+                (VertexId(16 + (x >> 13) % 1024), VertexId((x >> 29) % 8))
+            };
+            (src, dst, (x % 16) as u8)
+        })
+        .collect()
+}
+
+fn bench_hybrid_vs_map(c: &mut Criterion) {
+    let ops = sample_ops();
+    let mut group = c.benchmark_group("adjacency/hybrid-vs-map");
+    group.throughput(Throughput::Elements(OPS));
+    group.bench_function("hybrid", |b| {
+        b.iter_batched(
+            BTreeMap::<VertexId, HybridAdjacency<u64>>::new,
+            |mut adj| {
+                for &(src, dst, op) in &ops {
+                    let list = adj.entry(src).or_default();
+                    match op {
+                        0..=9 => {
+                            list.insert(dst, dst.0);
+                        }
+                        10..=13 => {
+                            black_box(list.get(dst));
+                        }
+                        _ => {
+                            list.remove(dst);
+                        }
+                    }
+                }
+                adj
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("map", |b| {
+        b.iter_batched(
+            BTreeMap::<VertexId, BTreeMap<VertexId, u64>>::new,
+            |mut adj| {
+                for &(src, dst, op) in &ops {
+                    let list = adj.entry(src).or_default();
+                    match op {
+                        0..=9 => {
+                            list.insert(dst, dst.0);
+                        }
+                        10..=13 => {
+                            black_box(list.get(&dst));
+                        }
+                        _ => {
+                            list.remove(&dst);
+                        }
+                    }
+                }
+                adj
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hybrid_vs_map);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! The §4.2 parse-path ablation behind the zero-allocation ingest
+//! refactor: `parse/borrowed-vs-owned` pits [`parse_line_ref`] (borrowed
+//! `StreamEntryRef`, no per-line heap traffic) against [`parse_line`]
+//! (owned `StreamEntry`, one `String` per stateful event). The borrowed
+//! row must win — it is the same validation logic minus the copies.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gt_core::format::{entry_to_line, parse_line, parse_line_ref};
+use gt_core::prelude::*;
+use std::hint::black_box;
+
+const N: u64 = 10_000;
+
+fn sample_lines() -> Vec<String> {
+    (0..N)
+        .map(|i| {
+            let entry = match i % 4 {
+                0 => StreamEntry::graph(GraphEvent::AddVertex {
+                    id: VertexId(i),
+                    state: State::new("name=v"),
+                }),
+                1 => StreamEntry::graph(GraphEvent::AddEdge {
+                    id: EdgeId::from((i, (i * 7) % N)),
+                    state: State::weight(1.5),
+                }),
+                2 => StreamEntry::graph(GraphEvent::UpdateEdge {
+                    id: EdgeId::from((i, (i * 7) % N)),
+                    state: State::weight(2.5),
+                }),
+                _ => StreamEntry::marker(format!("w-{i}")),
+            };
+            entry_to_line(&entry)
+        })
+        .collect()
+}
+
+fn bench_borrowed_vs_owned(c: &mut Criterion) {
+    let lines = sample_lines();
+    let mut group = c.benchmark_group("parse/borrowed-vs-owned");
+    group.throughput(Throughput::Elements(N));
+    group.bench_function("borrowed", |b| {
+        b.iter(|| {
+            let mut kept = 0usize;
+            for line in &lines {
+                if parse_line_ref(black_box(line)).unwrap().is_some() {
+                    kept += 1;
+                }
+            }
+            kept
+        })
+    });
+    group.bench_function("owned", |b| {
+        b.iter(|| {
+            let mut kept = 0usize;
+            for line in &lines {
+                if parse_line(black_box(line)).unwrap().is_some() {
+                    kept += 1;
+                }
+            }
+            kept
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_borrowed_vs_owned);
+criterion_main!(benches);

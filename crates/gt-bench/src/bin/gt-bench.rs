@@ -1,0 +1,224 @@
+//! `gt-bench` — the persistent perf-trajectory runner.
+//!
+//! ```text
+//! gt-bench trajectory [--smoke] [--check] [--out DIR]
+//! ```
+//!
+//! Measures the §4.2 parse path (borrowed vs owned) and the graph-event
+//! ingest path (hybrid-adjacency `EvolvingGraph` and the store's
+//! `PartitionState`) with a counting global allocator, then writes
+//! `BENCH_parse.json` and `BENCH_ingest.json` into `--out` (default: the
+//! current directory — run from the repo root so the files land next to
+//! the sources and get committed).
+//!
+//! * `--smoke` shrinks event counts and rounds for CI.
+//! * `--check` compares against the committed files first and exits
+//!   non-zero if any suite's median ns/event regressed by more than 15%
+//!   (allocation-counter growth only warns).
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use gt_bench::trajectory::{self, measure, BenchRecord, CountingAlloc};
+use gt_core::format::{entry_to_line, parse_line, parse_line_ref};
+use gt_core::prelude::*;
+use gt_graph::EvolvingGraph;
+use std::hint::black_box;
+use tide_store::PartitionState;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+struct Args {
+    smoke: bool,
+    check: bool,
+    out: PathBuf,
+}
+
+const USAGE: &str = "usage: gt-bench trajectory [--smoke] [--check] [--out DIR]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("trajectory") => {}
+        Some("--help") | Some("-h") | None => return Err(USAGE.into()),
+        Some(other) => return Err(format!("unknown subcommand `{other}`\n{USAGE}")),
+    }
+    let mut smoke = false;
+    let mut check = false;
+    let mut out = PathBuf::from(".");
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--check" => check = true,
+            "--out" => out = PathBuf::from(args.next().ok_or("--out needs a directory")?),
+            other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
+        }
+    }
+    Ok(Args { smoke, check, out })
+}
+
+/// A deterministic mixed stream: the same LCG-scrambled shape the
+/// differential tests replay, so parse and ingest measure realistic
+/// entry diversity (vertices, hub-forming edges, updates, removals).
+fn sample_events(n: u64) -> Vec<GraphEvent> {
+    let vertices = (n / 8).max(16);
+    let mut events: Vec<GraphEvent> = (0..vertices)
+        .map(|i| GraphEvent::AddVertex {
+            id: VertexId(i),
+            state: State::new("name=v"),
+        })
+        .collect();
+    let mut x = 0x9E37_79B9u64;
+    while (events.len() as u64) < n {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let src = VertexId((x >> 17) % vertices);
+        let dst = VertexId((x >> 41) % vertices);
+        let event = match x % 10 {
+            0..=5 => GraphEvent::AddEdge {
+                id: EdgeId::new(src, dst),
+                state: State::weight(((x >> 7) % 9 + 1) as f64),
+            },
+            6..=7 => GraphEvent::UpdateEdge {
+                id: EdgeId::new(src, dst),
+                state: State::weight(((x >> 9) % 9 + 1) as f64),
+            },
+            8 => GraphEvent::UpdateVertex {
+                id: src,
+                state: State::new("name=w"),
+            },
+            _ => GraphEvent::RemoveEdge {
+                id: EdgeId::new(src, dst),
+            },
+        };
+        events.push(event);
+    }
+    events
+}
+
+fn sample_lines(events: &[GraphEvent]) -> Vec<String> {
+    events
+        .iter()
+        .enumerate()
+        .map(|(i, e)| {
+            if i % 64 == 63 {
+                entry_to_line(&StreamEntry::marker(format!("w-{i}")))
+            } else {
+                entry_to_line(&StreamEntry::graph(e.clone()))
+            }
+        })
+        .collect()
+}
+
+fn parse_suites(lines: &[String], rounds: u32) -> Vec<BenchRecord> {
+    let n = lines.len() as u64;
+    vec![
+        measure("parse/borrowed", n, rounds, || {
+            let mut kept = 0usize;
+            for line in lines {
+                if parse_line_ref(black_box(line)).unwrap().is_some() {
+                    kept += 1;
+                }
+            }
+            black_box(kept);
+        }),
+        measure("parse/owned", n, rounds, || {
+            let mut kept = 0usize;
+            for line in lines {
+                if parse_line(black_box(line)).unwrap().is_some() {
+                    kept += 1;
+                }
+            }
+            black_box(kept);
+        }),
+    ]
+}
+
+fn ingest_suites(events: &[GraphEvent], rounds: u32) -> Vec<BenchRecord> {
+    let n = events.len() as u64;
+    vec![
+        measure("ingest/evolving-graph", n, rounds, || {
+            let mut graph = EvolvingGraph::new();
+            for event in events {
+                let _ = black_box(graph.apply(black_box(event)));
+            }
+            black_box(graph.vertex_count());
+        }),
+        measure("ingest/partition-state", n, rounds, || {
+            let mut state = PartitionState::new();
+            for event in events {
+                state.apply(black_box(event));
+            }
+            black_box(state.edge_count());
+        }),
+    ]
+}
+
+fn load_previous(path: &Path) -> Vec<BenchRecord> {
+    match std::fs::read_to_string(path) {
+        Ok(text) => trajectory::from_json(&text),
+        Err(_) => Vec::new(),
+    }
+}
+
+fn run(args: Args) -> Result<(), String> {
+    // Smoke mode keeps the full event count (per-event medians are only
+    // comparable at equal scale) and saves time on rounds instead.
+    let (events_n, rounds) = if args.smoke {
+        (100_000, 3)
+    } else {
+        (100_000, 9)
+    };
+    let events = sample_events(events_n);
+    let lines = sample_lines(&events);
+
+    let mut failed = false;
+    for (area, fresh) in [
+        ("parse", parse_suites(&lines, rounds)),
+        ("ingest", ingest_suites(&events, rounds)),
+    ] {
+        let path = args.out.join(format!("BENCH_{area}.json"));
+        println!("[{area}] ({} events x {rounds} rounds)", events_n);
+        let previous = load_previous(&path);
+        let delta = trajectory::compare(&previous, &fresh);
+        for (name, old, new) in &delta.regressions {
+            eprintln!(
+                "REGRESSION {name}: {old:.1} -> {new:.1} ns/event \
+                 (> {:.0}% threshold)",
+                trajectory::REGRESSION_THRESHOLD * 100.0
+            );
+        }
+        for (name, old, new) in &delta.alloc_warnings {
+            eprintln!("warning: {name} allocations grew: {old:.3} -> {new:.3} per event");
+        }
+        if args.check && !delta.regressions.is_empty() {
+            failed = true;
+        }
+        std::fs::write(&path, trajectory::to_json(area, &fresh))
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        println!("wrote {}", path.display());
+    }
+    if failed {
+        return Err("perf trajectory check failed (median regression > 15%)".into());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("gt-bench: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -20,6 +20,8 @@
 
 use std::time::Duration;
 
+pub mod trajectory;
+
 /// Scale factor for experiment durations, settable via the
 /// `GT_BENCH_SCALE` environment variable (default 1.0). Values below 1
 /// shorten runs proportionally — useful for CI smoke tests.

@@ -17,12 +17,18 @@
 //!
 //! Blank lines and lines starting with `#` are ignored, so streams can be
 //! annotated in place.
+//!
+//! Parsing comes in two flavors: [`parse_line_ref`] borrows payloads and
+//! marker names straight from the input line (allocation-free — the form
+//! the replayer's hot path uses), and [`parse_line`] wraps it to produce
+//! owned [`StreamEntry`] values for everything else.
 
 use std::fmt::Write as _;
 use std::time::Duration;
 
 use crate::error::ParseError;
 use crate::event::{ControlEvent, EventKind, GraphEvent, StreamEntry};
+use crate::ids::{EdgeId, VertexId};
 use crate::state::State;
 
 /// Command token for marker entries.
@@ -88,10 +94,128 @@ pub fn entry_to_line(entry: &StreamEntry) -> String {
     s
 }
 
-/// Parses one line of the stream format.
+/// A graph event whose state payload still borrows from the input line.
+///
+/// Mirror of [`GraphEvent`] produced by [`parse_line_ref`]: the shape and
+/// ids are fully parsed, but the user-defined state string is a `&str`
+/// slice of the line — nothing is allocated until the entry crosses an
+/// ownership boundary via [`GraphEventRef::to_event`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GraphEventRef<'a> {
+    /// `ADD_VERTEX` with a borrowed state payload.
+    AddVertex {
+        /// The new vertex.
+        id: VertexId,
+        /// Raw state payload (remainder of the line).
+        state: &'a str,
+    },
+    /// `REMOVE_VERTEX`.
+    RemoveVertex {
+        /// The removed vertex.
+        id: VertexId,
+    },
+    /// `UPDATE_VERTEX` with a borrowed state payload.
+    UpdateVertex {
+        /// The updated vertex.
+        id: VertexId,
+        /// Raw state payload.
+        state: &'a str,
+    },
+    /// `ADD_EDGE` with a borrowed state payload.
+    AddEdge {
+        /// The new edge.
+        id: EdgeId,
+        /// Raw state payload.
+        state: &'a str,
+    },
+    /// `REMOVE_EDGE`.
+    RemoveEdge {
+        /// The removed edge.
+        id: EdgeId,
+    },
+    /// `UPDATE_EDGE` with a borrowed state payload.
+    UpdateEdge {
+        /// The updated edge.
+        id: EdgeId,
+        /// Raw state payload.
+        state: &'a str,
+    },
+}
+
+impl GraphEventRef<'_> {
+    /// The event kind.
+    pub fn kind(&self) -> EventKind {
+        match self {
+            GraphEventRef::AddVertex { .. } => EventKind::AddVertex,
+            GraphEventRef::RemoveVertex { .. } => EventKind::RemoveVertex,
+            GraphEventRef::UpdateVertex { .. } => EventKind::UpdateVertex,
+            GraphEventRef::AddEdge { .. } => EventKind::AddEdge,
+            GraphEventRef::RemoveEdge { .. } => EventKind::RemoveEdge,
+            GraphEventRef::UpdateEdge { .. } => EventKind::UpdateEdge,
+        }
+    }
+
+    /// Converts into an owned [`GraphEvent`], allocating the state string.
+    pub fn to_event(&self) -> GraphEvent {
+        match *self {
+            GraphEventRef::AddVertex { id, state } => GraphEvent::AddVertex {
+                id,
+                state: State::new(state),
+            },
+            GraphEventRef::RemoveVertex { id } => GraphEvent::RemoveVertex { id },
+            GraphEventRef::UpdateVertex { id, state } => GraphEvent::UpdateVertex {
+                id,
+                state: State::new(state),
+            },
+            GraphEventRef::AddEdge { id, state } => GraphEvent::AddEdge {
+                id,
+                state: State::new(state),
+            },
+            GraphEventRef::RemoveEdge { id } => GraphEvent::RemoveEdge { id },
+            GraphEventRef::UpdateEdge { id, state } => GraphEvent::UpdateEdge {
+                id,
+                state: State::new(state),
+            },
+        }
+    }
+}
+
+/// A parsed stream entry that borrows its text payloads from the line.
+///
+/// This is the zero-allocation half of the parse path: [`parse_line_ref`]
+/// produces it without touching the heap; owned conversion happens once,
+/// at the channel boundary, via [`StreamEntryRef::to_entry`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamEntryRef<'a> {
+    /// A graph-changing event with borrowed payload.
+    Graph(GraphEventRef<'a>),
+    /// A marker; the name borrows from the line.
+    Marker(&'a str),
+    /// A replayer control event (fully parsed, nothing left to borrow).
+    Control(ControlEvent),
+}
+
+impl StreamEntryRef<'_> {
+    /// Converts into an owned [`StreamEntry`], allocating any payloads.
+    pub fn to_entry(&self) -> StreamEntry {
+        match self {
+            StreamEntryRef::Graph(event) => StreamEntry::Graph(event.to_event()),
+            StreamEntryRef::Marker(name) => StreamEntry::Marker((*name).to_owned()),
+            StreamEntryRef::Control(control) => StreamEntry::Control(control.clone()),
+        }
+    }
+
+    /// Whether this entry is a graph-changing event.
+    pub fn is_graph(&self) -> bool {
+        matches!(self, StreamEntryRef::Graph(_))
+    }
+}
+
+/// Parses one line of the stream format without allocating: payloads and
+/// marker names are borrowed slices of `line`.
 ///
 /// Returns `Ok(None)` for blank lines and `#` comments.
-pub fn parse_line(line: &str) -> Result<Option<StreamEntry>, ParseError> {
+pub fn parse_line_ref(line: &str) -> Result<Option<StreamEntryRef<'_>>, ParseError> {
     let trimmed = line.trim_start();
     if trimmed.is_empty() || trimmed.starts_with('#') {
         return Ok(None);
@@ -113,7 +237,7 @@ pub fn parse_line(line: &str) -> Result<Option<StreamEntry>, ParseError> {
             if entity.is_empty() {
                 return Err(ParseError::missing_field("marker name"));
             }
-            Ok(Some(StreamEntry::Marker(entity.to_owned())))
+            Ok(Some(StreamEntryRef::Marker(entity)))
         }
         SPEED_COMMAND => {
             let factor: f64 = payload
@@ -125,14 +249,16 @@ pub fn parse_line(line: &str) -> Result<Option<StreamEntry>, ParseError> {
                     "speed factor must be positive and finite, got `{payload}`"
                 )));
             }
-            Ok(Some(StreamEntry::Control(ControlEvent::SetSpeed(factor))))
+            Ok(Some(StreamEntryRef::Control(ControlEvent::SetSpeed(
+                factor,
+            ))))
         }
         PAUSE_COMMAND => {
             let millis: u64 = payload
                 .trim()
                 .parse()
                 .map_err(|_| ParseError::invalid_payload(format!("pause millis `{payload}`")))?;
-            Ok(Some(StreamEntry::Control(ControlEvent::Pause(
+            Ok(Some(StreamEntryRef::Control(ControlEvent::Pause(
                 Duration::from_millis(millis),
             ))))
         }
@@ -140,11 +266,20 @@ pub fn parse_line(line: &str) -> Result<Option<StreamEntry>, ParseError> {
     }
 }
 
-fn parse_graph_command(
+/// Parses one line of the stream format into an owned entry.
+///
+/// Thin wrapper over [`parse_line_ref`] that pays the payload allocations;
+/// hot paths that can hold on to the line should prefer the borrowed form.
+/// Returns `Ok(None)` for blank lines and `#` comments.
+pub fn parse_line(line: &str) -> Result<Option<StreamEntry>, ParseError> {
+    Ok(parse_line_ref(line)?.map(|entry| entry.to_entry()))
+}
+
+fn parse_graph_command<'a>(
     command: &str,
     entity: &str,
-    payload: &str,
-) -> Result<StreamEntry, ParseError> {
+    payload: &'a str,
+) -> Result<StreamEntryRef<'a>, ParseError> {
     let kind = EventKind::ALL
         .into_iter()
         .find(|k| k.command() == command)
@@ -152,32 +287,31 @@ fn parse_graph_command(
     if entity.is_empty() {
         return Err(ParseError::missing_field("entity"));
     }
-    let state = State::new(payload);
     let event = match kind {
-        EventKind::AddVertex => GraphEvent::AddVertex {
+        EventKind::AddVertex => GraphEventRef::AddVertex {
             id: entity.parse()?,
-            state,
+            state: payload,
         },
-        EventKind::RemoveVertex => GraphEvent::RemoveVertex {
-            id: entity.parse()?,
-        },
-        EventKind::UpdateVertex => GraphEvent::UpdateVertex {
-            id: entity.parse()?,
-            state,
-        },
-        EventKind::AddEdge => GraphEvent::AddEdge {
-            id: entity.parse()?,
-            state,
-        },
-        EventKind::RemoveEdge => GraphEvent::RemoveEdge {
+        EventKind::RemoveVertex => GraphEventRef::RemoveVertex {
             id: entity.parse()?,
         },
-        EventKind::UpdateEdge => GraphEvent::UpdateEdge {
+        EventKind::UpdateVertex => GraphEventRef::UpdateVertex {
             id: entity.parse()?,
-            state,
+            state: payload,
+        },
+        EventKind::AddEdge => GraphEventRef::AddEdge {
+            id: entity.parse()?,
+            state: payload,
+        },
+        EventKind::RemoveEdge => GraphEventRef::RemoveEdge {
+            id: entity.parse()?,
+        },
+        EventKind::UpdateEdge => GraphEventRef::UpdateEdge {
+            id: entity.parse()?,
+            state: payload,
         },
     };
-    Ok(StreamEntry::Graph(event))
+    Ok(StreamEntryRef::Graph(event))
 }
 
 #[cfg(test)]
@@ -280,6 +414,46 @@ mod tests {
         assert!(parse_line("SPEED,,-1").is_err());
         assert!(parse_line("PAUSE,,1.5").is_err());
         assert!(parse_line("MARKER,,").is_err());
+    }
+
+    #[test]
+    fn borrowed_parse_points_into_the_input_line() {
+        let line = "UPDATE_VERTEX,1,  spaced, payload  ";
+        let entry = parse_line_ref(line).unwrap().unwrap();
+        let StreamEntryRef::Graph(GraphEventRef::UpdateVertex { id, state }) = entry else {
+            panic!("unexpected {entry:?}");
+        };
+        assert_eq!(id, VertexId(1));
+        assert_eq!(state, "  spaced, payload  ");
+        // The payload is a slice of `line`, not a copy.
+        let line_range = line.as_bytes().as_ptr_range();
+        let state_range = state.as_bytes().as_ptr_range();
+        assert!(line_range.start <= state_range.start && state_range.end <= line_range.end);
+
+        let marker = parse_line_ref("MARKER, window-3 ,ignored")
+            .unwrap()
+            .unwrap();
+        assert_eq!(marker, StreamEntryRef::Marker("window-3"));
+    }
+
+    #[test]
+    fn borrowed_and_owned_parses_agree() {
+        for line in [
+            "ADD_VERTEX,5,hi",
+            "REMOVE_VERTEX,5,",
+            "ADD_EDGE,1-2,w=2.5",
+            "REMOVE_EDGE,1-2,",
+            "UPDATE_EDGE,1-2,w=3",
+            "MARKER,m1,",
+            "SPEED,,2",
+            "PAUSE,,100",
+            "# comment",
+            "",
+        ] {
+            let owned = parse_line(line).unwrap();
+            let via_ref = parse_line_ref(line).unwrap().map(|r| r.to_entry());
+            assert_eq!(owned, via_ref, "line was `{line}`");
+        }
     }
 
     #[test]

@@ -37,13 +37,15 @@ pub mod error;
 pub mod event;
 pub mod format;
 pub mod ids;
+pub mod intern;
 pub mod state;
 pub mod stream;
 
 pub use error::{CoreError, ParseError};
 pub use event::{ControlEvent, EventKind, GraphEvent, SharedEntry, SharedGraphEvent, StreamEntry};
-pub use format::{parse_line, write_line};
+pub use format::{parse_line, parse_line_ref, write_line, GraphEventRef, StreamEntryRef};
 pub use ids::{EdgeId, VertexId};
+pub use intern::Interner;
 pub use state::State;
 pub use stream::{GraphStream, StreamReader, StreamStats, StreamWriter};
 
@@ -53,6 +55,7 @@ pub mod prelude {
     pub use crate::event::{
         ControlEvent, EventKind, GraphEvent, SharedEntry, SharedGraphEvent, StreamEntry,
     };
+    pub use crate::format::{parse_line_ref, GraphEventRef, StreamEntryRef};
     pub use crate::ids::{EdgeId, VertexId};
     pub use crate::state::State;
     pub use crate::stream::{GraphStream, StreamReader, StreamStats, StreamWriter};

@@ -11,7 +11,7 @@
 //! `target/tmp/golden-mismatch/` so CI can upload them as an artifact for
 //! diffing against the fixture.
 
-use gt_core::format::{entry_to_line, parse_line};
+use gt_core::format::{entry_to_line, parse_line, parse_line_ref};
 use gt_core::prelude::*;
 
 const GOLDEN: &str = include_str!("fixtures/golden_stream.csv");
@@ -110,6 +110,34 @@ fn payload_edge_cases_survive_the_roundtrip() {
     assert!(entries
         .iter()
         .any(|e| *e == StreamEntry::pause(std::time::Duration::from_millis(20_000))));
+}
+
+#[test]
+fn borrowed_parse_reserializes_byte_for_byte() {
+    // The zero-allocation path must be byte-for-byte equivalent to the
+    // owned one: parse each golden line borrowed, convert at the channel
+    // boundary, re-serialize, compare against the fixture.
+    let mut reserialized = String::with_capacity(GOLDEN.len());
+    for line in GOLDEN.lines() {
+        let entry = parse_line_ref(line)
+            .unwrap_or_else(|e| panic!("golden line `{line}` must parse borrowed: {e}"))
+            .unwrap_or_else(|| panic!("golden fixture has no blank/comment lines, got `{line}`"))
+            .to_entry();
+        assert_eq!(
+            Some(&entry),
+            parse_line(line).unwrap().as_ref(),
+            "borrowed and owned parses disagree on `{line}`"
+        );
+        reserialized.push_str(&entry_to_line(&entry));
+        reserialized.push('\n');
+    }
+    if reserialized != GOLDEN {
+        let path = dump_mismatch("golden_stream.borrowed.actual.csv", &reserialized);
+        panic!(
+            "borrowed-parse re-serialization differs from fixture; actual written to {}",
+            path.display()
+        );
+    }
 }
 
 #[test]

@@ -1,25 +1,28 @@
 //! The evolving property graph.
 //!
-//! Storage is ordered (`BTreeMap`-based) so that iteration order — and with
-//! it every downstream computation and simulated experiment — is fully
-//! deterministic for a given event sequence. At the scales the framework
-//! targets (10⁴–10⁶ entities) the logarithmic overhead is irrelevant next to
-//! the streaming costs it feeds.
+//! Storage is ordered so that iteration order — and with it every
+//! downstream computation and simulated experiment — is fully
+//! deterministic for a given event sequence. The vertex index is a
+//! `BTreeMap`; per-vertex adjacency is a degree-adaptive
+//! [`HybridAdjacency`] (inline sorted array for the small-degree common
+//! case, map for hubs) that preserves the same ascending iteration order
+//! in both representations.
 
 use std::collections::{BTreeMap, BTreeSet};
 
 use gt_core::prelude::*;
 
 use crate::apply::{Applied, ApplyError, ApplyPolicy};
+use crate::hybrid::HybridAdjacency;
 
 #[derive(Debug, Clone, PartialEq, Default)]
 struct VertexData {
     state: State,
     /// Outgoing adjacency with per-edge state.
-    out: BTreeMap<VertexId, State>,
+    out: HybridAdjacency<State>,
     /// Incoming adjacency (reverse index for O(deg) vertex removal and
     /// in-degree queries).
-    inc: BTreeSet<VertexId>,
+    inc: HybridAdjacency<()>,
 }
 
 /// A directed, stateful graph that evolves by applying stream events.
@@ -70,7 +73,7 @@ impl EvolvingGraph {
     pub fn has_edge(&self, id: EdgeId) -> bool {
         self.vertices
             .get(&id.src)
-            .is_some_and(|v| v.out.contains_key(&id.dst))
+            .is_some_and(|v| v.out.contains(id.dst))
     }
 
     /// The state of a vertex, if it exists.
@@ -80,7 +83,7 @@ impl EvolvingGraph {
 
     /// The state of an edge, if it exists.
     pub fn edge_state(&self, id: EdgeId) -> Option<&State> {
-        self.vertices.get(&id.src).and_then(|v| v.out.get(&id.dst))
+        self.vertices.get(&id.src).and_then(|v| v.out.get(id.dst))
     }
 
     /// Out-degree of a vertex (`None` if it does not exist).
@@ -114,7 +117,7 @@ impl EvolvingGraph {
         self.vertices.iter().flat_map(|(src, v)| {
             v.out
                 .iter()
-                .map(move |(dst, s)| (EdgeId::new(*src, *dst), s))
+                .map(move |(dst, s)| (EdgeId::new(*src, dst), s))
         })
     }
 
@@ -123,7 +126,7 @@ impl EvolvingGraph {
         self.vertices
             .get(&id)
             .into_iter()
-            .flat_map(|v| v.out.keys().copied())
+            .flat_map(|v| v.out.keys())
     }
 
     /// Out-neighbors with edge state.
@@ -131,7 +134,7 @@ impl EvolvingGraph {
         self.vertices
             .get(&id)
             .into_iter()
-            .flat_map(|v| v.out.iter().map(|(dst, s)| (*dst, s)))
+            .flat_map(|v| v.out.iter())
     }
 
     /// In-neighbors of a vertex in ascending order (empty if missing).
@@ -139,7 +142,7 @@ impl EvolvingGraph {
         self.vertices
             .get(&id)
             .into_iter()
-            .flat_map(|v| v.inc.iter().copied())
+            .flat_map(|v| v.inc.keys())
     }
 
     /// All neighbors, ignoring direction, deduplicated, ascending.
@@ -147,8 +150,8 @@ impl EvolvingGraph {
         let Some(v) = self.vertices.get(&id) else {
             return Vec::new();
         };
-        let mut all: BTreeSet<VertexId> = v.out.keys().copied().collect();
-        all.extend(v.inc.iter().copied());
+        let mut all: BTreeSet<VertexId> = v.out.keys().collect();
+        all.extend(v.inc.keys());
         all.into_iter().collect()
     }
 
@@ -238,7 +241,7 @@ impl EvolvingGraph {
                         .get_mut(&id.dst)
                         .expect("dst checked above")
                         .inc
-                        .insert(id.src);
+                        .insert(id.src, ());
                     self.edge_count += 1;
                     Applied::mutated()
                 }
@@ -255,12 +258,12 @@ impl EvolvingGraph {
                         .get_mut(&id.src)
                         .expect("edge exists")
                         .out
-                        .remove(&id.dst);
+                        .remove(id.dst);
                     self.vertices
                         .get_mut(&id.dst)
                         .expect("edge exists")
                         .inc
-                        .remove(&id.src);
+                        .remove(id.src);
                     self.edge_count -= 1;
                     Applied::mutated()
                 }
@@ -279,7 +282,7 @@ impl EvolvingGraph {
                         .get_mut(&id.src)
                         .expect("edge exists")
                         .out
-                        .get_mut(&id.dst)
+                        .get_mut(id.dst)
                         .expect("edge exists") = state.clone();
                     Applied::mutated()
                 }
@@ -295,14 +298,14 @@ impl EvolvingGraph {
         let data = self.vertices.remove(&id).expect("caller checked existence");
         let mut removed = 0;
         for dst in data.out.keys() {
-            if let Some(v) = self.vertices.get_mut(dst) {
-                v.inc.remove(&id);
+            if let Some(v) = self.vertices.get_mut(&dst) {
+                v.inc.remove(id);
                 removed += 1;
             }
         }
-        for src in &data.inc {
-            if let Some(v) = self.vertices.get_mut(src) {
-                v.out.remove(&id);
+        for src in data.inc.keys() {
+            if let Some(v) = self.vertices.get_mut(&src) {
+                v.out.remove(id);
                 removed += 1;
             }
         }
@@ -324,18 +327,18 @@ impl EvolvingGraph {
         for (src, v) in &self.vertices {
             for dst in v.out.keys() {
                 forward += 1;
-                let Some(d) = self.vertices.get(dst) else {
+                let Some(d) = self.vertices.get(&dst) else {
                     return Err(format!("edge {src}-{dst} points at missing vertex"));
                 };
-                if !d.inc.contains(src) {
+                if !d.inc.contains(*src) {
                     return Err(format!("edge {src}-{dst} missing from reverse index"));
                 }
             }
-            for src2 in &v.inc {
-                let Some(s) = self.vertices.get(src2) else {
+            for src2 in v.inc.keys() {
+                let Some(s) = self.vertices.get(&src2) else {
                     return Err(format!("reverse edge {src2}->{src} from missing vertex"));
                 };
-                if !s.out.contains_key(src) {
+                if !s.out.contains(*src) {
                     return Err(format!("reverse edge {src2}->{src} has no forward edge"));
                 }
             }

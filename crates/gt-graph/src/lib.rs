@@ -6,6 +6,7 @@
 //! GraphTides system model, plus:
 //!
 //! * strict/lenient application of graph stream events ([`apply`]),
+//! * degree-adaptive per-vertex adjacency storage ([`hybrid`]),
 //! * a compact read-only snapshot in CSR form for analytics ([`csr`]),
 //! * classic bootstrap-graph builders — Barabási–Albert, Erdős–Rényi, and
 //!   deterministic fixtures ([`builders`]),
@@ -35,11 +36,13 @@ pub mod apply;
 pub mod builders;
 pub mod csr;
 pub mod graph;
+pub mod hybrid;
 pub mod properties;
 pub mod snapshots;
 
 pub use apply::{Applied, ApplyError, ApplyPolicy};
 pub use csr::CsrSnapshot;
 pub use graph::EvolvingGraph;
+pub use hybrid::HybridAdjacency;
 pub use properties::{DegreeDistribution, GraphProperties};
 pub use snapshots::{Epoch, EpochDiff, SnapshotStore};

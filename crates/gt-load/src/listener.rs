@@ -320,11 +320,19 @@ fn read_connection(
     totals: &Totals,
 ) -> io::Result<()> {
     sink.open()?;
-    let reader = BufReader::new(stream);
+    let mut reader = BufReader::new(stream);
     let mut batch: Vec<SharedEntry> = Vec::with_capacity(READER_BATCH);
-    for line in reader.lines() {
-        let line = line?;
-        let entry = match parse_line(&line) {
+    // One reused line buffer per connection instead of `BufRead::lines`'s
+    // fresh `String` per line — under `--clients M` the fan-in side would
+    // otherwise allocate per event per connection.
+    let mut line = String::with_capacity(128);
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        let trimmed = line.trim_end_matches(['\n', '\r']);
+        let entry = match parse_line(trimmed) {
             Ok(Some(entry)) => entry,
             Ok(None) => continue,
             Err(_) => {

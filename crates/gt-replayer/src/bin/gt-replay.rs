@@ -28,10 +28,11 @@ struct Args {
     honor_pauses: bool,
     buffer: usize,
     max_reconnects: u32,
+    mmap: bool,
 }
 
 const USAGE: &str = "usage: gt-replay <stream.csv> [--rate EVENTS_PER_S] [--tcp HOST:PORT] \
-                     [--no-pauses] [--buffer ENTRIES] [--max-reconnects N]";
+                     [--no-pauses] [--buffer ENTRIES] [--max-reconnects N] [--mmap]";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = std::env::args().skip(1);
@@ -41,6 +42,7 @@ fn parse_args() -> Result<Args, String> {
     let mut honor_pauses = true;
     let mut buffer = 64 * 1024;
     let mut max_reconnects = 8u32;
+    let mut mmap = false;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--rate" => {
@@ -55,6 +57,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--tcp" => tcp = Some(args.next().ok_or("--tcp needs HOST:PORT")?),
             "--no-pauses" => honor_pauses = false,
+            "--mmap" => mmap = true,
             "--buffer" => {
                 buffer = args
                     .next()
@@ -83,6 +86,7 @@ fn parse_args() -> Result<Args, String> {
         honor_pauses,
         buffer,
         max_reconnects,
+        mmap,
     })
 }
 
@@ -141,6 +145,7 @@ fn run(args: Args) -> Result<(), String> {
             ..Default::default()
         },
         buffer: args.buffer,
+        mmap: args.mmap,
     });
 
     let report = match &args.tcp {

@@ -18,6 +18,8 @@
 //!   reports achieved ingress rates (§4.3 "Streaming Metrics").
 //! * [`reader`] — the decoupled file-reader thread feeding the replayer
 //!   through a bounded channel.
+//! * [`mmap`] — the memory-mapped twin of the reader thread: borrowed
+//!   parsing straight out of the page cache, for multi-GB replays.
 //! * [`session`] — the composed file→parse→pace→sink pipeline with
 //!   per-stage instrumentation.
 //! * [`reconnect`] — the fault-tolerant TCP connector (capped exponential
@@ -25,6 +27,7 @@
 //! * [`errors`] — the typed pipeline error.
 
 pub mod errors;
+pub mod mmap;
 pub mod pacing;
 pub mod reader;
 pub mod reconnect;
@@ -34,6 +37,7 @@ pub mod sink;
 pub mod source;
 
 pub use errors::ReplayError;
+pub use mmap::{spawn_mmap_reader, MmapFile};
 pub use pacing::{Pacer, PacerCore, Schedule};
 pub use reader::spawn_file_reader;
 pub use reconnect::{ReconnectPolicy, ReconnectingTcpSink};

@@ -46,6 +46,11 @@ pub struct ReplaySessionConfig {
     /// pipeline's only buffering — it bounds both memory use and how far
     /// the reader can run ahead.
     pub buffer: usize,
+    /// Read the stream file through a memory mapping
+    /// ([`crate::mmap::spawn_mmap_reader`]) instead of the buffered
+    /// reader: borrowed parsing straight out of the page cache, the
+    /// choice for multi-GB replays. Off by default.
+    pub mmap: bool,
 }
 
 impl Default for ReplaySessionConfig {
@@ -53,6 +58,7 @@ impl Default for ReplaySessionConfig {
         ReplaySessionConfig {
             replayer: ReplayerConfig::default(),
             buffer: DEFAULT_BUFFER,
+            mmap: false,
         }
     }
 }
@@ -147,7 +153,11 @@ impl ReplaySession {
         path: impl AsRef<Path>,
         sink: &mut S,
     ) -> Result<SessionReport, ReplayError> {
-        let (rx, reader_handle) = spawn_file_reader(path.as_ref(), self.config.buffer);
+        let (rx, reader_handle) = if self.config.mmap {
+            crate::mmap::spawn_mmap_reader(path.as_ref(), self.config.buffer)
+        } else {
+            spawn_file_reader(path.as_ref(), self.config.buffer)
+        };
 
         let max_queue_depth = Arc::new(AtomicI64::new(0));
         let entries = InstrumentedRx {
@@ -320,6 +330,7 @@ mod tests {
                 ..Default::default()
             },
             buffer,
+            mmap: false,
         }
     }
 

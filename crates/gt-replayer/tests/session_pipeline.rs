@@ -33,6 +33,7 @@ fn config(rate: f64, buffer: usize) -> ReplaySessionConfig {
             ..Default::default()
         },
         buffer,
+        mmap: false,
     }
 }
 

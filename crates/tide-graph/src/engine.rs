@@ -123,8 +123,10 @@ enum Msg<M> {
     /// A watermark: queued behind everything already in the mailbox, so
     /// its processing time measures the ingest-to-process latency of the
     /// events streamed before it (§4.5's watermark pattern). The optional
-    /// channel acknowledges processing (the marker barrier).
-    Marker(String, Option<Sender<()>>),
+    /// channel acknowledges processing (the marker barrier). The name is
+    /// interned: the per-worker broadcast bumps a refcount instead of
+    /// cloning a `String` per mailbox.
+    Marker(Arc<str>, Option<Sender<()>>),
     /// A simulated worker kill: the worker discards its partition state
     /// and exits immediately, as if the process died. Queued like any
     /// message, so the crash lands at a deterministic position in the
@@ -139,14 +141,14 @@ enum Msg<M> {
 type ResultBoard = Arc<Mutex<BTreeMap<VertexId, f64>>>;
 
 /// Processed watermarks: `(marker name, worker id, micros since engine
-/// start)`.
-type MarkerLog = Arc<Mutex<Vec<(String, usize, u64)>>>;
+/// start)`. Names stay interned in the log; the public accessor converts.
+type MarkerLog = Arc<Mutex<Vec<(Arc<str>, usize, u64)>>>;
 
 /// Per-worker topology snapshots taken at marker processing time (digest
 /// mode): `(marker name, partition structure)`. Workers own disjoint
 /// vertices, so entries for one marker union into the engine's topology
 /// at that marker's consistent cut.
-type SnapshotLog = Arc<Mutex<Vec<(String, Adjacency)>>>;
+type SnapshotLog = Arc<Mutex<Vec<(Arc<str>, Adjacency)>>>;
 
 /// The mailbox fabric shared by the engine handle, the workers, and the
 /// supervisor: the current sender of every worker slot (swapped on
@@ -442,10 +444,13 @@ impl<P: Partition> Engine<P> {
     }
 
     fn ingest_marker_with(&self, name: &str, ack: Option<Sender<()>>) -> usize {
+        // Intern once; the fan-out below clones a refcount per worker
+        // instead of allocating a String per mailbox.
+        let name = gt_core::intern::intern(name);
         let senders = self.core.mailboxes.senders.read();
         let mut reached = 0usize;
         for tx in senders.iter() {
-            if tx.send(Msg::Marker(name.to_owned(), ack.clone())).is_ok() {
+            if tx.send(Msg::Marker(Arc::clone(&name), ack.clone())).is_ok() {
                 reached += 1;
             }
         }
@@ -455,7 +460,12 @@ impl<P: Partition> Engine<P> {
     /// Processed watermarks so far: `(name, worker, micros since engine
     /// start)`.
     pub fn marker_log(&self) -> Vec<(String, usize, u64)> {
-        self.core.markers.lock().clone()
+        self.core
+            .markers
+            .lock()
+            .iter()
+            .map(|(name, worker, t)| (name.to_string(), *worker, *t))
+            .collect()
     }
 
     /// Sum of the *live* workers' mailbox lengths (live backlog). Dead
@@ -553,10 +563,10 @@ impl<P: Partition> Engine<P> {
             // marker are disjoint, so concatenation is the union.
             let mut windows: Vec<WindowDigest> = Vec::new();
             for (name, adjacency) in self.core.snapshots.lock().drain(..) {
-                match windows.iter_mut().find(|w| w.marker == name) {
+                match windows.iter_mut().find(|w| w.marker.as_str() == &*name) {
                     Some(window) => window.adjacency.extend(adjacency),
                     None => windows.push(WindowDigest {
-                        marker: name,
+                        marker: name.to_string(),
                         adjacency,
                     }),
                 }

@@ -25,6 +25,7 @@
 use std::collections::HashMap;
 
 use gt_core::prelude::*;
+use gt_graph::HybridAdjacency;
 
 /// Per-vertex rank state plus local out-adjacency at the owning worker.
 #[derive(Debug, Clone, Default)]
@@ -33,8 +34,9 @@ pub struct VertexState {
     pub p: f64,
     /// Unpropagated residual mass.
     pub res: f64,
-    /// Out-neighbors (targets may live on other workers).
-    pub out: Vec<VertexId>,
+    /// Out-neighbors (targets may live on other workers), stored in the
+    /// degree-adaptive hybrid representation.
+    pub out: HybridAdjacency<()>,
 }
 
 /// Tuning parameters of the push computation.
@@ -128,8 +130,7 @@ impl RankPartition {
                 let Some(state) = self.vertices.get_mut(&id.src) else {
                     return;
                 };
-                if !state.out.contains(&id.dst) {
-                    state.out.push(id.dst);
+                if state.out.insert(id.dst, ()).is_none() {
                     self.reseed(id.src);
                     dirty.push(id.src);
                 }
@@ -138,9 +139,7 @@ impl RankPartition {
                 let Some(state) = self.vertices.get_mut(&id.src) else {
                     return;
                 };
-                let before = state.out.len();
-                state.out.retain(|v| *v != id.dst);
-                if state.out.len() != before {
+                if state.out.remove(id.dst).is_some() {
                     self.reseed(id.src);
                     dirty.push(id.src);
                 }
@@ -155,12 +154,12 @@ impl RankPartition {
         let affected: Vec<VertexId> = self
             .vertices
             .iter()
-            .filter(|(_, s)| s.out.contains(&removed))
+            .filter(|(_, s)| s.out.contains(removed))
             .map(|(id, _)| *id)
             .collect();
         for id in &affected {
             if let Some(state) = self.vertices.get_mut(id) {
-                state.out.retain(|v| *v != removed);
+                state.out.remove(removed);
             }
             self.reseed(*id);
         }
@@ -220,7 +219,7 @@ impl RankPartition {
         }
         state.p += params.alpha * res;
         let share = (1.0 - params.alpha) * res / state.out.len() as f64;
-        for &target in &state.out {
+        for target in state.out.keys() {
             out.push(Share {
                 target,
                 mass: share,
@@ -278,7 +277,7 @@ impl crate::program::Partition for RankPartition {
             .map(|(id, s)| {
                 (
                     id.0,
-                    s.out.iter().map(|d| (d.0, 1.0f64.to_bits())).collect(),
+                    s.out.keys().map(|d| (d.0, 1.0f64.to_bits())).collect(),
                 )
             })
             .collect()

@@ -21,6 +21,7 @@
 use std::collections::HashMap;
 
 use gt_core::prelude::*;
+use gt_graph::HybridAdjacency;
 
 use crate::program::Partition;
 
@@ -30,7 +31,7 @@ pub type DistanceOffer = f64;
 #[derive(Debug, Clone, Default)]
 struct VState {
     dist: Option<f64>,
-    out: Vec<(VertexId, f64)>,
+    out: HybridAdjacency<f64>,
 }
 
 /// One worker's share of the online SSSP computation.
@@ -78,7 +79,7 @@ impl DistancePartition {
         let Some(dist) = state.dist else {
             return;
         };
-        for &(target, weight) in &state.out {
+        for (target, &weight) in state.out.iter() {
             out.push((target, dist + weight));
         }
     }
@@ -110,8 +111,8 @@ impl Partition for DistancePartition {
                 let Some(vstate) = self.vertices.get_mut(&id.src) else {
                     return;
                 };
-                if !vstate.out.iter().any(|(t, _)| *t == id.dst) {
-                    vstate.out.push((id.dst, weight));
+                if !vstate.out.contains(id.dst) {
+                    vstate.out.insert(id.dst, weight);
                     dirty.push(id.src);
                 }
             }
@@ -120,21 +121,23 @@ impl Partition for DistancePartition {
                 let Some(vstate) = self.vertices.get_mut(&id.src) else {
                     return;
                 };
-                if let Some(slot) = vstate.out.iter_mut().find(|(t, _)| *t == id.dst) {
-                    if weight > slot.1 {
-                        self.stale_hazards += 1;
+                let mut hazard = false;
+                if let Some(slot) = vstate.out.get_mut(id.dst) {
+                    if weight > *slot {
+                        hazard = true;
                     }
-                    slot.1 = weight;
+                    *slot = weight;
                     dirty.push(id.src);
+                }
+                if hazard {
+                    self.stale_hazards += 1;
                 }
             }
             GraphEvent::RemoveEdge { id } => {
                 let Some(vstate) = self.vertices.get_mut(&id.src) else {
                     return;
                 };
-                let before = vstate.out.len();
-                vstate.out.retain(|(t, _)| *t != id.dst);
-                if vstate.out.len() != before {
+                if vstate.out.remove(id.dst).is_some() {
                     self.stale_hazards += 1;
                 }
             }
@@ -166,9 +169,7 @@ impl Partition for DistancePartition {
     fn purge(&mut self, removed: VertexId, out: &mut Vec<(VertexId, DistanceOffer)>) {
         let _ = out;
         for state in self.vertices.values_mut() {
-            let before = state.out.len();
-            state.out.retain(|(t, _)| *t != removed);
-            if state.out.len() != before {
+            if state.out.remove(removed).is_some() {
                 self.stale_hazards += 1;
             }
         }

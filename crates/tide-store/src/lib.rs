@@ -26,11 +26,13 @@
 //! CPU utilization (Figure 3c).
 
 pub mod connector;
+pub mod partition;
 pub mod sharded;
 pub mod store;
 pub mod sut;
 
 pub use connector::{BatchingConnector, StoreFrontend};
+pub use partition::PartitionState;
 pub use sharded::{ShardedClient, ShardedStats, ShardedStore, ShardedSupervisor};
 pub use store::{
     shard_for, shard_for_key, StoreClient, StoreClosed, StoreConfig, StoreStats, StoreSupervisor,

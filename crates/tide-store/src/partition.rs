@@ -1,0 +1,178 @@
+//! Shard-local graph state, shared by the serial and sharded stores.
+//!
+//! Every shard worker keeps a partition-local view of the vertices and
+//! edges routed to it so reads can be answered without a global lock.
+//! Events apply *leniently* — the cross-shard existence of edge endpoints
+//! cannot be checked locally; the merged commit-log reconstruction at
+//! shutdown is authoritative for consistency.
+//!
+//! Edge state is held per source vertex in a degree-adaptive
+//! [`HybridAdjacency`] (gt-graph): the common small-degree case stays in
+//! an inline sorted array, hubs promote to a map. The serial store's
+//! shard threads and `sharded.rs`'s per-shard workers both build on this
+//! type, so the two code paths cannot drift apart.
+
+use std::collections::HashMap;
+
+use gt_core::prelude::*;
+use gt_graph::HybridAdjacency;
+
+/// The vertex and edge state held by one shard worker.
+#[derive(Debug, Default)]
+pub struct PartitionState {
+    vertices: HashMap<VertexId, State>,
+    /// Outgoing adjacency with per-edge state, keyed by source vertex.
+    out: HashMap<VertexId, HybridAdjacency<State>>,
+    edge_count: usize,
+}
+
+impl PartitionState {
+    /// An empty partition.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of vertices with explicit state.
+    pub fn vertex_count(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Number of edges held locally.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Applies one graph event leniently (unknown entities are upserted
+    /// or ignored, never an error — see the module docs).
+    pub fn apply(&mut self, event: &GraphEvent) {
+        match event {
+            GraphEvent::AddVertex { id, state } | GraphEvent::UpdateVertex { id, state } => {
+                self.vertices.insert(*id, state.clone());
+            }
+            GraphEvent::RemoveVertex { id } => {
+                self.vertices.remove(id);
+                if let Some(adj) = self.out.remove(id) {
+                    self.edge_count -= adj.len();
+                }
+                // Reverse side: drop edges pointing at the removed vertex.
+                let mut dropped = 0;
+                self.out.retain(|_, adj| {
+                    if adj.remove(*id).is_some() {
+                        dropped += 1;
+                    }
+                    !adj.is_empty()
+                });
+                self.edge_count -= dropped;
+            }
+            GraphEvent::AddEdge { id, state } | GraphEvent::UpdateEdge { id, state } => {
+                if self
+                    .out
+                    .entry(id.src)
+                    .or_default()
+                    .insert(id.dst, state.clone())
+                    .is_none()
+                {
+                    self.edge_count += 1;
+                }
+            }
+            GraphEvent::RemoveEdge { id } => {
+                if let Some(adj) = self.out.get_mut(&id.src) {
+                    if adj.remove(id.dst).is_some() {
+                        self.edge_count -= 1;
+                    }
+                    if adj.is_empty() {
+                        self.out.remove(&id.src);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The state of a vertex, cloned for a reply channel.
+    pub fn read_vertex(&self, id: VertexId) -> Option<State> {
+        self.vertices.get(&id).cloned()
+    }
+
+    /// The state of an edge, cloned for a reply channel.
+    pub fn read_edge(&self, id: EdgeId) -> Option<State> {
+        self.out
+            .get(&id.src)
+            .and_then(|adj| adj.get(id.dst))
+            .cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn add_edge(state: &mut PartitionState, src: u64, dst: u64, s: &str) {
+        state.apply(&GraphEvent::AddEdge {
+            id: EdgeId::from((src, dst)),
+            state: State::new(s),
+        });
+    }
+
+    #[test]
+    fn lenient_upserts_and_reads() {
+        let mut p = PartitionState::new();
+        // Edges may arrive before their endpoints — kept verbatim.
+        add_edge(&mut p, 1, 2, "w=1");
+        p.apply(&GraphEvent::AddVertex {
+            id: VertexId(1),
+            state: State::new("v"),
+        });
+        assert_eq!(p.read_vertex(VertexId(1)).unwrap().as_str(), "v");
+        assert_eq!(p.read_edge(EdgeId::from((1, 2))).unwrap().as_str(), "w=1");
+        assert_eq!(p.read_edge(EdgeId::from((2, 1))), None);
+        assert_eq!(p.edge_count(), 1);
+        // UpdateEdge overwrites in place without changing the count.
+        p.apply(&GraphEvent::UpdateEdge {
+            id: EdgeId::from((1, 2)),
+            state: State::new("w=2"),
+        });
+        assert_eq!(p.read_edge(EdgeId::from((1, 2))).unwrap().as_str(), "w=2");
+        assert_eq!(p.edge_count(), 1);
+    }
+
+    #[test]
+    fn remove_vertex_drops_both_edge_directions() {
+        let mut p = PartitionState::new();
+        add_edge(&mut p, 1, 2, "");
+        add_edge(&mut p, 2, 1, "");
+        add_edge(&mut p, 2, 3, "");
+        p.apply(&GraphEvent::RemoveVertex { id: VertexId(1) });
+        assert_eq!(p.read_edge(EdgeId::from((1, 2))), None);
+        assert_eq!(p.read_edge(EdgeId::from((2, 1))), None);
+        assert!(p.read_edge(EdgeId::from((2, 3))).is_some());
+        assert_eq!(p.edge_count(), 1);
+    }
+
+    #[test]
+    fn remove_edge_is_idempotent() {
+        let mut p = PartitionState::new();
+        add_edge(&mut p, 1, 2, "");
+        p.apply(&GraphEvent::RemoveEdge {
+            id: EdgeId::from((1, 2)),
+        });
+        p.apply(&GraphEvent::RemoveEdge {
+            id: EdgeId::from((1, 2)),
+        });
+        assert_eq!(p.edge_count(), 0);
+        assert_eq!(p.read_edge(EdgeId::from((1, 2))), None);
+    }
+
+    #[test]
+    fn hub_degrees_promote_without_changing_reads() {
+        let mut p = PartitionState::new();
+        for dst in 0..64u64 {
+            if dst != 7 {
+                add_edge(&mut p, 7, dst, "x");
+            }
+        }
+        assert_eq!(p.edge_count(), 63);
+        assert_eq!(p.read_edge(EdgeId::from((7, 42))).unwrap().as_str(), "x");
+        p.apply(&GraphEvent::RemoveVertex { id: VertexId(7) });
+        assert_eq!(p.edge_count(), 0);
+    }
+}

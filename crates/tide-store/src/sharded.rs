@@ -56,6 +56,10 @@ type ShardLog = Vec<(u64, SharedGraphEvent)>;
 /// What a shard thread returns: its slot and its log (empty for a crash).
 type ShardExit = (usize, ShardLog);
 
+/// Shared per-shard marker sightings: `(interned name, shard)` in
+/// processing order.
+type MarkerSightings = Arc<Mutex<Vec<(Arc<str>, usize)>>>;
+
 /// Work delivered to a shard's sequencer queue.
 enum ShardJob {
     /// One transaction's slice for this shard, already sequence-stamped
@@ -63,8 +67,9 @@ enum ShardJob {
     /// the "batched per-shard sequencer".
     Batch(Vec<(u64, SharedGraphEvent)>),
     /// A broadcast watermark; the optional channel acknowledges receipt
-    /// (the marker barrier).
-    Marker(String, Option<Sender<()>>),
+    /// (the marker barrier). The name is interned: the per-shard fan-out
+    /// bumps a refcount instead of cloning a `String` per queue.
+    Marker(Arc<str>, Option<Sender<()>>),
     ReadVertex(VertexId, Sender<Option<State>>),
     ReadEdge(EdgeId, Sender<Option<State>>),
     /// A simulated shard kill: discard state and log and exit.
@@ -122,7 +127,7 @@ struct ShardedCore {
     cuts: Mutex<Vec<(String, u64)>>,
     /// Per-shard marker sightings: `(name, shard)` in processing order —
     /// the shard contract's "exactly once per shard" witness.
-    shard_markers: Arc<Mutex<Vec<(String, usize)>>>,
+    shard_markers: MarkerSightings,
     config: StoreConfig,
     hub: MetricsHub,
     tracer_cell: TracerCell,
@@ -267,7 +272,12 @@ impl ShardedStore {
     /// Per-shard marker sightings so far: `(name, shard)` in processing
     /// order.
     pub fn shard_markers(&self) -> Vec<(String, usize)> {
-        self.core.shard_markers.lock().clone()
+        self.core
+            .shard_markers
+            .lock()
+            .iter()
+            .map(|(name, shard)| (name.to_string(), *shard))
+            .collect()
     }
 
     /// Stops all shards, joins them tolerantly, and merges their logs by
@@ -318,7 +328,13 @@ impl ShardedStore {
                 log: all,
             },
             per_shard_seqs,
-            shard_markers: std::mem::take(&mut *self.core.shard_markers.lock()),
+            shard_markers: self
+                .core
+                .shard_markers
+                .lock()
+                .drain(..)
+                .map(|(name, shard)| (name.to_string(), shard))
+                .collect(),
             marker_skips: self.core.counters.marker_skips.get(),
         }
     }
@@ -413,11 +429,13 @@ impl ShardedClient {
         // survives shard crashes and needs no cross-shard coordination.
         let cut = self.core.global_seq.load(Ordering::SeqCst);
         self.core.cuts.lock().push((name.to_owned(), cut));
+        // Intern once; the per-shard fan-out clones refcounts, not Strings.
+        let name = gt_core::intern::intern(name);
         let txs = self.core.fabric.txs.read();
         let mut reached = 0usize;
         for tx in txs.iter() {
             if tx
-                .send(ShardJob::Marker(name.to_owned(), ack.clone()))
+                .send(ShardJob::Marker(Arc::clone(&name), ack.clone()))
                 .is_ok()
             {
                 reached += 1;
@@ -536,14 +554,14 @@ fn shard_loop(
     tracer_cell: TracerCell,
     fabric: Arc<Fabric>,
     crashes: Counter,
-    markers: Arc<Mutex<Vec<(String, usize)>>>,
+    markers: MarkerSightings,
 ) -> ShardExit {
     let mut log: ShardLog = Vec::new();
     let mut trace_probe: Option<Probe> = None;
-    // Partition-local read state, applied leniently (the merged
-    // reconstruction at shutdown is authoritative).
-    let mut vertices: std::collections::HashMap<VertexId, State> = std::collections::HashMap::new();
-    let mut edges: std::collections::HashMap<EdgeId, State> = std::collections::HashMap::new();
+    // Partition-local read state (hybrid adjacency, lenient apply — see
+    // `partition.rs`; the merged reconstruction at shutdown is
+    // authoritative).
+    let mut state = crate::partition::PartitionState::new();
     while let Ok(job) = rx.recv() {
         match job {
             ShardJob::Batch(batch) => {
@@ -552,23 +570,7 @@ fn shard_loop(
                 busy_work(seq_cost);
                 for (seq, event) in batch {
                     busy_work(write_cost);
-                    match event.event() {
-                        GraphEvent::AddVertex { id, state }
-                        | GraphEvent::UpdateVertex { id, state } => {
-                            vertices.insert(*id, state.clone());
-                        }
-                        GraphEvent::RemoveVertex { id } => {
-                            vertices.remove(id);
-                            edges.retain(|e, _| e.src != *id && e.dst != *id);
-                        }
-                        GraphEvent::AddEdge { id, state }
-                        | GraphEvent::UpdateEdge { id, state } => {
-                            edges.insert(*id, state.clone());
-                        }
-                        GraphEvent::RemoveEdge { id } => {
-                            edges.remove(id);
-                        }
-                    }
+                    state.apply(event.event());
                     log.push((seq, event));
                     applied.inc();
                     if trace_probe.is_none() {
@@ -587,10 +589,10 @@ fn shard_loop(
                 }
             }
             ShardJob::ReadVertex(id, reply) => {
-                let _ = reply.send(vertices.get(&id).cloned());
+                let _ = reply.send(state.read_vertex(id));
             }
             ShardJob::ReadEdge(id, reply) => {
-                let _ = reply.send(edges.get(&id).cloned());
+                let _ = reply.send(state.read_edge(id));
             }
             ShardJob::Crash => {
                 fabric.alive[shard_id].store(false, Ordering::SeqCst);

@@ -685,33 +685,16 @@ fn shard_loop(
     // Lazily acquired apply tracepoint: the thread outlives tracer
     // installation, so it polls the cell (one atomic load while empty).
     let mut trace_probe: Option<Probe> = None;
-    // Partition-local state for reads: vertex and edge states, applied
-    // leniently (the cross-shard existence of endpoints cannot be checked
-    // locally; the merged reconstruction at shutdown is authoritative).
-    let mut vertices: std::collections::HashMap<VertexId, State> = std::collections::HashMap::new();
-    let mut edges: std::collections::HashMap<EdgeId, State> = std::collections::HashMap::new();
+    // Partition-local state for reads (hybrid adjacency, lenient apply —
+    // see `partition.rs` for the semantics).
+    let mut state = crate::partition::PartitionState::new();
     while let Ok(msg) = rx.recv() {
         match msg {
             ShardMsg::Apply(ts, event) => {
                 let start = Instant::now();
                 busy_work(cost);
                 busy.add(start.elapsed().as_micros() as u64);
-                match event.event() {
-                    GraphEvent::AddVertex { id, state }
-                    | GraphEvent::UpdateVertex { id, state } => {
-                        vertices.insert(*id, state.clone());
-                    }
-                    GraphEvent::RemoveVertex { id } => {
-                        vertices.remove(id);
-                        edges.retain(|e, _| e.src != *id && e.dst != *id);
-                    }
-                    GraphEvent::AddEdge { id, state } | GraphEvent::UpdateEdge { id, state } => {
-                        edges.insert(*id, state.clone());
-                    }
-                    GraphEvent::RemoveEdge { id } => {
-                        edges.remove(id);
-                    }
-                }
+                state.apply(event.event());
                 log.push((ts, event));
                 applied.inc();
                 if trace_probe.is_none() {
@@ -725,10 +708,10 @@ fn shard_loop(
                 }
             }
             ShardMsg::ReadVertex(id, reply) => {
-                let _ = reply.send(vertices.get(&id).cloned());
+                let _ = reply.send(state.read_vertex(id));
             }
             ShardMsg::ReadEdge(id, reply) => {
-                let _ = reply.send(edges.get(&id).cloned());
+                let _ = reply.send(state.read_edge(id));
             }
             ShardMsg::Crash => {
                 // Die like a killed process: state and log abandoned,

@@ -1,0 +1,249 @@
+//! Property tests for [`HybridAdjacency`] — the type-switching per-vertex
+//! storage every layer of the stack now sits on — against a naive
+//! `BTreeMap` reference model, plus the end-to-end check that matters
+//! most: the serial-vs-sharded differential oracle stays bit-identical
+//! over the hybrid build with hub-heavy streams.
+//!
+//! The op generator is deliberately biased to hover around the
+//! promotion/demotion boundary (`INLINE_CAP` = 8, `DEMOTE_AT` = 4): keys
+//! are drawn from a small universe so lists repeatedly cross both
+//! thresholds in one run.
+
+use std::collections::BTreeMap;
+
+use graphtides::graph::HybridAdjacency;
+use graphtides::harness::run_differential;
+use graphtides::prelude::*;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u64, u32),
+    Remove(u64),
+}
+
+/// Ops over a key universe of `universe` vertex ids: small universes
+/// keep the list crossing the inline/hub boundary in both directions.
+fn ops(universe: u64, len: usize) -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            3 => (0..universe, any::<u32>()).prop_map(|(k, v)| Op::Insert(k, v)),
+            2 => (0..universe).prop_map(Op::Remove),
+        ],
+        0..len,
+    )
+}
+
+fn apply_both(ops: &[Op]) -> (HybridAdjacency<u32>, BTreeMap<VertexId, u32>) {
+    let mut hybrid = HybridAdjacency::new();
+    let mut reference = BTreeMap::new();
+    for op in ops {
+        match *op {
+            Op::Insert(k, v) => {
+                let expected = reference.insert(VertexId(k), v);
+                prop_assert_eq_unwrapped(hybrid.insert(VertexId(k), v), expected);
+            }
+            Op::Remove(k) => {
+                let expected = reference.remove(&VertexId(k));
+                prop_assert_eq_unwrapped(hybrid.remove(VertexId(k)), expected);
+            }
+        }
+    }
+    (hybrid, reference)
+}
+
+// proptest's prop_assert_eq! only works inside the macro body; the
+// helper keeps `apply_both` usable from plain #[test] fns too.
+fn prop_assert_eq_unwrapped<T: PartialEq + std::fmt::Debug>(got: T, want: T) {
+    assert_eq!(got, want);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Around the promotion boundary: a 12-key universe guarantees lists
+    /// that grow through INLINE_CAP and shrink back through DEMOTE_AT.
+    #[test]
+    fn matches_btreemap_reference_at_the_boundary(ops in ops(12, 120)) {
+        let (hybrid, reference) = apply_both(&ops);
+        prop_assert_eq!(hybrid.len(), reference.len());
+        // Iteration: ascending id order, identical contents.
+        let got: Vec<(VertexId, u32)> = hybrid.iter().map(|(k, v)| (k, *v)).collect();
+        let want: Vec<(VertexId, u32)> = reference.iter().map(|(k, v)| (*k, *v)).collect();
+        prop_assert_eq!(got, want);
+        // Point lookups agree everywhere in the universe.
+        for k in 0..12 {
+            prop_assert_eq!(hybrid.get(VertexId(k)), reference.get(&VertexId(k)));
+            prop_assert_eq!(hybrid.contains(VertexId(k)), reference.contains_key(&VertexId(k)));
+        }
+        // Representation invariants: inline lists fit the inline array;
+        // hub lists only exist above the demotion threshold.
+        if hybrid.is_inline() {
+            prop_assert!(hybrid.len() <= HybridAdjacency::<u32>::INLINE_CAP);
+        } else {
+            prop_assert!(hybrid.len() > HybridAdjacency::<u32>::DEMOTE_AT);
+        }
+    }
+
+    /// Far above the boundary: hub-only behaviour over a wide universe.
+    #[test]
+    fn matches_btreemap_reference_for_hubs(ops in ops(400, 300)) {
+        let (hybrid, reference) = apply_both(&ops);
+        prop_assert_eq!(hybrid.len(), reference.len());
+        let got: Vec<(VertexId, u32)> = hybrid.iter().map(|(k, v)| (k, *v)).collect();
+        let want: Vec<(VertexId, u32)> = reference.iter().map(|(k, v)| (*k, *v)).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Logical equality is representation-independent: the same contents
+    /// reached along different op orders (one path promoted and demoted,
+    /// the other stayed inline) compare equal.
+    #[test]
+    fn equality_ignores_representation_history(raw in proptest::collection::vec(0u64..64, 1..=8)) {
+        let keys: std::collections::BTreeSet<u64> = raw.into_iter().collect();
+        // Path A: plain inserts — stays inline (<= 8 distinct keys).
+        let direct: HybridAdjacency<u32> =
+            keys.iter().map(|&k| (VertexId(k), k as u32)).collect();
+        prop_assert!(direct.is_inline());
+
+        // Path B: overfill past INLINE_CAP to force promotion, then
+        // remove the scaffolding again.
+        let mut via_hub = HybridAdjacency::new();
+        for extra in 1000..1016 {
+            via_hub.insert(VertexId(extra), 0);
+        }
+        for &k in &keys {
+            via_hub.insert(VertexId(k), k as u32);
+        }
+        for extra in 1000..1016 {
+            via_hub.remove(VertexId(extra));
+        }
+
+        prop_assert_eq!(&direct, &via_hub);
+    }
+}
+
+/// A stream that manufactures hubs: `hubs` sources fan out to `fanout`
+/// targets (far past `INLINE_CAP`), the rest stay low-degree, and
+/// removals drag some hubs back down through the demotion threshold.
+fn hub_heavy_stream(hubs: u64, fanout: u64, leaves: u64, markers: usize) -> GraphStream {
+    let vertices = hubs + leaves.max(fanout);
+    let mut entries: Vec<StreamEntry> = (0..vertices)
+        .map(|i| {
+            StreamEntry::graph(GraphEvent::AddVertex {
+                id: VertexId(i),
+                state: State::empty(),
+            })
+        })
+        .collect();
+    for h in 0..hubs {
+        for t in 0..fanout {
+            let dst = hubs + t;
+            if h != dst {
+                entries.push(StreamEntry::graph(GraphEvent::AddEdge {
+                    id: EdgeId::from((h, dst)),
+                    state: State::weight(((h + t) % 9 + 1) as f64),
+                }));
+            }
+        }
+    }
+    let mut x = 0x5EED_CAFEu64;
+    for _ in 0..leaves * 2 {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let src = hubs + (x >> 33) % leaves;
+        let dst = hubs + (x >> 13) % leaves;
+        if src != dst {
+            entries.push(StreamEntry::graph(GraphEvent::AddEdge {
+                id: EdgeId::from((src, dst)),
+                state: State::weight(((x >> 7) % 9 + 1) as f64),
+            }));
+        }
+    }
+    // Demote every even hub back through DEMOTE_AT: remove all but 3 of
+    // its fan-out edges.
+    for h in (0..hubs).step_by(2) {
+        for t in 3..fanout {
+            entries.push(StreamEntry::graph(GraphEvent::RemoveEdge {
+                id: EdgeId::from((h, hubs + t)),
+            }));
+        }
+    }
+    let step = entries.len() / (markers + 1);
+    for m in (1..=markers).rev() {
+        entries.insert(m * step, StreamEntry::marker(format!("window-{m}")));
+    }
+    entries.into_iter().collect()
+}
+
+fn store_options() -> SutOptions {
+    SutOptions::new()
+        .set("timestamper_cost_us", 0)
+        .set("shard_cost_us", 0)
+        .set("batch_size", 8)
+}
+
+/// The PR's end-to-end acceptance check: with every layer on hybrid
+/// storage, the serial (`shards=1`) and sharded (`shards=4`) builds must
+/// still digest bit-identically over a stream engineered to exercise
+/// promotion *and* demotion inside the run.
+#[test]
+fn differential_oracle_passes_over_the_hybrid_build() {
+    let stream = hub_heavy_stream(8, 24, 60, 3);
+    let registry = graphtides::builtin_registry();
+    for serial in ["tide-store", "tide-graph"] {
+        let sharded = format!("{serial}-sharded");
+        let outcome = run_differential(
+            &stream,
+            400_000.0,
+            &registry,
+            (serial, &store_options().set("shards", 1)),
+            (&sharded, &store_options().set("shards", 4)),
+        )
+        .unwrap();
+        assert!(
+            outcome.matches(),
+            "{serial}: {}",
+            outcome.mismatch.as_deref().unwrap_or_default()
+        );
+        assert_eq!(outcome.baseline_digest.windows.len(), 3, "{serial}");
+        assert!(
+            !outcome.baseline_digest.final_adjacency.is_empty(),
+            "{serial}"
+        );
+    }
+}
+
+/// What makes hybrid adoption invisible to the oracle: the canonical
+/// adjacency dump of a hub-heavy replay is stable across repeated
+/// replays — promotion order, demotion timing, and representation never
+/// leak into the digested state.
+#[test]
+fn hybrid_adjacency_dumps_are_replay_stable() {
+    let stream = hub_heavy_stream(4, 16, 30, 2);
+    let dump = || {
+        let mut graph = EvolvingGraph::new();
+        for entry in stream.entries() {
+            if let StreamEntry::Graph(event) = entry {
+                let _ = graph.apply(event);
+            }
+        }
+        let mut adj: Vec<(u64, Vec<(u64, u64)>)> = graph
+            .vertices()
+            .map(|v| {
+                let mut out: Vec<(u64, u64)> = graph
+                    .out_edges(v)
+                    .map(|(dst, state)| (dst.0, state.as_weight().unwrap_or(1.0).to_bits()))
+                    .collect();
+                out.sort_unstable();
+                (v.0, out)
+            })
+            .collect();
+        adj.sort_unstable_by_key(|(v, _)| *v);
+        adj
+    };
+    let first = dump();
+    assert!(!first.is_empty());
+    assert_eq!(first, dump());
+}
