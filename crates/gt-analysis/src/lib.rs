@@ -53,7 +53,9 @@ pub use markers::{
 pub use percentiles::{percentile, CleanSeries, Quantiles, TailQuantiles};
 pub use recovery::{recovery_windows, RecoveryWindow, CHAOS_SOURCE};
 pub use sharding::{shard_scaling, ShardScalingRow};
-pub use summary::{compare_ci95, ConfidenceInterval, Summary};
+pub use summary::{
+    compare_ci95, critical_value_95, CiComparison, Comparison, ConfidenceInterval, Summary,
+};
 pub use timeseries::{RateSeries, TimeSeries};
 pub use trend::{densification_exponent, linear_trend, Trend};
 pub use variability::{variability, Variability};

@@ -7,6 +7,29 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Two-sided 97.5% Student-t critical values for degrees of freedom
+/// 1..=29, indexed by `df - 1`. Below the paper's n ≥ 30 rule the normal
+/// z = 1.96 understates interval widths badly (df = 2 needs 4.30, more
+/// than twice the normal width); above it the t distribution is within
+/// ~2% of z and the table hands over to 1.96.
+const T_CRITICAL_975: [f64; 29] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+    2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+    2.052, 2.048, 2.045,
+];
+
+/// The 97.5% critical value for a mean estimated from `n` observations:
+/// Student-t for small samples, z = 1.96 once the paper's n ≥ 30 rule
+/// licenses the normal approximation.
+pub fn critical_value_95(n: u64) -> f64 {
+    if n >= 30 {
+        1.96
+    } else {
+        // ci95 requires n >= 2, so df = n - 1 is in 1..=28 here.
+        T_CRITICAL_975[(n.max(2) - 2) as usize]
+    }
+}
+
 /// Streaming mean/variance accumulator (Welford's algorithm).
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct Summary {
@@ -86,15 +109,17 @@ impl Summary {
         (self.n > 0).then_some(self.max)
     }
 
-    /// The 95% confidence interval of the mean, using the normal
-    /// approximation (z = 1.96) the paper's n ≥ 30 rule licenses.
+    /// The 95% confidence interval of the mean: Student-t critical
+    /// values below n = 30 (where the normal z = 1.96 understates the
+    /// width), the normal approximation the paper's n ≥ 30 rule licenses
+    /// from there on.
     ///
     /// Returns `None` with fewer than 2 observations.
     pub fn ci95(&self) -> Option<ConfidenceInterval> {
         if self.n < 2 {
             return None;
         }
-        let half = 1.96 * self.stddev() / (self.n as f64).sqrt();
+        let half = critical_value_95(self.n) * self.stddev() / (self.n as f64).sqrt();
         Some(ConfidenceInterval {
             mean: self.mean,
             lo: self.mean - half,
@@ -124,8 +149,24 @@ pub struct ConfidenceInterval {
 
 impl ConfidenceInterval {
     /// Whether this interval overlaps another.
+    ///
+    /// Only meaningful for well-formed intervals: a NaN bound makes every
+    /// comparison false, so a degenerate interval silently reads as
+    /// "disjoint" here — callers must check [`Self::is_degenerate`] first
+    /// (as [`compare_ci95`] does) instead of trusting this answer.
     pub fn overlaps(&self, other: &ConfidenceInterval) -> bool {
         self.lo <= other.hi && other.lo <= self.hi
+    }
+
+    /// Whether any bound is non-finite (NaN-poisoned input, infinite
+    /// variance). A degenerate interval supports no verdict.
+    pub fn is_degenerate(&self) -> bool {
+        !(self.mean.is_finite() && self.lo.is_finite() && self.hi.is_finite())
+    }
+
+    /// Half-width of the interval.
+    pub fn half_width(&self) -> f64 {
+        (self.hi - self.lo) / 2.0
     }
 }
 
@@ -141,16 +182,49 @@ pub enum Comparison {
     NotSignificant,
 }
 
+/// A CI95 verdict together with the methodology caveat it carries: a
+/// significant difference from 3 runs is not the paper's significant
+/// difference from 30.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CiComparison {
+    /// The overlap verdict.
+    pub verdict: Comparison,
+    /// Whether *both* samples meet the paper's n ≥ 30 rule. A `false`
+    /// here means the verdict rests on small-sample t intervals and must
+    /// be reported as provisional.
+    pub meets_n30: bool,
+}
+
+impl CiComparison {
+    /// Whether this is a significant difference that also meets the
+    /// paper's n ≥ 30 repetition rule — the only verdict the orchestrator
+    /// reports as conclusive.
+    pub fn is_conclusive(&self) -> bool {
+        self.meets_n30 && self.verdict != Comparison::NotSignificant
+    }
+}
+
 /// Compares two samples via non-overlapping CI95 (§4.5). Returns `None`
-/// when either sample is too small for an interval.
-pub fn compare_ci95(a: &Summary, b: &Summary) -> Option<Comparison> {
+/// when either sample is too small for an interval, or when either
+/// interval is degenerate (NaN-poisoned metrics must yield "no verdict",
+/// never a spurious significant difference — with a NaN bound every
+/// float comparison is false, which the overlap logic would otherwise
+/// misread as disjoint intervals).
+pub fn compare_ci95(a: &Summary, b: &Summary) -> Option<CiComparison> {
     let (ca, cb) = (a.ci95()?, b.ci95()?);
-    Some(if ca.overlaps(&cb) {
+    if ca.is_degenerate() || cb.is_degenerate() {
+        return None;
+    }
+    let verdict = if ca.overlaps(&cb) {
         Comparison::NotSignificant
     } else if ca.lo > cb.hi {
         Comparison::AGreater
     } else {
         Comparison::BGreater
+    };
+    Some(CiComparison {
+        verdict,
+        meets_n30: a.meets_n30() && b.meets_n30(),
     })
 }
 
@@ -201,10 +275,75 @@ mod tests {
     fn comparison_verdicts() {
         let a = Summary::of(&(0..40).map(|i| 100.0 + (i % 3) as f64).collect::<Vec<_>>());
         let b = Summary::of(&(0..40).map(|i| 10.0 + (i % 3) as f64).collect::<Vec<_>>());
-        assert_eq!(compare_ci95(&a, &b), Some(Comparison::AGreater));
-        assert_eq!(compare_ci95(&b, &a), Some(Comparison::BGreater));
+        let ab = compare_ci95(&a, &b).unwrap();
+        assert_eq!(ab.verdict, Comparison::AGreater);
+        assert!(ab.meets_n30);
+        assert!(ab.is_conclusive());
+        assert_eq!(compare_ci95(&b, &a).unwrap().verdict, Comparison::BGreater);
         let c = Summary::of(&(0..40).map(|i| 100.2 + (i % 3) as f64).collect::<Vec<_>>());
-        assert_eq!(compare_ci95(&a, &c), Some(Comparison::NotSignificant));
+        let ac = compare_ci95(&a, &c).unwrap();
+        assert_eq!(ac.verdict, Comparison::NotSignificant);
+        assert!(!ac.is_conclusive());
+    }
+
+    #[test]
+    fn small_sample_comparison_carries_the_n30_caveat() {
+        // 3 repetitions each, clearly separated: the verdict is still
+        // AGreater, but it must arrive flagged as below the paper's
+        // repetition rule so the orchestrator reports it as provisional.
+        let a = Summary::of(&[100.0, 101.0, 102.0]);
+        let b = Summary::of(&[10.0, 11.0, 12.0]);
+        let cmp = compare_ci95(&a, &b).unwrap();
+        assert_eq!(cmp.verdict, Comparison::AGreater);
+        assert!(!cmp.meets_n30);
+        assert!(!cmp.is_conclusive());
+        // One large side is not enough: both must meet n >= 30.
+        let big = Summary::of(&(0..40).map(|i| (i % 3) as f64).collect::<Vec<_>>());
+        assert!(!compare_ci95(&a, &big).unwrap().meets_n30);
+    }
+
+    #[test]
+    fn t_widths_exceed_z_below_n30() {
+        // Regression: ci95 used z = 1.96 regardless of n, understating
+        // small-sample intervals. Pin the t-based half-widths at n = 3,
+        // 10, 29 against the exact critical values, and z at n >= 30.
+        for (n, t) in [(3u64, 4.303), (10, 2.262), (29, 2.048)] {
+            let values: Vec<f64> = (0..n).map(|i| 50.0 + (i % 2) as f64).collect();
+            let s = Summary::of(&values);
+            let expected = t * s.stddev() / (n as f64).sqrt();
+            let ci = s.ci95().unwrap();
+            assert!(
+                (ci.half_width() - expected).abs() < 1e-9,
+                "n={n}: half width {} vs t-based {expected}",
+                ci.half_width()
+            );
+            // The z-based width would be narrower — the bug this guards.
+            let z_width = 1.96 * s.stddev() / (n as f64).sqrt();
+            assert!(ci.half_width() > z_width);
+        }
+        for n in [30u64, 50, 100] {
+            let values: Vec<f64> = (0..n).map(|i| 50.0 + (i % 2) as f64).collect();
+            let s = Summary::of(&values);
+            let expected = 1.96 * s.stddev() / (n as f64).sqrt();
+            assert!((s.ci95().unwrap().half_width() - expected).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn nan_poisoned_comparison_returns_none() {
+        // Regression: a NaN metric poisons the summary, every float
+        // comparison against a NaN bound is false, and the overlap logic
+        // misread the intervals as disjoint — reporting a *significant*
+        // difference out of garbage. Degenerate intervals must yield no
+        // verdict at all.
+        let poisoned = Summary::of(&[10.0, f64::NAN, 12.0]);
+        let clean = Summary::of(&[100.0, 101.0, 102.0]);
+        let ci = poisoned.ci95().unwrap();
+        assert!(ci.is_degenerate());
+        assert_eq!(compare_ci95(&poisoned, &clean), None);
+        assert_eq!(compare_ci95(&clean, &poisoned), None);
+        assert_eq!(compare_ci95(&poisoned, &poisoned), None);
+        assert!(!clean.ci95().unwrap().is_degenerate());
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! * `--smoke` shrinks event counts and rounds for CI.
 //! * `--check` compares against the committed files first and exits
 //!   non-zero if any suite's median ns/event regressed by more than 15%
-//!   (allocation-counter growth only warns).
+//!   or its allocations-per-event counter grew.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -190,10 +190,12 @@ fn run(args: Args) -> Result<(), String> {
                 trajectory::REGRESSION_THRESHOLD * 100.0
             );
         }
+        // Allocation counts are exact (a deterministic counter, not a
+        // timing), so growth is gated as hard as ns/event regressions.
         for (name, old, new) in &delta.alloc_warnings {
-            eprintln!("warning: {name} allocations grew: {old:.3} -> {new:.3} per event");
+            eprintln!("ALLOC GROWTH {name}: {old:.3} -> {new:.3} allocations per event");
         }
-        if args.check && !delta.regressions.is_empty() {
+        if args.check && !(delta.regressions.is_empty() && delta.alloc_warnings.is_empty()) {
             failed = true;
         }
         std::fs::write(&path, trajectory::to_json(area, &fresh))

@@ -196,7 +196,8 @@ pub const REGRESSION_THRESHOLD: f64 = 0.15;
 
 /// Compares fresh records against previously committed ones, printing a
 /// per-suite delta line and collecting regressions beyond
-/// [`REGRESSION_THRESHOLD`] (and allocation growth, warn-only).
+/// [`REGRESSION_THRESHOLD`] plus any allocation-counter growth (both
+/// fail `gt-bench --check`).
 pub fn compare(previous: &[BenchRecord], fresh: &[BenchRecord]) -> Delta {
     let mut delta = Delta::default();
     for new in fresh {

@@ -6,11 +6,17 @@
 //!
 //! ```text
 //! gt-report <result.log> [--series SOURCE METRIC] [--correlate S1 M1 S2 M2] [--resources]
+//! gt-report --matrix <journal.jsonl>
 //! ```
+//!
+//! `--matrix` re-renders a scenario-matrix journal (the resumable
+//! cell-repetition log `gt-run matrix` writes) as the per-cell CI95
+//! comparison table, without re-running anything.
 
 use std::process::ExitCode;
 
 use gt_analysis::{cross_correlation, Quantiles, Summary};
+use gt_harness::{aggregate_records, render_matrix_table, JournalRecord};
 use gt_metrics::ResultLog;
 
 /// Human-readable byte count (binary units, matching `top`/`htop`).
@@ -124,13 +130,61 @@ fn print_series_summary(log: &ResultLog, source: &str, metric: &str) {
     );
 }
 
+/// Renders a scenario-matrix journal as the per-cell aggregate table.
+fn print_matrix_report(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut lines = text.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| format!("{path}: empty journal"))?;
+    let fingerprint = header
+        .trim()
+        .strip_prefix("{\"matrix\":\"")
+        .and_then(|rest| rest.strip_suffix("\"}"))
+        .ok_or_else(|| format!("{path}: not a matrix journal (bad header line)"))?;
+    let mut records = Vec::new();
+    let mut skipped = 0usize;
+    for line in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match JournalRecord::parse_json_line(line) {
+            Ok(record) => records.push(record),
+            // A truncated trailing line (killed run) is expected; the
+            // orchestrator re-runs that repetition on resume.
+            Err(_) => skipped += 1,
+        }
+    }
+    println!("matrix: {fingerprint}");
+    let aborted = records
+        .iter()
+        .filter(|r| !matches!(r.status, gt_harness::RunStatus::Completed))
+        .count();
+    println!(
+        "journal: {} cell-repetitions ({aborted} aborted{})",
+        records.len(),
+        if skipped > 0 {
+            format!(", {skipped} unparsable line(s) ignored")
+        } else {
+            String::new()
+        }
+    );
+    print!("{}", render_matrix_table(&aggregate_records(&records)));
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
         return Err(
-            "usage: gt-report <result.log> [--series SOURCE METRIC] [--correlate S1 M1 S2 M2] [--resources]"
+            "usage: gt-report <result.log> [--series SOURCE METRIC] [--correlate S1 M1 S2 M2] [--resources]\n\
+             \x20      gt-report --matrix <journal.jsonl>"
                 .into(),
         );
+    }
+    if args[0] == "--matrix" {
+        let path = args.get(1).ok_or("--matrix needs a journal path")?;
+        return print_matrix_report(path);
     }
     let log = ResultLog::read_from_file(&args[0]).map_err(|e| format!("{}: {e}", args[0]))?;
     println!(

@@ -32,6 +32,10 @@
 //!   `shards=N` candidate and assert bit-identical digests and
 //!   per-marker-window computation results.
 //! * [`repeat`] — n ≥ 30 repetition helper and CI95 system comparison.
+//! * [`orchestrator`] — the scenario-matrix orchestrator: declarative
+//!   factor cross-products executed with per-cell repetition, journaled
+//!   to disk (one JSON line per finished cell-repetition), and resumable
+//!   after a kill without re-running completed cells.
 //! * [`watchdog`] — progress-stall and deadline detection: a broken
 //!   system under test aborts the run with a typed status instead of
 //!   hanging the harness.
@@ -39,6 +43,7 @@
 pub mod differential;
 pub mod levels;
 pub mod load;
+pub mod orchestrator;
 pub mod repeat;
 pub mod run;
 pub mod spec;
@@ -55,7 +60,12 @@ pub use load::{
     load_records, run_load_file_sut_experiment, run_load_sut_experiment,
     run_load_sut_experiment_with_timeout, LoadSutRunOutcome, LOAD_SOURCE,
 };
-pub use repeat::{compare_metric, repeat_runs, RepeatOutcome};
+pub use orchestrator::{
+    aggregate_records, cell_id, render_matrix_table, run_matrix, run_matrix_with_progress,
+    CellAggregate, CellRunResult, CellRunner, Design, JournalRecord, MatrixJournal, MatrixOutcome,
+    MatrixProgress, MetricAggregate, ScenarioMatrix,
+};
+pub use repeat::{compare_metric, repeat_runs, repeat_status_runs, RepeatOutcome};
 pub use run::{
     run_experiment, run_experiment_with_clock, run_file_experiment, run_file_experiment_with_clock,
     ChaosPlan, FileRunOutcome, FileRunPlan, RunOutcome, RunPlan,
@@ -69,7 +79,7 @@ pub use sweep::{Assignment, Factor, FactorSpace};
 pub use watchdog::{AbortReason, RunStatus, WatchdogConfig};
 
 pub use gt_chaos::{ChaosJournal, FaultKind, FaultSchedule, FaultTrigger, CHAOS_SOURCE};
-pub use gt_load::{ClientClass, LoadPlan, LoopModel};
+pub use gt_load::{ClientClass, CompiledPattern, LoadPlan, LoopModel, RatePattern};
 pub use gt_sut::{
     Adjacency, StateDigest, SutOptions, SutRegistry, SutReport, SystemUnderTest, WindowDigest,
     WorkerSupervisor,

@@ -1,0 +1,1070 @@
+//! The scenario-matrix orchestrator: declarative cross-product campaigns
+//! with journaled, resumable n ≥ 30 execution.
+//!
+//! The paper's methodology (§2.3, §4.5) wants *campaigns*, not single
+//! runs: a factorial design over workload mix × rate pattern × target
+//! rate × SUT × shard count, each cell repeated n ≥ 30 times and
+//! aggregated into CI95 summaries that can be compared across cells. A
+//! 2 SUT × 3 pattern × n = 30 matrix is 180 runs — hours of wall time —
+//! so the orchestrator journals every completed cell-repetition to disk
+//! (one JSON line with its [`RunStatus`] and headline metrics) and a
+//! killed or aborted matrix picks up exactly where it stopped:
+//!
+//! * completed cell-repetitions are **never re-run** — their journaled
+//!   metrics are reused verbatim, so per-cell aggregates are
+//!   bit-identical across the interruption;
+//! * the journal's header line fingerprints the matrix spec, so a
+//!   journal can never silently resume a *different* matrix;
+//! * a partial trailing line (the process died mid-write) is truncated
+//!   away on open, and the repetition it belonged to re-runs.
+//!
+//! Aggregation is always computed from journal records — not from
+//! transient in-memory state — which is what makes "resume" and "ran in
+//! one piece" indistinguishable in the output. Floats are written in
+//! Rust's shortest round-trip decimal form, so parse(write(x)) == x
+//! bit-for-bit.
+
+use std::collections::HashSet;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read as _, Seek as _, Write as _};
+use std::path::Path;
+use std::time::Duration;
+
+use gt_analysis::{ConfidenceInterval, Summary};
+
+use crate::spec::ExperimentSpec;
+use crate::sweep::{Assignment, FactorSpace};
+use crate::watchdog::{AbortReason, RunStatus};
+
+/// Characters that cannot appear in factor levels: they would break the
+/// cell-id encoding (`;`, `|`) or the hand-rolled JSON journal lines
+/// (`"`, `\`). Factor names additionally reject `=` (the cell-id
+/// key/value separator); levels may contain it (chaos schedules do).
+const RESERVED_CHARS: [char; 4] = [';', '|', '"', '\\'];
+
+/// Which §2.3 experimental design enumerates the matrix cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Design {
+    /// Cartesian product of all factor levels.
+    FullFactorial,
+    /// Baseline plus one-factor-at-a-time variations.
+    OneFactorAtATime,
+}
+
+impl Design {
+    fn label(self) -> &'static str {
+        match self {
+            Design::FullFactorial => "full",
+            Design::OneFactorAtATime => "ofat",
+        }
+    }
+}
+
+/// A declarative scenario matrix: the factor space, the design that
+/// enumerates it, and the repetition/seeding policy shared by every cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioMatrix {
+    /// Campaign name (journal header, reports).
+    pub name: String,
+    /// Repetitions per cell (the paper recommends n ≥ 30).
+    pub repetitions: u32,
+    /// Master seed; each cell derives its own stable seed base from it.
+    pub seed: u64,
+    /// The enumeration design.
+    pub design: Design,
+    /// The factors and their levels.
+    pub space: FactorSpace,
+}
+
+impl ScenarioMatrix {
+    /// Parses the line-based matrix spec format:
+    ///
+    /// ```text
+    /// # 2 SUT x 3 rate-pattern smoke matrix
+    /// matrix = pattern-smoke
+    /// repetitions = 3
+    /// seed = 42
+    /// design = full
+    /// factor sut = tide-store | tide-graph
+    /// factor pattern = uniform | diurnal:10:0.4 | flash:2:4:1
+    /// factor rate = 20000
+    /// ```
+    ///
+    /// Blank lines and `#` comments are ignored. Levels are separated by
+    /// `|` (rate-pattern and chaos specs use `:` and `,` internally).
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut name = None;
+        let mut repetitions = None;
+        let mut seed = 42u64;
+        let mut design = Design::FullFactorial;
+        let mut space = FactorSpace::new();
+        let mut factor_names = HashSet::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {}: expected `key = value`", lineno + 1))?;
+            let (key, value) = (key.trim(), value.trim());
+            match key {
+                "matrix" => name = Some(value.to_owned()),
+                "repetitions" => {
+                    let n: u32 = value
+                        .parse()
+                        .map_err(|e| format!("line {}: bad repetitions: {e}", lineno + 1))?;
+                    if n == 0 {
+                        return Err(format!("line {}: repetitions must be >= 1", lineno + 1));
+                    }
+                    repetitions = Some(n);
+                }
+                "seed" => {
+                    seed = value
+                        .parse()
+                        .map_err(|e| format!("line {}: bad seed: {e}", lineno + 1))?;
+                }
+                "design" => {
+                    design = match value {
+                        "full" => Design::FullFactorial,
+                        "ofat" => Design::OneFactorAtATime,
+                        other => {
+                            return Err(format!(
+                                "line {}: unknown design `{other}` (expected full or ofat)",
+                                lineno + 1
+                            ))
+                        }
+                    };
+                }
+                _ => {
+                    let factor = key
+                        .strip_prefix("factor ")
+                        .map(str::trim)
+                        .filter(|f| !f.is_empty())
+                        .ok_or_else(|| format!("line {}: unknown key `{key}`", lineno + 1))?;
+                    check_token(factor, "factor name")
+                        .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+                    if !factor_names.insert(factor.to_owned()) {
+                        return Err(format!("line {}: duplicate factor `{factor}`", lineno + 1));
+                    }
+                    let levels: Vec<String> = value
+                        .split('|')
+                        .map(|l| l.trim().to_owned())
+                        .filter(|l| !l.is_empty())
+                        .collect();
+                    if levels.is_empty() {
+                        return Err(format!(
+                            "line {}: factor `{factor}` has no levels",
+                            lineno + 1
+                        ));
+                    }
+                    for level in &levels {
+                        check_token(level, "level")
+                            .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+                    }
+                    space = space.factor(factor, levels);
+                }
+            }
+        }
+        let matrix = ScenarioMatrix {
+            name: name.ok_or("missing `matrix = NAME`")?,
+            repetitions: repetitions.ok_or("missing `repetitions = N`")?,
+            seed,
+            design,
+            space,
+        };
+        check_token(&matrix.name, "matrix name")?;
+        if matrix.space.factors().is_empty() {
+            return Err("matrix needs at least one `factor NAME = LEVELS` line".into());
+        }
+        Ok(matrix)
+    }
+
+    /// The cells this matrix executes, in the stable enumeration order
+    /// resume depends on.
+    pub fn cells(&self) -> Vec<Assignment> {
+        match self.design {
+            Design::FullFactorial => self.space.full_factorial(),
+            Design::OneFactorAtATime => self.space.one_factor_at_a_time(),
+        }
+    }
+
+    /// Total cell-repetitions the matrix schedules.
+    pub fn total_runs(&self) -> usize {
+        self.cells().len() * self.repetitions as usize
+    }
+
+    /// The [`ExperimentSpec`] of one cell: factors stamped, repetitions
+    /// shared, and a seed base derived from the master seed and the cell
+    /// id — so repetition seeds come from the standard
+    /// [`ExperimentSpec::seed_for`] and never collide across cells.
+    pub fn cell_spec(&self, cell: &Assignment) -> ExperimentSpec {
+        let id = cell_id(cell);
+        let mut spec = ExperimentSpec::new(
+            &format!("{}/{id}", self.name),
+            "scenario-matrix cell",
+            "per-cell factors",
+        )
+        .with_repetitions(self.repetitions);
+        spec.factors = cell.clone();
+        spec.seed = self.seed.wrapping_add(fnv1a(&id));
+        spec
+    }
+
+    /// The spec fingerprint stored in the journal header; any change to
+    /// name, repetitions, seed, design, or factor space changes it.
+    pub fn fingerprint(&self) -> String {
+        let factors: Vec<String> = self
+            .space
+            .factors()
+            .iter()
+            .map(|f| format!("{}={}", f.name, f.levels.join("|")))
+            .collect();
+        format!(
+            "{};reps={};seed={};design={};{}",
+            self.name,
+            self.repetitions,
+            self.seed,
+            self.design.label(),
+            factors.join(";")
+        )
+    }
+}
+
+/// Rejects tokens containing characters the cell-id or journal encodings
+/// reserve.
+fn check_token(token: &str, what: &str) -> Result<(), String> {
+    let name = what.ends_with("name");
+    if let Some(bad) = token
+        .chars()
+        .find(|c| RESERVED_CHARS.contains(c) || (name && *c == '='))
+    {
+        return Err(format!(
+            "{what} `{token}` contains reserved character `{bad}`"
+        ));
+    }
+    Ok(())
+}
+
+/// The stable identity of a cell: `factor=level;factor=level` in factor
+/// declaration order.
+pub fn cell_id(cell: &Assignment) -> String {
+    cell.iter()
+        .map(|(k, v)| format!("{k}={v}"))
+        .collect::<Vec<_>>()
+        .join(";")
+}
+
+/// FNV-1a over the cell id: a stable, dependency-free 64-bit mix that
+/// spreads per-cell seed bases far apart.
+fn fnv1a(s: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in s.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// What one cell-repetition produced: how the run ended plus its
+/// headline metrics (name → value, report order preserved).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellRunResult {
+    /// How the run ended; aborted runs are journaled but excluded from
+    /// aggregates.
+    pub status: RunStatus,
+    /// Headline metrics of the run.
+    pub metrics: Vec<(String, f64)>,
+}
+
+/// Executes one cell-repetition. `gt-run matrix` wires the real SUT
+/// runner behind this; tests use deterministic fakes.
+pub trait CellRunner {
+    /// Runs repetition `rep` of `cell` with the derived `seed`.
+    fn run(&mut self, cell: &Assignment, rep: u32, seed: u64) -> CellRunResult;
+}
+
+impl<F: FnMut(&Assignment, u32, u64) -> CellRunResult> CellRunner for F {
+    fn run(&mut self, cell: &Assignment, rep: u32, seed: u64) -> CellRunResult {
+        self(cell, rep, seed)
+    }
+}
+
+/// One journal line: a completed (or aborted) cell-repetition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalRecord {
+    /// The cell's stable id (see [`cell_id`]).
+    pub cell: String,
+    /// Repetition index within the cell.
+    pub rep: u32,
+    /// The seed the repetition ran with.
+    pub seed: u64,
+    /// How the run ended.
+    pub status: RunStatus,
+    /// The run's headline metrics.
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl JournalRecord {
+    /// Serializes to one JSON line (no trailing newline). Floats use
+    /// Rust's shortest round-trip form, so parsing recovers them exactly.
+    pub fn to_json_line(&self) -> String {
+        let metrics: Vec<String> = self
+            .metrics
+            .iter()
+            .map(|(k, v)| format!("[\"{k}\",{}]", fmt_f64(*v)))
+            .collect();
+        format!(
+            "{{\"cell\":\"{}\",\"rep\":{},\"seed\":{},\"status\":\"{}\",\"metrics\":[{}]}}",
+            self.cell,
+            self.rep,
+            self.seed,
+            encode_status(&self.status),
+            metrics.join(",")
+        )
+    }
+
+    /// Parses one JSON line written by [`Self::to_json_line`].
+    pub fn parse_json_line(line: &str) -> Result<Self, String> {
+        let line = line.trim();
+        if !line.starts_with('{') || !line.ends_with('}') {
+            return Err("not a JSON object".into());
+        }
+        let cell = extract_str(line, "cell")?;
+        let rep = extract_num(line, "rep")? as u32;
+        let seed = extract_num(line, "seed")? as u64;
+        let status = decode_status(&extract_str(line, "status")?)?;
+        let metrics = extract_metric_pairs(line)?;
+        Ok(JournalRecord {
+            cell,
+            rep,
+            seed,
+            status,
+            metrics,
+        })
+    }
+}
+
+/// `{:?}`-free float formatting that always round-trips: integral values
+/// keep a `.0` suffix so the JSON stays visibly a float.
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() && v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.1}")
+    } else {
+        format!("{v}")
+    }
+}
+
+fn encode_status(status: &RunStatus) -> String {
+    match status {
+        RunStatus::Completed => "completed".to_owned(),
+        RunStatus::Aborted(AbortReason::Stalled {
+            stalled_for,
+            events_delivered,
+        }) => format!(
+            "aborted-stalled:{}:{}",
+            stalled_for.as_millis(),
+            events_delivered
+        ),
+        RunStatus::Aborted(AbortReason::DeadlineExceeded {
+            deadline,
+            events_delivered,
+        }) => format!(
+            "aborted-deadline:{}:{}",
+            deadline.as_millis(),
+            events_delivered
+        ),
+    }
+}
+
+fn decode_status(text: &str) -> Result<RunStatus, String> {
+    if text == "completed" {
+        return Ok(RunStatus::Completed);
+    }
+    let mut parts = text.split(':');
+    let kind = parts.next().unwrap_or_default();
+    let millis: u64 = parts
+        .next()
+        .and_then(|p| p.parse().ok())
+        .ok_or_else(|| format!("bad status `{text}`"))?;
+    let events: u64 = parts
+        .next()
+        .and_then(|p| p.parse().ok())
+        .ok_or_else(|| format!("bad status `{text}`"))?;
+    match kind {
+        "aborted-stalled" => Ok(RunStatus::Aborted(AbortReason::Stalled {
+            stalled_for: Duration::from_millis(millis),
+            events_delivered: events,
+        })),
+        "aborted-deadline" => Ok(RunStatus::Aborted(AbortReason::DeadlineExceeded {
+            deadline: Duration::from_millis(millis),
+            events_delivered: events,
+        })),
+        other => Err(format!("unknown status `{other}`")),
+    }
+}
+
+/// Extracts `"key":"VALUE"` (values never contain `"` — enforced at spec
+/// parse time).
+fn extract_str(line: &str, key: &str) -> Result<String, String> {
+    let marker = format!("\"{key}\":\"");
+    let start = line
+        .find(&marker)
+        .ok_or_else(|| format!("missing string field `{key}`"))?
+        + marker.len();
+    let end = line[start..]
+        .find('"')
+        .ok_or_else(|| format!("unterminated string field `{key}`"))?;
+    Ok(line[start..start + end].to_owned())
+}
+
+/// Extracts `"key":NUMBER`.
+fn extract_num(line: &str, key: &str) -> Result<f64, String> {
+    let marker = format!("\"{key}\":");
+    let start = line
+        .find(&marker)
+        .ok_or_else(|| format!("missing numeric field `{key}`"))?
+        + marker.len();
+    let rest = &line[start..];
+    let end = rest
+        .find([',', '}'])
+        .ok_or_else(|| format!("unterminated numeric field `{key}`"))?;
+    rest[..end]
+        .trim()
+        .parse()
+        .map_err(|e| format!("bad number in `{key}`: {e}"))
+}
+
+/// Extracts the `"metrics":[["name",1.5],...]` pair array.
+fn extract_metric_pairs(line: &str) -> Result<Vec<(String, f64)>, String> {
+    let marker = "\"metrics\":[";
+    let start = line.find(marker).ok_or("missing `metrics` field")? + marker.len();
+    let end = line[start..]
+        .rfind(']')
+        .ok_or("unterminated `metrics` array")?;
+    let body = &line[start..start + end];
+    let mut metrics = Vec::new();
+    let mut rest = body;
+    while let Some(open) = rest.find("[\"") {
+        let name_start = open + 2;
+        let name_end = rest[name_start..]
+            .find('"')
+            .ok_or("unterminated metric name")?
+            + name_start;
+        let name = rest[name_start..name_end].to_owned();
+        let value_start = name_end + 2; // skip `",`
+        let value_end = rest[value_start..]
+            .find(']')
+            .ok_or("unterminated metric value")?
+            + value_start;
+        let value: f64 = rest[value_start..value_end]
+            .trim()
+            .parse()
+            .map_err(|e| format!("bad metric value for `{name}`: {e}"))?;
+        metrics.push((name, value));
+        rest = &rest[value_end + 1..];
+    }
+    Ok(metrics)
+}
+
+/// The file-backed matrix journal: header line + one JSON line per
+/// finished cell-repetition, appended and flushed as runs finish.
+pub struct MatrixJournal {
+    file: File,
+}
+
+impl MatrixJournal {
+    /// Opens (or creates) the journal for `matrix` at `path`, returning
+    /// the journal and every valid record already present.
+    ///
+    /// * A fresh file gets the fingerprint header.
+    /// * An existing file must carry the **same** fingerprint — resuming
+    ///   a different matrix into the journal is an error, never silent.
+    /// * A trailing partial line (killed mid-write) is truncated away, so
+    ///   the append position is always a clean line boundary.
+    pub fn open(path: &Path, matrix: &ScenarioMatrix) -> io::Result<(Self, Vec<JournalRecord>)> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let mut text = String::new();
+        file.read_to_string(&mut text)?;
+
+        if text.is_empty() {
+            let header = format!("{{\"matrix\":\"{}\"}}\n", matrix.fingerprint());
+            file.write_all(header.as_bytes())?;
+            file.flush()?;
+            return Ok((MatrixJournal { file }, Vec::new()));
+        }
+
+        let Some((header_line, _)) = text.split_once('\n') else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "journal header line is incomplete",
+            ));
+        };
+        let found = extract_str(header_line, "matrix")
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        if found != matrix.fingerprint() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "journal belongs to a different matrix:\n  journal: {found}\n  spec:    {}",
+                    matrix.fingerprint()
+                ),
+            ));
+        }
+
+        // Replay the body, keeping the longest valid line prefix; a
+        // partial or corrupt tail is truncated so the next append starts
+        // on a clean boundary (its repetition simply re-runs).
+        let mut records = Vec::new();
+        let mut valid_len = header_line.len() + 1;
+        let body = &text[valid_len..];
+        for line in body.split_inclusive('\n') {
+            let complete = line.ends_with('\n');
+            match (complete, JournalRecord::parse_json_line(line)) {
+                (true, Ok(record)) => {
+                    records.push(record);
+                    valid_len += line.len();
+                }
+                _ => break,
+            }
+        }
+        if valid_len < text.len() {
+            file.set_len(valid_len as u64)?;
+        }
+        file.seek(io::SeekFrom::Start(valid_len as u64))?;
+        Ok((MatrixJournal { file }, records))
+    }
+
+    /// Appends one record and flushes it to disk before returning — a
+    /// kill after `append` returns can never lose the repetition.
+    pub fn append(&mut self, record: &JournalRecord) -> io::Result<()> {
+        let line = record.to_json_line();
+        self.file.write_all(line.as_bytes())?;
+        self.file.write_all(b"\n")?;
+        self.file.flush()?;
+        self.file.sync_data()
+    }
+}
+
+/// How a matrix execution went: what ran, what was skipped as already
+/// journaled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatrixProgress {
+    /// Cell-repetitions the matrix schedules in total.
+    pub total: usize,
+    /// Repetitions skipped because the journal already held them.
+    pub resumed: usize,
+    /// Repetitions executed in this invocation.
+    pub executed: usize,
+}
+
+/// One cell's aggregate over its clean repetitions.
+#[derive(Debug, Clone)]
+pub struct CellAggregate {
+    /// The cell's stable id.
+    pub cell: String,
+    /// Aborted repetitions excluded from the aggregates.
+    pub excluded: u32,
+    /// Whether the clean-repetition count meets the paper's n ≥ 30 rule.
+    pub meets_n30: bool,
+    /// Per-metric summary + CI95 (Student-t below n = 30), in first-seen
+    /// metric order.
+    pub metrics: Vec<MetricAggregate>,
+}
+
+/// One metric's aggregate within a cell.
+#[derive(Debug, Clone)]
+pub struct MetricAggregate {
+    /// Metric name as reported by the cell runner.
+    pub name: String,
+    /// Streaming summary over clean repetitions.
+    pub summary: Summary,
+    /// CI95 of the mean, if computable.
+    pub ci95: Option<ConfidenceInterval>,
+}
+
+/// The outcome of [`run_matrix`]: per-cell aggregates (journal order) and
+/// the resume accounting.
+#[derive(Debug, Clone)]
+pub struct MatrixOutcome {
+    /// Per-cell aggregates, in first-seen journal order.
+    pub cells: Vec<CellAggregate>,
+    /// What ran vs. what resumed.
+    pub progress: MatrixProgress,
+}
+
+/// Aggregates journal records into per-cell CI95 summaries. Pure: the
+/// same records always produce the same aggregates, which is what makes
+/// resumed matrices bit-identical to uninterrupted ones.
+pub fn aggregate_records(records: &[JournalRecord]) -> Vec<CellAggregate> {
+    let mut cells: Vec<(String, Vec<&JournalRecord>)> = Vec::new();
+    for record in records {
+        match cells.iter_mut().find(|(id, _)| *id == record.cell) {
+            Some((_, list)) => list.push(record),
+            None => cells.push((record.cell.clone(), vec![record])),
+        }
+    }
+    cells
+        .into_iter()
+        .map(|(cell, records)| {
+            let mut excluded = 0u32;
+            let mut metrics: Vec<(String, Summary)> = Vec::new();
+            let mut clean = 0u64;
+            for record in records {
+                match record.status {
+                    RunStatus::Completed => {
+                        clean += 1;
+                        for (name, value) in &record.metrics {
+                            match metrics.iter_mut().find(|(n, _)| n == name) {
+                                Some((_, summary)) => summary.add(*value),
+                                None => {
+                                    let mut summary = Summary::new();
+                                    summary.add(*value);
+                                    metrics.push((name.clone(), summary));
+                                }
+                            }
+                        }
+                    }
+                    RunStatus::Aborted(_) => excluded += 1,
+                }
+            }
+            CellAggregate {
+                cell,
+                excluded,
+                meets_n30: clean >= 30,
+                metrics: metrics
+                    .into_iter()
+                    .map(|(name, summary)| MetricAggregate {
+                        name,
+                        ci95: summary.ci95(),
+                        summary,
+                    })
+                    .collect(),
+            }
+        })
+        .collect()
+}
+
+/// Executes (or resumes) a scenario matrix against `runner`, journaling
+/// to `journal_path`. Already-journaled cell-repetitions are skipped;
+/// everything else runs in stable enumeration order, each repetition
+/// flushed to the journal before the next starts. Aggregates are computed
+/// from the journal records.
+pub fn run_matrix(
+    matrix: &ScenarioMatrix,
+    journal_path: &Path,
+    runner: &mut dyn CellRunner,
+) -> io::Result<MatrixOutcome> {
+    run_matrix_with_progress(matrix, journal_path, runner, &mut |_, _, _| {})
+}
+
+/// [`run_matrix`] with a progress callback `(cell_id, rep, resumed)`
+/// invoked per cell-repetition (after skipping or running it).
+pub fn run_matrix_with_progress(
+    matrix: &ScenarioMatrix,
+    journal_path: &Path,
+    runner: &mut dyn CellRunner,
+    progress: &mut dyn FnMut(&str, u32, bool),
+) -> io::Result<MatrixOutcome> {
+    let (mut journal, mut records) = MatrixJournal::open(journal_path, matrix)?;
+    let done: HashSet<(String, u32)> = records.iter().map(|r| (r.cell.clone(), r.rep)).collect();
+    let resumed = records.len();
+    let mut executed = 0usize;
+    for cell in matrix.cells() {
+        let id = cell_id(&cell);
+        let spec = matrix.cell_spec(&cell);
+        for rep in 0..matrix.repetitions {
+            if done.contains(&(id.clone(), rep)) {
+                progress(&id, rep, true);
+                continue;
+            }
+            let seed = spec.seed_for(rep);
+            let result = runner.run(&cell, rep, seed);
+            let record = JournalRecord {
+                cell: id.clone(),
+                rep,
+                seed,
+                status: result.status,
+                metrics: result.metrics,
+            };
+            journal.append(&record)?;
+            records.push(record);
+            executed += 1;
+            progress(&id, rep, false);
+        }
+    }
+    Ok(MatrixOutcome {
+        cells: aggregate_records(&records),
+        progress: MatrixProgress {
+            total: matrix.total_runs(),
+            resumed,
+            executed,
+        },
+    })
+}
+
+/// Renders the comparative matrix table: one block per cell, one line per
+/// metric with mean, CI95, n, and the n ≥ 30 caveat.
+pub fn render_matrix_table(cells: &[CellAggregate]) -> String {
+    let mut out = String::new();
+    for aggregate in cells {
+        out.push_str(&format!(
+            "cell {} (n={}, excluded={}{})\n",
+            aggregate.cell,
+            aggregate.metrics.first().map_or(0, |m| m.summary.count()),
+            aggregate.excluded,
+            if aggregate.meets_n30 {
+                ""
+            } else {
+                ", below n>=30 — provisional"
+            },
+        ));
+        for metric in &aggregate.metrics {
+            match &metric.ci95 {
+                Some(ci) => out.push_str(&format!(
+                    "  {:<20} mean {:>12.2}  CI95 [{:>12.2}, {:>12.2}]\n",
+                    metric.name,
+                    metric.summary.mean(),
+                    ci.lo,
+                    ci.hi
+                )),
+                None => out.push_str(&format!(
+                    "  {:<20} mean {:>12.2}  (no CI: n < 2)\n",
+                    metric.name,
+                    metric.summary.mean()
+                )),
+            }
+        }
+    }
+    out
+}
+
+impl fmt::Display for ScenarioMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "matrix {}: {} cells x {} reps = {} runs ({} design, seed {})",
+            self.name,
+            self.cells().len(),
+            self.repetitions,
+            self.total_runs(),
+            self.design.label(),
+            self.seed
+        )?;
+        for factor in self.space.factors() {
+            writeln!(
+                f,
+                "  factor {} = {}",
+                factor.name,
+                factor.levels.join(" | ")
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SPEC: &str = "\
+# comment
+matrix = smoke
+repetitions = 3
+seed = 7
+design = full
+factor sut = tide-store | tide-graph
+factor pattern = uniform | flash:1:4:2
+";
+
+    fn runner(
+        calls: &mut Vec<(String, u32, u64)>,
+    ) -> impl FnMut(&Assignment, u32, u64) -> CellRunResult + '_ {
+        move |cell, rep, seed| {
+            calls.push((cell_id(cell), rep, seed));
+            CellRunResult {
+                status: RunStatus::Completed,
+                metrics: vec![
+                    ("achieved_rate".into(), 1000.0 + seed as f64 % 97.0),
+                    ("events".into(), 500.0),
+                ],
+            }
+        }
+    }
+
+    #[test]
+    fn parses_the_spec_format() {
+        let matrix = ScenarioMatrix::parse(SPEC).unwrap();
+        assert_eq!(matrix.name, "smoke");
+        assert_eq!(matrix.repetitions, 3);
+        assert_eq!(matrix.seed, 7);
+        assert_eq!(matrix.cells().len(), 4);
+        assert_eq!(matrix.total_runs(), 12);
+        let ids: Vec<String> = matrix.cells().iter().map(cell_id).collect();
+        assert!(ids.contains(&"sut=tide-store;pattern=flash:1:4:2".to_owned()));
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        for (bad, why) in [
+            ("repetitions = 3\nfactor a = x", "missing name"),
+            ("matrix = m\nfactor a = x", "missing repetitions"),
+            ("matrix = m\nrepetitions = 0\nfactor a = x", "zero reps"),
+            ("matrix = m\nrepetitions = 3", "no factors"),
+            (
+                "matrix = m\nrepetitions = 3\nfactor a = x\nfactor a = y",
+                "dup factor",
+            ),
+            (
+                "matrix = m\nrepetitions = 3\nfactor a; = x",
+                "reserved char",
+            ),
+            ("matrix = m\nrepetitions = 3\nbogus a = x", "unknown key"),
+            (
+                "matrix = m\nrepetitions = 3\ndesign = fractional\nfactor a = x",
+                "bad design",
+            ),
+        ] {
+            assert!(ScenarioMatrix::parse(bad).is_err(), "accepted: {why}");
+        }
+    }
+
+    #[test]
+    fn journal_record_round_trips_exactly() {
+        let record = JournalRecord {
+            cell: "sut=tide-store;pattern=flash:1:4:2".into(),
+            rep: 2,
+            seed: 12345,
+            status: RunStatus::Completed,
+            metrics: vec![
+                ("achieved_rate".into(), 19876.54321),
+                ("p99_micros".into(), 0.1 + 0.2), // deliberately awkward float
+                ("events".into(), 500.0),
+            ],
+        };
+        let parsed = JournalRecord::parse_json_line(&record.to_json_line()).unwrap();
+        assert_eq!(parsed, record);
+        for ((_, a), (_, b)) in record.metrics.iter().zip(&parsed.metrics) {
+            assert_eq!(a.to_bits(), b.to_bits(), "float must round-trip bitwise");
+        }
+    }
+
+    #[test]
+    fn aborted_statuses_round_trip() {
+        for status in [
+            RunStatus::Aborted(AbortReason::Stalled {
+                stalled_for: Duration::from_millis(1500),
+                events_delivered: 42,
+            }),
+            RunStatus::Aborted(AbortReason::DeadlineExceeded {
+                deadline: Duration::from_millis(30_000),
+                events_delivered: 9001,
+            }),
+        ] {
+            let record = JournalRecord {
+                cell: "a=b".into(),
+                rep: 0,
+                seed: 1,
+                status: status.clone(),
+                metrics: vec![("partial".into(), 1.0)],
+            };
+            let parsed = JournalRecord::parse_json_line(&record.to_json_line()).unwrap();
+            assert_eq!(parsed.status, status);
+        }
+    }
+
+    #[test]
+    fn runs_every_cell_repetition_once_with_distinct_seeds() {
+        let dir = std::env::temp_dir().join("gt-matrix-basic");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("journal.jsonl");
+        std::fs::remove_file(&path).ok();
+        let matrix = ScenarioMatrix::parse(SPEC).unwrap();
+        let mut calls = Vec::new();
+        let outcome = run_matrix(&matrix, &path, &mut runner(&mut calls)).unwrap();
+        assert_eq!(calls.len(), 12);
+        let mut seeds: Vec<u64> = calls.iter().map(|(_, _, s)| *s).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 12, "seeds must never collide across cells");
+        assert_eq!(outcome.progress.executed, 12);
+        assert_eq!(outcome.progress.resumed, 0);
+        assert_eq!(outcome.cells.len(), 4);
+        for cell in &outcome.cells {
+            assert_eq!(cell.metrics[0].summary.count(), 3);
+            assert!(!cell.meets_n30);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_skips_completed_and_matches_bitwise() {
+        let dir = std::env::temp_dir().join("gt-matrix-resume");
+        std::fs::create_dir_all(&dir).unwrap();
+        let matrix = ScenarioMatrix::parse(SPEC).unwrap();
+
+        // Reference: the full matrix in one piece.
+        let full_path = dir.join("full.jsonl");
+        std::fs::remove_file(&full_path).ok();
+        let mut calls = Vec::new();
+        let full = run_matrix(&matrix, &full_path, &mut runner(&mut calls)).unwrap();
+
+        // Interrupted: journal truncated after 5 records, then resumed.
+        let cut_path = dir.join("cut.jsonl");
+        std::fs::remove_file(&cut_path).ok();
+        std::fs::copy(&full_path, &cut_path).unwrap();
+        let text = std::fs::read_to_string(&cut_path).unwrap();
+        let keep: String = text.lines().take(1 + 5).map(|l| format!("{l}\n")).collect();
+        std::fs::write(&cut_path, keep).unwrap();
+
+        let mut resumed_calls = Vec::new();
+        let resumed = run_matrix(&matrix, &cut_path, &mut runner(&mut resumed_calls)).unwrap();
+        assert_eq!(resumed.progress.resumed, 5);
+        assert_eq!(resumed.progress.executed, 7);
+        assert_eq!(resumed_calls.len(), 7, "completed repetitions never re-run");
+
+        // The resumed journal is byte-identical to the uninterrupted one…
+        assert_eq!(
+            std::fs::read_to_string(&full_path).unwrap(),
+            std::fs::read_to_string(&cut_path).unwrap()
+        );
+        // …and so are the aggregates.
+        for (a, b) in full.cells.iter().zip(&resumed.cells) {
+            assert_eq!(a.cell, b.cell);
+            for (ma, mb) in a.metrics.iter().zip(&b.metrics) {
+                assert_eq!(ma.summary.mean().to_bits(), mb.summary.mean().to_bits());
+                let (ca, cb) = (ma.ci95.as_ref().unwrap(), mb.ci95.as_ref().unwrap());
+                assert_eq!(ca.lo.to_bits(), cb.lo.to_bits());
+                assert_eq!(ca.hi.to_bits(), cb.hi.to_bits());
+            }
+        }
+        std::fs::remove_file(&full_path).ok();
+        std::fs::remove_file(&cut_path).ok();
+    }
+
+    #[test]
+    fn partial_trailing_line_is_truncated_and_re_run() {
+        let dir = std::env::temp_dir().join("gt-matrix-partial");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("journal.jsonl");
+        std::fs::remove_file(&path).ok();
+        let matrix = ScenarioMatrix::parse(SPEC).unwrap();
+        let mut calls = Vec::new();
+        run_matrix(&matrix, &path, &mut runner(&mut calls)).unwrap();
+
+        // Kill mid-write: chop the file in the middle of the last line.
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() - 17]).unwrap();
+
+        let mut resumed_calls = Vec::new();
+        let outcome = run_matrix(&matrix, &path, &mut runner(&mut resumed_calls)).unwrap();
+        assert_eq!(
+            resumed_calls.len(),
+            1,
+            "only the mangled repetition re-runs"
+        );
+        assert_eq!(outcome.progress.resumed, 11);
+        assert_eq!(
+            std::fs::read_to_string(&path).unwrap(),
+            text,
+            "recovered journal matches the uninterrupted one"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn journal_refuses_a_different_matrix() {
+        let dir = std::env::temp_dir().join("gt-matrix-mismatch");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("journal.jsonl");
+        std::fs::remove_file(&path).ok();
+        let matrix = ScenarioMatrix::parse(SPEC).unwrap();
+        let mut calls = Vec::new();
+        run_matrix(&matrix, &path, &mut runner(&mut calls)).unwrap();
+
+        let mut other = matrix.clone();
+        other.repetitions = 30;
+        let err = run_matrix(&other, &path, &mut runner(&mut calls)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn aborted_repetitions_are_journaled_but_excluded() {
+        let dir = std::env::temp_dir().join("gt-matrix-aborted");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("journal.jsonl");
+        std::fs::remove_file(&path).ok();
+        let matrix =
+            ScenarioMatrix::parse("matrix = ab\nrepetitions = 4\nfactor sut = only").unwrap();
+        let mut aborted_first = true;
+        let outcome = run_matrix(
+            &matrix,
+            &path,
+            &mut |_: &Assignment, _rep: u32, _seed: u64| {
+                let status = if aborted_first {
+                    aborted_first = false;
+                    RunStatus::Aborted(AbortReason::Stalled {
+                        stalled_for: Duration::from_secs(1),
+                        events_delivered: 3,
+                    })
+                } else {
+                    RunStatus::Completed
+                };
+                CellRunResult {
+                    status,
+                    metrics: vec![("rate".into(), 100.0)],
+                }
+            },
+        )
+        .unwrap();
+        let cell = &outcome.cells[0];
+        assert_eq!(cell.excluded, 1);
+        assert_eq!(cell.metrics[0].summary.count(), 3);
+        assert_eq!(cell.metrics[0].summary.mean(), 100.0);
+
+        // Resume sees the aborted repetition as done: nothing re-runs.
+        let mut reruns = 0usize;
+        let resumed = run_matrix(&matrix, &path, &mut |_: &Assignment, _: u32, _: u64| {
+            reruns += 1;
+            CellRunResult {
+                status: RunStatus::Completed,
+                metrics: vec![("rate".into(), 999.0)],
+            }
+        })
+        .unwrap();
+        assert_eq!(reruns, 0);
+        assert_eq!(resumed.cells[0].excluded, 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn table_renders_means_and_caveats() {
+        let records = vec![
+            JournalRecord {
+                cell: "sut=a".into(),
+                rep: 0,
+                seed: 1,
+                status: RunStatus::Completed,
+                metrics: vec![("rate".into(), 100.0)],
+            },
+            JournalRecord {
+                cell: "sut=a".into(),
+                rep: 1,
+                seed: 2,
+                status: RunStatus::Completed,
+                metrics: vec![("rate".into(), 110.0)],
+            },
+        ];
+        let table = render_matrix_table(&aggregate_records(&records));
+        assert!(table.contains("sut=a"), "{table}");
+        assert!(table.contains("105.00"), "{table}");
+        assert!(table.contains("provisional"), "{table}");
+    }
+}

@@ -1,0 +1,179 @@
+//! Resume-correctness properties of the scenario-matrix orchestrator.
+//!
+//! The journal's contract is that a matrix killed at **any byte** of the
+//! file resumes to a bit-identical journal and bit-identical aggregates,
+//! re-running only repetitions whose record was incomplete. The unit
+//! tests in `orchestrator.rs` spot-check one truncation point; this
+//! property test sweeps every byte boundary of the journal.
+
+use std::time::Duration;
+
+use gt_harness::{
+    aggregate_records, cell_id, render_matrix_table, run_matrix, AbortReason, Assignment,
+    CellRunResult, FactorSpace, JournalRecord, RunStatus, ScenarioMatrix,
+};
+
+const SPEC: &str = "\
+matrix = resume-prop
+repetitions = 3
+seed = 99
+factor sut = a | b
+factor rate = 1 | 2
+";
+
+/// A deterministic runner: metrics and status are pure functions of
+/// (cell, rep, seed), so any resume must reproduce the exact bytes an
+/// uninterrupted execution writes. One cell's rep 1 aborts to keep the
+/// excluded-repetition path in the property.
+fn runner_result(cell: &Assignment, rep: u32, seed: u64) -> CellRunResult {
+    let id = cell_id(cell);
+    let status = if id.contains("sut=b") && rep == 1 {
+        RunStatus::Aborted(AbortReason::Stalled {
+            stalled_for: Duration::from_millis(seed % 50),
+            events_delivered: seed,
+        })
+    } else {
+        RunStatus::Completed
+    };
+    CellRunResult {
+        status,
+        metrics: vec![
+            ("throughput".to_owned(), (seed % 1009) as f64 + 0.25),
+            ("latency".to_owned(), (seed % 31) as f64 * 1.5),
+        ],
+    }
+}
+
+/// Complete, parseable records in a journal prefix (excluding the
+/// header) — exactly what `MatrixJournal::open` will keep.
+fn valid_records_in(prefix: &[u8]) -> usize {
+    let text = String::from_utf8_lossy(prefix);
+    let Some((_, body)) = text.split_once('\n') else {
+        return 0;
+    };
+    let mut n = 0;
+    for line in body.split_inclusive('\n') {
+        if line.ends_with('\n') && JournalRecord::parse_json_line(line).is_ok() {
+            n += 1;
+        } else {
+            break;
+        }
+    }
+    n
+}
+
+#[test]
+fn truncation_at_every_byte_resumes_bit_identical() {
+    let dir = std::env::temp_dir().join("gt-matrix-resume-prop");
+    std::fs::create_dir_all(&dir).unwrap();
+    let matrix = ScenarioMatrix::parse(SPEC).unwrap();
+    let total = matrix.total_runs();
+
+    // Reference: one uninterrupted execution.
+    let full_path = dir.join("full.jsonl");
+    std::fs::remove_file(&full_path).ok();
+    let full = run_matrix(&matrix, &full_path, &mut runner_result).unwrap();
+    assert_eq!(full.progress.executed, total);
+    let full_bytes = std::fs::read(&full_path).unwrap();
+    let full_table = render_matrix_table(&full.cells);
+    let header_end = full_bytes.iter().position(|&b| b == b'\n').unwrap() + 1;
+
+    // Kill the matrix at every byte past the header and resume.
+    let cut_path = dir.join("cut.jsonl");
+    for cut in header_end..=full_bytes.len() {
+        std::fs::write(&cut_path, &full_bytes[..cut]).unwrap();
+        let survived = valid_records_in(&full_bytes[..cut]);
+        let mut executed_reps = Vec::new();
+        let resumed = run_matrix(
+            &matrix,
+            &cut_path,
+            &mut |cell: &Assignment, rep: u32, seed: u64| {
+                executed_reps.push((cell_id(cell), rep));
+                runner_result(cell, rep, seed)
+            },
+        )
+        .unwrap();
+
+        assert_eq!(
+            resumed.progress.executed,
+            total - survived,
+            "cut at byte {cut}: completed repetitions must not re-run"
+        );
+        assert_eq!(resumed.progress.resumed, survived, "cut at byte {cut}");
+        assert_eq!(
+            std::fs::read(&cut_path).unwrap(),
+            full_bytes,
+            "cut at byte {cut}: resumed journal must be bit-identical"
+        );
+        assert_eq!(
+            render_matrix_table(&resumed.cells),
+            full_table,
+            "cut at byte {cut}: aggregates must be bit-identical"
+        );
+        // Resume executes the missing suffix in enumeration order, never
+        // a repetition the journal already held.
+        assert_eq!(executed_reps.len(), total - survived);
+    }
+}
+
+#[test]
+fn aggregates_from_journal_match_run_outcome() {
+    let dir = std::env::temp_dir().join("gt-matrix-reread");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("journal.jsonl");
+    std::fs::remove_file(&path).ok();
+    let matrix = ScenarioMatrix::parse(SPEC).unwrap();
+    let outcome = run_matrix(&matrix, &path, &mut runner_result).unwrap();
+
+    // Re-reading the journal offline (the `gt-report --matrix` path)
+    // reproduces the exact aggregates the live run reported.
+    let text = std::fs::read_to_string(&path).unwrap();
+    let records: Vec<JournalRecord> = text
+        .lines()
+        .skip(1)
+        .map(|line| JournalRecord::parse_json_line(line).unwrap())
+        .collect();
+    assert_eq!(
+        render_matrix_table(&aggregate_records(&records)),
+        render_matrix_table(&outcome.cells)
+    );
+}
+
+#[test]
+fn factor_space_enumeration_order_is_stable() {
+    let space = FactorSpace::new()
+        .factor("sut", ["a", "b"])
+        .factor("rate", ["1", "2", "3"])
+        .factor("chaos", ["none", "crash"]);
+
+    // Two enumerations of the same space are identical, and so is the
+    // enumeration of an independently built equal space — resume depends
+    // on this order never changing between invocations.
+    let full = space.full_factorial();
+    assert_eq!(full, space.full_factorial());
+    let ofat = space.one_factor_at_a_time();
+    assert_eq!(ofat, space.one_factor_at_a_time());
+
+    let rebuilt = FactorSpace::new()
+        .factor("sut", ["a", "b"])
+        .factor("rate", ["1", "2", "3"])
+        .factor("chaos", ["none", "crash"]);
+    assert_eq!(full, rebuilt.full_factorial());
+    assert_eq!(ofat, rebuilt.one_factor_at_a_time());
+
+    // The full factorial varies the *last* factor fastest; golden-pin the
+    // first cells so an accidental reordering fails loudly.
+    let ids: Vec<String> = full.iter().map(cell_id).collect();
+    assert_eq!(ids[0], "sut=a;rate=1;chaos=none");
+    assert_eq!(ids[1], "sut=a;rate=1;chaos=crash");
+    assert_eq!(ids[2], "sut=a;rate=2;chaos=none");
+    assert_eq!(ids.len(), 12);
+
+    // Parsing the same spec twice enumerates identically too.
+    let a = ScenarioMatrix::parse(SPEC).unwrap();
+    let b = ScenarioMatrix::parse(SPEC).unwrap();
+    let a_ids: Vec<String> = a.cells().iter().map(cell_id).collect();
+    let b_ids: Vec<String> = b.cells().iter().map(cell_id).collect();
+    assert_eq!(a_ids, b_ids);
+    assert_eq!(a.fingerprint(), b.fingerprint());
+}

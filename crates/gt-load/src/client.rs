@@ -27,6 +27,7 @@ use std::time::Duration;
 use crossbeam::channel::{self, Receiver, Sender};
 use gt_core::prelude::*;
 use gt_metrics::Clock;
+use gt_replayer::pattern::RatePattern;
 use gt_replayer::EventSink;
 
 use crate::model::LoopModel;
@@ -53,6 +54,10 @@ pub struct ClientConfig {
     pub seed: u64,
     /// Draw Poisson arrivals (default); `false` paces uniformly.
     pub poisson: bool,
+    /// Rate-variability shape (§4.4): the intensity this client's Poisson
+    /// arrivals follow over time. [`RatePattern::Uniform`] is constant
+    /// intensity; ignored by uniform (non-Poisson) pacing.
+    pub pattern: RatePattern,
 }
 
 impl ClientConfig {
@@ -65,14 +70,31 @@ impl ClientConfig {
             rate,
             seed,
             poisson: true,
+            pattern: RatePattern::Uniform,
         }
+    }
+
+    /// Shapes this client's arrival intensity by a rate pattern
+    /// (builder style).
+    #[must_use]
+    pub fn with_pattern(mut self, pattern: RatePattern) -> Self {
+        self.pattern = pattern;
+        self
     }
 
     /// The arrival schedule this client will emit for `events` graph
     /// events — a pure function of the config, never of the SUT.
     pub fn schedule(&self, events: usize) -> ArrivalSchedule {
         if self.poisson {
-            ArrivalSchedule::poisson(self.rate, events, self.seed)
+            match self.pattern {
+                RatePattern::Uniform => ArrivalSchedule::poisson(self.rate, events, self.seed),
+                ref shaped => ArrivalSchedule::patterned(
+                    self.rate,
+                    events,
+                    self.seed,
+                    &shaped.compile(self.seed),
+                ),
+            }
         } else {
             ArrivalSchedule::uniform(self.rate, events)
         }

@@ -52,3 +52,5 @@ pub use partition::SeededPartitioner;
 pub use plan::{ClientClass, LoadPlan};
 pub use runner::{run_load, ConnectorFactory, LoadOutcome};
 pub use schedule::ArrivalSchedule;
+
+pub use gt_replayer::pattern::{CompiledPattern, RatePattern};

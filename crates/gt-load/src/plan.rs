@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use gt_replayer::pattern::RatePattern;
+
 use crate::model::LoopModel;
 
 /// One class of identical clients (e.g. "bulk" open-loop writers plus a
@@ -54,6 +56,9 @@ pub struct LoadPlan {
     pub classes: Vec<ClientClass>,
     /// Seed for partitioning and arrival schedules.
     pub seed: u64,
+    /// Rate-variability shape (§4.4) every open-loop client's arrival
+    /// intensity follows; [`RatePattern::Uniform`] is constant intensity.
+    pub pattern: RatePattern,
 }
 
 impl LoadPlan {
@@ -63,6 +68,7 @@ impl LoadPlan {
         LoadPlan {
             classes: vec![ClientClass::new("main", connections, total_rate, model)],
             seed,
+            pattern: RatePattern::Uniform,
         }
     }
 
@@ -70,6 +76,14 @@ impl LoadPlan {
     #[must_use]
     pub fn with_class(mut self, class: ClientClass) -> Self {
         self.classes.push(class);
+        self
+    }
+
+    /// Shapes every client's arrival intensity by a rate pattern
+    /// (builder style).
+    #[must_use]
+    pub fn with_pattern(mut self, pattern: RatePattern) -> Self {
+        self.pattern = pattern;
         self
     }
 
@@ -101,7 +115,11 @@ impl fmt::Display for LoadPlan {
                 )
             })
             .collect();
-        write!(f, "[{}] seed {}", classes.join("; "), self.seed)
+        write!(f, "[{}] seed {}", classes.join("; "), self.seed)?;
+        if self.pattern != RatePattern::Uniform {
+            write!(f, " pattern {}", self.pattern)?;
+        }
+        Ok(())
     }
 }
 

@@ -136,7 +136,8 @@ pub fn run_load(
                 class.model,
                 class.rate_per_connection,
                 plan.seed.wrapping_add(conn as u64),
-            );
+            )
+            .with_pattern(plan.pattern.clone());
             let clock = Arc::clone(&clock);
             workers.push(
                 thread::Builder::new()
@@ -299,6 +300,7 @@ mod tests {
         let plan = LoadPlan {
             classes: Vec::new(),
             seed: 0,
+            pattern: gt_replayer::pattern::RatePattern::Uniform,
         };
         let clock: Arc<dyn Clock> = Arc::new(WallClock::start());
         let err = run_load(&stream, &plan, Box::new(|| unreachable!()), clock).unwrap_err();

@@ -29,6 +29,7 @@
 pub mod errors;
 pub mod mmap;
 pub mod pacing;
+pub mod pattern;
 pub mod reader;
 pub mod reconnect;
 pub mod replayer;
@@ -39,6 +40,7 @@ pub mod source;
 pub use errors::ReplayError;
 pub use mmap::{spawn_mmap_reader, MmapFile};
 pub use pacing::{Pacer, PacerCore, Schedule};
+pub use pattern::{CompiledPattern, RatePattern};
 pub use reader::spawn_file_reader;
 pub use reconnect::{ReconnectPolicy, ReconnectingTcpSink};
 pub use replayer::{ReplayReport, Replayer, ReplayerConfig};

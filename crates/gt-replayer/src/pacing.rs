@@ -14,6 +14,8 @@
 
 use std::time::{Duration, Instant};
 
+use crate::pattern::CompiledPattern;
+
 /// The remaining-wait threshold below which the pacer spins instead of
 /// sleeping. Chosen well above typical Linux timer slack.
 const SPIN_THRESHOLD: Duration = Duration::from_micros(200);
@@ -46,6 +48,9 @@ pub struct PacerCore {
     /// Current speed multiplier (from `SPEED` control events).
     speed: f64,
     next_deadline_nanos: u64,
+    /// Optional rate-variability shape (§4.4): a time-varying multiplier
+    /// on top of base rate × SPEED. `None` is the paper's uniform pacing.
+    pattern: Option<CompiledPattern>,
 }
 
 impl PacerCore {
@@ -59,7 +64,21 @@ impl PacerCore {
             base_interval_nanos: 1e9 / rate,
             speed: 1.0,
             next_deadline_nanos: 0,
+            pattern: None,
         }
+    }
+
+    /// Attaches a compiled rate pattern: every scheduled interval is
+    /// divided by the pattern's multiplier at the slot's deadline, so the
+    /// emitted rate follows the shape (diurnal wave, burst train, flash
+    /// crowd) while SPEED control events still scale on top.
+    pub fn with_pattern(mut self, pattern: CompiledPattern) -> Self {
+        self.pattern = if pattern.is_uniform() {
+            None
+        } else {
+            Some(pattern)
+        };
+        self
     }
 
     /// Applies a `SPEED` control factor (1.0 restores the base rate).
@@ -91,7 +110,18 @@ impl PacerCore {
     /// non-finite quotient must not saturate the `as u64` cast into a
     /// ~585-year interval.
     fn interval_nanos(&self) -> u64 {
-        let interval = self.base_interval_nanos / self.speed;
+        self.interval_nanos_at(self.next_deadline_nanos)
+    }
+
+    /// The inter-event interval in force at run-relative time `t_nanos`:
+    /// base interval ÷ (speed × pattern multiplier), clamped to a finite,
+    /// representable value.
+    fn interval_nanos_at(&self, t_nanos: u64) -> u64 {
+        let multiplier = self
+            .pattern
+            .as_ref()
+            .map_or(1.0, |p| p.multiplier_at_micros(t_nanos / 1_000));
+        let interval = self.base_interval_nanos / (self.speed * multiplier);
         if interval.is_finite() && interval >= 0.0 {
             interval as u64
         } else {
@@ -130,7 +160,7 @@ impl PacerCore {
     /// Re-anchors the deadline to `now` + one interval (used after
     /// `PAUSE`).
     pub fn reset(&mut self, now_nanos: u64) {
-        self.next_deadline_nanos = now_nanos + self.interval_nanos();
+        self.next_deadline_nanos = now_nanos + self.interval_nanos_at(now_nanos);
     }
 }
 
@@ -149,6 +179,18 @@ impl Pacer {
     pub fn new(rate: f64) -> Self {
         Pacer {
             core: PacerCore::new(rate),
+            origin: Instant::now(),
+        }
+    }
+
+    /// A pacer targeting `rate` events per second, shaped by a compiled
+    /// rate pattern (see [`crate::pattern::RatePattern`]).
+    ///
+    /// # Panics
+    /// If `rate` is not positive and finite.
+    pub fn with_pattern(rate: f64, pattern: CompiledPattern) -> Self {
+        Pacer {
+            core: PacerCore::new(rate).with_pattern(pattern),
             origin: Instant::now(),
         }
     }
@@ -417,6 +459,72 @@ mod tests {
         core.reset(0);
         let s = core.schedule(0);
         assert_eq!(s.wait_nanos, 500_000);
+    }
+
+    #[test]
+    fn flash_crowd_pattern_compresses_intervals_during_the_surge() {
+        // 1 kHz base rate with a 4x flash crowd from t=10ms for 10ms
+        // (scaled-down pattern): slots before the surge are 1 ms apart,
+        // slots inside it 0.25 ms apart, slots after it 1 ms again.
+        use crate::pattern::RatePattern;
+        let pattern = RatePattern::FlashCrowd {
+            at_secs: 0.010,
+            factor: 4.0,
+            hold_secs: 0.010,
+        }
+        .compile(0);
+        let mut core = PacerCore::new(1_000.0).with_pattern(pattern);
+        core.reset(0);
+        let mut t = 0u64;
+        let mut gaps = Vec::new();
+        for _ in 0..60 {
+            let s = sched(&mut core, t);
+            gaps.push(s.wait_nanos);
+            t += s.wait_nanos; // ideal emitter: arrive exactly on deadline
+        }
+        assert_eq!(gaps[0], 1_000_000, "base-rate gap before the surge");
+        assert!(
+            gaps.iter().filter(|&&g| g == 250_000).count() >= 30,
+            "surge slots at the 4x interval: {gaps:?}"
+        );
+        assert_eq!(
+            *gaps.last().unwrap(),
+            1_000_000,
+            "base-rate gap restored after the surge: {gaps:?}"
+        );
+    }
+
+    #[test]
+    fn uniform_pattern_changes_nothing() {
+        use crate::pattern::RatePattern;
+        let mut plain = PacerCore::new(1_000.0);
+        let mut shaped = PacerCore::new(1_000.0).with_pattern(RatePattern::Uniform.compile(9));
+        plain.reset(0);
+        shaped.reset(0);
+        let mut t = 0u64;
+        for _ in 0..10 {
+            let a = sched(&mut plain, t);
+            let b = sched(&mut shaped, t);
+            assert_eq!(a, b);
+            t += a.wait_nanos;
+        }
+    }
+
+    #[test]
+    fn speed_control_scales_on_top_of_the_pattern() {
+        // SPEED,,2 during a 4x surge: the interval is base / (2 × 4).
+        use crate::pattern::RatePattern;
+        let pattern = RatePattern::FlashCrowd {
+            at_secs: 0.0,
+            factor: 4.0,
+            hold_secs: 1_000.0,
+        }
+        .compile(0);
+        let mut core = PacerCore::new(1_000.0).with_pattern(pattern);
+        core.set_speed(2.0);
+        core.reset(0);
+        let s = sched(&mut core, 0);
+        assert_eq!(s.wait_nanos, 125_000);
     }
 
     #[test]

@@ -11,6 +11,7 @@ use gt_trace::Probe;
 
 use crate::errors::ReplayError;
 use crate::pacing::Pacer;
+use crate::pattern::RatePattern;
 use crate::sink::EventSink;
 
 /// Replayer configuration.
@@ -29,6 +30,12 @@ pub struct ReplayerConfig {
     /// has already passed (catch-up bursts, rates beyond the sink's
     /// ceiling) are batched.
     pub max_batch: usize,
+    /// Rate-variability shape (§4.4): how the offered rate varies over
+    /// the run. [`RatePattern::Uniform`] is the paper's constant pacing.
+    pub pattern: RatePattern,
+    /// Seed for stochastic patterns (Pareto burst trains); same seed,
+    /// same traffic shape.
+    pub pattern_seed: u64,
 }
 
 impl Default for ReplayerConfig {
@@ -38,6 +45,8 @@ impl Default for ReplayerConfig {
             rate_bucket_secs: 1.0,
             honor_pauses: true,
             max_batch: 256,
+            pattern: RatePattern::Uniform,
+            pattern_seed: 0,
         }
     }
 }
@@ -197,7 +206,10 @@ impl Replayer {
         I::Item: Into<SharedEntry>,
         S: EventSink + ?Sized,
     {
-        let mut pacer = Pacer::new(self.config.target_rate);
+        let mut pacer = Pacer::with_pattern(
+            self.config.target_rate,
+            self.config.pattern.compile(self.config.pattern_seed),
+        );
         pacer.reset();
         sink.open()?;
         let started = self.clock.now_micros();

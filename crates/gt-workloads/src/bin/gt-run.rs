@@ -12,8 +12,10 @@
 //!        [--faults drop:0.01,dup:0.005,shuffle:64] [--fault-seed N]
 //!        [--chaos "crash@200,worker=0,restart=300; stall@500,ms=50"]
 //!        [--clients N] [--loop-model open|closed|partial:W] [--load-seed N]
+//!        [--pattern uniform|diurnal:P:A|pareto:A:B:P|flash:AT:F:HOLD]
 //!        [--scale C1,C2,..xR1,R2,..] [--assert-achieved F]
 //!        [--shards N | --shards N1,N2,..] [--differential N]
+//! gt-run matrix <matrix.spec> [--stream <stream.csv>] [--journal <path>]
 //! ```
 //!
 //! `--faults` derives an unreliable/unordered stream a priori (§3.2)
@@ -32,6 +34,16 @@
 //! when achieved/offered drops below F or any marker ordering violation
 //! is observed — the CI smoke hook.
 //!
+//! `gt-run matrix` switches to the scenario-matrix orchestrator: a
+//! declarative spec file names factors (`sut`, `rate`, `pattern`,
+//! `shards`, `clients`, `loop`, `chaos`, `stream`) whose cross-product is
+//! executed cell by cell with n repetitions each, journaled to
+//! `<spec>.journal.jsonl` (one JSON line per finished cell-repetition),
+//! and aggregated into per-cell CI95 summaries. A killed matrix resumes
+//! from the journal without re-running completed cell-repetitions and
+//! reproduces bit-identical aggregates; `gt-report --matrix <journal>`
+//! re-renders the comparative table offline.
+//!
 //! `--shards N` selects the sharded variant of the named platform
 //! (`tide-store` → `tide-store-sharded`) with N hash-partitioned shard
 //! workers. A comma-separated list (`--shards 1,2,4`, load mode only)
@@ -43,15 +55,17 @@
 //! unless final graph state and per-marker-window computation results
 //! are bit-identical.
 
+use std::path::Path;
 use std::process::ExitCode;
 use std::time::Duration;
 
 use gt_analysis::{recovery_windows, shard_scaling, Quantiles, TRACE_SOURCE, TRACE_STAGE_METRICS};
 use gt_faults::{parse_pipeline, FaultInjector};
 use gt_harness::{
-    run_differential, run_file_sut_experiment, run_load_file_sut_experiment, ChaosPlan,
+    cell_id, render_matrix_table, run_differential, run_file_sut_experiment,
+    run_load_file_sut_experiment, run_matrix_with_progress, Assignment, CellRunResult, ChaosPlan,
     EvaluationLevel, FaultSchedule, FileRunPlan, LoadPlan, LoadSutRunOutcome, LoopModel,
-    SutOptions, SutRegistry, WatchdogConfig,
+    RatePattern, RunStatus, ScenarioMatrix, SutOptions, SutRegistry, WatchdogConfig,
 };
 
 /// Throughput fraction of the pre-fault baseline that counts as
@@ -73,6 +87,7 @@ struct Args {
     assert_achieved: Option<f64>,
     shards: Option<Vec<usize>>,
     differential: Option<usize>,
+    pattern: RatePattern,
 }
 
 /// The serial base name of a platform: `tide-store-sharded` → `tide-store`.
@@ -101,8 +116,10 @@ fn usage() -> String {
          \x20             [--faults drop:P,dup:P,shuffle:W,delay:P:N] [--fault-seed N]\n\
          \x20             [--chaos \"kind@trigger[,key=value ...]; ...\"]\n\
          \x20             [--clients N] [--loop-model open|closed|partial:W] [--load-seed N]\n\
+         \x20             [--pattern uniform|diurnal:P:A|pareto:A:B:P|flash:AT:F:HOLD]\n\
          \x20             [--scale C1,C2,..xR1,R2,..] [--assert-achieved F]\n\
-         \x20             [--shards N | --shards N1,N2,..] [--differential N]"
+         \x20             [--shards N | --shards N1,N2,..] [--differential N]\n\
+         \x20      gt-run matrix <matrix.spec> [--stream <stream.csv>] [--journal <path>]"
     )
 }
 
@@ -152,6 +169,7 @@ fn parse_args() -> Result<Args, String> {
     let mut assert_achieved = None;
     let mut shards = None;
     let mut differential = None;
+    let mut pattern = RatePattern::Uniform;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--sut" => sut = Some(args.next().ok_or("--sut needs a value")?),
@@ -246,6 +264,12 @@ fn parse_args() -> Result<Args, String> {
                     .ok_or_else(|| format!("bad option `{pair}`: expected key=value"))?;
                 options.insert(key, value);
             }
+            "--pattern" => {
+                let spec = args.next().ok_or("--pattern needs a spec")?;
+                pattern = spec
+                    .parse()
+                    .map_err(|e| format!("bad pattern `{spec}`: {e}"))?;
+            }
             "--help" | "-h" => return Err(usage()),
             other if !other.starts_with('-') && path.is_none() => path = Some(other.to_owned()),
             other => return Err(format!("unknown argument `{other}`")),
@@ -261,6 +285,11 @@ fn parse_args() -> Result<Args, String> {
     }
     if differential.is_some() && shards.is_some() {
         return Err("--differential already names the candidate shard count".into());
+    }
+    if differential.is_some() && pattern != RatePattern::Uniform {
+        return Err(
+            "--differential compares serial vs sharded under uniform pacing; drop --pattern".into(),
+        );
     }
     if shards.as_ref().is_some_and(|list| list.len() > 1) && clients.is_none() {
         return Err("--shards with multiple counts is the scaling curve; add --clients N".into());
@@ -283,6 +312,7 @@ fn parse_args() -> Result<Args, String> {
         assert_achieved,
         shards,
         differential,
+        pattern,
     })
 }
 
@@ -312,12 +342,10 @@ fn run_load_cell(
     rate: f64,
 ) -> Result<LoadSutRunOutcome, String> {
     let mut plan = FileRunPlan::new(path, rate).at_level(EvaluationLevel::Level1);
-    plan.load = Some(LoadPlan::single(
-        connections,
-        rate,
-        args.loop_model,
-        args.load_seed,
-    ));
+    plan.load = Some(
+        LoadPlan::single(connections, rate, args.loop_model, args.load_seed)
+            .with_pattern(args.pattern.clone()),
+    );
     run_load_file_sut_experiment(plan, registry, sut, options).map_err(|e| e.to_string())
 }
 
@@ -585,7 +613,278 @@ fn run_differential_mode(
     }
 }
 
+/// What one matrix cell's factor assignment resolves to: a fully
+/// validated run configuration. Built once per cell for fail-fast
+/// validation, then again in the runner (cheap, pure string parsing).
+struct CellPlan {
+    stream: String,
+    rate: f64,
+    pattern: RatePattern,
+    sut: String,
+    options: SutOptions,
+    /// 0 means single-sink replay; ≥ 1 switches to the load layer.
+    clients: usize,
+    loop_model: LoopModel,
+    /// `;`-separated chaos schedule (matrix levels use `+` between
+    /// clauses since `;` is reserved by the cell-id encoding).
+    chaos: Option<String>,
+}
+
+fn matrix_usage() -> String {
+    format!(
+        "usage: gt-run matrix <matrix.spec> [--stream <stream.csv>] [--journal <path>]\n\
+         \x20 spec lines: matrix = NAME / repetitions = N / seed = N / design = full|ofat\n\
+         \x20             factor NAME = LEVEL | LEVEL | ...\n\
+         \x20 factors: sut (required, one of {}), rate, pattern\n\
+         \x20          (uniform|diurnal:P:A|pareto:ALPHA:BURST:PEAK|flash:AT:F:HOLD),\n\
+         \x20          shards, clients (0 = single-sink), loop, chaos (none or\n\
+         \x20          clauses joined by `+`), stream (per-cell file override)",
+        builtin_registry().names().join("|")
+    )
+}
+
+/// Resolves one cell's factor assignment into a [`CellPlan`], rejecting
+/// unknown factor names and unparsable levels.
+fn plan_cell(
+    cell: &Assignment,
+    default_stream: Option<&str>,
+    registry: &SutRegistry,
+) -> Result<CellPlan, String> {
+    let mut plan = CellPlan {
+        stream: default_stream.unwrap_or_default().to_owned(),
+        rate: 10_000.0,
+        pattern: RatePattern::Uniform,
+        sut: String::new(),
+        options: SutOptions::new(),
+        clients: 0,
+        loop_model: LoopModel::Open,
+        chaos: None,
+    };
+    let mut shards = None;
+    for (name, value) in cell {
+        match name.as_str() {
+            "sut" => plan.sut = value.clone(),
+            "stream" => plan.stream = value.clone(),
+            "rate" => {
+                plan.rate = value
+                    .parse()
+                    .map_err(|e| format!("bad rate `{value}`: {e}"))?;
+                if !plan.rate.is_finite() || plan.rate <= 0.0 {
+                    return Err(format!("rate `{value}` must be positive"));
+                }
+            }
+            "pattern" => {
+                plan.pattern = value
+                    .parse()
+                    .map_err(|e| format!("bad pattern `{value}`: {e}"))?;
+            }
+            "shards" => {
+                let n: usize = value
+                    .parse()
+                    .map_err(|e| format!("bad shard count `{value}`: {e}"))?;
+                if n == 0 {
+                    return Err("shards must be at least 1".into());
+                }
+                shards = Some(n);
+            }
+            "clients" => {
+                plan.clients = value
+                    .parse()
+                    .map_err(|e| format!("bad client count `{value}`: {e}"))?;
+            }
+            "loop" => {
+                plan.loop_model = value
+                    .parse()
+                    .map_err(|e| format!("bad loop model `{value}`: {e}"))?;
+            }
+            "chaos" => {
+                if value != "none" {
+                    plan.chaos = Some(value.replace('+', ";"));
+                }
+            }
+            other => {
+                return Err(format!(
+                    "unknown factor `{other}` (known: sut, stream, rate, pattern, shards, \
+                     clients, loop, chaos)"
+                ));
+            }
+        }
+    }
+    if plan.sut.is_empty() {
+        return Err("the matrix needs a `sut` factor".into());
+    }
+    if let Some(n) = shards {
+        plan.sut = sharded_name(&plan.sut);
+        plan.options = plan.options.set("shards", n);
+    }
+    if !registry.names().contains(&plan.sut.as_str()) {
+        return Err(format!(
+            "unknown platform `{}` (known: {})",
+            plan.sut,
+            registry.names().join(", ")
+        ));
+    }
+    if plan.stream.is_empty() {
+        return Err("no stream for this cell: pass --stream or add a `stream` factor".into());
+    }
+    if plan.chaos.is_some() && plan.clients > 0 {
+        return Err("chaos applies to single-sink cells; set clients to 0".into());
+    }
+    // Chaos parse errors should surface during validation, not after
+    // hours of completed cells (the seed only offsets trigger jitter).
+    if let Some(spec) = &plan.chaos {
+        FaultSchedule::parse(spec, 0).map_err(|e| format!("bad chaos schedule: {e}"))?;
+    }
+    Ok(plan)
+}
+
+/// Executes one cell-repetition and maps the outcome onto the journal's
+/// `(status, headline metrics)` shape.
+fn run_matrix_cell(
+    plan: &CellPlan,
+    seed: u64,
+    registry: &SutRegistry,
+) -> Result<CellRunResult, String> {
+    if plan.clients > 0 {
+        // Load mode: the load layer paces per-client arrival schedules,
+        // so the rate pattern shapes the arrival intensity there.
+        let mut file_plan =
+            FileRunPlan::new(&plan.stream, plan.rate).at_level(EvaluationLevel::Level1);
+        file_plan.load = Some(
+            LoadPlan::single(plan.clients, plan.rate, plan.loop_model, seed)
+                .with_pattern(plan.pattern.clone()),
+        );
+        let outcome = run_load_file_sut_experiment(file_plan, registry, &plan.sut, &plan.options)
+            .map_err(|e| e.to_string())?;
+        let mut metrics = vec![
+            ("offered_rate".to_owned(), outcome.load.offered_rate()),
+            ("achieved_rate".to_owned(), outcome.load.achieved_rate()),
+            ("achieved_ratio".to_owned(), outcome.load.achieved_ratio()),
+            (
+                "marker_violations".to_owned(),
+                outcome.load.listener.marker_violations as f64,
+            ),
+        ];
+        if let Some(tail) = gt_analysis::sojourn_quantiles(&outcome.log, "main") {
+            metrics.push(("p99_sojourn_us".to_owned(), tail.p99));
+        }
+        return Ok(CellRunResult {
+            status: RunStatus::Completed,
+            metrics,
+        });
+    }
+
+    // Single-sink replay: the pacer itself follows the rate pattern.
+    let level = if plan.chaos.is_some() {
+        EvaluationLevel::Level2
+    } else {
+        EvaluationLevel::Level1
+    };
+    let mut file_plan = FileRunPlan::new(&plan.stream, plan.rate).at_level(level);
+    file_plan.session.replayer.pattern = plan.pattern.clone();
+    file_plan.session.replayer.pattern_seed = seed;
+    if let Some(spec) = &plan.chaos {
+        let schedule = FaultSchedule::parse(spec, seed).map_err(|e| format!("chaos: {e}"))?;
+        file_plan = file_plan
+            .with_chaos(ChaosPlan::new(schedule))
+            .with_watchdog(
+                WatchdogConfig::stall_after(Duration::from_secs(30))
+                    .with_deadline(Duration::from_secs(600)),
+            );
+    }
+    let outcome = run_file_sut_experiment(file_plan, registry, &plan.sut, &plan.options)
+        .map_err(|e| e.to_string())?;
+    let replay = &outcome.run.report.replay;
+    Ok(CellRunResult {
+        status: outcome.run.status.clone(),
+        metrics: vec![
+            ("achieved_rate".to_owned(), replay.achieved_rate),
+            ("events".to_owned(), replay.graph_events as f64),
+            ("duration_s".to_owned(), replay.duration_micros as f64 / 1e6),
+        ],
+    })
+}
+
+fn run_matrix_cli(argv: &[String]) -> Result<ExitCode, String> {
+    let mut spec_path = None;
+    let mut stream = None;
+    let mut journal = None;
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--stream" => stream = Some(it.next().ok_or("--stream needs a path")?.clone()),
+            "--journal" => journal = Some(it.next().ok_or("--journal needs a path")?.clone()),
+            "--help" | "-h" => return Err(matrix_usage()),
+            other if !other.starts_with('-') && spec_path.is_none() => {
+                spec_path = Some(other.to_owned())
+            }
+            other => return Err(format!("unknown argument `{other}`\n{}", matrix_usage())),
+        }
+    }
+    let spec_path = spec_path.ok_or_else(matrix_usage)?;
+    let text = std::fs::read_to_string(&spec_path).map_err(|e| format!("{spec_path}: {e}"))?;
+    let matrix = ScenarioMatrix::parse(&text).map_err(|e| format!("{spec_path}: {e}"))?;
+    let journal = journal.unwrap_or_else(|| format!("{spec_path}.journal.jsonl"));
+    let registry = builtin_registry();
+
+    // Fail fast: every cell must resolve to a runnable plan before the
+    // first (possibly expensive) repetition starts.
+    let cells = matrix.cells();
+    if cells.is_empty() {
+        return Err("the matrix has no cells; add `factor` lines".into());
+    }
+    for cell in &cells {
+        plan_cell(cell, stream.as_deref(), &registry)
+            .map_err(|e| format!("cell {}: {e}", cell_id(cell)))?;
+    }
+
+    print!("{matrix}");
+    println!("journal: {journal}");
+    let mut runner = |cell: &Assignment, _rep: u32, seed: u64| -> CellRunResult {
+        let plan = plan_cell(cell, stream.as_deref(), &registry).expect("cells validated above");
+        match run_matrix_cell(&plan, seed, &registry) {
+            Ok(result) => result,
+            Err(error) => {
+                // The journal holds every finished repetition (flushed
+                // per line), so aborting here loses nothing: rerunning
+                // the same invocation resumes at this exact repetition.
+                eprintln!("gt-run: cell {} failed: {error}", cell_id(cell));
+                eprintln!("gt-run: completed runs are journaled in {journal}; rerun to resume");
+                std::process::exit(1);
+            }
+        }
+    };
+    let mut progress = |cell: &str, rep: u32, resumed: bool| {
+        if resumed {
+            println!("  skip {cell} rep {rep} (journaled)");
+        } else {
+            println!("  ran  {cell} rep {rep}");
+        }
+    };
+    let outcome =
+        run_matrix_with_progress(&matrix, Path::new(&journal), &mut runner, &mut progress)
+            .map_err(|e| format!("{journal}: {e}"))?;
+    println!();
+    print!("{}", render_matrix_table(&outcome.cells));
+    println!(
+        "matrix complete: {} runs total, {} executed, {} resumed from journal",
+        outcome.progress.total, outcome.progress.executed, outcome.progress.resumed
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
 fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().is_some_and(|a| a == "matrix") {
+        return match run_matrix_cli(&argv[1..]) {
+            Ok(code) => code,
+            Err(message) => {
+                eprintln!("{message}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
     let mut args = match parse_args() {
         Ok(args) => args,
         Err(message) => {
@@ -651,6 +950,10 @@ fn main() -> ExitCode {
     // and guard the run with the watchdog so a killed worker can never
     // hang the invocation.
     let mut plan = FileRunPlan::new(&path, args.rate).at_level(EvaluationLevel::Level2);
+    // The pacer itself follows the rate pattern on the single-sink path;
+    // the (pareto) pattern seed rides on --load-seed like the load path's.
+    plan.session.replayer.pattern = args.pattern.clone();
+    plan.session.replayer.pattern_seed = args.load_seed;
     let chaos_description = match &args.chaos {
         Some(spec) => match FaultSchedule::parse(spec, args.fault_seed) {
             Ok(schedule) => {

@@ -93,9 +93,9 @@ fn main() {
 
     let (batch_a, a) = &outcomes[0];
     let (batch_b, b) = &outcomes[1];
-    let verdict = compare_metric(a, b).expect("both sides have intervals");
+    let comparison = compare_metric(a, b).expect("both sides have intervals");
     println!();
-    match verdict {
+    match comparison.verdict {
         Comparison::AGreater => println!(
             "verdict: events_per_tx={batch_a} is significantly FASTER than events_per_tx={batch_b} (non-overlapping CI95)"
         ),
@@ -105,6 +105,9 @@ fn main() {
         Comparison::NotSignificant => println!(
             "verdict: no significant difference at CI95 — more repetitions or a stronger factor needed"
         ),
+    }
+    if !comparison.meets_n30 {
+        println!("caveat: below the paper's n >= 30 rule — the verdict is provisional");
     }
     println!(
         "\n(The paper: \"non-overlapping confidence intervals of the results from two\n\

@@ -93,10 +93,12 @@ fn ci95_comparison_separates_configurations() {
     let fast = repeat_runs(30, measure(50_000.0));
     let slow = repeat_runs(30, measure(10_000.0));
     assert!(fast.meets_n30 && slow.meets_n30);
+    let verdict = compare_metric(&fast, &slow).expect("both sides have intervals");
     assert_eq!(
-        compare_metric(&fast, &slow),
-        Some(graphtides::analysis::summary::Comparison::AGreater)
+        verdict.verdict,
+        graphtides::analysis::summary::Comparison::AGreater
     );
+    assert!(verdict.meets_n30);
 }
 
 #[test]
