@@ -51,7 +51,7 @@ pub use markers::{
     PhaseStats, StageLatency, TRACE_SOURCE, TRACE_STAGE_METRICS,
 };
 pub use percentiles::{percentile, CleanSeries, Quantiles, TailQuantiles};
-pub use recovery::{recovery_windows, RecoveryWindow, CHAOS_SOURCE};
+pub use recovery::{recovery_windows, recovery_windows_from, RecoveryWindow, CHAOS_SOURCE};
 pub use sharding::{shard_scaling, ShardScalingRow};
 pub use summary::{
     compare_ci95, critical_value_95, CiComparison, Comparison, ConfidenceInterval, Summary,

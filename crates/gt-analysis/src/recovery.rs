@@ -52,11 +52,12 @@ pub struct RecoveryWindow {
     pub events_duplicated: u64,
 }
 
-/// Text records for one chaos metric as `(seconds, description)`.
-fn chaos_texts(log: &ResultLog, metric: &str) -> Vec<(f64, String)> {
+/// Text records for one metric under `source` as `(seconds,
+/// description)`.
+fn journal_texts(log: &ResultLog, source: &str, metric: &str) -> Vec<(f64, String)> {
     log.records()
         .iter()
-        .filter(|r| r.source == CHAOS_SOURCE && r.metric == metric)
+        .filter(|r| r.source == source && r.metric == metric)
         .filter_map(|r| match &r.value {
             MetricValue::Text(text) => Some((r.t_secs(), text.clone())),
             _ => None,
@@ -64,11 +65,11 @@ fn chaos_texts(log: &ResultLog, metric: &str) -> Vec<(f64, String)> {
         .collect()
 }
 
-/// Sums an int-valued chaos metric over `[start, end)` seconds.
-fn chaos_sum(log: &ResultLog, metric: &str, start: f64, end: f64) -> u64 {
+/// Sums an int-valued journal metric over `[start, end)` seconds.
+fn journal_sum(log: &ResultLog, source: &str, metric: &str, start: f64, end: f64) -> u64 {
     log.records()
         .iter()
-        .filter(|r| r.source == CHAOS_SOURCE && r.metric == metric)
+        .filter(|r| r.source == source && r.metric == metric)
         .filter(|r| {
             let t = r.t_secs();
             t >= start && t < end
@@ -91,12 +92,39 @@ fn chaos_sum(log: &ResultLog, metric: &str, start: f64, end: f64) -> u64 {
 /// first). Stacked faults therefore measure each fault against the
 /// (possibly already degraded) regime it actually interrupted.
 pub fn recovery_windows(log: &ResultLog, recovery_fraction: f64) -> Vec<RecoveryWindow> {
-    let faults = chaos_texts(log, "fault");
+    recovery_windows_from(
+        log,
+        CHAOS_SOURCE,
+        "replayer",
+        "ingress_rate",
+        recovery_fraction,
+    )
+}
+
+/// [`recovery_windows`] with the journal source and the rate series
+/// chosen by the caller.
+///
+/// The chaos injector folds its journal under source `chaos` and the
+/// single-sink replayer publishes `ingress_rate`; the netem proxy folds
+/// under source `netem` and a load run's throughput lives in the
+/// per-connection `achieved_rate.*` series instead. This variant
+/// correlates any fault/recovery journal (text metrics `fault` and
+/// `recovery`, int metrics `events_lost`/`events_duplicated` under
+/// `fault_source`) against any `(rate_source, rate_metric)` float
+/// series. Window semantics are identical to [`recovery_windows`].
+pub fn recovery_windows_from(
+    log: &ResultLog,
+    fault_source: &str,
+    rate_source: &str,
+    rate_metric: &str,
+    recovery_fraction: f64,
+) -> Vec<RecoveryWindow> {
+    let faults = journal_texts(log, fault_source, "fault");
     if faults.is_empty() {
         return Vec::new();
     }
-    let recoveries = chaos_texts(log, "recovery");
-    let rate = log.series("replayer", "ingress_rate");
+    let recoveries = journal_texts(log, fault_source, "recovery");
+    let rate = log.series(rate_source, rate_metric);
 
     let mut windows = Vec::with_capacity(faults.len());
     for (i, (t_fault, fault)) in faults.iter().enumerate() {
@@ -150,8 +178,14 @@ pub fn recovery_windows(log: &ResultLog, recovery_fraction: f64) -> Vec<Recovery
             dip_depth,
             time_to_recover_secs,
             recovery,
-            events_lost: chaos_sum(log, "events_lost", *t_fault, window_end),
-            events_duplicated: chaos_sum(log, "events_duplicated", *t_fault, window_end),
+            events_lost: journal_sum(log, fault_source, "events_lost", *t_fault, window_end),
+            events_duplicated: journal_sum(
+                log,
+                fault_source,
+                "events_duplicated",
+                *t_fault,
+                window_end,
+            ),
         });
     }
     windows
@@ -258,6 +292,37 @@ mod tests {
         assert_eq!(windows[0].time_to_recover_secs, None);
         assert_eq!(windows[0].recovery, None);
         assert!((windows[0].dip_depth - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parameterized_sources_correlate_netem_against_load_rate() {
+        // A netem partition journaled under source `netem`, correlated
+        // against a load connection's achieved-rate series — nothing
+        // under the default chaos/replayer sources.
+        let log = ResultLog::from_records(vec![
+            MetricRecord::float(micros(1.0), "load", "achieved_rate.main", 200.0),
+            MetricRecord::text(micros(2.0), "netem", "fault", "partition(dur=500ms)@2s"),
+            MetricRecord::float(micros(2.3), "load", "achieved_rate.main", 40.0),
+            MetricRecord::text(
+                micros(2.5),
+                "netem",
+                "recovery",
+                "heal(partition(dur=500ms)@2s)",
+            ),
+            MetricRecord::float(micros(3.0), "load", "achieved_rate.main", 190.0),
+        ]);
+        assert!(recovery_windows(&log, 0.9).is_empty());
+        let windows = recovery_windows_from(&log, "netem", "load", "achieved_rate.main", 0.9);
+        assert_eq!(windows.len(), 1);
+        let w = &windows[0];
+        assert_eq!(w.fault, "partition(dur=500ms)@2s");
+        assert!((w.baseline_rate - 200.0).abs() < 1e-9);
+        assert!((w.dip_rate - 40.0).abs() < 1e-9);
+        assert!((w.time_to_recover_secs.unwrap() - 1.0).abs() < 1e-9);
+        assert_eq!(
+            w.recovery.as_ref().unwrap().0,
+            "heal(partition(dur=500ms)@2s)"
+        );
     }
 
     #[test]

@@ -78,6 +78,13 @@ impl ChaosJournal {
     /// text record per entry (`fault` / `recovery` metric, the description
     /// as value) plus an `events_lost` int record for lossy faults.
     pub fn records(&self) -> Vec<MetricRecord> {
+        self.records_with_source(CHAOS_SOURCE)
+    }
+
+    /// Like [`ChaosJournal::records`] but folded under an arbitrary source
+    /// label, so other fault layers (gt-netem) can reuse the journal
+    /// machinery without colliding with the chaos source.
+    pub fn records_with_source(&self, source: &str) -> Vec<MetricRecord> {
         let mut out = Vec::new();
         for event in self.events() {
             let metric = match event.kind {
@@ -86,14 +93,14 @@ impl ChaosJournal {
             };
             out.push(MetricRecord::text(
                 event.t_micros,
-                CHAOS_SOURCE,
+                source,
                 metric,
                 event.description.clone(),
             ));
             if event.events_lost > 0 {
                 out.push(MetricRecord::int(
                     event.t_micros,
-                    CHAOS_SOURCE,
+                    source,
                     "events_lost",
                     event.events_lost as i64,
                 ));

@@ -43,6 +43,7 @@
 pub mod differential;
 pub mod levels;
 pub mod load;
+pub mod netem;
 pub mod orchestrator;
 pub mod repeat;
 pub mod run;
@@ -60,6 +61,7 @@ pub use load::{
     load_records, run_load_file_sut_experiment, run_load_sut_experiment,
     run_load_sut_experiment_with_timeout, LoadSutRunOutcome, LOAD_SOURCE,
 };
+pub use netem::{sink_records, start_netem_front, NetemFront, NetemFrontReport};
 pub use orchestrator::{
     aggregate_records, cell_id, render_matrix_table, run_matrix, run_matrix_with_progress,
     CellAggregate, CellRunResult, CellRunner, Design, JournalRecord, MatrixJournal, MatrixOutcome,
@@ -80,6 +82,10 @@ pub use watchdog::{AbortReason, RunStatus, WatchdogConfig};
 
 pub use gt_chaos::{ChaosJournal, FaultKind, FaultSchedule, FaultTrigger, CHAOS_SOURCE};
 pub use gt_load::{ClientClass, CompiledPattern, LoadPlan, LoopModel, RatePattern};
+pub use gt_netem::{
+    ConnRange, KillMode, NetemFault, NetemFaultKind, NetemPlan, NetemReport, NetemSchedule,
+    NETEM_SOURCE,
+};
 pub use gt_sut::{
     Adjacency, StateDigest, SutOptions, SutRegistry, SutReport, SystemUnderTest, WindowDigest,
     WorkerSupervisor,

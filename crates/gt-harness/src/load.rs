@@ -34,6 +34,7 @@ use std::time::Duration;
 
 use gt_load::{run_load, ConnectorFactory, LoadOutcome, LoadPlan};
 use gt_metrics::{Clock, LogCollector, MetricRecord, ResultLog, WallClock};
+use gt_netem::NETEM_SOURCE;
 use gt_sut::{StateDigest, SutOptions, SutRegistry, SutReport, SystemUnderTest};
 
 use crate::run::{join_sampler, spawn_sampler, spawn_sysmon, sysmon_records, FileRunPlan, RunPlan};
@@ -91,12 +92,18 @@ pub fn run_load_sut_experiment_with_timeout(
     options: &SutOptions,
     quiesce_timeout: Duration,
 ) -> Result<LoadSutRunOutcome, SutRunError> {
-    let load_plan = plan.load.take().ok_or_else(|| {
+    let mut load_plan = plan.load.take().ok_or_else(|| {
         SutRunError::from(io::Error::new(
             io::ErrorKind::InvalidInput,
             "run plan has no load layer (RunPlan::with_load)",
         ))
     })?;
+    // A netem plan on the run plan routes the whole client fleet through
+    // the fault proxy (the load runner stands it up); one already set on
+    // the load plan itself wins.
+    if load_plan.netem.is_none() {
+        load_plan.netem = plan.netem.take();
+    }
 
     let clock: Arc<dyn Clock> = Arc::new(WallClock::start());
     let mut sut = registry.start(name, options)?;
@@ -168,6 +175,7 @@ pub fn run_load_file_sut_experiment(
     run_plan.level = plan.level;
     run_plan.sysmon = plan.sysmon;
     run_plan.load = plan.load;
+    run_plan.netem = plan.netem;
     run_load_sut_experiment(run_plan, registry, name, options)
 }
 
@@ -235,8 +243,47 @@ pub fn load_records(load: &LoadOutcome, plan: &LoadPlan, t_end: u64) -> Vec<Metr
         ("connections", load.listener.connections as f64),
         ("marker_violations", load.listener.marker_violations as f64),
         ("parse_errors", load.listener.parse_errors as f64),
+        ("connections_lost", load.listener.connections_lost as f64),
+        ("reader_stalls", load.listener.reader_stalls as f64),
+        ("clients_failed", load.client_failures.len() as f64),
     ] {
         records.push(MetricRecord::float(t_end, LOAD_SOURCE, metric, value));
+    }
+    // Typed degradations — barrier excusals, stalled readers, killed
+    // clients — as text records at the time they were observed.
+    for (description, t) in &load.listener.degradations {
+        records.push(MetricRecord::text(
+            *t,
+            LOAD_SOURCE,
+            "degradation",
+            description.clone(),
+        ));
+    }
+    for (conn, error) in &load.client_failures {
+        records.push(MetricRecord::text(
+            t_end,
+            LOAD_SOURCE,
+            "degradation",
+            format!("client {conn} failed: {error}"),
+        ));
+    }
+    // Netem: the fault journal under its own source (so recovery-window
+    // analysis can correlate faults against rate dips) plus the proxy's
+    // traffic counters.
+    if let Some(netem) = &plan.netem {
+        records.extend(netem.journal.records_with_source(NETEM_SOURCE));
+    }
+    if let Some(report) = &load.netem {
+        for (metric, value) in [
+            ("proxy_connections", report.connections),
+            ("kills_rst", report.kills_rst),
+            ("kills_fin", report.kills_fin),
+            ("bytes_corrupted", report.bytes_corrupted),
+            ("bytes_dropped", report.bytes_dropped),
+            ("dial_failures", report.dial_failures),
+        ] {
+            records.push(MetricRecord::int(t_end, NETEM_SOURCE, metric, value as i64));
+        }
     }
     records
 }
@@ -300,6 +347,50 @@ mod tests {
         assert!(!outcome.log.series("tide-store", "events").is_empty());
         // Summary floats give CI something cheap to assert on.
         assert!(!outcome.log.series(LOAD_SOURCE, "achieved_ratio").is_empty());
+    }
+
+    // Tentpole, load side: partition 2 of 6 client connections mid-run,
+    // heal, and require the run to complete with the fault journaled
+    // under the netem source and the fault visible in the merged log.
+    #[test]
+    fn load_run_through_netem_partition_completes_and_journals() {
+        let options = SutOptions::new()
+            .set("timestamper_cost_us", 0)
+            .set("shard_cost_us", 0)
+            .set("batch_size", 10);
+        let netem = gt_netem::NetemPlan::new(
+            gt_netem::NetemSchedule::parse("partition@200ms,dur=300ms,conns=0-1", 17).unwrap(),
+        );
+        let journal = netem.journal.clone();
+        let mut plan = RunPlan::new(stream(1_200), 0.0)
+            .with_load(LoadPlan::single(6, 1_200.0, LoopModel::Open, 3))
+            .with_netem(netem);
+        plan.sysmon = None;
+        let outcome = run_load_sut_experiment(plan, &registry(), "tide-store", &options).unwrap();
+
+        // TCP backpressure rides the partition out: every event arrives.
+        assert_eq!(outcome.report.get("events"), Some(1_200.0));
+        assert_eq!(outcome.load.listener.marker_violations, 0);
+        assert!(outcome.load.client_failures.is_empty());
+        let netem_report = outcome.load.netem.as_ref().expect("netem report");
+        assert_eq!(netem_report.connections, 6);
+        assert_eq!(
+            journal.signature(),
+            vec![
+                (200, "partition(dur=300ms, conns=0-1)@200ms".to_owned()),
+                (
+                    500,
+                    "heal(partition(dur=300ms, conns=0-1)@200ms, conns=0-1)".to_owned()
+                ),
+            ]
+        );
+        let records = outcome.log.records();
+        assert!(records
+            .iter()
+            .any(|r| r.source == NETEM_SOURCE && r.metric == "fault"));
+        assert!(records
+            .iter()
+            .any(|r| r.source == NETEM_SOURCE && r.metric == "recovery"));
     }
 
     #[test]

@@ -1,0 +1,286 @@
+//! The netem front for single-sink runs: a TCP hop the fault proxy can
+//! break.
+//!
+//! In-process SUT connectors give the replayer nothing a network fault
+//! could touch, so when a plan carries a [`NetemPlan`] the SUT runners
+//! insert a real TCP path in front of the connector:
+//!
+//! ```text
+//! replayer → ReconnectingTcpSink → NetemProxy → bridge listener → connector
+//! ```
+//!
+//! The *bridge* is a loopback listener that parses the line protocol back
+//! into [`gt_core::prelude::StreamEntry`]s and feeds the platform
+//! connector; the [`gt_netem::NetemProxy`] sits between the replayer's
+//! sink and the bridge, injecting the scheduled faults. The sink is a
+//! [`ReconnectingTcpSink`] seeded from the schedule, so connection kills
+//! exercise the real reconnect/backoff path and every disconnect is
+//! classified by cause.
+//!
+//! Corruption faults can turn arbitrary bytes loose on the bridge, so its
+//! parse loop never trusts the wire: invalid UTF-8 and malformed lines are
+//! counted as `parse_errors` and skipped, never panicked on.
+
+use std::io::{self, BufRead, BufReader};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use gt_core::format::parse_line_ref;
+use gt_core::prelude::*;
+use gt_metrics::{Clock, MetricRecord};
+use gt_netem::{NetemHandle, NetemPlan, NetemProxy, NetemReport, NETEM_SOURCE};
+use gt_replayer::{EventSink, ReconnectPolicy, ReconnectingTcpSink};
+
+/// Bridge-side socket read timeout: the granularity at which the bridge
+/// notices stop requests while a connection is quiet.
+const BRIDGE_READ_TIMEOUT: Duration = Duration::from_millis(50);
+
+/// Accept-poll interval while no connection is live.
+const ACCEPT_POLL: Duration = Duration::from_millis(2);
+
+/// Write timeout on the replayer's sink: a blackholed proxy connection
+/// surfaces as a timed-out write (and a reconnect round) instead of
+/// wedging the replay thread.
+const SINK_WRITE_TIMEOUT: Duration = Duration::from_secs(1);
+
+/// Handles to a running netem front; [`NetemFront::finish`] after the
+/// replay to stop the proxy, join the bridge, and collect the report.
+pub struct NetemFront {
+    proxy: NetemHandle,
+    bridge: JoinHandle<io::Result<()>>,
+    stop: Arc<AtomicBool>,
+    lines: Arc<AtomicU64>,
+    parse_errors: Arc<AtomicU64>,
+    accepted: Arc<AtomicU64>,
+}
+
+/// What the netem front saw over a whole run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NetemFrontReport {
+    /// The fault proxy's traffic counters.
+    pub proxy: NetemReport,
+    /// Stream entries the bridge parsed and forwarded to the connector.
+    pub lines_forwarded: u64,
+    /// Wire lines the bridge rejected (corruption faults land here).
+    pub parse_errors: u64,
+    /// Connections the bridge accepted — 1 plus one per sink reconnect.
+    pub bridge_connections: u64,
+}
+
+impl NetemFrontReport {
+    /// Renders the report as int records under [`NETEM_SOURCE`], ready to
+    /// fold into the merged result log.
+    pub fn records(&self, t_micros: u64) -> Vec<MetricRecord> {
+        let mut out = Vec::new();
+        for (metric, value) in [
+            ("proxy_connections", self.proxy.connections),
+            ("bridge_connections", self.bridge_connections),
+            ("lines_forwarded", self.lines_forwarded),
+            ("parse_errors", self.parse_errors),
+            ("kills_rst", self.proxy.kills_rst),
+            ("kills_fin", self.proxy.kills_fin),
+            ("bytes_corrupted", self.proxy.bytes_corrupted),
+            ("bytes_dropped", self.proxy.bytes_dropped),
+        ] {
+            out.push(MetricRecord::int(
+                t_micros,
+                NETEM_SOURCE,
+                metric,
+                value as i64,
+            ));
+        }
+        out
+    }
+}
+
+/// Renders a sink's reconnect statistics as records under
+/// [`NETEM_SOURCE`] (`sink.reconnects`, `sink.disconnects.<cause>`), so
+/// the run log shows how the replayer experienced the injected faults.
+pub fn sink_records(sink: &ReconnectingTcpSink, t_micros: u64) -> Vec<MetricRecord> {
+    let mut out = vec![MetricRecord::int(
+        t_micros,
+        NETEM_SOURCE,
+        "sink.reconnects",
+        sink.reconnects() as i64,
+    )];
+    for (label, count) in sink.disconnect_counts() {
+        if count > 0 {
+            out.push(MetricRecord::int(
+                t_micros,
+                NETEM_SOURCE,
+                &format!("sink.disconnects.{label}"),
+                count as i64,
+            ));
+        }
+    }
+    out
+}
+
+/// Starts the full netem front around `connector`: bridge listener, fault
+/// proxy, and a reconnecting sink dialing the proxy. The sink's reconnect
+/// policy is seeded from the schedule so backoff jitter is as
+/// deterministic as the faults themselves.
+pub fn start_netem_front(
+    netem: &NetemPlan,
+    connector: Box<dyn EventSink + Send>,
+    clock: Arc<dyn Clock>,
+) -> io::Result<(ReconnectingTcpSink, NetemFront)> {
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    listener.set_nonblocking(true)?;
+    let bridge_addr = listener.local_addr()?;
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let lines = Arc::new(AtomicU64::new(0));
+    let parse_errors = Arc::new(AtomicU64::new(0));
+    let accepted = Arc::new(AtomicU64::new(0));
+    let bridge = {
+        let stop = Arc::clone(&stop);
+        let lines = Arc::clone(&lines);
+        let parse_errors = Arc::clone(&parse_errors);
+        let accepted = Arc::clone(&accepted);
+        std::thread::Builder::new()
+            .name("gt-netem-bridge".into())
+            .spawn(move || {
+                bridge_loop(listener, connector, &stop, &lines, &parse_errors, &accepted)
+            })?
+    };
+
+    let proxy = NetemProxy::start(bridge_addr, netem, Arc::clone(&clock))?;
+    let sink = ReconnectingTcpSink::connect(proxy.local_addr())?
+        .with_policy(ReconnectPolicy::default().with_seed(netem.schedule.seed))
+        .with_clock(clock)
+        .with_write_timeout(Some(SINK_WRITE_TIMEOUT));
+
+    Ok((
+        sink,
+        NetemFront {
+            proxy,
+            bridge,
+            stop,
+            lines,
+            parse_errors,
+            accepted,
+        },
+    ))
+}
+
+impl NetemFront {
+    /// Stops the proxy (fast-forwarding any unfired schedule events into
+    /// the journal), joins the bridge — which drops the connector, letting
+    /// the platform see end-of-stream — and returns the front's report.
+    ///
+    /// Call after the replay has finished and the sink has been dropped:
+    /// the sink's close is what lets the in-flight connection drain to
+    /// EOF before the stop flag is honored.
+    pub fn finish(self) -> io::Result<NetemFrontReport> {
+        self.proxy.stop();
+        let proxy = self.proxy.join()?;
+        self.stop.store(true, Ordering::SeqCst);
+        match self.bridge.join() {
+            Ok(result) => result?,
+            Err(_) => return Err(io::Error::other("netem bridge thread panicked")),
+        }
+        Ok(NetemFrontReport {
+            proxy,
+            lines_forwarded: self.lines.load(Ordering::Relaxed),
+            parse_errors: self.parse_errors.load(Ordering::Relaxed),
+            bridge_connections: self.accepted.load(Ordering::Relaxed),
+        })
+    }
+}
+
+/// Accepts proxy-upstream connections one at a time (the sink holds one
+/// connection; a reconnect produces the next) and feeds each through the
+/// parse loop until EOF.
+fn bridge_loop(
+    listener: TcpListener,
+    mut connector: Box<dyn EventSink + Send>,
+    stop: &AtomicBool,
+    lines: &AtomicU64,
+    parse_errors: &AtomicU64,
+    accepted: &AtomicU64,
+) -> io::Result<()> {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                accepted.fetch_add(1, Ordering::Relaxed);
+                stream.set_nonblocking(false)?;
+                stream.set_read_timeout(Some(BRIDGE_READ_TIMEOUT))?;
+                bridge_connection(stream, &mut *connector, stop, lines, parse_errors)?;
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    connector.flush()
+}
+
+/// Reads one bridge connection to EOF, forwarding parsed entries to the
+/// connector. Malformed or non-UTF-8 lines (corruption faults) are
+/// counted and skipped; a partial line surviving a read timeout is kept
+/// for the next read.
+fn bridge_connection(
+    stream: TcpStream,
+    connector: &mut (dyn EventSink + Send),
+    stop: &AtomicBool,
+    lines: &AtomicU64,
+    parse_errors: &AtomicU64,
+) -> io::Result<()> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {
+                match parse_line_ref(&line) {
+                    Ok(Some(entry_ref)) => {
+                        let entry = entry_ref.to_entry();
+                        let is_marker = matches!(entry, StreamEntry::Marker(_));
+                        connector.send(&entry)?;
+                        if is_marker {
+                            connector.flush()?;
+                        }
+                        lines.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Ok(None) => {}
+                    Err(_) => {
+                        parse_errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                line.clear();
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                // A valid-UTF-8 partial read stays in `line`; give it a
+                // chance to complete unless the run is over.
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                // Corrupted to non-UTF-8: the delimiter was consumed and
+                // the bad bytes discarded — count and move on.
+                parse_errors.fetch_add(1, Ordering::Relaxed);
+                line.clear();
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            // Connection-level error (reset mid-fault): this connection is
+            // done; the sink will reconnect and the next accept resumes.
+            Err(_) => break,
+        }
+    }
+    connector.flush()
+}

@@ -98,6 +98,12 @@ pub struct RunPlan {
     /// instead of the single replayer sink, and the plan's `replayer`
     /// pacing is ignored (each client paces its own arrival schedule).
     pub load: Option<gt_load::LoadPlan>,
+    /// Deterministic network fault injection; `None` runs on a clean
+    /// path. Honored by the SUT runners: single-sink runs get a TCP hop
+    /// through a [`gt_netem::NetemProxy`] (see [`crate::netem`]), and
+    /// load runs route every client through the proxy. The bare
+    /// [`run_experiment`] has no TCP path and ignores this field.
+    pub netem: Option<gt_netem::NetemPlan>,
 }
 
 impl RunPlan {
@@ -118,6 +124,7 @@ impl RunPlan {
             watchdog: None,
             chaos: None,
             load: None,
+            netem: None,
         }
     }
 
@@ -167,6 +174,13 @@ impl RunPlan {
     #[must_use]
     pub fn with_chaos(mut self, chaos: ChaosPlan) -> Self {
         self.chaos = Some(chaos);
+        self
+    }
+
+    /// Arms deterministic network fault injection (builder style).
+    #[must_use]
+    pub fn with_netem(mut self, netem: gt_netem::NetemPlan) -> Self {
+        self.netem = Some(netem);
         self
     }
 }
@@ -407,6 +421,9 @@ pub struct FileRunPlan {
     /// needs the whole stream), so a file plan with load behaves like the
     /// in-memory path — see [`crate::load::run_load_file_sut_experiment`].
     pub load: Option<gt_load::LoadPlan>,
+    /// Deterministic network fault injection; `None` runs on a clean
+    /// path. Honored by the SUT runners (see [`RunPlan::netem`]).
+    pub netem: Option<gt_netem::NetemPlan>,
 }
 
 impl FileRunPlan {
@@ -430,6 +447,7 @@ impl FileRunPlan {
             watchdog: None,
             chaos: None,
             load: None,
+            netem: None,
         }
     }
 
@@ -444,6 +462,13 @@ impl FileRunPlan {
     #[must_use]
     pub fn with_load(mut self, load: gt_load::LoadPlan) -> Self {
         self.load = Some(load);
+        self
+    }
+
+    /// Arms deterministic network fault injection (builder style).
+    #[must_use]
+    pub fn with_netem(mut self, netem: gt_netem::NetemPlan) -> Self {
+        self.netem = Some(netem);
         self
     }
 
@@ -580,7 +605,7 @@ pub fn run_file_experiment_with_clock<S: EventSink + ?Sized>(
         .iter()
         .map(|e| {
             let metric = match e.kind {
-                SinkEventKind::Disconnected => "disconnect",
+                SinkEventKind::Disconnected { .. } => "disconnect",
                 SinkEventKind::Reconnected { .. } => "reconnect",
             };
             MetricRecord::text(e.t_micros, "sink", metric, e.detail.clone())

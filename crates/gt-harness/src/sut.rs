@@ -26,11 +26,13 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use gt_metrics::{Clock, HubSampler, MetricRecord, MetricsHub, ResultLog, WallClock};
-use gt_replayer::ReplayError;
+use gt_netem::{NetemPlan, NETEM_SOURCE};
+use gt_replayer::{EventSink, ReplayError};
 use gt_sut::{StateDigest, SutError, SutOptions, SutRegistry, SutReport, SystemUnderTest};
 use gt_trace::{TraceConfig, Tracer, TRACE_SOURCE};
 
 use crate::levels::EvaluationLevel;
+use crate::netem::{sink_records, start_netem_front};
 use crate::run::{
     run_experiment_with_clock, run_file_experiment_with_clock, FileRunOutcome, FileRunPlan,
     RunOutcome, RunPlan,
@@ -187,6 +189,59 @@ fn wire_chaos_supervisor(chaos: &mut Option<crate::run::ChaosPlan>, sut: &dyn Sy
     }
 }
 
+/// Runs the replay either straight into the connector or — when the plan
+/// carried a netem plan — through the [`crate::netem`] front (sink →
+/// fault proxy → bridge → connector). Returns the run result plus the
+/// netem records to fold into the merged log: the front's counters, the
+/// sink's per-cause disconnect stats, and the fault journal under the
+/// `netem` source.
+///
+/// In both arms the connector is dropped before returning (directly, or
+/// by the bridge thread joining), so the platform sees end-of-stream
+/// before the caller quiesces it.
+fn run_with_netem_front<O>(
+    netem: Option<NetemPlan>,
+    mut connector: Box<dyn EventSink + Send>,
+    clock: &Arc<dyn Clock>,
+    run: impl FnOnce(&mut (dyn EventSink + Send)) -> Result<O, SutRunError>,
+) -> (Result<O, SutRunError>, Vec<MetricRecord>) {
+    let Some(netem) = netem else {
+        let result = run(&mut *connector);
+        drop(connector);
+        return (result, Vec::new());
+    };
+    let journal = netem.journal.clone();
+    let (mut sink, front) = match start_netem_front(&netem, connector, Arc::clone(clock)) {
+        Ok(pair) => pair,
+        Err(e) => return (Err(e.into()), Vec::new()),
+    };
+    let result = run(&mut sink);
+    let mut records = sink_records(&sink, clock.now_micros());
+    // Dropping the sink closes the client socket; the in-flight proxy
+    // connection drains to EOF before the front honors its stop flag.
+    drop(sink);
+    let result = match front.finish() {
+        Ok(report) => {
+            records.extend(report.records(clock.now_micros()));
+            result
+        }
+        // A run error (if any) explains the front error; keep the former.
+        Err(e) => result.and(Err(e.into())),
+    };
+    records.extend(journal.records_with_source(NETEM_SOURCE));
+    (result, records)
+}
+
+/// Folds extra records into a log, re-sorting chronologically.
+pub(crate) fn fold_records(log: ResultLog, extra: Vec<MetricRecord>) -> ResultLog {
+    if extra.is_empty() {
+        return log;
+    }
+    let mut records: Vec<MetricRecord> = log.records().to_vec();
+    records.extend(extra);
+    ResultLog::from_records(records)
+}
+
 /// Runs an in-memory plan against the platform registered under `name`.
 ///
 /// See the module docs for the exact wiring sequence. The plan's `level`
@@ -222,9 +277,12 @@ pub fn run_sut_experiment_with_timeout(
     }
     wire_chaos_supervisor(&mut plan.chaos, sut.as_ref());
 
-    let mut connector = sut.connector()?;
-    let result = run_experiment_with_clock(plan, &mut connector, Arc::clone(&clock));
-    drop(connector);
+    let connector = sut.connector()?;
+    let netem = plan.netem.take();
+    let run_clock = Arc::clone(&clock);
+    let (result, netem_records) = run_with_netem_front(netem, connector, &clock, move |sink| {
+        run_experiment_with_clock(plan, sink, run_clock).map_err(SutRunError::from)
+    });
 
     let quiesced = sut.quiesce(quiesce_timeout);
     let (report, digest) = sut.shutdown_digest();
@@ -234,11 +292,12 @@ pub fn run_sut_experiment_with_timeout(
             if let Some(tracer) = tracer {
                 tracer.stop();
             }
-            return Err(e.into());
+            return Err(e);
         }
     };
     run.log = fold_report(&run.log, &report, clock.now_micros());
     run.log = fold_trace(run.log, tracer);
+    run.log = fold_records(run.log, netem_records);
     Ok(SutRunOutcome {
         run,
         report,
@@ -276,9 +335,12 @@ pub fn run_file_sut_experiment_with_timeout(
     }
     wire_chaos_supervisor(&mut plan.chaos, sut.as_ref());
 
-    let mut connector = sut.connector()?;
-    let result = run_file_experiment_with_clock(plan, &mut connector, Arc::clone(&clock));
-    drop(connector);
+    let connector = sut.connector()?;
+    let netem = plan.netem.take();
+    let run_clock = Arc::clone(&clock);
+    let (result, netem_records) = run_with_netem_front(netem, connector, &clock, move |sink| {
+        run_file_experiment_with_clock(plan, sink, run_clock).map_err(SutRunError::from)
+    });
 
     let quiesced = sut.quiesce(quiesce_timeout);
     let (report, digest) = sut.shutdown_digest();
@@ -288,11 +350,12 @@ pub fn run_file_sut_experiment_with_timeout(
             if let Some(tracer) = tracer {
                 tracer.stop();
             }
-            return Err(e.into());
+            return Err(e);
         }
     };
     run.log = fold_report(&run.log, &report, clock.now_micros());
     run.log = fold_trace(run.log, tracer);
+    run.log = fold_records(run.log, netem_records);
     Ok(SutRunOutcome {
         run,
         report,
@@ -560,6 +623,82 @@ mod tests {
         // The platform counted the crash and restart in its final report.
         assert_eq!(outcome.report.get("crashes"), Some(1.0));
         assert_eq!(outcome.report.get("restarts"), Some(1.0));
+    }
+
+    // Tentpole: a single-sink run through the netem front. The partition
+    // blackholes the replayer's connection for 200 ms mid-run; TCP
+    // backpressure rides it out, every event still reaches the platform,
+    // and the fault journal is exact — whether the events fired live or
+    // were fast-forwarded at stop, the signature is identical.
+    #[test]
+    fn netem_partition_rides_through_a_single_sink_run() {
+        let options = SutOptions::new()
+            .set("timestamper_cost_us", 0)
+            .set("shard_cost_us", 0);
+        let netem =
+            NetemPlan::new(gt_netem::NetemSchedule::parse("partition@100ms,dur=200ms", 5).unwrap());
+        let journal = netem.journal.clone();
+        let plan = RunPlan::new(stream(3_000), 6_000.0).with_netem(netem);
+        let outcome = run_sut_experiment(plan, &registry(), "tide-store", &options).unwrap();
+
+        assert_eq!(outcome.run.report.graph_events, 3_000);
+        assert_eq!(outcome.report.get("events"), Some(3_000.0));
+        assert!(outcome.run.log.marker("stream-end").is_some());
+        assert_eq!(
+            journal.signature(),
+            vec![
+                (100, "partition(dur=200ms)@100ms".to_owned()),
+                (300, "heal(partition(dur=200ms)@100ms)".to_owned()),
+            ]
+        );
+        // Fault and recovery land in the merged log under the netem
+        // source, next to the front's traffic counters.
+        let records = outcome.run.log.records();
+        assert!(records
+            .iter()
+            .any(|r| r.source == NETEM_SOURCE && r.metric == "fault"));
+        assert!(records
+            .iter()
+            .any(|r| r.source == NETEM_SOURCE && r.metric == "recovery"));
+        assert!(records
+            .iter()
+            .any(|r| r.source == NETEM_SOURCE && r.metric == "lines_forwarded"));
+    }
+
+    // A graceful FIN kill mid-run: the reconnecting sink classifies the
+    // drop, dials again, and the bridge picks the fresh connection up —
+    // the run completes with the reconnect visible in the log.
+    #[test]
+    fn netem_fin_kill_reconnects_and_completes() {
+        let options = SutOptions::new()
+            .set("timestamper_cost_us", 0)
+            .set("shard_cost_us", 0);
+        let netem =
+            NetemPlan::new(gt_netem::NetemSchedule::parse("kill@150ms,mode=fin", 9).unwrap());
+        let journal = netem.journal.clone();
+        let plan = RunPlan::new(stream(3_000), 6_000.0).with_netem(netem);
+        let outcome = run_sut_experiment(plan, &registry(), "tide-store", &options).unwrap();
+
+        // The replayer offered everything; the kill may cost in-flight
+        // lines (at-least-once replays the unflushed tail), so the
+        // platform sees most-but-possibly-not-all, never zero.
+        assert_eq!(outcome.run.report.graph_events, 3_000);
+        assert!(outcome.report.get("events").unwrap() > 1_000.0);
+        assert_eq!(journal.signature().len(), 1);
+        assert!(journal.signature()[0].1.contains("kill(mode=fin)"));
+        let records = outcome.run.log.records();
+        let reconnects = records
+            .iter()
+            .find(|r| r.source == NETEM_SOURCE && r.metric == "sink.reconnects")
+            .and_then(|r| r.value.as_f64())
+            .unwrap();
+        assert!(reconnects >= 1.0, "sink reconnected after the kill");
+        let bridge_conns = records
+            .iter()
+            .find(|r| r.source == NETEM_SOURCE && r.metric == "bridge_connections")
+            .and_then(|r| r.value.as_f64())
+            .unwrap();
+        assert!(bridge_conns >= 2.0, "bridge saw the replacement connection");
     }
 
     #[test]

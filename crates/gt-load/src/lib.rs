@@ -46,11 +46,12 @@ pub mod runner;
 pub mod schedule;
 
 pub use client::{run_client, ClientConfig, ClientReport};
-pub use listener::{ListenerHandle, ListenerReport, LoadListener};
+pub use listener::{ListenerConfig, ListenerHandle, ListenerReport, LoadListener};
 pub use model::LoopModel;
 pub use partition::SeededPartitioner;
 pub use plan::{ClientClass, LoadPlan};
 pub use runner::{run_load, ConnectorFactory, LoadOutcome};
 pub use schedule::ArrivalSchedule;
 
+pub use gt_netem::{NetemPlan, NetemReport, NetemSchedule};
 pub use gt_replayer::pattern::{CompiledPattern, RatePattern};

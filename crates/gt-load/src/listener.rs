@@ -42,6 +42,38 @@ pub type ConnectorFn = Box<dyn FnMut() -> io::Result<Box<dyn EventSink + Send>> 
 /// Events per batch handed to a connector's [`EventSink::send_batch`].
 const READER_BATCH: usize = 64;
 
+/// Connection-lifecycle tuning for a load listener.
+///
+/// The defaults are generous enough that healthy runs never trip them; they
+/// exist so a partitioned or killed client degrades typed — a
+/// `connections_lost` counter plus a degradation record — instead of wedging
+/// the marker barrier or the reader join forever.
+#[derive(Debug, Clone, Copy)]
+pub struct ListenerConfig {
+    /// Per-read socket timeout; the granularity at which readers notice
+    /// stalls and stop requests.
+    pub read_timeout: Duration,
+    /// Continuous idle time after which a reader counts one stall episode.
+    pub stall_warn: Duration,
+    /// Continuous idle time after which a reader gives its connection up
+    /// for dead.
+    pub stall_limit: Duration,
+    /// How long an arrived reader waits at a marker barrier before the
+    /// laggards are excused and the marker quorum-forwards.
+    pub barrier_deadline: Duration,
+}
+
+impl Default for ListenerConfig {
+    fn default() -> Self {
+        ListenerConfig {
+            read_timeout: Duration::from_millis(100),
+            stall_warn: Duration::from_secs(1),
+            stall_limit: Duration::from_secs(10),
+            barrier_deadline: Duration::from_secs(15),
+        }
+    }
+}
+
 /// What the listener saw over a whole run.
 #[derive(Debug, Clone, Default)]
 pub struct ListenerReport {
@@ -57,6 +89,13 @@ pub struct ListenerReport {
     pub markers: Vec<(String, u64)>,
     /// Marker-sequence disagreements between connections.
     pub marker_violations: u64,
+    /// Connections excused from the run after dying, stalling past the
+    /// stall limit, or holding a marker barrier past its deadline.
+    pub connections_lost: u64,
+    /// Stall episodes (continuous idle past `stall_warn`) across readers.
+    pub reader_stalls: u64,
+    /// Typed degradations, `(description, t_micros)` in occurrence order.
+    pub degradations: Vec<(String, u64)>,
 }
 
 /// Shared marker-barrier state.
@@ -75,6 +114,13 @@ struct BarrierInner {
     log: Vec<(String, u64)>,
     /// Set when the control connector failed; readers give up waiting.
     poisoned: bool,
+    /// Connections excused after dying or stalling.
+    lost: u64,
+    /// Per-connection flag: already counted in `lost` (prevents a stall
+    /// give-up after a deadline excusal from double-counting).
+    lost_counted: Vec<bool>,
+    /// Typed degradation records, `(description, t_micros)`.
+    degradations: Vec<(String, u64)>,
 }
 
 struct Barrier {
@@ -82,10 +128,17 @@ struct Barrier {
     cond: Condvar,
     control: Mutex<Box<dyn EventSink + Send>>,
     clock: Arc<dyn Clock>,
+    /// Max wait at one barrier before laggards are excused.
+    deadline: Duration,
 }
 
 impl Barrier {
-    fn new(connections: usize, control: Box<dyn EventSink + Send>, clock: Arc<dyn Clock>) -> Self {
+    fn new(
+        connections: usize,
+        control: Box<dyn EventSink + Send>,
+        clock: Arc<dyn Clock>,
+        deadline: Duration,
+    ) -> Self {
         Barrier {
             inner: Mutex::new(BarrierInner {
                 reached: vec![0; connections],
@@ -95,10 +148,14 @@ impl Barrier {
                 violations: 0,
                 log: Vec::new(),
                 poisoned: false,
+                lost: 0,
+                lost_counted: vec![false; connections],
+                degradations: Vec::new(),
             }),
             cond: Condvar::new(),
             control: Mutex::new(control),
             clock,
+            deadline,
         }
     }
 
@@ -148,7 +205,35 @@ impl Barrier {
         }
         self.deliver_ready(&mut inner);
         while inner.delivered < k && !inner.poisoned {
-            inner = self.cond.wait(inner).unwrap();
+            let (guard, timeout) = self.cond.wait_timeout(inner, self.deadline).unwrap();
+            inner = guard;
+            if timeout.timed_out() && inner.delivered < k && !inner.poisoned {
+                // Deadline: some active connection never arrived at barrier
+                // `delivered + 1`. Excuse the laggards and quorum-forward so
+                // the run degrades typed instead of hanging.
+                let next = inner.delivered;
+                let excused: Vec<usize> = (0..inner.reached.len())
+                    .filter(|&i| inner.active[i] && inner.reached[i] <= next)
+                    .collect();
+                if excused.is_empty() {
+                    continue;
+                }
+                for &i in &excused {
+                    inner.active[i] = false;
+                    inner.lost += 1;
+                    inner.lost_counted[i] = true;
+                }
+                inner.degradations.push((
+                    format!(
+                        "barrier_deadline: excused connections {excused:?} \
+                         waiting for marker {}",
+                        next + 1
+                    ),
+                    self.clock.now_micros(),
+                ));
+                self.deliver_ready(&mut inner);
+                self.cond.notify_all();
+            }
         }
         if inner.poisoned {
             return Err(io::Error::new(
@@ -167,10 +252,60 @@ impl Barrier {
         self.cond.notify_all();
     }
 
-    fn finish(&self) -> (Vec<(String, u64)>, u64) {
-        let inner = self.inner.lock().unwrap();
-        (inner.log.clone(), inner.violations)
+    /// Connection `conn` died or stalled out: excuse it and record a typed
+    /// degradation so the run completes with evidence instead of an error.
+    fn abandon(&self, conn: usize, reason: &str) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.active[conn] = false;
+        if !inner.lost_counted[conn] {
+            inner.lost += 1;
+            inner.lost_counted[conn] = true;
+        }
+        inner.degradations.push((
+            format!("connection {conn} lost: {reason}"),
+            self.clock.now_micros(),
+        ));
+        self.deliver_ready(&mut inner);
+        self.cond.notify_all();
     }
+
+    fn finish(&self) -> BarrierOutcome {
+        let mut inner = self.inner.lock().unwrap();
+        // Every connection carries every marker, so a connection that ended
+        // (even with a clean EOF — which is what a netem kill looks like
+        // from this side of the proxy) having announced fewer markers than
+        // the stream contains died mid-stream. Count it as lost.
+        let total = inner.names.len() as u64;
+        for conn in 0..inner.reached.len() {
+            if !inner.lost_counted[conn] && inner.reached[conn] < total {
+                inner.lost += 1;
+                inner.lost_counted[conn] = true;
+                let announced = inner.reached[conn];
+                inner.degradations.push((
+                    format!(
+                        "connection {conn} ended early: announced {announced} \
+                         of {total} markers"
+                    ),
+                    self.clock.now_micros(),
+                ));
+            }
+        }
+        BarrierOutcome {
+            markers: inner.log.clone(),
+            violations: inner.violations,
+            lost: inner.lost,
+            degradations: inner.degradations.clone(),
+        }
+    }
+}
+
+/// What the marker barrier observed over the whole run, drained once at
+/// listener shutdown.
+struct BarrierOutcome {
+    markers: Vec<(String, u64)>,
+    violations: u64,
+    lost: u64,
+    degradations: Vec<(String, u64)>,
 }
 
 /// Per-run totals shared by the reader threads.
@@ -179,6 +314,7 @@ struct Totals {
     entries: AtomicU64,
     graph_events: AtomicU64,
     parse_errors: AtomicU64,
+    reader_stalls: AtomicU64,
 }
 
 /// A bound, not-yet-started multi-connection listener.
@@ -211,11 +347,27 @@ impl LoadListener {
     pub fn start(
         self,
         expected: usize,
-        mut connect: ConnectorFn,
+        connect: ConnectorFn,
         clock: Arc<dyn Clock>,
     ) -> io::Result<ListenerHandle> {
+        self.start_with_config(expected, connect, clock, ListenerConfig::default())
+    }
+
+    /// [`LoadListener::start`] with explicit connection-lifecycle tuning.
+    pub fn start_with_config(
+        self,
+        expected: usize,
+        mut connect: ConnectorFn,
+        clock: Arc<dyn Clock>,
+        config: ListenerConfig,
+    ) -> io::Result<ListenerHandle> {
         let control = connect()?;
-        let barrier = Arc::new(Barrier::new(expected, control, clock));
+        let barrier = Arc::new(Barrier::new(
+            expected,
+            control,
+            clock,
+            config.barrier_deadline,
+        ));
         let totals = Arc::new(Totals::default());
         let stop = Arc::new(AtomicBool::new(false));
         let accept_stop = Arc::clone(&stop);
@@ -233,12 +385,14 @@ impl LoadListener {
                     accept_barrier,
                     accept_totals,
                     accept_stop,
+                    config,
                 )
             })?;
         Ok(ListenerHandle { handle, stop })
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn accept_loop(
     listener: TcpListener,
     expected: usize,
@@ -246,6 +400,7 @@ fn accept_loop(
     barrier: Arc<Barrier>,
     totals: Arc<Totals>,
     stop: Arc<AtomicBool>,
+    config: ListenerConfig,
 ) -> io::Result<ListenerReport> {
     let mut readers = Vec::with_capacity(expected);
     while readers.len() < expected && !stop.load(Ordering::Relaxed) {
@@ -259,7 +414,9 @@ fn accept_loop(
                 readers.push(
                     thread::Builder::new()
                         .name(format!("gt-load-reader-{conn}"))
-                        .spawn(move || reader_loop(conn, stream, sink, &barrier, &totals))?,
+                        .spawn(move || {
+                            reader_loop(conn, stream, sink, &barrier, &totals, config)
+                        })?,
                 );
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -287,29 +444,53 @@ fn accept_loop(
     if let Some(e) = first_error {
         return Err(e);
     }
-    let (markers, marker_violations) = barrier.finish();
+    let outcome = barrier.finish();
     Ok(ListenerReport {
         connections: accepted as u64,
         entries: totals.entries.load(Ordering::Relaxed),
         graph_events: totals.graph_events.load(Ordering::Relaxed),
         parse_errors: totals.parse_errors.load(Ordering::Relaxed),
-        markers,
-        marker_violations,
+        markers: outcome.markers,
+        marker_violations: outcome.violations,
+        connections_lost: outcome.lost,
+        reader_stalls: totals.reader_stalls.load(Ordering::Relaxed),
+        degradations: outcome.degradations,
     })
 }
 
+/// Why a reader stopped short of a clean EOF.
+enum ReadAbort {
+    /// The client-side connection died or stalled out: a degradation, not a
+    /// run failure.
+    Stream(io::Error),
+    /// The platform connector (or the marker control path) failed: fatal —
+    /// the measurement itself is broken.
+    Sink(io::Error),
+}
+
 /// Reads one connection to EOF, feeding the batched connector path.
+/// Stream-side failures abandon the connection with a typed degradation;
+/// sink-side failures propagate as run errors.
 fn reader_loop(
     conn: usize,
     stream: TcpStream,
     mut sink: Box<dyn EventSink + Send>,
     barrier: &Barrier,
     totals: &Totals,
+    config: ListenerConfig,
 ) -> io::Result<()> {
-    let result = read_connection(conn, stream, &mut sink, barrier, totals);
-    barrier.leave(conn);
+    let result = read_connection(conn, stream, &mut sink, barrier, totals, config);
+    match &result {
+        Ok(()) => barrier.leave(conn),
+        Err(ReadAbort::Stream(e)) => barrier.abandon(conn, &e.to_string()),
+        Err(ReadAbort::Sink(_)) => barrier.leave(conn),
+    }
     let close = sink.close();
-    result.and(close)
+    match result {
+        Ok(()) => close,
+        Err(ReadAbort::Stream(_)) => Ok(()),
+        Err(ReadAbort::Sink(e)) => Err(e),
+    }
 }
 
 fn read_connection(
@@ -318,28 +499,72 @@ fn read_connection(
     sink: &mut Box<dyn EventSink + Send>,
     barrier: &Barrier,
     totals: &Totals,
-) -> io::Result<()> {
-    sink.open()?;
+    config: ListenerConfig,
+) -> Result<(), ReadAbort> {
+    sink.open().map_err(ReadAbort::Sink)?;
+    stream
+        .set_read_timeout(Some(config.read_timeout))
+        .map_err(ReadAbort::Stream)?;
     let mut reader = BufReader::new(stream);
     let mut batch: Vec<SharedEntry> = Vec::with_capacity(READER_BATCH);
     // One reused line buffer per connection instead of `BufRead::lines`'s
     // fresh `String` per line — under `--clients M` the fan-in side would
     // otherwise allocate per event per connection.
     let mut line = String::with_capacity(128);
+    // Continuous idle time; one stall episode is counted per continuous
+    // stretch past `stall_warn`, and `stall_limit` gives the connection up.
+    let mut idle = Duration::ZERO;
+    let mut stall_counted = false;
     loop {
-        line.clear();
-        if reader.read_line(&mut line)? == 0 {
-            break;
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {
+                idle = Duration::ZERO;
+                stall_counted = false;
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                // Valid-UTF-8 partial bytes stay in `line` across timeouts;
+                // the next successful read completes the same line.
+                idle += config.read_timeout;
+                if !stall_counted && idle >= config.stall_warn {
+                    totals.reader_stalls.fetch_add(1, Ordering::Relaxed);
+                    stall_counted = true;
+                }
+                if idle >= config.stall_limit {
+                    return Err(ReadAbort::Stream(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        format!("reader idle for {:.1}s, giving up", idle.as_secs_f64()),
+                    )));
+                }
+                continue;
+            }
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                // The whole physical line (delimiter included) was consumed
+                // and discarded by the UTF-8 check; drop any stale partial
+                // prefix of the same line and count one reject.
+                totals.parse_errors.fetch_add(1, Ordering::Relaxed);
+                line.clear();
+                continue;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(ReadAbort::Stream(e)),
         }
         let trimmed = line.trim_end_matches(['\n', '\r']);
         let entry = match parse_line(trimmed) {
             Ok(Some(entry)) => entry,
-            Ok(None) => continue,
+            Ok(None) => {
+                line.clear();
+                continue;
+            }
             Err(_) => {
                 totals.parse_errors.fetch_add(1, Ordering::Relaxed);
+                line.clear();
                 continue;
             }
         };
+        line.clear();
         totals.entries.fetch_add(1, Ordering::Relaxed);
         match &entry {
             StreamEntry::Graph(_) => {
@@ -348,7 +573,7 @@ fn read_connection(
                     totals
                         .graph_events
                         .fetch_add(batch.len() as u64, Ordering::Relaxed);
-                    sink.send_batch(&batch)?;
+                    sink.send_batch(&batch).map_err(ReadAbort::Sink)?;
                     batch.clear();
                 }
             }
@@ -357,12 +582,12 @@ fn read_connection(
                     totals
                         .graph_events
                         .fetch_add(batch.len() as u64, Ordering::Relaxed);
-                    sink.send_batch(&batch)?;
+                    sink.send_batch(&batch).map_err(ReadAbort::Sink)?;
                     batch.clear();
                 }
-                sink.flush()?;
+                sink.flush().map_err(ReadAbort::Sink)?;
                 let name = name.clone();
-                barrier.arrive(conn, &name)?;
+                barrier.arrive(conn, &name).map_err(ReadAbort::Sink)?;
             }
             StreamEntry::Control(_) => {
                 // Control events are per-connection pacing hints; forward
@@ -371,10 +596,10 @@ fn read_connection(
                     totals
                         .graph_events
                         .fetch_add(batch.len() as u64, Ordering::Relaxed);
-                    sink.send_batch(&batch)?;
+                    sink.send_batch(&batch).map_err(ReadAbort::Sink)?;
                     batch.clear();
                 }
-                sink.send(&entry)?;
+                sink.send(&entry).map_err(ReadAbort::Sink)?;
             }
         }
     }
@@ -382,10 +607,10 @@ fn read_connection(
         totals
             .graph_events
             .fetch_add(batch.len() as u64, Ordering::Relaxed);
-        sink.send_batch(&batch)?;
+        sink.send_batch(&batch).map_err(ReadAbort::Sink)?;
         batch.clear();
     }
-    sink.flush()
+    sink.flush().map_err(ReadAbort::Sink)
 }
 
 /// A running listener; join it after the clients finish.
@@ -571,5 +796,141 @@ mod tests {
         let report = handle.join().unwrap();
         assert_eq!(report.markers.len(), 1);
         assert_eq!(report.marker_violations, 0);
+    }
+
+    // Regression: a connection that dies before reaching a marker used to
+    // wedge the other readers' condvar waits forever — only the harness
+    // watchdog saved the run. Now the dead connection must be excused with
+    // a typed `connections_lost` degradation and the marker must still
+    // deliver.
+    #[test]
+    fn killed_connection_is_excused_and_markers_still_deliver() {
+        let log = Arc::new(StdMutex::new(Vec::new()));
+        let listener = LoadListener::bind().unwrap();
+        let addr = listener.local_addr().unwrap();
+        let clock: Arc<dyn Clock> = Arc::new(WallClock::start());
+        let factory_log = Arc::clone(&log);
+        let config = ListenerConfig {
+            read_timeout: Duration::from_millis(10),
+            stall_warn: Duration::from_millis(50),
+            stall_limit: Duration::from_millis(500),
+            barrier_deadline: Duration::from_millis(500),
+        };
+        let handle = listener
+            .start_with_config(
+                4,
+                Box::new(move || {
+                    Ok(Box::new(SharedCollect {
+                        log: Arc::clone(&factory_log),
+                        tag: 0,
+                    }) as Box<dyn EventSink + Send>)
+                }),
+                clock,
+                config,
+            )
+            .unwrap();
+
+        let mut streams: Vec<TcpStream> =
+            (0..4).map(|_| TcpStream::connect(addr).unwrap()).collect();
+        // Connections 1-3 send events then the marker; connection 0 sends
+        // events and is killed abruptly (unread data queued → RST) before
+        // ever reaching the marker.
+        for (i, stream) in streams.iter_mut().enumerate().skip(1) {
+            let base = (i as u64) * 100;
+            let mut entries = Vec::new();
+            for k in 0..5 {
+                entries.push(StreamEntry::graph(GraphEvent::AddVertex {
+                    id: VertexId(base + k),
+                    state: State::empty(),
+                }));
+            }
+            entries.push(StreamEntry::marker("mid"));
+            write_lines(stream, &entries);
+        }
+        write_lines(
+            &mut streams[0],
+            &[StreamEntry::graph(GraphEvent::AddVertex {
+                id: VertexId(1),
+                state: State::empty(),
+            })],
+        );
+        // Abrupt kill of connection 0 mid-stream.
+        drop(streams.remove(0));
+        drop(streams);
+
+        let report = handle.join().unwrap();
+        assert_eq!(report.connections, 4);
+        assert_eq!(
+            report
+                .markers
+                .iter()
+                .map(|(n, _)| n.as_str())
+                .collect::<Vec<_>>(),
+            vec!["mid"],
+            "marker delivers despite the dead connection"
+        );
+        assert_eq!(report.marker_violations, 0);
+        // The killed connection is excused exactly once — either its reader
+        // observed the death directly or the barrier deadline excused it.
+        assert_eq!(report.connections_lost, 1);
+        assert!(
+            !report.degradations.is_empty(),
+            "a typed degradation is recorded"
+        );
+    }
+
+    // A connection that goes idle while staying open (a blackholed client)
+    // must be given up after `stall_limit` — with a stall episode counted —
+    // instead of wedging the reader join.
+    #[test]
+    fn idle_open_connection_stalls_out_typed() {
+        let log = Arc::new(StdMutex::new(Vec::new()));
+        let listener = LoadListener::bind().unwrap();
+        let addr = listener.local_addr().unwrap();
+        let clock: Arc<dyn Clock> = Arc::new(WallClock::start());
+        let factory_log = Arc::clone(&log);
+        let config = ListenerConfig {
+            read_timeout: Duration::from_millis(10),
+            stall_warn: Duration::from_millis(30),
+            stall_limit: Duration::from_millis(200),
+            barrier_deadline: Duration::from_millis(300),
+        };
+        let handle = listener
+            .start_with_config(
+                2,
+                Box::new(move || {
+                    Ok(Box::new(SharedCollect {
+                        log: Arc::clone(&factory_log),
+                        tag: 0,
+                    }) as Box<dyn EventSink + Send>)
+                }),
+                clock,
+                config,
+            )
+            .unwrap();
+
+        let mut healthy = TcpStream::connect(addr).unwrap();
+        let idle = TcpStream::connect(addr).unwrap();
+        write_lines(
+            &mut healthy,
+            &[
+                StreamEntry::graph(GraphEvent::AddVertex {
+                    id: VertexId(7),
+                    state: State::empty(),
+                }),
+                StreamEntry::marker("only"),
+            ],
+        );
+        drop(healthy);
+        // `idle` stays open and silent; the run must still complete.
+        let report = handle.join().unwrap();
+        drop(idle);
+        assert_eq!(report.markers.len(), 1);
+        assert_eq!(report.connections_lost, 1);
+        assert!(report.reader_stalls >= 1, "stall episode counted");
+        assert!(report
+            .degradations
+            .iter()
+            .any(|(d, _)| d.contains("lost") || d.contains("barrier_deadline")));
     }
 }

@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use gt_netem::NetemPlan;
 use gt_replayer::pattern::RatePattern;
 
 use crate::model::LoopModel;
@@ -59,6 +60,9 @@ pub struct LoadPlan {
     /// Rate-variability shape (§4.4) every open-loop client's arrival
     /// intensity follows; [`RatePattern::Uniform`] is constant intensity.
     pub pattern: RatePattern,
+    /// Optional network-fault plan: when set, every client dials the SUT
+    /// through a [`gt_netem::NetemProxy`] running this schedule.
+    pub netem: Option<NetemPlan>,
 }
 
 impl LoadPlan {
@@ -69,6 +73,7 @@ impl LoadPlan {
             classes: vec![ClientClass::new("main", connections, total_rate, model)],
             seed,
             pattern: RatePattern::Uniform,
+            netem: None,
         }
     }
 
@@ -84,6 +89,14 @@ impl LoadPlan {
     #[must_use]
     pub fn with_pattern(mut self, pattern: RatePattern) -> Self {
         self.pattern = pattern;
+        self
+    }
+
+    /// Routes every client through a deterministic network-fault proxy
+    /// (builder style).
+    #[must_use]
+    pub fn with_netem(mut self, netem: NetemPlan) -> Self {
+        self.netem = Some(netem);
         self
     }
 
@@ -118,6 +131,9 @@ impl fmt::Display for LoadPlan {
         write!(f, "[{}] seed {}", classes.join("; "), self.seed)?;
         if self.pattern != RatePattern::Uniform {
             write!(f, " pattern {}", self.pattern)?;
+        }
+        if let Some(netem) = &self.netem {
+            write!(f, " netem[{}]", netem.schedule.describe())?;
         }
         Ok(())
     }

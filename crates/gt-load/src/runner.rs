@@ -9,6 +9,7 @@ use std::time::Duration;
 
 use gt_core::prelude::*;
 use gt_metrics::Clock;
+use gt_netem::{NetemProxy, NetemReport};
 use gt_replayer::TcpSink;
 
 use crate::client::{run_client, ClientConfig, ClientReport};
@@ -26,13 +27,26 @@ pub type ConnectorFactory = crate::listener::ConnectorFn;
 const CONNECT_ATTEMPTS: u32 = 100;
 const CONNECT_RETRY_DELAY: Duration = Duration::from_millis(10);
 
+/// Write timeout on client sockets when a netem proxy is in the path: a
+/// blackholed connection must surface as a typed timeout error, not a
+/// client thread wedged in `write(2)` forever.
+const NETEM_WRITE_TIMEOUT: Duration = Duration::from_secs(5);
+
 /// Both sides of a finished load run.
 #[derive(Debug)]
 pub struct LoadOutcome {
-    /// Per-client reports, in connection order (class mix order).
+    /// Per-client reports, in connection order (class mix order). Clients
+    /// that failed (e.g. killed by a netem fault) are absent here and
+    /// listed in [`LoadOutcome::client_failures`] instead.
     pub clients: Vec<ClientReport>,
+    /// `(connection index, error)` per client whose run ended in an I/O
+    /// error. Non-empty failures degrade the outcome instead of failing
+    /// the whole run — unless *every* client failed.
+    pub client_failures: Vec<(usize, String)>,
     /// The SUT-side listener's report.
     pub listener: ListenerReport,
+    /// Traffic counters of the fault proxy, when the plan carried one.
+    pub netem: Option<NetemReport>,
 }
 
 impl LoadOutcome {
@@ -85,10 +99,10 @@ impl LoadOutcome {
 }
 
 /// Connects to the listener with bounded retries.
-fn connect_with_retry(addr: SocketAddr) -> io::Result<TcpSink> {
+fn connect_with_retry(addr: SocketAddr, write_timeout: Option<Duration>) -> io::Result<TcpSink> {
     let mut last = None;
     for _ in 0..CONNECT_ATTEMPTS {
-        match TcpSink::connect(addr) {
+        match TcpSink::connect_with(addr, write_timeout) {
             Ok(sink) => return Ok(sink),
             Err(e) => {
                 last = Some(e);
@@ -126,6 +140,18 @@ pub fn run_load(
     let addr = listener.local_addr()?;
     let handle = listener.start(total, connect, Arc::clone(&clock))?;
 
+    // With a netem plan, clients dial the fault proxy instead of the
+    // listener directly, and carry a write timeout so a blackholed
+    // connection errors out instead of wedging its thread.
+    let netem_handle = match &plan.netem {
+        Some(netem) => Some(NetemProxy::start(addr, netem, Arc::clone(&clock))?),
+        None => None,
+    };
+    let (dial_addr, write_timeout) = match &netem_handle {
+        Some(proxy) => (proxy.local_addr(), Some(NETEM_WRITE_TIMEOUT)),
+        None => (addr, None),
+    };
+
     let mut workers = Vec::with_capacity(total);
     let mut conn = 0usize;
     for class in &plan.classes {
@@ -139,39 +165,56 @@ pub fn run_load(
             )
             .with_pattern(plan.pattern.clone());
             let clock = Arc::clone(&clock);
-            workers.push(
+            workers.push((
+                conn,
                 thread::Builder::new()
                     .name(format!("gt-load-client-{conn}"))
                     .spawn(move || -> io::Result<ClientReport> {
-                        let sink = connect_with_retry(addr)?;
+                        let sink = connect_with_retry(dial_addr, write_timeout)?;
                         run_client(&entries, &config, Box::new(sink), clock)
                     })?,
-            );
+            ));
             conn += 1;
         }
     }
 
     let mut clients = Vec::with_capacity(total);
-    let mut first_error: Option<io::Error> = None;
-    for worker in workers {
+    let mut client_failures = Vec::new();
+    for (conn, worker) in workers {
         match worker.join() {
             Ok(Ok(report)) => clients.push(report),
-            Ok(Err(e)) => first_error = first_error.or(Some(e)),
-            Err(_) => {
-                first_error = first_error.or_else(|| Some(io::Error::other("client panicked")))
-            }
+            Ok(Err(e)) => client_failures.push((conn, e.to_string())),
+            Err(_) => client_failures.push((conn, "client panicked".to_owned())),
         }
     }
-    // Client sockets are closed now (finished or failed), so the
-    // listener's readers all reach EOF and the join cannot hang.
+
+    // Client sockets are closed now. Stop the proxy first — a forwarder
+    // mid-partition isn't reading, so only the stop flag guarantees the
+    // proxied sockets close and the listener's readers reach EOF.
+    let netem_report = match netem_handle {
+        Some(proxy) => {
+            proxy.stop();
+            Some(proxy.join()?)
+        }
+        None => None,
+    };
     handle.stop();
-    let listener_report = handle.join();
-    if let Some(e) = first_error {
-        return Err(e);
+    let listener_report = handle.join()?;
+
+    // Failed clients degrade the outcome (typed, alongside the listener's
+    // `connections_lost`); only a fully failed fleet fails the run.
+    if clients.is_empty() {
+        let detail = client_failures
+            .first()
+            .map(|(conn, e)| format!("all {total} clients failed; first: conn {conn}: {e}"))
+            .unwrap_or_else(|| "no clients ran".to_owned());
+        return Err(io::Error::other(detail));
     }
     Ok(LoadOutcome {
         clients,
-        listener: listener_report?,
+        client_failures,
+        listener: listener_report,
+        netem: netem_report,
     })
 }
 
@@ -294,6 +337,58 @@ mod tests {
         assert_eq!(outcome.offered(), 300);
     }
 
+    // Satellite regression: kill 1 of 4 clients mid-stream through the
+    // fault proxy. The run must complete with the death typed — a
+    // `client_failures` entry, a listener `connections_lost` count — and
+    // the surviving connections' markers must still deliver in order.
+    #[test]
+    fn netem_kill_degrades_one_client_without_failing_the_run() {
+        let events = Arc::new(AtomicU64::new(0));
+        let markers = Arc::new(Mutex::new(Vec::new()));
+        let stream = sample_stream(400);
+        let netem = gt_netem::NetemPlan::new(
+            gt_netem::NetemSchedule::parse("kill@300ms,mode=rst,conns=0", 3).unwrap(),
+        );
+        let journal = netem.journal.clone();
+        let plan = LoadPlan::single(4, 400.0, LoopModel::Open, 11).with_netem(netem);
+        let clock: Arc<dyn Clock> = Arc::new(WallClock::start());
+        let factory_events = Arc::clone(&events);
+        let factory_markers = Arc::clone(&markers);
+        let outcome = run_load(
+            &stream,
+            &plan,
+            Box::new(move || {
+                Ok(Box::new(CountingSink {
+                    events: Arc::clone(&factory_events),
+                    markers: Arc::clone(&factory_markers),
+                }) as Box<dyn EventSink + Send>)
+            }),
+            clock,
+        )
+        .unwrap();
+        assert_eq!(outcome.clients.len() + outcome.client_failures.len(), 4);
+        assert_eq!(
+            outcome.client_failures.len(),
+            1,
+            "exactly the killed client fails: {:?}",
+            outcome.client_failures
+        );
+        let netem_report = outcome.netem.as_ref().expect("netem report present");
+        assert_eq!(netem_report.kills_rst, 1);
+        assert_eq!(netem_report.connections, 4);
+        assert!(outcome.listener.connections_lost >= 1);
+        assert_eq!(outcome.listener.marker_violations, 0);
+        assert_eq!(
+            markers.lock().unwrap().as_slice(),
+            &["mid".to_owned(), "end".to_owned()],
+            "surviving connections still deliver every marker once"
+        );
+        let signature = journal.signature();
+        assert_eq!(signature.len(), 1);
+        assert_eq!(signature[0].0, 300);
+        assert!(signature[0].1.contains("kill"), "{signature:?}");
+    }
+
     #[test]
     fn empty_plan_rejected() {
         let stream = sample_stream(1);
@@ -301,6 +396,7 @@ mod tests {
             classes: Vec::new(),
             seed: 0,
             pattern: gt_replayer::pattern::RatePattern::Uniform,
+            netem: None,
         };
         let clock: Arc<dyn Clock> = Arc::new(WallClock::start());
         let err = run_load(&stream, &plan, Box::new(|| unreachable!()), clock).unwrap_err();

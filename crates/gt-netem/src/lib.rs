@@ -1,0 +1,53 @@
+//! gt-netem — deterministic network fault injection for GraphTides.
+//!
+//! The chaos layer (gt-chaos) injects faults as sink-side middleware *inside*
+//! the replayer process; real ingress fails at the network. `gt-netem` closes
+//! that gap with a seeded TCP proxy that sits between load clients (or the
+//! single-sink replayer) and the SUT listener, injecting latency/jitter,
+//! bandwidth caps, timed partitions, RST/FIN connection kills, and byte
+//! corruption or truncation — all driven by a compact schedule spec:
+//!
+//! ```text
+//! partition@2s,dur=500ms,conns=0-3; delay@4s,ms=20,jitter=5
+//! ```
+//!
+//! Determinism witness: every fault apply and heal is journaled into a
+//! [`gt_chaos::ChaosJournal`], with the journal `seq` set to the *planned*
+//! millisecond offset rather than anything observed at runtime, and the
+//! proxy fast-forwards unfired events on shutdown. Three runs of the same
+//! `(schedule, seed)` therefore produce byte-identical
+//! [`gt_chaos::ChaosJournal::signature`]s regardless of wall-clock noise or
+//! run length.
+
+#![warn(missing_docs)]
+
+mod proxy;
+mod schedule;
+
+pub use proxy::{NetemHandle, NetemProxy, NetemReport};
+pub use schedule::{ConnRange, KillMode, NetemFault, NetemFaultKind, NetemSchedule};
+
+use gt_chaos::ChaosJournal;
+
+/// The metric source label netem journal records are folded under.
+pub const NETEM_SOURCE: &str = "netem";
+
+/// A network fault plan: the schedule to inject plus the shared journal the
+/// proxy writes its determinism witness into.
+#[derive(Debug, Clone, Default)]
+pub struct NetemPlan {
+    /// The seeded fault schedule.
+    pub schedule: NetemSchedule,
+    /// Shared journal; clones observe the same events.
+    pub journal: ChaosJournal,
+}
+
+impl NetemPlan {
+    /// Wraps a schedule with a fresh journal.
+    pub fn new(schedule: NetemSchedule) -> Self {
+        NetemPlan {
+            schedule,
+            journal: ChaosJournal::new(),
+        }
+    }
+}

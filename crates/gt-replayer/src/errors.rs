@@ -11,6 +11,8 @@ use std::io;
 
 use gt_core::prelude::CoreError;
 
+use crate::sink::DisconnectCause;
+
 /// Why a replay pipeline stopped.
 #[derive(Debug)]
 pub enum ReplayError {
@@ -25,6 +27,8 @@ pub enum ReplayError {
         attempts: u32,
         /// The error from the final attempt.
         last: io::Error,
+        /// How the original connection died (RST vs FIN vs stall).
+        cause: DisconnectCause,
     },
     /// The reader thread panicked (a bug, not an environment failure).
     ReaderPanicked,
@@ -72,9 +76,14 @@ impl fmt::Display for ReplayError {
         match self {
             ReplayError::Io(e) => write!(f, "replay I/O error: {e}"),
             ReplayError::Source(e) => write!(f, "stream source error: {e}"),
-            ReplayError::SinkGaveUp { attempts, last } => write!(
+            ReplayError::SinkGaveUp {
+                attempts,
+                last,
+                cause,
+            } => write!(
                 f,
-                "sink gave up after {attempts} reconnect attempts: {last}"
+                "sink gave up after {attempts} reconnect attempts ({}): {last}",
+                cause.label()
             ),
             ReplayError::ReaderPanicked => f.write_str("stream reader thread panicked"),
             ReplayError::InvalidControl { control, reason } => {
@@ -117,13 +126,19 @@ mod tests {
         let typed = ReplayError::SinkGaveUp {
             attempts: 7,
             last: io::Error::new(io::ErrorKind::ConnectionRefused, "refused"),
+            cause: DisconnectCause::Reset,
         };
         let io_err = typed.into_io();
         assert_eq!(io_err.kind(), io::ErrorKind::ConnectionAborted);
         match ReplayError::from_sink_error(io_err) {
-            ReplayError::SinkGaveUp { attempts, last } => {
+            ReplayError::SinkGaveUp {
+                attempts,
+                last,
+                cause,
+            } => {
                 assert_eq!(attempts, 7);
                 assert_eq!(last.kind(), io::ErrorKind::ConnectionRefused);
+                assert_eq!(cause, DisconnectCause::Reset);
             }
             other => panic!("wrong variant: {other:?}"),
         }
@@ -143,8 +158,10 @@ mod tests {
         let e = ReplayError::SinkGaveUp {
             attempts: 3,
             last: io::Error::new(io::ErrorKind::ConnectionRefused, "refused"),
+            cause: DisconnectCause::Stalled,
         };
         let msg = e.to_string();
         assert!(msg.contains("3 reconnect attempts"), "{msg}");
+        assert!(msg.contains("stalled"), "{msg}");
     }
 }

@@ -24,7 +24,7 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
 use crate::errors::ReplayError;
-use crate::sink::{EventSink, SinkEvent, SinkEventKind};
+use crate::sink::{DisconnectCause, EventSink, SinkEvent, SinkEventKind};
 
 /// How a [`ReconnectingTcpSink`] retries a lost connection.
 #[derive(Debug, Clone, PartialEq)]
@@ -134,6 +134,14 @@ pub struct ReconnectingTcpSink {
     /// Flush automatically once this many lines are pending, bounding
     /// both userspace buffering and the at-least-once duplicate window.
     flush_every: usize,
+    /// Write timeout applied to every dialed connection, so a blackholed
+    /// peer surfaces as a timed-out write instead of blocking forever.
+    write_timeout: Option<Duration>,
+    /// Disconnects bucketed by [`DisconnectCause`] (see
+    /// [`DisconnectCause::index`]).
+    disconnects_by_cause: [u64; 4],
+    /// The most recent disconnect's cause, carried into a final give-up.
+    last_cause: DisconnectCause,
     events: Vec<SinkEvent>,
     buf: String,
 }
@@ -158,6 +166,9 @@ impl ReconnectingTcpSink {
             reconnects: 0,
             disconnects: 0,
             flush_every: 256,
+            write_timeout: None,
+            disconnects_by_cause: [0; 4],
+            last_cause: DisconnectCause::Other,
             events: Vec::new(),
             buf: String::with_capacity(64),
         })
@@ -185,6 +196,32 @@ impl ReconnectingTcpSink {
         self
     }
 
+    /// Applies a write timeout to the current and all future connections,
+    /// so a blackholed (partitioned) peer turns into a [`DisconnectCause::
+    /// Stalled`] reconnect instead of an unbounded block.
+    #[must_use]
+    pub fn with_write_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.write_timeout = timeout;
+        if let Some(w) = self.writer.as_ref() {
+            w.get_ref().set_write_timeout(self.write_timeout).ok();
+        }
+        self
+    }
+
+    /// Disconnects observed for one specific cause.
+    pub fn disconnects_of(&self, cause: DisconnectCause) -> u64 {
+        self.disconnects_by_cause[cause.index()]
+    }
+
+    /// Per-cause disconnect counters, as `(label, count)` pairs in
+    /// [`DisconnectCause::ALL`] order.
+    pub fn disconnect_counts(&self) -> Vec<(&'static str, u64)> {
+        DisconnectCause::ALL
+            .iter()
+            .map(|c| (c.label(), self.disconnects_by_cause[c.index()]))
+            .collect()
+    }
+
     /// Lines confirmed flushed to the socket.
     pub fn emitted_lines(&self) -> u64 {
         self.emitted_lines
@@ -207,6 +244,7 @@ impl ReconnectingTcpSink {
     fn try_dial(&mut self) -> io::Result<()> {
         let stream = TcpStream::connect(&self.addr)?;
         stream.set_nodelay(true)?;
+        stream.set_write_timeout(self.write_timeout)?;
         let mut writer = BufWriter::with_capacity(SOCKET_BUFFER, stream);
         for line in &self.pending {
             writer.write_all(line.as_bytes())?;
@@ -215,12 +253,62 @@ impl ReconnectingTcpSink {
         Ok(())
     }
 
+    /// Refines the error-kind classification of `trigger` with a
+    /// nonblocking probe read of the dying socket: a queued FIN shows up as
+    /// EOF (the peer closed gracefully even though our write error said
+    /// only "timed out"), a queued RST as `ConnectionReset`, and silence
+    /// confirms a stall.
+    fn probe_cause(trigger: &io::Error, writer: Option<&BufWriter<TcpStream>>) -> DisconnectCause {
+        let classified = DisconnectCause::classify(trigger);
+        if classified == DisconnectCause::Reset {
+            // A reset write error is definitive; the probe would see EOF
+            // because the kernel already consumed the pending socket error.
+            return classified;
+        }
+        let Some(writer) = writer else {
+            return classified;
+        };
+        let stream = writer.get_ref();
+        if stream.set_nonblocking(true).is_err() {
+            return classified;
+        }
+        let mut probe = [0u8; 1];
+        match stream.peek(&mut probe) {
+            Ok(0) => DisconnectCause::ClosedByPeer,
+            Ok(_) => classified,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => classified,
+            Err(e) => DisconnectCause::classify(&e),
+        }
+    }
+
+    /// Whether the peer has half-closed (sent FIN) on a connection whose
+    /// writes still succeed. Checked after each successful flush: a
+    /// gracefully shut-down server otherwise goes unnoticed until buffers
+    /// fill, silently absorbing the stream into a dead socket. The probe
+    /// is one nonblocking `peek`; blocking mode is restored afterwards.
+    fn peer_sent_fin(writer: &BufWriter<TcpStream>) -> bool {
+        let stream = writer.get_ref();
+        if stream.set_nonblocking(true).is_err() {
+            return false;
+        }
+        let mut probe = [0u8; 1];
+        let fin = matches!(stream.peek(&mut probe), Ok(0));
+        stream.set_nonblocking(false).ok();
+        fin
+    }
+
     /// Reconnect loop with capped exponential backoff and seeded jitter.
     /// On success the new connection already carries the replayed pending
     /// lines.
     fn reconnect(&mut self, trigger: &io::Error) -> io::Result<()> {
+        let cause = Self::probe_cause(trigger, self.writer.as_ref());
         self.writer = None;
-        self.push_event(SinkEventKind::Disconnected, trigger.to_string());
+        self.disconnects_by_cause[cause.index()] += 1;
+        self.last_cause = cause;
+        self.push_event(
+            SinkEventKind::Disconnected { cause },
+            format!("{}: {trigger}", cause.label()),
+        );
         let schedule = self.policy.backoff_schedule(self.disconnects);
         self.disconnects += 1;
         let mut last = io::Error::new(io::ErrorKind::NotConnected, trigger.to_string());
@@ -243,6 +331,7 @@ impl ReconnectingTcpSink {
         Err(ReplayError::SinkGaveUp {
             attempts: self.policy.max_attempts,
             last,
+            cause,
         }
         .into_io())
     }
@@ -265,6 +354,13 @@ impl ReconnectingTcpSink {
                 Ok(()) => {
                     self.emitted_lines += self.pending.len() as u64;
                     self.pending.clear();
+                    if self.writer.as_ref().is_some_and(Self::peer_sent_fin) {
+                        let e = io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "peer half-closed (FIN) after flush",
+                        );
+                        self.reconnect(&e)?;
+                    }
                     return Ok(());
                 }
                 Err(e) => self.reconnect(&e)?,
@@ -276,6 +372,7 @@ impl ReconnectingTcpSink {
                 io::ErrorKind::ConnectionReset,
                 "peer kept dropping the connection during flush recovery",
             ),
+            cause: self.last_cause,
         }
         .into_io())
     }
@@ -409,7 +506,7 @@ mod tests {
         let events = sink.drain_events();
         assert!(events
             .iter()
-            .any(|e| matches!(e.kind, SinkEventKind::Disconnected)));
+            .any(|e| matches!(e.kind, SinkEventKind::Disconnected { .. })));
         assert!(events
             .iter()
             .any(|e| matches!(e.kind, SinkEventKind::Reconnected { .. })));
@@ -534,5 +631,134 @@ mod tests {
         assert_eq!(sink.emitted_lines(), 20);
         drop(sink);
         assert_eq!(reader.join().unwrap(), 20);
+    }
+
+    /// A ~1KiB entry so a few thousand sends overflow kernel socket
+    /// buffers quickly in the stall/FIN tests.
+    fn fat_vertex(i: u64) -> StreamEntry {
+        StreamEntry::graph(GraphEvent::AddVertex {
+            id: VertexId(i),
+            state: State::new("x".repeat(1024)),
+        })
+    }
+
+    /// Drives `sink` until a send/flush fails, returning the typed error.
+    /// Panics if the sink never fails within the write budget.
+    fn drive_until_error(sink: &mut ReconnectingTcpSink, writes: u64) -> ReplayError {
+        for i in 0..writes {
+            if let Err(e) = sink.send(&fat_vertex(i)).and_then(|_| sink.flush()) {
+                return ReplayError::from_sink_error(e);
+            }
+        }
+        panic!("sink never observed the injected fault");
+    }
+
+    // Abrupt kill: the peer drops the socket with client data still unread,
+    // which the kernel answers with RST. The sink must classify it as
+    // `Reset`, not a generic disconnect.
+    #[test]
+    fn rst_kill_classifies_as_reset() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let (ready_tx, ready_rx) = std::sync::mpsc::channel::<()>();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            // Wait until the client has data in our receive queue, then
+            // drop without reading: close-with-unread-data elicits RST.
+            ready_rx.recv().unwrap();
+            drop(stream);
+        });
+        let mut sink = ReconnectingTcpSink::connect(addr)
+            .unwrap()
+            .with_policy(ReconnectPolicy::give_up_immediately());
+        for i in 0..8 {
+            sink.send(&fat_vertex(i)).unwrap();
+        }
+        sink.flush().unwrap();
+        ready_tx.send(()).unwrap();
+        server.join().unwrap();
+
+        let err = drive_until_error(&mut sink, 100_000);
+        match err {
+            ReplayError::SinkGaveUp { cause, .. } => {
+                assert_eq!(cause, DisconnectCause::Reset, "got {cause:?}");
+            }
+            other => panic!("expected SinkGaveUp, got {other:?}"),
+        }
+        assert_eq!(sink.disconnects_of(DisconnectCause::Reset), 1);
+        assert_eq!(sink.disconnects_of(DisconnectCause::Stalled), 0);
+    }
+
+    // Graceful kill: the peer sends a FIN (shutdown both directions) but
+    // keeps the socket alive, so nothing RSTs. Writes eventually stall on
+    // full buffers; the probe read then sees the queued EOF and refines the
+    // classification to `ClosedByPeer`.
+    #[test]
+    fn fin_kill_classifies_as_closed_by_peer() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let (park_tx, park_rx) = std::sync::mpsc::channel::<()>();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            stream.shutdown(std::net::Shutdown::Both).unwrap();
+            // Park the socket: keep the fd alive so no RST is generated.
+            park_rx.recv().ok();
+            drop(stream);
+        });
+        let mut sink = ReconnectingTcpSink::connect(addr)
+            .unwrap()
+            .with_policy(ReconnectPolicy::give_up_immediately())
+            .with_write_timeout(Some(Duration::from_millis(100)));
+
+        let err = drive_until_error(&mut sink, 100_000);
+        match err {
+            ReplayError::SinkGaveUp { cause, .. } => {
+                assert_eq!(cause, DisconnectCause::ClosedByPeer, "got {cause:?}");
+            }
+            other => panic!("expected SinkGaveUp, got {other:?}"),
+        }
+        assert_eq!(sink.disconnects_of(DisconnectCause::ClosedByPeer), 1);
+        park_tx.send(()).ok();
+        server.join().unwrap();
+    }
+
+    // Blackhole: the peer accepts and then never reads — no FIN, no RST.
+    // With a write timeout the stalled write surfaces as `Stalled`; without
+    // one the sink would block forever (the pre-netem behavior).
+    #[test]
+    fn blackhole_classifies_as_stalled() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let (park_tx, park_rx) = std::sync::mpsc::channel::<()>();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            // Never read; never close. TCP backpressure does the rest.
+            park_rx.recv().ok();
+            drop(stream);
+        });
+        let mut sink = ReconnectingTcpSink::connect(addr)
+            .unwrap()
+            .with_policy(ReconnectPolicy::give_up_immediately())
+            .with_write_timeout(Some(Duration::from_millis(100)));
+
+        let err = drive_until_error(&mut sink, 100_000);
+        match err {
+            ReplayError::SinkGaveUp { cause, .. } => {
+                assert_eq!(cause, DisconnectCause::Stalled, "got {cause:?}");
+            }
+            other => panic!("expected SinkGaveUp, got {other:?}"),
+        }
+        assert_eq!(sink.disconnects_of(DisconnectCause::Stalled), 1);
+        assert_eq!(
+            sink.disconnect_counts(),
+            vec![
+                ("reset", 0),
+                ("closed_by_peer", 0),
+                ("stalled", 1),
+                ("other", 0)
+            ]
+        );
+        park_tx.send(()).ok();
+        server.join().unwrap();
     }
 }

@@ -31,12 +31,79 @@ pub struct SinkEvent {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SinkEventKind {
     /// The connection to the system under test was lost.
-    Disconnected,
+    Disconnected {
+        /// How the connection died, as far as the sink could tell.
+        cause: DisconnectCause,
+    },
     /// The connection was re-established after `attempt` tries.
     Reconnected {
         /// Which reconnect attempt succeeded (1-based).
         attempt: u32,
     },
+}
+
+/// How a TCP connection died, classified from the failing I/O error plus a
+/// nonblocking probe read of the old socket. Distinguishing these matters
+/// under network faults: an abrupt RST, a graceful FIN, and a blackholed
+/// (stalled) peer call for the same reconnect loop but very different
+/// operator diagnoses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DisconnectCause {
+    /// Abrupt reset (RST): `ConnectionReset` / `ConnectionAborted`.
+    Reset,
+    /// Graceful close (FIN): the peer shut down the connection and our
+    /// writes hit `BrokenPipe`, or a probe read returned EOF.
+    ClosedByPeer,
+    /// Blackhole: writes timed out with the connection nominally alive
+    /// (`WouldBlock` / `TimedOut` with nothing readable).
+    Stalled,
+    /// Anything else (DNS failure, refused reconnect, local error).
+    Other,
+}
+
+impl DisconnectCause {
+    /// Classifies an I/O error kind into a cause. A probe read can refine
+    /// this further (see `ReconnectingTcpSink`).
+    pub fn classify(err: &io::Error) -> Self {
+        match err.kind() {
+            io::ErrorKind::ConnectionReset | io::ErrorKind::ConnectionAborted => {
+                DisconnectCause::Reset
+            }
+            io::ErrorKind::BrokenPipe | io::ErrorKind::UnexpectedEof | io::ErrorKind::WriteZero => {
+                DisconnectCause::ClosedByPeer
+            }
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => DisconnectCause::Stalled,
+            _ => DisconnectCause::Other,
+        }
+    }
+
+    /// Stable lowercase label used in metric records and counters.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DisconnectCause::Reset => "reset",
+            DisconnectCause::ClosedByPeer => "closed_by_peer",
+            DisconnectCause::Stalled => "stalled",
+            DisconnectCause::Other => "other",
+        }
+    }
+
+    /// All causes, in counter order.
+    pub const ALL: [DisconnectCause; 4] = [
+        DisconnectCause::Reset,
+        DisconnectCause::ClosedByPeer,
+        DisconnectCause::Stalled,
+        DisconnectCause::Other,
+    ];
+
+    /// This cause's index into per-cause counter arrays.
+    pub fn index(&self) -> usize {
+        match self {
+            DisconnectCause::Reset => 0,
+            DisconnectCause::ClosedByPeer => 1,
+            DisconnectCause::Stalled => 2,
+            DisconnectCause::Other => 3,
+        }
+    }
 }
 
 /// A destination for replayed stream entries.
@@ -205,8 +272,19 @@ pub struct TcpSink {
 impl TcpSink {
     /// Connects to the given address.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        Self::connect_with(addr, None)
+    }
+
+    /// Connects with an optional write timeout, so a blackholed peer (e.g. a
+    /// netem partition) surfaces as a `WouldBlock`/`TimedOut` write error
+    /// instead of blocking the client forever.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        write_timeout: Option<std::time::Duration>,
+    ) -> io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
+        stream.set_write_timeout(write_timeout)?;
         Ok(TcpSink {
             inner: WriterSink::new(BufWriter::with_capacity(64 * 1024, stream)),
         })

@@ -149,7 +149,7 @@ fn tcp_listener_restart_mid_replay_completes() {
         report
             .sink_events
             .iter()
-            .any(|e| matches!(e.kind, SinkEventKind::Disconnected)),
+            .any(|e| matches!(e.kind, SinkEventKind::Disconnected { .. })),
         "no disconnect event: {:?}",
         report.sink_events
     );

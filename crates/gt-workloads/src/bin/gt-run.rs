@@ -11,6 +11,7 @@
 //! gt-run <stream.csv> --sut <name> [--rate R] [--opt key=value ...]
 //!        [--faults drop:0.01,dup:0.005,shuffle:64] [--fault-seed N]
 //!        [--chaos "crash@200,worker=0,restart=300; stall@500,ms=50"]
+//!        [--netem "partition@2s,dur=500ms,conns=0-3; delay@4s,ms=20"]
 //!        [--clients N] [--loop-model open|closed|partial:W] [--load-seed N]
 //!        [--pattern uniform|diurnal:P:A|pareto:A:B:P|flash:AT:F:HOLD]
 //!        [--scale C1,C2,..xR1,R2,..] [--assert-achieved F]
@@ -24,6 +25,14 @@
 //! throughput-dip depth, events lost). Both are seeded by `--fault-seed`
 //! and fully deterministic. Chaos runs are guarded by the experiment
 //! watchdog so a killed worker can never hang the invocation.
+//!
+//! `--netem` interposes the seeded network-fault proxy between the
+//! clients (or the single-sink replayer) and the SUT listener: timed
+//! partitions, RST/FIN connection kills, added latency/jitter, bandwidth
+//! caps, byte corruption. Unlike `--chaos` it works in *both* single-sink
+//! and `--clients` load mode, shares `--fault-seed`, and prints its own
+//! recovery table correlating network faults against the ingress-rate
+//! (single-sink) or achieved-rate (load) series.
 //!
 //! `--clients` switches to the multi-client load layer: the stream is
 //! split into one seeded substream per connection and offered over N
@@ -59,13 +68,17 @@ use std::path::Path;
 use std::process::ExitCode;
 use std::time::Duration;
 
-use gt_analysis::{recovery_windows, shard_scaling, Quantiles, TRACE_SOURCE, TRACE_STAGE_METRICS};
+use gt_analysis::{
+    recovery_windows, recovery_windows_from, shard_scaling, Quantiles, RecoveryWindow,
+    TRACE_SOURCE, TRACE_STAGE_METRICS,
+};
 use gt_faults::{parse_pipeline, FaultInjector};
 use gt_harness::{
     cell_id, render_matrix_table, run_differential, run_file_sut_experiment,
     run_load_file_sut_experiment, run_matrix_with_progress, Assignment, CellRunResult, ChaosPlan,
-    EvaluationLevel, FaultSchedule, FileRunPlan, LoadPlan, LoadSutRunOutcome, LoopModel,
-    RatePattern, RunStatus, ScenarioMatrix, SutOptions, SutRegistry, WatchdogConfig,
+    EvaluationLevel, FaultSchedule, FileRunPlan, LoadPlan, LoadSutRunOutcome, LoopModel, NetemPlan,
+    NetemSchedule, RatePattern, RunStatus, ScenarioMatrix, SutOptions, SutRegistry, WatchdogConfig,
+    NETEM_SOURCE,
 };
 
 /// Throughput fraction of the pre-fault baseline that counts as
@@ -79,6 +92,7 @@ struct Args {
     options: SutOptions,
     faults: Option<String>,
     chaos: Option<String>,
+    netem: Option<String>,
     fault_seed: u64,
     clients: Option<usize>,
     loop_model: LoopModel,
@@ -115,6 +129,7 @@ fn usage() -> String {
         "usage: gt-run <stream.csv> --sut <{names}> [--rate R] [--opt key=value ...]\n\
          \x20             [--faults drop:P,dup:P,shuffle:W,delay:P:N] [--fault-seed N]\n\
          \x20             [--chaos \"kind@trigger[,key=value ...]; ...\"]\n\
+         \x20             [--netem \"partition@2s,dur=500ms[,conns=A-B]; kill@1s,mode=rst; ...\"]\n\
          \x20             [--clients N] [--loop-model open|closed|partial:W] [--load-seed N]\n\
          \x20             [--pattern uniform|diurnal:P:A|pareto:A:B:P|flash:AT:F:HOLD]\n\
          \x20             [--scale C1,C2,..xR1,R2,..] [--assert-achieved F]\n\
@@ -161,6 +176,7 @@ fn parse_args() -> Result<Args, String> {
     let mut options = SutOptions::new();
     let mut faults = None;
     let mut chaos = None;
+    let mut netem = None;
     let mut fault_seed: u64 = 0;
     let mut clients = None;
     let mut loop_model = LoopModel::Open;
@@ -175,6 +191,7 @@ fn parse_args() -> Result<Args, String> {
             "--sut" => sut = Some(args.next().ok_or("--sut needs a value")?),
             "--faults" => faults = Some(args.next().ok_or("--faults needs a spec")?),
             "--chaos" => chaos = Some(args.next().ok_or("--chaos needs a spec")?),
+            "--netem" => netem = Some(args.next().ok_or("--netem needs a spec")?),
             "--clients" => {
                 let n: usize = args
                     .next()
@@ -283,6 +300,9 @@ fn parse_args() -> Result<Args, String> {
             "--differential is single-connector A/B replay; drop --clients/--scale/--chaos".into(),
         );
     }
+    if differential.is_some() && netem.is_some() {
+        return Err("--differential compares bit-exact replays; drop --netem".into());
+    }
     if differential.is_some() && shards.is_some() {
         return Err("--differential already names the candidate shard count".into());
     }
@@ -304,6 +324,7 @@ fn parse_args() -> Result<Args, String> {
         options,
         faults,
         chaos,
+        netem,
         fault_seed,
         clients,
         loop_model,
@@ -346,7 +367,45 @@ fn run_load_cell(
         LoadPlan::single(connections, rate, args.loop_model, args.load_seed)
             .with_pattern(args.pattern.clone()),
     );
+    if let Some(spec) = &args.netem {
+        let schedule =
+            NetemSchedule::parse(spec, args.fault_seed).map_err(|e| format!("--netem {e}"))?;
+        plan = plan.with_netem(NetemPlan::new(schedule));
+    }
     run_load_file_sut_experiment(plan, registry, sut, options).map_err(|e| e.to_string())
+}
+
+/// Prints the netem recovery table: one row per journaled network fault,
+/// correlated against the chosen throughput series.
+fn print_netem_recovery(windows: &[RecoveryWindow], rate_series: &str) {
+    if windows.is_empty() {
+        println!("\n# netem recovery: no network faults fired");
+        return;
+    }
+    println!(
+        "\n# netem recovery vs {rate_series} (recovered = {:.0}% of pre-fault rate)",
+        RECOVERY_FRACTION * 100.0
+    );
+    println!(
+        "{:<44} {:>8} {:>10} {:>7} {:>9}",
+        "fault", "t[s]", "dip[e/s]", "depth", "ttr[s]"
+    );
+    for w in windows {
+        let ttr = w
+            .time_to_recover_secs
+            .map_or_else(|| "never".to_owned(), |t| format!("{t:.2}"));
+        println!(
+            "{:<44} {:>8.2} {:>10.0} {:>6.0}% {:>9}",
+            w.fault,
+            w.t_fault_secs,
+            w.dip_rate,
+            w.dip_depth * 100.0,
+            ttr
+        );
+        if let Some((action, t)) = &w.recovery {
+            println!("  └ {action} at t={t:.2}s");
+        }
+    }
 }
 
 /// Checks the CI gate: achieved/offered at or above the threshold and
@@ -449,6 +508,17 @@ fn run_load_mode(args: &Args, path: &str, registry: &SutRegistry) -> ExitCode {
         "# gt-run load: {} with {connections} clients, {} loop @ {:.0} e/s offered (seed {})",
         args.sut, args.loop_model, args.rate, args.load_seed
     );
+    if let Some(spec) = &args.netem {
+        println!("# netem schedule: {spec} (seed {})", args.fault_seed);
+    }
+    // A run that lost connections or clients still completes (the
+    // barrier excuses dead connections) — surface the degradation.
+    let degraded =
+        outcome.load.listener.connections_lost > 0 || !outcome.load.client_failures.is_empty();
+    println!(
+        "run status          {:>12}",
+        if degraded { "degraded" } else { "completed" }
+    );
     println!("offered events      {:>12}", outcome.load.offered());
     println!("sent events         {:>12}", outcome.load.sent());
     println!("offered rate [e/s]  {:>12.0}", outcome.load.offered_rate());
@@ -464,6 +534,14 @@ fn run_load_mode(args: &Args, path: &str, registry: &SutRegistry) -> ExitCode {
     println!(
         "parse errors        {:>12}",
         outcome.load.listener.parse_errors
+    );
+    println!(
+        "connections lost    {:>12}",
+        outcome.load.listener.connections_lost
+    );
+    println!(
+        "clients failed      {:>12}",
+        outcome.load.client_failures.len()
     );
     println!("quiesced            {:>12}", outcome.quiesced);
     println!("\n# sojourn latency [us] per class (completion - scheduled arrival)");
@@ -484,6 +562,18 @@ fn run_load_mode(args: &Args, path: &str, registry: &SutRegistry) -> ExitCode {
     println!("\n# {} final report", outcome.report.name);
     for (metric, value) in &outcome.report.summary {
         println!("{metric:<19} {value:>12.0}");
+    }
+    // Netem recovery: network faults correlated against the main class's
+    // completion-rate series.
+    if args.netem.is_some() {
+        let windows = recovery_windows_from(
+            &outcome.log,
+            NETEM_SOURCE,
+            "load",
+            "achieved_rate.main",
+            RECOVERY_FRACTION,
+        );
+        print_netem_recovery(&windows, "achieved_rate.main");
     }
     println!(
         "\n# merged result log: {} records",
@@ -628,6 +718,9 @@ struct CellPlan {
     /// `;`-separated chaos schedule (matrix levels use `+` between
     /// clauses since `;` is reserved by the cell-id encoding).
     chaos: Option<String>,
+    /// `;`-separated netem schedule, same `+` encoding as `chaos`.
+    /// Valid for both single-sink and load cells.
+    netem: Option<String>,
 }
 
 fn matrix_usage() -> String {
@@ -638,7 +731,8 @@ fn matrix_usage() -> String {
          \x20 factors: sut (required, one of {}), rate, pattern\n\
          \x20          (uniform|diurnal:P:A|pareto:ALPHA:BURST:PEAK|flash:AT:F:HOLD),\n\
          \x20          shards, clients (0 = single-sink), loop, chaos (none or\n\
-         \x20          clauses joined by `+`), stream (per-cell file override)",
+         \x20          clauses joined by `+`), netem (none or clauses joined by\n\
+         \x20          `+`; valid in both modes), stream (per-cell file override)",
         builtin_registry().names().join("|")
     )
 }
@@ -659,6 +753,7 @@ fn plan_cell(
         clients: 0,
         loop_model: LoopModel::Open,
         chaos: None,
+        netem: None,
     };
     let mut shards = None;
     for (name, value) in cell {
@@ -702,10 +797,15 @@ fn plan_cell(
                     plan.chaos = Some(value.replace('+', ";"));
                 }
             }
+            "netem" => {
+                if value != "none" {
+                    plan.netem = Some(value.replace('+', ";"));
+                }
+            }
             other => {
                 return Err(format!(
                     "unknown factor `{other}` (known: sut, stream, rate, pattern, shards, \
-                     clients, loop, chaos)"
+                     clients, loop, chaos, netem)"
                 ));
             }
         }
@@ -730,10 +830,13 @@ fn plan_cell(
     if plan.chaos.is_some() && plan.clients > 0 {
         return Err("chaos applies to single-sink cells; set clients to 0".into());
     }
-    // Chaos parse errors should surface during validation, not after
-    // hours of completed cells (the seed only offsets trigger jitter).
+    // Chaos/netem parse errors should surface during validation, not
+    // after hours of completed cells (the seed only offsets jitter).
     if let Some(spec) = &plan.chaos {
         FaultSchedule::parse(spec, 0).map_err(|e| format!("bad chaos schedule: {e}"))?;
+    }
+    if let Some(spec) = &plan.netem {
+        NetemSchedule::parse(spec, 0).map_err(|e| format!("bad netem schedule: {e}"))?;
     }
     Ok(plan)
 }
@@ -754,6 +857,11 @@ fn run_matrix_cell(
             LoadPlan::single(plan.clients, plan.rate, plan.loop_model, seed)
                 .with_pattern(plan.pattern.clone()),
         );
+        let netem_cell = plan.netem.is_some();
+        if let Some(spec) = &plan.netem {
+            let schedule = NetemSchedule::parse(spec, seed).map_err(|e| format!("netem: {e}"))?;
+            file_plan = file_plan.with_netem(NetemPlan::new(schedule));
+        }
         let outcome = run_load_file_sut_experiment(file_plan, registry, &plan.sut, &plan.options)
             .map_err(|e| e.to_string())?;
         let mut metrics = vec![
@@ -767,6 +875,12 @@ fn run_matrix_cell(
         ];
         if let Some(tail) = gt_analysis::sojourn_quantiles(&outcome.log, "main") {
             metrics.push(("p99_sojourn_us".to_owned(), tail.p99));
+        }
+        if netem_cell {
+            metrics.push((
+                "connections_lost".to_owned(),
+                outcome.load.listener.connections_lost as f64,
+            ));
         }
         return Ok(CellRunResult {
             status: RunStatus::Completed,
@@ -787,6 +901,15 @@ fn run_matrix_cell(
         let schedule = FaultSchedule::parse(spec, seed).map_err(|e| format!("chaos: {e}"))?;
         file_plan = file_plan
             .with_chaos(ChaosPlan::new(schedule))
+            .with_watchdog(
+                WatchdogConfig::stall_after(Duration::from_secs(30))
+                    .with_deadline(Duration::from_secs(600)),
+            );
+    }
+    if let Some(spec) = &plan.netem {
+        let schedule = NetemSchedule::parse(spec, seed).map_err(|e| format!("netem: {e}"))?;
+        file_plan = file_plan
+            .with_netem(NetemPlan::new(schedule))
             .with_watchdog(
                 WatchdogConfig::stall_after(Duration::from_secs(30))
                     .with_deadline(Duration::from_secs(600)),
@@ -971,6 +1094,17 @@ fn main() -> ExitCode {
         },
         None => None,
     };
+    // Network faults ride the same seed; the proxy front is started by
+    // the SUT runner when the plan carries a netem schedule.
+    if let Some(spec) = &args.netem {
+        match NetemSchedule::parse(spec, args.fault_seed) {
+            Ok(schedule) => plan = plan.with_netem(NetemPlan::new(schedule)),
+            Err(error) => {
+                eprintln!("gt-run: --netem {error}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
 
     let outcome = match run_file_sut_experiment(plan, &registry, &args.sut, &args.options) {
         Ok(outcome) => outcome,
@@ -990,6 +1124,9 @@ fn main() -> ExitCode {
     }
     if let Some(chaos) = &chaos_description {
         println!("# chaos schedule: {chaos} (seed {})", args.fault_seed);
+    }
+    if let Some(spec) = &args.netem {
+        println!("# netem schedule: {spec} (seed {})", args.fault_seed);
     }
     println!("run status          {:>12}", outcome.run.status.to_string());
     println!("entries read        {:>12}", replay.entries_read);
@@ -1065,6 +1202,18 @@ fn main() -> ExitCode {
                 }
             }
         }
+    }
+    // Netem recovery: network faults correlated against the replayer's
+    // ingress-rate series.
+    if args.netem.is_some() {
+        let windows = recovery_windows_from(
+            &outcome.run.log,
+            NETEM_SOURCE,
+            "replayer",
+            "ingress_rate",
+            RECOVERY_FRACTION,
+        );
+        print_netem_recovery(&windows, "ingress_rate");
     }
     println!(
         "\n# merged result log: {} records",

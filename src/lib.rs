@@ -28,6 +28,9 @@
 pub use gt_algorithms as algorithms;
 /// Statistics for result analysis.
 pub use gt_analysis as analysis;
+/// Live fault injection inside the replay path: seeded schedules,
+/// crash/stall/disconnect sinks, and the determinism-witness journal.
+pub use gt_chaos as chaos;
 /// Core event model and graph stream format.
 pub use gt_core as core;
 /// Deterministic fault injection.
@@ -42,6 +45,8 @@ pub use gt_harness as harness;
 pub use gt_load as load;
 /// Metric records, loggers, hub, and log collector.
 pub use gt_metrics as metrics;
+/// Deterministic network fault injection: the seeded TCP fault proxy.
+pub use gt_netem as netem;
 /// The rate-controlled replayer and its connectors.
 pub use gt_replayer as replayer;
 /// The system-under-test boundary: trait, registry, evaluation levels.

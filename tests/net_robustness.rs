@@ -1,0 +1,134 @@
+//! Robustness of the ingest framing layer against hostile bytes:
+//!
+//! * **Parser totality** (property): `parse_line_ref` never panics on
+//!   arbitrary input — malformed lines are `Err`, blank/comment lines
+//!   are `Ok(None)`, and nothing else escapes.
+//! * **Listener framing** (property): arbitrary garbage — including
+//!   invalid UTF-8 — interleaved with valid events and markers on a live
+//!   TCP connection is *counted* (`parse_errors`) and never fatal: every
+//!   valid event still applies and the markers around the garbage still
+//!   deliver in stream order.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use graphtides::core::format::entry_to_line;
+use graphtides::load::{ListenerConfig, LoadListener};
+use graphtides::metrics::{Clock, WallClock};
+use graphtides::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // Totality over arbitrary unicode: the parser classifies every line
+    // without panicking.
+    #[test]
+    fn parse_line_ref_never_panics_on_any_string(
+        codes in proptest::collection::vec(any::<u32>(), 0..128),
+    ) {
+        let line: String = codes
+            .iter()
+            .filter_map(|&c| char::from_u32(c % 0x0011_0000))
+            .collect();
+        let _ = graphtides::core::parse_line_ref(&line);
+    }
+
+    // Totality over arbitrary bytes as they arrive off a socket: the
+    // listener lossily decodes or rejects, so feed the parser both the
+    // lossy decoding and the raw-latin1 reading of random bytes.
+    #[test]
+    fn parse_line_ref_never_panics_on_arbitrary_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let lossy = String::from_utf8_lossy(&bytes);
+        let _ = graphtides::core::parse_line_ref(&lossy);
+        let latin1: String = bytes.iter().map(|&b| b as char).collect();
+        let _ = graphtides::core::parse_line_ref(&latin1);
+    }
+}
+
+/// One garbage line that can never parse: forced out of the
+/// blank/comment classes and newline-free so it frames as exactly one
+/// line on the wire.
+fn poison_line(mut bytes: Vec<u8>) -> Vec<u8> {
+    for b in &mut bytes {
+        if *b == b'\n' || *b == b'\r' {
+            *b = b'.';
+        }
+    }
+    let mut line = b"zz".to_vec();
+    line.extend(bytes);
+    line.push(b'\n');
+    line
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    // The listener survives garbage framing end to end: a single
+    // connection sends valid-event / garbage / marker sandwiches and the
+    // run completes with the garbage counted and the markers in order.
+    #[test]
+    fn listener_counts_garbage_and_keeps_marker_order(
+        chunks in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..64), 1..4),
+    ) {
+        let listener = LoadListener::bind().unwrap();
+        let addr = listener.local_addr().unwrap();
+        let clock: Arc<dyn Clock> = Arc::new(WallClock::start());
+        let config = ListenerConfig {
+            read_timeout: Duration::from_millis(10),
+            stall_warn: Duration::from_millis(200),
+            stall_limit: Duration::from_secs(2),
+            barrier_deadline: Duration::from_secs(2),
+        };
+        let handle = listener
+            .start_with_config(
+                1,
+                Box::new(|| Ok(Box::new(CollectSink::new()) as Box<dyn EventSink + Send>)),
+                clock,
+                config,
+            )
+            .unwrap();
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let vertex = |i: u64| {
+            let mut line = entry_to_line(&StreamEntry::graph(GraphEvent::AddVertex {
+                id: VertexId(i),
+                state: State::empty(),
+            }));
+            line.push('\n');
+            line
+        };
+        let marker = |name: &str| {
+            let mut line = entry_to_line(&StreamEntry::marker(name));
+            line.push('\n');
+            line
+        };
+
+        // valid, garbage…, marker, garbage…, valid, marker.
+        stream.write_all(vertex(1).as_bytes()).unwrap();
+        for chunk in &chunks {
+            stream.write_all(&poison_line(chunk.clone())).unwrap();
+        }
+        stream.write_all(marker("first").as_bytes()).unwrap();
+        for chunk in &chunks {
+            stream.write_all(&poison_line(chunk.clone())).unwrap();
+        }
+        stream.write_all(vertex(2).as_bytes()).unwrap();
+        stream.write_all(marker("second").as_bytes()).unwrap();
+        drop(stream);
+
+        let report = handle.join().unwrap();
+        // Both valid events applied; every garbage line was counted as a
+        // parse error (a poison line is never blank or a comment), and
+        // nothing was fatal.
+        prop_assert_eq!(report.graph_events, 2);
+        prop_assert_eq!(report.parse_errors, 2 * chunks.len() as u64);
+        prop_assert_eq!(report.connections_lost, 0);
+        // The markers around the garbage delivered exactly once, in order.
+        let names: Vec<&str> = report.markers.iter().map(|(n, _)| n.as_str()).collect();
+        prop_assert_eq!(names, vec!["first", "second"]);
+        prop_assert_eq!(report.marker_violations, 0);
+    }
+}

@@ -585,8 +585,10 @@ macro_rules! __proptest_impl {
         $(#[$meta:meta])*
         fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
     )*) => {$(
+        // Callers write `#[test]` themselves (upstream idiom); it arrives
+        // through `$meta`, so emitting another here would register every
+        // property twice with the libtest harness.
         $(#[$meta])*
-        #[test]
         fn $name() {
             let config: $crate::test_runner::ProptestConfig = $config;
             let strategies = ($($strat,)+);
@@ -767,6 +769,7 @@ mod tests {
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(16))]
 
+        #[test]
         fn macro_generates_and_asserts(
             xs in crate::collection::vec(0u64..100, 1..20),
             flag in any::<bool>(),
